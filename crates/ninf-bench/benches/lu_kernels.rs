@@ -1,0 +1,48 @@
+//! Criterion bench: the real Linpack kernels — unblocked dgefa vs the
+//! blocked `glub4` analogue vs the rayon-parallel 4-PE stand-in (the Fig 3/4
+//! library comparison, on today's hardware).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ninf_exec::{dgefa, dgefa_blocked, dgefa_blocked_parallel, linpack_flops, random_matrix};
+use std::hint::black_box;
+
+fn bench_factorizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_factor");
+    group.sample_size(10);
+    for &n in &[150usize, 300, 500] {
+        let (a, _) = random_matrix(n, 42);
+        group.throughput(Throughput::Elements(linpack_flops(n as u64)));
+        group.bench_with_input(BenchmarkId::new("unblocked", n), &a, |b, a| {
+            b.iter(|| {
+                let mut m = a.clone();
+                black_box(dgefa(&mut m).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &a, |b, a| {
+            b.iter(|| {
+                let mut m = a.clone();
+                black_box(dgefa_blocked(&mut m, 32).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_parallel", n), &a, |b, a| {
+            b.iter(|| {
+                let mut m = a.clone();
+                black_box(dgefa_blocked_parallel(&mut m, 32).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ep_kernel");
+    group.sample_size(10);
+    group.bench_function("serial_2^18", |b| b.iter(|| black_box(ninf_exec::ep_kernel(18))));
+    group.bench_function("parallel_2^18", |b| {
+        b.iter(|| black_box(ninf_exec::ep_kernel_parallel(18, rayon::current_num_threads())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorizations, bench_ep);
+criterion_main!(benches);

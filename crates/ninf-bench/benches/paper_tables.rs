@@ -1,0 +1,133 @@
+//! Criterion bench: one benchmark per paper table/figure, each timing the
+//! code path that regenerates it (small-duration cells — the full-length
+//! reproduction is the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ninf_machine::j90;
+use ninf_server::{ExecMode, SchedPolicy};
+use ninf_sim::{Scenario, Workload, World};
+use std::hint::black_box;
+
+fn short_cell(mut s: Scenario) -> ninf_sim::CellResult {
+    s.duration = 120.0;
+    s.warmup = 20.0;
+    World::new(s).run()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+
+    group.bench_function("fig3_single_client_point", |b| {
+        b.iter(|| {
+            black_box(short_cell(
+                Scenario::lan(
+                    j90(),
+                    1,
+                    Workload::Linpack { n: 600 },
+                    ExecMode::DataParallel,
+                    SchedPolicy::Fcfs,
+                    1,
+                )
+                .saturated(),
+            ))
+        })
+    });
+
+    group.bench_function("table3_cell_1pe_lan", |b| {
+        b.iter(|| {
+            black_box(short_cell(Scenario::lan(
+                j90(),
+                8,
+                Workload::Linpack { n: 1000 },
+                ExecMode::TaskParallel,
+                SchedPolicy::Fcfs,
+                2,
+            )))
+        })
+    });
+
+    group.bench_function("table4_cell_4pe_lan", |b| {
+        b.iter(|| {
+            black_box(short_cell(Scenario::lan(
+                j90(),
+                8,
+                Workload::Linpack { n: 1000 },
+                ExecMode::DataParallel,
+                SchedPolicy::Fcfs,
+                3,
+            )))
+        })
+    });
+
+    group.bench_function("table5_cell_smp", |b| {
+        b.iter(|| {
+            black_box(short_cell(Scenario::lan_custom(
+                ninf_machine::sparc_smp(),
+                8,
+                1.1e6,
+                Workload::Linpack { n: 600 },
+                ExecMode::TaskParallel,
+                SchedPolicy::Fcfs,
+                4,
+            )))
+        })
+    });
+
+    group.bench_function("table6_cell_wan", |b| {
+        b.iter(|| {
+            black_box(short_cell(Scenario::single_site_wan(
+                j90(),
+                8,
+                Workload::Linpack { n: 1000 },
+                ExecMode::TaskParallel,
+                SchedPolicy::Fcfs,
+                5,
+            )))
+        })
+    });
+
+    group.bench_function("fig10_cell_multisite", |b| {
+        b.iter(|| {
+            black_box(short_cell(Scenario::multi_site_wan(
+                j90(),
+                4,
+                1,
+                Workload::Linpack { n: 1000 },
+                ExecMode::DataParallel,
+                SchedPolicy::Fcfs,
+                6,
+            )))
+        })
+    });
+
+    group.bench_function("table8_cell_ep", |b| {
+        b.iter(|| {
+            black_box(short_cell(Scenario::lan(
+                j90(),
+                4,
+                Workload::Ep { m: 16 },
+                ExecMode::TaskParallel,
+                SchedPolicy::Fcfs,
+                7,
+            )))
+        })
+    });
+
+    group.bench_function("fig11_metaserver_model", |b| {
+        let model = ninf_sim::experiments::MetaserverModel::default();
+        let node = ninf_machine::alpha_cluster_node();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in [1usize, 2, 4, 8, 16, 32] {
+                acc += model.transaction_seconds(28, p, &node);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench: protocol round-trips (in-process, full codec path) and
+//! the fluid-network allocator under many concurrent flows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ninf_netsim::{FlowSpec, FluidNet, Topology};
+use ninf_protocol::{Message, Value};
+use std::hint::black_box;
+
+fn bench_message_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpc_invoke_codec");
+    for &n in &[100usize, 600] {
+        let msg = Message::Invoke {
+            routine: "linpack".into(),
+            args: vec![
+                Value::Int(n as i32),
+                Value::DoubleArray(vec![0.5; n * n]),
+                Value::DoubleArray(vec![1.0; n]),
+            ],
+        };
+        group.throughput(Throughput::Bytes((n * n * 8) as u64));
+        group.bench_with_input(BenchmarkId::new("encode+decode", n), &msg, |b, msg| {
+            b.iter(|| {
+                let wire = black_box(msg).encode();
+                black_box(Message::decode(&wire).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn star_net(clients: usize) -> FluidNet {
+    let mut t = Topology::new();
+    let sw = t.add_node("switch");
+    let srv = t.add_node("server");
+    t.add_duplex_link(sw, srv, 15e6, 0.0001);
+    let nodes: Vec<_> = (0..clients)
+        .map(|i| {
+            let n = t.add_node(format!("c{i}"));
+            t.add_duplex_link(n, sw, 10e6, 0.0001);
+            n
+        })
+        .collect();
+    t.compute_routes();
+    let mut net = FluidNet::new(t);
+    for &n in &nodes {
+        net.start_flow(FlowSpec { src: n, dst: srv, bytes: 1e9, cap: 2.6e6 }, 0.0);
+    }
+    net
+}
+
+fn bench_maxmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_maxmin_recompute");
+    for &flows in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &flows| {
+            let net = star_net(flows);
+            b.iter_batched(
+                || net.clone(),
+                |mut net| {
+                    // set_cap forces a full recompute
+                    let id = net.snapshot_rates()[0].0;
+                    net.set_cap(id, 1.3e6, 0.0);
+                    black_box(net.snapshot_rates().len())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_message_codec, bench_maxmin);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: XDR marshalling — the wire-level hot path of every
+//! `Ninf_call` (a 1400×1400 Linpack call marshals ~15.7 MB each way).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ninf_xdr::{XdrDecoder, XdrEncoder};
+use std::hint::black_box;
+
+fn bench_f64_arrays(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xdr_f64_array");
+    for &n in &[600usize, 1000, 1400] {
+        let data: Vec<f64> = (0..n * n).map(|i| i as f64 * 0.5).collect();
+        group.throughput(Throughput::Bytes((n * n * 8) as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &data, |b, data| {
+            b.iter(|| {
+                let mut enc = XdrEncoder::with_capacity(data.len() * 8 + 4);
+                enc.put_f64_array(black_box(data));
+                black_box(enc.finish())
+            })
+        });
+        let mut enc = XdrEncoder::new();
+        enc.put_f64_array(&data);
+        let wire = enc.finish();
+        group.bench_with_input(BenchmarkId::new("decode", n), &wire, |b, wire| {
+            b.iter(|| {
+                let mut dec = XdrDecoder::new(black_box(wire));
+                black_box(dec.get_f64_array().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_small_messages(c: &mut Criterion) {
+    c.bench_function("xdr_header_roundtrip", |b| {
+        b.iter(|| {
+            let mut enc = XdrEncoder::new();
+            enc.put_u32(black_box(3));
+            enc.put_string("linpack");
+            enc.put_i32(1400);
+            let wire = enc.finish();
+            let mut dec = XdrDecoder::new(&wire);
+            black_box((dec.get_u32().unwrap(), dec.get_string().unwrap(), dec.get_i32().unwrap()))
+        })
+    });
+}
+
+criterion_group!(benches, bench_f64_arrays, bench_small_messages);
+criterion_main!(benches);

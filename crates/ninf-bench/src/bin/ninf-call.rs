@@ -1,0 +1,146 @@
+//! `ninf-call` — command-line Ninf client.
+//!
+//! ```text
+//! ninf-call <addr> list                     # routines the server exports
+//! ninf-call <addr> interface <routine>      # show its compiled interface
+//! ninf-call <addr> load                     # server load report
+//! ninf-call <addr> ep <m>                   # run 2^m EP trials remotely
+//! ninf-call <addr> linpack <n>              # generate + solve an n x n system
+//! ninf-call <addr> query "<Ninf_query>"     # database query (GET/LIST/INFO/DIMS)
+//! ```
+
+use ninf_client::NinfClient;
+use ninf_protocol::Value;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, cmd, rest) = match args.as_slice() {
+        [addr, cmd, rest @ ..] => (addr.clone(), cmd.clone(), rest.to_vec()),
+        _ => usage("need <addr> and a command"),
+    };
+
+    match cmd.as_str() {
+        "list" => {
+            let mut client = connect(&addr);
+            for (name, doc) in client.list_routines().unwrap_or_else(die) {
+                println!("{name:<10} {doc}");
+            }
+        }
+        "interface" => {
+            let routine = rest.first().unwrap_or_else(|| usage("interface needs a routine"));
+            let mut client = connect(&addr);
+            let iface = client.query_interface(routine).unwrap_or_else(die).clone();
+            println!("routine : {}", iface.name);
+            println!("doc     : {}", iface.doc);
+            println!("scalars : {:?}", iface.scalar_table);
+            for p in &iface.params {
+                println!(
+                    "  {:<8} {:?} {} dim(s): {}",
+                    p.name,
+                    p.base,
+                    p.mode.keyword(),
+                    p.dims.len()
+                );
+            }
+        }
+        "load" => {
+            let mut client = connect(&addr);
+            let r = client.query_load().unwrap_or_else(die);
+            println!(
+                "pes={} running={} queued={} load={:.2} cpu={:.1}%",
+                r.pes, r.running, r.queued, r.load_average, r.cpu_utilization
+            );
+        }
+        "ep" => {
+            let m: i32 = parse_num(rest.first(), "ep needs the trial exponent m");
+            let mut client = connect(&addr);
+            let t0 = std::time::Instant::now();
+            let out = client.ninf_call("ep", &[Value::Int(m)]).unwrap_or_else(die);
+            let dt = t0.elapsed().as_secs_f64();
+            let Value::DoubleArray(sums) = &out[0] else { unreachable!() };
+            let Value::DoubleArray(counts) = &out[1] else { unreachable!() };
+            let accepted: f64 = counts.iter().sum();
+            println!(
+                "2^{m} trials in {dt:.3}s: sx={:.3} sy={:.3} accepted={accepted} ({:.4} of trials)",
+                sums[0],
+                sums[1],
+                accepted / 2f64.powi(m)
+            );
+        }
+        "linpack" => {
+            let n: usize = parse_num(rest.first(), "linpack needs the matrix order n");
+            let (a, b) = ninf_exec::random_matrix(n, 1997);
+            let mut client = connect(&addr);
+            let t0 = std::time::Instant::now();
+            let out = client
+                .ninf_call(
+                    "linpack",
+                    &[
+                        Value::Int(n as i32),
+                        Value::DoubleArray(a.as_slice().to_vec()),
+                        Value::DoubleArray(b.clone()),
+                    ],
+                )
+                .unwrap_or_else(die);
+            let dt = t0.elapsed().as_secs_f64();
+            let Value::DoubleArray(x) = &out[0] else { unreachable!() };
+            let resid = ninf_exec::residual_check(&a, x, &b);
+            let mflops = ninf_exec::linpack_flops(n as u64) as f64 / dt / 1e6;
+            println!(
+                "solved {n}x{n} in {dt:.3}s ({mflops:.1} Mflops observed), residual check {resid:.2}"
+            );
+            println!(
+                "moved {} bytes out / {} back (8n^2+20n = {})",
+                client.bytes_sent(),
+                client.bytes_received(),
+                ninf_exec::linpack_message_bytes(n as u64)
+            );
+        }
+        "query" => {
+            let q = rest.join(" ");
+            if q.is_empty() {
+                usage("query needs a Ninf_query string");
+            }
+            let (desc, values) = ninf_db::ninf_query(&addr, &q).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            println!("{desc}");
+            for v in values {
+                match v {
+                    Value::DoubleArray(d) if d.len() > 12 => {
+                        println!("  [{} doubles] {:?} ...", d.len(), &d[..8])
+                    }
+                    other => println!("  {other:?}"),
+                }
+            }
+        }
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+fn connect(addr: &str) -> NinfClient {
+    NinfClient::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(v: Option<&String>, msg: &str) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage(msg))
+}
+
+fn die<T>(e: ninf_protocol::ProtocolError) -> T {
+    eprintln!("error: {e}");
+    std::process::exit(1);
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: ninf-call <addr> <list | interface <routine> | load | ep <m> | linpack <n> | query \"...\">"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

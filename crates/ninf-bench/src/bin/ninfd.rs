@@ -1,0 +1,102 @@
+//! `ninfd` — run a Ninf computational server (and optionally a database
+//! server) from the command line.
+//!
+//! ```text
+//! ninfd [--addr 0.0.0.0:5656] [--pes 4] [--mode task|data] \
+//!       [--policy fcfs|sjf|fpfs|fpmpfs] [--db-addr 0.0.0.0:5657]
+//! ```
+//!
+//! Serves the stdlib routines (dmmul, dgefa, dgesl, linpack, ep, dos) until
+//! killed. With `--db-addr`, also serves the builtin numerical datasets.
+
+use ninf_server::{builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig};
+
+fn main() {
+    let mut addr = "127.0.0.1:5656".to_string();
+    let mut db_addr: Option<String> = None;
+    let mut pes = 4usize;
+    let mut mode = ExecMode::TaskParallel;
+    let mut policy = SchedPolicy::Fcfs;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage("--addr needs a value")),
+            "--db-addr" => {
+                db_addr = Some(args.next().unwrap_or_else(|| usage("--db-addr needs a value")))
+            }
+            "--pes" => {
+                pes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--pes needs a positive integer"))
+            }
+            "--mode" => {
+                mode = match args.next().as_deref() {
+                    Some("task") => ExecMode::TaskParallel,
+                    Some("data") => ExecMode::DataParallel,
+                    _ => usage("--mode is task or data"),
+                }
+            }
+            "--policy" => {
+                policy = match args.next().as_deref() {
+                    Some("fcfs") => SchedPolicy::Fcfs,
+                    Some("sjf") => SchedPolicy::Sjf,
+                    Some("fpfs") => SchedPolicy::Fpfs,
+                    Some("fpmpfs") => SchedPolicy::Fpmpfs,
+                    _ => usage("--policy is fcfs|sjf|fpfs|fpmpfs"),
+                }
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut registry = Registry::new();
+    register_stdlib(&mut registry, matches!(mode, ExecMode::DataParallel));
+    let server = NinfServer::start(&addr, registry, ServerConfig { pes, mode, policy })
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        });
+    eprintln!(
+        "ninfd: serving dmmul dgefa dgesl dgeco linpack ep dos at {} ({} PEs, {}, {})",
+        server.addr(),
+        pes,
+        mode.name(),
+        policy.name()
+    );
+
+    let _db = db_addr.map(|a| {
+        let db = ninf_db::DbServer::start(&a, ninf_db::builtin_datasets())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot bind database on {a}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("ninfd: database server at {}", db.addr());
+        db
+    });
+
+    // Periodic one-line status, forever.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(30));
+        let report = server.stats().load_report();
+        eprintln!(
+            "ninfd: {} calls done, {} running, {} queued",
+            server.stats().completed(),
+            report.running,
+            report.queued
+        );
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: ninfd [--addr host:port] [--pes N] [--mode task|data] \
+         [--policy fcfs|sjf|fpfs|fpmpfs] [--db-addr host:port]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

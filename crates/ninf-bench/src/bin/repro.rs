@@ -1,0 +1,89 @@
+//! `repro` — regenerate every table and figure of the SC'97 Ninf paper.
+//!
+//! ```text
+//! repro [--experiment <id>]... [--seed <u64>] [--json <path>] [--list]
+//! ```
+
+use std::io::Write;
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut seed: u64 = 1997;
+    let mut json_path: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in ninf_sim::experiments::all_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--experiment" | "-e" => {
+                ids.push(args.next().unwrap_or_else(|| usage("--experiment needs an id")));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| usage("--json needs a path")));
+            }
+            "--csv" => {
+                csv_dir = Some(args.next().unwrap_or_else(|| usage("--csv needs a directory")));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    eprintln!("# seed = {seed} (results are a pure function of the seed)");
+    let outs = if ids.is_empty() {
+        ninf_bench::run_all(seed)
+    } else {
+        match ninf_bench::run_selected(&ids, seed) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    for out in &outs {
+        print!("{}", ninf_bench::render(out));
+    }
+
+    if let Some(dir) = csv_dir {
+        let dir = std::path::PathBuf::from(dir);
+        let mut count = 0;
+        for out in &outs {
+            count += ninf_bench::write_csv(out, &dir).expect("write csv").len();
+        }
+        eprintln!("# wrote {count} CSV files to {}", dir.display());
+    }
+
+    if let Some(path) = json_path {
+        let doc = ninf_bench::to_json(&outs, seed);
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        writeln!(f, "{}", serde_json::to_string_pretty(&doc).expect("serialize"))
+            .expect("write json");
+        eprintln!("# wrote {path}");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: repro [--experiment <id>]... [--seed <u64>] [--json <path>] [--csv <dir>] [--list]\n\
+         ids: {}",
+        ninf_sim::experiments::all_ids().join(", ")
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

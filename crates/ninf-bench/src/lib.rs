@@ -1,0 +1,172 @@
+//! Reproduction harness: drives every experiment of the SC'97 evaluation and
+//! renders/records the results.
+//!
+//! The `repro` binary is the entry point:
+//!
+//! ```text
+//! repro                     # run everything, print all tables/figures
+//! repro --list              # list experiment ids
+//! repro --experiment table4 # one table
+//! repro --seed 7 --json out.json
+//! ```
+
+use ninf_sim::experiments::{all_ids, run, ExperimentOutput};
+
+/// Run every experiment with `seed`; deterministic.
+pub fn run_all(seed: u64) -> Vec<ExperimentOutput> {
+    all_ids()
+        .into_iter()
+        .map(|id| run(id, seed).expect("id from all_ids"))
+        .collect()
+}
+
+/// Run a subset by id; unknown ids are reported as errors.
+pub fn run_selected(ids: &[String], seed: u64) -> Result<Vec<ExperimentOutput>, String> {
+    ids.iter()
+        .map(|id| run(id, seed).ok_or_else(|| format!("unknown experiment `{id}` (try --list)")))
+        .collect()
+}
+
+/// Render one experiment as a printable block.
+pub fn render(out: &ExperimentOutput) -> String {
+    format!(
+        "=================================================================\n\
+         {} [{}]\n\
+         =================================================================\n\
+         {}\n",
+        out.title, out.id, out.text
+    )
+}
+
+/// Bundle results into one JSON document (consumed by EXPERIMENTS.md).
+pub fn to_json(outs: &[ExperimentOutput], seed: u64) -> serde_json::Value {
+    let mut map = serde_json::Map::new();
+    map.insert("seed".into(), serde_json::json!(seed));
+    for o in outs {
+        map.insert(o.id.to_string(), o.json.clone());
+    }
+    serde_json::Value::Object(map)
+}
+
+/// Write one experiment's structured results as CSV files under `dir`:
+/// `<id>.csv` for cell tables, `<id>__<series>.csv` for x/y series. Returns
+/// the files written.
+pub fn write_csv(out: &ExperimentOutput, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use std::io::Write as _;
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+
+    // Cell arrays (tables): array of objects with scalar/summary fields.
+    let mut rows: Vec<&serde_json::Value> = Vec::new();
+    match &out.json {
+        serde_json::Value::Array(cells) => rows.extend(cells.iter()),
+        serde_json::Value::Object(map) => {
+            if let Some(serde_json::Value::Array(cells)) = map.get("cells") {
+                rows.extend(cells.iter());
+            }
+        }
+        _ => {}
+    }
+    let objects: Vec<&serde_json::Map<String, serde_json::Value>> =
+        rows.iter().filter_map(|r| r.as_object()).collect();
+    if !objects.is_empty() && objects.len() == rows.len() {
+        let mut columns: Vec<&String> = objects[0].keys().collect();
+        columns.sort();
+        let path = dir.join(format!("{}.csv", out.id));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", columns.iter().map(|c| c.as_str()).collect::<Vec<_>>().join(","))?;
+        for obj in &objects {
+            let cells: Vec<String> = columns
+                .iter()
+                .map(|c| csv_scalar(obj.get(c.as_str()).unwrap_or(&serde_json::Value::Null)))
+                .collect();
+            writeln!(f, "{}", cells.join(","))?;
+        }
+        written.push(path);
+    }
+
+    // Named x/y series: object values that are arrays of [x, y] pairs.
+    if let serde_json::Value::Object(map) = &out.json {
+        for (name, value) in map {
+            let Some(points) = as_points(value) else { continue };
+            let slug: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let path = dir.join(format!("{}__{}.csv", out.id, slug));
+            let mut f = std::fs::File::create(&path)?;
+            writeln!(f, "x,y")?;
+            for (x, y) in points {
+                writeln!(f, "{x},{y}")?;
+            }
+            written.push(path);
+        }
+    }
+    Ok(written)
+}
+
+fn as_points(v: &serde_json::Value) -> Option<Vec<(f64, f64)>> {
+    let arr = v.as_array()?;
+    if arr.is_empty() {
+        return None;
+    }
+    arr.iter()
+        .map(|p| {
+            let pair = p.as_array()?;
+            Some((pair.first()?.as_f64()?, pair.get(1)?.as_f64()?))
+        })
+        .collect()
+}
+
+fn csv_scalar(v: &serde_json::Value) -> String {
+    match v {
+        serde_json::Value::Object(m) => {
+            // Summary triples flatten to their mean (max/min live in the JSON).
+            m.get("mean").and_then(|x| x.as_f64()).map(|x| x.to_string()).unwrap_or_default()
+        }
+        serde_json::Value::String(s) => format!("\"{}\"", s.replace('"', "'")),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selected_rejects_unknown_ids() {
+        assert!(run_selected(&["bogus".into()], 1).is_err());
+    }
+
+    #[test]
+    fn selected_runs_cheap_experiment() {
+        let outs = run_selected(&["fig11".into(), "ablation-sched".into()], 1).unwrap();
+        assert_eq!(outs.len(), 2);
+        assert!(render(&outs[0]).contains("Fig 11"));
+    }
+
+    #[test]
+    fn csv_export_writes_series_and_tables() {
+        let dir = std::env::temp_dir().join(format!("ninf-csv-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A series experiment (fig11 is cheap and analytic: three
+        // speedup-vs-servers series).
+        let outs = run_selected(&["fig11".into()], 1).unwrap();
+        let files = write_csv(&outs[0], &dir).unwrap();
+        assert_eq!(files.len(), 3, "one CSV per class: {files:?}");
+        let text = std::fs::read_to_string(&files[0]).unwrap();
+        assert!(text.starts_with("x,y"));
+        assert!(text.lines().count() >= 7); // header + 6 p values
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn json_bundle_keyed_by_id() {
+        let outs = run_selected(&["fig5".into()], 3).unwrap();
+        let doc = to_json(&outs, 3);
+        assert_eq!(doc["seed"], 3);
+        assert!(doc.get("fig5").is_some());
+    }
+}

@@ -1,0 +1,433 @@
+//! `NinfClient`: two-stage calls over any transport, with per-connection
+//! interface caching and asynchronous variants.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use ninf_idl::CompiledInterface;
+use ninf_protocol::{
+    validate_call_args, validate_results, Message, ProtocolError, ProtocolResult, TcpTransport,
+    Transport, Value,
+};
+
+/// A connected Ninf client.
+///
+/// The client keeps one ordered connection (as "standard TCP-based
+/// RPC-protocols require clients and servers to stay connected", §5.1) and
+/// caches compiled interfaces it has already fetched, so repeated calls to
+/// the same routine skip stage 1.
+pub struct NinfClient {
+    transport: Box<dyn Transport>,
+    interfaces: HashMap<String, CompiledInterface>,
+    /// Running totals of array payload bytes, for throughput accounting.
+    bytes_sent: usize,
+    bytes_received: usize,
+}
+
+impl NinfClient {
+    /// Connect over TCP to a live server.
+    pub fn connect(addr: &str) -> ProtocolResult<Self> {
+        Ok(Self::from_transport(Box::new(TcpTransport::connect(addr)?)))
+    }
+
+    /// Wrap an arbitrary transport (e.g. an in-process channel in tests).
+    pub fn from_transport(transport: Box<dyn Transport>) -> Self {
+        Self { transport, interfaces: HashMap::new(), bytes_sent: 0, bytes_received: 0 }
+    }
+
+    /// Array payload bytes shipped to the server so far.
+    pub fn bytes_sent(&self) -> usize {
+        self.bytes_sent
+    }
+
+    /// Array payload bytes received from the server so far.
+    pub fn bytes_received(&self) -> usize {
+        self.bytes_received
+    }
+
+    /// Stage 1: fetch (or reuse) the compiled interface for `routine`.
+    pub fn query_interface(&mut self, routine: &str) -> ProtocolResult<&CompiledInterface> {
+        if !self.interfaces.contains_key(routine) {
+            self.transport.send(&Message::QueryInterface { routine: routine.to_owned() })?;
+            match self.transport.recv()? {
+                Message::InterfaceReply { interface } => {
+                    self.interfaces.insert(routine.to_owned(), interface);
+                }
+                Message::Error { reason } => return Err(ProtocolError::Remote(reason)),
+                other => {
+                    return Err(ProtocolError::UnexpectedMessage {
+                        expected: "InterfaceReply",
+                        got: other.kind().to_owned(),
+                    })
+                }
+            }
+        }
+        Ok(&self.interfaces[routine])
+    }
+
+    /// `Ninf_call`: the blocking two-stage remote call.
+    ///
+    /// `args` are the `mode_in`/`mode_inout` values in declaration order; the
+    /// return is the `mode_out`/`mode_inout` values in declaration order.
+    /// Argument shapes are validated *client-side* against the interpreted
+    /// IDL before a single payload byte is sent.
+    pub fn ninf_call(&mut self, routine: &str, args: &[Value]) -> ProtocolResult<Vec<Value>> {
+        let interface = self.query_interface(routine)?.clone();
+        let layout = validate_call_args(&interface, args).map_err(ProtocolError::Remote)?;
+        self.bytes_sent += ninf_protocol::request_payload_bytes(&layout);
+
+        self.transport
+            .send(&Message::Invoke { routine: routine.to_owned(), args: args.to_vec() })?;
+        match self.transport.recv()? {
+            Message::ResultData { results } => {
+                validate_results(&interface, &layout, &results).map_err(ProtocolError::Remote)?;
+                self.bytes_received += ninf_protocol::reply_payload_bytes(&layout);
+                Ok(results)
+            }
+            Message::Error { reason } => Err(ProtocolError::Remote(reason)),
+            other => Err(ProtocolError::UnexpectedMessage {
+                expected: "ResultData",
+                got: other.kind().to_owned(),
+            }),
+        }
+    }
+
+    /// Two-phase call, phase 1 (§5.1): validate and ship the arguments,
+    /// receive a ticket, and return — the connection may then be dropped
+    /// while the server computes. Resume from *any* connection with
+    /// [`NinfClient::poll_job`] / [`NinfClient::fetch_result`].
+    pub fn submit_job(&mut self, routine: &str, args: &[Value]) -> ProtocolResult<u64> {
+        let interface = self.query_interface(routine)?.clone();
+        let layout = validate_call_args(&interface, args).map_err(ProtocolError::Remote)?;
+        self.bytes_sent += ninf_protocol::request_payload_bytes(&layout);
+        self.transport
+            .send(&Message::SubmitJob { routine: routine.to_owned(), args: args.to_vec() })?;
+        match self.transport.recv()? {
+            Message::JobTicket { job } => Ok(job),
+            Message::Error { reason } => Err(ProtocolError::Remote(reason)),
+            other => Err(ProtocolError::UnexpectedMessage {
+                expected: "JobTicket",
+                got: other.kind().to_owned(),
+            }),
+        }
+    }
+
+    /// Poll a two-phase ticket.
+    pub fn poll_job(&mut self, job: u64) -> ProtocolResult<ninf_protocol::JobPhase> {
+        self.transport.send(&Message::PollJob { job })?;
+        match self.transport.recv()? {
+            Message::JobStatus { job: j, state } if j == job => Ok(state),
+            Message::Error { reason } => Err(ProtocolError::Remote(reason)),
+            other => Err(ProtocolError::UnexpectedMessage {
+                expected: "JobStatus",
+                got: other.kind().to_owned(),
+            }),
+        }
+    }
+
+    /// Two-phase call, phase 2: collect the results of a finished ticket.
+    pub fn fetch_result(&mut self, job: u64) -> ProtocolResult<Vec<Value>> {
+        self.transport.send(&Message::FetchResult { job })?;
+        match self.transport.recv()? {
+            Message::ResultData { results } => Ok(results),
+            Message::Error { reason } => Err(ProtocolError::Remote(reason)),
+            other => Err(ProtocolError::UnexpectedMessage {
+                expected: "ResultData",
+                got: other.kind().to_owned(),
+            }),
+        }
+    }
+
+    /// List the routines the server exports, with their documentation.
+    pub fn list_routines(&mut self) -> ProtocolResult<Vec<(String, String)>> {
+        self.transport.send(&Message::ListRoutines)?;
+        match self.transport.recv()? {
+            Message::RoutineList { routines } => Ok(routines),
+            Message::Error { reason } => Err(ProtocolError::Remote(reason)),
+            other => Err(ProtocolError::UnexpectedMessage {
+                expected: "RoutineList",
+                got: other.kind().to_owned(),
+            }),
+        }
+    }
+
+    /// Query the server's load (what the metaserver's monitor does).
+    pub fn query_load(&mut self) -> ProtocolResult<ninf_protocol::LoadReport> {
+        self.transport.send(&Message::QueryLoad)?;
+        match self.transport.recv()? {
+            Message::LoadStatus(r) => Ok(r),
+            Message::Error { reason } => Err(ProtocolError::Remote(reason)),
+            other => Err(ProtocolError::UnexpectedMessage {
+                expected: "LoadStatus",
+                got: other.kind().to_owned(),
+            }),
+        }
+    }
+}
+
+/// Failure of a locally-executed transaction.
+#[derive(Debug)]
+pub enum LocalTxError {
+    /// Call at this index reads a slot no earlier call wrote.
+    UnwrittenSlot(usize),
+    /// A call failed remotely.
+    Call {
+        /// Index of the failing call in the transaction.
+        call: usize,
+        /// The underlying RPC error.
+        error: ProtocolError,
+    },
+}
+
+impl std::fmt::Display for LocalTxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalTxError::UnwrittenSlot(i) => {
+                write!(f, "transaction call #{i} reads an unwritten slot")
+            }
+            LocalTxError::Call { call, error } => write!(f, "transaction call #{call}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for LocalTxError {}
+
+/// An in-flight asynchronous call (`Ninf_call_async`, §2.2).
+pub struct AsyncCall {
+    handle: JoinHandle<ProtocolResult<Vec<Value>>>,
+}
+
+impl AsyncCall {
+    /// Block until the call completes (`Ninf_wait` in the original API).
+    pub fn wait(self) -> ProtocolResult<Vec<Value>> {
+        self.handle.join().unwrap_or_else(|_| {
+            Err(ProtocolError::Remote("async call thread panicked".into()))
+        })
+    }
+
+    /// Whether the call has already finished.
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+/// Split a Ninf URL into `(server address, routine name)`.
+///
+/// Accepted forms (paper §2.2 allows
+/// `Ninf_call("http://.../dmmul", ...)`-style naming):
+/// `ninf://host:port/routine`, `http://host:port/path/routine`, or the bare
+/// `host:port/routine`.
+pub fn parse_ninf_url(url: &str) -> ProtocolResult<(String, String)> {
+    let rest = url
+        .strip_prefix("ninf://")
+        .or_else(|| url.strip_prefix("http://"))
+        .unwrap_or(url);
+    let (addr, path) = rest
+        .split_once('/')
+        .ok_or_else(|| ProtocolError::Remote(format!("URL `{url}` has no routine path")))?;
+    let routine = path.rsplit('/').next().unwrap_or(path);
+    if addr.is_empty() || routine.is_empty() {
+        return Err(ProtocolError::Remote(format!("malformed Ninf URL `{url}`")));
+    }
+    Ok((addr.to_owned(), routine.to_owned()))
+}
+
+/// One-shot URL-form `Ninf_call`: connect to the host in the URL, call the
+/// routine named by its final path segment.
+pub fn ninf_call_url(url: &str, args: &[Value]) -> ProtocolResult<Vec<Value>> {
+    let (addr, routine) = parse_ninf_url(url)?;
+    NinfClient::connect(&addr)?.ninf_call(&routine, args)
+}
+
+/// A complete two-phase call over *separate connections*: submit on one,
+/// disconnect, then poll and fetch on a fresh connection every
+/// `poll_interval` — the §5.1 design that "terminates" communication during
+/// server computation so connections never pin server slots.
+pub fn call_two_phase(
+    addr: &str,
+    routine: &str,
+    args: &[Value],
+    poll_interval: std::time::Duration,
+) -> ProtocolResult<Vec<Value>> {
+    let job = {
+        let mut submitter = NinfClient::connect(addr)?;
+        submitter.submit_job(routine, args)?
+        // submitter dropped: connection closed while the server computes.
+    };
+    loop {
+        let mut poller = NinfClient::connect(addr)?;
+        match poller.poll_job(job)? {
+            ninf_protocol::JobPhase::Pending => std::thread::sleep(poll_interval),
+            ninf_protocol::JobPhase::Done | ninf_protocol::JobPhase::Failed => {
+                return poller.fetch_result(job);
+            }
+            ninf_protocol::JobPhase::Unknown => {
+                return Err(ProtocolError::Remote(format!("job {job} vanished")));
+            }
+        }
+    }
+}
+
+/// `Ninf_call_async`: run one call on its own connection and thread.
+///
+/// Each async call opens a fresh connection so multiple outstanding calls
+/// do not serialize on one socket — exactly how the metaserver fans
+/// transaction calls out to servers.
+pub fn call_async(addr: String, routine: String, args: Vec<Value>) -> AsyncCall {
+    let handle = std::thread::spawn(move || {
+        let mut client = NinfClient::connect(&addr)?;
+        client.ninf_call(&routine, &args)
+    });
+    AsyncCall { handle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted transport for unit-testing the client state machine
+    /// without a server.
+    struct Scripted {
+        replies: std::vec::IntoIter<Message>,
+        sent: Vec<Message>,
+    }
+
+    impl Scripted {
+        fn new(replies: Vec<Message>) -> Self {
+            Self { replies: replies.into_iter(), sent: Vec::new() }
+        }
+    }
+
+    impl Transport for Scripted {
+        fn send(&mut self, msg: &Message) -> ProtocolResult<()> {
+            self.sent.push(msg.clone());
+            Ok(())
+        }
+        fn recv(&mut self) -> ProtocolResult<Message> {
+            self.replies.next().ok_or(ProtocolError::Disconnected)
+        }
+    }
+
+    fn dmmul_iface() -> CompiledInterface {
+        ninf_idl::stdlib_interfaces().remove(0)
+    }
+
+    #[test]
+    fn two_stage_call_sequence() {
+        let n = 2usize;
+        let reply_c = Value::DoubleArray(vec![5.0; n * n]);
+        let t = Scripted::new(vec![
+            Message::InterfaceReply { interface: dmmul_iface() },
+            Message::ResultData { results: vec![reply_c.clone()] },
+        ]);
+        let mut client = NinfClient::from_transport(Box::new(t));
+        let out = client
+            .ninf_call(
+                "dmmul",
+                &[
+                    Value::Int(n as i32),
+                    Value::DoubleArray(vec![1.0; n * n]),
+                    Value::DoubleArray(vec![2.0; n * n]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out, vec![reply_c]);
+        assert_eq!(client.bytes_sent(), 2 * 8 * n * n);
+        assert_eq!(client.bytes_received(), 8 * n * n);
+    }
+
+    #[test]
+    fn interface_is_cached_after_first_call() {
+        let n = 1usize;
+        let t = Scripted::new(vec![
+            Message::InterfaceReply { interface: dmmul_iface() },
+            Message::ResultData { results: vec![Value::DoubleArray(vec![0.0])] },
+            // NOTE: no second InterfaceReply — the cache must serve stage 1.
+            Message::ResultData { results: vec![Value::DoubleArray(vec![0.0])] },
+        ]);
+        let mut client = NinfClient::from_transport(Box::new(t));
+        let args = vec![
+            Value::Int(n as i32),
+            Value::DoubleArray(vec![1.0]),
+            Value::DoubleArray(vec![2.0]),
+        ];
+        client.ninf_call("dmmul", &args).unwrap();
+        client.ninf_call("dmmul", &args).unwrap();
+    }
+
+    #[test]
+    fn client_rejects_malformed_args_before_sending() {
+        let t = Scripted::new(vec![Message::InterfaceReply { interface: dmmul_iface() }]);
+        let mut client = NinfClient::from_transport(Box::new(t));
+        let err = client
+            .ninf_call(
+                "dmmul",
+                &[
+                    Value::Int(3),
+                    Value::DoubleArray(vec![1.0; 9]),
+                    Value::DoubleArray(vec![2.0; 8]), // wrong extent
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::Remote(_)));
+    }
+
+    #[test]
+    fn client_rejects_malformed_results() {
+        let n = 2usize;
+        let t = Scripted::new(vec![
+            Message::InterfaceReply { interface: dmmul_iface() },
+            Message::ResultData { results: vec![Value::DoubleArray(vec![0.0; 3])] }, // wrong size
+        ]);
+        let mut client = NinfClient::from_transport(Box::new(t));
+        let err = client
+            .ninf_call(
+                "dmmul",
+                &[
+                    Value::Int(n as i32),
+                    Value::DoubleArray(vec![1.0; 4]),
+                    Value::DoubleArray(vec![2.0; 4]),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::Remote(_)));
+    }
+
+    #[test]
+    fn remote_error_is_propagated() {
+        let t = Scripted::new(vec![Message::Error { reason: "unknown routine `fft`".into() }]);
+        let mut client = NinfClient::from_transport(Box::new(t));
+        let err = client.ninf_call("fft", &[]).unwrap_err();
+        match err {
+            ProtocolError::Remote(r) => assert!(r.contains("fft")),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn ninf_urls_parse() {
+        assert_eq!(
+            parse_ninf_url("ninf://etl.go.jp:5656/dmmul").unwrap(),
+            ("etl.go.jp:5656".into(), "dmmul".into())
+        );
+        assert_eq!(
+            parse_ninf_url("http://phase.etl.go.jp:80/ninf/lib/dmmul").unwrap(),
+            ("phase.etl.go.jp:80".into(), "dmmul".into())
+        );
+        assert_eq!(
+            parse_ninf_url("127.0.0.1:9000/linpack").unwrap(),
+            ("127.0.0.1:9000".into(), "linpack".into())
+        );
+        assert!(parse_ninf_url("no-path").is_err());
+        assert!(parse_ninf_url("ninf:///dmmul").is_err());
+        assert!(parse_ninf_url("host:1/").is_err());
+    }
+
+    #[test]
+    fn unexpected_message_is_protocol_violation() {
+        let t = Scripted::new(vec![Message::QueryLoad]);
+        let mut client = NinfClient::from_transport(Box::new(t));
+        let err = client.query_interface("dmmul").unwrap_err();
+        assert!(matches!(err, ProtocolError::UnexpectedMessage { .. }));
+    }
+}

@@ -1,0 +1,40 @@
+//! The Ninf client API.
+//!
+//! "Ninf_call is a representative API used for invoking a named remote
+//! library on the server as if it were on a local machine via Ninf RPC"
+//! (paper §2.2). The Rust rendering:
+//!
+//! ```no_run
+//! use ninf_client::NinfClient;
+//! use ninf_protocol::Value;
+//!
+//! let mut client = NinfClient::connect("127.0.0.1:5656")?;
+//! let n = 4usize;
+//! let results = client.ninf_call(
+//!     "dmmul",
+//!     &[
+//!         Value::Int(n as i32),
+//!         Value::DoubleArray(vec![1.0; n * n]), // A
+//!         Value::DoubleArray(vec![2.0; n * n]), // B
+//!     ],
+//! )?;
+//! let c = &results[0]; // C = A × B
+//! # let _ = c;
+//! # Ok::<(), ninf_protocol::ProtocolError>(())
+//! ```
+//!
+//! There is no client-side stub, header, or IDL file: the first stage of the
+//! call fetches the compiled interface from the server and interprets it to
+//! size and marshal every argument (§2.3). Also provided:
+//!
+//! * [`call_async`] — `Ninf_call_async`: fire a call on its own connection
+//!   and join it later;
+//! * [`transaction`] — `Ninf_transaction_begin/end`: record a block of calls,
+//!   derive the data-dependency DAG, and hand it to a scheduler (the
+//!   metaserver executes independent calls task-parallel, §2.4 / §4.3.1).
+
+pub mod client;
+pub mod transaction;
+
+pub use client::{call_async, call_two_phase, ninf_call_url, parse_ninf_url, AsyncCall, LocalTxError, NinfClient};
+pub use transaction::{execute_locally, PlannedCall, SlotId, Transaction, TxArg};

@@ -1,0 +1,108 @@
+//! Property tests on transaction dependency analysis: random call DAGs must
+//! layer consistently with their dataflow.
+
+use ninf_client::{Transaction, TxArg};
+use ninf_protocol::Value;
+use proptest::prelude::*;
+
+/// Build a random transaction: each call reads up to 2 existing written
+/// slots and writes 1 fresh slot. Returns the transaction.
+fn build(reads_per_call: &[Vec<usize>]) -> Transaction {
+    let mut tx = Transaction::new();
+    let mut written: Vec<ninf_client::SlotId> = Vec::new();
+    for reads in reads_per_call {
+        let args: Vec<TxArg> = std::iter::once(TxArg::Value(Value::Int(1)))
+            .chain(
+                reads
+                    .iter()
+                    .filter(|&&r| r < written.len())
+                    .map(|&r| TxArg::Ref(written[r])),
+            )
+            .collect();
+        let out = tx.slot();
+        tx.call("f", args, vec![Some(out)]);
+        written.push(out);
+    }
+    tx
+}
+
+fn arb_dag() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(proptest::collection::vec(0usize..16, 0..3), 1..24)
+}
+
+proptest! {
+    /// Every call appears in exactly one level, and each call's level is
+    /// strictly greater than all of its dependencies' levels.
+    #[test]
+    fn levels_respect_dependencies(dag in arb_dag()) {
+        let tx = build(&dag);
+        let deps = tx.dependencies().unwrap();
+        let levels = tx.dependency_levels().unwrap();
+
+        let mut level_of = vec![usize::MAX; tx.calls().len()];
+        let mut seen = 0;
+        for (l, calls) in levels.iter().enumerate() {
+            for &c in calls {
+                prop_assert_eq!(level_of[c], usize::MAX, "call {} in two levels", c);
+                level_of[c] = l;
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, tx.calls().len());
+
+        for (c, dep_list) in deps.iter().enumerate() {
+            for &d in dep_list {
+                prop_assert!(
+                    level_of[d] < level_of[c],
+                    "dep {} (level {}) not before call {} (level {})",
+                    d, level_of[d], c, level_of[c]
+                );
+            }
+        }
+    }
+
+    /// Dependencies only point backwards and never at the call itself.
+    #[test]
+    fn dependencies_are_acyclic_by_construction(dag in arb_dag()) {
+        let tx = build(&dag);
+        for (c, dep_list) in tx.dependencies().unwrap().iter().enumerate() {
+            for &d in dep_list {
+                prop_assert!(d < c);
+            }
+        }
+    }
+
+    /// A transaction of independent calls always yields exactly one level.
+    #[test]
+    fn independent_calls_fully_parallel(n in 1usize..32) {
+        let mut tx = Transaction::new();
+        for _ in 0..n {
+            let out = tx.slot();
+            tx.call("ep", vec![TxArg::Value(Value::Int(20))], vec![Some(out)]);
+        }
+        let levels = tx.dependency_levels().unwrap();
+        prop_assert_eq!(levels.len(), 1);
+        prop_assert_eq!(levels[0].len(), n);
+    }
+
+    /// A linear chain yields one call per level.
+    #[test]
+    fn chain_is_fully_serial(n in 1usize..24) {
+        let mut tx = Transaction::new();
+        let mut prev: Option<ninf_client::SlotId> = None;
+        for _ in 0..n {
+            let out = tx.slot();
+            let args = match prev {
+                Some(p) => vec![TxArg::Ref(p)],
+                None => vec![TxArg::Value(Value::Int(0))],
+            };
+            tx.call("f", args, vec![Some(out)]);
+            prev = Some(out);
+        }
+        let levels = tx.dependency_levels().unwrap();
+        prop_assert_eq!(levels.len(), n);
+        for l in levels {
+            prop_assert_eq!(l.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The live TCP database server.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ninf_protocol::{Message, ProtocolError, ProtocolResult, TcpTransport, Transport};
+
+use crate::query::execute;
+use crate::store::DataStore;
+
+/// A running Ninf database server; stop with [`DbServer::shutdown`].
+pub struct DbServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl DbServer {
+    /// Serve `store` on `addr` (use port 0 for ephemeral).
+    pub fn start(addr: &str, store: DataStore) -> ProtocolResult<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let store = Arc::new(store);
+        let accept_thread = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let store = store.clone();
+                    std::thread::spawn(move || {
+                        let _ = serve(stream, &store);
+                    });
+                }
+            })
+        };
+        Ok(Self { addr: local, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve(stream: TcpStream, store: &DataStore) -> ProtocolResult<()> {
+    let mut transport = TcpTransport::new(stream)?;
+    loop {
+        let msg = match transport.recv() {
+            Ok(m) => m,
+            Err(ProtocolError::Io(_)) | Err(ProtocolError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match msg {
+            Message::DbQuery { query } => {
+                let reply = match execute(store, &query) {
+                    Ok((description, values)) => Message::DbReply { description, values },
+                    Err(reason) => Message::Error { reason },
+                };
+                transport.send(&reply)?;
+            }
+            other => {
+                transport.send(&Message::Error {
+                    reason: format!("database server: unexpected {}", other.kind()),
+                })?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin_datasets;
+    use crate::query::ninf_query;
+    use ninf_protocol::Value;
+
+    #[test]
+    fn query_over_the_wire() {
+        let server = DbServer::start("127.0.0.1:0", builtin_datasets()).unwrap();
+        let addr = server.addr().to_string();
+
+        let (desc, values) = ninf_query(&addr, "GET matrix/hilbert4").unwrap();
+        assert!(desc.contains("Hilbert"));
+        assert_eq!(values[0], Value::IntArray(vec![4, 4]));
+        let Value::DoubleArray(d) = &values[1] else { panic!() };
+        assert_eq!(d.len(), 16);
+
+        // Errors travel as Error messages.
+        let err = ninf_query(&addr, "GET nothing/here").unwrap_err();
+        assert!(err.contains("no dataset"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn listing_over_the_wire() {
+        let server = DbServer::start("127.0.0.1:0", builtin_datasets()).unwrap();
+        let (names, _) = ninf_query(&server.addr().to_string(), "LIST const/").unwrap();
+        assert!(names.contains("const/pi"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_db_messages() {
+        let server = DbServer::start("127.0.0.1:0", builtin_datasets()).unwrap();
+        let mut t = TcpTransport::connect(&server.addr().to_string()).unwrap();
+        t.send(&Message::QueryLoad).unwrap();
+        match t.recv().unwrap() {
+            Message::Error { reason } => assert!(reason.contains("unexpected")),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn fetched_hilbert_solves_with_linpack_kernels() {
+        // End-to-end database -> computation: pull a matrix from the DB
+        // server and solve it locally.
+        let server = DbServer::start("127.0.0.1:0", builtin_datasets()).unwrap();
+        let (_, values) = ninf_query(&server.addr().to_string(), "GET matrix/hilbert4").unwrap();
+        let Value::DoubleArray(data) = &values[1] else { panic!() };
+        let mut a = ninf_exec::Matrix::from_col_major(4, 4, data.clone());
+        let orig = a.clone();
+        let b = orig.matvec(&[1.0; 4]);
+        let mut rhs = b.clone();
+        let x = ninf_exec::solve(&mut a, &mut rhs).unwrap();
+        assert!(ninf_exec::residual_check(&orig, &x, &b) < 100.0);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,188 @@
+//! Named numerical datasets.
+
+use std::collections::BTreeMap;
+
+/// One dataset: a scalar, vector, or column-major matrix of doubles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSet {
+    /// Hierarchical name, e.g. `matrix/hilbert8`.
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Rows (1 for scalars and row vectors).
+    pub rows: usize,
+    /// Columns (1 for scalars and column vectors).
+    pub cols: usize,
+    /// Column-major payload; `rows * cols` entries.
+    pub data: Vec<f64>,
+}
+
+impl DataSet {
+    /// A scalar dataset.
+    pub fn scalar(name: impl Into<String>, description: impl Into<String>, value: f64) -> Self {
+        Self { name: name.into(), description: description.into(), rows: 1, cols: 1, data: vec![value] }
+    }
+
+    /// A column-vector dataset.
+    pub fn vector(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        data: Vec<f64>,
+    ) -> Self {
+        let rows = data.len();
+        Self { name: name.into(), description: description.into(), rows, cols: 1, data }
+    }
+
+    /// A matrix dataset (column-major).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn matrix(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        data: Vec<f64>,
+    ) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { name: name.into(), description: description.into(), rows, cols, data }
+    }
+
+    /// Extract the sub-matrix rows `[r0, r1)` × cols `[c0, c1)`.
+    ///
+    /// Returns `None` when the range is empty or out of bounds.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Option<DataSet> {
+        if r0 >= r1 || c0 >= c1 || r1 > self.rows || c1 > self.cols {
+            return None;
+        }
+        let mut data = Vec::with_capacity((r1 - r0) * (c1 - c0));
+        for j in c0..c1 {
+            for i in r0..r1 {
+                data.push(self.data[j * self.rows + i]);
+            }
+        }
+        Some(DataSet {
+            name: format!("{}[{}..{}, {}..{}]", self.name, r0, r1, c0, c1),
+            description: self.description.clone(),
+            rows: r1 - r0,
+            cols: c1 - c0,
+            data,
+        })
+    }
+
+    /// Short shape label: `scalar`, `vector[n]`, or `matrix[r x c]`.
+    pub fn shape(&self) -> String {
+        match (self.rows, self.cols) {
+            (1, 1) => "scalar".into(),
+            (r, 1) => format!("vector[{r}]"),
+            (r, c) => format!("matrix[{r}x{c}]"),
+        }
+    }
+}
+
+/// An in-memory name → dataset map with prefix listing.
+#[derive(Debug, Default, Clone)]
+pub struct DataStore {
+    sets: BTreeMap<String, DataSet>,
+}
+
+impl DataStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a dataset.
+    pub fn insert(&mut self, set: DataSet) {
+        self.sets.insert(set.name.clone(), set);
+    }
+
+    /// Fetch by exact name.
+    pub fn get(&self, name: &str) -> Option<&DataSet> {
+        self.sets.get(name)
+    }
+
+    /// All names with the given prefix (empty prefix lists everything),
+    /// sorted.
+    pub fn list(&self, prefix: &str) -> Vec<&str> {
+        self.sets
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataStore {
+        let mut s = DataStore::new();
+        s.insert(DataSet::scalar("c/pi", "pi", 3.5));
+        s.insert(DataSet::vector("v/ones", "ones", vec![1.0; 4]));
+        s.insert(DataSet::matrix("m/a", "2x3", 2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        s
+    }
+
+    #[test]
+    fn insert_get_list() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get("c/pi").unwrap().data, vec![3.5]);
+        assert_eq!(s.list("v/"), vec!["v/ones"]);
+        assert_eq!(s.list(""), vec!["c/pi", "m/a", "v/ones"]);
+        assert!(s.list("zzz").is_empty());
+    }
+
+    #[test]
+    fn shapes() {
+        let s = sample();
+        assert_eq!(s.get("c/pi").unwrap().shape(), "scalar");
+        assert_eq!(s.get("v/ones").unwrap().shape(), "vector[4]");
+        assert_eq!(s.get("m/a").unwrap().shape(), "matrix[2x3]");
+    }
+
+    #[test]
+    fn submatrix_extracts_column_major() {
+        let s = sample();
+        let m = s.get("m/a").unwrap();
+        // m (2x3, column-major [1,2 | 3,4 | 5,6]) -> row 1, cols 1..3 = [4, 6]
+        let sub = m.submatrix(1, 2, 1, 3).unwrap();
+        assert_eq!((sub.rows, sub.cols), (1, 2));
+        assert_eq!(sub.data, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn submatrix_bounds_checked() {
+        let s = sample();
+        let m = s.get("m/a").unwrap();
+        assert!(m.submatrix(0, 3, 0, 1).is_none()); // too many rows
+        assert!(m.submatrix(1, 1, 0, 1).is_none()); // empty
+        assert!(m.submatrix(0, 1, 2, 5).is_none()); // cols out of range
+    }
+
+    #[test]
+    fn replacement_overwrites() {
+        let mut s = sample();
+        s.insert(DataSet::scalar("c/pi", "better pi", std::f64::consts::PI));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get("c/pi").unwrap().data[0], std::f64::consts::PI);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bad_matrix_shape_panics() {
+        let _ = DataSet::matrix("x", "bad", 2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Abstract syntax tree for Ninf IDL `Define`s.
+
+use crate::expr::SizeExpr;
+
+/// Argument transfer mode (paper §2.3: "access modes (input/output)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Shipped client → server only.
+    In,
+    /// Shipped server → client only.
+    Out,
+    /// Shipped both ways.
+    InOut,
+    /// Scratch space allocated on the server, never shipped.
+    Work,
+}
+
+impl Mode {
+    /// Whether the argument travels with the request.
+    pub fn sends(self) -> bool {
+        matches!(self, Mode::In | Mode::InOut)
+    }
+
+    /// Whether the argument travels with the reply.
+    pub fn receives(self) -> bool {
+        matches!(self, Mode::Out | Mode::InOut)
+    }
+
+    /// The IDL keyword for this mode.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Mode::In => "mode_in",
+            Mode::Out => "mode_out",
+            Mode::InOut => "mode_inout",
+            Mode::Work => "mode_work",
+        }
+    }
+}
+
+/// Element base types supported by the Ninf argument marshaller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseType {
+    /// 32-bit signed integer (`int`).
+    Int,
+    /// 64-bit signed integer (`long`).
+    Long,
+    /// IEEE-754 single precision (`float`).
+    Float,
+    /// IEEE-754 double precision (`double`).
+    Double,
+}
+
+impl BaseType {
+    /// On-wire bytes per element under XDR.
+    pub fn wire_bytes(self) -> usize {
+        match self {
+            BaseType::Int | BaseType::Float => 4,
+            BaseType::Long | BaseType::Double => 8,
+        }
+    }
+
+    /// The IDL keyword for this type.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            BaseType::Int => "int",
+            BaseType::Long => "long",
+            BaseType::Float => "float",
+            BaseType::Double => "double",
+        }
+    }
+}
+
+/// One formal parameter of a `Define`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name; referenced by dimension expressions of later params.
+    pub name: String,
+    /// Transfer mode.
+    pub mode: Mode,
+    /// Element type.
+    pub base: BaseType,
+    /// Array dimensions, outermost first. Empty means scalar.
+    pub dims: Vec<SizeExpr>,
+}
+
+impl Param {
+    /// Whether this parameter is a scalar (no dimensions).
+    pub fn is_scalar(&self) -> bool {
+        self.dims.is_empty()
+    }
+}
+
+/// A `Calls` clause: calling convention, callee symbol, and the argument
+/// names forwarded to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallsClause {
+    /// Calling convention string, e.g. `"C"` or `"Fortran"`.
+    pub convention: String,
+    /// Symbol of the local library routine the server invokes.
+    pub callee: String,
+    /// Names of the `Define` parameters forwarded, in callee order.
+    pub args: Vec<String>,
+}
+
+/// A complete parsed `Define`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Define {
+    /// Exported routine name (what clients pass to `Ninf_call`).
+    pub name: String,
+    /// Formal parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Documentation string, if present.
+    pub doc: Option<String>,
+    /// `Required` object files / libraries for server-side linking.
+    pub required: Vec<String>,
+    /// The `Calls` clause, if present.
+    pub calls: Option<CallsClause>,
+}
+
+impl Define {
+    /// Names of scalar input parameters, in declaration order.
+    ///
+    /// These are exactly the values a dimension expression may reference, and
+    /// the values the client must place in the call header before any array
+    /// payload can be sized.
+    pub fn scalar_inputs(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter().filter(|p| p.is_scalar() && p.mode.sends())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_directions() {
+        assert!(Mode::In.sends() && !Mode::In.receives());
+        assert!(!Mode::Out.sends() && Mode::Out.receives());
+        assert!(Mode::InOut.sends() && Mode::InOut.receives());
+        assert!(!Mode::Work.sends() && !Mode::Work.receives());
+    }
+
+    #[test]
+    fn wire_bytes_match_xdr() {
+        assert_eq!(BaseType::Int.wire_bytes(), 4);
+        assert_eq!(BaseType::Float.wire_bytes(), 4);
+        assert_eq!(BaseType::Long.wire_bytes(), 8);
+        assert_eq!(BaseType::Double.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn keywords_roundtrip_naming() {
+        for m in [Mode::In, Mode::Out, Mode::InOut, Mode::Work] {
+            assert!(m.keyword().starts_with("mode_"));
+        }
+        for b in [BaseType::Int, BaseType::Long, BaseType::Float, BaseType::Double] {
+            assert!(!b.keyword().is_empty());
+        }
+    }
+}

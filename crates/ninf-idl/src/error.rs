@@ -1,0 +1,44 @@
+//! Error types for IDL parsing, compilation, and interpretation.
+
+use std::fmt;
+
+/// Errors from IDL lexing, parsing, compilation, or size-program evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdlError {
+    /// Lexical error: unexpected character.
+    Lex { line: u32, message: String },
+    /// Syntax error with source line.
+    Parse { line: u32, message: String },
+    /// Semantically invalid interface (duplicate params, unknown names, ...).
+    Semantic(String),
+    /// Size-program evaluation failed (unknown scalar, division by zero,
+    /// negative size, stack underflow in a corrupted program).
+    Eval(String),
+    /// Compiled interface failed to decode off the wire.
+    Decode(String),
+}
+
+impl fmt::Display for IdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdlError::Lex { line, message } => write!(f, "IDL lex error at line {line}: {message}"),
+            IdlError::Parse { line, message } => {
+                write!(f, "IDL parse error at line {line}: {message}")
+            }
+            IdlError::Semantic(m) => write!(f, "IDL semantic error: {m}"),
+            IdlError::Eval(m) => write!(f, "IDL size evaluation error: {m}"),
+            IdlError::Decode(m) => write!(f, "compiled IDL decode error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IdlError {}
+
+impl From<ninf_xdr::XdrError> for IdlError {
+    fn from(e: ninf_xdr::XdrError) -> Self {
+        IdlError::Decode(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type IdlResult<T> = Result<T, IdlError>;

@@ -1,0 +1,185 @@
+//! Array-dimension expressions over scalar input arguments.
+//!
+//! Ninf IDL lets a dimension depend on scalar inputs ("matrix size, region of
+//! usage, stride, etc. that are dependent on scalar input arguments are …
+//! automatically inferred from IDL information", paper §2.3). The grammar is
+//! ordinary integer arithmetic: `+ - * /`, parentheses, integer literals, and
+//! scalar parameter names.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{IdlError, IdlResult};
+
+/// An integer size expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SizeExpr {
+    /// Integer literal.
+    Const(i64),
+    /// Reference to a scalar input parameter.
+    Var(String),
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        lhs: Box<SizeExpr>,
+        rhs: Box<SizeExpr>,
+    },
+}
+
+/// Binary operators permitted in dimension expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Truncating integer division (fails on division by zero at eval time).
+    Div,
+}
+
+impl BinOp {
+    fn symbol(self) -> char {
+        match self {
+            BinOp::Add => '+',
+            BinOp::Sub => '-',
+            BinOp::Mul => '*',
+            BinOp::Div => '/',
+        }
+    }
+}
+
+impl SizeExpr {
+    /// Shorthand constructor for a binary node.
+    pub fn binary(op: BinOp, lhs: SizeExpr, rhs: SizeExpr) -> Self {
+        SizeExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Evaluate with the given scalar bindings.
+    ///
+    /// Fails on unknown variables, division by zero, overflow, or a negative
+    /// result (array extents must be non-negative).
+    pub fn eval(&self, scalars: &BTreeMap<&str, i64>) -> IdlResult<i64> {
+        let v = self.eval_inner(scalars)?;
+        if v < 0 {
+            return Err(IdlError::Eval(format!("dimension `{self}` evaluated to negative {v}")));
+        }
+        Ok(v)
+    }
+
+    fn eval_inner(&self, scalars: &BTreeMap<&str, i64>) -> IdlResult<i64> {
+        match self {
+            SizeExpr::Const(v) => Ok(*v),
+            SizeExpr::Var(name) => scalars
+                .get(name.as_str())
+                .copied()
+                .ok_or_else(|| IdlError::Eval(format!("unknown scalar `{name}` in dimension"))),
+            SizeExpr::Binary { op, lhs, rhs } => {
+                let l = lhs.eval_inner(scalars)?;
+                let r = rhs.eval_inner(scalars)?;
+                let out = match op {
+                    BinOp::Add => l.checked_add(r),
+                    BinOp::Sub => l.checked_sub(r),
+                    BinOp::Mul => l.checked_mul(r),
+                    BinOp::Div => {
+                        if r == 0 {
+                            return Err(IdlError::Eval(format!("division by zero in `{self}`")));
+                        }
+                        l.checked_div(r)
+                    }
+                };
+                out.ok_or_else(|| IdlError::Eval(format!("overflow evaluating `{self}`")))
+            }
+        }
+    }
+
+    /// Names of all scalar variables referenced by this expression.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            SizeExpr::Const(_) => {}
+            SizeExpr::Var(name) => out.push(name),
+            SizeExpr::Binary { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for SizeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SizeExpr::Const(v) => write!(f, "{v}"),
+            SizeExpr::Var(name) => write!(f, "{name}"),
+            SizeExpr::Binary { op, lhs, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bind(pairs: &[(&'static str, i64)]) -> BTreeMap<&'static str, i64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn eval_constants_and_vars() {
+        assert_eq!(SizeExpr::Const(5).eval(&bind(&[])).unwrap(), 5);
+        assert_eq!(SizeExpr::Var("n".into()).eval(&bind(&[("n", 7)])).unwrap(), 7);
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        // 2*n + 1 with n = 10
+        let e = SizeExpr::binary(
+            BinOp::Add,
+            SizeExpr::binary(BinOp::Mul, SizeExpr::Const(2), SizeExpr::Var("n".into())),
+            SizeExpr::Const(1),
+        );
+        assert_eq!(e.eval(&bind(&[("n", 10)])).unwrap(), 21);
+    }
+
+    #[test]
+    fn unknown_var_is_error() {
+        let e = SizeExpr::Var("m".into());
+        assert!(matches!(e.eval(&bind(&[("n", 1)])), Err(IdlError::Eval(_))));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let e = SizeExpr::binary(BinOp::Div, SizeExpr::Const(4), SizeExpr::Var("n".into()));
+        assert!(matches!(e.eval(&bind(&[("n", 0)])), Err(IdlError::Eval(_))));
+    }
+
+    #[test]
+    fn negative_result_is_error() {
+        let e = SizeExpr::binary(BinOp::Sub, SizeExpr::Const(1), SizeExpr::Const(5));
+        assert!(matches!(e.eval(&bind(&[])), Err(IdlError::Eval(_))));
+    }
+
+    #[test]
+    fn overflow_is_error() {
+        let e = SizeExpr::binary(BinOp::Mul, SizeExpr::Const(i64::MAX), SizeExpr::Const(2));
+        assert!(matches!(e.eval(&bind(&[])), Err(IdlError::Eval(_))));
+    }
+
+    #[test]
+    fn variables_deduplicated() {
+        let e = SizeExpr::binary(BinOp::Mul, SizeExpr::Var("n".into()), SizeExpr::Var("n".into()));
+        assert_eq!(e.variables(), vec!["n"]);
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        let e = SizeExpr::binary(BinOp::Add, SizeExpr::Var("n".into()), SizeExpr::Const(1));
+        assert_eq!(e.to_string(), "(n + 1)");
+    }
+}

@@ -1,0 +1,243 @@
+//! Hand-written lexer for Ninf IDL source text.
+
+use crate::error::{IdlError, IdlResult};
+
+/// A lexical token with its source line (for error reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// Token kinds of the Ninf IDL grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`Define`, `mode_in`, `double`, parameter names…).
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(i64),
+    /// Double-quoted string literal (documentation, `Required` objects,
+    /// calling-convention names).
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    /// End of input (single trailing token).
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Semicolon => "`;`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenize a full IDL source. `//` and `/* */` comments are skipped.
+pub fn tokenize(src: &str) -> IdlResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(IdlError::Lex { line, message: "unterminated comment".into() });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => push_simple(&mut tokens, TokenKind::LParen, line, &mut i),
+            ')' => push_simple(&mut tokens, TokenKind::RParen, line, &mut i),
+            '[' => push_simple(&mut tokens, TokenKind::LBracket, line, &mut i),
+            ']' => push_simple(&mut tokens, TokenKind::RBracket, line, &mut i),
+            ',' => push_simple(&mut tokens, TokenKind::Comma, line, &mut i),
+            ';' => push_simple(&mut tokens, TokenKind::Semicolon, line, &mut i),
+            '+' => push_simple(&mut tokens, TokenKind::Plus, line, &mut i),
+            '-' => push_simple(&mut tokens, TokenKind::Minus, line, &mut i),
+            '*' => push_simple(&mut tokens, TokenKind::Star, line, &mut i),
+            '/' => push_simple(&mut tokens, TokenKind::Slash, line, &mut i),
+            '"' => {
+                let start_line = line;
+                i += 1;
+                let begin = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i == bytes.len() {
+                    return Err(IdlError::Lex {
+                        line: start_line,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                let text = std::str::from_utf8(&bytes[begin..i])
+                    .map_err(|_| IdlError::Lex { line: start_line, message: "invalid UTF-8 in string".into() })?;
+                tokens.push(Token { kind: TokenKind::Str(text.to_owned()), line: start_line });
+                i += 1; // closing quote
+            }
+            c if c.is_ascii_digit() => {
+                let begin = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[begin..i];
+                let value = text.parse::<i64>().map_err(|_| IdlError::Lex {
+                    line,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                tokens.push(Token { kind: TokenKind::Int(value), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let begin = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident(src[begin..i].to_owned()), line });
+            }
+            other => {
+                return Err(IdlError::Lex { line, message: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+
+    tokens.push(Token { kind: TokenKind::Eof, line });
+    Ok(tokens)
+}
+
+fn push_simple(tokens: &mut Vec<Token>, kind: TokenKind, line: u32, i: &mut usize) {
+    tokens.push(Token { kind, line });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_define_header() {
+        let ks = kinds("Define dmmul(mode_in int n)");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("Define".into()),
+                TokenKind::Ident("dmmul".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("mode_in".into()),
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("n".into()),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_dims_and_arith() {
+        let ks = kinds("A[2*n+1]");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("A".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(2),
+                TokenKind::Star,
+                TokenKind::Ident("n".into()),
+                TokenKind::Plus,
+                TokenKind::Int(1),
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        let ks = kinds("// top comment\n\"doc text\" /* mid */ Required");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Str("doc text".into()),
+                TokenKind::Ident("Required".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = tokenize("Define\nfoo").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(matches!(tokenize("\"oops"), Err(IdlError::Lex { .. })));
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(matches!(tokenize("/* oops"), Err(IdlError::Lex { .. })));
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        assert!(matches!(tokenize("Define @"), Err(IdlError::Lex { .. })));
+    }
+}

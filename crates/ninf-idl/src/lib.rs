@@ -1,0 +1,165 @@
+//! Ninf IDL — the Interface Description Language of the Ninf system.
+//!
+//! Each routine registered on a Ninf computational server is described by an
+//! IDL `Define` (SC'97 paper, §2.3):
+//!
+//! ```text
+//! Define dmmul(mode_in int n,
+//!              mode_in double A[n][n], mode_in double B[n][n],
+//!              mode_out double C[n][n])
+//! "dmmul is double precision matrix multiply",
+//! Required "libxxx.o"
+//! Calls "C" mmul(n, A, B, C);
+//! ```
+//!
+//! Array dimensions are *expressions over scalar input arguments* (`n`,
+//! `n*n`, `2*n+1`, …): the client does not know matrix sizes statically, so
+//! at call time the server ships a **compiled interface** — a tiny stack
+//! bytecode per dimension — which the client interprets to marshal arguments
+//! (the paper's "two-stage RPC": "when the client calls the server, it
+//! returns the compiled IDL information as interpretable code to the
+//! client"). This crate provides:
+//!
+//! * [`parse`] / [`parse_one`] — IDL text → [`ast::Define`]
+//! * [`expr::SizeExpr`] — dimension expressions with an evaluator
+//! * [`compile::CompiledInterface`] — the interpretable form, XDR-serializable
+//! * [`stdlib`] — the IDL sources for the routines used throughout the paper
+//!   (dmmul, dgefa, dgesl, linpack, ep, dos)
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod stubgen;
+
+pub use ast::{BaseType, Define, Mode, Param};
+pub use compile::{CompiledInterface, CompiledParam, SizeProgram};
+pub use error::{IdlError, IdlResult};
+pub use expr::SizeExpr;
+pub use stubgen::{generate_handler_stub, generate_registration, print_idl};
+
+/// Parse a complete IDL source containing one or more `Define`s.
+pub fn parse(src: &str) -> IdlResult<Vec<Define>> {
+    parser::Parser::new(src)?.parse_all()
+}
+
+/// Parse an IDL source expected to contain exactly one `Define`.
+pub fn parse_one(src: &str) -> IdlResult<Define> {
+    let mut defs = parse(src)?;
+    match defs.len() {
+        1 => Ok(defs.pop().expect("len checked")),
+        n => Err(IdlError::Semantic(format!("expected exactly one Define, found {n}"))),
+    }
+}
+
+/// IDL sources for the routines exercised by the SC'97 evaluation.
+///
+/// These are registered on every live and simulated Ninf server in this
+/// repository, mirroring the paper: `dgefa`/`dgesl` (Linpack LU +
+/// back-substitution, §3.1), `linpack` (the combined solve used by the
+/// multi-client benchmarks), `dmmul` (the running example of §2), `ep` (NAS
+/// Parallel EP kernel, §4.3) and `dos` (the density-of-states EP-style
+/// application mentioned at the end of §4.3).
+pub fn stdlib() -> Vec<&'static str> {
+    vec![
+        // The §2.3 running example.
+        r#"Define dmmul(mode_in int n,
+                        mode_in double A[n][n], mode_in double B[n][n],
+                        mode_out double C[n][n])
+           "dmmul is double precision matrix multiply",
+           Required "libdmmul.o"
+           Calls "C" mmul(n, A, B, C);"#,
+        // LU decomposition with partial pivoting (Linpack dgefa).
+        r#"Define dgefa(mode_in int n,
+                        mode_inout double A[n][n],
+                        mode_out int ipvt[n],
+                        mode_out int info[1])
+           "dgefa factors a double precision matrix by gaussian elimination",
+           Required "liblinpack.o"
+           Calls "C" dgefa(n, A, ipvt, info);"#,
+        // Back substitution (Linpack dgesl).
+        r#"Define dgesl(mode_in int n,
+                        mode_in double A[n][n],
+                        mode_in int ipvt[n],
+                        mode_inout double b[n])
+           "dgesl solves A*x = b using the factors computed by dgefa",
+           Required "liblinpack.o"
+           Calls "C" dgesl(n, A, ipvt, b);"#,
+        // Combined factor+solve, the unit of one benchmark Ninf_call.
+        // In+out traffic totals 8n^2 + 20n bytes as in the paper's T_comm model:
+        // A in (8n^2) + b in (8n) + x out (8n) + ipvt out (4n) -> 8n^2 + 20n.
+        r#"Define linpack(mode_in int n,
+                          mode_in double A[n][n],
+                          mode_in double b[n],
+                          mode_out double x[n],
+                          mode_out int ipvt[n])
+           "linpack solves a dense double precision system (dgefa + dgesl)",
+           Required "liblinpack.o"
+           Calls "C" linpack(n, A, b, x, ipvt);"#,
+        // NAS Parallel EP kernel: 2^m Gaussian pair trials; O(1) communication.
+        r#"Define ep(mode_in int m,
+                     mode_out double sums[2],
+                     mode_out double counts[10])
+           "ep runs 2^m embarrassingly parallel Monte-Carlo trials",
+           Required "libnaspar.o"
+           Calls "C" ep(m, sums, counts);"#,
+        // Density-of-states Monte-Carlo estimate (EP-style chemistry app).
+        r#"Define dos(mode_in int m, mode_in int bins,
+                      mode_out double hist[bins])
+           "dos estimates a density of states by Monte-Carlo sampling",
+           Required "libdos.o"
+           Calls "C" dos(m, bins, hist);"#,
+        // Factor + reciprocal condition estimate (Linpack dgeco).
+        r#"Define dgeco(mode_in int n,
+                        mode_inout double A[n][n],
+                        mode_out int ipvt[n],
+                        mode_out double rcond[1])
+           "dgeco factors a matrix and estimates its reciprocal condition number",
+           Required "liblinpack.o"
+           Calls "C" dgeco(n, A, ipvt, rcond);"#,
+    ]
+}
+
+/// Parse and compile the whole [`stdlib`].
+pub fn stdlib_interfaces() -> Vec<CompiledInterface> {
+    stdlib()
+        .into_iter()
+        .map(|src| {
+            let def = parse_one(src).expect("stdlib IDL must parse");
+            CompiledInterface::compile(&def).expect("stdlib IDL must compile")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stdlib_parses_and_compiles() {
+        let ifaces = stdlib_interfaces();
+        assert_eq!(ifaces.len(), 7);
+        let names: Vec<&str> = ifaces.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, ["dmmul", "dgefa", "dgesl", "linpack", "ep", "dos", "dgeco"]);
+    }
+
+    #[test]
+    fn linpack_wire_size_matches_paper_formula() {
+        // Paper §3.1: T_comm carries 8n^2 + 20n bytes for a matrix size n.
+        let iface = stdlib_interfaces().remove(3);
+        assert_eq!(iface.name, "linpack");
+        for n in [100i64, 600, 1000, 1400, 1600] {
+            let scalars = [("n", n)];
+            let total = iface.request_bytes(&scalars).unwrap() + iface.reply_bytes(&scalars).unwrap();
+            assert_eq!(total as i64, 8 * n * n + 20 * n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parse_one_rejects_multiple() {
+        let two = format!("{}\n{}", stdlib()[0], stdlib()[1]);
+        assert!(parse_one(&two).is_err());
+    }
+}

@@ -1,0 +1,474 @@
+//! Recursive-descent parser for Ninf IDL.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! source      := define*
+//! define      := "Define" IDENT "(" [param ("," param)*] ")"
+//!                [STRING] [","] clause* [";"]
+//! clause      := "Required" STRING ("," STRING)*
+//!              | "Calls" STRING IDENT "(" [IDENT ("," IDENT)*] ")" ";"
+//! param       := mode type IDENT dim*           -- qualifiers may precede mode
+//! mode        := "mode_in" | "mode_out" | "mode_inout" | "mode_work"
+//! type        := "int" | "long" | "float" | "double"
+//! dim         := "[" expr "]"
+//! expr        := term (("+" | "-") term)*
+//! term        := factor (("*" | "/") factor)*
+//! factor      := INT | IDENT | "(" expr ")" | "-" factor
+//! ```
+
+use crate::ast::{BaseType, CallsClause, Define, Mode, Param};
+use crate::error::{IdlError, IdlResult};
+use crate::expr::{BinOp, SizeExpr};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Token-stream parser; construct with [`Parser::new`], drive with
+/// [`Parser::parse_all`].
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Lex `src` and prepare to parse.
+    pub fn new(src: &str) -> IdlResult<Self> {
+        Ok(Self { tokens: tokenize(src)?, pos: 0 })
+    }
+
+    /// Parse every `Define` in the source.
+    pub fn parse_all(&mut self) -> IdlResult<Vec<Define>> {
+        let mut defines = Vec::new();
+        while !self.at_eof() {
+            defines.push(self.parse_define()?);
+        }
+        if defines.is_empty() {
+            return Err(IdlError::Semantic("source contains no Define".into()));
+        }
+        Ok(defines)
+    }
+
+    fn parse_define(&mut self) -> IdlResult<Define> {
+        self.expect_keyword("Define")?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+
+        let mut params = Vec::new();
+        if !self.check(&TokenKind::RParen) {
+            loop {
+                params.push(self.parse_param()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+
+        // Optional documentation string, optionally followed by a comma.
+        let doc = if let TokenKind::Str(s) = self.peek_kind().clone() {
+            self.advance();
+            self.eat(&TokenKind::Comma);
+            Some(s)
+        } else {
+            None
+        };
+
+        let mut required = Vec::new();
+        let mut calls = None;
+
+        loop {
+            match self.peek_kind().clone() {
+                TokenKind::Ident(kw) if kw == "Required" => {
+                    self.advance();
+                    required.push(self.expect_string()?);
+                    while self.eat(&TokenKind::Comma) {
+                        required.push(self.expect_string()?);
+                    }
+                }
+                TokenKind::Ident(kw) if kw == "Calls" => {
+                    self.advance();
+                    let convention = self.expect_string()?;
+                    let callee = self.expect_ident()?;
+                    self.expect(TokenKind::LParen)?;
+                    let mut args = Vec::new();
+                    if !self.check(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expect_ident()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    calls = Some(CallsClause { convention, callee, args });
+                }
+                _ => break,
+            }
+        }
+        self.eat(&TokenKind::Semicolon);
+
+        let define = Define { name, params, doc, required, calls };
+        validate(&define)?;
+        Ok(define)
+    }
+
+    fn parse_param(&mut self) -> IdlResult<Param> {
+        // Collect leading identifiers until the parameter name: qualifiers
+        // (ignored, e.g. the paper's stray `long` in `long mode_in int n`),
+        // exactly one mode keyword, and exactly one base type keyword; the
+        // final identifier before `[`/`,`/`)` is the parameter name.
+        let mut mode = None;
+        let mut base = None;
+        let mut name = None;
+
+        loop {
+            let kind = self.peek_kind().clone();
+            match kind {
+                TokenKind::Ident(word) => {
+                    self.advance();
+                    if let Some(m) = mode_keyword(&word) {
+                        if mode.replace(m).is_some() {
+                            return self.err(format!("duplicate mode keyword `{word}`"));
+                        }
+                    } else if let Some(b) = type_keyword(&word) {
+                        // A type keyword before the mode (e.g. `long mode_in int n`)
+                        // is treated as a storage qualifier and superseded by a later
+                        // type keyword.
+                        base = Some(b);
+                    } else {
+                        // Plain identifier: candidate parameter name. The last
+                        // one wins; seeing two in a row is a syntax error.
+                        if name.replace(word.clone()).is_some() {
+                            return self.err(format!("unexpected identifier `{word}` after parameter name"));
+                        }
+                    }
+                }
+                TokenKind::LBracket | TokenKind::Comma | TokenKind::RParen => break,
+                other => return self.err(format!("unexpected {} in parameter", other.describe())),
+            }
+        }
+
+        let name = name.ok_or_else(|| self.err_at("parameter missing a name"))?;
+        let mode = mode.ok_or_else(|| self.err_at(&format!("parameter `{name}` missing a mode keyword")))?;
+        let base = base.ok_or_else(|| self.err_at(&format!("parameter `{name}` missing a base type")))?;
+
+        let mut dims = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            dims.push(self.parse_expr()?);
+            self.expect(TokenKind::RBracket)?;
+        }
+
+        Ok(Param { name, mode, base, dims })
+    }
+
+    fn parse_expr(&mut self) -> IdlResult<SizeExpr> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = if self.eat(&TokenKind::Plus) {
+                BinOp::Add
+            } else if self.eat(&TokenKind::Minus) {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.parse_term()?;
+            lhs = SizeExpr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> IdlResult<SizeExpr> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            let op = if self.eat(&TokenKind::Star) {
+                BinOp::Mul
+            } else if self.eat(&TokenKind::Slash) {
+                BinOp::Div
+            } else {
+                break;
+            };
+            let rhs = self.parse_factor()?;
+            lhs = SizeExpr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> IdlResult<SizeExpr> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(SizeExpr::Const(v))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(SizeExpr::Var(name))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Minus => {
+                self.advance();
+                let inner = self.parse_factor()?;
+                Ok(SizeExpr::binary(BinOp::Sub, SizeExpr::Const(0), inner))
+            }
+            other => self.err(format!("expected dimension expression, found {}", other.describe())),
+        }
+    }
+
+    // --- token-stream helpers ---
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek_kind(), TokenKind::Eof)
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn advance(&mut self) {
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> IdlResult<()> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            self.err(format!("expected {}, found {}", kind.describe(), self.peek_kind().describe()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> IdlResult<String> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {}", other.describe())),
+        }
+    }
+
+    fn expect_string(&mut self) -> IdlResult<String> {
+        match self.peek_kind().clone() {
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => self.err(format!("expected string literal, found {}", other.describe())),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> IdlResult<()> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) if s == kw => {
+                self.advance();
+                Ok(())
+            }
+            other => self.err(format!("expected `{kw}`, found {}", other.describe())),
+        }
+    }
+
+    fn err<T>(&self, message: String) -> IdlResult<T> {
+        Err(IdlError::Parse { line: self.peek().line, message })
+    }
+
+    fn err_at(&self, message: &str) -> IdlError {
+        IdlError::Parse { line: self.peek().line, message: message.to_owned() }
+    }
+}
+
+fn mode_keyword(word: &str) -> Option<Mode> {
+    match word {
+        "mode_in" => Some(Mode::In),
+        "mode_out" => Some(Mode::Out),
+        "mode_inout" => Some(Mode::InOut),
+        "mode_work" => Some(Mode::Work),
+        _ => None,
+    }
+}
+
+fn type_keyword(word: &str) -> Option<BaseType> {
+    match word {
+        "int" => Some(BaseType::Int),
+        "long" => Some(BaseType::Long),
+        "float" => Some(BaseType::Float),
+        "double" => Some(BaseType::Double),
+        _ => None,
+    }
+}
+
+/// Semantic checks: unique parameter names, dimension variables must name
+/// scalar *input* parameters declared before use, `Calls` arguments must name
+/// real parameters.
+fn validate(def: &Define) -> IdlResult<()> {
+    let mut seen: Vec<&str> = Vec::new();
+    for p in &def.params {
+        if seen.contains(&p.name.as_str()) {
+            return Err(IdlError::Semantic(format!(
+                "duplicate parameter `{}` in Define {}",
+                p.name, def.name
+            )));
+        }
+        for dim in &p.dims {
+            for var in dim.variables() {
+                let declared = def
+                    .params
+                    .iter()
+                    .take_while(|q| q.name != p.name)
+                    .any(|q| q.name == var && q.is_scalar() && q.mode.sends());
+                if !declared {
+                    return Err(IdlError::Semantic(format!(
+                        "dimension of `{}` references `{var}`, which is not a preceding scalar input",
+                        p.name
+                    )));
+                }
+            }
+        }
+        seen.push(&p.name);
+    }
+    if let Some(calls) = &def.calls {
+        for arg in &calls.args {
+            if !def.params.iter().any(|p| &p.name == arg) {
+                return Err(IdlError::Semantic(format!(
+                    "Calls argument `{arg}` is not a parameter of Define {}",
+                    def.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_one;
+
+    #[test]
+    fn parses_paper_dmmul_verbatim() {
+        // Exactly the example from §2.3, including the stray `long` qualifier.
+        let src = r#"Define dmmul(long mode_in int n,
+                        mode_in double A[n][n],
+                        mode_in double B[n][n],
+                        mode_out double C[n][n])
+            "dmmul is double precision matrix multiply",
+            Required "libxxx.o"
+            Calls "C" mmul(n,A,B,C);"#;
+        let def = parse_one(src).unwrap();
+        assert_eq!(def.name, "dmmul");
+        assert_eq!(def.params.len(), 4);
+        assert_eq!(def.params[0].name, "n");
+        assert_eq!(def.params[0].mode, Mode::In);
+        assert_eq!(def.params[0].base, BaseType::Int);
+        assert!(def.params[0].is_scalar());
+        assert_eq!(def.params[1].dims.len(), 2);
+        assert_eq!(def.params[3].mode, Mode::Out);
+        assert_eq!(def.doc.as_deref(), Some("dmmul is double precision matrix multiply"));
+        assert_eq!(def.required, vec!["libxxx.o"]);
+        let calls = def.calls.unwrap();
+        assert_eq!(calls.convention, "C");
+        assert_eq!(calls.callee, "mmul");
+        assert_eq!(calls.args, vec!["n", "A", "B", "C"]);
+    }
+
+    #[test]
+    fn parses_arithmetic_dimensions() {
+        let def = parse_one(
+            r#"Define tri(mode_in int n, mode_out double T[n*(n+1)/2]) "packed triangle";"#,
+        )
+        .unwrap();
+        let dim = &def.params[1].dims[0];
+        let scalars = [("n", 10i64)].into_iter().collect();
+        assert_eq!(dim.eval(&scalars).unwrap(), 55);
+    }
+
+    #[test]
+    fn parses_multiple_defines() {
+        let defs = crate::parse(
+            r#"Define a(mode_in int n) "a";
+               Define b(mode_in int m, mode_out double v[m]) "b";"#,
+        )
+        .unwrap();
+        assert_eq!(defs.len(), 2);
+        assert_eq!(defs[0].name, "a");
+        assert_eq!(defs[1].name, "b");
+    }
+
+    #[test]
+    fn rejects_duplicate_parameter() {
+        let err = parse_one("Define f(mode_in int n, mode_in int n)").unwrap_err();
+        assert!(matches!(err, IdlError::Semantic(_)));
+    }
+
+    #[test]
+    fn rejects_forward_dimension_reference() {
+        let err =
+            parse_one("Define f(mode_in double A[m], mode_in int m)").unwrap_err();
+        assert!(matches!(err, IdlError::Semantic(_)));
+    }
+
+    #[test]
+    fn rejects_dimension_on_output_scalar() {
+        // `k` is an output, so the client cannot size `A` from it.
+        let err =
+            parse_one("Define f(mode_out int k, mode_in double A[k])").unwrap_err();
+        assert!(matches!(err, IdlError::Semantic(_)));
+    }
+
+    #[test]
+    fn rejects_unknown_calls_argument() {
+        let err = parse_one(r#"Define f(mode_in int n) Calls "C" g(x);"#).unwrap_err();
+        assert!(matches!(err, IdlError::Semantic(_)));
+    }
+
+    #[test]
+    fn rejects_param_without_mode() {
+        let err = parse_one("Define f(int n)").unwrap_err();
+        assert!(matches!(err, IdlError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_param_without_type() {
+        let err = parse_one("Define f(mode_in n)").unwrap_err();
+        assert!(matches!(err, IdlError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_source() {
+        assert!(matches!(crate::parse("  // nothing"), Err(IdlError::Semantic(_))));
+    }
+
+    #[test]
+    fn work_mode_parses() {
+        let def = parse_one("Define f(mode_in int n, mode_work double scratch[n])").unwrap();
+        assert_eq!(def.params[1].mode, Mode::Work);
+    }
+
+    #[test]
+    fn unary_minus_in_dimension() {
+        let def = parse_one("Define f(mode_in int n, mode_in double v[n--1])").unwrap();
+        // n - (-1) == n + 1
+        let scalars = [("n", 3i64)].into_iter().collect();
+        assert_eq!(def.params[1].dims[0].eval(&scalars).unwrap(), 4);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the IDL pipeline: random dimension expressions are
+//! printed as IDL source, parsed back, compiled to bytecode, shipped through
+//! XDR, and must evaluate identically to direct AST evaluation.
+
+use std::collections::BTreeMap;
+
+use ninf_idl::compile::CompiledInterface;
+use ninf_idl::expr::{BinOp, SizeExpr};
+use ninf_idl::{parse_one, IdlError};
+use ninf_xdr::{XdrDecoder, XdrEncoder};
+use proptest::prelude::*;
+
+/// Random expression over the scalar `n`, with small constants so most
+/// evaluations stay positive and in range.
+fn arb_expr() -> impl Strategy<Value = SizeExpr> {
+    let leaf = prop_oneof![
+        (1i64..20).prop_map(SizeExpr::Const),
+        Just(SizeExpr::Var("n".into())),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (inner.clone(), inner, prop_oneof![Just(BinOp::Add), Just(BinOp::Mul)])
+            .prop_map(|(l, r, op)| SizeExpr::binary(op, l, r))
+    })
+}
+
+proptest! {
+    /// Printing an expression as a dimension, parsing the Define, compiling,
+    /// and evaluating the bytecode gives the same extent as evaluating the
+    /// original tree directly.
+    #[test]
+    fn parse_compile_eval_agree(expr in arb_expr(), n in 1i64..100) {
+        let src = format!(
+            "Define f(mode_in int n, mode_out double v[{expr}]) \"generated\";"
+        );
+        let def = parse_one(&src).unwrap();
+        let iface = CompiledInterface::compile(&def).unwrap();
+
+        let mut bindings = BTreeMap::new();
+        bindings.insert("n", n);
+        let direct = expr.eval(&bindings);
+        let via_layout = iface.layout(&[("n", n)]);
+
+        match (direct, via_layout) {
+            (Ok(extent), Ok(layout)) => prop_assert_eq!(layout[1].count as i64, extent),
+            (Err(_), Err(_)) => {}
+            (d, v) => prop_assert!(false, "divergence: direct={d:?} layout={v:?}"),
+        }
+    }
+
+    /// Compiled interfaces survive XDR roundtrips regardless of expression shape.
+    #[test]
+    fn compiled_interface_xdr_roundtrip(expr in arb_expr()) {
+        let src = format!(
+            "Define f(mode_in int n, mode_inout double v[{expr}][2]) \"generated\";"
+        );
+        let def = parse_one(&src).unwrap();
+        let iface = CompiledInterface::compile(&def).unwrap();
+        let mut enc = XdrEncoder::new();
+        iface.encode_xdr(&mut enc);
+        let wire = enc.finish();
+        let back = CompiledInterface::decode_xdr(&mut XdrDecoder::new(&wire)).unwrap();
+        prop_assert_eq!(back, iface);
+    }
+
+    /// The parser never panics on arbitrary printable input.
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,200}") {
+        let _ = ninf_idl::parse(&src);
+    }
+
+    /// Request/reply byte accounting is consistent with the full layout.
+    #[test]
+    fn byte_accounting_consistent(n in 1i64..200) {
+        for iface in ninf_idl::stdlib_interfaces() {
+            let scalars: Vec<(&str, i64)> = iface
+                .scalar_table
+                .iter()
+                .map(|s| (s.as_str(), n))
+                .collect();
+            let layout = match iface.layout(&scalars) {
+                Ok(l) => l,
+                Err(IdlError::Eval(_)) => continue,
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            };
+            let arrays: usize = layout
+                .iter()
+                .filter(|l| {
+                    iface.params.iter().any(|p| p.name == l.name && !p.is_scalar())
+                })
+                .map(|l| {
+                    let mut total = 0;
+                    if l.mode.sends() { total += l.bytes; }
+                    if l.mode.receives() { total += l.bytes; }
+                    total
+                })
+                .sum();
+            let req = iface.request_bytes(&scalars).unwrap();
+            let rep = iface.reply_bytes(&scalars).unwrap();
+            prop_assert_eq!(req + rep, arrays, "interface {}", iface.name);
+        }
+    }
+}

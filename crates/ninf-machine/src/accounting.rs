@@ -1,0 +1,233 @@
+//! Operating-system accounting: CPU utilization and Unix load average.
+//!
+//! The paper reports, per benchmark cell, the server's "processor
+//! utilization" and "load average" (§4.1). Both are reproduced here as
+//! piecewise-continuous trackers driven by the simulator: whenever the number
+//! of busy PEs or runnable tasks changes, the tracker integrates the elapsed
+//! segment.
+
+/// Time-weighted CPU utilization over a measurement window.
+#[derive(Debug, Clone)]
+pub struct CpuAccounting {
+    pes: usize,
+    busy: f64,
+    last_update: f64,
+    busy_pe_seconds: f64,
+    window_start: f64,
+}
+
+impl CpuAccounting {
+    /// Start accounting for a machine with `pes` processors at time `t0`.
+    pub fn new(pes: usize, t0: f64) -> Self {
+        Self { pes, busy: 0.0, last_update: t0, busy_pe_seconds: 0.0, window_start: t0 }
+    }
+
+    /// Record that from now on `busy` PEs are in use (may be fractional —
+    /// marshalling tasks consume partial PEs).
+    pub fn set_busy(&mut self, now: f64, busy: f64) {
+        self.integrate(now);
+        self.busy = busy.clamp(0.0, self.pes as f64);
+    }
+
+    fn integrate(&mut self, now: f64) {
+        debug_assert!(now >= self.last_update - 1e-9);
+        if now > self.last_update {
+            self.busy_pe_seconds += self.busy * (now - self.last_update);
+            self.last_update = now;
+        }
+    }
+
+    /// Utilization percentage `[0, 100]` over the window so far.
+    pub fn utilization_percent(&mut self, now: f64) -> f64 {
+        self.integrate(now);
+        let wall = now - self.window_start;
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.busy_pe_seconds / (wall * self.pes as f64)
+    }
+
+    /// Reset the measurement window (e.g. after warm-up).
+    pub fn reset_window(&mut self, now: f64) {
+        self.integrate(now);
+        self.busy_pe_seconds = 0.0;
+        self.window_start = now;
+    }
+}
+
+/// Unix-style exponentially damped load average.
+///
+/// `load(t+Δ) = load(t)·e^(−Δ/τ) + n·(1 − e^(−Δ/τ))` with τ = 60 s, where
+/// `n` is the current number of runnable tasks (running + queued). We also
+/// track the *maximum* instantaneous load, since the paper quotes e.g. "max.
+/// load average 30 for the 4-PE version" (§4.2.1).
+#[derive(Debug, Clone)]
+pub struct LoadAverage {
+    tau: f64,
+    value: f64,
+    runnable: f64,
+    last_update: f64,
+    max_seen: f64,
+    /// time-weighted mean of the damped load, for reporting
+    weighted_sum: f64,
+    window_start: f64,
+}
+
+impl LoadAverage {
+    /// One-minute load average starting at `t0`.
+    pub fn new(t0: f64) -> Self {
+        Self::with_tau(t0, 60.0)
+    }
+
+    /// Load average with a custom damping constant.
+    pub fn with_tau(t0: f64, tau: f64) -> Self {
+        Self {
+            tau,
+            value: 0.0,
+            runnable: 0.0,
+            last_update: t0,
+            max_seen: 0.0,
+            weighted_sum: 0.0,
+            window_start: t0,
+        }
+    }
+
+    /// Record that from now on `n` tasks are runnable.
+    pub fn set_runnable(&mut self, now: f64, n: f64) {
+        self.integrate(now);
+        self.runnable = n.max(0.0);
+    }
+
+    fn integrate(&mut self, now: f64) {
+        debug_assert!(now >= self.last_update - 1e-9);
+        let dt = (now - self.last_update).max(0.0);
+        if dt > 0.0 {
+            // Integrate the damped value's time-weighted mean over [last, now]
+            // analytically: value decays toward `runnable` exponentially.
+            let decay = (-dt / self.tau).exp();
+            let old = self.value;
+            let target = self.runnable;
+            // mean of old*e^(-s/tau) + target*(1-e^(-s/tau)) over s in [0, dt]
+            let mean = target + (old - target) * (self.tau / dt) * (1.0 - decay);
+            self.weighted_sum += mean * dt;
+            self.value = target + (old - target) * decay;
+            self.max_seen = self.max_seen.max(self.value).max(old);
+            self.last_update = now;
+        }
+    }
+
+    /// Current damped load value.
+    pub fn current(&mut self, now: f64) -> f64 {
+        self.integrate(now);
+        self.value
+    }
+
+    /// Time-weighted mean load over the window.
+    pub fn mean(&mut self, now: f64) -> f64 {
+        self.integrate(now);
+        let wall = now - self.window_start;
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        self.weighted_sum / wall
+    }
+
+    /// Maximum damped load seen.
+    pub fn max(&self) -> f64 {
+        self.max_seen
+    }
+
+    /// Reset the reporting window.
+    pub fn reset_window(&mut self, now: f64) {
+        self.integrate(now);
+        self.weighted_sum = 0.0;
+        self.window_start = now;
+        self.max_seen = self.value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_of_fully_busy_machine_is_100() {
+        let mut acc = CpuAccounting::new(4, 0.0);
+        acc.set_busy(0.0, 4.0);
+        assert!((acc.utilization_percent(10.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_half_busy() {
+        let mut acc = CpuAccounting::new(4, 0.0);
+        acc.set_busy(0.0, 2.0);
+        assert!((acc.utilization_percent(10.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_piecewise() {
+        let mut acc = CpuAccounting::new(2, 0.0);
+        acc.set_busy(0.0, 2.0); // 100% for 5 s
+        acc.set_busy(5.0, 0.0); // idle for 5 s
+        assert!((acc.utilization_percent(10.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_clamped_to_pe_count() {
+        let mut acc = CpuAccounting::new(2, 0.0);
+        acc.set_busy(0.0, 99.0);
+        assert!((acc.utilization_percent(1.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_reset() {
+        let mut acc = CpuAccounting::new(1, 0.0);
+        acc.set_busy(0.0, 1.0);
+        acc.reset_window(10.0);
+        acc.set_busy(10.0, 0.0);
+        assert!(acc.utilization_percent(20.0) < 1e-9);
+    }
+
+    #[test]
+    fn load_average_converges_to_runnable() {
+        let mut la = LoadAverage::new(0.0);
+        la.set_runnable(0.0, 8.0);
+        // After 10 time constants the damped value is ~8.
+        assert!((la.current(600.0) - 8.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn load_average_rises_with_tau() {
+        let mut la = LoadAverage::new(0.0);
+        la.set_runnable(0.0, 1.0);
+        // After exactly tau, value = 1 - e^-1 ≈ 0.632.
+        assert!((la.current(60.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_tracks_peak() {
+        let mut la = LoadAverage::new(0.0);
+        la.set_runnable(0.0, 16.0);
+        la.set_runnable(300.0, 0.0);
+        let _ = la.current(600.0);
+        // value reached 16·(1 − e^−5) ≈ 15.89 before decaying
+        assert!(la.max() > 15.8, "max = {}", la.max());
+    }
+
+    #[test]
+    fn mean_of_constant_load_is_that_load_at_steady_state() {
+        let mut la = LoadAverage::with_tau(0.0, 1.0); // fast tau for the test
+        la.set_runnable(0.0, 4.0);
+        let m = la.mean(1000.0);
+        assert!((m - 4.0).abs() < 0.01, "mean = {m}");
+    }
+
+    #[test]
+    fn zero_elapsed_time_is_safe() {
+        let mut la = LoadAverage::new(5.0);
+        la.set_runnable(5.0, 3.0);
+        assert_eq!(la.mean(5.0), 0.0);
+        let mut acc = CpuAccounting::new(2, 5.0);
+        assert_eq!(acc.utilization_percent(5.0), 0.0);
+    }
+}

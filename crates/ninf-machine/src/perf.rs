@@ -1,0 +1,94 @@
+//! Linpack performance-rate curves.
+
+/// Linpack rate `P_calc(n)` in Mflops as a function of matrix order `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinpackModel {
+    /// Hockney's vector-pipeline law `P(n) = r∞ · n / (n½ + n)`: rate
+    /// approaches the asymptotic `r_inf` as vectors get long; `n_half` is
+    /// the order achieving half of it. Fits the Cray J90's libSci curve.
+    Vector {
+        /// Asymptotic rate in Mflops.
+        r_inf: f64,
+        /// Matrix order at which half of `r_inf` is reached.
+        n_half: f64,
+    },
+    /// Cache-based RISC workstation: approximately flat rate across n (the
+    /// paper: "The performance of Local remains relatively constant across n
+    /// for both SPARCs", §3.2).
+    Scalar {
+        /// Sustained rate in Mflops.
+        mflops: f64,
+    },
+}
+
+impl LinpackModel {
+    /// Rate in Mflops at matrix order `n`.
+    pub fn mflops(&self, n: u64) -> f64 {
+        match *self {
+            LinpackModel::Vector { r_inf, n_half } => r_inf * n as f64 / (n_half + n as f64),
+            LinpackModel::Scalar { mflops } => mflops,
+        }
+    }
+
+    /// Seconds of pure computation for one Linpack solve of order `n`
+    /// (`(2/3·n³ + 2n²) / P_calc(n)`, paper §3.1).
+    pub fn solve_seconds(&self, n: u64) -> f64 {
+        let flops = (2.0 * (n as f64).powi(3)) / 3.0 + 2.0 * (n as f64).powi(2);
+        flops / (self.mflops(n) * 1e6)
+    }
+
+    /// Client-observed `Ninf_call` performance in Mflops given a total call
+    /// time `t_total` (computation + communication), per §3.1:
+    /// `P = (2/3·n³ + 2n²) / T`.
+    pub fn ninf_call_mflops(n: u64, t_total: f64) -> f64 {
+        let flops = (2.0 * (n as f64).powi(3)) / 3.0 + 2.0 * (n as f64).powi(2);
+        flops / (t_total * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_model_halves_at_n_half() {
+        let m = LinpackModel::Vector { r_inf: 200.0, n_half: 120.0 };
+        assert!((m.mflops(120) - 100.0).abs() < 1e-9);
+        // Approaches the asymptote from below.
+        assert!(m.mflops(10_000) > 195.0);
+        assert!(m.mflops(10_000) < 200.0);
+    }
+
+    #[test]
+    fn vector_model_is_monotone() {
+        let m = LinpackModel::Vector { r_inf: 700.0, n_half: 260.0 };
+        let mut last = 0.0;
+        for n in (100..2000).step_by(100) {
+            let p = m.mflops(n);
+            assert!(p > last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn scalar_model_is_flat() {
+        let m = LinpackModel::Scalar { mflops: 35.0 };
+        assert_eq!(m.mflops(100), 35.0);
+        assert_eq!(m.mflops(1600), 35.0);
+    }
+
+    #[test]
+    fn solve_seconds_inverts_rate() {
+        let m = LinpackModel::Scalar { mflops: 100.0 };
+        let n = 600u64;
+        let t = m.solve_seconds(n);
+        assert!((LinpackModel::ninf_call_mflops(n, t) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_problems_take_longer() {
+        let m = LinpackModel::Vector { r_inf: 700.0, n_half: 260.0 };
+        assert!(m.solve_seconds(1400) > m.solve_seconds(1000));
+        assert!(m.solve_seconds(1000) > m.solve_seconds(600));
+    }
+}

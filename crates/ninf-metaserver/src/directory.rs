@@ -1,0 +1,113 @@
+//! The server directory: registration and monitoring.
+
+use ninf_client::NinfClient;
+use ninf_protocol::{LoadReport, ProtocolResult};
+
+use crate::balance::ServerState;
+
+/// One registered computational server.
+#[derive(Debug, Clone)]
+pub struct ServerEntry {
+    /// Human-readable name ("J90@ETL").
+    pub name: String,
+    /// TCP address ("host:port").
+    pub addr: String,
+    /// Configured/measured bandwidth estimate in bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Calibrated Linpack rate in Mflops.
+    pub linpack_mflops: f64,
+}
+
+/// The metaserver's view of the server fleet.
+#[derive(Debug, Default, Clone)]
+pub struct Directory {
+    entries: Vec<ServerEntry>,
+}
+
+impl Directory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a server; returns its index.
+    pub fn register(&mut self, entry: ServerEntry) -> usize {
+        self.entries.push(entry);
+        self.entries.len() - 1
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[ServerEntry] {
+        &self.entries
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Probe every server's load over the wire; unreachable servers report
+    /// an all-zero load with zero PEs (they will never win selection).
+    pub fn probe_all(&self) -> Vec<ServerState> {
+        self.entries
+            .iter()
+            .map(|e| {
+                let load = probe(&e.addr).unwrap_or(LoadReport {
+                    pes: 0,
+                    running: u32::MAX / 2,
+                    queued: 0,
+                    load_average: f64::INFINITY,
+                    cpu_utilization: 100.0,
+                });
+                ServerState {
+                    load,
+                    bandwidth_bytes_per_sec: e.bandwidth_bytes_per_sec,
+                    linpack_mflops: e.linpack_mflops,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One load probe over a fresh connection.
+pub fn probe(addr: &str) -> ProtocolResult<LoadReport> {
+    NinfClient::connect(addr)?.query_load()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str) -> ServerEntry {
+        ServerEntry {
+            name: name.into(),
+            addr: "127.0.0.1:1".into(),
+            bandwidth_bytes_per_sec: 2.5e6,
+            linpack_mflops: 600.0,
+        }
+    }
+
+    #[test]
+    fn register_and_list() {
+        let mut d = Directory::new();
+        assert!(d.is_empty());
+        d.register(entry("a"));
+        d.register(entry("b"));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.entries()[1].name, "b");
+    }
+
+    #[test]
+    fn probe_of_dead_server_yields_infinite_load() {
+        let mut d = Directory::new();
+        d.register(entry("dead"));
+        let states = d.probe_all();
+        assert_eq!(states.len(), 1);
+        assert!(states[0].load.load_average.is_infinite());
+    }
+}

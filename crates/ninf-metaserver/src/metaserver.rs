@@ -1,0 +1,335 @@
+//! The metaserver proper: transaction execution over the server fleet.
+
+use std::sync::Mutex;
+
+use ninf_client::{call_async, AsyncCall, PlannedCall, Transaction, TxArg};
+use ninf_protocol::{ProtocolError, ProtocolResult, Value};
+
+use crate::balance::{Balancing, CallEstimate};
+use crate::directory::Directory;
+
+/// The metaserver: a directory plus a balancing policy.
+pub struct Metaserver {
+    directory: Directory,
+    balancing: Balancing,
+    rr_cursor: Mutex<usize>,
+}
+
+impl Metaserver {
+    /// Create over a directory.
+    pub fn new(directory: Directory, balancing: Balancing) -> Self {
+        Self { directory, balancing, rr_cursor: Mutex::new(0) }
+    }
+
+    /// The directory.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Pick a server for a call with the given cost estimate, probing the
+    /// fleet's current loads.
+    pub fn choose_server(&self, est: CallEstimate) -> usize {
+        let states = self.directory.probe_all();
+        let mut rr = self.rr_cursor.lock().expect("rr lock");
+        self.balancing.choose(&states, est, &mut rr)
+    }
+
+    /// Route one `Ninf_call` through the metaserver (the client "need not be
+    /// aware … of the physical location of computing servers", §2.4).
+    pub fn ninf_call(&self, routine: &str, args: &[Value]) -> ProtocolResult<Vec<Value>> {
+        let bytes: f64 = args.iter().map(|v| v.wire_bytes() as f64).sum();
+        let idx = self.choose_server(CallEstimate { bytes, flops: bytes * 100.0 });
+        let addr = self.directory.entries()[idx].addr.clone();
+        call_async(addr, routine.to_owned(), args.to_vec()).wait()
+    }
+
+    /// Execute a recorded transaction: topologically layer the dependency
+    /// DAG, fan each layer out task-parallel across the fleet, and collect
+    /// slot values.
+    ///
+    /// Returns the final contents of every slot (`None` if nothing wrote it).
+    pub fn execute_transaction(&self, tx: &Transaction) -> ProtocolResult<Vec<Option<Value>>> {
+        let levels = tx
+            .dependency_levels()
+            .map_err(|i| ProtocolError::Remote(format!("call #{i} reads an unwritten slot")))?;
+        let mut slots: Vec<Option<Value>> = vec![None; tx.slot_count()];
+
+        for level in levels {
+            // Launch every call in this level concurrently, each on its own
+            // connection (this is exactly the §4.3.1 EP fan-out).
+            let mut in_flight: Vec<(usize, AsyncCall)> = Vec::with_capacity(level.len());
+            for &call_idx in &level {
+                let call = &tx.calls()[call_idx];
+                let args = resolve_args(call, &slots)?;
+                let bytes: f64 = args.iter().map(|v| v.wire_bytes() as f64).sum();
+                let sidx = self.choose_server(CallEstimate { bytes, flops: bytes * 100.0 });
+                let addr = self.directory.entries()[sidx].addr.clone();
+                in_flight.push((call_idx, call_async(addr, call.routine.clone(), args)));
+            }
+            for (call_idx, pending) in in_flight {
+                let results = pending.wait()?;
+                let call = &tx.calls()[call_idx];
+                if results.len() < call.outputs.iter().filter(|o| o.is_some()).count() {
+                    return Err(ProtocolError::Remote(format!(
+                        "call #{call_idx} returned {} values, transaction binds more",
+                        results.len()
+                    )));
+                }
+                for (out, value) in call.outputs.iter().zip(results) {
+                    if let Some(slot) = out {
+                        slots[slot.0] = Some(value);
+                    }
+                }
+            }
+        }
+        Ok(slots)
+    }
+}
+
+impl Metaserver {
+    /// Fault-tolerant variant of [`Metaserver::execute_transaction`] (§2.4:
+    /// the metaserver "controls the parallel, fault-tolerant execution of
+    /// multiple sequence of Ninf_calls"): a call that fails on one server is
+    /// retried on the next server (round-robin from the failed one), up to
+    /// one attempt per registered server.
+    pub fn execute_transaction_ft(&self, tx: &Transaction) -> ProtocolResult<Vec<Option<Value>>> {
+        let levels = tx
+            .dependency_levels()
+            .map_err(|i| ProtocolError::Remote(format!("call #{i} reads an unwritten slot")))?;
+        let n_servers = self.directory.len();
+        let mut slots: Vec<Option<Value>> = vec![None; tx.slot_count()];
+
+        for level in levels {
+            let mut in_flight: Vec<(usize, usize, AsyncCall)> = Vec::with_capacity(level.len());
+            for &call_idx in &level {
+                let call = &tx.calls()[call_idx];
+                let args = resolve_args(call, &slots)?;
+                let bytes: f64 = args.iter().map(|v| v.wire_bytes() as f64).sum();
+                let sidx = self.choose_server(CallEstimate { bytes, flops: bytes * 100.0 });
+                let addr = self.directory.entries()[sidx].addr.clone();
+                in_flight.push((call_idx, sidx, call_async(addr, call.routine.clone(), args)));
+            }
+            for (call_idx, first_server, pending) in in_flight {
+                let call = &tx.calls()[call_idx];
+                let mut outcome = pending.wait();
+                let mut attempt = 1;
+                while outcome.is_err() && attempt < n_servers {
+                    // Retry on the next server over; arguments are re-resolved
+                    // (slots from earlier levels are still intact).
+                    let sidx = (first_server + attempt) % n_servers;
+                    let addr = self.directory.entries()[sidx].addr.clone();
+                    let args = resolve_args(call, &slots)?;
+                    outcome = call_async(addr, call.routine.clone(), args).wait();
+                    attempt += 1;
+                }
+                let results = outcome.map_err(|e| {
+                    ProtocolError::Remote(format!(
+                        "call #{call_idx} ({}) failed on all {n_servers} servers: {e}",
+                        call.routine
+                    ))
+                })?;
+                for (out, value) in call.outputs.iter().zip(results) {
+                    if let Some(slot) = out {
+                        slots[slot.0] = Some(value);
+                    }
+                }
+            }
+        }
+        Ok(slots)
+    }
+}
+
+fn resolve_args(call: &PlannedCall, slots: &[Option<Value>]) -> ProtocolResult<Vec<Value>> {
+    call.args
+        .iter()
+        .map(|a| match a {
+            TxArg::Value(v) => Ok(v.clone()),
+            TxArg::Ref(slot) => slots
+                .get(slot.0)
+                .and_then(|s| s.clone())
+                .ok_or_else(|| ProtocolError::Remote(format!("slot {} is empty", slot.0))),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::ServerEntry;
+    use ninf_client::Transaction;
+    use ninf_server::{builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig};
+
+    fn spawn_fleet(n: usize) -> (Vec<NinfServer>, Directory) {
+        let mut dir = Directory::new();
+        let mut servers = Vec::new();
+        for i in 0..n {
+            let mut registry = Registry::new();
+            register_stdlib(&mut registry, false);
+            let server = NinfServer::start(
+                "127.0.0.1:0",
+                registry,
+                ServerConfig { pes: 2, mode: ExecMode::TaskParallel, policy: SchedPolicy::Fcfs },
+            )
+            .unwrap();
+            dir.register(ServerEntry {
+                name: format!("node{i}"),
+                addr: server.addr().to_string(),
+                bandwidth_bytes_per_sec: 10e6,
+                linpack_mflops: 100.0,
+            });
+            servers.push(server);
+        }
+        (servers, dir)
+    }
+
+    #[test]
+    fn routes_single_call() {
+        let (servers, dir) = spawn_fleet(2);
+        let meta = Metaserver::new(dir, Balancing::RoundRobin);
+        let out = meta.ninf_call("ep", &[Value::Int(8)]).unwrap();
+        assert_eq!(out.len(), 2); // sums + counts
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn ep_transaction_fans_out_round_robin() {
+        let (servers, dir) = spawn_fleet(3);
+        let meta = Metaserver::new(dir, Balancing::RoundRobin);
+        let mut tx = Transaction::new();
+        let mut out_slots = Vec::new();
+        for _ in 0..6 {
+            let sums = tx.slot();
+            let counts = tx.slot();
+            tx.call("ep", vec![TxArg::Value(Value::Int(10))], vec![Some(sums), Some(counts)]);
+            out_slots.push((sums, counts));
+        }
+        let slots = meta.execute_transaction(&tx).unwrap();
+        for (sums, counts) in out_slots {
+            assert!(slots[sums.0].is_some());
+            let Some(Value::DoubleArray(c)) = &slots[counts.0] else { panic!() };
+            assert_eq!(c.len(), 10);
+        }
+        // Round-robin over 3 servers × 6 calls: every server saw exactly 2.
+        let counts: Vec<usize> = servers.iter().map(|s| s.stats().completed()).collect();
+        assert_eq!(counts, vec![2, 2, 2]);
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn dependent_calls_flow_through_slots() {
+        let (servers, dir) = spawn_fleet(2);
+        let meta = Metaserver::new(dir, Balancing::RoundRobin);
+        let n = 8usize;
+        let (a, b) = ninf_exec::matgen(n);
+
+        let mut tx = Transaction::new();
+        let lu = tx.slot();
+        let piv = tx.slot();
+        let info = tx.slot();
+        tx.call(
+            "dgefa",
+            vec![
+                TxArg::Value(Value::Int(n as i32)),
+                TxArg::Value(Value::DoubleArray(a.as_slice().to_vec())),
+            ],
+            vec![Some(lu), Some(piv), Some(info)],
+        );
+        let x = tx.slot();
+        tx.call(
+            "dgesl",
+            vec![
+                TxArg::Value(Value::Int(n as i32)),
+                TxArg::Ref(lu),
+                TxArg::Ref(piv),
+                TxArg::Value(Value::DoubleArray(b)),
+            ],
+            vec![Some(x)],
+        );
+        let slots = meta.execute_transaction(&tx).unwrap();
+        let Some(Value::DoubleArray(solution)) = &slots[x.0] else { panic!("no solution") };
+        for xi in solution {
+            assert!((xi - 1.0).abs() < 1e-8);
+        }
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn unwritten_slot_read_is_reported() {
+        let (servers, dir) = spawn_fleet(1);
+        let meta = Metaserver::new(dir, Balancing::RoundRobin);
+        let mut tx = Transaction::new();
+        let ghost = tx.slot();
+        tx.call("ep", vec![TxArg::Ref(ghost)], vec![None, None]);
+        assert!(meta.execute_transaction(&tx).is_err());
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn ft_execution_survives_a_dead_server() {
+        let (mut servers, mut dir) = spawn_fleet(2);
+        // Register a dead address as a third "server" that every third call
+        // round-robins onto.
+        dir.register(ServerEntry {
+            name: "dead".into(),
+            addr: "127.0.0.1:1".into(), // nothing listens here
+            bandwidth_bytes_per_sec: 10e6,
+            linpack_mflops: 100.0,
+        });
+        let meta = Metaserver::new(dir, Balancing::RoundRobin);
+        let mut tx = Transaction::new();
+        let mut outs = Vec::new();
+        for _ in 0..6 {
+            let sums = tx.slot();
+            let counts = tx.slot();
+            tx.call("ep", vec![TxArg::Value(Value::Int(10))], vec![Some(sums), Some(counts)]);
+            outs.push(sums);
+        }
+        // Plain execution fails (some calls land on the dead server)...
+        assert!(meta.execute_transaction(&tx).is_err());
+        // ...fault-tolerant execution retries them elsewhere and succeeds.
+        let slots = meta.execute_transaction_ft(&tx).unwrap();
+        for s in outs {
+            assert!(slots[s.0].is_some());
+        }
+        for s in servers.drain(..) {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn ft_execution_fails_when_all_servers_dead() {
+        let mut dir = Directory::new();
+        for i in 0..2 {
+            dir.register(ServerEntry {
+                name: format!("dead{i}"),
+                addr: "127.0.0.1:1".into(),
+                bandwidth_bytes_per_sec: 1e6,
+                linpack_mflops: 1.0,
+            });
+        }
+        let meta = Metaserver::new(dir, Balancing::RoundRobin);
+        let mut tx = Transaction::new();
+        tx.call("ep", vec![TxArg::Value(Value::Int(8))], vec![None, None]);
+        assert!(meta.execute_transaction_ft(&tx).is_err());
+    }
+
+    #[test]
+    fn load_based_prefers_idle_server() {
+        // Two servers; the chooser must pick one with lower runnable count.
+        let (servers, dir) = spawn_fleet(2);
+        let meta = Metaserver::new(dir, Balancing::LoadBased);
+        let idx = meta.choose_server(CallEstimate { bytes: 1e3, flops: 1e6 });
+        assert!(idx < 2);
+        for s in servers {
+            s.shutdown();
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Generic discrete-event engine.
+//!
+//! The engine is deliberately small: a priority queue of `(time, seq, event)`
+//! entries with a virtual clock. The *driver* (in `ninf-sim`) owns all state
+//! and interprets events; the engine only guarantees deterministic total
+//! order — events at equal times fire in scheduling order, so a simulation is
+//! a pure function of its inputs and seed.
+
+use std::collections::BinaryHeap;
+use std::cmp::Ordering;
+
+/// An event scheduled at a virtual time.
+#[derive(Debug, Clone)]
+pub struct EventEntry<E> {
+    /// Virtual time (seconds) at which the event fires.
+    pub time: f64,
+    /// Scheduling sequence number — the deterministic tie-break.
+    pub seq: u64,
+    /// Driver-defined payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for EventEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for EventEntry<E> {}
+
+impl<E> PartialOrd for EventEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for EventEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order so BinaryHeap pops the *earliest* entry. NaN times
+        // are rejected at scheduling, so total_cmp here is safe and total.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Discrete-event engine over payload type `E`.
+#[derive(Debug)]
+pub struct Engine<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    now: f64,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Empty engine at time zero.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), now: 0.0, next_seq: 0, processed: 0 }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is NaN or earlier than the current time (causality).
+    pub fn schedule(&mut self, at: f64, event: E) {
+        assert!(!at.is_nan(), "cannot schedule at NaN");
+        assert!(at >= self.now, "causality violation: scheduling at {at} < now {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(EventEntry { time: at, seq, event });
+    }
+
+    /// Schedule `event` `delay` seconds from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        self.schedule(self.now + delay.max(0.0), event);
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.processed += 1;
+        Some(entry)
+    }
+
+    /// Advance the clock without popping (used when an external source — the
+    /// fluid network — produces the next event instead of the heap).
+    ///
+    /// # Panics
+    /// Panics if `to` would move time backwards past the next pending event's
+    /// ordering guarantee (i.e. `to` must not exceed [`Engine::peek_time`]).
+    pub fn advance_to(&mut self, to: f64) {
+        assert!(to >= self.now, "cannot move time backwards");
+        if let Some(next) = self.peek_time() {
+            assert!(
+                to <= next + 1e-12,
+                "advancing past pending event at {next} (to {to}) would reorder events"
+            );
+        }
+        self.now = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut eng = Engine::new();
+        eng.schedule(3.0, "c");
+        eng.schedule(1.0, "a");
+        eng.schedule(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| eng.pop().map(|e| e.event)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut eng = Engine::new();
+        eng.schedule(1.0, "first");
+        eng.schedule(1.0, "second");
+        eng.schedule(1.0, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| eng.pop().map(|e| e.event)).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut eng = Engine::new();
+        eng.schedule(5.0, ());
+        assert_eq!(eng.now(), 0.0);
+        eng.pop();
+        assert_eq!(eng.now(), 5.0);
+        assert_eq!(eng.processed(), 1);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut eng = Engine::new();
+        eng.schedule(2.0, "x");
+        eng.pop();
+        eng.schedule_in(3.0, "y");
+        assert_eq!(eng.peek_time(), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "causality")]
+    fn scheduling_in_the_past_panics() {
+        let mut eng = Engine::new();
+        eng.schedule(2.0, ());
+        eng.pop();
+        eng.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_panics() {
+        let mut eng: Engine<()> = Engine::new();
+        eng.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn advance_to_between_events() {
+        let mut eng = Engine::new();
+        eng.schedule(10.0, ());
+        eng.advance_to(7.5);
+        assert_eq!(eng.now(), 7.5);
+        let e = eng.pop().unwrap();
+        assert_eq!(e.time, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder")]
+    fn advance_past_pending_event_panics() {
+        let mut eng = Engine::new();
+        eng.schedule(1.0, ());
+        eng.advance_to(2.0);
+    }
+
+    #[test]
+    fn negative_delay_clamps_to_now() {
+        let mut eng = Engine::new();
+        eng.schedule(1.0, "a");
+        eng.pop();
+        eng.schedule_in(-5.0, "b");
+        assert_eq!(eng.peek_time(), Some(1.0));
+    }
+}

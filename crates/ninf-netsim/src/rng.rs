@@ -1,0 +1,108 @@
+//! Deterministic pseudo-random numbers for simulation processes.
+//!
+//! Simulations must be exactly reproducible from a seed (DESIGN.md §6), so we
+//! use a self-contained SplitMix64 rather than OS entropy. SplitMix64 passes
+//! BigCrush, is trivially seedable, and every draw is a pure function of the
+//! previous state.
+
+/// SplitMix64 generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create from a seed. Distinct seeds give independent-looking streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform deviate in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> [0, 1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform integer in `[0, n)` (n > 0).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiplicative range reduction; bias is negligible for sim purposes.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Derive an independent child generator (for per-client streams).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let u = g.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_roughly_p() {
+        let mut g = SplitMix64::new(11);
+        let hits = (0..100_000).filter(|_| g.bernoulli(0.5)).count();
+        assert!((hits as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut g = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(g.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_distinct() {
+        let mut root = SplitMix64::new(99);
+        let mut a = root.fork();
+        let mut b = root.fork();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,245 @@
+//! Network topology: nodes, directed links, and static shortest-path routes.
+//!
+//! Links are *directed* (a duplex cable is two links), because Ninf traffic
+//! is asymmetric: a Linpack request ships `8n² + 8n` bytes toward the server
+//! and `12n + 4` bytes back, and the two directions must not contend in a
+//! full-duplex network.
+
+use std::collections::VecDeque;
+
+/// Index of a node in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Index of a directed link in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// A directed link with a capacity (bytes/second) and one-way latency
+/// (seconds).
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Capacity in bytes per second.
+    pub capacity: f64,
+    /// One-way propagation latency in seconds.
+    pub latency: f64,
+}
+
+/// A static node/link graph with precomputed hop-count shortest routes.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    names: Vec<String>,
+    links: Vec<Link>,
+    /// Adjacency: outgoing link ids per node.
+    adjacency: Vec<Vec<LinkId>>,
+    /// routes[src][dst] = link sequence, empty for src == dst, None if
+    /// unreachable. Built by [`Topology::compute_routes`].
+    routes: Vec<Vec<Option<Vec<LinkId>>>>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node with a human-readable name; returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        self.names.push(name.into());
+        self.adjacency.push(Vec::new());
+        NodeId(self.names.len() - 1)
+    }
+
+    /// Add a directed link; returns its id.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, capacity: f64, latency: f64) -> LinkId {
+        assert!(capacity > 0.0, "link capacity must be positive");
+        assert!(latency >= 0.0, "latency must be non-negative");
+        let id = LinkId(self.links.len());
+        self.links.push(Link { from, to, capacity, latency });
+        self.adjacency[from.0].push(id);
+        id
+    }
+
+    /// Add a full-duplex link (two directed links with identical parameters);
+    /// returns `(forward, reverse)`.
+    pub fn add_duplex_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity: f64,
+        latency: f64,
+    ) -> (LinkId, LinkId) {
+        (self.add_link(a, b, capacity, latency), self.add_link(b, a, capacity, latency))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node name.
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.names[n.0]
+    }
+
+    /// Link metadata.
+    pub fn link(&self, l: LinkId) -> &Link {
+        &self.links[l.0]
+    }
+
+    /// Recompute all-pairs shortest routes (BFS per source; hop-count
+    /// metric). Must be called after the last link is added and before
+    /// [`Topology::route`].
+    pub fn compute_routes(&mut self) {
+        let n = self.node_count();
+        let mut routes = vec![vec![None; n]; n];
+        for src in 0..n {
+            // BFS from src recording the incoming link of each reached node.
+            let mut incoming: Vec<Option<LinkId>> = vec![None; n];
+            let mut visited = vec![false; n];
+            visited[src] = true;
+            let mut queue = VecDeque::from([src]);
+            while let Some(u) = queue.pop_front() {
+                for &lid in &self.adjacency[u] {
+                    let v = self.links[lid.0].to.0;
+                    if !visited[v] {
+                        visited[v] = true;
+                        incoming[v] = Some(lid);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for dst in 0..n {
+                if dst == src {
+                    routes[src][dst] = Some(Vec::new());
+                    continue;
+                }
+                if !visited[dst] {
+                    continue; // unreachable: leave None
+                }
+                let mut path = Vec::new();
+                let mut cur = dst;
+                while cur != src {
+                    let lid = incoming[cur].expect("visited node has incoming link");
+                    path.push(lid);
+                    cur = self.links[lid.0].from.0;
+                }
+                path.reverse();
+                routes[src][dst] = Some(path);
+            }
+        }
+        self.routes = routes;
+    }
+
+    /// The precomputed route from `src` to `dst`, or `None` if unreachable.
+    ///
+    /// # Panics
+    /// Panics if [`Topology::compute_routes`] has not been called.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<&[LinkId]> {
+        assert!(!self.routes.is_empty(), "call compute_routes() first");
+        self.routes[src.0][dst.0].as_deref()
+    }
+
+    /// Total one-way latency along the route from `src` to `dst`.
+    pub fn path_latency(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        Some(self.route(src, dst)?.iter().map(|&l| self.link(l).latency).sum())
+    }
+
+    /// The minimum capacity along the route (the path's raw bandwidth bound).
+    pub fn path_capacity(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        self.route(src, dst)?
+            .iter()
+            .map(|&l| self.link(l).capacity)
+            .fold(None, |acc: Option<f64>, c| Some(acc.map_or(c, |a| a.min(c))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        t.add_duplex_link(a, b, 10.0, 0.001);
+        t.add_duplex_link(b, c, 5.0, 0.002);
+        t.compute_routes();
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn routes_follow_hops() {
+        let (t, a, _b, c) = line3();
+        let r = t.route(a, c).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(t.link(r[0]).from, a);
+        assert_eq!(t.link(r[1]).to, c);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let (t, a, _, _) = line3();
+        assert_eq!(t.route(a, a).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn latency_and_capacity_along_path() {
+        let (t, a, _, c) = line3();
+        assert!((t.path_latency(a, c).unwrap() - 0.003).abs() < 1e-12);
+        assert_eq!(t.path_capacity(a, c).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        t.add_link(a, b, 1.0, 0.0); // one-way only; nothing touches c
+        t.compute_routes();
+        assert!(t.route(b, a).is_none());
+        assert!(t.route(a, c).is_none());
+    }
+
+    #[test]
+    fn duplex_directions_are_distinct_links() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let (f, r) = t.add_duplex_link(a, b, 3.0, 0.0);
+        assert_ne!(f, r);
+        t.compute_routes();
+        assert_eq!(t.route(a, b).unwrap(), &[f]);
+        assert_eq!(t.route(b, a).unwrap(), &[r]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_link(a, b, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "compute_routes")]
+    fn route_before_compute_panics() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_link(a, b, 1.0, 0.0);
+        let _ = t.route(a, b);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests on the discrete-event engine's ordering guarantees.
+
+use ninf_netsim::Engine;
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in nondecreasing time order regardless of insertion order.
+    #[test]
+    fn pops_are_time_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut eng = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            eng.schedule(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some(e) = eng.pop() {
+            prop_assert!(e.time >= last);
+            prop_assert!((eng.now() - e.time).abs() < 1e-12);
+            last = e.time;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Equal-time events preserve scheduling order (FIFO tie-break).
+    #[test]
+    fn ties_are_fifo(n in 1usize..100, t in 0.0f64..100.0) {
+        let mut eng = Engine::new();
+        for i in 0..n {
+            eng.schedule(t, i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| eng.pop().map(|e| e.event)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Interleaving schedules with pops never violates causality.
+    #[test]
+    fn interleaved_schedule_pop(seeds in proptest::collection::vec((0.0f64..10.0, any::<bool>()), 1..100)) {
+        let mut eng = Engine::new();
+        let mut last = 0.0f64;
+        for (delay, pop_first) in seeds {
+            if pop_first {
+                if let Some(e) = eng.pop() {
+                    prop_assert!(e.time >= last);
+                    last = e.time;
+                }
+            }
+            // schedule_in clamps to now, so this can never violate causality
+            eng.schedule_in(delay, ());
+        }
+        while let Some(e) = eng.pop() {
+            prop_assert!(e.time >= last);
+            last = e.time;
+        }
+        prop_assert_eq!(eng.pending(), 0);
+    }
+
+    /// processed() counts exactly the pops.
+    #[test]
+    fn processed_counter(n in 0usize..50) {
+        let mut eng = Engine::new();
+        for i in 0..n {
+            eng.schedule(i as f64, ());
+        }
+        let mut pops = 0;
+        while eng.pop().is_some() {
+            pops += 1;
+        }
+        prop_assert_eq!(pops, n);
+        prop_assert_eq!(eng.processed(), n as u64);
+    }
+}

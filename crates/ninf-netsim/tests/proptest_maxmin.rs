@@ -1,0 +1,129 @@
+//! Property tests for the max-min fair allocator: on random topologies and
+//! flow sets, the computed rates must satisfy the defining invariants of
+//! max-min fairness.
+
+use ninf_netsim::{FlowSpec, FluidNet, NodeId, Topology};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n_clients: usize,
+    server_cap: f64,
+    access_cap: f64,
+    flows: Vec<(usize, f64)>, // (client index, cap); f64::INFINITY encoded as 0.0
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..8, 1.0f64..50.0, 1.0f64..50.0)
+        .prop_flat_map(|(n_clients, server_cap, access_cap)| {
+            proptest::collection::vec((0..n_clients, prop_oneof![Just(0.0), 0.5f64..20.0]), 1..12)
+                .prop_map(move |flows| Scenario { n_clients, server_cap, access_cap, flows })
+        })
+}
+
+fn build(scenario: &Scenario) -> (FluidNet, Vec<ninf_netsim::FlowId>) {
+    let mut t = Topology::new();
+    let clients: Vec<NodeId> =
+        (0..scenario.n_clients).map(|i| t.add_node(format!("c{i}"))).collect();
+    let sw = t.add_node("switch");
+    let srv = t.add_node("server");
+    for &c in &clients {
+        t.add_duplex_link(c, sw, scenario.access_cap, 0.0);
+    }
+    t.add_duplex_link(sw, srv, scenario.server_cap, 0.0);
+    t.compute_routes();
+    let mut net = FluidNet::new(t);
+    let ids = scenario
+        .flows
+        .iter()
+        .map(|&(ci, cap)| {
+            let cap = if cap == 0.0 { f64::INFINITY } else { cap };
+            net.start_flow(FlowSpec { src: clients[ci], dst: srv, bytes: 1e6, cap }, 0.0)
+        })
+        .collect();
+    (net, ids)
+}
+
+proptest! {
+    /// Invariant 1: no link carries more than its capacity.
+    /// Invariant 2: no flow exceeds its cap.
+    /// Invariant 3 (work conservation / max-min): every flow is either at its
+    /// cap or crosses a saturated link on which it has a maximal rate.
+    #[test]
+    fn maxmin_invariants(scenario in arb_scenario()) {
+        let (net, ids) = build(&scenario);
+        let loads = net.link_loads();
+        let topo = net.topology();
+        let tol = 1e-6;
+
+        for (i, &load) in loads.iter().enumerate() {
+            let cap = topo.link(ninf_netsim::LinkId(i)).capacity;
+            prop_assert!(load <= cap + tol * cap.max(1.0), "link {i}: load {load} > cap {cap}");
+        }
+
+        let rates: Vec<f64> = ids.iter().map(|&id| net.rate(id)).collect();
+        for (k, &id) in ids.iter().enumerate() {
+            let rate = rates[k];
+            prop_assert!(rate > 0.0, "flow {k} starved");
+            let cap = if scenario.flows[k].1 == 0.0 { f64::INFINITY } else { scenario.flows[k].1 };
+            prop_assert!(rate <= cap + tol * cap.clamp(1.0, 1e12), "flow {k}: {rate} > cap {cap}");
+
+            let at_cap = cap.is_finite() && (rate - cap).abs() <= tol * cap.max(1.0);
+            if !at_cap {
+                // Must cross a saturated link where it is among the fastest.
+                let client = scenario.flows[k].0;
+                // Shares the server uplink and its own access uplink.
+                let mut found_bottleneck = false;
+                for (i, &load) in loads.iter().enumerate() {
+                    let link = topo.link(ninf_netsim::LinkId(i));
+                    let saturated = load >= link.capacity - tol * link.capacity.max(1.0);
+                    if !saturated {
+                        continue;
+                    }
+                    // Does flow k cross link i? (client access uplink or server uplink)
+                    let crosses = flow_crosses(&net, id, ninf_netsim::LinkId(i));
+                    if crosses {
+                        // Is it maximal among flows on this link?
+                        let max_on_link = ids
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &o)| flow_crosses(&net, o, ninf_netsim::LinkId(i)))
+                            .map(|(j, _)| rates[j])
+                            .fold(0.0f64, f64::max);
+                        if rate >= max_on_link - tol * max_on_link.max(1.0) {
+                            found_bottleneck = true;
+                            break;
+                        }
+                    }
+                }
+                prop_assert!(found_bottleneck, "flow {k} (client {client}) below cap with no bottleneck");
+            }
+        }
+    }
+
+    /// Conservation: advancing time drains exactly rate × dt from each flow
+    /// and the delivered-bytes counter matches.
+    #[test]
+    fn draining_conserves_bytes(scenario in arb_scenario(), dt in 0.001f64..0.5) {
+        let (mut net, ids) = build(&scenario);
+        let before: Vec<f64> = ids.iter().map(|&id| net.remaining(id)).collect();
+        let rates: Vec<f64> = ids.iter().map(|&id| net.rate(id)).collect();
+        // Don't run past the earliest completion.
+        let horizon = net.next_completion().map(|(t, _)| t).unwrap_or(f64::INFINITY);
+        let to = (net.now() + dt).min(horizon);
+        net.advance_to(to);
+        let elapsed = to - 0.0;
+        let mut total_drained = 0.0;
+        for (k, &id) in ids.iter().enumerate() {
+            let drained = before[k] - net.remaining(id);
+            prop_assert!((drained - rates[k] * elapsed).abs() < 1e-6 * before[k].max(1.0));
+            total_drained += drained;
+        }
+        prop_assert!((net.bytes_delivered() - total_drained).abs() < 1e-6 * total_drained.max(1.0));
+    }
+}
+
+/// Whether `flow` routes over `link`.
+fn flow_crosses(net: &FluidNet, flow: ninf_netsim::FlowId, link: ninf_netsim::LinkId) -> bool {
+    net.path(flow).contains(&link)
+}

@@ -1,0 +1,76 @@
+//! Protocol error type.
+
+use std::fmt;
+
+/// Errors from framing, message codecs, or transports.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// XDR-level decode failure.
+    Xdr(ninf_xdr::XdrError),
+    /// Compiled-IDL decode failure.
+    Idl(ninf_idl::IdlError),
+    /// Frame-level violation (bad magic, bad version, oversized frame).
+    Frame(String),
+    /// Unknown or out-of-order message for the current protocol state.
+    UnexpectedMessage {
+        /// What the caller was waiting for.
+        expected: &'static str,
+        /// What arrived instead.
+        got: String,
+    },
+    /// The remote side reported an error (e.g. unknown routine, singular
+    /// matrix, argument mismatch).
+    Remote(String),
+    /// The in-process channel peer disappeared.
+    Disconnected,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "I/O error: {e}"),
+            ProtocolError::Xdr(e) => write!(f, "XDR error: {e}"),
+            ProtocolError::Idl(e) => write!(f, "IDL error: {e}"),
+            ProtocolError::Frame(m) => write!(f, "frame error: {m}"),
+            ProtocolError::UnexpectedMessage { expected, got } => {
+                write!(f, "protocol violation: expected {expected}, got {got}")
+            }
+            ProtocolError::Remote(m) => write!(f, "remote error: {m}"),
+            ProtocolError::Disconnected => write!(f, "peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            ProtocolError::Xdr(e) => Some(e),
+            ProtocolError::Idl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+impl From<ninf_xdr::XdrError> for ProtocolError {
+    fn from(e: ninf_xdr::XdrError) -> Self {
+        ProtocolError::Xdr(e)
+    }
+}
+
+impl From<ninf_idl::IdlError> for ProtocolError {
+    fn from(e: ninf_idl::IdlError) -> Self {
+        ProtocolError::Idl(e)
+    }
+}
+
+/// Convenience alias.
+pub type ProtocolResult<T> = Result<T, ProtocolError>;

@@ -1,0 +1,129 @@
+//! Binary framing: every message travels as
+//! `magic (4) | version (4) | payload length (4) | payload (XDR)`.
+
+use std::io::{Read, Write};
+
+use crate::error::{ProtocolError, ProtocolResult};
+use crate::message::Message;
+
+/// Frame magic: ASCII "NINF".
+pub const FRAME_MAGIC: u32 = 0x4E49_4E46;
+
+/// Protocol version this implementation speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a sane frame (a 4096×4096 double matrix plus headers).
+pub const MAX_FRAME_BYTES: u32 = 256 * 1024 * 1024;
+
+/// Write one framed message.
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> ProtocolResult<()> {
+    let payload = msg.encode();
+    let len = payload.len() as u32;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Frame(format!("frame too large: {len} bytes")));
+    }
+    let mut header = [0u8; 12];
+    header[0..4].copy_from_slice(&FRAME_MAGIC.to_be_bytes());
+    header[4..8].copy_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+    header[8..12].copy_from_slice(&len.to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one framed message (blocking).
+pub fn read_frame<R: Read>(r: &mut R) -> ProtocolResult<Message> {
+    let mut header = [0u8; 12];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(ProtocolError::Frame(format!("bad magic {magic:#010x}")));
+    }
+    let version = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != PROTOCOL_VERSION {
+        return Err(ProtocolError::Frame(format!("unsupported version {version}")));
+    }
+    let len = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Frame(format!("oversized frame: {len} bytes")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Message::decode(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn frame_roundtrip() {
+        let msg = Message::Invoke {
+            routine: "ep".into(),
+            args: vec![Value::Int(24)],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let back = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let msgs = vec![
+            Message::QueryInterface { routine: "linpack".into() },
+            Message::QueryLoad,
+            Message::Error { reason: "nope".into() },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut reader = buf.as_slice();
+        for m in &msgs {
+            assert_eq!(&read_frame(&mut reader).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::QueryLoad).unwrap();
+        buf[0] = 0xff;
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(ProtocolError::Frame(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::QueryLoad).unwrap();
+        buf[7] = 99;
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(ProtocolError::Frame(_))));
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::QueryLoad).unwrap();
+        buf[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(ProtocolError::Frame(_))));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::QueryInterface { routine: "x".into() }).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(ProtocolError::Io(_))));
+    }
+
+    #[test]
+    fn header_is_twelve_bytes_big_endian() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::QueryLoad).unwrap();
+        assert_eq!(&buf[0..4], b"NINF");
+        assert_eq!(&buf[4..8], &[0, 0, 0, 1]);
+    }
+}

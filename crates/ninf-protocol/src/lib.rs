@@ -1,0 +1,42 @@
+//! The Ninf RPC wire protocol.
+//!
+//! Ninf RPC is "tailored for the needs of high-performance numerical
+//! computing" (paper §2): Sun XDR on TCP/IP, matrices shipped as flat arrays,
+//! and a *two-stage* call. One `Ninf_call` proceeds over a single connection:
+//!
+//! ```text
+//! client                                server
+//!   |  QueryInterface("linpack")          |
+//!   |------------------------------------>|
+//!   |  InterfaceReply(compiled IDL)       |   stage 1: "returns the compiled
+//!   |<------------------------------------|   IDL information as
+//!   |  Invoke(args marshalled per IDL)    |   interpretable code"
+//!   |------------------------------------>|
+//!   |          ... execution ...          |   stage 2: interpret, marshal,
+//!   |  ResultData(out args)               |   execute, return
+//!   |<------------------------------------|
+//! ```
+//!
+//! No client-side stubs, headers, or linking are needed — the client learns
+//! argument layouts at call time (§2.3).
+//!
+//! The crate provides the message set ([`message::Message`]), the typed
+//! argument values ([`value::Value`]), binary framing, and two transports:
+//! real TCP ([`transport::TcpTransport`]) and an in-process channel pair
+//! ([`transport::ChannelTransport`]) for tests and benchmarks.
+
+pub mod error;
+pub mod frame;
+pub mod marshal;
+pub mod message;
+pub mod transport;
+pub mod value;
+
+pub use error::{ProtocolError, ProtocolResult};
+pub use marshal::{
+    reply_payload_bytes, request_payload_bytes, validate_call_args, validate_results,
+};
+pub use frame::{read_frame, write_frame, FRAME_MAGIC, PROTOCOL_VERSION};
+pub use message::{JobPhase, LoadReport, Message};
+pub use transport::{ChannelTransport, TcpTransport, Transport};
+pub use value::Value;

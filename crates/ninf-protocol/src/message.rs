@@ -1,0 +1,567 @@
+//! Protocol messages and their XDR codecs.
+
+use ninf_idl::CompiledInterface;
+use ninf_xdr::{XdrDecoder, XdrEncoder};
+
+use crate::error::{ProtocolError, ProtocolResult};
+use crate::value::Value;
+
+/// A server load report (consumed by the metaserver, which "keeps track of
+/// server load/availability, network bandwidth, etc.", paper §1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Number of processing elements.
+    pub pes: u32,
+    /// Jobs currently running.
+    pub running: u32,
+    /// Jobs queued but not yet started.
+    pub queued: u32,
+    /// One-minute load average.
+    pub load_average: f64,
+    /// CPU utilization percent over the report window.
+    pub cpu_utilization: f64,
+}
+
+/// All Ninf RPC messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Stage 1 request: which routine does the client want?
+    QueryInterface {
+        /// Registered routine name (possibly a `ninf://host/name` URL path
+        /// tail — resolution happens client-side).
+        routine: String,
+    },
+    /// Stage 1 reply: the compiled IDL the client will interpret.
+    InterfaceReply {
+        /// Compiled interface bytecode.
+        interface: CompiledInterface,
+    },
+    /// Stage 2 request: marshalled input arguments, in declaration order,
+    /// only `mode_in`/`mode_inout` parameters.
+    Invoke {
+        /// Routine to run (repeated for sanity checking).
+        routine: String,
+        /// Input values. Scalars first bind dimension variables; array
+        /// extents must match the IDL layout.
+        args: Vec<Value>,
+    },
+    /// Stage 2 reply: `mode_out`/`mode_inout` values in declaration order.
+    ResultData {
+        /// Output values.
+        results: Vec<Value>,
+    },
+    /// Any failure: unknown routine, argument mismatch, numerical error.
+    Error {
+        /// Human-readable reason, carried back to the caller.
+        reason: String,
+    },
+    /// Metaserver monitoring probe.
+    QueryLoad,
+    /// Reply to [`Message::QueryLoad`].
+    LoadStatus(LoadReport),
+    /// Two-phase call, phase 1 (§5.1): ship the arguments, get a ticket,
+    /// and *disconnect* while the server computes.
+    SubmitJob {
+        /// Routine to run.
+        routine: String,
+        /// Input values, as in [`Message::Invoke`].
+        args: Vec<Value>,
+    },
+    /// Reply to [`Message::SubmitJob`].
+    JobTicket {
+        /// Server-assigned job id, valid across connections.
+        job: u64,
+    },
+    /// Ask whether a submitted job has finished.
+    PollJob {
+        /// The ticket.
+        job: u64,
+    },
+    /// Reply to [`Message::PollJob`].
+    JobStatus {
+        /// The ticket.
+        job: u64,
+        /// Current phase.
+        state: JobPhase,
+    },
+    /// Two-phase call, phase 2: collect the results (server forgets the job).
+    FetchResult {
+        /// The ticket.
+        job: u64,
+    },
+    /// Ask the server which routines it exports (the paper's "server
+    /// registry tools" surface).
+    ListRoutines,
+    /// Reply to [`Message::ListRoutines`]: names and one-line docs.
+    RoutineList {
+        /// `(name, doc)` pairs in sorted order.
+        routines: Vec<(String, String)>,
+    },
+    /// `Ninf_query` (§2.2): a textual query against a Ninf *database*
+    /// server ("Ninf computational and database servers", §2).
+    DbQuery {
+        /// Query text, e.g. `GET hilbert8`, `LIST const/`, `INFO pi`.
+        query: String,
+    },
+    /// Reply to [`Message::DbQuery`].
+    DbReply {
+        /// Human-readable description of the result (shape, units, source).
+        description: String,
+        /// The numerical payload.
+        values: Vec<Value>,
+    },
+}
+
+/// Lifecycle state of a two-phase job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Queued or executing.
+    Pending,
+    /// Finished; results await a [`Message::FetchResult`].
+    Done,
+    /// Failed; the error awaits a fetch.
+    Failed,
+    /// No such ticket (never issued, or already fetched).
+    Unknown,
+}
+
+impl JobPhase {
+    fn tag(self) -> u32 {
+        match self {
+            JobPhase::Pending => 0,
+            JobPhase::Done => 1,
+            JobPhase::Failed => 2,
+            JobPhase::Unknown => 3,
+        }
+    }
+
+    fn from_tag(t: u32) -> Result<Self, ProtocolError> {
+        Ok(match t {
+            0 => JobPhase::Pending,
+            1 => JobPhase::Done,
+            2 => JobPhase::Failed,
+            3 => JobPhase::Unknown,
+            other => return Err(ProtocolError::Frame(format!("unknown job phase {other}"))),
+        })
+    }
+}
+
+const TAG_QUERY_INTERFACE: u32 = 1;
+const TAG_INTERFACE_REPLY: u32 = 2;
+const TAG_INVOKE: u32 = 3;
+const TAG_RESULT_DATA: u32 = 4;
+const TAG_ERROR: u32 = 5;
+const TAG_QUERY_LOAD: u32 = 6;
+const TAG_LOAD_STATUS: u32 = 7;
+const TAG_SUBMIT_JOB: u32 = 8;
+const TAG_JOB_TICKET: u32 = 9;
+const TAG_POLL_JOB: u32 = 10;
+const TAG_JOB_STATUS: u32 = 11;
+const TAG_FETCH_RESULT: u32 = 12;
+const TAG_LIST_ROUTINES: u32 = 13;
+const TAG_ROUTINE_LIST: u32 = 14;
+const TAG_DB_QUERY: u32 = 15;
+const TAG_DB_REPLY: u32 = 16;
+
+impl Message {
+    /// Short name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::QueryInterface { .. } => "QueryInterface",
+            Message::InterfaceReply { .. } => "InterfaceReply",
+            Message::Invoke { .. } => "Invoke",
+            Message::ResultData { .. } => "ResultData",
+            Message::Error { .. } => "Error",
+            Message::QueryLoad => "QueryLoad",
+            Message::LoadStatus(_) => "LoadStatus",
+            Message::SubmitJob { .. } => "SubmitJob",
+            Message::JobTicket { .. } => "JobTicket",
+            Message::PollJob { .. } => "PollJob",
+            Message::JobStatus { .. } => "JobStatus",
+            Message::FetchResult { .. } => "FetchResult",
+            Message::ListRoutines => "ListRoutines",
+            Message::RoutineList { .. } => "RoutineList",
+            Message::DbQuery { .. } => "DbQuery",
+            Message::DbReply { .. } => "DbReply",
+        }
+    }
+
+    /// Encode to XDR payload bytes (without frame header).
+    pub fn encode(&self) -> bytes::Bytes {
+        let mut enc = XdrEncoder::new();
+        match self {
+            Message::QueryInterface { routine } => {
+                enc.put_u32(TAG_QUERY_INTERFACE);
+                enc.put_string(routine);
+            }
+            Message::InterfaceReply { interface } => {
+                enc.put_u32(TAG_INTERFACE_REPLY);
+                interface.encode_xdr(&mut enc);
+            }
+            Message::Invoke { routine, args } => {
+                enc.put_u32(TAG_INVOKE);
+                enc.put_string(routine);
+                enc.put_u32(args.len() as u32);
+                for v in args {
+                    encode_tagged_value(&mut enc, v);
+                }
+            }
+            Message::ResultData { results } => {
+                enc.put_u32(TAG_RESULT_DATA);
+                enc.put_u32(results.len() as u32);
+                for v in results {
+                    encode_tagged_value(&mut enc, v);
+                }
+            }
+            Message::Error { reason } => {
+                enc.put_u32(TAG_ERROR);
+                enc.put_string(reason);
+            }
+            Message::SubmitJob { routine, args } => {
+                enc.put_u32(TAG_SUBMIT_JOB);
+                enc.put_string(routine);
+                enc.put_u32(args.len() as u32);
+                for v in args {
+                    encode_tagged_value(&mut enc, v);
+                }
+            }
+            Message::JobTicket { job } => {
+                enc.put_u32(TAG_JOB_TICKET);
+                enc.put_u64(*job);
+            }
+            Message::PollJob { job } => {
+                enc.put_u32(TAG_POLL_JOB);
+                enc.put_u64(*job);
+            }
+            Message::JobStatus { job, state } => {
+                enc.put_u32(TAG_JOB_STATUS);
+                enc.put_u64(*job);
+                enc.put_u32(state.tag());
+            }
+            Message::FetchResult { job } => {
+                enc.put_u32(TAG_FETCH_RESULT);
+                enc.put_u64(*job);
+            }
+            Message::DbQuery { query } => {
+                enc.put_u32(TAG_DB_QUERY);
+                enc.put_string(query);
+            }
+            Message::DbReply { description, values } => {
+                enc.put_u32(TAG_DB_REPLY);
+                enc.put_string(description);
+                enc.put_u32(values.len() as u32);
+                for v in values {
+                    encode_tagged_value(&mut enc, v);
+                }
+            }
+            Message::ListRoutines => enc.put_u32(TAG_LIST_ROUTINES),
+            Message::RoutineList { routines } => {
+                enc.put_u32(TAG_ROUTINE_LIST);
+                enc.put_u32(routines.len() as u32);
+                for (name, doc) in routines {
+                    enc.put_string(name);
+                    enc.put_string(doc);
+                }
+            }
+            Message::QueryLoad => enc.put_u32(TAG_QUERY_LOAD),
+            Message::LoadStatus(r) => {
+                enc.put_u32(TAG_LOAD_STATUS);
+                enc.put_u32(r.pes);
+                enc.put_u32(r.running);
+                enc.put_u32(r.queued);
+                enc.put_f64(r.load_average);
+                enc.put_f64(r.cpu_utilization);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Decode from XDR payload bytes.
+    pub fn decode(payload: &[u8]) -> ProtocolResult<Message> {
+        let mut dec = XdrDecoder::new(payload);
+        let tag = dec.get_u32()?;
+        let msg = match tag {
+            TAG_QUERY_INTERFACE => Message::QueryInterface { routine: dec.get_string()? },
+            TAG_INTERFACE_REPLY => {
+                Message::InterfaceReply { interface: CompiledInterface::decode_xdr(&mut dec)? }
+            }
+            TAG_INVOKE => {
+                let routine = dec.get_string()?;
+                let n = dec.get_u32()? as usize;
+                let mut args = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    args.push(decode_tagged_value(&mut dec)?);
+                }
+                Message::Invoke { routine, args }
+            }
+            TAG_RESULT_DATA => {
+                let n = dec.get_u32()? as usize;
+                let mut results = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    results.push(decode_tagged_value(&mut dec)?);
+                }
+                Message::ResultData { results }
+            }
+            TAG_ERROR => Message::Error { reason: dec.get_string()? },
+            TAG_SUBMIT_JOB => {
+                let routine = dec.get_string()?;
+                let n = dec.get_u32()? as usize;
+                let mut args = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    args.push(decode_tagged_value(&mut dec)?);
+                }
+                Message::SubmitJob { routine, args }
+            }
+            TAG_JOB_TICKET => Message::JobTicket { job: dec.get_u64()? },
+            TAG_POLL_JOB => Message::PollJob { job: dec.get_u64()? },
+            TAG_JOB_STATUS => Message::JobStatus {
+                job: dec.get_u64()?,
+                state: JobPhase::from_tag(dec.get_u32()?)?,
+            },
+            TAG_FETCH_RESULT => Message::FetchResult { job: dec.get_u64()? },
+            TAG_DB_QUERY => Message::DbQuery { query: dec.get_string()? },
+            TAG_DB_REPLY => {
+                let description = dec.get_string()?;
+                let n = dec.get_u32()? as usize;
+                let mut values = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    values.push(decode_tagged_value(&mut dec)?);
+                }
+                Message::DbReply { description, values }
+            }
+            TAG_LIST_ROUTINES => Message::ListRoutines,
+            TAG_ROUTINE_LIST => {
+                let n = dec.get_u32()? as usize;
+                let mut routines = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    routines.push((dec.get_string()?, dec.get_string()?));
+                }
+                Message::RoutineList { routines }
+            }
+            TAG_QUERY_LOAD => Message::QueryLoad,
+            TAG_LOAD_STATUS => Message::LoadStatus(LoadReport {
+                pes: dec.get_u32()?,
+                running: dec.get_u32()?,
+                queued: dec.get_u32()?,
+                load_average: dec.get_f64()?,
+                cpu_utilization: dec.get_f64()?,
+            }),
+            other => return Err(ProtocolError::Frame(format!("unknown message tag {other}"))),
+        };
+        if !dec.is_empty() {
+            return Err(ProtocolError::Frame(format!(
+                "{} trailing bytes after {}",
+                dec.remaining(),
+                msg.kind()
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+const VTAG_INT: u32 = 0;
+const VTAG_LONG: u32 = 1;
+const VTAG_FLOAT: u32 = 2;
+const VTAG_DOUBLE: u32 = 3;
+const VTAG_INT_ARR: u32 = 4;
+const VTAG_LONG_ARR: u32 = 5;
+const VTAG_FLOAT_ARR: u32 = 6;
+const VTAG_DOUBLE_ARR: u32 = 7;
+
+fn encode_tagged_value(enc: &mut XdrEncoder, v: &Value) {
+    match v {
+        Value::Int(x) => {
+            enc.put_u32(VTAG_INT);
+            enc.put_i32(*x);
+        }
+        Value::Long(x) => {
+            enc.put_u32(VTAG_LONG);
+            enc.put_i64(*x);
+        }
+        Value::Float(x) => {
+            enc.put_u32(VTAG_FLOAT);
+            enc.put_f32(*x);
+        }
+        Value::Double(x) => {
+            enc.put_u32(VTAG_DOUBLE);
+            enc.put_f64(*x);
+        }
+        Value::IntArray(x) => {
+            enc.put_u32(VTAG_INT_ARR);
+            enc.put_i32_array(x);
+        }
+        Value::LongArray(x) => {
+            enc.put_u32(VTAG_LONG_ARR);
+            enc.put_u32(x.len() as u32);
+            for &e in x {
+                enc.put_i64(e);
+            }
+        }
+        Value::FloatArray(x) => {
+            enc.put_u32(VTAG_FLOAT_ARR);
+            enc.put_f32_array(x);
+        }
+        Value::DoubleArray(x) => {
+            enc.put_u32(VTAG_DOUBLE_ARR);
+            enc.put_f64_array(x);
+        }
+    }
+}
+
+fn decode_tagged_value(dec: &mut XdrDecoder<'_>) -> ProtocolResult<Value> {
+    Ok(match dec.get_u32()? {
+        VTAG_INT => Value::Int(dec.get_i32()?),
+        VTAG_LONG => Value::Long(dec.get_i64()?),
+        VTAG_FLOAT => Value::Float(dec.get_f32()?),
+        VTAG_DOUBLE => Value::Double(dec.get_f64()?),
+        VTAG_INT_ARR => Value::IntArray(dec.get_i32_array()?),
+        VTAG_LONG_ARR => {
+            let n = dec.get_u32()? as usize;
+            if n.checked_mul(8).is_none_or(|b| b > dec.remaining()) {
+                return Err(ProtocolError::Frame("long array overruns frame".into()));
+            }
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(dec.get_i64()?);
+            }
+            Value::LongArray(v)
+        }
+        VTAG_FLOAT_ARR => Value::FloatArray(dec.get_f32_array()?),
+        VTAG_DOUBLE_ARR => Value::DoubleArray(dec.get_f64_array()?),
+        t => return Err(ProtocolError::Frame(format!("unknown value tag {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let wire = m.encode();
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn roundtrip_query_interface() {
+        roundtrip(Message::QueryInterface { routine: "linpack".into() });
+    }
+
+    #[test]
+    fn roundtrip_interface_reply() {
+        for iface in ninf_idl::stdlib_interfaces() {
+            roundtrip(Message::InterfaceReply { interface: iface });
+        }
+    }
+
+    #[test]
+    fn roundtrip_invoke_with_mixed_args() {
+        roundtrip(Message::Invoke {
+            routine: "dmmul".into(),
+            args: vec![
+                Value::Int(3),
+                Value::DoubleArray(vec![1.0; 9]),
+                Value::DoubleArray(vec![2.0; 9]),
+            ],
+        });
+    }
+
+    #[test]
+    fn roundtrip_results_and_error() {
+        roundtrip(Message::ResultData {
+            results: vec![Value::DoubleArray(vec![0.5; 4]), Value::IntArray(vec![1, 0])],
+        });
+        roundtrip(Message::Error { reason: "matrix is singular".into() });
+    }
+
+    #[test]
+    fn roundtrip_load_messages() {
+        roundtrip(Message::QueryLoad);
+        roundtrip(Message::LoadStatus(LoadReport {
+            pes: 4,
+            running: 4,
+            queued: 12,
+            load_average: 16.64,
+            cpu_utilization: 100.0,
+        }));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut enc = ninf_xdr::XdrEncoder::new();
+        enc.put_u32(999);
+        assert!(matches!(Message::decode(&enc.finish()), Err(ProtocolError::Frame(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut wire = Message::QueryLoad.encode().to_vec();
+        wire.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(Message::decode(&wire), Err(ProtocolError::Frame(_))));
+    }
+
+    #[test]
+    fn empty_payload_rejected() {
+        assert!(Message::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn roundtrip_two_phase_messages() {
+        roundtrip(Message::SubmitJob {
+            routine: "ep".into(),
+            args: vec![Value::Int(24)],
+        });
+        roundtrip(Message::JobTicket { job: 42 });
+        roundtrip(Message::PollJob { job: 42 });
+        for state in [JobPhase::Pending, JobPhase::Done, JobPhase::Failed, JobPhase::Unknown] {
+            roundtrip(Message::JobStatus { job: 7, state });
+        }
+        roundtrip(Message::FetchResult { job: 42 });
+    }
+
+    #[test]
+    fn roundtrip_db_messages() {
+        roundtrip(Message::DbQuery { query: "GET hilbert8".into() });
+        roundtrip(Message::DbReply {
+            description: "8x8 Hilbert matrix, column-major".into(),
+            values: vec![Value::DoubleArray(vec![1.0, 0.5, 0.5, 1.0 / 3.0])],
+        });
+    }
+
+    #[test]
+    fn roundtrip_routine_listing() {
+        roundtrip(Message::ListRoutines);
+        roundtrip(Message::RoutineList {
+            routines: vec![
+                ("dmmul".into(), "double precision matrix multiply".into()),
+                ("ep".into(), "embarrassingly parallel trials".into()),
+            ],
+        });
+    }
+
+    #[test]
+    fn bad_job_phase_rejected() {
+        let mut enc = ninf_xdr::XdrEncoder::new();
+        enc.put_u32(11); // JobStatus
+        enc.put_u64(1);
+        enc.put_u32(99); // bogus phase
+        assert!(matches!(Message::decode(&enc.finish()), Err(ProtocolError::Frame(_))));
+    }
+
+    #[test]
+    fn all_value_variants_roundtrip_in_invoke() {
+        roundtrip(Message::Invoke {
+            routine: "f".into(),
+            args: vec![
+                Value::Int(1),
+                Value::Long(2),
+                Value::Float(3.0),
+                Value::Double(4.0),
+                Value::IntArray(vec![5]),
+                Value::LongArray(vec![6]),
+                Value::FloatArray(vec![7.0]),
+                Value::DoubleArray(vec![8.0]),
+            ],
+        });
+    }
+}

@@ -1,0 +1,233 @@
+//! Typed argument values passed through `Ninf_call`.
+//!
+//! The current Ninf client API supports scalars and (multi-dimensional)
+//! numeric arrays — the paper's footnote 1 notes that arbitrary user-defined
+//! objects are future work. Matrices travel as flat column-major arrays; the
+//! IDL layout supplies the logical dimensions.
+
+use ninf_idl::{BaseType, IdlError};
+use ninf_xdr::{XdrDecoder, XdrEncoder, XdrResult};
+
+/// One argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 32-bit signed scalar.
+    Int(i32),
+    /// 64-bit signed scalar.
+    Long(i64),
+    /// Single-precision scalar.
+    Float(f32),
+    /// Double-precision scalar.
+    Double(f64),
+    /// Array of 32-bit signed integers.
+    IntArray(Vec<i32>),
+    /// Array of 64-bit signed integers.
+    LongArray(Vec<i64>),
+    /// Array of single-precision floats.
+    FloatArray(Vec<f32>),
+    /// Array of doubles (the workhorse: matrices, vectors).
+    DoubleArray(Vec<f64>),
+}
+
+impl Value {
+    /// The element base type.
+    pub fn base_type(&self) -> BaseType {
+        match self {
+            Value::Int(_) | Value::IntArray(_) => BaseType::Int,
+            Value::Long(_) | Value::LongArray(_) => BaseType::Long,
+            Value::Float(_) | Value::FloatArray(_) => BaseType::Float,
+            Value::Double(_) | Value::DoubleArray(_) => BaseType::Double,
+        }
+    }
+
+    /// Whether this is a scalar value.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Long(_) | Value::Float(_) | Value::Double(_))
+    }
+
+    /// Element count (1 for scalars).
+    pub fn count(&self) -> usize {
+        match self {
+            Value::IntArray(v) => v.len(),
+            Value::LongArray(v) => v.len(),
+            Value::FloatArray(v) => v.len(),
+            Value::DoubleArray(v) => v.len(),
+            _ => 1,
+        }
+    }
+
+    /// Payload bytes this value occupies on the wire (excluding tags).
+    pub fn wire_bytes(&self) -> usize {
+        self.count() * self.base_type().wire_bytes()
+    }
+
+    /// The scalar's integer value, if it is an integer scalar. Used to bind
+    /// IDL dimension variables.
+    pub fn as_scalar_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v as i64),
+            Value::Long(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Encode *without* a type tag, as `count` elements of `base` — the
+    /// layout-directed form used for call arguments, where both sides know
+    /// the type and extent from the compiled IDL.
+    pub fn encode_body(&self, enc: &mut XdrEncoder) {
+        match self {
+            Value::Int(v) => enc.put_i32(*v),
+            Value::Long(v) => enc.put_i64(*v),
+            Value::Float(v) => enc.put_f32(*v),
+            Value::Double(v) => enc.put_f64(*v),
+            Value::IntArray(v) => {
+                for &x in v {
+                    enc.put_i32(x);
+                }
+            }
+            Value::LongArray(v) => {
+                for &x in v {
+                    enc.put_i64(x);
+                }
+            }
+            Value::FloatArray(v) => {
+                for &x in v {
+                    enc.put_f32(x);
+                }
+            }
+            Value::DoubleArray(v) => enc.put_f64_slice(v),
+        }
+    }
+
+    /// Decode a value whose type and extent are dictated by the IDL layout.
+    pub fn decode_body(
+        dec: &mut XdrDecoder<'_>,
+        base: BaseType,
+        count: usize,
+        scalar: bool,
+    ) -> XdrResult<Value> {
+        if scalar {
+            return Ok(match base {
+                BaseType::Int => Value::Int(dec.get_i32()?),
+                BaseType::Long => Value::Long(dec.get_i64()?),
+                BaseType::Float => Value::Float(dec.get_f32()?),
+                BaseType::Double => Value::Double(dec.get_f64()?),
+            });
+        }
+        Ok(match base {
+            BaseType::Int => {
+                let mut v = Vec::with_capacity(count);
+                for _ in 0..count {
+                    v.push(dec.get_i32()?);
+                }
+                Value::IntArray(v)
+            }
+            BaseType::Long => {
+                let mut v = Vec::with_capacity(count);
+                for _ in 0..count {
+                    v.push(dec.get_i64()?);
+                }
+                Value::LongArray(v)
+            }
+            BaseType::Float => {
+                let mut v = Vec::with_capacity(count);
+                for _ in 0..count {
+                    v.push(dec.get_f32()?);
+                }
+                Value::FloatArray(v)
+            }
+            BaseType::Double => Value::DoubleArray(dec.get_f64_slice(count)?),
+        })
+    }
+
+    /// Check this value against an IDL parameter layout.
+    pub fn conforms(&self, base: BaseType, count: usize, scalar: bool) -> Result<(), IdlError> {
+        if self.base_type() != base {
+            return Err(IdlError::Semantic(format!(
+                "argument type {:?} does not match IDL type {:?}",
+                self.base_type(),
+                base
+            )));
+        }
+        if self.is_scalar() != scalar {
+            return Err(IdlError::Semantic("scalar/array mismatch with IDL".into()));
+        }
+        if !scalar && self.count() != count {
+            return Err(IdlError::Semantic(format!(
+                "array length {} does not match IDL extent {count}",
+                self.count()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip_all_types() {
+        let cases = vec![
+            (Value::Int(-7), BaseType::Int),
+            (Value::Long(1 << 40), BaseType::Long),
+            (Value::Float(2.5), BaseType::Float),
+            (Value::Double(-1e100), BaseType::Double),
+        ];
+        for (v, base) in cases {
+            let mut enc = XdrEncoder::new();
+            v.encode_body(&mut enc);
+            let wire = enc.finish();
+            let mut dec = XdrDecoder::new(&wire);
+            let back = Value::decode_body(&mut dec, base, 1, true).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn array_roundtrip_all_types() {
+        let cases = vec![
+            (Value::IntArray(vec![1, -2, 3]), BaseType::Int, 3),
+            (Value::LongArray(vec![1 << 40, -5]), BaseType::Long, 2),
+            (Value::FloatArray(vec![0.5; 4]), BaseType::Float, 4),
+            (Value::DoubleArray(vec![1.0, 2.0]), BaseType::Double, 2),
+        ];
+        for (v, base, count) in cases {
+            let mut enc = XdrEncoder::new();
+            v.encode_body(&mut enc);
+            let wire = enc.finish();
+            assert_eq!(wire.len(), v.wire_bytes());
+            let mut dec = XdrDecoder::new(&wire);
+            let back = Value::decode_body(&mut dec, base, count, false).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn conforms_checks_type_count_shape() {
+        let v = Value::DoubleArray(vec![0.0; 9]);
+        assert!(v.conforms(BaseType::Double, 9, false).is_ok());
+        assert!(v.conforms(BaseType::Double, 8, false).is_err());
+        assert!(v.conforms(BaseType::Float, 9, false).is_err());
+        assert!(v.conforms(BaseType::Double, 9, true).is_err());
+        let s = Value::Int(4);
+        assert!(s.conforms(BaseType::Int, 1, true).is_ok());
+        assert!(s.conforms(BaseType::Int, 1, false).is_err());
+    }
+
+    #[test]
+    fn scalar_i64_extraction() {
+        assert_eq!(Value::Int(5).as_scalar_i64(), Some(5));
+        assert_eq!(Value::Long(-9).as_scalar_i64(), Some(-9));
+        assert_eq!(Value::Double(1.0).as_scalar_i64(), None);
+        assert_eq!(Value::IntArray(vec![1]).as_scalar_i64(), None);
+    }
+
+    #[test]
+    fn wire_bytes_matches_layout_math() {
+        assert_eq!(Value::Int(1).wire_bytes(), 4);
+        assert_eq!(Value::Double(1.0).wire_bytes(), 8);
+        assert_eq!(Value::DoubleArray(vec![0.0; 100]).wire_bytes(), 800);
+        assert_eq!(Value::IntArray(vec![0; 7]).wire_bytes(), 28);
+    }
+}

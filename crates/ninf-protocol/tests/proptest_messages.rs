@@ -1,0 +1,111 @@
+//! Property tests: every representable message survives the full
+//! encode → frame → read → decode pipeline, and the decoder never panics on
+//! arbitrary bytes.
+
+use ninf_protocol::{read_frame, write_frame, JobPhase, LoadReport, Message, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::Long),
+        any::<f32>().prop_filter("finite", |x| x.is_finite()).prop_map(Value::Float),
+        any::<f64>().prop_filter("finite", |x| x.is_finite()).prop_map(Value::Double),
+        proptest::collection::vec(any::<i32>(), 0..64).prop_map(Value::IntArray),
+        proptest::collection::vec(any::<i64>(), 0..64).prop_map(Value::LongArray),
+        proptest::collection::vec(
+            any::<f32>().prop_filter("finite", |x| x.is_finite()),
+            0..64
+        )
+        .prop_map(Value::FloatArray),
+        proptest::collection::vec(
+            any::<f64>().prop_filter("finite", |x| x.is_finite()),
+            0..64
+        )
+        .prop_map(Value::DoubleArray),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let routine = "[a-z][a-z0-9_]{0,15}";
+    prop_oneof![
+        routine.prop_map(|r| Message::QueryInterface { routine: r }),
+        (routine, proptest::collection::vec(arb_value(), 0..6))
+            .prop_map(|(routine, args)| Message::Invoke { routine, args }),
+        proptest::collection::vec(arb_value(), 0..6)
+            .prop_map(|results| Message::ResultData { results }),
+        "\\PC{0,64}".prop_map(|reason| Message::Error { reason }),
+        Just(Message::QueryLoad),
+        (any::<u32>(), any::<u32>(), any::<u32>(), 0.0f64..1e3, 0.0f64..100.0).prop_map(
+            |(pes, running, queued, load_average, cpu_utilization)| {
+                Message::LoadStatus(LoadReport {
+                    pes,
+                    running,
+                    queued,
+                    load_average,
+                    cpu_utilization,
+                })
+            }
+        ),
+        (routine, proptest::collection::vec(arb_value(), 0..6))
+            .prop_map(|(routine, args)| Message::SubmitJob { routine, args }),
+        any::<u64>().prop_map(|job| Message::JobTicket { job }),
+        any::<u64>().prop_map(|job| Message::PollJob { job }),
+        (any::<u64>(), prop_oneof![
+            Just(JobPhase::Pending),
+            Just(JobPhase::Done),
+            Just(JobPhase::Failed),
+            Just(JobPhase::Unknown)
+        ])
+            .prop_map(|(job, state)| Message::JobStatus { job, state }),
+        any::<u64>().prop_map(|job| Message::FetchResult { job }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn message_codec_roundtrip(msg in arb_message()) {
+        let wire = msg.encode();
+        let back = Message::decode(&wire).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn frame_roundtrip(msg in arb_message()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let back = read_frame(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn frames_concatenate(msgs in proptest::collection::vec(arb_message(), 1..5)) {
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut reader = buf.as_slice();
+        for m in &msgs {
+            prop_assert_eq!(&read_frame(&mut reader).unwrap(), m);
+        }
+        prop_assert!(reader.is_empty());
+    }
+
+    /// Decoding arbitrary garbage yields an error, never a panic.
+    #[test]
+    fn decode_garbage_is_safe(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&data);
+        let _ = read_frame(&mut data.as_slice());
+    }
+
+    /// Corrupting any single byte of a valid frame never panics the reader
+    /// (it may still decode if the byte was payload-insensitive).
+    #[test]
+    fn bit_flips_never_panic(msg in arb_message(), pos in any::<prop::sample::Index>(), flip in 1u8..=255) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let i = pos.index(buf.len());
+        buf[i] ^= flip;
+        let _ = read_frame(&mut buf.as_slice());
+    }
+}

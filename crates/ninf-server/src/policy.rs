@@ -1,0 +1,173 @@
+//! Job admission policies.
+//!
+//! The production Ninf server of the paper runs FCFS ("merely fork & execs a
+//! Ninf executable in a First-Come-First-Served (FCFS) manner, causing longer
+//! response time and possibly lower CPU utilization", §5.2). The paper then
+//! proposes SJF using predicted computation/communication time, and — for
+//! multi-PE scheduling — Fit Processors First Served (FPFS) and Fit
+//! Processors Most Processors First Served (FPMPFS) (§5.3, citing Aida et
+//! al.). All four are implemented here, shared verbatim between the live
+//! server and the discrete-event simulator so ablation A1/A3 exercises the
+//! same code the real server runs.
+
+/// Scheduling-relevant metadata of one queued job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobInfo {
+    /// Monotone arrival sequence number (FCFS order).
+    pub arrival_seq: u64,
+    /// Predicted cost in seconds (from IDL sizes + server trace, §5.2). Only
+    /// SJF consults it.
+    pub estimated_cost: f64,
+    /// PEs the job needs (1 for task-parallel calls, all for data-parallel).
+    pub pes_required: usize,
+}
+
+/// Admission policy: given the queue (in arrival order) and the number of
+/// free PEs, choose which job starts next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedPolicy {
+    /// Strict arrival order; the head of the queue blocks everyone behind it
+    /// until enough PEs free up.
+    Fcfs,
+    /// Shortest predicted job first, among jobs that fit the free PEs.
+    Sjf,
+    /// First job (in arrival order) that fits the free PEs.
+    Fpfs,
+    /// Among jobs that fit, the one requesting the most PEs; ties by arrival.
+    Fpmpfs,
+}
+
+impl SchedPolicy {
+    /// Index into `queue` of the job to start now, or `None` if no job may
+    /// start (queue empty, or policy blocks).
+    pub fn pick(&self, queue: &[JobInfo], free_pes: usize) -> Option<usize> {
+        if queue.is_empty() {
+            return None;
+        }
+        match self {
+            SchedPolicy::Fcfs => {
+                if queue[0].pes_required <= free_pes {
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+            SchedPolicy::Sjf => queue
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.pes_required <= free_pes)
+                .min_by(|(_, a), (_, b)| {
+                    a.estimated_cost
+                        .total_cmp(&b.estimated_cost)
+                        .then(a.arrival_seq.cmp(&b.arrival_seq))
+                })
+                .map(|(i, _)| i),
+            SchedPolicy::Fpfs => queue.iter().position(|j| j.pes_required <= free_pes),
+            SchedPolicy::Fpmpfs => queue
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.pes_required <= free_pes)
+                .max_by(|(_, a), (_, b)| {
+                    a.pes_required
+                        .cmp(&b.pes_required)
+                        .then(b.arrival_seq.cmp(&a.arrival_seq))
+                })
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// All policies, for exhaustive ablation sweeps.
+    pub fn all() -> [SchedPolicy; 4] {
+        [SchedPolicy::Fcfs, SchedPolicy::Sjf, SchedPolicy::Fpfs, SchedPolicy::Fpmpfs]
+    }
+
+    /// Display name used in benchmark tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::Fcfs => "FCFS",
+            SchedPolicy::Sjf => "SJF",
+            SchedPolicy::Fpfs => "FPFS",
+            SchedPolicy::Fpmpfs => "FPMPFS",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(seq: u64, cost: f64, pes: usize) -> JobInfo {
+        JobInfo { arrival_seq: seq, estimated_cost: cost, pes_required: pes }
+    }
+
+    #[test]
+    fn empty_queue_picks_nothing() {
+        for p in SchedPolicy::all() {
+            assert_eq!(p.pick(&[], 4), None);
+        }
+    }
+
+    #[test]
+    fn fcfs_respects_arrival_order() {
+        let q = [job(0, 9.0, 1), job(1, 1.0, 1)];
+        assert_eq!(SchedPolicy::Fcfs.pick(&q, 4), Some(0));
+    }
+
+    #[test]
+    fn fcfs_head_of_line_blocks() {
+        // Head wants 4 PEs, only 2 free: FCFS starts nothing even though the
+        // second job would fit.
+        let q = [job(0, 1.0, 4), job(1, 1.0, 1)];
+        assert_eq!(SchedPolicy::Fcfs.pick(&q, 2), None);
+    }
+
+    #[test]
+    fn fpfs_skips_blocked_head() {
+        let q = [job(0, 1.0, 4), job(1, 1.0, 1)];
+        assert_eq!(SchedPolicy::Fpfs.pick(&q, 2), Some(1));
+    }
+
+    #[test]
+    fn sjf_prefers_short_jobs() {
+        let q = [job(0, 9.0, 1), job(1, 1.0, 1), job(2, 5.0, 1)];
+        assert_eq!(SchedPolicy::Sjf.pick(&q, 1), Some(1));
+    }
+
+    #[test]
+    fn sjf_only_considers_fitting_jobs() {
+        let q = [job(0, 1.0, 4), job(1, 5.0, 2)];
+        assert_eq!(SchedPolicy::Sjf.pick(&q, 2), Some(1));
+    }
+
+    #[test]
+    fn sjf_ties_break_by_arrival() {
+        let q = [job(0, 2.0, 1), job(1, 2.0, 1)];
+        assert_eq!(SchedPolicy::Sjf.pick(&q, 1), Some(0));
+    }
+
+    #[test]
+    fn fpmpfs_prefers_wide_jobs() {
+        let q = [job(0, 1.0, 1), job(1, 1.0, 3), job(2, 1.0, 2)];
+        assert_eq!(SchedPolicy::Fpmpfs.pick(&q, 4), Some(1));
+    }
+
+    #[test]
+    fn fpmpfs_ignores_oversized_jobs() {
+        let q = [job(0, 1.0, 8), job(1, 1.0, 2)];
+        assert_eq!(SchedPolicy::Fpmpfs.pick(&q, 4), Some(1));
+    }
+
+    #[test]
+    fn fpmpfs_ties_break_by_arrival() {
+        let q = [job(0, 1.0, 2), job(1, 1.0, 2)];
+        assert_eq!(SchedPolicy::Fpmpfs.pick(&q, 4), Some(0));
+    }
+
+    #[test]
+    fn no_policy_starts_oversized_job() {
+        let q = [job(0, 1.0, 9)];
+        for p in SchedPolicy::all() {
+            assert_eq!(p.pick(&q, 4), None, "{}", p.name());
+        }
+    }
+}

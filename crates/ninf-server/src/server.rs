@@ -1,0 +1,440 @@
+//! The live TCP Ninf computational server.
+//!
+//! One thread accepts connections; each connection gets a handler thread that
+//! speaks the two-stage Ninf RPC (QueryInterface → InterfaceReply → Invoke →
+//! ResultData) and funnels execution through the [`JobGate`], so the
+//! task-parallel/data-parallel tradeoff and the admission policy behave
+//! exactly as in the paper's server.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ninf_protocol::{Message, ProtocolError, ProtocolResult, TcpTransport, Transport};
+
+use crate::exec::{ExecMode, JobGate};
+use crate::policy::{JobInfo, SchedPolicy};
+use crate::registry::{validate_invoke, Registry};
+use crate::stats::{CallRecord, ServerStats};
+use crate::trace::CostModel;
+use crate::twophase::JobTable;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of PEs the gate manages (the J90 has 4).
+    pub pes: usize,
+    /// Task-parallel vs data-parallel execution (§4.1).
+    pub mode: ExecMode,
+    /// Admission policy (§5.2–5.3); the paper's server runs FCFS.
+    pub policy: SchedPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { pes: 4, mode: ExecMode::TaskParallel, policy: SchedPolicy::Fcfs }
+    }
+}
+
+/// Handle to a running server; dropping it does **not** stop the server —
+/// call [`NinfServer::shutdown`].
+pub struct NinfServer {
+    addr: std::net::SocketAddr,
+    stats: Arc<ServerStats>,
+    gate: Arc<JobGate>,
+    jobs: Arc<JobTable>,
+    cost: Arc<CostModel>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NinfServer {
+    /// Bind `addr` (use `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `registry` under `config`.
+    pub fn start(addr: &str, registry: Registry, config: ServerConfig) -> ProtocolResult<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::new(config.pes));
+        let gate = Arc::new(JobGate::new(config.pes, config.policy));
+        let jobs = Arc::new(JobTable::new());
+        let cost = Arc::new(CostModel::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(registry);
+
+        let accept_thread = {
+            let stats = stats.clone();
+            let gate = gate.clone();
+            let jobs = jobs.clone();
+            let cost = cost.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let registry = registry.clone();
+                    let stats = stats.clone();
+                    let gate = gate.clone();
+                    let jobs = jobs.clone();
+                    let cost = cost.clone();
+                    let mode = config.mode;
+                    // Connection threads are detached: a client that keeps
+                    // its connection open (normal for Ninf RPC, §5.1) must
+                    // not block shutdown. The thread exits when its peer
+                    // hangs up.
+                    std::thread::spawn(move || {
+                        let _ =
+                            serve_connection(stream, registry, stats, gate, jobs, cost, mode);
+                    });
+                }
+            })
+        };
+
+        Ok(Self { addr: local, stats, gate, jobs, cost, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (connect clients here).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Statistics sink.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// PEs currently executing calls.
+    pub fn busy_pes(&self) -> usize {
+        self.gate.busy_pes()
+    }
+
+    /// The two-phase job table (observable in tests).
+    pub fn jobs(&self) -> &Arc<JobTable> {
+        &self.jobs
+    }
+
+    /// The execution-trace cost model feeding SJF predictions (§5.2).
+    pub fn cost_model(&self) -> &Arc<CostModel> {
+        &self.cost
+    }
+
+    /// Stop accepting and join the accept thread. In-flight connections
+    /// finish naturally.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serve one client connection until it closes.
+fn serve_connection(
+    stream: TcpStream,
+    registry: Arc<Registry>,
+    stats: Arc<ServerStats>,
+    gate: Arc<JobGate>,
+    jobs: Arc<JobTable>,
+    cost: Arc<CostModel>,
+    mode: ExecMode,
+) -> ProtocolResult<()> {
+    let mut transport = TcpTransport::new(stream)?;
+    loop {
+        let msg = match transport.recv() {
+            Ok(m) => m,
+            // Normal client hang-up between calls.
+            Err(ProtocolError::Io(_)) | Err(ProtocolError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match msg {
+            Message::QueryInterface { routine } => match registry.lookup(&routine) {
+                Some(exe) => transport
+                    .send(&Message::InterfaceReply { interface: exe.interface.clone() })?,
+                None => transport
+                    .send(&Message::Error { reason: format!("unknown routine `{routine}`") })?,
+            },
+            Message::Invoke { routine, args } => {
+                let t_submit = stats.now();
+                let reply = execute_invoke(
+                    &routine, &args, &registry, &stats, &gate, &cost, mode, t_submit,
+                );
+                transport.send(&reply)?;
+            }
+            Message::SubmitJob { routine, args } => {
+                // Two-phase, phase 1 (§5.1): ticket now, compute detached —
+                // the client may disconnect immediately.
+                let ticket = jobs.submit();
+                transport.send(&Message::JobTicket { job: ticket })?;
+                let registry = registry.clone();
+                let stats = stats.clone();
+                let gate = gate.clone();
+                let jobs = jobs.clone();
+                let cost = cost.clone();
+                std::thread::spawn(move || {
+                    let t_submit = stats.now();
+                    let reply = execute_invoke(
+                        &routine, &args, &registry, &stats, &gate, &cost, mode, t_submit,
+                    );
+                    let outcome = match reply {
+                        Message::ResultData { results } => Ok(results),
+                        Message::Error { reason } => Err(reason),
+                        other => Err(format!("internal: unexpected {}", other.kind())),
+                    };
+                    jobs.complete(ticket, outcome);
+                });
+            }
+            Message::PollJob { job } => {
+                transport.send(&Message::JobStatus { job, state: jobs.poll(job) })?;
+            }
+            Message::FetchResult { job } => {
+                let reply = match jobs.fetch(job) {
+                    Some(Ok(results)) => Message::ResultData { results },
+                    Some(Err(reason)) => Message::Error { reason },
+                    None => Message::Error {
+                        reason: format!("job {job} is not ready (or unknown)"),
+                    },
+                };
+                transport.send(&reply)?;
+            }
+            Message::QueryLoad => {
+                transport.send(&Message::LoadStatus(stats.load_report()))?;
+            }
+            Message::ListRoutines => {
+                let routines = registry
+                    .names()
+                    .into_iter()
+                    .map(|n| {
+                        let doc = registry
+                            .lookup(n)
+                            .map(|e| e.interface.doc.clone())
+                            .unwrap_or_default();
+                        (n.to_owned(), doc)
+                    })
+                    .collect();
+                transport.send(&Message::RoutineList { routines })?;
+            }
+            other => {
+                transport.send(&Message::Error {
+                    reason: format!("unexpected message {}", other.kind()),
+                })?;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // the call context really has 8 parts
+fn execute_invoke(
+    routine: &str,
+    args: &[ninf_protocol::Value],
+    registry: &Registry,
+    stats: &ServerStats,
+    gate: &JobGate,
+    cost: &CostModel,
+    mode: ExecMode,
+    t_submit: f64,
+) -> Message {
+    let Some(exe) = registry.lookup(routine) else {
+        return Message::Error { reason: format!("unknown routine `{routine}`") };
+    };
+    let layout = match validate_invoke(&exe.interface, args) {
+        Ok(l) => l,
+        Err(reason) => return Message::Error { reason },
+    };
+    let request_bytes: usize =
+        layout.iter().filter(|l| l.mode.sends() && l.count > 1).map(|l| l.bytes).sum();
+    let reply_bytes: usize =
+        layout.iter().filter(|l| l.mode.receives() && l.count > 1).map(|l| l.bytes).sum();
+    let n = args.first().and_then(|v| v.as_scalar_i64());
+
+    let t_enqueue = stats.now();
+    stats.job_queued();
+    // SJF's cost estimate (§5.2): the execution trace's power-law fit when
+    // available, else the IDL-derived data volume as a first-call proxy.
+    let estimated_cost = n
+        .and_then(|n| cost.predict(routine, n))
+        .unwrap_or((request_bytes + reply_bytes) as f64 * 1e-9);
+    let guard = gate.acquire(JobInfo {
+        arrival_seq: 0, // assigned by the gate
+        estimated_cost,
+        pes_required: mode.pes_per_call(gate.pes()),
+    });
+    let t_dequeue = stats.now();
+    stats.job_started();
+
+    let result = (exe.handler)(args);
+    let t_complete = stats.now();
+    drop(guard);
+    if let Some(n) = n {
+        cost.record(routine, n, t_complete - t_dequeue);
+    }
+
+    stats.job_finished(CallRecord {
+        routine: routine.to_owned(),
+        n,
+        request_bytes,
+        reply_bytes,
+        t_submit,
+        t_enqueue,
+        t_dequeue,
+        t_complete,
+    });
+
+    match result {
+        Ok(results) => Message::ResultData { results },
+        Err(reason) => Message::Error { reason },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::register_stdlib;
+    use ninf_protocol::Value;
+
+    fn start_test_server(mode: ExecMode) -> NinfServer {
+        let mut registry = Registry::new();
+        register_stdlib(&mut registry, matches!(mode, ExecMode::DataParallel));
+        NinfServer::start(
+            "127.0.0.1:0",
+            registry,
+            ServerConfig { pes: 2, mode, policy: SchedPolicy::Fcfs },
+        )
+        .unwrap()
+    }
+
+    fn raw_call(addr: &str, routine: &str, args: Vec<Value>) -> Message {
+        let mut t = TcpTransport::connect(addr).unwrap();
+        t.send(&Message::QueryInterface { routine: routine.into() }).unwrap();
+        match t.recv().unwrap() {
+            Message::InterfaceReply { .. } => {}
+            other => return other,
+        }
+        t.send(&Message::Invoke { routine: routine.into(), args }).unwrap();
+        t.recv().unwrap()
+    }
+
+    #[test]
+    fn serves_two_stage_call() {
+        let server = start_test_server(ExecMode::TaskParallel);
+        let addr = server.addr().to_string();
+        let n = 8usize;
+        let (a, b) = ninf_exec::matgen(n);
+        let reply = raw_call(
+            &addr,
+            "linpack",
+            vec![
+                Value::Int(n as i32),
+                Value::DoubleArray(a.as_slice().to_vec()),
+                Value::DoubleArray(b),
+            ],
+        );
+        match reply {
+            Message::ResultData { results } => {
+                let Value::DoubleArray(x) = &results[0] else { panic!() };
+                for xi in x {
+                    assert!((xi - 1.0).abs() < 1e-8);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(server.stats().completed(), 1);
+        let rec = &server.stats().snapshot()[0];
+        assert_eq!(rec.routine, "linpack");
+        assert_eq!(rec.n, Some(8));
+        assert!(rec.t_complete >= rec.t_dequeue);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_routine_yields_error() {
+        let server = start_test_server(ExecMode::TaskParallel);
+        let addr = server.addr().to_string();
+        let mut t = TcpTransport::connect(&addr).unwrap();
+        t.send(&Message::QueryInterface { routine: "fft".into() }).unwrap();
+        match t.recv().unwrap() {
+            Message::Error { reason } => assert!(reason.contains("unknown routine")),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_args_yield_error_not_crash() {
+        let server = start_test_server(ExecMode::TaskParallel);
+        let addr = server.addr().to_string();
+        let reply = raw_call(
+            &addr,
+            "linpack",
+            vec![Value::Int(4), Value::DoubleArray(vec![0.0; 3]), Value::DoubleArray(vec![0.0; 4])],
+        );
+        assert!(matches!(reply, Message::Error { .. }));
+        // Server still alive for the next call.
+        let reply = raw_call(&addr, "ep", vec![Value::Int(8)]);
+        assert!(matches!(reply, Message::ResultData { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn load_query_reports_pes() {
+        let server = start_test_server(ExecMode::TaskParallel);
+        let mut t = TcpTransport::connect(&server.addr().to_string()).unwrap();
+        t.send(&Message::QueryLoad).unwrap();
+        match t.recv().unwrap() {
+            Message::LoadStatus(rep) => assert_eq!(rep.pes, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_all_succeed() {
+        let server = start_test_server(ExecMode::TaskParallel);
+        let addr = server.addr().to_string();
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                let reply = raw_call(&addr, "ep", vec![Value::Int(10)]);
+                assert!(matches!(reply, Message::ResultData { .. }));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.stats().completed(), 6);
+        server.shutdown();
+    }
+
+    #[test]
+    fn data_parallel_mode_also_serves() {
+        let server = start_test_server(ExecMode::DataParallel);
+        let addr = server.addr().to_string();
+        let reply = raw_call(&addr, "ep", vec![Value::Int(10)]);
+        assert!(matches!(reply, Message::ResultData { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn singular_matrix_reported_as_remote_error() {
+        let server = start_test_server(ExecMode::TaskParallel);
+        let addr = server.addr().to_string();
+        let reply = raw_call(
+            &addr,
+            "linpack",
+            vec![
+                Value::Int(2),
+                Value::DoubleArray(vec![1.0, 2.0, 2.0, 4.0]),
+                Value::DoubleArray(vec![1.0, 1.0]),
+            ],
+        );
+        match reply {
+            Message::Error { reason } => assert!(reason.contains("singular")),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+}

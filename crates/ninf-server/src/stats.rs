@@ -1,0 +1,190 @@
+//! Per-call measurement records: the timestamps and derived metrics of §4.1.
+//!
+//! "for each client Ninf_call task, we measured the throughput and various
+//! timings: time of task submission T_submit, time when the Ninf_call task
+//! was accepted at the server T_enqueue, time when the corresponding Ninf
+//! executable was invoked T_dequeue, and the time at which Ninf_call was
+//! completed T_complete." — with `T_response = T_enqueue − T_submit` and
+//! `T_wait = T_dequeue − T_enqueue`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use ninf_protocol::LoadReport;
+
+/// One completed `Ninf_call` as observed by the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallRecord {
+    /// Routine name.
+    pub routine: String,
+    /// First scalar input (the matrix order `n` / EP exponent `m`), for
+    /// grouping results into table rows.
+    pub n: Option<i64>,
+    /// Request payload bytes (arrays only, per the paper's convention).
+    pub request_bytes: usize,
+    /// Reply payload bytes.
+    pub reply_bytes: usize,
+    /// Seconds since server start at each lifecycle point.
+    pub t_submit: f64,
+    /// See above.
+    pub t_enqueue: f64,
+    /// See above.
+    pub t_dequeue: f64,
+    /// See above.
+    pub t_complete: f64,
+}
+
+impl CallRecord {
+    /// `T_response = T_enqueue − T_submit`.
+    pub fn response(&self) -> f64 {
+        self.t_enqueue - self.t_submit
+    }
+
+    /// `T_wait = T_dequeue − T_enqueue`.
+    pub fn wait(&self) -> f64 {
+        self.t_dequeue - self.t_enqueue
+    }
+
+    /// Pure service time (execution).
+    pub fn service(&self) -> f64 {
+        self.t_complete - self.t_dequeue
+    }
+
+    /// End-to-end server-side time.
+    pub fn total(&self) -> f64 {
+        self.t_complete - self.t_submit
+    }
+}
+
+/// Shared, thread-safe statistics sink of a live server.
+#[derive(Debug)]
+pub struct ServerStats {
+    start: Instant,
+    records: Mutex<Vec<CallRecord>>,
+    running: AtomicUsize,
+    queued: AtomicUsize,
+    pes: usize,
+}
+
+impl ServerStats {
+    /// New sink for a machine with `pes` PEs; the clock starts now.
+    pub fn new(pes: usize) -> Self {
+        Self {
+            start: Instant::now(),
+            records: Mutex::new(Vec::new()),
+            running: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            pes,
+        }
+    }
+
+    /// Seconds since server start.
+    pub fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Mark a job queued (between enqueue and dequeue).
+    pub fn job_queued(&self) {
+        self.queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark a job moved from queue to execution.
+    pub fn job_started(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.running.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark a job finished and store its record.
+    pub fn job_finished(&self, record: CallRecord) {
+        self.running.fetch_sub(1, Ordering::Relaxed);
+        self.records.lock().push(record);
+    }
+
+    /// Copy of all records so far.
+    pub fn snapshot(&self) -> Vec<CallRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Number of completed calls.
+    pub fn completed(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Current load report for the metaserver.
+    pub fn load_report(&self) -> LoadReport {
+        let running = self.running.load(Ordering::Relaxed) as u32;
+        let queued = self.queued.load(Ordering::Relaxed) as u32;
+        LoadReport {
+            pes: self.pes as u32,
+            running,
+            queued,
+            // The live server reports instantaneous runnable count as its
+            // load proxy; the simulator computes the true damped average.
+            load_average: (running + queued) as f64,
+            cpu_utilization: 100.0 * running.min(self.pes as u32) as f64 / self.pes as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(submit: f64, enqueue: f64, dequeue: f64, complete: f64) -> CallRecord {
+        CallRecord {
+            routine: "linpack".into(),
+            n: Some(600),
+            request_bytes: 100,
+            reply_bytes: 50,
+            t_submit: submit,
+            t_enqueue: enqueue,
+            t_dequeue: dequeue,
+            t_complete: complete,
+        }
+    }
+
+    #[test]
+    fn derived_times_match_paper_definitions() {
+        let r = record(1.0, 1.5, 3.0, 10.0);
+        assert!((r.response() - 0.5).abs() < 1e-12);
+        assert!((r.wait() - 1.5).abs() < 1e-12);
+        assert!((r.service() - 7.0).abs() < 1e-12);
+        assert!((r.total() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifecycle_counters() {
+        let s = ServerStats::new(4);
+        s.job_queued();
+        s.job_queued();
+        assert_eq!(s.load_report().queued, 2);
+        s.job_started();
+        let rep = s.load_report();
+        assert_eq!(rep.queued, 1);
+        assert_eq!(rep.running, 1);
+        assert_eq!(rep.pes, 4);
+        s.job_finished(record(0.0, 0.0, 0.0, 1.0));
+        assert_eq!(s.load_report().running, 0);
+        assert_eq!(s.completed(), 1);
+    }
+
+    #[test]
+    fn utilization_caps_at_100() {
+        let s = ServerStats::new(1);
+        s.job_queued();
+        s.job_started();
+        s.job_queued();
+        s.job_started();
+        assert_eq!(s.load_report().cpu_utilization, 100.0);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let s = ServerStats::new(1);
+        let a = s.now();
+        let b = s.now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,176 @@
+//! Execution-trace cost prediction (paper §5.1/§5.2).
+//!
+//! "By predicting the computation and communication time of a Ninf_call task
+//! using IDL and server trace information, we could perform Shortest-Job-
+//! First (SJF) scheduling" — this module is that trace: it records observed
+//! `(problem size, service seconds)` samples per routine and fits a
+//! power law `t = a·n^b` by least squares in log-log space, the right family
+//! for the O(n³) Linpack kernels and the O(1)-in-`n` fixed-size calls alike.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+/// One routine's observation history and fitted model.
+#[derive(Debug, Clone, Default)]
+struct RoutineTrace {
+    /// (ln n, ln t) samples; n is clamped ≥ 1 so logs are defined.
+    samples: Vec<(f64, f64)>,
+}
+
+impl RoutineTrace {
+    /// Least-squares fit of `ln t = ln a + b·ln n`; returns `(a, b)`.
+    fn fit(&self) -> Option<(f64, f64)> {
+        let n = self.samples.len();
+        if n == 0 {
+            return None;
+        }
+        if n == 1 {
+            // A single sample: assume constant cost.
+            return Some((self.samples[0].1.exp(), 0.0));
+        }
+        let m = n as f64;
+        let (sx, sy): (f64, f64) =
+            self.samples.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+        let sxx: f64 = self.samples.iter().map(|&(x, _)| x * x).sum();
+        let sxy: f64 = self.samples.iter().map(|&(x, y)| x * y).sum();
+        let denom = m * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            // All samples at the same n: constant model at the mean.
+            return Some(((sy / m).exp(), 0.0));
+        }
+        let b = (m * sxy - sx * sy) / denom;
+        let ln_a = (sy - b * sx) / m;
+        Some((ln_a.exp(), b))
+    }
+}
+
+/// Thread-safe per-routine cost model.
+#[derive(Debug, Default)]
+pub struct CostModel {
+    traces: RwLock<HashMap<String, RoutineTrace>>,
+}
+
+impl CostModel {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an observed execution: `routine` at problem size `n` took
+    /// `seconds`.
+    pub fn record(&self, routine: &str, n: i64, seconds: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        let x = (n.max(1)) as f64;
+        self.traces
+            .write()
+            .entry(routine.to_owned())
+            .or_default()
+            .samples
+            .push((x.ln(), seconds.ln()));
+    }
+
+    /// Predict the service time of `routine` at problem size `n`; `None`
+    /// until at least one sample exists.
+    pub fn predict(&self, routine: &str, n: i64) -> Option<f64> {
+        let traces = self.traces.read();
+        let (a, b) = traces.get(routine)?.fit()?;
+        Some(a * ((n.max(1)) as f64).powf(b))
+    }
+
+    /// The fitted exponent `b` of `t = a·n^b` (≈3 for LU, ≈0 for fixed-size
+    /// calls); diagnostic.
+    pub fn exponent(&self, routine: &str) -> Option<f64> {
+        self.traces.read().get(routine)?.fit().map(|(_, b)| b)
+    }
+
+    /// Number of samples recorded for a routine.
+    pub fn samples(&self, routine: &str) -> usize {
+        self.traces.read().get(routine).map_or(0, |t| t.samples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_samples_no_prediction() {
+        let m = CostModel::new();
+        assert_eq!(m.predict("linpack", 600), None);
+    }
+
+    #[test]
+    fn single_sample_predicts_constant() {
+        let m = CostModel::new();
+        m.record("ep", 24, 200.0);
+        assert!((m.predict("ep", 24).unwrap() - 200.0).abs() < 1e-9);
+        assert!((m.predict("ep", 48).unwrap() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_cubic_law() {
+        let m = CostModel::new();
+        // t = 2e-9 * n^3 exactly.
+        for n in [200i64, 400, 600, 800, 1000] {
+            m.record("linpack", n, 2e-9 * (n as f64).powi(3));
+        }
+        let b = m.exponent("linpack").unwrap();
+        assert!((b - 3.0).abs() < 1e-6, "b = {b}");
+        let t = m.predict("linpack", 1400).unwrap();
+        let expect = 2e-9 * 1400f64.powi(3);
+        assert!((t - expect).abs() / expect < 1e-6, "t = {t} vs {expect}");
+    }
+
+    #[test]
+    fn robust_to_noise() {
+        let m = CostModel::new();
+        let noise = [1.05, 0.93, 1.1, 0.97, 1.02, 0.9, 1.08];
+        for (i, n) in [100i64, 200, 300, 500, 700, 900, 1200].iter().enumerate() {
+            m.record("linpack", *n, 1e-8 * (*n as f64).powi(3) * noise[i]);
+        }
+        let t = m.predict("linpack", 600).unwrap();
+        let expect = 1e-8 * 600f64.powi(3);
+        assert!((t - expect).abs() / expect < 0.25, "t = {t} vs {expect}");
+    }
+
+    #[test]
+    fn constant_routine_fits_flat() {
+        let m = CostModel::new();
+        for n in [8i64, 16, 24, 32] {
+            m.record("query", n, 0.5);
+        }
+        let b = m.exponent("query").unwrap();
+        assert!(b.abs() < 1e-9);
+        assert!((m.predict("query", 64).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_n_samples_average() {
+        let m = CostModel::new();
+        m.record("f", 100, 1.0);
+        m.record("f", 100, 4.0);
+        // Geometric mean of 1 and 4 = 2.
+        assert!((m.predict("f", 100).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routines_are_independent() {
+        let m = CostModel::new();
+        m.record("a", 10, 1.0);
+        m.record("b", 10, 100.0);
+        assert!(m.predict("a", 10).unwrap() < m.predict("b", 10).unwrap());
+        assert_eq!(m.samples("a"), 1);
+        assert_eq!(m.samples("c"), 0);
+    }
+
+    #[test]
+    fn nonpositive_times_ignored() {
+        let m = CostModel::new();
+        m.record("f", 10, 0.0);
+        m.record("f", 10, -3.0);
+        assert_eq!(m.predict("f", 10), None);
+    }
+}

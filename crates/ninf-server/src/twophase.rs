@@ -1,0 +1,159 @@
+//! Two-phase call support (paper §5.1).
+//!
+//! "an alternative is to modify Ninf_call to become a two-phase transaction,
+//! where remote argument transfer takes place in the first phase, whereupon
+//! the communication is terminated, and after the server computation is
+//! over, the client is notified so that it may receive the results in the
+//! second phase. We have already implemented such a two-phase protocol for
+//! database queries in Ninf." — here it is for computations: the client
+//! submits and disconnects; the server computes under the same gate as
+//! ordinary calls; any later connection can poll and fetch by ticket.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+use ninf_protocol::{JobPhase, Value};
+
+/// Outcome storage of one submitted job.
+#[derive(Debug, Clone)]
+enum JobState {
+    Pending,
+    Done(Vec<Value>),
+    Failed(String),
+}
+
+/// Thread-safe ticket → job-state table.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    next: AtomicU64,
+    jobs: Mutex<HashMap<u64, JobState>>,
+    cv: Condvar,
+}
+
+impl JobTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a ticket in the pending state.
+    pub fn submit(&self) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.jobs.lock().insert(id, JobState::Pending);
+        id
+    }
+
+    /// Record a finished job.
+    pub fn complete(&self, job: u64, outcome: Result<Vec<Value>, String>) {
+        let state = match outcome {
+            Ok(v) => JobState::Done(v),
+            Err(e) => JobState::Failed(e),
+        };
+        self.jobs.lock().insert(job, state);
+        self.cv.notify_all();
+    }
+
+    /// Current phase of a ticket.
+    pub fn poll(&self, job: u64) -> JobPhase {
+        match self.jobs.lock().get(&job) {
+            None => JobPhase::Unknown,
+            Some(JobState::Pending) => JobPhase::Pending,
+            Some(JobState::Done(_)) => JobPhase::Done,
+            Some(JobState::Failed(_)) => JobPhase::Failed,
+        }
+    }
+
+    /// Remove and return a finished job's outcome; `None` while pending or
+    /// for unknown tickets.
+    pub fn fetch(&self, job: u64) -> Option<Result<Vec<Value>, String>> {
+        let mut jobs = self.jobs.lock();
+        match jobs.get(&job) {
+            Some(JobState::Pending) | None => None,
+            Some(_) => match jobs.remove(&job) {
+                Some(JobState::Done(v)) => Some(Ok(v)),
+                Some(JobState::Failed(e)) => Some(Err(e)),
+                _ => unreachable!("checked above"),
+            },
+        }
+    }
+
+    /// Number of tickets currently tracked.
+    pub fn len(&self) -> usize {
+        self.jobs.lock().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.lock().is_empty()
+    }
+
+    /// Block until `job` leaves the pending state (test helper; real clients
+    /// poll over the network).
+    pub fn wait_done(&self, job: u64) {
+        let mut jobs = self.jobs.lock();
+        while matches!(jobs.get(&job), Some(JobState::Pending)) {
+            self.cv.wait(&mut jobs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifecycle_pending_done_fetch() {
+        let t = JobTable::new();
+        let id = t.submit();
+        assert_eq!(t.poll(id), JobPhase::Pending);
+        assert!(t.fetch(id).is_none(), "cannot fetch a pending job");
+        t.complete(id, Ok(vec![Value::Int(7)]));
+        assert_eq!(t.poll(id), JobPhase::Done);
+        assert_eq!(t.fetch(id), Some(Ok(vec![Value::Int(7)])));
+        // Fetch consumes the ticket.
+        assert_eq!(t.poll(id), JobPhase::Unknown);
+        assert!(t.fetch(id).is_none());
+    }
+
+    #[test]
+    fn failures_carry_the_reason() {
+        let t = JobTable::new();
+        let id = t.submit();
+        t.complete(id, Err("singular matrix".into()));
+        assert_eq!(t.poll(id), JobPhase::Failed);
+        assert_eq!(t.fetch(id), Some(Err("singular matrix".into())));
+    }
+
+    #[test]
+    fn unknown_tickets() {
+        let t = JobTable::new();
+        assert_eq!(t.poll(999), JobPhase::Unknown);
+        assert!(t.fetch(999).is_none());
+    }
+
+    #[test]
+    fn tickets_are_unique() {
+        let t = JobTable::new();
+        let a = t.submit();
+        let b = t.submit();
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn wait_done_blocks_until_completion() {
+        let t = Arc::new(JobTable::new());
+        let id = t.submit();
+        let t2 = t.clone();
+        let worker = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            t2.complete(id, Ok(vec![]));
+        });
+        t.wait_done(id);
+        assert_eq!(t.poll(id), JobPhase::Done);
+        worker.join().unwrap();
+    }
+}

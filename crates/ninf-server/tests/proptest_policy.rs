@@ -1,0 +1,100 @@
+//! Property tests on the shared scheduling policies: whatever a policy
+//! picks must be startable, and each policy's defining invariant must hold
+//! on arbitrary queues.
+
+use ninf_server::{JobInfo, SchedPolicy};
+use proptest::prelude::*;
+
+fn arb_queue() -> impl Strategy<Value = Vec<JobInfo>> {
+    proptest::collection::vec((0.01f64..100.0, 1usize..=8), 0..24).prop_map(|jobs| {
+        jobs.into_iter()
+            .enumerate()
+            .map(|(i, (cost, pes))| JobInfo {
+                arrival_seq: i as u64,
+                estimated_cost: cost,
+                pes_required: pes,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Whatever any policy picks fits the free PEs.
+    #[test]
+    fn picks_always_fit(queue in arb_queue(), free in 0usize..=8) {
+        for policy in SchedPolicy::all() {
+            if let Some(i) = policy.pick(&queue, free) {
+                prop_assert!(i < queue.len());
+                prop_assert!(queue[i].pes_required <= free, "{} overpicked", policy.name());
+            }
+        }
+    }
+
+    /// FCFS only ever starts the head of the queue.
+    #[test]
+    fn fcfs_is_head_only(queue in arb_queue(), free in 0usize..=8) {
+        match SchedPolicy::Fcfs.pick(&queue, free) {
+            Some(i) => prop_assert_eq!(i, 0),
+            None => {
+                if let Some(head) = queue.first() {
+                    prop_assert!(head.pes_required > free);
+                }
+            }
+        }
+    }
+
+    /// FPFS picks the earliest fitting job.
+    #[test]
+    fn fpfs_is_earliest_fit(queue in arb_queue(), free in 0usize..=8) {
+        match SchedPolicy::Fpfs.pick(&queue, free) {
+            Some(i) => {
+                for j in &queue[..i] {
+                    prop_assert!(j.pes_required > free);
+                }
+                prop_assert!(queue[i].pes_required <= free);
+            }
+            None => prop_assert!(queue.iter().all(|j| j.pes_required > free)),
+        }
+    }
+
+    /// SJF picks a fitting job with globally minimal cost.
+    #[test]
+    fn sjf_is_minimal_cost(queue in arb_queue(), free in 0usize..=8) {
+        if let Some(i) = SchedPolicy::Sjf.pick(&queue, free) {
+            let min_fit = queue
+                .iter()
+                .filter(|j| j.pes_required <= free)
+                .map(|j| j.estimated_cost)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(queue[i].estimated_cost <= min_fit + 1e-12);
+        }
+    }
+
+    /// FPMPFS picks a fitting job with maximal width.
+    #[test]
+    fn fpmpfs_is_maximal_width(queue in arb_queue(), free in 0usize..=8) {
+        if let Some(i) = SchedPolicy::Fpmpfs.pick(&queue, free) {
+            let max_fit = queue
+                .iter()
+                .filter(|j| j.pes_required <= free)
+                .map(|j| j.pes_required)
+                .max()
+                .unwrap();
+            prop_assert_eq!(queue[i].pes_required, max_fit);
+        }
+    }
+
+    /// If any job fits, the backfilling policies never return None.
+    #[test]
+    fn backfillers_are_work_conserving(queue in arb_queue(), free in 1usize..=8) {
+        let any_fit = queue.iter().any(|j| j.pes_required <= free);
+        for policy in [SchedPolicy::Sjf, SchedPolicy::Fpfs, SchedPolicy::Fpmpfs] {
+            prop_assert_eq!(
+                policy.pick(&queue, free).is_some(),
+                any_fit,
+                "{} not work-conserving",
+                policy.name()
+            );
+        }
+    }
+}

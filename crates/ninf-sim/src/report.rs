@@ -1,0 +1,79 @@
+//! Plain-text rendering of results in the paper's table shapes.
+
+use crate::metrics::CellResult;
+
+/// Render a multi-client table (Tables 3–8 shape): one row per (n, c) cell.
+pub fn render_table(title: &str, cells: &[CellResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(
+        "workload          |  c | Performance[M(fl)ops]   | response[sec]      | wait[sec]          | Throughput[MB/s]    |  CPU%  |  Load  | times\n",
+    );
+    out.push_str(
+        "------------------|----|-------------------------|--------------------|--------------------|---------------------|--------|--------|------\n",
+    );
+    for cell in cells {
+        out.push_str(&format!(
+            "{:<18}| {:>2} | {:<23} | {:<18} | {:<18} | {:<19} | {:>6.2} | {:>6.2} | {:>4}\n",
+            cell.workload,
+            cell.clients,
+            cell.perf.cell(2),
+            cell.response.cell(2),
+            cell.wait.cell(2),
+            cell.throughput.cell(3),
+            cell.cpu_utilization,
+            cell.load_average,
+            cell.times,
+        ));
+    }
+    out
+}
+
+/// Render an x/y series (the figures): one `x  y` pair per line.
+pub fn render_series(title: &str, header: (&str, &str), points: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n{:<12} {}\n", header.0, header.1));
+    for (x, y) in points {
+        out.push_str(&format!("{x:<12} {y:.3}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Summary;
+
+    fn cell() -> CellResult {
+        CellResult {
+            workload: "linpack n=600".into(),
+            clients: 4,
+            perf: Summary { max: 72.4, min: 43.85, mean: 67.05 },
+            response: Summary { max: 1.01, min: 0.01, mean: 0.05 },
+            wait: Summary { max: 0.05, min: 0.02, mean: 0.03 },
+            throughput: Summary { max: 2.55, min: 1.89, mean: 2.34 },
+            cpu_utilization: 42.03,
+            load_average: 1.99,
+            load_max: 3.2,
+            fairness: 0.93,
+            times: 96,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let text = render_table("Table 3", &[cell()]);
+        assert!(text.contains("Table 3"));
+        assert!(text.contains("72.40/43.85/67.05"));
+        assert!(text.contains("42.03"));
+        assert!(text.contains("96"));
+    }
+
+    #[test]
+    fn series_lists_points() {
+        let text = render_series("Fig 3", ("n", "Mflops"), &[(100.0, 12.5), (200.0, 30.0)]);
+        assert!(text.contains("Fig 3"));
+        assert!(text.contains("100"));
+        assert!(text.contains("30.000"));
+    }
+}

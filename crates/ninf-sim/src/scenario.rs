@@ -1,0 +1,465 @@
+//! Scenario builders: the paper's LAN, single-site WAN, and multi-site WAN
+//! benchmarking environments (Figures 2 and 9).
+
+use ninf_machine::MachineSpec;
+use ninf_metaserver::Balancing;
+use ninf_netsim::{NodeId, Topology};
+use ninf_server::{ExecMode, SchedPolicy};
+
+use crate::workload::Workload;
+
+/// Built network plus the server's node.
+#[derive(Debug, Clone)]
+pub struct NetworkBuild {
+    /// Routed topology.
+    pub topo: Topology,
+    /// Where the computational server sits.
+    pub server_node: NodeId,
+}
+
+/// Which of the paper's environments a scenario models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// Switched LAN (Figure 2).
+    Lan,
+    /// One remote site behind a thin shared link (Ocha-U ↔ ETL, §4.1).
+    SingleSiteWan,
+    /// Multiple sites on distinct backbones (Figure 9).
+    MultiSiteWan,
+}
+
+/// Background cross-traffic on a WAN link: the 1997 Internet was shared,
+/// which is why the paper's nominal 0.17 MB/s Ocha-U↔ETL link averaged
+/// ~0.13 MB/s for a single stream. Bursts arrive as an on/off process and
+/// consume up to `intensity` of the link while on.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossTraffic {
+    /// Fraction of the link a burst can consume (its flow-rate cap relative
+    /// to the link capacity).
+    pub intensity: f64,
+    /// Mean burst duration in seconds (exponential).
+    pub mean_on: f64,
+    /// Mean gap between bursts in seconds (exponential).
+    pub mean_off: f64,
+}
+
+impl CrossTraffic {
+    /// The calibration used for the paper's WAN environment.
+    pub fn internet_1997() -> CrossTraffic {
+        CrossTraffic { intensity: 0.45, mean_on: 25.0, mean_off: 25.0 }
+    }
+}
+
+/// One simulated client host.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientGroup {
+    /// The client's node in the topology.
+    pub node: NodeId,
+    /// Per-stream TCP ceiling for this client↔server pair (bytes/s) — the
+    /// Fig 5 / Table 2 saturation levels.
+    pub stream_cap: f64,
+    /// One-way latency to the server (seconds).
+    pub latency_to_server: f64,
+}
+
+/// An additional computational server in a multi-server scenario (the
+/// metaserver-in-the-loop simulations).
+#[derive(Debug, Clone)]
+pub struct ExtraServer {
+    /// Machine model.
+    pub machine: MachineSpec,
+    /// Execution mode on this server.
+    pub mode: ExecMode,
+    /// Its node in the topology.
+    pub node: NodeId,
+    /// Per-stream TCP ceiling between the clients and this server.
+    pub stream_cap: f64,
+    /// One-way client↔server latency (seconds).
+    pub latency: f64,
+    /// The bandwidth estimate the metaserver's directory holds for this
+    /// server (what `Balancing::BandwidthAware` consults).
+    pub bandwidth_estimate: f64,
+}
+
+/// A complete experiment cell configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario label for reports.
+    pub name: String,
+    /// Environment class.
+    pub kind: NetworkKind,
+    /// Server machine model.
+    pub server: MachineSpec,
+    /// Execution mode (1-PE vs 4-PE tables).
+    pub mode: ExecMode,
+    /// Gate policy (FCFS in the paper; ablations vary it).
+    pub policy: SchedPolicy,
+    /// What each call computes.
+    pub workload: Workload,
+    /// The client hosts.
+    pub clients: Vec<ClientGroup>,
+    /// Built network.
+    pub network: NetworkBuild,
+    /// Decision interval `s` (paper: 3 s).
+    pub interval_s: f64,
+    /// Decision probability `p` (paper: 1/2).
+    pub prob_p: f64,
+    /// Virtual seconds to simulate (measurement window ends here).
+    pub duration: f64,
+    /// Warm-up seconds excluded from measurement.
+    pub warmup: f64,
+    /// RNG seed (every result is a pure function of the scenario).
+    pub seed: u64,
+    /// Probability a connection hits a 5 s SYN-retransmit timeout (the
+    /// sporadic ~5 s response maxima in every table).
+    pub syn_retry_prob: f64,
+    /// Per-job thread demand override (SMP multithreaded-library ablation);
+    /// `None` uses the execution mode's width.
+    pub threads_per_job: Option<f64>,
+    /// Background traffic process on the WAN link, with the node pair whose
+    /// route crosses that link.
+    pub cross_traffic: Option<(CrossTraffic, NodeId, NodeId)>,
+    /// Additional servers (server 0 is always [`Scenario::server`] at
+    /// [`NetworkBuild::server_node`]).
+    pub extra_servers: Vec<ExtraServer>,
+    /// How calls pick a server when several exist; `None` (and any
+    /// single-server scenario) always uses server 0. Reuses the *live*
+    /// metaserver's policy code.
+    pub balancing: Option<Balancing>,
+}
+
+/// LAN per-stream ceiling to the J90 (Fig 5: ~2.5 MB/s achieved).
+pub const LAN_STREAM_CAP_J90: f64 = 2.6e6;
+/// LAN client access capacity (switched 100 Mb Ethernet ballpark).
+pub const LAN_ACCESS: f64 = 10e6;
+/// Server LAN attachment (aggregate ceiling ≈ 15 MB/s, Tables 3/4).
+pub const LAN_SERVER_ACCESS: f64 = 15e6;
+/// Ocha-U ↔ ETL shared WAN link (§4.1: "approximately 0.17 MB/s").
+pub const WAN_SITE_LINK: f64 = 0.17e6;
+/// Shared convergence capacity at the server side of the multi-site WAN.
+pub const WAN_BACKBONE: f64 = 0.55e6;
+
+impl Scenario {
+    /// The Figure 2 LAN: `c` clients on a switch in front of `server`.
+    pub fn lan(
+        server: MachineSpec,
+        c: usize,
+        workload: Workload,
+        mode: ExecMode,
+        policy: SchedPolicy,
+        seed: u64,
+    ) -> Scenario {
+        Self::lan_custom(server, c, LAN_STREAM_CAP_J90, workload, mode, policy, seed)
+    }
+
+    /// LAN with an explicit per-stream ceiling (client/server pair specific,
+    /// Table 2).
+    pub fn lan_custom(
+        server: MachineSpec,
+        c: usize,
+        stream_cap: f64,
+        workload: Workload,
+        mode: ExecMode,
+        policy: SchedPolicy,
+        seed: u64,
+    ) -> Scenario {
+        let mut topo = Topology::new();
+        let latency = 0.0002; // 0.2 ms switched LAN
+        let switch = topo.add_node("switch");
+        let server_node = topo.add_node(&server.name);
+        topo.add_duplex_link(switch, server_node, LAN_SERVER_ACCESS, latency / 2.0);
+        let clients: Vec<ClientGroup> = (0..c)
+            .map(|i| {
+                let node = topo.add_node(format!("client{i}"));
+                topo.add_duplex_link(node, switch, LAN_ACCESS, latency / 2.0);
+                ClientGroup { node, stream_cap, latency_to_server: latency }
+            })
+            .collect();
+        topo.compute_routes();
+        Scenario {
+            name: format!("LAN {} c={c}", workload.label()),
+            kind: NetworkKind::Lan,
+            server,
+            mode,
+            policy,
+            workload,
+            clients,
+            network: NetworkBuild { topo, server_node },
+            interval_s: 3.0,
+            prob_p: 0.5,
+            duration: 600.0,
+            warmup: 60.0,
+            seed,
+            syn_retry_prob: 0.015,
+            threads_per_job: None,
+            cross_traffic: None,
+            extra_servers: Vec::new(),
+            balancing: None,
+        }
+    }
+
+    /// The §4.1 single-site WAN: `c` clients at Ocha-U behind the shared
+    /// 0.17 MB/s link to ETL, ~60 km away.
+    pub fn single_site_wan(
+        server: MachineSpec,
+        c: usize,
+        workload: Workload,
+        mode: ExecMode,
+        policy: SchedPolicy,
+        seed: u64,
+    ) -> Scenario {
+        let mut topo = Topology::new();
+        let site_router = topo.add_node("ocha-u");
+        let server_router = topo.add_node("etl-router");
+        let server_node = topo.add_node(&server.name);
+        // The thin shared site link is the defining feature.
+        topo.add_duplex_link(site_router, server_router, WAN_SITE_LINK, 0.015);
+        topo.add_duplex_link(server_router, server_node, LAN_SERVER_ACCESS, 0.0001);
+        // Background Internet traffic rides the same site link.
+        let bg_src = topo.add_node("bg-src");
+        let bg_sink = topo.add_node("bg-sink");
+        topo.add_duplex_link(bg_src, site_router, LAN_ACCESS, 0.0001);
+        topo.add_duplex_link(bg_sink, server_router, LAN_ACCESS, 0.0001);
+        let clients: Vec<ClientGroup> = (0..c)
+            .map(|i| {
+                let node = topo.add_node(format!("ocha{i}"));
+                topo.add_duplex_link(node, site_router, LAN_ACCESS, 0.0001);
+                ClientGroup {
+                    node,
+                    stream_cap: WAN_SITE_LINK,
+                    latency_to_server: 0.0152,
+                }
+            })
+            .collect();
+        topo.compute_routes();
+        Scenario {
+            name: format!("WAN(single-site) {} c={c}", workload.label()),
+            kind: NetworkKind::SingleSiteWan,
+            server,
+            mode,
+            policy,
+            workload,
+            clients,
+            network: NetworkBuild { topo, server_node },
+            interval_s: 3.0,
+            prob_p: 0.5,
+            duration: 1800.0,
+            warmup: 120.0,
+            seed,
+            syn_retry_prob: 0.03,
+            threads_per_job: None,
+            cross_traffic: Some((CrossTraffic::internet_1997(), bg_src, bg_sink)),
+            extra_servers: Vec::new(),
+            balancing: None,
+        }
+    }
+
+    /// The Figure 9 multi-site WAN: `sites` university sites on distinct
+    /// backbones, `c_per_site` clients each, converging on the ETL J90.
+    pub fn multi_site_wan(
+        server: MachineSpec,
+        sites: usize,
+        c_per_site: usize,
+        workload: Workload,
+        mode: ExecMode,
+        policy: SchedPolicy,
+        seed: u64,
+    ) -> Scenario {
+        let mut topo = Topology::new();
+        let convergence = topo.add_node("etl-ingress");
+        let server_router = topo.add_node("etl-router");
+        let server_node = topo.add_node(&server.name);
+        topo.add_duplex_link(convergence, server_router, WAN_BACKBONE, 0.004);
+        topo.add_duplex_link(server_router, server_node, LAN_SERVER_ACCESS, 0.0001);
+        let site_names = ["Ocha-U", "U-Tokyo", "NITech", "TITech"];
+        let mut clients = Vec::new();
+        for s in 0..sites {
+            let site = topo.add_node(site_names.get(s).copied().unwrap_or("site"));
+            // Each site rides its own backbone with its own thin uplink and
+            // slightly different latency (NITech is ~350 km out).
+            let latency = 0.012 + 0.004 * s as f64;
+            topo.add_duplex_link(site, convergence, WAN_SITE_LINK, latency);
+            for i in 0..c_per_site {
+                let node = topo.add_node(format!("site{s}-client{i}"));
+                topo.add_duplex_link(node, site, LAN_ACCESS, 0.0001);
+                clients.push(ClientGroup {
+                    node,
+                    stream_cap: WAN_SITE_LINK,
+                    latency_to_server: latency + 0.0042,
+                });
+            }
+        }
+        topo.compute_routes();
+        Scenario {
+            name: format!(
+                "WAN(multi-site) {} {sites}x{c_per_site} clients",
+                workload.label()
+            ),
+            kind: NetworkKind::MultiSiteWan,
+            server,
+            mode,
+            policy,
+            workload,
+            clients,
+            network: NetworkBuild { topo, server_node },
+            interval_s: 3.0,
+            prob_p: 0.5,
+            duration: 1800.0,
+            warmup: 120.0,
+            seed,
+            syn_retry_prob: 0.03,
+            threads_per_job: None,
+            cross_traffic: None,
+            extra_servers: Vec::new(),
+            balancing: None,
+        }
+    }
+
+    /// A metaserver-in-the-loop scenario: `c` clients at one site choosing,
+    /// per `balancing`, between a *far* supercomputer (server 0: `far`,
+    /// behind the thin WAN link) and a *near* modest server (server 1:
+    /// `near`, on the clients' LAN). This is the placement dilemma of
+    /// §4.2.2/§6: NetSolve-style load-based choice favours the idle far
+    /// machine; bandwidth-aware choice keeps communication-bound work near.
+    pub fn two_server_lan_wan(
+        far: MachineSpec,
+        near: MachineSpec,
+        c: usize,
+        workload: Workload,
+        balancing: Balancing,
+        seed: u64,
+    ) -> Scenario {
+        let mut topo = Topology::new();
+        let site_router = topo.add_node("site");
+        let server_router = topo.add_node("far-router");
+        let far_node = topo.add_node(&far.name);
+        // Far: behind the 0.17 MB/s WAN link.
+        topo.add_duplex_link(site_router, server_router, WAN_SITE_LINK, 0.015);
+        topo.add_duplex_link(server_router, far_node, LAN_SERVER_ACCESS, 0.0001);
+        // Near: on the clients' own LAN.
+        let near_node = topo.add_node(&near.name);
+        topo.add_duplex_link(site_router, near_node, LAN_SERVER_ACCESS, 0.0001);
+        let clients: Vec<ClientGroup> = (0..c)
+            .map(|i| {
+                let node = topo.add_node(format!("client{i}"));
+                topo.add_duplex_link(node, site_router, LAN_ACCESS, 0.0001);
+                ClientGroup { node, stream_cap: WAN_SITE_LINK, latency_to_server: 0.0152 }
+            })
+            .collect();
+        topo.compute_routes();
+        let near_cap = 3.6e6;
+        let extra = ExtraServer {
+            machine: near,
+            mode: ExecMode::TaskParallel,
+            node: near_node,
+            stream_cap: near_cap,
+            latency: 0.0003,
+            bandwidth_estimate: near_cap,
+        };
+        Scenario {
+            name: format!("two-server {} c={c}", workload.label()),
+            kind: NetworkKind::SingleSiteWan,
+            server: far,
+            mode: ExecMode::DataParallel,
+            policy: SchedPolicy::Fcfs,
+            workload,
+            clients,
+            network: NetworkBuild { topo, server_node: far_node },
+            interval_s: 3.0,
+            prob_p: 0.5,
+            duration: 1800.0,
+            warmup: 150.0,
+            seed,
+            syn_retry_prob: 0.0,
+            threads_per_job: None,
+            cross_traffic: None,
+            extra_servers: vec![extra],
+            balancing: Some(balancing),
+        }
+    }
+
+    /// Make the client(s) call back-to-back (single-client curves of §3:
+    /// the client loops on `Ninf_call`).
+    pub fn saturated(mut self) -> Scenario {
+        self.interval_s = 0.05;
+        self.prob_p = 1.0;
+        self.syn_retry_prob = 0.0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninf_machine::j90;
+
+    #[test]
+    fn lan_topology_routes_all_clients() {
+        let s = Scenario::lan(
+            j90(),
+            4,
+            Workload::Linpack { n: 600 },
+            ExecMode::TaskParallel,
+            SchedPolicy::Fcfs,
+            1,
+        );
+        for c in &s.clients {
+            assert!(s.network.topo.route(c.node, s.network.server_node).is_some());
+            assert!(s.network.topo.route(s.network.server_node, c.node).is_some());
+        }
+    }
+
+    #[test]
+    fn wan_path_capacity_is_site_link() {
+        let s = Scenario::single_site_wan(
+            j90(),
+            2,
+            Workload::Linpack { n: 600 },
+            ExecMode::TaskParallel,
+            SchedPolicy::Fcfs,
+            1,
+        );
+        let cap = s
+            .network
+            .topo
+            .path_capacity(s.clients[0].node, s.network.server_node)
+            .unwrap();
+        assert_eq!(cap, WAN_SITE_LINK);
+    }
+
+    #[test]
+    fn multi_site_sites_have_distinct_uplinks() {
+        let s = Scenario::multi_site_wan(
+            j90(),
+            4,
+            1,
+            Workload::Linpack { n: 600 },
+            ExecMode::TaskParallel,
+            SchedPolicy::Fcfs,
+            1,
+        );
+        assert_eq!(s.clients.len(), 4);
+        // Each client's path capacity is its own site link, not shared.
+        for c in &s.clients {
+            let cap = s.network.topo.path_capacity(c.node, s.network.server_node).unwrap();
+            assert_eq!(cap, WAN_SITE_LINK);
+        }
+        // Latencies differ per site.
+        assert!(s.clients[0].latency_to_server < s.clients[3].latency_to_server);
+    }
+
+    #[test]
+    fn saturated_builder_enables_back_to_back() {
+        let s = Scenario::lan(
+            j90(),
+            1,
+            Workload::Linpack { n: 600 },
+            ExecMode::TaskParallel,
+            SchedPolicy::Fcfs,
+            1,
+        )
+        .saturated();
+        assert_eq!(s.prob_p, 1.0);
+        assert!(s.interval_s < 0.1);
+    }
+}

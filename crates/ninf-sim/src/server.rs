@@ -1,0 +1,493 @@
+//! The simulated Ninf computational server: a fluid CPU shared by running
+//! executables and XDR marshalling, plus the §4.1 execution-mode semantics.
+//!
+//! Key modelling decisions (validated against the paper's tables in
+//! `experiments::tests` and EXPERIMENTS.md):
+//!
+//! * **Task-parallel mode** forks one executable per call with *unbounded*
+//!   concurrency — the 1997 server "merely fork & execs a Ninf executable"
+//!   (§5.2) and lets the OS timeshare. This is what makes EP throughput halve
+//!   from c=4 to c=8 on the 4-PE J90 while `T_wait` stays tiny (Table 8).
+//! * **Data-parallel mode** runs the all-PE library one call at a time; later
+//!   calls queue (policy-ordered) for the machine.
+//! * **Marshalling contends with computation.** Each active transfer is a CPU
+//!   task demanding up to `tcp_cap / marshal_rate` of a PE; the water-fill
+//!   over jobs + marshal tasks produces both the compute slowdown and the
+//!   throughput sag at saturation ("server CPU utilization dominates LAN
+//!   performance").
+
+use ninf_machine::{CpuAccounting, LoadAverage, MachineSpec};
+use ninf_netsim::{FlowId, FluidNet};
+use ninf_server::{ExecMode, JobInfo, SchedPolicy};
+
+/// A compute job (one forked Ninf executable in its execution phase).
+#[derive(Debug, Clone)]
+struct JobSlot {
+    call: u64,
+    /// Remaining work in PE-seconds.
+    remaining: f64,
+    /// PEs the executable's library wants (1 task-parallel, all PEs
+    /// data-parallel; `threads_per_job` for the SMP ablation).
+    demand: f64,
+    /// Current drain rate in PE-seconds/second (≤ demand).
+    rate: f64,
+}
+
+/// A job waiting for the data-parallel gate.
+#[derive(Debug, Clone)]
+struct QueuedJob {
+    call: u64,
+    work: f64,
+    demand: f64,
+    info: JobInfo,
+}
+
+/// An active transfer whose (un)marshalling runs on this server.
+#[derive(Debug, Clone)]
+struct TransferTask {
+    flow: FlowId,
+    /// Per-stream TCP ceiling for this client/server pair (bytes/s).
+    tcp_cap: f64,
+}
+
+/// The simulated server.
+#[derive(Debug)]
+pub struct ServerSim {
+    /// Machine model.
+    pub machine: MachineSpec,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Queue policy for the data-parallel gate (and ablations).
+    pub policy: SchedPolicy,
+    /// Override of per-job thread demand (SMP multithreaded-library
+    /// ablation A5); `None` uses the mode's width.
+    pub threads_per_job: Option<f64>,
+    /// Strictly serialize jobs through a policy-ordered admission gate
+    /// instead of fork-and-timeshare (scheduling ablations).
+    pub gated: bool,
+    jobs: Vec<JobSlot>,
+    queue: Vec<QueuedJob>,
+    transfers: Vec<TransferTask>,
+    acct: CpuAccounting,
+    load: LoadAverage,
+    last_update: f64,
+    next_seq: u64,
+}
+
+impl ServerSim {
+    /// New server at virtual time 0.
+    pub fn new(machine: MachineSpec, mode: ExecMode, policy: SchedPolicy) -> Self {
+        let pes = machine.pes;
+        Self {
+            machine,
+            mode,
+            policy,
+            threads_per_job: None,
+            gated: false,
+            jobs: Vec::new(),
+            queue: Vec::new(),
+            transfers: Vec::new(),
+            acct: CpuAccounting::new(pes, 0.0),
+            load: LoadAverage::new(0.0),
+            last_update: 0.0,
+            next_seq: 0,
+        }
+    }
+
+    /// PEs a new job will demand.
+    pub fn job_demand(&self) -> f64 {
+        self.threads_per_job
+            .unwrap_or(self.mode.pes_per_call(self.machine.pes) as f64)
+    }
+
+    /// Register an active transfer whose marshalling runs here.
+    pub fn transfer_started(&mut self, flow: FlowId, tcp_cap: f64, now: f64) {
+        self.drain(now);
+        self.transfers.push(TransferTask { flow, tcp_cap });
+    }
+
+    /// Remove a finished/cancelled transfer.
+    pub fn transfer_ended(&mut self, flow: FlowId, now: f64) {
+        self.drain(now);
+        self.transfers.retain(|t| t.flow != flow);
+    }
+
+    /// Submit a compute job. Returns `true` if it starts immediately,
+    /// `false` if it queued for the gate (gated scenarios only).
+    ///
+    /// The 1997 server "merely fork & execs a Ninf executable" (§5.2) in
+    /// *both* modes and lets the OS timeshare — Table 4's load average of 30
+    /// at c=16 means ~7 four-thread libSci executables were runnable at
+    /// once, not one. `gated = true` restores strict serialization for the
+    /// §5.2/§5.3 scheduling ablations.
+    pub fn submit_job(&mut self, call: u64, work_pe_seconds: f64, now: f64) -> bool {
+        self.drain(now);
+        let demand = self.job_demand();
+        if !self.gated {
+            self.jobs.push(JobSlot { call, remaining: work_pe_seconds, demand, rate: 0.0 });
+            return true;
+        }
+        let info = JobInfo {
+            arrival_seq: self.next_seq,
+            estimated_cost: work_pe_seconds,
+            pes_required: demand.ceil() as usize,
+        };
+        self.next_seq += 1;
+        self.queue.push(QueuedJob { call, work: work_pe_seconds, demand, info });
+        self.try_start_queued()
+    }
+
+    /// Data-parallel gate: start the policy's pick if the machine is free.
+    /// Returns whether anything started.
+    fn try_start_queued(&mut self) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        // The gate treats the whole machine as the resource: PEs not claimed
+        // by running jobs are free.
+        let used: usize = self.jobs.iter().map(|j| j.demand.ceil() as usize).sum();
+        let free = self.machine.pes.saturating_sub(used);
+        let infos: Vec<JobInfo> = self.queue.iter().map(|q| q.info).collect();
+        match self.policy.pick(&infos, free) {
+            Some(idx) => {
+                let q = self.queue.remove(idx);
+                self.jobs.push(JobSlot { call: q.call, remaining: q.work, demand: q.demand, rate: 0.0 });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The earliest compute completion `(time, call)` at current rates.
+    pub fn next_job_completion(&self, now: f64) -> Option<(f64, u64)> {
+        self.jobs
+            .iter()
+            .filter(|j| j.rate > 0.0)
+            .map(|j| (now + j.remaining / j.rate, j.call))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+    }
+
+    /// Advance job progress to `to` at current rates.
+    pub fn drain(&mut self, to: f64) {
+        let dt = to - self.last_update;
+        if dt <= 0.0 {
+            return;
+        }
+        for j in &mut self.jobs {
+            j.remaining = (j.remaining - j.rate * dt).max(0.0);
+        }
+        self.last_update = to;
+    }
+
+    /// Remove a finished job; returns calls that *started* as a result
+    /// (data-parallel gate admits the next pick).
+    pub fn finish_job(&mut self, call: u64, now: f64) -> Vec<u64> {
+        self.drain(now);
+        debug_assert!(
+            self.jobs.iter().any(|j| j.call == call),
+            "finish_job: unknown call {call}"
+        );
+        self.jobs.retain(|j| j.call != call);
+        let mut started = Vec::new();
+        if self.gated {
+            let before: Vec<u64> = self.jobs.iter().map(|j| j.call).collect();
+            while self.try_start_queued() {
+                // Keep admitting while the policy allows (FCFS admits one —
+                // the machine is busy again — but a policy could admit none).
+            }
+            for j in &self.jobs {
+                if !before.contains(&j.call) {
+                    started.push(j.call);
+                }
+            }
+        }
+        started
+    }
+
+    /// Water-fill the PEs over compute jobs and marshal tasks; update job
+    /// drain rates, set marshal-bound caps on the network flows, and refresh
+    /// utilization/load accounting.
+    ///
+    /// Call after *any* state change (job/transfer start or end).
+    pub fn rebalance(&mut self, net: &mut FluidNet, now: f64) {
+        self.drain(now);
+        let pes = self.machine.pes as f64;
+        let marshal_rate = self.machine.marshal_bytes_per_sec_per_pe;
+
+        // Demands: jobs want `demand` PEs; a marshal task can use at most
+        // tcp_cap/marshal_rate of one PE (a thin WAN stream needs ~0.06 PE,
+        // a LAN stream most of one).
+        let mut demands: Vec<f64> = self.jobs.iter().map(|j| j.demand).collect();
+        let marshal_demands: Vec<f64> = self
+            .transfers
+            .iter()
+            .map(|t| (t.tcp_cap / marshal_rate).clamp(0.01, 1.0))
+            .collect();
+        demands.extend(marshal_demands.iter().copied());
+
+        let shares = water_fill(pes, &demands);
+        let (job_shares, marshal_shares) = shares.split_at(self.jobs.len());
+
+        // SMP thread-switching penalty: when runnable threads exceed PEs,
+        // context switching wastes a fraction of every job's share (§4.2.1).
+        let total_threads: f64 = demands.iter().sum();
+        let over = (total_threads - pes).max(0.0);
+        let derate = 1.0 / (1.0 + self.machine.thread_switch_penalty * over);
+
+        for (j, &share) in self.jobs.iter_mut().zip(job_shares) {
+            j.rate = share * derate;
+        }
+        // Marshal share bounds the stream: the flow cannot be unmarshalled
+        // faster than the CPU share allows.
+        let mut busy = job_shares.iter().sum::<f64>() * derate;
+        for (t, &share) in self.transfers.iter().zip(marshal_shares) {
+            let cap = (marshal_rate * share).min(t.tcp_cap).max(1.0);
+            net.set_cap(t.flow, cap, now);
+            // Utilization uses the *achieved* rate, not the reserved share.
+            busy += net.rate(t.flow) / marshal_rate;
+        }
+        self.acct.set_busy(now, busy.min(pes));
+
+        // Runnable tasks for the load average: running executables count
+        // their thread width, gate-queued executables count 1, marshalling
+        // counts its CPU usage.
+        let runnable: f64 = self.jobs.iter().map(|j| j.demand).sum::<f64>()
+            + self.queue.len() as f64
+            + self
+                .transfers
+                .iter()
+                .map(|t| net.rate(t.flow) / marshal_rate)
+                .sum::<f64>();
+        self.load.set_runnable(now, runnable);
+    }
+
+    /// Current runnable-task estimate (for fork-time modelling).
+    pub fn runnable_now(&self) -> f64 {
+        self.jobs.iter().map(|j| j.demand).sum::<f64>()
+            + self.queue.len() as f64
+            + self.transfers.len() as f64 * 0.5
+    }
+
+    /// Number of running compute jobs.
+    pub fn running_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of gate-queued jobs.
+    pub fn queued_jobs(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Reset accounting windows (end of warm-up).
+    pub fn reset_windows(&mut self, now: f64) {
+        self.acct.reset_window(now);
+        self.load.reset_window(now);
+    }
+
+    /// CPU utilization percent over the window.
+    pub fn cpu_utilization(&mut self, now: f64) -> f64 {
+        self.acct.utilization_percent(now)
+    }
+
+    /// Mean and max damped load average over the window.
+    pub fn load_stats(&mut self, now: f64) -> (f64, f64) {
+        (self.load.mean(now), self.load.max())
+    }
+}
+
+/// Max-min water-fill of `capacity` over `demands`; returns per-task shares
+/// with `share_i ≤ demand_i` and `Σ shares ≤ capacity`, max-min fair.
+pub fn water_fill(capacity: f64, demands: &[f64]) -> Vec<f64> {
+    let total: f64 = demands.iter().sum();
+    if total <= capacity {
+        return demands.to_vec();
+    }
+    let mut shares = vec![0.0; demands.len()];
+    let mut frozen = vec![false; demands.len()];
+    let mut remaining = capacity;
+    let mut active = demands.len();
+    while active > 0 && remaining > 1e-12 {
+        let fair = remaining / active as f64;
+        let mut any_frozen = false;
+        for i in 0..demands.len() {
+            if !frozen[i] && demands[i] - shares[i] <= fair {
+                remaining -= demands[i] - shares[i];
+                shares[i] = demands[i];
+                frozen[i] = true;
+                active -= 1;
+                any_frozen = true;
+            }
+        }
+        if !any_frozen {
+            for i in 0..demands.len() {
+                if !frozen[i] {
+                    shares[i] += fair;
+                }
+            }
+            remaining = 0.0;
+        }
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninf_machine::j90;
+    use ninf_netsim::{FlowSpec, Topology};
+
+    fn test_net() -> (FluidNet, ninf_netsim::NodeId, ninf_netsim::NodeId) {
+        let mut t = Topology::new();
+        let c = t.add_node("client");
+        let s = t.add_node("server");
+        t.add_duplex_link(c, s, 20e6, 0.0);
+        t.compute_routes();
+        (FluidNet::new(t), c, s)
+    }
+
+    #[test]
+    fn water_fill_uncontended_gives_demands() {
+        assert_eq!(water_fill(4.0, &[1.0, 1.0]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn water_fill_contended_is_fair() {
+        let s = water_fill(4.0, &[4.0, 4.0]);
+        assert!((s[0] - 2.0).abs() < 1e-9);
+        assert!((s[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_fill_small_demands_fill_first() {
+        let s = water_fill(4.0, &[0.5, 4.0, 4.0]);
+        assert!((s[0] - 0.5).abs() < 1e-9);
+        assert!((s[1] - 1.75).abs() < 1e-9);
+        assert!((s[2] - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_fill_conserves_capacity() {
+        let demands = [0.3, 2.0, 1.0, 4.0, 0.1];
+        let s = water_fill(4.0, &demands);
+        let total: f64 = s.iter().sum();
+        assert!(total <= 4.0 + 1e-9);
+        for (sh, d) in s.iter().zip(&demands) {
+            assert!(sh <= d);
+        }
+    }
+
+    #[test]
+    fn task_parallel_runs_everything_timeshared() {
+        let (mut net, _, _) = test_net();
+        let mut srv = ServerSim::new(j90(), ExecMode::TaskParallel, SchedPolicy::Fcfs);
+        for call in 0..8 {
+            assert!(srv.submit_job(call, 10.0, 0.0));
+        }
+        srv.rebalance(&mut net, 0.0);
+        assert_eq!(srv.running_jobs(), 8);
+        // 8 single-PE jobs on 4 PEs: each runs at half speed.
+        let (t, _) = srv.next_job_completion(0.0).unwrap();
+        assert!((t - 20.0).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn data_parallel_timeshares_wide_jobs() {
+        // Two 4-PE libSci executables on 4 PEs: the OS timeshares, each gets
+        // 2 PE-sec/sec (Table 4's load average 30 behaviour).
+        let (mut net, _, _) = test_net();
+        let mut srv = ServerSim::new(j90(), ExecMode::DataParallel, SchedPolicy::Fcfs);
+        assert!(srv.submit_job(0, 8.0, 0.0));
+        assert!(srv.submit_job(1, 8.0, 0.0));
+        srv.rebalance(&mut net, 0.0);
+        assert_eq!(srv.running_jobs(), 2);
+        let (t, _) = srv.next_job_completion(0.0).unwrap();
+        assert!((t - 4.0).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn gated_mode_serializes() {
+        let (mut net, _, _) = test_net();
+        let mut srv = ServerSim::new(j90(), ExecMode::DataParallel, SchedPolicy::Fcfs);
+        srv.gated = true;
+        assert!(srv.submit_job(0, 8.0, 0.0));
+        assert!(!srv.submit_job(1, 8.0, 0.0));
+        srv.rebalance(&mut net, 0.0);
+        assert_eq!(srv.running_jobs(), 1);
+        assert_eq!(srv.queued_jobs(), 1);
+        // The running 4-PE job drains at 4 PE-sec/sec: done at t=2.
+        let (t, call) = srv.next_job_completion(0.0).unwrap();
+        assert!((t - 2.0).abs() < 1e-9);
+        assert_eq!(call, 0);
+        srv.drain(2.0);
+        let started = srv.finish_job(0, 2.0);
+        assert_eq!(started, vec![1]);
+    }
+
+    #[test]
+    fn marshalling_contends_with_compute() {
+        let (mut net, c, s) = test_net();
+        let mut srv = ServerSim::new(j90(), ExecMode::TaskParallel, SchedPolicy::Fcfs);
+        // Saturate all 4 PEs with 6 compute jobs.
+        for call in 0..6 {
+            srv.submit_job(call, 100.0, 0.0);
+        }
+        let flow = net.start_flow(FlowSpec { src: c, dst: s, bytes: 1e9, cap: 2.6e6 }, 0.0);
+        srv.transfer_started(flow, 2.6e6, 0.0);
+        srv.rebalance(&mut net, 0.0);
+        // Marshal demand ~0.87 PE shares against 6 unit jobs: its share is
+        // ~4/6.87 ≈ 0.58 PE → cap ≈ 1.75 MB/s, well under the TCP ceiling.
+        let rate = net.rate(flow);
+        assert!(rate < 2.0e6, "rate = {rate}");
+        assert!(rate > 1.0e6, "rate = {rate}");
+    }
+
+    #[test]
+    fn idle_server_gives_marshalling_full_speed() {
+        let (mut net, c, s) = test_net();
+        let mut srv = ServerSim::new(j90(), ExecMode::TaskParallel, SchedPolicy::Fcfs);
+        let flow = net.start_flow(FlowSpec { src: c, dst: s, bytes: 1e9, cap: 2.6e6 }, 0.0);
+        srv.transfer_started(flow, 2.6e6, 0.0);
+        srv.rebalance(&mut net, 0.0);
+        assert!((net.rate(flow) - 2.6e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn utilization_tracks_jobs() {
+        let (mut net, _, _) = test_net();
+        let mut srv = ServerSim::new(j90(), ExecMode::TaskParallel, SchedPolicy::Fcfs);
+        srv.submit_job(0, 100.0, 0.0);
+        srv.submit_job(1, 100.0, 0.0);
+        srv.rebalance(&mut net, 0.0);
+        // 2 of 4 PEs busy.
+        assert!((srv.cpu_utilization(10.0) - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn smp_thread_penalty_slows_jobs() {
+        let (mut net, _, _) = test_net();
+        let mut machine = ninf_machine::sparc_smp();
+        machine.thread_switch_penalty = 0.05;
+        let mut srv = ServerSim::new(machine, ExecMode::TaskParallel, SchedPolicy::Fcfs);
+        srv.threads_per_job = Some(12.0); // highly multithreaded library
+        for call in 0..4 {
+            srv.submit_job(call, 10.0, 0.0);
+        }
+        srv.rebalance(&mut net, 0.0);
+        // 48 thread demand on 16 PEs: over = 32 → derate = 1/(1+1.6) ≈ 0.38.
+        // Fair share per job = 4 PEs, so rate ≈ 1.54 instead of 4.
+        let (t, _) = srv.next_job_completion(0.0).unwrap();
+        assert!(t > 6.0, "penalized completion should be slow, t = {t}");
+    }
+
+    #[test]
+    fn drain_is_idempotent_at_same_time() {
+        let (mut net, _, _) = test_net();
+        let mut srv = ServerSim::new(j90(), ExecMode::TaskParallel, SchedPolicy::Fcfs);
+        srv.submit_job(0, 4.0, 0.0);
+        srv.rebalance(&mut net, 0.0);
+        srv.drain(1.0);
+        srv.drain(1.0);
+        let (t, _) = srv.next_job_completion(1.0).unwrap();
+        assert!((t - 4.0).abs() < 1e-9);
+    }
+}

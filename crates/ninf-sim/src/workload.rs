@@ -1,0 +1,152 @@
+//! Workloads: what one `Ninf_call` costs in bytes and work.
+
+use ninf_machine::MachineSpec;
+
+/// The two application cores of the evaluation (§3): communication-heavy
+/// Linpack and communication-free EP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Dense solve of order `n`: ships `8n² + 8n` bytes out, `12n + 4` back,
+    /// computes `2/3·n³ + 2n²` flops.
+    Linpack {
+        /// Matrix order.
+        n: u64,
+    },
+    /// NAS EP with `2^m` pair trials per call: O(1) communication,
+    /// `2^{m+1}` "operations".
+    Ep {
+        /// Trial exponent.
+        m: u32,
+    },
+    /// Density-of-states Monte-Carlo (§4.3.1's "EP-style practical
+    /// application in computational chemistry"): `2^m` samples of `levels`
+    /// uniform draws each, returning only a histogram.
+    Dos {
+        /// Sample exponent.
+        m: u32,
+        /// Uniform levels summed per sample.
+        levels: u32,
+    },
+}
+
+impl Workload {
+    /// Request payload bytes (client → server arrays).
+    pub fn request_bytes(&self) -> f64 {
+        match *self {
+            // A (8n²) + b (8n); the formula total 8n²+20n of §3.1 splits as
+            // request 8n²+8n, reply 12n (+ the 4-byte info/ipvt padding).
+            Workload::Linpack { n } => (8 * n * n + 8 * n) as f64,
+            Workload::Ep { .. } => 64.0,  // the call header + m
+            Workload::Dos { .. } => 64.0, // header + m + bins
+        }
+    }
+
+    /// Reply payload bytes (server → client arrays).
+    pub fn reply_bytes(&self) -> f64 {
+        match *self {
+            Workload::Linpack { n } => (12 * n) as f64,
+            Workload::Ep { .. } => 96.0,   // sums[2] + counts[10]
+            Workload::Dos { .. } => 288.0, // a 32-bin histogram + header
+        }
+    }
+
+    /// Work metric of one call: flops for Linpack, "ops" (`2^{m+1}`) for EP.
+    pub fn work_units(&self) -> f64 {
+        match *self {
+            Workload::Linpack { n } => (2.0 * (n as f64).powi(3)) / 3.0 + 2.0 * (n as f64).powi(2),
+            Workload::Ep { m } => 2f64.powi(m as i32 + 1),
+            // Each sample draws `levels` uniforms: 2^m · levels "operations".
+            Workload::Dos { m, levels } => 2f64.powi(m as i32) * levels as f64,
+        }
+    }
+
+    /// Pure execution seconds on `machine` when the call gets `pes` PEs at
+    /// full speed.
+    pub fn service_seconds(&self, machine: &MachineSpec, pes: usize) -> f64 {
+        match *self {
+            Workload::Linpack { n } => {
+                self.work_units() / (machine.linpack_mflops(n, pes) * 1e6)
+            }
+            // EP is task-parallel across PEs within a call only if the
+            // library shards it; the paper runs one batch per PE, so a call's
+            // batch runs on however many PEs it was given, linearly.
+            Workload::Ep { .. } | Workload::Dos { .. } => {
+                self.work_units() / (machine.ep_mops_per_pe * 1e6 * pes as f64)
+            }
+        }
+    }
+
+    /// Client-observed performance for a call that took `t_total` seconds:
+    /// Mflops for Linpack (§3.1), Mops for EP (§4.3).
+    pub fn performance(&self, t_total: f64) -> f64 {
+        self.work_units() / (t_total * 1e6)
+    }
+
+    /// Table label.
+    pub fn label(&self) -> String {
+        match *self {
+            Workload::Linpack { n } => format!("linpack n={n}"),
+            Workload::Ep { m } => format!("EP 2^{m}"),
+            Workload::Dos { m, levels } => format!("DOS 2^{m}x{levels}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninf_machine::j90;
+
+    #[test]
+    fn linpack_totals_match_paper_formula() {
+        for n in [100u64, 600, 1000, 1400] {
+            let w = Workload::Linpack { n };
+            let total = w.request_bytes() + w.reply_bytes();
+            assert_eq!(total, (8 * n * n + 20 * n) as f64);
+            assert_eq!(w.work_units(), (2.0 * (n as f64).powi(3)) / 3.0 + 2.0 * (n as f64).powi(2));
+        }
+    }
+
+    #[test]
+    fn ep_communication_is_constant() {
+        let small = Workload::Ep { m: 10 };
+        let big = Workload::Ep { m: 30 };
+        assert_eq!(small.request_bytes(), big.request_bytes());
+        assert_eq!(small.reply_bytes(), big.reply_bytes());
+        assert!(big.work_units() > small.work_units() * 1e5);
+    }
+
+    #[test]
+    fn ep_service_time_anchors_table8() {
+        // One 2^24 batch on one J90 PE at 0.168 Mops: T = 2^25 / 0.168e6 ≈ 200 s.
+        let t = Workload::Ep { m: 24 }.service_seconds(&j90(), 1);
+        assert!((t - 199.7).abs() < 5.0, "t = {t}");
+    }
+
+    #[test]
+    fn linpack_4pe_faster_than_1pe() {
+        let w = Workload::Linpack { n: 1000 };
+        let m = j90();
+        assert!(w.service_seconds(&m, 4) < w.service_seconds(&m, 1));
+    }
+
+    #[test]
+    fn dos_behaves_like_ep() {
+        // Same communication profile (O(1)), compute scaling with samples.
+        let d = Workload::Dos { m: 20, levels: 8 };
+        assert!(d.request_bytes() < 1e3);
+        assert_eq!(
+            Workload::Dos { m: 21, levels: 8 }.work_units(),
+            2.0 * d.work_units()
+        );
+        let m = j90();
+        assert!(d.service_seconds(&m, 2) < d.service_seconds(&m, 1));
+    }
+
+    #[test]
+    fn performance_inverts_time() {
+        let w = Workload::Linpack { n: 600 };
+        let p = w.performance(2.0);
+        assert!((p - w.work_units() / 2e6).abs() < 1e-9);
+    }
+}

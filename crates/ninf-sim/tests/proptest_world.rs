@@ -1,0 +1,83 @@
+//! Property tests on whole-world simulations: physical invariants must hold
+//! for arbitrary scenario parameters, and runs must be reproducible.
+
+use ninf_machine::j90;
+use ninf_server::{ExecMode, SchedPolicy};
+use ninf_sim::{Scenario, Workload, World};
+use proptest::prelude::*;
+
+fn run_lan(c: usize, n: u64, mode: ExecMode, seed: u64) -> ninf_sim::CellResult {
+    let mut s = Scenario::lan(j90(), c, Workload::Linpack { n }, mode, SchedPolicy::Fcfs, seed);
+    s.duration = 180.0;
+    s.warmup = 30.0;
+    World::new(s).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Physical sanity on arbitrary LAN cells.
+    #[test]
+    fn physical_invariants(
+        c in 1usize..12,
+        n in prop_oneof![Just(300u64), Just(600), Just(1000)],
+        task_parallel in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mode = if task_parallel { ExecMode::TaskParallel } else { ExecMode::DataParallel };
+        let cell = run_lan(c, n, mode, seed);
+
+        prop_assert!(cell.times > 0, "no calls completed");
+        prop_assert!(cell.cpu_utilization >= 0.0 && cell.cpu_utilization <= 100.0 + 1e-6);
+        prop_assert!(cell.load_average >= 0.0);
+        prop_assert!(cell.load_max >= cell.load_average - 1e-9);
+
+        // Throughput can never exceed the per-stream TCP cap.
+        prop_assert!(
+            cell.throughput.max <= 2.6 + 1e-6,
+            "throughput {} above stream cap",
+            cell.throughput.max
+        );
+        // Performance can never exceed the machine's peak for this n, and
+        // all summaries are ordered min <= mean <= max.
+        let peak = j90().allpe_linpack.mflops(n);
+        prop_assert!(cell.perf.max <= peak + 1e-6, "{} > peak {}", cell.perf.max, peak);
+        for s in [cell.perf, cell.response, cell.wait, cell.throughput] {
+            prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+            prop_assert!(s.min >= 0.0);
+        }
+    }
+
+    /// Bit-for-bit reproducibility: the same scenario yields the same cell.
+    #[test]
+    fn deterministic_replay(c in 1usize..8, seed in any::<u64>()) {
+        let a = run_lan(c, 600, ExecMode::TaskParallel, seed);
+        let b = run_lan(c, 600, ExecMode::TaskParallel, seed);
+        prop_assert_eq!(a.times, b.times);
+        prop_assert_eq!(a.perf.mean.to_bits(), b.perf.mean.to_bits());
+        prop_assert_eq!(a.throughput.max.to_bits(), b.throughput.max.to_bits());
+        prop_assert_eq!(a.cpu_utilization.to_bits(), b.cpu_utilization.to_bits());
+    }
+
+    /// More clients never *increase* mean per-client performance (work
+    /// conservation on a shared server).
+    #[test]
+    fn more_clients_never_help(seed in any::<u64>()) {
+        let few = run_lan(2, 1000, ExecMode::TaskParallel, seed);
+        let many = run_lan(12, 1000, ExecMode::TaskParallel, seed);
+        prop_assert!(
+            many.perf.mean <= few.perf.mean * 1.1,
+            "c=12 ({}) should not beat c=2 ({})",
+            many.perf.mean,
+            few.perf.mean
+        );
+    }
+
+    /// Server utilization grows monotonically (within noise) in client count.
+    #[test]
+    fn utilization_monotone_in_clients(seed in any::<u64>()) {
+        let u2 = run_lan(2, 1000, ExecMode::TaskParallel, seed).cpu_utilization;
+        let u8 = run_lan(8, 1000, ExecMode::TaskParallel, seed).cpu_utilization;
+        prop_assert!(u8 >= u2 * 0.8, "u8 {} vs u2 {}", u8, u2);
+    }
+}

@@ -1,0 +1,221 @@
+//! XDR encoding: append-only big-endian writer with 4-byte alignment.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::pad_len;
+
+/// Append-only XDR encoder.
+///
+/// All `put_*` methods keep the buffer 4-byte aligned; [`XdrEncoder::finish`]
+/// returns the completed wire image.
+#[derive(Debug, Default)]
+pub struct XdrEncoder {
+    buf: BytesMut,
+}
+
+impl XdrEncoder {
+    /// Create an empty encoder.
+    pub fn new() -> Self {
+        Self { buf: BytesMut::new() }
+    }
+
+    /// Create an encoder with `cap` bytes preallocated.
+    ///
+    /// Ninf calls ship whole matrices, so the caller usually knows the final
+    /// size from the IDL layout and can avoid reallocation.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the encoder and return the wire bytes.
+    pub fn finish(self) -> Bytes {
+        debug_assert_eq!(self.buf.len() % 4, 0, "XDR stream must be 4-byte aligned");
+        self.buf.freeze()
+    }
+
+    /// Write an unsigned 32-bit integer.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+
+    /// Write a signed 32-bit integer.
+    #[inline]
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.put_i32(v);
+    }
+
+    /// Write an unsigned 64-bit ("unsigned hyper") integer.
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64(v);
+    }
+
+    /// Write a signed 64-bit ("hyper") integer.
+    #[inline]
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64(v);
+    }
+
+    /// Write an IEEE-754 single-precision float.
+    #[inline]
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.put_f32(v);
+    }
+
+    /// Write an IEEE-754 double-precision float.
+    #[inline]
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64(v);
+    }
+
+    /// Write a boolean as a 32-bit 0/1 word.
+    #[inline]
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u32(v as u32);
+    }
+
+    /// Write fixed-length opaque data (no length prefix), zero-padded to a
+    /// 4-byte boundary.
+    pub fn put_opaque_fixed(&mut self, data: &[u8]) {
+        self.buf.put_slice(data);
+        self.put_padding(data.len());
+    }
+
+    /// Write variable-length opaque data: length word, data, zero padding.
+    pub fn put_opaque(&mut self, data: &[u8]) {
+        self.buf.put_u32(data.len() as u32);
+        self.put_opaque_fixed(data);
+    }
+
+    /// Write a counted string (XDR `string<>`).
+    pub fn put_string(&mut self, s: &str) {
+        self.put_opaque(s.as_bytes());
+    }
+
+    /// Write a variable-length array of doubles: length word then elements.
+    ///
+    /// This is the hot path for Ninf matrix arguments; matrices are shipped
+    /// column-major as one flat array.
+    pub fn put_f64_array(&mut self, data: &[f64]) {
+        self.buf.put_u32(data.len() as u32);
+        self.put_f64_slice(data);
+    }
+
+    /// Write doubles back-to-back without a length prefix (fixed array).
+    pub fn put_f64_slice(&mut self, data: &[f64]) {
+        self.buf.reserve(data.len() * 8);
+        for &x in data {
+            self.buf.put_f64(x);
+        }
+    }
+
+    /// Write a variable-length array of 32-bit signed integers.
+    pub fn put_i32_array(&mut self, data: &[i32]) {
+        self.buf.put_u32(data.len() as u32);
+        self.buf.reserve(data.len() * 4);
+        for &x in data {
+            self.buf.put_i32(x);
+        }
+    }
+
+    /// Write a variable-length array of single-precision floats.
+    pub fn put_f32_array(&mut self, data: &[f32]) {
+        self.buf.put_u32(data.len() as u32);
+        self.buf.reserve(data.len() * 4);
+        for &x in data {
+            self.buf.put_f32(x);
+        }
+    }
+
+    #[inline]
+    fn put_padding(&mut self, data_len: usize) {
+        for _ in 0..pad_len(data_len) {
+            self.buf.put_u8(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_big_endian() {
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(0x0102_0304);
+        enc.put_i32(-1);
+        let wire = enc.finish();
+        assert_eq!(&wire[..4], &[1, 2, 3, 4]);
+        assert_eq!(&wire[4..8], &[0xff, 0xff, 0xff, 0xff]);
+    }
+
+    #[test]
+    fn hyper_is_eight_bytes() {
+        let mut enc = XdrEncoder::new();
+        enc.put_u64(0x0102_0304_0506_0708);
+        let wire = enc.finish();
+        assert_eq!(&wire[..], &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn opaque_padding_is_zero_and_aligned() {
+        let mut enc = XdrEncoder::new();
+        enc.put_opaque(&[0xaa, 0xbb, 0xcc]);
+        let wire = enc.finish();
+        // 4 length + 3 data + 1 pad
+        assert_eq!(wire.len(), 8);
+        assert_eq!(&wire[..4], &[0, 0, 0, 3]);
+        assert_eq!(&wire[4..7], &[0xaa, 0xbb, 0xcc]);
+        assert_eq!(wire[7], 0);
+    }
+
+    #[test]
+    fn string_encoding_matches_opaque() {
+        let mut a = XdrEncoder::new();
+        a.put_string("hi");
+        let mut b = XdrEncoder::new();
+        b.put_opaque(b"hi");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_array_layout() {
+        let mut enc = XdrEncoder::new();
+        enc.put_f64_array(&[1.0]);
+        let wire = enc.finish();
+        assert_eq!(wire.len(), 12);
+        assert_eq!(&wire[..4], &[0, 0, 0, 1]);
+        assert_eq!(&wire[4..12], 1.0f64.to_be_bytes());
+    }
+
+    #[test]
+    fn bool_is_word() {
+        let mut enc = XdrEncoder::new();
+        enc.put_bool(true);
+        enc.put_bool(false);
+        let wire = enc.finish();
+        assert_eq!(&wire[..], &[0, 0, 0, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn with_capacity_does_not_change_output() {
+        let mut a = XdrEncoder::with_capacity(1024);
+        a.put_string("dgefa");
+        a.put_f64_array(&[3.5; 7]);
+        let mut b = XdrEncoder::new();
+        b.put_string("dgefa");
+        b.put_f64_array(&[3.5; 7]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

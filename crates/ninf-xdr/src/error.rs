@@ -1,0 +1,62 @@
+//! Error type for XDR decoding.
+
+use std::fmt;
+
+/// Errors produced while decoding XDR data.
+///
+/// Encoding is infallible (it only appends to a growable buffer), so only the
+/// decoding path carries an error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XdrError {
+    /// The buffer ended before a complete item could be read.
+    UnexpectedEof {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A length prefix claims more data than the buffer can possibly hold.
+    LengthOverflow {
+        /// Number of elements/bytes claimed.
+        requested: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// A boolean discriminant was neither 0 nor 1.
+    InvalidBool(u32),
+    /// Padding bytes were non-zero (RFC 1014 requires zero padding).
+    NonZeroPadding,
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum discriminant was out of range for the target type.
+    InvalidEnum {
+        /// The discriminant read off the wire.
+        discriminant: u32,
+        /// Human-readable name of the enum being decoded.
+        type_name: &'static str,
+    },
+}
+
+impl fmt::Display for XdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XdrError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of XDR data: needed {needed} bytes, {remaining} remain")
+            }
+            XdrError::LengthOverflow { requested, remaining } => {
+                write!(f, "XDR length prefix {requested} exceeds remaining buffer ({remaining} bytes)")
+            }
+            XdrError::InvalidBool(v) => write!(f, "invalid XDR boolean discriminant {v}"),
+            XdrError::NonZeroPadding => write!(f, "non-zero XDR padding bytes"),
+            XdrError::InvalidUtf8 => write!(f, "XDR string is not valid UTF-8"),
+            XdrError::InvalidEnum { discriminant, type_name } => {
+                write!(f, "invalid discriminant {discriminant} for enum {type_name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XdrError {}
+
+/// Convenience alias for decode results.
+pub type XdrResult<T> = Result<T, XdrError>;

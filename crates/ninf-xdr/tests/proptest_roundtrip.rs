@@ -1,0 +1,124 @@
+//! Property-based roundtrip tests for the XDR codec.
+
+use ninf_xdr::{opaque_wire_len, XdrDecoder, XdrEncoder};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn u32_roundtrip(v in any::<u32>()) {
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(v);
+        let wire = enc.finish();
+        let mut dec = XdrDecoder::new(&wire);
+        prop_assert_eq!(dec.get_u32().unwrap(), v);
+        prop_assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn i64_roundtrip(v in any::<i64>()) {
+        let mut enc = XdrEncoder::new();
+        enc.put_i64(v);
+        let wire = enc.finish();
+        let mut dec = XdrDecoder::new(&wire);
+        prop_assert_eq!(dec.get_i64().unwrap(), v);
+    }
+
+    #[test]
+    fn f64_bitwise_roundtrip(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        let mut enc = XdrEncoder::new();
+        enc.put_f64(v);
+        let wire = enc.finish();
+        let mut dec = XdrDecoder::new(&wire);
+        prop_assert_eq!(dec.get_f64().unwrap().to_bits(), bits);
+    }
+
+    #[test]
+    fn opaque_roundtrip_and_wire_len(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut enc = XdrEncoder::new();
+        enc.put_opaque(&data);
+        let wire = enc.finish();
+        prop_assert_eq!(wire.len(), opaque_wire_len(data.len()));
+        prop_assert_eq!(wire.len() % 4, 0);
+        let mut dec = XdrDecoder::new(&wire);
+        prop_assert_eq!(dec.get_opaque().unwrap(), &data[..]);
+        prop_assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn string_roundtrip(s in "\\PC{0,64}") {
+        let mut enc = XdrEncoder::new();
+        enc.put_string(&s);
+        let wire = enc.finish();
+        let mut dec = XdrDecoder::new(&wire);
+        prop_assert_eq!(dec.get_string().unwrap(), s);
+    }
+
+    #[test]
+    fn f64_array_roundtrip(data in proptest::collection::vec(any::<f64>().prop_filter("finite", |x| x.is_finite()), 0..256)) {
+        let mut enc = XdrEncoder::new();
+        enc.put_f64_array(&data);
+        let wire = enc.finish();
+        prop_assert_eq!(wire.len(), 4 + 8 * data.len());
+        let mut dec = XdrDecoder::new(&wire);
+        prop_assert_eq!(dec.get_f64_array().unwrap(), data);
+    }
+
+    #[test]
+    fn i32_array_roundtrip(data in proptest::collection::vec(any::<i32>(), 0..256)) {
+        let mut enc = XdrEncoder::new();
+        enc.put_i32_array(&data);
+        let wire = enc.finish();
+        let mut dec = XdrDecoder::new(&wire);
+        prop_assert_eq!(dec.get_i32_array().unwrap(), data);
+    }
+
+    #[test]
+    fn f32_array_roundtrip(data in proptest::collection::vec(any::<f32>().prop_filter("finite", |x| x.is_finite()), 0..256)) {
+        let mut enc = XdrEncoder::new();
+        enc.put_f32_array(&data);
+        let wire = enc.finish();
+        let mut dec = XdrDecoder::new(&wire);
+        prop_assert_eq!(dec.get_f32_array().unwrap(), data);
+    }
+
+    /// Decoding arbitrary garbage must never panic — it either yields a value
+    /// or a structured error.
+    #[test]
+    fn decode_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut dec = XdrDecoder::new(&data);
+        let _ = dec.get_u32();
+        let mut dec = XdrDecoder::new(&data);
+        let _ = dec.get_string();
+        let mut dec = XdrDecoder::new(&data);
+        let _ = dec.get_f64_array();
+        let mut dec = XdrDecoder::new(&data);
+        let _ = dec.get_opaque();
+        let mut dec = XdrDecoder::new(&data);
+        let _ = dec.get_bool();
+    }
+
+    /// A heterogeneous message roundtrips field-by-field in order.
+    #[test]
+    fn mixed_message_roundtrip(
+        tag in any::<u32>(),
+        name in "[a-z]{1,16}",
+        n in 0usize..64,
+        flag in any::<bool>(),
+    ) {
+        let matrix: Vec<f64> = (0..n * n).map(|i| i as f64 * 0.5).collect();
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(tag);
+        enc.put_string(&name);
+        enc.put_bool(flag);
+        enc.put_f64_array(&matrix);
+        let wire = enc.finish();
+
+        let mut dec = XdrDecoder::new(&wire);
+        prop_assert_eq!(dec.get_u32().unwrap(), tag);
+        prop_assert_eq!(dec.get_string().unwrap(), name);
+        prop_assert_eq!(dec.get_bool().unwrap(), flag);
+        prop_assert_eq!(dec.get_f64_array().unwrap(), matrix);
+        prop_assert!(dec.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Drive the whole-system simulator directly: a miniature LAN-vs-WAN
+//! multi-client study, the programmable version of the paper's §4 benchmarks.
+//!
+//! ```text
+//! cargo run --release --example wan_study [n] [clients]
+//! ```
+
+use ninf::machine::j90;
+use ninf::server::{ExecMode, SchedPolicy};
+use ninf::sim::report::render_table;
+use ninf::sim::{Scenario, Workload, World};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1000);
+    let max_c: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+
+    let cs: Vec<usize> = [1usize, 2, 4, 8, 16].into_iter().filter(|&c| c <= max_c).collect();
+    let workload = Workload::Linpack { n };
+
+    // --- LAN: the J90 behind a 15 MB/s attachment, 2.6 MB/s per stream.
+    let lan: Vec<_> = cs
+        .iter()
+        .map(|&c| {
+            let mut s = Scenario::lan(
+                j90(),
+                c,
+                workload,
+                ExecMode::DataParallel,
+                SchedPolicy::Fcfs,
+                1997,
+            );
+            s.duration = 600.0;
+            s.warmup = 60.0;
+            World::new(s).run()
+        })
+        .collect();
+    println!("{}", render_table(&format!("LAN, 4-PE libSci, n={n}"), &lan));
+
+    // --- Single-site WAN: everyone behind the shared 0.17 MB/s Ocha-U link.
+    let wan: Vec<_> = cs
+        .iter()
+        .map(|&c| {
+            let mut s = Scenario::single_site_wan(
+                j90(),
+                c,
+                workload,
+                ExecMode::DataParallel,
+                SchedPolicy::Fcfs,
+                1997,
+            );
+            s.duration = 2000.0;
+            s.warmup = 150.0;
+            World::new(s).run()
+        })
+        .collect();
+    println!("{}", render_table(&format!("single-site WAN, 4-PE libSci, n={n}"), &wan));
+
+    // --- Multi-site WAN: the same 4/16 clients spread over four sites.
+    let multi: Vec<_> = [1usize, 4]
+        .iter()
+        .map(|&per_site| {
+            let mut s = Scenario::multi_site_wan(
+                j90(),
+                4,
+                per_site,
+                workload,
+                ExecMode::DataParallel,
+                SchedPolicy::Fcfs,
+                1997,
+            );
+            s.duration = 2000.0;
+            s.warmup = 150.0;
+            World::new(s).run()
+        })
+        .collect();
+    println!("{}", render_table(&format!("multi-site WAN (4 sites), n={n}"), &multi));
+
+    // --- The paper's takeaways, computed from the runs above.
+    let lan_idle = &lan[0];
+    let lan_busy = lan.last().expect("cells");
+    let wan_busy = wan.last().expect("cells");
+    println!("observations:");
+    println!(
+        "  LAN    c=1 -> c={}: perf {:.1} -> {:.1} Mflops, CPU {:.0}% -> {:.0}%  (server CPU saturates)",
+        lan_busy.clients, lan_idle.perf.mean, lan_busy.perf.mean,
+        lan_idle.cpu_utilization, lan_busy.cpu_utilization
+    );
+    println!(
+        "  WAN    c={}: perf {:.2} Mflops at only {:.0}% CPU  (bandwidth-bound, server idle)",
+        wan_busy.clients, wan_busy.perf.mean, wan_busy.cpu_utilization
+    );
+    println!(
+        "  multi-site 4x4 clients: {:.2} Mflops vs single-site {} clients: {:.2} Mflops  (aggregate bandwidth wins)",
+        multi[1].perf.mean, wan_busy.clients, wan_busy.perf.mean
+    );
+}

@@ -1,0 +1,68 @@
+//! # ninf — a Rust reproduction of the Ninf global computing system
+//!
+//! This crate is the facade over a full reimplementation of **Ninf** (Network
+//! Infrastructure for global computing) as evaluated in *"Multi-client
+//! LAN/WAN Performance Analysis of Ninf"* (Takefusa et al., SC 1997): the
+//! RPC protocol, IDL, computational server, client API, metaserver, the
+//! numerical workloads of the paper's benchmarks, and a deterministic
+//! whole-system simulator that regenerates every table and figure of the
+//! evaluation.
+//!
+//! ## Quick start (live system)
+//!
+//! ```
+//! use ninf::server::{builtin::register_stdlib, NinfServer, Registry, ServerConfig};
+//! use ninf::client::NinfClient;
+//! use ninf::protocol::Value;
+//!
+//! // Start a computational server with the paper's routines registered.
+//! let mut registry = Registry::new();
+//! register_stdlib(&mut registry, false);
+//! let server = NinfServer::start("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+//!
+//! // Ninf_call("linpack", n, A, b) — no stubs, no client-side IDL.
+//! let mut client = NinfClient::connect(&server.addr().to_string()).unwrap();
+//! let n = 16usize;
+//! let (a, b) = ninf::exec::matgen(n);
+//! let results = client
+//!     .ninf_call(
+//!         "linpack",
+//!         &[
+//!             Value::Int(n as i32),
+//!             Value::DoubleArray(a.as_slice().to_vec()),
+//!             Value::DoubleArray(b),
+//!         ],
+//!     )
+//!     .unwrap();
+//! let Value::DoubleArray(x) = &results[0] else { panic!() };
+//! assert!(x.iter().all(|xi| (xi - 1.0).abs() < 1e-8)); // matgen solves to ones
+//! server.shutdown();
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`xdr`] | `ninf-xdr` | Sun XDR codec (RFC 1014 subset) |
+//! | [`idl`] | `ninf-idl` | Ninf IDL parser + compiled-interface bytecode |
+//! | [`protocol`] | `ninf-protocol` | messages, framing, marshalling, transports |
+//! | [`exec`] | `ninf-exec` | Linpack LU (unblocked/blocked/parallel), dmmul, NAS EP, DOS |
+//! | [`server`] | `ninf-server` | registry, job policies, execution modes, live TCP server |
+//! | [`client`] | `ninf-client` | `Ninf_call`, async calls, transactions |
+//! | [`metaserver`] | `ninf-metaserver` | directory, monitoring, load balancing, DAG execution |
+//! | [`netsim`] | `ninf-netsim` | discrete-event engine + max-min fluid network |
+//! | [`machine`] | `ninf-machine` | calibrated 1997 machine models, OS accounting |
+//! | [`sim`] | `ninf-sim` | whole-system simulator + SC'97 experiment drivers |
+//! | [`db`] | `ninf-db` | numerical database server (`Ninf_query`) |
+
+pub use ninf_client as client;
+pub use ninf_db as db;
+pub use ninf_exec as exec;
+pub use ninf_idl as idl;
+pub use ninf_machine as machine;
+pub use ninf_metaserver as metaserver;
+pub use ninf_netsim as netsim;
+pub use ninf_protocol as protocol;
+pub use ninf_server as server;
+pub use ninf_sim as sim;
+pub use ninf_xdr as xdr;

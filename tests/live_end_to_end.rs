@@ -1,0 +1,383 @@
+//! Cross-crate integration tests of the *live* Ninf system: real TCP, real
+//! XDR marshalling, real numerical kernels, metaserver fan-out.
+
+use ninf::client::{call_async, NinfClient, Transaction, TxArg};
+use ninf::metaserver::{Balancing, Directory, Metaserver, ServerEntry};
+use ninf::protocol::{ProtocolError, Value};
+use ninf::server::{
+    builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig,
+};
+
+fn start_server(pes: usize, mode: ExecMode) -> NinfServer {
+    let mut registry = Registry::new();
+    register_stdlib(&mut registry, matches!(mode, ExecMode::DataParallel));
+    NinfServer::start(
+        "127.0.0.1:0",
+        registry,
+        ServerConfig { pes, mode, policy: SchedPolicy::Fcfs },
+    )
+    .expect("server starts")
+}
+
+#[test]
+fn full_linpack_call_over_tcp() {
+    let server = start_server(2, ExecMode::TaskParallel);
+    let mut client = NinfClient::connect(&server.addr().to_string()).unwrap();
+
+    let n = 64usize;
+    let (a, b) = ninf::exec::matgen(n);
+    let results = client
+        .ninf_call(
+            "linpack",
+            &[
+                Value::Int(n as i32),
+                Value::DoubleArray(a.as_slice().to_vec()),
+                Value::DoubleArray(b.clone()),
+            ],
+        )
+        .unwrap();
+
+    // Remote solution must match a local solve and the residual must pass.
+    let Value::DoubleArray(x) = &results[0] else { panic!("expected solution") };
+    assert!(ninf::exec::residual_check(&a, x, &b) < 50.0);
+
+    // Client-side byte accounting equals the paper's §3.1 traffic model:
+    // A (8n²) + b (8n) out, x (8n) + ipvt (4n) back = 8n² + 20n in total.
+    assert_eq!(client.bytes_sent() + client.bytes_received(), 8 * n * n + 20 * n);
+    server.shutdown();
+}
+
+#[test]
+fn byte_accounting_matches_paper_formula_exactly() {
+    let server = start_server(1, ExecMode::TaskParallel);
+    let mut client = NinfClient::connect(&server.addr().to_string()).unwrap();
+    let n = 40usize;
+    let (a, b) = ninf::exec::matgen(n);
+    client
+        .ninf_call(
+            "linpack",
+            &[
+                Value::Int(n as i32),
+                Value::DoubleArray(a.as_slice().to_vec()),
+                Value::DoubleArray(b),
+            ],
+        )
+        .unwrap();
+    // 8n^2 + 8n out; 12n back: total 8n^2 + 20n (§3.1).
+    assert_eq!(client.bytes_sent(), 8 * n * n + 8 * n);
+    assert_eq!(client.bytes_received(), 12 * n);
+    server.shutdown();
+}
+
+#[test]
+fn dgefa_dgesl_split_call_chain() {
+    let server = start_server(2, ExecMode::TaskParallel);
+    let addr = server.addr().to_string();
+    let mut client = NinfClient::connect(&addr).unwrap();
+    let n = 32usize;
+    let (a, b) = ninf::exec::matgen(n);
+
+    let fa = client
+        .ninf_call(
+            "dgefa",
+            &[Value::Int(n as i32), Value::DoubleArray(a.as_slice().to_vec())],
+        )
+        .unwrap();
+    let Value::IntArray(info) = &fa[2] else { panic!() };
+    assert_eq!(info[0], 0);
+
+    let sl = client
+        .ninf_call(
+            "dgesl",
+            &[Value::Int(n as i32), fa[0].clone(), fa[1].clone(), Value::DoubleArray(b)],
+        )
+        .unwrap();
+    let Value::DoubleArray(x) = &sl[0] else { panic!() };
+    for xi in x {
+        assert!((xi - 1.0).abs() < 1e-8);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn async_calls_overlap_and_join() {
+    let server = start_server(4, ExecMode::TaskParallel);
+    let addr = server.addr().to_string();
+    let pending: Vec<_> = (0..4)
+        .map(|_| call_async(addr.clone(), "ep".into(), vec![Value::Int(12)]))
+        .collect();
+    for call in pending {
+        let out = call.wait().unwrap();
+        let Value::DoubleArray(counts) = &out[1] else { panic!() };
+        assert_eq!(counts.len(), 10);
+    }
+    assert_eq!(server.stats().completed(), 4);
+    server.shutdown();
+}
+
+#[test]
+fn metaserver_distributes_ep_transaction() {
+    let servers: Vec<NinfServer> = (0..3).map(|_| start_server(1, ExecMode::TaskParallel)).collect();
+    let mut dir = Directory::new();
+    for (i, s) in servers.iter().enumerate() {
+        dir.register(ServerEntry {
+            name: format!("node{i}"),
+            addr: s.addr().to_string(),
+            bandwidth_bytes_per_sec: 10e6,
+            linpack_mflops: 100.0,
+        });
+    }
+    let meta = Metaserver::new(dir, Balancing::RoundRobin);
+
+    let mut tx = Transaction::new();
+    for _ in 0..9 {
+        let sums = tx.slot();
+        let counts = tx.slot();
+        tx.call("ep", vec![TxArg::Value(Value::Int(10))], vec![Some(sums), Some(counts)]);
+    }
+    let slots = meta.execute_transaction(&tx).unwrap();
+    assert_eq!(slots.iter().filter(|s| s.is_some()).count(), 18);
+    // Round-robin: 3 calls each.
+    for s in &servers {
+        assert_eq!(s.stats().completed(), 3);
+    }
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn transaction_dataflow_across_servers() {
+    // dgefa on one server, dgesl potentially on another: slots carry the
+    // factored matrix between machines.
+    let servers: Vec<NinfServer> = (0..2).map(|_| start_server(1, ExecMode::TaskParallel)).collect();
+    let mut dir = Directory::new();
+    for (i, s) in servers.iter().enumerate() {
+        dir.register(ServerEntry {
+            name: format!("node{i}"),
+            addr: s.addr().to_string(),
+            bandwidth_bytes_per_sec: 10e6,
+            linpack_mflops: 100.0,
+        });
+    }
+    let meta = Metaserver::new(dir, Balancing::RoundRobin);
+
+    let n = 24usize;
+    let (a, b) = ninf::exec::matgen(n);
+    let mut tx = Transaction::new();
+    let lu = tx.slot();
+    let piv = tx.slot();
+    tx.call(
+        "dgefa",
+        vec![
+            TxArg::Value(Value::Int(n as i32)),
+            TxArg::Value(Value::DoubleArray(a.as_slice().to_vec())),
+        ],
+        vec![Some(lu), Some(piv), None],
+    );
+    let x = tx.slot();
+    tx.call(
+        "dgesl",
+        vec![
+            TxArg::Value(Value::Int(n as i32)),
+            TxArg::Ref(lu),
+            TxArg::Ref(piv),
+            TxArg::Value(Value::DoubleArray(b)),
+        ],
+        vec![Some(x)],
+    );
+    let slots = meta.execute_transaction(&tx).unwrap();
+    let Some(Value::DoubleArray(sol)) = &slots[x.0] else { panic!() };
+    for xi in sol {
+        assert!((xi - 1.0).abs() < 1e-8);
+    }
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn server_survives_bad_clients() {
+    // A client that sends garbage arguments, then a well-formed call: the
+    // server must keep serving (the paper's fault-resiliency requirement).
+    let server = start_server(1, ExecMode::TaskParallel);
+    let addr = server.addr().to_string();
+
+    let mut bad = NinfClient::connect(&addr).unwrap();
+    let err = bad
+        .ninf_call("linpack", &[Value::Int(-3)])
+        .unwrap_err();
+    assert!(matches!(err, ProtocolError::Remote(_)));
+
+    let mut good = NinfClient::connect(&addr).unwrap();
+    let out = good.ninf_call("ep", &[Value::Int(8)]).unwrap();
+    assert_eq!(out.len(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn two_phase_call_survives_disconnect() {
+    // §5.1: submit, drop the connection while the server computes, then poll
+    // and fetch from fresh connections.
+    let server = start_server(2, ExecMode::TaskParallel);
+    let addr = server.addr().to_string();
+
+    let job = {
+        let mut submitter = NinfClient::connect(&addr).unwrap();
+        submitter.submit_job("ep", &[Value::Int(16)]).unwrap()
+        // connection dropped here
+    };
+    // The server-side table tracks the job even with no connection open.
+    server.jobs().wait_done(job);
+
+    let mut fetcher = NinfClient::connect(&addr).unwrap();
+    assert_eq!(fetcher.poll_job(job).unwrap(), ninf::protocol::JobPhase::Done);
+    let results = fetcher.fetch_result(job).unwrap();
+    let Value::DoubleArray(counts) = &results[1] else { panic!() };
+    let total: f64 = counts.iter().sum();
+    assert!((total / (1 << 16) as f64 - std::f64::consts::FRAC_PI_4).abs() < 0.02);
+    // The ticket is consumed.
+    assert_eq!(fetcher.poll_job(job).unwrap(), ninf::protocol::JobPhase::Unknown);
+    server.shutdown();
+}
+
+#[test]
+fn two_phase_blocking_helper() {
+    let server = start_server(1, ExecMode::TaskParallel);
+    let addr = server.addr().to_string();
+    let results = ninf::client::call_two_phase(
+        &addr,
+        "ep",
+        &[Value::Int(14)],
+        std::time::Duration::from_millis(5),
+    )
+    .unwrap();
+    assert_eq!(results.len(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn two_phase_reports_failures_on_fetch() {
+    let server = start_server(1, ExecMode::TaskParallel);
+    let addr = server.addr().to_string();
+    let mut client = NinfClient::connect(&addr).unwrap();
+    // Singular matrix: the failure is stored and returned at fetch time.
+    let job = client
+        .submit_job(
+            "linpack",
+            &[
+                Value::Int(2),
+                Value::DoubleArray(vec![1.0, 2.0, 2.0, 4.0]),
+                Value::DoubleArray(vec![1.0, 1.0]),
+            ],
+        )
+        .unwrap();
+    server.jobs().wait_done(job);
+    assert_eq!(client.poll_job(job).unwrap(), ninf::protocol::JobPhase::Failed);
+    let err = client.fetch_result(job).unwrap_err();
+    assert!(matches!(err, ProtocolError::Remote(_)));
+    server.shutdown();
+}
+
+#[test]
+fn metaserver_ft_retries_on_failure() {
+    // A directory with one dead and one live server: fault-tolerant
+    // transaction execution must succeed.
+    let live = start_server(1, ExecMode::TaskParallel);
+    let mut dir = Directory::new();
+    dir.register(ServerEntry {
+        name: "dead".into(),
+        addr: "127.0.0.1:1".into(),
+        bandwidth_bytes_per_sec: 10e6,
+        linpack_mflops: 100.0,
+    });
+    dir.register(ServerEntry {
+        name: "live".into(),
+        addr: live.addr().to_string(),
+        bandwidth_bytes_per_sec: 10e6,
+        linpack_mflops: 100.0,
+    });
+    let meta = Metaserver::new(dir, Balancing::RoundRobin);
+    let mut tx = Transaction::new();
+    let out = tx.slot();
+    tx.call("ep", vec![TxArg::Value(Value::Int(10))], vec![Some(out), None]);
+    let slots = meta.execute_transaction_ft(&tx).unwrap();
+    assert!(slots[out.0].is_some());
+    live.shutdown();
+}
+
+#[test]
+fn local_transaction_execution_without_metaserver() {
+    let server = start_server(2, ExecMode::TaskParallel);
+    let mut client = NinfClient::connect(&server.addr().to_string()).unwrap();
+
+    let n = 16usize;
+    let (a, b) = ninf::exec::matgen(n);
+    let mut tx = Transaction::new();
+    let lu = tx.slot();
+    let piv = tx.slot();
+    tx.call(
+        "dgefa",
+        vec![
+            TxArg::Value(Value::Int(n as i32)),
+            TxArg::Value(Value::DoubleArray(a.as_slice().to_vec())),
+        ],
+        vec![Some(lu), Some(piv), None],
+    );
+    let x = tx.slot();
+    tx.call(
+        "dgesl",
+        vec![
+            TxArg::Value(Value::Int(n as i32)),
+            TxArg::Ref(lu),
+            TxArg::Ref(piv),
+            TxArg::Value(Value::DoubleArray(b)),
+        ],
+        vec![Some(x)],
+    );
+    let slots = ninf::client::execute_locally(&mut client, &tx).unwrap();
+    let Some(Value::DoubleArray(sol)) = &slots[x.0] else { panic!() };
+    for xi in sol {
+        assert!((xi - 1.0).abs() < 1e-8);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn remote_condition_estimate() {
+    // dgeco over the wire: identity well-conditioned, Hilbert not.
+    let server = start_server(1, ExecMode::TaskParallel);
+    let mut client = NinfClient::connect(&server.addr().to_string()).unwrap();
+    let n = 8usize;
+    let mut eye = vec![0.0; n * n];
+    for i in 0..n {
+        eye[i * n + i] = 1.0;
+    }
+    let out = client
+        .ninf_call("dgeco", &[Value::Int(n as i32), Value::DoubleArray(eye)])
+        .unwrap();
+    let Value::DoubleArray(rcond) = &out[2] else { panic!() };
+    assert!((rcond[0] - 1.0).abs() < 1e-9);
+    server.shutdown();
+}
+
+#[test]
+fn load_reports_reflect_activity() {
+    let server = start_server(2, ExecMode::TaskParallel);
+    let mut client = NinfClient::connect(&server.addr().to_string()).unwrap();
+    let report = client.query_load().unwrap();
+    assert_eq!(report.pes, 2);
+    assert_eq!(report.running, 0);
+    server.shutdown();
+}
+
+#[test]
+fn interface_query_matches_registered_idl() {
+    let server = start_server(1, ExecMode::TaskParallel);
+    let mut client = NinfClient::connect(&server.addr().to_string()).unwrap();
+    let iface = client.query_interface("dmmul").unwrap();
+    assert_eq!(iface.name, "dmmul");
+    assert_eq!(iface.scalar_table, vec!["n"]);
+    assert_eq!(iface.params.len(), 4);
+    server.shutdown();
+}

@@ -1,0 +1,218 @@
+//! Integration tests asserting the paper's five headline observations hold
+//! in the simulator (abstract §1–5). These are the acceptance criteria of
+//! the reproduction: who wins, by roughly what factor, where crossovers fall.
+
+use ninf::machine::{j90, ultrasparc};
+use ninf::server::{ExecMode, SchedPolicy};
+use ninf::sim::{Scenario, Workload, World};
+
+fn cell(s: Scenario) -> ninf::sim::CellResult {
+    World::new(s).run()
+}
+
+fn lan(c: usize, n: u64, mode: ExecMode, dur: f64) -> ninf::sim::CellResult {
+    let mut s = Scenario::lan(j90(), c, Workload::Linpack { n }, mode, SchedPolicy::Fcfs, 1997);
+    s.duration = dur;
+    s.warmup = dur * 0.12;
+    cell(s)
+}
+
+fn wan(c: usize, n: u64, mode: ExecMode, dur: f64) -> ninf::sim::CellResult {
+    let mut s =
+        Scenario::single_site_wan(j90(), c, Workload::Linpack { n }, mode, SchedPolicy::Fcfs, 1997);
+    s.duration = dur;
+    s.warmup = dur * 0.1;
+    cell(s)
+}
+
+/// Headline 1: "Given sufficient communication bandwidth, Ninf performance
+/// quickly overtakes client local performance" — the Fig 3 crossover.
+#[test]
+fn ninf_overtakes_local_with_bandwidth() {
+    let local = ultrasparc().pe_linpack;
+    // Below the crossover the local solve wins...
+    let small = {
+        let mut s = Scenario::lan(
+            j90(),
+            1,
+            Workload::Linpack { n: 100 },
+            ExecMode::DataParallel,
+            SchedPolicy::Fcfs,
+            1,
+        )
+        .saturated();
+        s.duration = 60.0;
+        s.warmup = 5.0;
+        cell(s)
+    };
+    assert!(small.perf.mean < local.mflops(100), "n=100: Ninf must lose to local");
+    // ...beyond it the remote J90 wins decisively.
+    let large = {
+        let mut s = Scenario::lan(
+            j90(),
+            1,
+            Workload::Linpack { n: 800 },
+            ExecMode::DataParallel,
+            SchedPolicy::Fcfs,
+            1,
+        )
+        .saturated();
+        s.duration = 120.0;
+        s.warmup = 10.0;
+        cell(s)
+    };
+    assert!(
+        large.perf.mean > 2.0 * local.mflops(800),
+        "n=800: Ninf ({:.1}) must beat UltraSPARC local ({:.1}) decisively",
+        large.perf.mean,
+        local.mflops(800)
+    );
+}
+
+/// Headline 3: the optimized data-parallel library wins at light load and
+/// roughly ties task-parallel under heavy load (Fig 7 / §4.2.1).
+#[test]
+fn data_parallel_library_wins_light_ties_heavy() {
+    let light_1pe = lan(1, 1400, ExecMode::TaskParallel, 500.0);
+    let light_4pe = lan(1, 1400, ExecMode::DataParallel, 500.0);
+    assert!(
+        light_4pe.perf.mean > 1.4 * light_1pe.perf.mean,
+        "c=1: 4-PE {:.1} should clearly beat 1-PE {:.1}",
+        light_4pe.perf.mean,
+        light_1pe.perf.mean
+    );
+
+    let heavy_1pe = lan(16, 1400, ExecMode::TaskParallel, 700.0);
+    let heavy_4pe = lan(16, 1400, ExecMode::DataParallel, 700.0);
+    let ratio = heavy_4pe.perf.mean / heavy_1pe.perf.mean;
+    assert!(
+        (0.6..=1.4).contains(&ratio),
+        "c=16: modes should roughly tie, got 4PE/1PE = {ratio:.2}"
+    );
+}
+
+/// Headline 5a: LAN performance is server-CPU dominated — utilization
+/// saturates as clients pile on, and per-stream throughput sags.
+#[test]
+fn lan_saturates_server_cpu() {
+    let c1 = lan(1, 1000, ExecMode::TaskParallel, 600.0);
+    let c16 = lan(16, 1000, ExecMode::TaskParallel, 600.0);
+    assert!(c1.cpu_utilization < 30.0);
+    assert!(c16.cpu_utilization > 90.0, "util = {}", c16.cpu_utilization);
+    assert!(c16.throughput.mean < 0.8 * c1.throughput.mean);
+    // "the J90 Ninf server continued to work flawlessly": calls complete.
+    assert!(c16.times > 100);
+}
+
+/// Headline 5b: WAN performance is bandwidth dominated — the server stays
+/// nearly idle no matter how many clients one site adds, and per-client
+/// performance scales like 1/c.
+#[test]
+fn wan_is_bandwidth_dominated() {
+    let c1 = wan(1, 1000, ExecMode::TaskParallel, 1500.0);
+    let c8 = wan(8, 1000, ExecMode::TaskParallel, 2500.0);
+    assert!(c8.cpu_utilization < 20.0, "WAN util = {}", c8.cpu_utilization);
+    let ratio = c8.perf.mean / c1.perf.mean;
+    assert!(
+        (0.08..=0.35).contains(&ratio),
+        "c=8 should see roughly 1/8 of c=1 performance, got {ratio:.3}"
+    );
+    // And the 4-PE library still wins in WAN ("it is preferable to use the
+    // optimized library versions for WAN clients as well").
+    let c1_4pe = wan(1, 1000, ExecMode::DataParallel, 1500.0);
+    assert!(c1_4pe.perf.mean >= 0.95 * c1.perf.mean);
+}
+
+/// Headline 5c: multiple sites achieve aggregate bandwidth a single site
+/// cannot (Fig 10) — so distribution across networks is essential.
+#[test]
+fn multi_site_aggregates_bandwidth() {
+    let mut multi = Scenario::multi_site_wan(
+        j90(),
+        4,
+        1,
+        Workload::Linpack { n: 1000 },
+        ExecMode::DataParallel,
+        SchedPolicy::Fcfs,
+        1997,
+    );
+    multi.duration = 2500.0;
+    multi.warmup = 250.0;
+    let multi = cell(multi);
+
+    let single = wan(4, 1000, ExecMode::DataParallel, 2500.0);
+
+    let agg_multi = multi.throughput.mean * multi.clients as f64;
+    let agg_single = single.throughput.mean * single.clients as f64;
+    assert!(
+        agg_multi > 2.0 * agg_single,
+        "4 sites ({agg_multi:.3} MB/s) must beat 1 site ({agg_single:.3} MB/s) by >2x"
+    );
+    assert!(multi.perf.mean > 2.0 * single.perf.mean);
+    assert!(multi.cpu_utilization > single.cpu_utilization);
+}
+
+/// Headline 4: EP is location-transparent — LAN and WAN client-observed
+/// performance are essentially equal (Table 8), and both degrade only with
+/// server timesharing.
+#[test]
+fn ep_lan_equals_wan() {
+    for &c in &[1usize, 4] {
+        let mut lan_s = Scenario::lan(
+            j90(),
+            c,
+            Workload::Ep { m: 22 },
+            ExecMode::TaskParallel,
+            SchedPolicy::Fcfs,
+            7,
+        );
+        lan_s.duration = 1500.0;
+        lan_s.warmup = 150.0;
+        let lan_cell = cell(lan_s);
+
+        let mut wan_s = Scenario::single_site_wan(
+            j90(),
+            c,
+            Workload::Ep { m: 22 },
+            ExecMode::TaskParallel,
+            SchedPolicy::Fcfs,
+            7,
+        );
+        wan_s.duration = 1500.0;
+        wan_s.warmup = 150.0;
+        let wan_cell = cell(wan_s);
+
+        let ratio = wan_cell.perf.mean / lan_cell.perf.mean;
+        assert!(
+            (0.93..=1.07).contains(&ratio),
+            "c={c}: EP WAN/LAN should be ~1, got {ratio:.3}"
+        );
+    }
+}
+
+/// The paper's widening max/min performance spread under load, as a single
+/// number: Jain's fairness index over per-call performance falls as clients
+/// contend.
+#[test]
+fn fairness_degrades_with_contention() {
+    let light = lan(1, 1000, ExecMode::TaskParallel, 600.0);
+    let heavy = lan(16, 1000, ExecMode::TaskParallel, 600.0);
+    assert!(light.fairness > 0.9, "c=1 should be nearly fair: {}", light.fairness);
+    assert!(
+        heavy.fairness < light.fairness,
+        "fairness should fall with contention: {} vs {}",
+        heavy.fairness,
+        light.fairness
+    );
+}
+
+/// §4.2.1: response and wait stay modest even at c=16 with the server
+/// saturated — no thrashing anomaly.
+#[test]
+fn no_thrashing_at_saturation() {
+    let c16 = lan(16, 1400, ExecMode::DataParallel, 700.0);
+    assert!(c16.cpu_utilization > 95.0);
+    assert!(c16.wait.mean < 1.0, "wait mean = {}", c16.wait.mean);
+    assert!(c16.response.mean < 1.5, "response mean = {}", c16.response.mean);
+    assert!(c16.load_max > 10.0, "load should pile up, max = {}", c16.load_max);
+}
