@@ -37,9 +37,16 @@ fn bench_factorizations(c: &mut Criterion) {
 fn bench_ep(c: &mut Criterion) {
     let mut group = c.benchmark_group("ep_kernel");
     group.sample_size(10);
-    group.bench_function("serial_2^18", |b| b.iter(|| black_box(ninf_exec::ep_kernel(18))));
+    group.bench_function("serial_2^18", |b| {
+        b.iter(|| black_box(ninf_exec::ep_kernel(18)))
+    });
     group.bench_function("parallel_2^18", |b| {
-        b.iter(|| black_box(ninf_exec::ep_kernel_parallel(18, rayon::current_num_threads())))
+        b.iter(|| {
+            black_box(ninf_exec::ep_kernel_parallel(
+                18,
+                rayon::current_num_threads(),
+            ))
+        })
     });
     group.finish();
 }

@@ -43,7 +43,15 @@ fn star_net(clients: usize) -> FluidNet {
     t.compute_routes();
     let mut net = FluidNet::new(t);
     for &n in &nodes {
-        net.start_flow(FlowSpec { src: n, dst: srv, bytes: 1e9, cap: 2.6e6 }, 0.0);
+        net.start_flow(
+            FlowSpec {
+                src: n,
+                dst: srv,
+                bytes: 1e9,
+                cap: 2.6e6,
+            },
+            0.0,
+        );
     }
     net
 }

@@ -39,7 +39,11 @@ fn bench_small_messages(c: &mut Criterion) {
             enc.put_i32(1400);
             let wire = enc.finish();
             let mut dec = XdrDecoder::new(&wire);
-            black_box((dec.get_u32().unwrap(), dec.get_string().unwrap(), dec.get_i32().unwrap()))
+            black_box((
+                dec.get_u32().unwrap(),
+                dec.get_string().unwrap(),
+                dec.get_i32().unwrap(),
+            ))
         })
     });
 }

@@ -1,6 +1,8 @@
 //! `ninf-call` — command-line Ninf client.
 //!
 //! ```text
+//! ninf-call [--deadline <secs>] [--retries <n>] <addr> <command>
+//!
 //! ninf-call <addr> list                     # routines the server exports
 //! ninf-call <addr> interface <routine>      # show its compiled interface
 //! ninf-call <addr> load                     # server load report
@@ -8,12 +10,37 @@
 //! ninf-call <addr> linpack <n>              # generate + solve an n x n system
 //! ninf-call <addr> query "<Ninf_query>"     # database query (GET/LIST/INFO/DIMS)
 //! ```
+//!
+//! `--deadline` bounds every connect/read/write on the wire; a server that
+//! accepts but never replies then fails with a typed timeout instead of
+//! hanging the call. `--retries` re-dials the server with exponential
+//! backoff on retryable (non-remote) errors.
 
-use ninf_client::NinfClient;
+use std::time::Duration;
+
+use ninf_client::{CallOptions, NinfClient};
 use ninf_protocol::Value;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = CallOptions::default();
+    while let Some(flag) = args.first().filter(|a| a.starts_with("--")).cloned() {
+        match flag.as_str() {
+            "--deadline" => {
+                args.remove(0);
+                let secs: f64 = parse_num(args.first(), "--deadline needs seconds");
+                options.deadline = Some(Duration::from_secs_f64(secs));
+                args.remove(0);
+            }
+            "--retries" => {
+                args.remove(0);
+                options.retries = parse_num(args.first(), "--retries needs a count");
+                args.remove(0);
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
     let (addr, cmd, rest) = match args.as_slice() {
         [addr, cmd, rest @ ..] => (addr.clone(), cmd.clone(), rest.to_vec()),
         _ => usage("need <addr> and a command"),
@@ -21,14 +48,16 @@ fn main() {
 
     match cmd.as_str() {
         "list" => {
-            let mut client = connect(&addr);
+            let mut client = connect(&addr, options);
             for (name, doc) in client.list_routines().unwrap_or_else(die) {
                 println!("{name:<10} {doc}");
             }
         }
         "interface" => {
-            let routine = rest.first().unwrap_or_else(|| usage("interface needs a routine"));
-            let mut client = connect(&addr);
+            let routine = rest
+                .first()
+                .unwrap_or_else(|| usage("interface needs a routine"));
+            let mut client = connect(&addr, options);
             let iface = client.query_interface(routine).unwrap_or_else(die).clone();
             println!("routine : {}", iface.name);
             println!("doc     : {}", iface.doc);
@@ -44,7 +73,7 @@ fn main() {
             }
         }
         "load" => {
-            let mut client = connect(&addr);
+            let mut client = connect(&addr, options);
             let r = client.query_load().unwrap_or_else(die);
             println!(
                 "pes={} running={} queued={} load={:.2} cpu={:.1}%",
@@ -53,12 +82,16 @@ fn main() {
         }
         "ep" => {
             let m: i32 = parse_num(rest.first(), "ep needs the trial exponent m");
-            let mut client = connect(&addr);
+            let mut client = connect(&addr, options);
             let t0 = std::time::Instant::now();
             let out = client.ninf_call("ep", &[Value::Int(m)]).unwrap_or_else(die);
             let dt = t0.elapsed().as_secs_f64();
-            let Value::DoubleArray(sums) = &out[0] else { unreachable!() };
-            let Value::DoubleArray(counts) = &out[1] else { unreachable!() };
+            let Value::DoubleArray(sums) = &out[0] else {
+                unreachable!()
+            };
+            let Value::DoubleArray(counts) = &out[1] else {
+                unreachable!()
+            };
             let accepted: f64 = counts.iter().sum();
             println!(
                 "2^{m} trials in {dt:.3}s: sx={:.3} sy={:.3} accepted={accepted} ({:.4} of trials)",
@@ -70,7 +103,7 @@ fn main() {
         "linpack" => {
             let n: usize = parse_num(rest.first(), "linpack needs the matrix order n");
             let (a, b) = ninf_exec::random_matrix(n, 1997);
-            let mut client = connect(&addr);
+            let mut client = connect(&addr, options);
             let t0 = std::time::Instant::now();
             let out = client
                 .ninf_call(
@@ -83,7 +116,9 @@ fn main() {
                 )
                 .unwrap_or_else(die);
             let dt = t0.elapsed().as_secs_f64();
-            let Value::DoubleArray(x) = &out[0] else { unreachable!() };
+            let Value::DoubleArray(x) = &out[0] else {
+                unreachable!()
+            };
             let resid = ninf_exec::residual_check(&a, x, &b);
             let mflops = ninf_exec::linpack_flops(n as u64) as f64 / dt / 1e6;
             println!(
@@ -119,11 +154,21 @@ fn main() {
     }
 }
 
-fn connect(addr: &str) -> NinfClient {
-    NinfClient::connect(addr).unwrap_or_else(|e| {
-        eprintln!("cannot connect to {addr}: {e}");
-        std::process::exit(1);
-    })
+fn connect(addr: &str, options: CallOptions) -> NinfClient {
+    let mut attempt = 0u32;
+    loop {
+        match NinfClient::connect_with(addr, options) {
+            Ok(client) => return client,
+            Err(e) if attempt < options.retries && e.is_retryable() => {
+                std::thread::sleep(options.backoff_delay(attempt, 0));
+                attempt += 1;
+            }
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(v: Option<&String>, msg: &str) -> T {
@@ -140,7 +185,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: ninf-call <addr> <list | interface <routine> | load | ep <m> | linpack <n> | query \"...\">"
+        "usage: ninf-call [--deadline <secs>] [--retries <n>] <addr> <list | interface <routine> | load | ep <m> | linpack <n> | query \"...\">"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -9,7 +9,9 @@
 //! Serves the stdlib routines (dmmul, dgefa, dgesl, linpack, ep, dos) until
 //! killed. With `--db-addr`, also serves the builtin numerical datasets.
 
-use ninf_server::{builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig};
+use ninf_server::{
+    builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig,
+};
 
 fn main() {
     let mut addr = "127.0.0.1:5656".to_string();
@@ -23,7 +25,10 @@ fn main() {
         match arg.as_str() {
             "--addr" => addr = args.next().unwrap_or_else(|| usage("--addr needs a value")),
             "--db-addr" => {
-                db_addr = Some(args.next().unwrap_or_else(|| usage("--db-addr needs a value")))
+                db_addr = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--db-addr needs a value")),
+                )
             }
             "--pes" => {
                 pes = args
@@ -68,11 +73,10 @@ fn main() {
     );
 
     let _db = db_addr.map(|a| {
-        let db = ninf_db::DbServer::start(&a, ninf_db::builtin_datasets())
-            .unwrap_or_else(|e| {
-                eprintln!("cannot bind database on {a}: {e}");
-                std::process::exit(1);
-            });
+        let db = ninf_db::DbServer::start(&a, ninf_db::builtin_datasets()).unwrap_or_else(|e| {
+            eprintln!("cannot bind database on {a}: {e}");
+            std::process::exit(1);
+        });
         eprintln!("ninfd: database server at {}", db.addr());
         db
     });

@@ -22,7 +22,10 @@ fn main() {
                 return;
             }
             "--experiment" | "-e" => {
-                ids.push(args.next().unwrap_or_else(|| usage("--experiment needs an id")));
+                ids.push(
+                    args.next()
+                        .unwrap_or_else(|| usage("--experiment needs an id")),
+                );
             }
             "--seed" => {
                 seed = args
@@ -34,7 +37,10 @@ fn main() {
                 json_path = Some(args.next().unwrap_or_else(|| usage("--json needs a path")));
             }
             "--csv" => {
-                csv_dir = Some(args.next().unwrap_or_else(|| usage("--csv needs a directory")));
+                csv_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--csv needs a directory")),
+                );
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
@@ -70,8 +76,12 @@ fn main() {
     if let Some(path) = json_path {
         let doc = ninf_bench::to_json(&outs, seed);
         let mut f = std::fs::File::create(&path).expect("create json output");
-        writeln!(f, "{}", serde_json::to_string_pretty(&doc).expect("serialize"))
-            .expect("write json");
+        writeln!(
+            f,
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("serialize")
+        )
+        .expect("write json");
         eprintln!("# wrote {path}");
     }
 }

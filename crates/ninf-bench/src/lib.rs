@@ -51,7 +51,10 @@ pub fn to_json(outs: &[ExperimentOutput], seed: u64) -> serde_json::Value {
 /// Write one experiment's structured results as CSV files under `dir`:
 /// `<id>.csv` for cell tables, `<id>__<series>.csv` for x/y series. Returns
 /// the files written.
-pub fn write_csv(out: &ExperimentOutput, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+pub fn write_csv(
+    out: &ExperimentOutput,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
     use std::io::Write as _;
     std::fs::create_dir_all(dir)?;
     let mut written = Vec::new();
@@ -74,7 +77,15 @@ pub fn write_csv(out: &ExperimentOutput, dir: &std::path::Path) -> std::io::Resu
         columns.sort();
         let path = dir.join(format!("{}.csv", out.id));
         let mut f = std::fs::File::create(&path)?;
-        writeln!(f, "{}", columns.iter().map(|c| c.as_str()).collect::<Vec<_>>().join(","))?;
+        writeln!(
+            f,
+            "{}",
+            columns
+                .iter()
+                .map(|c| c.as_str())
+                .collect::<Vec<_>>()
+                .join(",")
+        )?;
         for obj in &objects {
             let cells: Vec<String> = columns
                 .iter()
@@ -88,7 +99,9 @@ pub fn write_csv(out: &ExperimentOutput, dir: &std::path::Path) -> std::io::Resu
     // Named x/y series: object values that are arrays of [x, y] pairs.
     if let serde_json::Value::Object(map) = &out.json {
         for (name, value) in map {
-            let Some(points) = as_points(value) else { continue };
+            let Some(points) = as_points(value) else {
+                continue;
+            };
             let slug: String = name
                 .chars()
                 .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
@@ -122,7 +135,10 @@ fn csv_scalar(v: &serde_json::Value) -> String {
     match v {
         serde_json::Value::Object(m) => {
             // Summary triples flatten to their mean (max/min live in the JSON).
-            m.get("mean").and_then(|x| x.as_f64()).map(|x| x.to_string()).unwrap_or_default()
+            m.get("mean")
+                .and_then(|x| x.as_f64())
+                .map(|x| x.to_string())
+                .unwrap_or_default()
         }
         serde_json::Value::String(s) => format!("\"{}\"", s.replace('"', "'")),
         other => other.to_string(),

@@ -3,12 +3,80 @@
 
 use std::collections::HashMap;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use ninf_idl::CompiledInterface;
 use ninf_protocol::{
     validate_call_args, validate_results, Message, ProtocolError, ProtocolResult, TcpTransport,
     Transport, Value,
 };
+
+/// Per-call reliability policy: how long one attempt may take and how
+/// failed attempts are retried.
+///
+/// The deadline bounds *each* network operation (connect, read, write) of
+/// one attempt, so a hung or silent server surfaces as
+/// [`ProtocolError::Timeout`] instead of blocking forever. Retries happen
+/// on a **fresh connection** (a timed-out connection is desynchronized — a
+/// late reply may still arrive on it) with exponential backoff and
+/// deterministic jitter. Retried invokes are at-least-once: a call whose
+/// reply was lost may execute twice, which is safe for the pure numerical
+/// routines Ninf serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallOptions {
+    /// Bound on each connect/read/write; `None` waits forever (the
+    /// pre-deadline behavior).
+    pub deadline: Option<Duration>,
+    /// Extra attempts after the first failure. Remote application errors
+    /// (unknown routine, singular matrix) are never retried.
+    pub retries: u32,
+    /// Base delay before the first retry; doubles per attempt, with jitter
+    /// in [0.5, 1.0) of the exponential value.
+    pub backoff: Duration,
+}
+
+impl Default for CallOptions {
+    fn default() -> Self {
+        Self {
+            deadline: None,
+            retries: 0,
+            backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+impl CallOptions {
+    /// Options with just a per-operation deadline set.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self {
+            deadline: Some(deadline),
+            ..Self::default()
+        }
+    }
+
+    /// Delay before retry number `attempt` (0-based): exponential backoff
+    /// with deterministic jitter derived from `salt`, so concurrent
+    /// retriers against one server de-synchronize without OS entropy.
+    pub fn backoff_delay(&self, attempt: u32, salt: u64) -> Duration {
+        let doubled = self.backoff.saturating_mul(1u32 << attempt.min(10));
+        // One SplitMix64 scramble of (salt, attempt) -> jitter in [0.5, 1.0).
+        let mut z = salt.wrapping_add((u64::from(attempt) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        doubled.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
+/// FNV-1a of an address, used to salt backoff jitter per server.
+fn addr_salt(addr: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in addr.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// A connected Ninf client.
 ///
@@ -19,6 +87,10 @@ use ninf_protocol::{
 pub struct NinfClient {
     transport: Box<dyn Transport>,
     interfaces: HashMap<String, CompiledInterface>,
+    /// Remembered dial address; retries reconnect through it. `None` for
+    /// clients wrapped around a caller-supplied transport.
+    addr: Option<String>,
+    options: CallOptions,
     /// Running totals of array payload bytes, for throughput accounting.
     bytes_sent: usize,
     bytes_received: usize,
@@ -27,12 +99,85 @@ pub struct NinfClient {
 impl NinfClient {
     /// Connect over TCP to a live server.
     pub fn connect(addr: &str) -> ProtocolResult<Self> {
-        Ok(Self::from_transport(Box::new(TcpTransport::connect(addr)?)))
+        Self::connect_with(addr, CallOptions::default())
+    }
+
+    /// Connect with a reliability policy: the deadline bounds the connect
+    /// itself and every subsequent operation, and calls through this client
+    /// retry per `options`.
+    pub fn connect_with(addr: &str, options: CallOptions) -> ProtocolResult<Self> {
+        let transport = TcpTransport::connect_with_deadline(addr, options.deadline)?;
+        let mut client = Self::from_transport(Box::new(transport));
+        client.addr = Some(addr.to_owned());
+        client.options = options;
+        Ok(client)
     }
 
     /// Wrap an arbitrary transport (e.g. an in-process channel in tests).
     pub fn from_transport(transport: Box<dyn Transport>) -> Self {
-        Self { transport, interfaces: HashMap::new(), bytes_sent: 0, bytes_received: 0 }
+        Self {
+            transport,
+            interfaces: HashMap::new(),
+            addr: None,
+            options: CallOptions::default(),
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
+    }
+
+    /// The active reliability policy.
+    pub fn options(&self) -> CallOptions {
+        self.options
+    }
+
+    /// Replace the reliability policy, re-arming the transport deadline.
+    pub fn set_options(&mut self, options: CallOptions) -> ProtocolResult<()> {
+        self.transport.set_deadline(options.deadline)?;
+        self.options = options;
+        Ok(())
+    }
+
+    /// Tear down the connection and dial the remembered address again.
+    /// Fails for transport-wrapping clients, which have no address.
+    fn reconnect(&mut self) -> ProtocolResult<()> {
+        let addr = self.addr.clone().ok_or(ProtocolError::Disconnected)?;
+        self.transport = Box::new(TcpTransport::connect_with_deadline(
+            &addr,
+            self.options.deadline,
+        )?);
+        Ok(())
+    }
+
+    /// Run `op` under the retry policy: a retryable failure tears the
+    /// connection down, backs off, reconnects, and tries again. Without a
+    /// remembered address the first error is final.
+    fn with_retries<R>(
+        &mut self,
+        op: impl Fn(&mut Self) -> ProtocolResult<R>,
+    ) -> ProtocolResult<R> {
+        let mut attempt = 0u32;
+        loop {
+            match op(self) {
+                Ok(v) => return Ok(v),
+                Err(e)
+                    if e.is_retryable()
+                        && attempt < self.options.retries
+                        && self.addr.is_some() =>
+                {
+                    let salt = self.addr.as_deref().map(addr_salt).unwrap_or(0);
+                    std::thread::sleep(self.options.backoff_delay(attempt, salt));
+                    // A failed reconnect consumes this attempt; the loop
+                    // decides whether more remain.
+                    if let Err(rec) = self.reconnect() {
+                        if attempt + 1 >= self.options.retries {
+                            return Err(rec);
+                        }
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Array payload bytes shipped to the server so far.
@@ -48,7 +193,9 @@ impl NinfClient {
     /// Stage 1: fetch (or reuse) the compiled interface for `routine`.
     pub fn query_interface(&mut self, routine: &str) -> ProtocolResult<&CompiledInterface> {
         if !self.interfaces.contains_key(routine) {
-            self.transport.send(&Message::QueryInterface { routine: routine.to_owned() })?;
+            self.transport.send(&Message::QueryInterface {
+                routine: routine.to_owned(),
+            })?;
             match self.transport.recv()? {
                 Message::InterfaceReply { interface } => {
                     self.interfaces.insert(routine.to_owned(), interface);
@@ -71,13 +218,24 @@ impl NinfClient {
     /// return is the `mode_out`/`mode_inout` values in declaration order.
     /// Argument shapes are validated *client-side* against the interpreted
     /// IDL before a single payload byte is sent.
+    ///
+    /// Honors the client's [`CallOptions`]: each attempt is
+    /// deadline-bounded, and retryable failures redial with backoff (see
+    /// [`NinfClient::connect_with`]).
     pub fn ninf_call(&mut self, routine: &str, args: &[Value]) -> ProtocolResult<Vec<Value>> {
+        self.with_retries(|c| c.ninf_call_once(routine, args))
+    }
+
+    /// One two-stage call attempt, no retries.
+    fn ninf_call_once(&mut self, routine: &str, args: &[Value]) -> ProtocolResult<Vec<Value>> {
         let interface = self.query_interface(routine)?.clone();
         let layout = validate_call_args(&interface, args).map_err(ProtocolError::Remote)?;
         self.bytes_sent += ninf_protocol::request_payload_bytes(&layout);
 
-        self.transport
-            .send(&Message::Invoke { routine: routine.to_owned(), args: args.to_vec() })?;
+        self.transport.send(&Message::Invoke {
+            routine: routine.to_owned(),
+            args: args.to_vec(),
+        })?;
         match self.transport.recv()? {
             Message::ResultData { results } => {
                 validate_results(&interface, &layout, &results).map_err(ProtocolError::Remote)?;
@@ -96,12 +254,23 @@ impl NinfClient {
     /// receive a ticket, and return — the connection may then be dropped
     /// while the server computes. Resume from *any* connection with
     /// [`NinfClient::poll_job`] / [`NinfClient::fetch_result`].
+    ///
+    /// Honors the client's [`CallOptions`] like [`NinfClient::ninf_call`];
+    /// a retried submission whose first ticket was lost in flight may leave
+    /// an orphan job on the server whose result is simply never fetched.
     pub fn submit_job(&mut self, routine: &str, args: &[Value]) -> ProtocolResult<u64> {
+        self.with_retries(|c| c.submit_job_once(routine, args))
+    }
+
+    /// One submission attempt, no retries.
+    fn submit_job_once(&mut self, routine: &str, args: &[Value]) -> ProtocolResult<u64> {
         let interface = self.query_interface(routine)?.clone();
         let layout = validate_call_args(&interface, args).map_err(ProtocolError::Remote)?;
         self.bytes_sent += ninf_protocol::request_payload_bytes(&layout);
-        self.transport
-            .send(&Message::SubmitJob { routine: routine.to_owned(), args: args.to_vec() })?;
+        self.transport.send(&Message::SubmitJob {
+            routine: routine.to_owned(),
+            args: args.to_vec(),
+        })?;
         match self.transport.recv()? {
             Message::JobTicket { job } => Ok(job),
             Message::Error { reason } => Err(ProtocolError::Remote(reason)),
@@ -200,9 +369,9 @@ pub struct AsyncCall {
 impl AsyncCall {
     /// Block until the call completes (`Ninf_wait` in the original API).
     pub fn wait(self) -> ProtocolResult<Vec<Value>> {
-        self.handle.join().unwrap_or_else(|_| {
-            Err(ProtocolError::Remote("async call thread panicked".into()))
-        })
+        self.handle
+            .join()
+            .unwrap_or_else(|_| Err(ProtocolError::Remote("async call thread panicked".into())))
     }
 
     /// Whether the call has already finished.
@@ -268,16 +437,56 @@ pub fn call_two_phase(
     }
 }
 
+/// One-shot `Ninf_call` under a reliability policy: every attempt dials a
+/// fresh connection (so a hung previous attempt cannot poison this one),
+/// bounded by `options.deadline` and retried per `options.retries` with
+/// exponential, jittered backoff.
+pub fn call_with_options(
+    addr: &str,
+    routine: &str,
+    args: &[Value],
+    options: CallOptions,
+) -> ProtocolResult<Vec<Value>> {
+    let mut attempt = 0u32;
+    loop {
+        let outcome = NinfClient::connect_with(
+            addr,
+            CallOptions {
+                retries: 0,
+                ..options
+            },
+        )
+        .and_then(|mut client| client.ninf_call_once(routine, args));
+        match outcome {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() && attempt < options.retries => {
+                std::thread::sleep(options.backoff_delay(attempt, addr_salt(addr)));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// `Ninf_call_async`: run one call on its own connection and thread.
 ///
 /// Each async call opens a fresh connection so multiple outstanding calls
 /// do not serialize on one socket — exactly how the metaserver fans
 /// transaction calls out to servers.
 pub fn call_async(addr: String, routine: String, args: Vec<Value>) -> AsyncCall {
-    let handle = std::thread::spawn(move || {
-        let mut client = NinfClient::connect(&addr)?;
-        client.ninf_call(&routine, &args)
-    });
+    call_async_with(addr, routine, args, CallOptions::default())
+}
+
+/// [`call_async`] under a reliability policy; the deadline and retries
+/// apply inside the worker thread, so `wait` returns a typed
+/// [`ProtocolError::Timeout`] instead of blocking on a silent server.
+pub fn call_async_with(
+    addr: String,
+    routine: String,
+    args: Vec<Value>,
+    options: CallOptions,
+) -> AsyncCall {
+    let handle = std::thread::spawn(move || call_with_options(&addr, &routine, &args, options));
     AsyncCall { handle }
 }
 
@@ -294,7 +503,10 @@ mod tests {
 
     impl Scripted {
         fn new(replies: Vec<Message>) -> Self {
-            Self { replies: replies.into_iter(), sent: Vec::new() }
+            Self {
+                replies: replies.into_iter(),
+                sent: Vec::new(),
+            }
         }
     }
 
@@ -317,8 +529,12 @@ mod tests {
         let n = 2usize;
         let reply_c = Value::DoubleArray(vec![5.0; n * n]);
         let t = Scripted::new(vec![
-            Message::InterfaceReply { interface: dmmul_iface() },
-            Message::ResultData { results: vec![reply_c.clone()] },
+            Message::InterfaceReply {
+                interface: dmmul_iface(),
+            },
+            Message::ResultData {
+                results: vec![reply_c.clone()],
+            },
         ]);
         let mut client = NinfClient::from_transport(Box::new(t));
         let out = client
@@ -340,10 +556,16 @@ mod tests {
     fn interface_is_cached_after_first_call() {
         let n = 1usize;
         let t = Scripted::new(vec![
-            Message::InterfaceReply { interface: dmmul_iface() },
-            Message::ResultData { results: vec![Value::DoubleArray(vec![0.0])] },
+            Message::InterfaceReply {
+                interface: dmmul_iface(),
+            },
+            Message::ResultData {
+                results: vec![Value::DoubleArray(vec![0.0])],
+            },
             // NOTE: no second InterfaceReply — the cache must serve stage 1.
-            Message::ResultData { results: vec![Value::DoubleArray(vec![0.0])] },
+            Message::ResultData {
+                results: vec![Value::DoubleArray(vec![0.0])],
+            },
         ]);
         let mut client = NinfClient::from_transport(Box::new(t));
         let args = vec![
@@ -357,7 +579,9 @@ mod tests {
 
     #[test]
     fn client_rejects_malformed_args_before_sending() {
-        let t = Scripted::new(vec![Message::InterfaceReply { interface: dmmul_iface() }]);
+        let t = Scripted::new(vec![Message::InterfaceReply {
+            interface: dmmul_iface(),
+        }]);
         let mut client = NinfClient::from_transport(Box::new(t));
         let err = client
             .ninf_call(
@@ -376,8 +600,12 @@ mod tests {
     fn client_rejects_malformed_results() {
         let n = 2usize;
         let t = Scripted::new(vec![
-            Message::InterfaceReply { interface: dmmul_iface() },
-            Message::ResultData { results: vec![Value::DoubleArray(vec![0.0; 3])] }, // wrong size
+            Message::InterfaceReply {
+                interface: dmmul_iface(),
+            },
+            Message::ResultData {
+                results: vec![Value::DoubleArray(vec![0.0; 3])],
+            }, // wrong size
         ]);
         let mut client = NinfClient::from_transport(Box::new(t));
         let err = client
@@ -395,7 +623,9 @@ mod tests {
 
     #[test]
     fn remote_error_is_propagated() {
-        let t = Scripted::new(vec![Message::Error { reason: "unknown routine `fft`".into() }]);
+        let t = Scripted::new(vec![Message::Error {
+            reason: "unknown routine `fft`".into(),
+        }]);
         let mut client = NinfClient::from_transport(Box::new(t));
         let err = client.ninf_call("fft", &[]).unwrap_err();
         match err {
@@ -429,5 +659,71 @@ mod tests {
         let mut client = NinfClient::from_transport(Box::new(t));
         let err = client.query_interface("dmmul").unwrap_err();
         assert!(matches!(err, ProtocolError::UnexpectedMessage { .. }));
+    }
+
+    #[test]
+    fn default_options_preserve_legacy_behavior() {
+        let opts = CallOptions::default();
+        assert_eq!(opts.deadline, None);
+        assert_eq!(opts.retries, 0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let opts = CallOptions {
+            backoff: Duration::from_millis(100),
+            ..CallOptions::default()
+        };
+        for attempt in 0..4u32 {
+            let d = opts.backoff_delay(attempt, 99);
+            let nominal = Duration::from_millis(100 * (1 << attempt));
+            assert!(
+                d >= nominal / 2,
+                "attempt {attempt}: {d:?} < half of {nominal:?}"
+            );
+            assert!(d <= nominal, "attempt {attempt}: {d:?} > {nominal:?}");
+        }
+        // Deterministic: same (attempt, salt) always yields the same delay.
+        assert_eq!(opts.backoff_delay(1, 7), opts.backoff_delay(1, 7));
+        // Different salts de-synchronize concurrent retriers.
+        assert_ne!(opts.backoff_delay(1, 7), opts.backoff_delay(1, 8));
+    }
+
+    #[test]
+    fn backoff_exponent_saturates_instead_of_overflowing() {
+        let opts = CallOptions {
+            backoff: Duration::from_secs(10),
+            ..CallOptions::default()
+        };
+        let _ = opts.backoff_delay(u32::MAX, 1); // must not panic
+    }
+
+    #[test]
+    fn transport_wrapped_client_fails_fast_without_reconnect() {
+        // No dial address: a retryable error must surface immediately even
+        // with retries configured, rather than spinning on a dead transport.
+        let t = Scripted::new(vec![]); // recv -> Disconnected
+        let mut client = NinfClient::from_transport(Box::new(t));
+        client
+            .set_options(CallOptions {
+                retries: 3,
+                ..CallOptions::default()
+            })
+            .unwrap();
+        let start = std::time::Instant::now();
+        let err = client.ninf_call("ep", &[]).unwrap_err();
+        assert!(matches!(err, ProtocolError::Disconnected));
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn remote_errors_are_not_retryable() {
+        assert!(!ProtocolError::Remote("singular".into()).is_retryable());
+        assert!(ProtocolError::Disconnected.is_retryable());
+        assert!(ProtocolError::Timeout {
+            operation: "read",
+            after: Duration::from_secs(1)
+        }
+        .is_retryable());
     }
 }

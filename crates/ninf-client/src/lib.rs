@@ -36,5 +36,8 @@
 pub mod client;
 pub mod transaction;
 
-pub use client::{call_async, call_two_phase, ninf_call_url, parse_ninf_url, AsyncCall, LocalTxError, NinfClient};
+pub use client::{
+    call_async, call_async_with, call_two_phase, call_with_options, ninf_call_url, parse_ninf_url,
+    AsyncCall, CallOptions, LocalTxError, NinfClient,
+};
 pub use transaction::{execute_locally, PlannedCall, SlotId, Transaction, TxArg};

@@ -71,7 +71,11 @@ impl Transaction {
         args: Vec<TxArg>,
         outputs: Vec<Option<SlotId>>,
     ) -> usize {
-        self.calls.push(PlannedCall { routine: routine.into(), args, outputs });
+        self.calls.push(PlannedCall {
+            routine: routine.into(),
+            args,
+            outputs,
+        });
         self.calls.len() - 1
     }
 
@@ -157,7 +161,9 @@ pub fn execute_locally(
     tx: &Transaction,
 ) -> Result<Vec<Option<Value>>, crate::client::LocalTxError> {
     use crate::client::LocalTxError;
-    let levels = tx.dependency_levels().map_err(LocalTxError::UnwrittenSlot)?;
+    let levels = tx
+        .dependency_levels()
+        .map_err(LocalTxError::UnwrittenSlot)?;
     let mut slots: Vec<Option<Value>> = vec![None; tx.slot_count()];
     for level in levels {
         for call_idx in level {
@@ -172,9 +178,13 @@ pub fn execute_locally(
                         .ok_or(LocalTxError::UnwrittenSlot(call_idx)),
                 })
                 .collect::<Result<_, _>>()?;
-            let results = client
-                .ninf_call(&call.routine, &args)
-                .map_err(|e| LocalTxError::Call { call: call_idx, error: e })?;
+            let results =
+                client
+                    .ninf_call(&call.routine, &args)
+                    .map_err(|e| LocalTxError::Call {
+                        call: call_idx,
+                        error: e,
+                    })?;
             for (out, value) in call.outputs.iter().zip(results) {
                 if let Some(slot) = out {
                     slots[slot.0] = Some(value);
@@ -214,8 +224,11 @@ mod tests {
         let piv = tx.slot();
         let fact = tx.call("dgefa", vec![lit(4)], vec![Some(lu), Some(piv), None]);
         let x = tx.slot();
-        let solve =
-            tx.call("dgesl", vec![lit(4), TxArg::Ref(lu), TxArg::Ref(piv)], vec![Some(x)]);
+        let solve = tx.call(
+            "dgesl",
+            vec![lit(4), TxArg::Ref(lu), TxArg::Ref(piv)],
+            vec![Some(x)],
+        );
         let deps = tx.dependencies().unwrap();
         assert!(deps[fact].is_empty());
         assert_eq!(deps[solve], vec![fact]);

@@ -36,9 +36,21 @@ pub use store::{DataSet, DataStore};
 /// under `const/`, classic test matrices under `matrix/`.
 pub fn builtin_datasets() -> DataStore {
     let mut store = DataStore::new();
-    store.insert(DataSet::scalar("const/pi", "circle constant pi", std::f64::consts::PI));
-    store.insert(DataSet::scalar("const/e", "Euler's number", std::f64::consts::E));
-    store.insert(DataSet::scalar("const/sqrt2", "square root of two", std::f64::consts::SQRT_2));
+    store.insert(DataSet::scalar(
+        "const/pi",
+        "circle constant pi",
+        std::f64::consts::PI,
+    ));
+    store.insert(DataSet::scalar(
+        "const/e",
+        "Euler's number",
+        std::f64::consts::E,
+    ));
+    store.insert(DataSet::scalar(
+        "const/sqrt2",
+        "square root of two",
+        std::f64::consts::SQRT_2,
+    ));
     store.insert(DataSet::vector(
         "const/powers-of-two",
         "2^0 .. 2^15",
@@ -70,7 +82,11 @@ pub fn builtin_datasets() -> DataStore {
         100,
         a.into_vec(),
     ));
-    store.insert(DataSet::vector("matrix/linpack100-rhs", "b = A*ones for linpack100", b));
+    store.insert(DataSet::vector(
+        "matrix/linpack100-rhs",
+        "b = A*ones for linpack100",
+        b,
+    ));
     store
 }
 

@@ -25,9 +25,12 @@ pub fn execute(store: &DataStore, query: &str) -> Result<(String, Vec<Value>), S
         ["GET", name, "SUB", r0, r1, c0, c1] => {
             let ds = lookup(store, name)?;
             let (r0, r1, c0, c1) = (parse(r0)?, parse(r1)?, parse(c0)?, parse(c1)?);
-            let sub = ds
-                .submatrix(r0, r1, c0, c1)
-                .ok_or_else(|| format!("range [{r0}..{r1}, {c0}..{c1}] out of bounds for {}", ds.shape()))?;
+            let sub = ds.submatrix(r0, r1, c0, c1).ok_or_else(|| {
+                format!(
+                    "range [{r0}..{r1}, {c0}..{c1}] out of bounds for {}",
+                    ds.shape()
+                )
+            })?;
             Ok((describe(&sub), payload(&sub)))
         }
         ["INFO", name] => {
@@ -36,9 +39,15 @@ pub fn execute(store: &DataStore, query: &str) -> Result<(String, Vec<Value>), S
         }
         ["DIMS", name] => {
             let ds = lookup(store, name)?;
-            Ok((ds.shape(), vec![Value::IntArray(vec![ds.rows as i32, ds.cols as i32])]))
+            Ok((
+                ds.shape(),
+                vec![Value::IntArray(vec![ds.rows as i32, ds.cols as i32])],
+            ))
         }
-        ["LIST"] => Ok((store.list("").join("\n"), vec![Value::Int(store.len() as i32)])),
+        ["LIST"] => Ok((
+            store.list("").join("\n"),
+            vec![Value::Int(store.len() as i32)],
+        )),
         ["LIST", prefix] => {
             let names = store.list(prefix);
             Ok((names.join("\n"), vec![Value::Int(names.len() as i32)]))
@@ -51,11 +60,14 @@ pub fn execute(store: &DataStore, query: &str) -> Result<(String, Vec<Value>), S
 }
 
 fn lookup<'a>(store: &'a DataStore, name: &str) -> Result<&'a DataSet, String> {
-    store.get(name).ok_or_else(|| format!("no dataset `{name}` (try LIST)"))
+    store
+        .get(name)
+        .ok_or_else(|| format!("no dataset `{name}` (try LIST)"))
 }
 
 fn parse(tok: &str) -> Result<usize, String> {
-    tok.parse().map_err(|_| format!("`{tok}` is not a valid index"))
+    tok.parse()
+        .map_err(|_| format!("`{tok}` is not a valid index"))
 }
 
 fn describe(ds: &DataSet) -> String {
@@ -73,9 +85,15 @@ fn payload(ds: &DataSet) -> Vec<Value> {
 pub fn ninf_query(addr: &str, query: &str) -> Result<(String, Vec<Value>), String> {
     use ninf_protocol::{Message, TcpTransport, Transport};
     let mut t = TcpTransport::connect(addr).map_err(|e| e.to_string())?;
-    t.send(&Message::DbQuery { query: query.to_owned() }).map_err(|e| e.to_string())?;
+    t.send(&Message::DbQuery {
+        query: query.to_owned(),
+    })
+    .map_err(|e| e.to_string())?;
     match t.recv().map_err(|e| e.to_string())? {
-        Message::DbReply { description, values } => Ok((description, values)),
+        Message::DbReply {
+            description,
+            values,
+        } => Ok((description, values)),
         Message::Error { reason } => Err(reason),
         other => Err(format!("unexpected {}", other.kind())),
     }
@@ -92,7 +110,9 @@ mod tests {
         let (desc, values) = execute(&store, "GET const/pi").unwrap();
         assert!(desc.contains("pi"));
         assert_eq!(values[0], Value::IntArray(vec![1, 1]));
-        let Value::DoubleArray(d) = &values[1] else { panic!() };
+        let Value::DoubleArray(d) = &values[1] else {
+            panic!()
+        };
         assert_eq!(d[0], std::f64::consts::PI);
     }
 
@@ -101,7 +121,9 @@ mod tests {
         let store = builtin_datasets();
         let (_, values) = execute(&store, "GET matrix/hilbert8 SUB 0 2 0 2").unwrap();
         assert_eq!(values[0], Value::IntArray(vec![2, 2]));
-        let Value::DoubleArray(d) = &values[1] else { panic!() };
+        let Value::DoubleArray(d) = &values[1] else {
+            panic!()
+        };
         // top-left 2x2 of Hilbert: [1, 1/2; 1/2, 1/3] column-major
         assert_eq!(d, &vec![1.0, 0.5, 0.5, 1.0 / 3.0]);
     }
@@ -135,9 +157,15 @@ mod tests {
     fn errors_are_helpful() {
         let store = builtin_datasets();
         assert!(execute(&store, "GET nope").unwrap_err().contains("LIST"));
-        assert!(execute(&store, "FROB x").unwrap_err().contains("unknown query"));
+        assert!(execute(&store, "FROB x")
+            .unwrap_err()
+            .contains("unknown query"));
         assert!(execute(&store, "").unwrap_err().contains("empty"));
-        assert!(execute(&store, "GET matrix/hilbert4 SUB 0 9 0 9").unwrap_err().contains("out of bounds"));
-        assert!(execute(&store, "GET matrix/hilbert4 SUB a b c d").unwrap_err().contains("not a valid"));
+        assert!(execute(&store, "GET matrix/hilbert4 SUB 0 9 0 9")
+            .unwrap_err()
+            .contains("out of bounds"));
+        assert!(execute(&store, "GET matrix/hilbert4 SUB a b c d")
+            .unwrap_err()
+            .contains("not a valid"));
     }
 }

@@ -39,7 +39,11 @@ impl DbServer {
                 }
             })
         };
-        Ok(Self { addr: local, stop, accept_thread: Some(accept_thread) })
+        Ok(Self {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address.
@@ -68,7 +72,10 @@ fn serve(stream: TcpStream, store: &DataStore) -> ProtocolResult<()> {
         match msg {
             Message::DbQuery { query } => {
                 let reply = match execute(store, &query) {
-                    Ok((description, values)) => Message::DbReply { description, values },
+                    Ok((description, values)) => Message::DbReply {
+                        description,
+                        values,
+                    },
                     Err(reason) => Message::Error { reason },
                 };
                 transport.send(&reply)?;
@@ -97,7 +104,9 @@ mod tests {
         let (desc, values) = ninf_query(&addr, "GET matrix/hilbert4").unwrap();
         assert!(desc.contains("Hilbert"));
         assert_eq!(values[0], Value::IntArray(vec![4, 4]));
-        let Value::DoubleArray(d) = &values[1] else { panic!() };
+        let Value::DoubleArray(d) = &values[1] else {
+            panic!()
+        };
         assert_eq!(d.len(), 16);
 
         // Errors travel as Error messages.
@@ -133,7 +142,9 @@ mod tests {
         // server and solve it locally.
         let server = DbServer::start("127.0.0.1:0", builtin_datasets()).unwrap();
         let (_, values) = ninf_query(&server.addr().to_string(), "GET matrix/hilbert4").unwrap();
-        let Value::DoubleArray(data) = &values[1] else { panic!() };
+        let Value::DoubleArray(data) = &values[1] else {
+            panic!()
+        };
         let mut a = ninf_exec::Matrix::from_col_major(4, 4, data.clone());
         let orig = a.clone();
         let b = orig.matvec(&[1.0; 4]);

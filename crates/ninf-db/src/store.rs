@@ -20,17 +20,25 @@ pub struct DataSet {
 impl DataSet {
     /// A scalar dataset.
     pub fn scalar(name: impl Into<String>, description: impl Into<String>, value: f64) -> Self {
-        Self { name: name.into(), description: description.into(), rows: 1, cols: 1, data: vec![value] }
+        Self {
+            name: name.into(),
+            description: description.into(),
+            rows: 1,
+            cols: 1,
+            data: vec![value],
+        }
     }
 
     /// A column-vector dataset.
-    pub fn vector(
-        name: impl Into<String>,
-        description: impl Into<String>,
-        data: Vec<f64>,
-    ) -> Self {
+    pub fn vector(name: impl Into<String>, description: impl Into<String>, data: Vec<f64>) -> Self {
         let rows = data.len();
-        Self { name: name.into(), description: description.into(), rows, cols: 1, data }
+        Self {
+            name: name.into(),
+            description: description.into(),
+            rows,
+            cols: 1,
+            data,
+        }
     }
 
     /// A matrix dataset (column-major).
@@ -45,7 +53,13 @@ impl DataSet {
         data: Vec<f64>,
     ) -> Self {
         assert_eq!(data.len(), rows * cols, "shape mismatch");
-        Self { name: name.into(), description: description.into(), rows, cols, data }
+        Self {
+            name: name.into(),
+            description: description.into(),
+            rows,
+            cols,
+            data,
+        }
     }
 
     /// Extract the sub-matrix rows `[r0, r1)` × cols `[c0, c1)`.
@@ -131,7 +145,13 @@ mod tests {
         let mut s = DataStore::new();
         s.insert(DataSet::scalar("c/pi", "pi", 3.5));
         s.insert(DataSet::vector("v/ones", "ones", vec![1.0; 4]));
-        s.insert(DataSet::matrix("m/a", "2x3", 2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        s.insert(DataSet::matrix(
+            "m/a",
+            "2x3",
+            2,
+            3,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        ));
         s
     }
 

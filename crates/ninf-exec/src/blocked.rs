@@ -108,10 +108,7 @@ fn factor_blocked(a: &mut Matrix, nb: usize, parallel: bool) -> Result<Vec<usize
                 }
             };
             if parallel {
-                trailing
-                    .as_mut_slice()
-                    .par_chunks_mut(rows)
-                    .for_each(apply);
+                trailing.as_mut_slice().par_chunks_mut(rows).for_each(apply);
             } else {
                 for chunk in trailing.as_mut_slice().chunks_mut(rows) {
                     apply(chunk);
@@ -182,7 +179,11 @@ mod tests {
                 let mut a_blk = orig.clone();
                 let ip_blk = dgefa_blocked(&mut a_blk, nb).unwrap();
                 assert_eq!(ip_blk, ip_ref, "pivots differ at n={n} nb={nb}");
-                assert_eq!(a_blk.as_slice(), a_ref.as_slice(), "factors differ at n={n} nb={nb}");
+                assert_eq!(
+                    a_blk.as_slice(),
+                    a_ref.as_slice(),
+                    "factors differ at n={n} nb={nb}"
+                );
             }
         }
     }

@@ -27,7 +27,11 @@ pub fn dgesl_t(a: &Matrix, ipvt: &[usize], b: &mut [f64]) {
     // Solve trans(L)·x = y, applying the interchanges in reverse.
     for k in (0..n.saturating_sub(1)).rev() {
         let col = a.col(k);
-        let t: f64 = col[k + 1..].iter().zip(&b[k + 1..]).map(|(aik, bi)| aik * bi).sum();
+        let t: f64 = col[k + 1..]
+            .iter()
+            .zip(&b[k + 1..])
+            .map(|(aik, bi)| aik * bi)
+            .sum();
         // Multipliers are stored negated, so trans(L) application adds.
         b[k] += t;
         let l = ipvt[k];
@@ -56,7 +60,11 @@ pub fn dgeco(a: &mut Matrix) -> Result<(Vec<usize>, f64), Singular> {
 
     let ipvt = crate::linpack::dgefa(a)?;
     let inv_norm = hager_inverse_norm(a, &ipvt);
-    let rcond = if anorm > 0.0 && inv_norm > 0.0 { 1.0 / (anorm * inv_norm) } else { 0.0 };
+    let rcond = if anorm > 0.0 && inv_norm > 0.0 {
+        1.0 / (anorm * inv_norm)
+    } else {
+        0.0
+    };
     Ok((ipvt, rcond))
 }
 
@@ -74,14 +82,20 @@ fn hager_inverse_norm(a: &Matrix, ipvt: &[usize]) -> f64 {
         best = best.max(z_norm);
 
         // xi = sign(z); w = A⁻ᵀ xi
-        let mut w: Vec<f64> = z.iter().map(|v| if *v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let mut w: Vec<f64> = z
+            .iter()
+            .map(|v| if *v >= 0.0 { 1.0 } else { -1.0 })
+            .collect();
         dgesl_t(a, ipvt, &mut w);
 
         // Converged when no coordinate of w beats the current functional.
-        let (j_max, w_max) = w
-            .iter()
-            .enumerate()
-            .fold((0, 0.0f64), |(bj, bv), (j, &v)| if v.abs() > bv { (j, v.abs()) } else { (bj, bv) });
+        let (j_max, w_max) = w.iter().enumerate().fold((0, 0.0f64), |(bj, bv), (j, &v)| {
+            if v.abs() > bv {
+                (j, v.abs())
+            } else {
+                (bj, bv)
+            }
+        });
         let wx: f64 = w.iter().zip(&x).map(|(wi, xi)| wi * xi).sum();
         if w_max <= wx.abs() + 1e-14 {
             break;
@@ -122,7 +136,12 @@ mod tests {
         let mut b = vec![0.0; 30];
         for (j, bj) in b.iter_mut().enumerate() {
             // (Aᵀ x)_j = Σ_i A[i][j]·x[i] = column j of A dotted with x.
-            *bj = orig.col(j).iter().zip(&x_true).map(|(aij, xi)| aij * xi).sum();
+            *bj = orig
+                .col(j)
+                .iter()
+                .zip(&x_true)
+                .map(|(aij, xi)| aij * xi)
+                .sum();
         }
         dgesl_t(&fact, &ipvt, &mut b);
         for (got, want) in b.iter().zip(&x_true) {
@@ -155,7 +174,10 @@ mod tests {
             }
         }
         let (_, rcond) = dgeco(&mut a).unwrap();
-        assert!(rcond < 1e-10, "Hilbert 10 must look terrible, rcond = {rcond}");
+        assert!(
+            rcond < 1e-10,
+            "Hilbert 10 must look terrible, rcond = {rcond}"
+        );
         assert!(rcond > 0.0);
     }
 
@@ -171,7 +193,10 @@ mod tests {
                 .fold(0.0f64, f64::max);
             let est = 1.0 / (rcond * anorm);
             // Hager is a lower bound, almost always within 3x of exact.
-            assert!(est <= exact * 1.0001, "estimate above exact: {est} > {exact}");
+            assert!(
+                est <= exact * 1.0001,
+                "estimate above exact: {est} > {exact}"
+            );
             assert!(est >= exact / 3.0, "estimate too loose: {est} vs {exact}");
         }
     }

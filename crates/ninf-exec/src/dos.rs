@@ -66,7 +66,11 @@ pub fn dos_histogram_parallel(m: u32, levels: u32, bins: usize, workers: usize) 
             dos_segment(NasRng::default(), start, len, levels, bins)
         })
         .reduce_with(|a, b| a.merge(&b))
-        .unwrap_or(DosResult { histogram: vec![0; bins], samples: 0, levels })
+        .unwrap_or(DosResult {
+            histogram: vec![0; bins],
+            samples: 0,
+            levels,
+        })
 }
 
 fn dos_segment(base: NasRng, start: u64, len: u64, levels: u32, bins: usize) -> DosResult {
@@ -82,7 +86,11 @@ fn dos_segment(base: NasRng, start: u64, len: u64, levels: u32, bins: usize) -> 
         let idx = ((e / levels as f64) * bins as f64) as usize;
         histogram[idx.min(bins - 1)] += 1;
     }
-    DosResult { histogram, samples: len, levels }
+    DosResult {
+        histogram,
+        samples: len,
+        levels,
+    }
 }
 
 #[cfg(test)]

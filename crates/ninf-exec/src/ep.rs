@@ -44,7 +44,9 @@ impl NasRng {
     /// Create with an explicit seed (must be odd and < 2^46 per NPB; even
     /// seeds degenerate, so the constructor forces the low bit).
     pub fn new(seed: u64) -> Self {
-        Self { state: (seed | 1) & MASK46 }
+        Self {
+            state: (seed | 1) & MASK46,
+        }
     }
 
     /// Current state.
@@ -161,11 +163,16 @@ pub fn ep_kernel_parallel(m: u32, workers: usize) -> EpResult {
             ep_segment(base, start, len, total)
         })
         .collect();
-    let mut merged = partials
-        .iter()
-        .fold(EpResult { sx: 0.0, sy: 0.0, counts: [0; EP_GAUSSIAN_BINS], accepted: 0, trials: 0 }, |acc, p| {
-            acc.merge(p)
-        });
+    let mut merged = partials.iter().fold(
+        EpResult {
+            sx: 0.0,
+            sy: 0.0,
+            counts: [0; EP_GAUSSIAN_BINS],
+            accepted: 0,
+            trials: 0,
+        },
+        |acc, p| acc.merge(p),
+    );
     merged.trials = total;
     merged
 }
@@ -204,7 +211,13 @@ pub fn ep_segment(rng: NasRng, start: u64, len: u64, _total: u64) -> EpResult {
         }
     }
 
-    EpResult { sx, sy, counts, accepted, trials: len }
+    EpResult {
+        sx,
+        sy,
+        counts,
+        accepted,
+        trials: len,
+    }
 }
 
 #[cfg(test)]
@@ -253,7 +266,10 @@ mod tests {
     fn acceptance_rate_near_pi_over_4() {
         let r = ep_kernel(16); // 65536 trials
         let rate = r.accepted as f64 / r.trials as f64;
-        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate = {rate}");
+        assert!(
+            (rate - std::f64::consts::FRAC_PI_4).abs() < 0.01,
+            "rate = {rate}"
+        );
     }
 
     #[test]

@@ -29,8 +29,13 @@ pub use blocked::{dgefa_blocked, dgefa_blocked_parallel, dgesl_multi, DEFAULT_BL
 pub use condition::{dgeco, dgesl_t};
 pub use dmmul::{dmmul, dmmul_blocked, dmmul_parallel};
 pub use dos::{dos_histogram, DosResult};
-pub use ep::{ep_kernel, ep_kernel_parallel, ep_segment, ep_segment_any, EpResult, NasRng, EP_GAUSSIAN_BINS};
-pub use linpack::{dgefa, dgesl, linpack_flops, linpack_message_bytes, matgen, random_matrix, residual_check, solve};
+pub use ep::{
+    ep_kernel, ep_kernel_parallel, ep_segment, ep_segment_any, EpResult, NasRng, EP_GAUSSIAN_BINS,
+};
+pub use linpack::{
+    dgefa, dgesl, linpack_flops, linpack_message_bytes, matgen, random_matrix, residual_check,
+    solve,
+};
 pub use matrix::Matrix;
 
 #[cfg(test)]

@@ -18,7 +18,11 @@ pub struct Singular {
 
 impl std::fmt::Display for Singular {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix is singular: zero pivot at column {}", self.column)
+        write!(
+            f,
+            "matrix is singular: zero pivot at column {}",
+            self.column
+        )
     }
 }
 
@@ -185,7 +189,10 @@ pub fn random_matrix(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
 pub fn residual_check(a_orig: &Matrix, x: &[f64], b: &[f64]) -> f64 {
     let n = a_orig.rows();
     let ax = a_orig.matvec(x);
-    let resid = ax.iter().zip(b).fold(0.0f64, |acc, (axi, bi)| acc.max((axi - bi).abs()));
+    let resid = ax
+        .iter()
+        .zip(b)
+        .fold(0.0f64, |acc, (axi, bi)| acc.max((axi - bi).abs()));
     let x_norm = x.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
     let a_norm = a_orig.inf_norm();
     resid / (a_norm * x_norm * n as f64 * f64::EPSILON).max(f64::MIN_POSITIVE)

@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -99,8 +103,16 @@ impl Matrix {
     pub fn split_cols_mut(&mut self, mid: usize) -> (ColsMut<'_>, ColsMut<'_>) {
         let (left, right) = self.data.split_at_mut(mid * self.rows);
         (
-            ColsMut { rows: self.rows, cols: mid, data: left },
-            ColsMut { rows: self.rows, cols: self.cols - mid, data: right },
+            ColsMut {
+                rows: self.rows,
+                cols: mid,
+                data: left,
+            },
+            ColsMut {
+                rows: self.rows,
+                cols: self.cols - mid,
+                data: right,
+            },
         )
     }
 

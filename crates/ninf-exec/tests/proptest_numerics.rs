@@ -11,22 +11,21 @@ use proptest::prelude::*;
 /// Random diagonally-dominant matrix (guaranteed non-singular) plus a
 /// random solution vector.
 fn arb_system() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
-    (2usize..40)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(-1.0f64..1.0, n * n),
-                proptest::collection::vec(-10.0f64..10.0, n),
-            )
-                .prop_map(move |(entries, x)| {
-                    let mut a = Matrix::from_col_major(n, n, entries);
-                    // Make strictly diagonally dominant.
-                    for i in 0..n {
-                        let row_sum: f64 = (0..n).map(|j| a[(i, j)].abs()).sum();
-                        a[(i, i)] = row_sum + 1.0;
-                    }
-                    (a, x)
-                })
-        })
+    (2usize..40).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-1.0f64..1.0, n * n),
+            proptest::collection::vec(-10.0f64..10.0, n),
+        )
+            .prop_map(move |(entries, x)| {
+                let mut a = Matrix::from_col_major(n, n, entries);
+                // Make strictly diagonally dominant.
+                for i in 0..n {
+                    let row_sum: f64 = (0..n).map(|j| a[(i, j)].abs()).sum();
+                    a[(i, i)] = row_sum + 1.0;
+                }
+                (a, x)
+            })
+    })
 }
 
 proptest! {

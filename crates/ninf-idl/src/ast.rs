@@ -124,7 +124,9 @@ impl Define {
     /// the values the client must place in the call header before any array
     /// payload can be sized.
     pub fn scalar_inputs(&self) -> impl Iterator<Item = &Param> {
-        self.params.iter().filter(|p| p.is_scalar() && p.mode.sends())
+        self.params
+            .iter()
+            .filter(|p| p.is_scalar() && p.mode.sends())
     }
 }
 
@@ -153,7 +155,12 @@ mod tests {
         for m in [Mode::In, Mode::Out, Mode::InOut, Mode::Work] {
             assert!(m.keyword().starts_with("mode_"));
         }
-        for b in [BaseType::Int, BaseType::Long, BaseType::Float, BaseType::Double] {
+        for b in [
+            BaseType::Int,
+            BaseType::Long,
+            BaseType::Float,
+            BaseType::Double,
+        ] {
             assert!(!b.keyword().is_empty());
         }
     }

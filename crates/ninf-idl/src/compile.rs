@@ -57,7 +57,10 @@ impl SizeProgram {
                 Op::PushConst(v) => stack.push(v),
                 Op::PushVar(i) => {
                     let v = *scalars.get(i as usize).ok_or_else(|| {
-                        IdlError::Eval(format!("scalar slot {i} out of range ({} provided)", scalars.len()))
+                        IdlError::Eval(format!(
+                            "scalar slot {i} out of range ({} provided)",
+                            scalars.len()
+                        ))
                     })?;
                     stack.push(v);
                 }
@@ -70,7 +73,9 @@ impl SizeProgram {
                         Op::Mul => l.checked_mul(r),
                         Op::Div => {
                             if r == 0 {
-                                return Err(IdlError::Eval("division by zero in size program".into()));
+                                return Err(IdlError::Eval(
+                                    "division by zero in size program".into(),
+                                ));
                             }
                             l.checked_div(r)
                         }
@@ -83,7 +88,9 @@ impl SizeProgram {
         }
         match (stack.pop(), stack.is_empty()) {
             (Some(v), true) if v >= 0 => Ok(v),
-            (Some(v), true) => Err(IdlError::Eval(format!("size program produced negative extent {v}"))),
+            (Some(v), true) => Err(IdlError::Eval(format!(
+                "size program produced negative extent {v}"
+            ))),
             _ => Err(IdlError::Eval("size program left a malformed stack".into())),
         }
     }
@@ -183,7 +190,12 @@ impl CompiledInterface {
                 .iter()
                 .map(|d| SizeProgram::compile(d, &scalar_index))
                 .collect::<IdlResult<Vec<_>>>()?;
-            params.push(CompiledParam { name: p.name.clone(), mode: p.mode, base: p.base, dims });
+            params.push(CompiledParam {
+                name: p.name.clone(),
+                mode: p.mode,
+                base: p.base,
+                dims,
+            });
         }
 
         Ok(Self {
@@ -325,15 +337,29 @@ impl CompiledInterface {
                         3 => Op::Sub,
                         4 => Op::Mul,
                         5 => Op::Div,
-                        t => return Err(IdlError::Decode(format!("unknown size-program opcode {t}"))),
+                        t => {
+                            return Err(IdlError::Decode(format!(
+                                "unknown size-program opcode {t}"
+                            )))
+                        }
                     };
                     ops.push(op);
                 }
                 dims.push(SizeProgram { ops });
             }
-            params.push(CompiledParam { name: pname, mode, base, dims });
+            params.push(CompiledParam {
+                name: pname,
+                mode,
+                base,
+                dims,
+            });
         }
-        Ok(Self { name, scalar_table, params, doc })
+        Ok(Self {
+            name,
+            scalar_table,
+            params,
+            doc,
+        })
     }
 }
 
@@ -410,8 +436,14 @@ mod tests {
         let iface = dmmul();
         let n = 10i64;
         // A + B in, C out; scalars excluded.
-        assert_eq!(iface.request_bytes(&[("n", n)]).unwrap(), 2 * 8 * (n * n) as usize);
-        assert_eq!(iface.reply_bytes(&[("n", n)]).unwrap(), 8 * (n * n) as usize);
+        assert_eq!(
+            iface.request_bytes(&[("n", n)]).unwrap(),
+            2 * 8 * (n * n) as usize
+        );
+        assert_eq!(
+            iface.reply_bytes(&[("n", n)]).unwrap(),
+            8 * (n * n) as usize
+        );
     }
 
     #[test]
@@ -442,7 +474,10 @@ mod tests {
         iface.encode_xdr(&mut enc);
         let wire = enc.finish();
         let back = CompiledInterface::decode_xdr(&mut XdrDecoder::new(&wire)).unwrap();
-        assert_eq!(back.layout(&[("n", 123)]).unwrap(), iface.layout(&[("n", 123)]).unwrap());
+        assert_eq!(
+            back.layout(&[("n", 123)]).unwrap(),
+            iface.layout(&[("n", 123)]).unwrap()
+        );
     }
 
     #[test]
@@ -469,13 +504,17 @@ mod tests {
     fn malformed_program_stack_is_error() {
         let prog = SizeProgram { ops: vec![Op::Add] };
         assert!(matches!(prog.eval(&[]), Err(IdlError::Eval(_))));
-        let prog = SizeProgram { ops: vec![Op::PushConst(1), Op::PushConst(2)] };
+        let prog = SizeProgram {
+            ops: vec![Op::PushConst(1), Op::PushConst(2)],
+        };
         assert!(matches!(prog.eval(&[]), Err(IdlError::Eval(_))));
     }
 
     #[test]
     fn var_slot_out_of_range_is_error() {
-        let prog = SizeProgram { ops: vec![Op::PushVar(3)] };
+        let prog = SizeProgram {
+            ops: vec![Op::PushVar(3)],
+        };
         assert!(matches!(prog.eval(&[1, 2]), Err(IdlError::Eval(_))));
     }
 }

@@ -50,7 +50,11 @@ impl BinOp {
 impl SizeExpr {
     /// Shorthand constructor for a binary node.
     pub fn binary(op: BinOp, lhs: SizeExpr, rhs: SizeExpr) -> Self {
-        SizeExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        SizeExpr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Evaluate with the given scalar bindings.
@@ -60,7 +64,9 @@ impl SizeExpr {
     pub fn eval(&self, scalars: &BTreeMap<&str, i64>) -> IdlResult<i64> {
         let v = self.eval_inner(scalars)?;
         if v < 0 {
-            return Err(IdlError::Eval(format!("dimension `{self}` evaluated to negative {v}")));
+            return Err(IdlError::Eval(format!(
+                "dimension `{self}` evaluated to negative {v}"
+            )));
         }
         Ok(v)
     }
@@ -133,7 +139,10 @@ mod tests {
     #[test]
     fn eval_constants_and_vars() {
         assert_eq!(SizeExpr::Const(5).eval(&bind(&[])).unwrap(), 5);
-        assert_eq!(SizeExpr::Var("n".into()).eval(&bind(&[("n", 7)])).unwrap(), 7);
+        assert_eq!(
+            SizeExpr::Var("n".into()).eval(&bind(&[("n", 7)])).unwrap(),
+            7
+        );
     }
 
     #[test]
@@ -173,7 +182,11 @@ mod tests {
 
     #[test]
     fn variables_deduplicated() {
-        let e = SizeExpr::binary(BinOp::Mul, SizeExpr::Var("n".into()), SizeExpr::Var("n".into()));
+        let e = SizeExpr::binary(
+            BinOp::Mul,
+            SizeExpr::Var("n".into()),
+            SizeExpr::Var("n".into()),
+        );
         assert_eq!(e.variables(), vec!["n"]);
     }
 

@@ -79,7 +79,10 @@ pub fn tokenize(src: &str) -> IdlResult<Vec<Token>> {
                 i += 2;
                 loop {
                     if i + 1 >= bytes.len() {
-                        return Err(IdlError::Lex { line, message: "unterminated comment".into() });
+                        return Err(IdlError::Lex {
+                            line,
+                            message: "unterminated comment".into(),
+                        });
                     }
                     if bytes[i] == b'\n' {
                         line += 1;
@@ -117,9 +120,14 @@ pub fn tokenize(src: &str) -> IdlResult<Vec<Token>> {
                         message: "unterminated string literal".into(),
                     });
                 }
-                let text = std::str::from_utf8(&bytes[begin..i])
-                    .map_err(|_| IdlError::Lex { line: start_line, message: "invalid UTF-8 in string".into() })?;
-                tokens.push(Token { kind: TokenKind::Str(text.to_owned()), line: start_line });
+                let text = std::str::from_utf8(&bytes[begin..i]).map_err(|_| IdlError::Lex {
+                    line: start_line,
+                    message: "invalid UTF-8 in string".into(),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Str(text.to_owned()),
+                    line: start_line,
+                });
                 i += 1; // closing quote
             }
             c if c.is_ascii_digit() => {
@@ -132,7 +140,10 @@ pub fn tokenize(src: &str) -> IdlResult<Vec<Token>> {
                     line,
                     message: format!("integer literal `{text}` out of range"),
                 })?;
-                tokens.push(Token { kind: TokenKind::Int(value), line });
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let begin = i;
@@ -144,15 +155,24 @@ pub fn tokenize(src: &str) -> IdlResult<Vec<Token>> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Ident(src[begin..i].to_owned()), line });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[begin..i].to_owned()),
+                    line,
+                });
             }
             other => {
-                return Err(IdlError::Lex { line, message: format!("unexpected character `{other}`") })
+                return Err(IdlError::Lex {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
 
-    tokens.push(Token { kind: TokenKind::Eof, line });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(tokens)
 }
 

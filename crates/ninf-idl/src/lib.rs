@@ -50,7 +50,9 @@ pub fn parse_one(src: &str) -> IdlResult<Define> {
     let mut defs = parse(src)?;
     match defs.len() {
         1 => Ok(defs.pop().expect("len checked")),
-        n => Err(IdlError::Semantic(format!("expected exactly one Define, found {n}"))),
+        n => Err(IdlError::Semantic(format!(
+            "expected exactly one Define, found {n}"
+        ))),
     }
 }
 
@@ -142,7 +144,10 @@ mod tests {
         let ifaces = stdlib_interfaces();
         assert_eq!(ifaces.len(), 7);
         let names: Vec<&str> = ifaces.iter().map(|i| i.name.as_str()).collect();
-        assert_eq!(names, ["dmmul", "dgefa", "dgesl", "linpack", "ep", "dos", "dgeco"]);
+        assert_eq!(
+            names,
+            ["dmmul", "dgefa", "dgesl", "linpack", "ep", "dos", "dgeco"]
+        );
     }
 
     #[test]
@@ -152,7 +157,8 @@ mod tests {
         assert_eq!(iface.name, "linpack");
         for n in [100i64, 600, 1000, 1400, 1600] {
             let scalars = [("n", n)];
-            let total = iface.request_bytes(&scalars).unwrap() + iface.reply_bytes(&scalars).unwrap();
+            let total =
+                iface.request_bytes(&scalars).unwrap() + iface.reply_bytes(&scalars).unwrap();
             assert_eq!(total as i64, 8 * n * n + 20 * n, "n = {n}");
         }
     }

@@ -32,7 +32,10 @@ pub struct Parser {
 impl Parser {
     /// Lex `src` and prepare to parse.
     pub fn new(src: &str) -> IdlResult<Self> {
-        Ok(Self { tokens: tokenize(src)?, pos: 0 })
+        Ok(Self {
+            tokens: tokenize(src)?,
+            pos: 0,
+        })
     }
 
     /// Parse every `Define` in the source.
@@ -99,14 +102,24 @@ impl Parser {
                         }
                     }
                     self.expect(TokenKind::RParen)?;
-                    calls = Some(CallsClause { convention, callee, args });
+                    calls = Some(CallsClause {
+                        convention,
+                        callee,
+                        args,
+                    });
                 }
                 _ => break,
             }
         }
         self.eat(&TokenKind::Semicolon);
 
-        let define = Define { name, params, doc, required, calls };
+        let define = Define {
+            name,
+            params,
+            doc,
+            required,
+            calls,
+        };
         validate(&define)?;
         Ok(define)
     }
@@ -138,7 +151,9 @@ impl Parser {
                         // Plain identifier: candidate parameter name. The last
                         // one wins; seeing two in a row is a syntax error.
                         if name.replace(word.clone()).is_some() {
-                            return self.err(format!("unexpected identifier `{word}` after parameter name"));
+                            return self.err(format!(
+                                "unexpected identifier `{word}` after parameter name"
+                            ));
                         }
                     }
                 }
@@ -148,8 +163,10 @@ impl Parser {
         }
 
         let name = name.ok_or_else(|| self.err_at("parameter missing a name"))?;
-        let mode = mode.ok_or_else(|| self.err_at(&format!("parameter `{name}` missing a mode keyword")))?;
-        let base = base.ok_or_else(|| self.err_at(&format!("parameter `{name}` missing a base type")))?;
+        let mode =
+            mode.ok_or_else(|| self.err_at(&format!("parameter `{name}` missing a mode keyword")))?;
+        let base =
+            base.ok_or_else(|| self.err_at(&format!("parameter `{name}` missing a base type")))?;
 
         let mut dims = Vec::new();
         while self.eat(&TokenKind::LBracket) {
@@ -157,7 +174,12 @@ impl Parser {
             self.expect(TokenKind::RBracket)?;
         }
 
-        Ok(Param { name, mode, base, dims })
+        Ok(Param {
+            name,
+            mode,
+            base,
+            dims,
+        })
     }
 
     fn parse_expr(&mut self) -> IdlResult<SizeExpr> {
@@ -213,7 +235,10 @@ impl Parser {
                 let inner = self.parse_factor()?;
                 Ok(SizeExpr::binary(BinOp::Sub, SizeExpr::Const(0), inner))
             }
-            other => self.err(format!("expected dimension expression, found {}", other.describe())),
+            other => self.err(format!(
+                "expected dimension expression, found {}",
+                other.describe()
+            )),
         }
     }
 
@@ -254,7 +279,11 @@ impl Parser {
         if self.eat(&kind) {
             Ok(())
         } else {
-            self.err(format!("expected {}, found {}", kind.describe(), self.peek_kind().describe()))
+            self.err(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek_kind().describe()
+            ))
         }
     }
 
@@ -274,7 +303,10 @@ impl Parser {
                 self.advance();
                 Ok(s)
             }
-            other => self.err(format!("expected string literal, found {}", other.describe())),
+            other => self.err(format!(
+                "expected string literal, found {}",
+                other.describe()
+            )),
         }
     }
 
@@ -289,11 +321,17 @@ impl Parser {
     }
 
     fn err<T>(&self, message: String) -> IdlResult<T> {
-        Err(IdlError::Parse { line: self.peek().line, message })
+        Err(IdlError::Parse {
+            line: self.peek().line,
+            message,
+        })
     }
 
     fn err_at(&self, message: &str) -> IdlError {
-        IdlError::Parse { line: self.peek().line, message: message.to_owned() }
+        IdlError::Parse {
+            line: self.peek().line,
+            message: message.to_owned(),
+        }
     }
 }
 
@@ -383,7 +421,10 @@ mod tests {
         assert!(def.params[0].is_scalar());
         assert_eq!(def.params[1].dims.len(), 2);
         assert_eq!(def.params[3].mode, Mode::Out);
-        assert_eq!(def.doc.as_deref(), Some("dmmul is double precision matrix multiply"));
+        assert_eq!(
+            def.doc.as_deref(),
+            Some("dmmul is double precision matrix multiply")
+        );
         assert_eq!(def.required, vec!["libxxx.o"]);
         let calls = def.calls.unwrap();
         assert_eq!(calls.convention, "C");
@@ -422,16 +463,14 @@ mod tests {
 
     #[test]
     fn rejects_forward_dimension_reference() {
-        let err =
-            parse_one("Define f(mode_in double A[m], mode_in int m)").unwrap_err();
+        let err = parse_one("Define f(mode_in double A[m], mode_in int m)").unwrap_err();
         assert!(matches!(err, IdlError::Semantic(_)));
     }
 
     #[test]
     fn rejects_dimension_on_output_scalar() {
         // `k` is an output, so the client cannot size `A` from it.
-        let err =
-            parse_one("Define f(mode_out int k, mode_in double A[k])").unwrap_err();
+        let err = parse_one("Define f(mode_out int k, mode_in double A[k])").unwrap_err();
         assert!(matches!(err, IdlError::Semantic(_)));
     }
 
@@ -455,7 +494,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_source() {
-        assert!(matches!(crate::parse("  // nothing"), Err(IdlError::Semantic(_))));
+        assert!(matches!(
+            crate::parse("  // nothing"),
+            Err(IdlError::Semantic(_))
+        ));
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub fn print_idl(def: &Define) -> String {
 }
 
 fn print_param(p: &Param) -> String {
-    let dims: String = p.dims.iter().map(|d| format!("[{}]", print_expr(d))).collect();
+    let dims: String = p
+        .dims
+        .iter()
+        .map(|d| format!("[{}]", print_expr(d)))
+        .collect();
     format!("{} {} {}{dims}", p.mode.keyword(), p.base.keyword(), p.name)
 }
 
@@ -110,10 +114,7 @@ pub fn generate_handler_stub(def: &Define) -> String {
                 "        let {}: &[{ty}] = match &args[{arg_idx}] {{",
                 rust_ident(&p.name)
             );
-            let _ = writeln!(
-                out,
-                "            ninf_protocol::Value::{variant}(v) => v,"
-            );
+            let _ = writeln!(out, "            ninf_protocol::Value::{variant}(v) => v,");
             let _ = writeln!(
                 out,
                 "            _ => return Err(\"{} must be a {ty} array\".into()),",
@@ -146,7 +147,11 @@ pub fn generate_handler_stub(def: &Define) -> String {
             .join(" * ");
         let ident = format!("out_{}", rust_ident(&p.name));
         if p.is_scalar() {
-            let _ = writeln!(out, "        let {ident} = Default::default(); // scalar {}", p.name);
+            let _ = writeln!(
+                out,
+                "        let {ident} = Default::default(); // scalar {}",
+                p.name
+            );
             outputs.push(format!(
                 "ninf_protocol::Value::{}({ident})",
                 scalar_variant(p.base)
@@ -224,9 +229,8 @@ mod tests {
         for src in crate::stdlib() {
             let def = parse_one(src).unwrap();
             let printed = print_idl(&def);
-            let reparsed = parse_one(&printed).unwrap_or_else(|e| {
-                panic!("reparse of {} failed: {e}\n{printed}", def.name)
-            });
+            let reparsed = parse_one(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {} failed: {e}\n{printed}", def.name));
             assert_eq!(reparsed, def, "roundtrip mismatch for {}", def.name);
         }
     }
@@ -281,10 +285,8 @@ mod tests {
 
     #[test]
     fn printed_expressions_keep_precedence() {
-        let def = parse_one(
-            "Define f(mode_in int n, mode_out double v[n*(n+1)/2]) \"tri\";",
-        )
-        .unwrap();
+        let def =
+            parse_one("Define f(mode_in int n, mode_out double v[n*(n+1)/2]) \"tri\";").unwrap();
         let printed = print_idl(&def);
         let reparsed = parse_one(&printed).unwrap();
         // Semantics preserved: same extent at a probe value.

@@ -18,7 +18,11 @@ fn arb_expr() -> impl Strategy<Value = SizeExpr> {
         Just(SizeExpr::Var("n".into())),
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
-        (inner.clone(), inner, prop_oneof![Just(BinOp::Add), Just(BinOp::Mul)])
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![Just(BinOp::Add), Just(BinOp::Mul)],
+        )
             .prop_map(|(l, r, op)| SizeExpr::binary(op, l, r))
     })
 }

@@ -19,7 +19,13 @@ pub struct CpuAccounting {
 impl CpuAccounting {
     /// Start accounting for a machine with `pes` processors at time `t0`.
     pub fn new(pes: usize, t0: f64) -> Self {
-        Self { pes, busy: 0.0, last_update: t0, busy_pe_seconds: 0.0, window_start: t0 }
+        Self {
+            pes,
+            busy: 0.0,
+            last_update: t0,
+            busy_pe_seconds: 0.0,
+            window_start: t0,
+        }
     }
 
     /// Record that from now on `busy` PEs are in use (may be fractional —

@@ -55,8 +55,14 @@ pub fn j90() -> MachineSpec {
     MachineSpec {
         name: "Cray J90 (ETL)".into(),
         pes: 4,
-        pe_linpack: LinpackModel::Vector { r_inf: 200.0, n_half: 120.0 },
-        allpe_linpack: LinpackModel::Vector { r_inf: 700.0, n_half: 260.0 },
+        pe_linpack: LinpackModel::Vector {
+            r_inf: 200.0,
+            n_half: 120.0,
+        },
+        allpe_linpack: LinpackModel::Vector {
+            r_inf: 700.0,
+            n_half: 260.0,
+        },
         ep_mops_per_pe: 0.168,
         // Single client sustains ~2.5 MB/s into a lightly loaded J90 (Tables
         // 3/4 throughput column at c=1); at full CPU saturation the aggregate

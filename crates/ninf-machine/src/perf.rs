@@ -52,7 +52,10 @@ mod tests {
 
     #[test]
     fn vector_model_halves_at_n_half() {
-        let m = LinpackModel::Vector { r_inf: 200.0, n_half: 120.0 };
+        let m = LinpackModel::Vector {
+            r_inf: 200.0,
+            n_half: 120.0,
+        };
         assert!((m.mflops(120) - 100.0).abs() < 1e-9);
         // Approaches the asymptote from below.
         assert!(m.mflops(10_000) > 195.0);
@@ -61,7 +64,10 @@ mod tests {
 
     #[test]
     fn vector_model_is_monotone() {
-        let m = LinpackModel::Vector { r_inf: 700.0, n_half: 260.0 };
+        let m = LinpackModel::Vector {
+            r_inf: 700.0,
+            n_half: 260.0,
+        };
         let mut last = 0.0;
         for n in (100..2000).step_by(100) {
             let p = m.mflops(n);
@@ -87,7 +93,10 @@ mod tests {
 
     #[test]
     fn bigger_problems_take_longer() {
-        let m = LinpackModel::Vector { r_inf: 700.0, n_half: 260.0 };
+        let m = LinpackModel::Vector {
+            r_inf: 700.0,
+            n_half: 260.0,
+        };
         assert!(m.solve_seconds(1400) > m.solve_seconds(1000));
         assert!(m.solve_seconds(1000) > m.solve_seconds(600));
     }

@@ -48,7 +48,12 @@ impl Balancing {
     ///
     /// # Panics
     /// Panics if `servers` is empty.
-    pub fn choose(&self, servers: &[ServerState], call: CallEstimate, rr_state: &mut usize) -> usize {
+    pub fn choose(
+        &self,
+        servers: &[ServerState],
+        call: CallEstimate,
+        rr_state: &mut usize,
+    ) -> usize {
         assert!(!servers.is_empty(), "no servers registered");
         match self {
             Balancing::RoundRobin => {
@@ -73,7 +78,12 @@ impl Balancing {
 
     /// All policies, for ablation sweeps.
     pub fn all() -> [Balancing; 4] {
-        [Balancing::RoundRobin, Balancing::LoadBased, Balancing::BandwidthAware, Balancing::MinCompletion]
+        [
+            Balancing::RoundRobin,
+            Balancing::LoadBased,
+            Balancing::BandwidthAware,
+            Balancing::MinCompletion,
+        ]
     }
 
     /// Table name.
@@ -114,14 +124,18 @@ mod tests {
         }
     }
 
-    const CALL: CallEstimate = CallEstimate { bytes: 8e6, flops: 1e9 };
+    const CALL: CallEstimate = CallEstimate {
+        bytes: 8e6,
+        flops: 1e9,
+    };
 
     #[test]
     fn round_robin_rotates() {
         let servers = vec![state(0, 0, 4, 1e6, 100.0); 3];
         let mut rr = 0;
-        let picks: Vec<usize> =
-            (0..6).map(|_| Balancing::RoundRobin.choose(&servers, CALL, &mut rr)).collect();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| Balancing::RoundRobin.choose(&servers, CALL, &mut rr))
+            .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -155,17 +169,29 @@ mod tests {
     #[test]
     fn min_completion_trades_comm_and_comp() {
         // Communication-heavy call: bandwidth dominates.
-        let comm_heavy = CallEstimate { bytes: 20e6, flops: 1e8 };
+        let comm_heavy = CallEstimate {
+            bytes: 20e6,
+            flops: 1e8,
+        };
         let servers = vec![
             state(0, 0, 4, 0.17e6, 600.0), // super fast compute, slow pipe
             state(0, 0, 1, 2.5e6, 35.0),   // modest compute, fast pipe
         ];
         let mut rr = 0;
-        assert_eq!(Balancing::MinCompletion.choose(&servers, comm_heavy, &mut rr), 1);
+        assert_eq!(
+            Balancing::MinCompletion.choose(&servers, comm_heavy, &mut rr),
+            1
+        );
 
         // Compute-heavy call (EP-like): the supercomputer wins despite the pipe.
-        let comp_heavy = CallEstimate { bytes: 100.0, flops: 5e11 };
-        assert_eq!(Balancing::MinCompletion.choose(&servers, comp_heavy, &mut rr), 0);
+        let comp_heavy = CallEstimate {
+            bytes: 100.0,
+            flops: 5e11,
+        };
+        assert_eq!(
+            Balancing::MinCompletion.choose(&servers, comp_heavy, &mut rr),
+            0
+        );
     }
 
     #[test]

@@ -1,9 +1,16 @@
-//! The server directory: registration and monitoring.
+//! The server directory: registration, monitoring, and failure accounting.
 
-use ninf_client::NinfClient;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ninf_client::{CallOptions, NinfClient};
 use ninf_protocol::{LoadReport, ProtocolResult};
 
 use crate::balance::ServerState;
+
+/// Consecutive failures after which a server is quarantined: selection skips
+/// it until a probe succeeds again.
+pub const QUARANTINE_THRESHOLD: u32 = 3;
 
 /// One registered computational server.
 #[derive(Debug, Clone)]
@@ -18,10 +25,29 @@ pub struct ServerEntry {
     pub linpack_mflops: f64,
 }
 
+/// Health accounting for one server.
+#[derive(Debug, Clone, Copy, Default)]
+struct Health {
+    consecutive_failures: u32,
+    quarantined: bool,
+}
+
 /// The metaserver's view of the server fleet.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct Directory {
     entries: Vec<ServerEntry>,
+    // Interior mutability: failure accounting happens on the read-only call
+    // paths (choose/execute), which take `&self`.
+    health: Mutex<Vec<Health>>,
+}
+
+impl Clone for Directory {
+    fn clone(&self) -> Self {
+        Self {
+            entries: self.entries.clone(),
+            health: Mutex::new(self.health.lock().expect("health lock").clone()),
+        }
+    }
 }
 
 impl Directory {
@@ -33,6 +59,10 @@ impl Directory {
     /// Register a server; returns its index.
     pub fn register(&mut self, entry: ServerEntry) -> usize {
         self.entries.push(entry);
+        self.health
+            .lock()
+            .expect("health lock")
+            .push(Health::default());
         self.entries.len() - 1
     }
 
@@ -51,13 +81,79 @@ impl Directory {
         self.entries.is_empty()
     }
 
+    /// Record one failed call/probe against server `idx`. Returns `true` if
+    /// this failure pushed the server over [`QUARANTINE_THRESHOLD`] into
+    /// quarantine.
+    pub fn record_failure(&self, idx: usize) -> bool {
+        let mut health = self.health.lock().expect("health lock");
+        let h = &mut health[idx];
+        h.consecutive_failures += 1;
+        if !h.quarantined && h.consecutive_failures >= QUARANTINE_THRESHOLD {
+            h.quarantined = true;
+            return true;
+        }
+        false
+    }
+
+    /// Record one successful call/probe against server `idx`, clearing its
+    /// failure streak (and any quarantine).
+    pub fn record_success(&self, idx: usize) {
+        let mut health = self.health.lock().expect("health lock");
+        health[idx] = Health::default();
+    }
+
+    /// Whether server `idx` is currently quarantined.
+    pub fn is_quarantined(&self, idx: usize) -> bool {
+        self.health.lock().expect("health lock")[idx].quarantined
+    }
+
+    /// Consecutive failure count for server `idx`.
+    pub fn failure_count(&self, idx: usize) -> u32 {
+        self.health.lock().expect("health lock")[idx].consecutive_failures
+    }
+
+    /// Indices of all non-quarantined servers, in registration order.
+    pub fn available_indices(&self) -> Vec<usize> {
+        let health = self.health.lock().expect("health lock");
+        (0..self.entries.len())
+            .filter(|&i| !health[i].quarantined)
+            .collect()
+    }
+
+    /// Probe a quarantined server and reinstate it if it answers within
+    /// `deadline`. Returns `true` if the server is available afterwards.
+    pub fn try_reinstate(&self, idx: usize, deadline: Option<Duration>) -> bool {
+        if !self.is_quarantined(idx) {
+            return true;
+        }
+        match probe_with_deadline(&self.entries[idx].addr, deadline) {
+            Ok(_) => {
+                self.record_success(idx);
+                true
+            }
+            Err(_) => {
+                // Stays quarantined; keep counting so monitoring can see how
+                // long it has been down.
+                self.record_failure(idx);
+                false
+            }
+        }
+    }
+
     /// Probe every server's load over the wire; unreachable servers report
     /// an all-zero load with zero PEs (they will never win selection).
     pub fn probe_all(&self) -> Vec<ServerState> {
-        self.entries
+        self.probe_states(&(0..self.entries.len()).collect::<Vec<_>>(), None)
+    }
+
+    /// Probe the given subset of servers, each bounded by `deadline` (a hung
+    /// server then reports infinite load instead of blocking the probe).
+    pub fn probe_states(&self, indices: &[usize], deadline: Option<Duration>) -> Vec<ServerState> {
+        indices
             .iter()
-            .map(|e| {
-                let load = probe(&e.addr).unwrap_or(LoadReport {
+            .map(|&i| {
+                let e = &self.entries[i];
+                let load = probe_with_deadline(&e.addr, deadline).unwrap_or(LoadReport {
                     pes: 0,
                     running: u32::MAX / 2,
                     queued: 0,
@@ -76,7 +172,17 @@ impl Directory {
 
 /// One load probe over a fresh connection.
 pub fn probe(addr: &str) -> ProtocolResult<LoadReport> {
-    NinfClient::connect(addr)?.query_load()
+    probe_with_deadline(addr, None)
+}
+
+/// One load probe over a fresh connection, bounded by `deadline` so that an
+/// accepting-but-silent server yields a typed timeout instead of a hang.
+pub fn probe_with_deadline(addr: &str, deadline: Option<Duration>) -> ProtocolResult<LoadReport> {
+    let options = match deadline {
+        Some(d) => CallOptions::with_deadline(d),
+        None => CallOptions::default(),
+    };
+    NinfClient::connect_with(addr, options)?.query_load()
 }
 
 #[cfg(test)]
@@ -109,5 +215,66 @@ mod tests {
         let states = d.probe_all();
         assert_eq!(states.len(), 1);
         assert!(states[0].load.load_average.is_infinite());
+    }
+
+    #[test]
+    fn quarantine_kicks_in_after_threshold() {
+        let mut d = Directory::new();
+        d.register(entry("flaky"));
+        for i in 0..QUARANTINE_THRESHOLD {
+            assert!(!d.is_quarantined(0), "quarantined after only {i} failures");
+            let tipped = d.record_failure(0);
+            assert_eq!(tipped, i + 1 == QUARANTINE_THRESHOLD);
+        }
+        assert!(d.is_quarantined(0));
+        assert!(d.available_indices().is_empty());
+    }
+
+    #[test]
+    fn success_clears_failure_streak() {
+        let mut d = Directory::new();
+        d.register(entry("recovering"));
+        d.record_failure(0);
+        d.record_failure(0);
+        d.record_success(0);
+        assert_eq!(d.failure_count(0), 0);
+        // The streak restarts: two more failures still don't quarantine.
+        d.record_failure(0);
+        d.record_failure(0);
+        assert!(!d.is_quarantined(0));
+    }
+
+    #[test]
+    fn available_indices_skips_quarantined() {
+        let mut d = Directory::new();
+        d.register(entry("a"));
+        d.register(entry("b"));
+        d.register(entry("c"));
+        for _ in 0..QUARANTINE_THRESHOLD {
+            d.record_failure(1);
+        }
+        assert_eq!(d.available_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn reinstate_of_dead_server_fails_and_keeps_quarantine() {
+        let mut d = Directory::new();
+        d.register(entry("dead"));
+        for _ in 0..QUARANTINE_THRESHOLD {
+            d.record_failure(0);
+        }
+        assert!(!d.try_reinstate(0, Some(Duration::from_millis(100))));
+        assert!(d.is_quarantined(0));
+    }
+
+    #[test]
+    fn clone_carries_health_state() {
+        let mut d = Directory::new();
+        d.register(entry("a"));
+        for _ in 0..QUARANTINE_THRESHOLD {
+            d.record_failure(0);
+        }
+        let d2 = d.clone();
+        assert!(d2.is_quarantined(0));
     }
 }

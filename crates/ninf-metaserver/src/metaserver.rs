@@ -1,8 +1,9 @@
 //! The metaserver proper: transaction execution over the server fleet.
 
 use std::sync::Mutex;
+use std::time::Duration;
 
-use ninf_client::{call_async, AsyncCall, PlannedCall, Transaction, TxArg};
+use ninf_client::{call_async_with, AsyncCall, CallOptions, PlannedCall, Transaction, TxArg};
 use ninf_protocol::{ProtocolError, ProtocolResult, Value};
 
 use crate::balance::{Balancing, CallEstimate};
@@ -13,12 +14,38 @@ pub struct Metaserver {
     directory: Directory,
     balancing: Balancing,
     rr_cursor: Mutex<usize>,
+    options: CallOptions,
+    probe_deadline: Option<Duration>,
 }
 
 impl Metaserver {
-    /// Create over a directory.
+    /// Create over a directory with default failure handling: a 10 s
+    /// per-operation call deadline and a 1 s probe deadline, so a hung
+    /// server stalls a call briefly instead of forever.
     pub fn new(directory: Directory, balancing: Balancing) -> Self {
-        Self { directory, balancing, rr_cursor: Mutex::new(0) }
+        Self::with_options(
+            directory,
+            balancing,
+            CallOptions::with_deadline(Duration::from_secs(10)),
+            Some(Duration::from_secs(1)),
+        )
+    }
+
+    /// Create with explicit call options (deadline/backoff applied to every
+    /// routed call) and load-probe deadline.
+    pub fn with_options(
+        directory: Directory,
+        balancing: Balancing,
+        options: CallOptions,
+        probe_deadline: Option<Duration>,
+    ) -> Self {
+        Self {
+            directory,
+            balancing,
+            rr_cursor: Mutex::new(0),
+            options,
+            probe_deadline,
+        }
     }
 
     /// The directory.
@@ -26,21 +53,58 @@ impl Metaserver {
         &self.directory
     }
 
+    /// Call options applied to routed calls.
+    pub fn options(&self) -> CallOptions {
+        self.options
+    }
+
     /// Pick a server for a call with the given cost estimate, probing the
-    /// fleet's current loads.
+    /// current loads of the non-quarantined part of the fleet.
     pub fn choose_server(&self, est: CallEstimate) -> usize {
-        let states = self.directory.probe_all();
+        let mut pool = self.directory.available_indices();
+        if pool.is_empty() {
+            // Entire fleet quarantined: fall back to everyone rather than
+            // panic; deadlines and the ft retry loop govern from there.
+            pool = (0..self.directory.len()).collect();
+        }
+        let states = self.directory.probe_states(&pool, self.probe_deadline);
         let mut rr = self.rr_cursor.lock().expect("rr lock");
-        self.balancing.choose(&states, est, &mut rr)
+        let k = self.balancing.choose(&states, est, &mut rr);
+        pool[k]
+    }
+
+    /// First non-quarantined server strictly rotating from `last + 1`
+    /// (wrapping), or `None` when the whole fleet is quarantined.
+    fn next_available_after(&self, last: usize) -> Option<usize> {
+        let n = self.directory.len();
+        (1..=n)
+            .map(|step| (last + step) % n)
+            .find(|&i| !self.directory.is_quarantined(i))
+    }
+
+    /// Probe quarantined servers for reinstatement; returns the first one
+    /// that answers, now available again.
+    fn reinstate_any(&self) -> Option<usize> {
+        (0..self.directory.len()).find(|&i| self.directory.try_reinstate(i, self.probe_deadline))
     }
 
     /// Route one `Ninf_call` through the metaserver (the client "need not be
     /// aware … of the physical location of computing servers", §2.4).
     pub fn ninf_call(&self, routine: &str, args: &[Value]) -> ProtocolResult<Vec<Value>> {
         let bytes: f64 = args.iter().map(|v| v.wire_bytes() as f64).sum();
-        let idx = self.choose_server(CallEstimate { bytes, flops: bytes * 100.0 });
+        let idx = self.choose_server(CallEstimate {
+            bytes,
+            flops: bytes * 100.0,
+        });
         let addr = self.directory.entries()[idx].addr.clone();
-        call_async(addr, routine.to_owned(), args.to_vec()).wait()
+        let outcome = call_async_with(addr, routine.to_owned(), args.to_vec(), self.options).wait();
+        match &outcome {
+            Ok(_) => self.directory.record_success(idx),
+            Err(_) => {
+                self.directory.record_failure(idx);
+            }
+        }
+        outcome
     }
 
     /// Execute a recorded transaction: topologically layer the dependency
@@ -62,9 +126,15 @@ impl Metaserver {
                 let call = &tx.calls()[call_idx];
                 let args = resolve_args(call, &slots)?;
                 let bytes: f64 = args.iter().map(|v| v.wire_bytes() as f64).sum();
-                let sidx = self.choose_server(CallEstimate { bytes, flops: bytes * 100.0 });
+                let sidx = self.choose_server(CallEstimate {
+                    bytes,
+                    flops: bytes * 100.0,
+                });
                 let addr = self.directory.entries()[sidx].addr.clone();
-                in_flight.push((call_idx, call_async(addr, call.routine.clone(), args)));
+                in_flight.push((
+                    call_idx,
+                    call_async_with(addr, call.routine.clone(), args, self.options),
+                ));
             }
             for (call_idx, pending) in in_flight {
                 let results = pending.wait()?;
@@ -90,13 +160,20 @@ impl Metaserver {
     /// Fault-tolerant variant of [`Metaserver::execute_transaction`] (§2.4:
     /// the metaserver "controls the parallel, fault-tolerant execution of
     /// multiple sequence of Ninf_calls"): a call that fails on one server is
-    /// retried on the next server (round-robin from the failed one), up to
-    /// one attempt per registered server.
+    /// retried elsewhere with exponential backoff and jitter. Every outcome
+    /// feeds the directory's failure accounting — a server that fails
+    /// [`crate::directory::QUARANTINE_THRESHOLD`] times in a row is
+    /// quarantined and skipped by retries until a probe reinstates it. When
+    /// every server is quarantined, the quarantined ones are probed and the
+    /// first responder is put back in rotation before giving up. Calls are
+    /// bounded by the configured [`CallOptions`] deadline, so a hung
+    /// (accepting-but-silent) server costs one deadline, not a hang.
     pub fn execute_transaction_ft(&self, tx: &Transaction) -> ProtocolResult<Vec<Option<Value>>> {
         let levels = tx
             .dependency_levels()
             .map_err(|i| ProtocolError::Remote(format!("call #{i} reads an unwritten slot")))?;
         let n_servers = self.directory.len();
+        let max_attempts = (2 * n_servers) as u32;
         let mut slots: Vec<Option<Value>> = vec![None; tx.slot_count()];
 
         for level in levels {
@@ -105,26 +182,58 @@ impl Metaserver {
                 let call = &tx.calls()[call_idx];
                 let args = resolve_args(call, &slots)?;
                 let bytes: f64 = args.iter().map(|v| v.wire_bytes() as f64).sum();
-                let sidx = self.choose_server(CallEstimate { bytes, flops: bytes * 100.0 });
+                let sidx = self.choose_server(CallEstimate {
+                    bytes,
+                    flops: bytes * 100.0,
+                });
                 let addr = self.directory.entries()[sidx].addr.clone();
-                in_flight.push((call_idx, sidx, call_async(addr, call.routine.clone(), args)));
+                in_flight.push((
+                    call_idx,
+                    sidx,
+                    call_async_with(addr, call.routine.clone(), args, self.options),
+                ));
             }
             for (call_idx, first_server, pending) in in_flight {
                 let call = &tx.calls()[call_idx];
                 let mut outcome = pending.wait();
-                let mut attempt = 1;
-                while outcome.is_err() && attempt < n_servers {
-                    // Retry on the next server over; arguments are re-resolved
-                    // (slots from earlier levels are still intact).
-                    let sidx = (first_server + attempt) % n_servers;
-                    let addr = self.directory.entries()[sidx].addr.clone();
+                match &outcome {
+                    Ok(_) => self.directory.record_success(first_server),
+                    Err(_) => {
+                        self.directory.record_failure(first_server);
+                    }
+                }
+                let mut last_server = first_server;
+                let mut attempt: u32 = 0;
+                while outcome.is_err() && attempt < max_attempts {
+                    // Exponential backoff with per-call jitter so concurrent
+                    // retriers don't stampede a recovering server.
+                    std::thread::sleep(self.options.backoff_delay(attempt, call_idx as u64));
+                    let sidx = match self.next_available_after(last_server) {
+                        Some(i) => i,
+                        None => match self.reinstate_any() {
+                            Some(i) => i,
+                            // Nothing answers probes either; give up.
+                            None => break,
+                        },
+                    };
+                    // Arguments are re-resolved (slots from earlier levels
+                    // are still intact).
                     let args = resolve_args(call, &slots)?;
-                    outcome = call_async(addr, call.routine.clone(), args).wait();
+                    let addr = self.directory.entries()[sidx].addr.clone();
+                    outcome =
+                        call_async_with(addr, call.routine.clone(), args, self.options).wait();
+                    match &outcome {
+                        Ok(_) => self.directory.record_success(sidx),
+                        Err(_) => {
+                            self.directory.record_failure(sidx);
+                        }
+                    }
+                    last_server = sidx;
                     attempt += 1;
                 }
                 let results = outcome.map_err(|e| {
                     ProtocolError::Remote(format!(
-                        "call #{call_idx} ({}) failed on all {n_servers} servers: {e}",
+                        "call #{call_idx} ({}) failed after {attempt} retries across {n_servers} servers: {e}",
                         call.routine
                     ))
                 })?;
@@ -157,7 +266,9 @@ mod tests {
     use super::*;
     use crate::directory::ServerEntry;
     use ninf_client::Transaction;
-    use ninf_server::{builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig};
+    use ninf_server::{
+        builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig,
+    };
 
     fn spawn_fleet(n: usize) -> (Vec<NinfServer>, Directory) {
         let mut dir = Directory::new();
@@ -168,7 +279,11 @@ mod tests {
             let server = NinfServer::start(
                 "127.0.0.1:0",
                 registry,
-                ServerConfig { pes: 2, mode: ExecMode::TaskParallel, policy: SchedPolicy::Fcfs },
+                ServerConfig {
+                    pes: 2,
+                    mode: ExecMode::TaskParallel,
+                    policy: SchedPolicy::Fcfs,
+                },
             )
             .unwrap();
             dir.register(ServerEntry {
@@ -202,13 +317,19 @@ mod tests {
         for _ in 0..6 {
             let sums = tx.slot();
             let counts = tx.slot();
-            tx.call("ep", vec![TxArg::Value(Value::Int(10))], vec![Some(sums), Some(counts)]);
+            tx.call(
+                "ep",
+                vec![TxArg::Value(Value::Int(10))],
+                vec![Some(sums), Some(counts)],
+            );
             out_slots.push((sums, counts));
         }
         let slots = meta.execute_transaction(&tx).unwrap();
         for (sums, counts) in out_slots {
             assert!(slots[sums.0].is_some());
-            let Some(Value::DoubleArray(c)) = &slots[counts.0] else { panic!() };
+            let Some(Value::DoubleArray(c)) = &slots[counts.0] else {
+                panic!()
+            };
             assert_eq!(c.len(), 10);
         }
         // Round-robin over 3 servers × 6 calls: every server saw exactly 2.
@@ -250,7 +371,9 @@ mod tests {
             vec![Some(x)],
         );
         let slots = meta.execute_transaction(&tx).unwrap();
-        let Some(Value::DoubleArray(solution)) = &slots[x.0] else { panic!("no solution") };
+        let Some(Value::DoubleArray(solution)) = &slots[x.0] else {
+            panic!("no solution")
+        };
         for xi in solution {
             assert!((xi - 1.0).abs() < 1e-8);
         }
@@ -289,7 +412,11 @@ mod tests {
         for _ in 0..6 {
             let sums = tx.slot();
             let counts = tx.slot();
-            tx.call("ep", vec![TxArg::Value(Value::Int(10))], vec![Some(sums), Some(counts)]);
+            tx.call(
+                "ep",
+                vec![TxArg::Value(Value::Int(10))],
+                vec![Some(sums), Some(counts)],
+            );
             outs.push(sums);
         }
         // Plain execution fails (some calls land on the dead server)...
@@ -321,12 +448,142 @@ mod tests {
         assert!(meta.execute_transaction_ft(&tx).is_err());
     }
 
+    /// A listener that accepts connections and then stays silent forever —
+    /// the failure mode a connection-refused check can't see.
+    fn hung_server() -> String {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while let Ok((sock, _)) = listener.accept() {
+                held.push(sock); // keep sockets open, never answer
+            }
+        });
+        addr
+    }
+
+    fn fast_failure_options() -> ninf_client::CallOptions {
+        ninf_client::CallOptions {
+            deadline: Some(std::time::Duration::from_millis(300)),
+            retries: 0,
+            backoff: std::time::Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn ft_execution_survives_a_hung_server() {
+        // A hung server accepts but never replies: without deadlines this
+        // blocks forever; with them each call on it costs one deadline and
+        // is then retried on a live server.
+        let (mut servers, mut dir) = spawn_fleet(2);
+        dir.register(ServerEntry {
+            name: "hung".into(),
+            addr: hung_server(),
+            bandwidth_bytes_per_sec: 10e6,
+            linpack_mflops: 100.0,
+        });
+        let meta = Metaserver::with_options(
+            dir,
+            Balancing::RoundRobin,
+            fast_failure_options(),
+            Some(std::time::Duration::from_millis(200)),
+        );
+        let mut tx = Transaction::new();
+        let mut outs = Vec::new();
+        for _ in 0..6 {
+            let sums = tx.slot();
+            let counts = tx.slot();
+            tx.call(
+                "ep",
+                vec![TxArg::Value(Value::Int(10))],
+                vec![Some(sums), Some(counts)],
+            );
+            outs.push(sums);
+        }
+        let slots = meta.execute_transaction_ft(&tx).unwrap();
+        for s in outs {
+            assert!(slots[s.0].is_some());
+        }
+        for s in servers.drain(..) {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn ft_reinstates_quarantined_server_after_probe() {
+        // One live server (manually quarantined) plus one dead address: the
+        // retry loop must exhaust the dead server, find nothing available,
+        // probe the quarantined one, reinstate it, and finish there.
+        let (mut servers, mut dir) = spawn_fleet(1);
+        dir.register(ServerEntry {
+            name: "dead".into(),
+            addr: "127.0.0.1:1".into(),
+            bandwidth_bytes_per_sec: 10e6,
+            linpack_mflops: 100.0,
+        });
+        for _ in 0..crate::directory::QUARANTINE_THRESHOLD {
+            dir.record_failure(0);
+        }
+        assert!(dir.is_quarantined(0));
+        let meta = Metaserver::with_options(
+            dir,
+            Balancing::RoundRobin,
+            fast_failure_options(),
+            Some(std::time::Duration::from_millis(200)),
+        );
+        let mut tx = Transaction::new();
+        let sums = tx.slot();
+        tx.call(
+            "ep",
+            vec![TxArg::Value(Value::Int(8))],
+            vec![Some(sums), None],
+        );
+        let slots = meta.execute_transaction_ft(&tx).unwrap();
+        assert!(slots[sums.0].is_some());
+        // The probe that reinstated it also cleared the quarantine.
+        assert!(!meta.directory().is_quarantined(0));
+        for s in servers.drain(..) {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn repeated_failures_quarantine_a_server() {
+        let (mut servers, mut dir) = spawn_fleet(1);
+        dir.register(ServerEntry {
+            name: "dead".into(),
+            addr: "127.0.0.1:1".into(),
+            bandwidth_bytes_per_sec: 10e6,
+            linpack_mflops: 100.0,
+        });
+        let meta = Metaserver::with_options(
+            dir,
+            Balancing::RoundRobin,
+            fast_failure_options(),
+            Some(std::time::Duration::from_millis(200)),
+        );
+        // Enough round-robined calls to hit the dead server repeatedly.
+        let mut tx = Transaction::new();
+        for _ in 0..8 {
+            tx.call("ep", vec![TxArg::Value(Value::Int(8))], vec![None, None]);
+        }
+        meta.execute_transaction_ft(&tx).unwrap();
+        assert!(meta.directory().is_quarantined(1));
+        assert!(!meta.directory().is_quarantined(0));
+        for s in servers.drain(..) {
+            s.shutdown();
+        }
+    }
+
     #[test]
     fn load_based_prefers_idle_server() {
         // Two servers; the chooser must pick one with lower runnable count.
         let (servers, dir) = spawn_fleet(2);
         let meta = Metaserver::new(dir, Balancing::LoadBased);
-        let idx = meta.choose_server(CallEstimate { bytes: 1e3, flops: 1e6 });
+        let idx = meta.choose_server(CallEstimate {
+            bytes: 1e3,
+            flops: 1e6,
+        });
         assert!(idx < 2);
         for s in servers {
             s.shutdown();

@@ -6,8 +6,8 @@
 //! order — events at equal times fire in scheduling order, so a simulation is
 //! a pure function of its inputs and seed.
 
-use std::collections::BinaryHeap;
 use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// An event scheduled at a virtual time.
 #[derive(Debug, Clone)]
@@ -62,7 +62,12 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Empty engine at time zero.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), now: 0.0, next_seq: 0, processed: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            next_seq: 0,
+            processed: 0,
+        }
     }
 
     /// Current virtual time.
@@ -86,10 +91,18 @@ impl<E> Engine<E> {
     /// Panics if `at` is NaN or earlier than the current time (causality).
     pub fn schedule(&mut self, at: f64, event: E) {
         assert!(!at.is_nan(), "cannot schedule at NaN");
-        assert!(at >= self.now, "causality violation: scheduling at {at} < now {}", self.now);
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {at} < now {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(EventEntry { time: at, seq, event });
+        self.heap.push(EventEntry {
+            time: at,
+            seq,
+            event,
+        });
     }
 
     /// Schedule `event` `delay` seconds from now.

@@ -56,6 +56,10 @@ pub struct FluidNet {
     now: f64,
     /// Cumulative bytes delivered across all flows (for aggregate stats).
     delivered: f64,
+    /// Per-link failure state: a downed link carries zero bandwidth, so
+    /// flows crossing it freeze at rate 0 (the sim-side mirror of a hung or
+    /// dropped connection on the live path).
+    down: Vec<bool>,
 }
 
 const EPS: f64 = 1e-9;
@@ -66,7 +70,16 @@ impl FluidNet {
     /// # Panics
     /// Panics later (at `start_flow`) if routes were not computed.
     pub fn new(topo: Topology) -> Self {
-        Self { topo, flows: HashMap::new(), order: Vec::new(), next_id: 0, now: 0.0, delivered: 0.0 }
+        let down = vec![false; topo.link_count()];
+        Self {
+            topo,
+            flows: HashMap::new(),
+            order: Vec::new(),
+            next_id: 0,
+            now: 0.0,
+            delivered: 0.0,
+            down,
+        }
     }
 
     /// Access the underlying topology.
@@ -96,8 +109,14 @@ impl FluidNet {
     /// Panics if `src` cannot reach `dst` or `bytes`/`cap` are invalid.
     pub fn start_flow(&mut self, spec: FlowSpec, at: f64) -> FlowId {
         self.advance_to(at);
-        assert!(spec.bytes >= 0.0 && !spec.bytes.is_nan(), "invalid byte count");
-        assert!(spec.cap > 0.0, "flow cap must be positive (use INFINITY for none)");
+        assert!(
+            spec.bytes >= 0.0 && !spec.bytes.is_nan(),
+            "invalid byte count"
+        );
+        assert!(
+            spec.cap > 0.0,
+            "flow cap must be positive (use INFINITY for none)"
+        );
         let path = self
             .topo
             .route(spec.src, spec.dst)
@@ -111,7 +130,15 @@ impl FluidNet {
             .to_vec();
         let id = FlowId(self.next_id);
         self.next_id += 1;
-        self.flows.insert(id, Flow { path, remaining: spec.bytes, rate: 0.0, cap: spec.cap });
+        self.flows.insert(
+            id,
+            Flow {
+                path,
+                remaining: spec.bytes,
+                rate: 0.0,
+                cap: spec.cap,
+            },
+        );
         self.order.push(id);
         self.recompute();
         id
@@ -147,7 +174,9 @@ impl FluidNet {
     pub fn next_completion(&self) -> Option<(f64, FlowId)> {
         let mut best: Option<(f64, FlowId)> = None;
         for &id in &self.order {
-            let Some(f) = self.flows.get(&id) else { continue };
+            let Some(f) = self.flows.get(&id) else {
+                continue;
+            };
             if f.rate <= 0.0 {
                 if f.remaining <= EPS {
                     // zero-byte flow: completes immediately
@@ -217,6 +246,30 @@ impl FluidNet {
         self.recompute();
     }
 
+    /// Fail a link at time `at`: its bandwidth drops to zero and every flow
+    /// crossing it freezes (rate 0, never completing) until the link is
+    /// restored or the flow is cancelled. This mirrors the live path's
+    /// accepting-but-silent server: bytes stop, the connection doesn't
+    /// error — only the client's deadline notices.
+    pub fn fail_link(&mut self, link: LinkId, at: f64) {
+        self.advance_to(at);
+        self.down[link.0] = true;
+        self.recompute();
+    }
+
+    /// Bring a failed link back at time `at`; affected flows resume at their
+    /// recomputed fair share.
+    pub fn restore_link(&mut self, link: LinkId, at: f64) {
+        self.advance_to(at);
+        self.down[link.0] = false;
+        self.recompute();
+    }
+
+    /// Whether a link is currently failed.
+    pub fn link_is_down(&self, link: LinkId) -> bool {
+        self.down[link.0]
+    }
+
     /// Recompute max-min fair rates by progressive filling.
     ///
     /// Each unfrozen flow's rate grows at unit speed; a flow freezes when it
@@ -224,7 +277,15 @@ impl FluidNet {
     /// O(rounds × (flows + links)), with at most `flows` rounds.
     fn recompute(&mut self) {
         let n_links = self.topo.link_count();
-        let mut avail: Vec<f64> = (0..n_links).map(|i| self.topo.link(LinkId(i)).capacity).collect();
+        let mut avail: Vec<f64> = (0..n_links)
+            .map(|i| {
+                if self.down[i] {
+                    0.0
+                } else {
+                    self.topo.link(LinkId(i)).capacity
+                }
+            })
+            .collect();
         let mut unfrozen: Vec<FlowId> = Vec::with_capacity(self.flows.len());
         for &id in &self.order {
             if let Some(f) = self.flows.get_mut(&id) {
@@ -314,7 +375,9 @@ mod tests {
 
     fn star(n_clients: usize, access_cap: f64, server_cap: f64) -> (FluidNet, Vec<NodeId>, NodeId) {
         let mut t = Topology::new();
-        let clients: Vec<NodeId> = (0..n_clients).map(|i| t.add_node(format!("c{i}"))).collect();
+        let clients: Vec<NodeId> = (0..n_clients)
+            .map(|i| t.add_node(format!("c{i}")))
+            .collect();
         let sw = t.add_node("switch");
         let srv = t.add_node("server");
         for &c in &clients {
@@ -328,7 +391,15 @@ mod tests {
     #[test]
     fn single_flow_gets_bottleneck_bandwidth() {
         let (mut net, clients, srv) = star(1, 100.0, 10.0);
-        let f = net.start_flow(FlowSpec { src: clients[0], dst: srv, bytes: 20.0, cap: f64::INFINITY }, 0.0);
+        let f = net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 20.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
         assert!((net.rate(f) - 10.0).abs() < 1e-9);
         let (t, id) = net.next_completion().unwrap();
         assert_eq!(id, f);
@@ -340,7 +411,17 @@ mod tests {
         let (mut net, clients, srv) = star(4, 100.0, 10.0);
         let flows: Vec<FlowId> = clients
             .iter()
-            .map(|&c| net.start_flow(FlowSpec { src: c, dst: srv, bytes: 10.0, cap: f64::INFINITY }, 0.0))
+            .map(|&c| {
+                net.start_flow(
+                    FlowSpec {
+                        src: c,
+                        dst: srv,
+                        bytes: 10.0,
+                        cap: f64::INFINITY,
+                    },
+                    0.0,
+                )
+            })
             .collect();
         for &f in &flows {
             assert!((net.rate(f) - 2.5).abs() < 1e-9);
@@ -350,8 +431,24 @@ mod tests {
     #[test]
     fn cap_limits_flow_and_releases_bandwidth() {
         let (mut net, clients, srv) = star(2, 100.0, 10.0);
-        let capped = net.start_flow(FlowSpec { src: clients[0], dst: srv, bytes: 10.0, cap: 2.0 }, 0.0);
-        let open = net.start_flow(FlowSpec { src: clients[1], dst: srv, bytes: 10.0, cap: f64::INFINITY }, 0.0);
+        let capped = net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 10.0,
+                cap: 2.0,
+            },
+            0.0,
+        );
+        let open = net.start_flow(
+            FlowSpec {
+                src: clients[1],
+                dst: srv,
+                bytes: 10.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
         assert!((net.rate(capped) - 2.0).abs() < 1e-9);
         // The uncapped flow picks up the slack: 10 - 2 = 8.
         assert!((net.rate(open) - 8.0).abs() < 1e-9);
@@ -360,8 +457,24 @@ mod tests {
     #[test]
     fn rates_rebalance_on_completion() {
         let (mut net, clients, srv) = star(2, 100.0, 10.0);
-        let f1 = net.start_flow(FlowSpec { src: clients[0], dst: srv, bytes: 5.0, cap: f64::INFINITY }, 0.0);
-        let f2 = net.start_flow(FlowSpec { src: clients[1], dst: srv, bytes: 50.0, cap: f64::INFINITY }, 0.0);
+        let f1 = net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 5.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
+        let f2 = net.start_flow(
+            FlowSpec {
+                src: clients[1],
+                dst: srv,
+                bytes: 50.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
         let (t1, id1) = net.next_completion().unwrap();
         assert_eq!(id1, f1);
         assert!((t1 - 1.0).abs() < 1e-9); // 5 bytes at 5 B/s
@@ -376,8 +489,24 @@ mod tests {
     #[test]
     fn access_link_can_be_the_bottleneck() {
         let (mut net, clients, srv) = star(2, 3.0, 100.0);
-        let f1 = net.start_flow(FlowSpec { src: clients[0], dst: srv, bytes: 10.0, cap: f64::INFINITY }, 0.0);
-        let f2 = net.start_flow(FlowSpec { src: clients[1], dst: srv, bytes: 10.0, cap: f64::INFINITY }, 0.0);
+        let f1 = net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 10.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
+        let f2 = net.start_flow(
+            FlowSpec {
+                src: clients[1],
+                dst: srv,
+                bytes: 10.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
         // Separate access links of 3.0 each; server link 100 is not binding.
         assert!((net.rate(f1) - 3.0).abs() < 1e-9);
         assert!((net.rate(f2) - 3.0).abs() < 1e-9);
@@ -386,8 +515,24 @@ mod tests {
     #[test]
     fn opposite_directions_do_not_contend() {
         let (mut net, clients, srv) = star(1, 100.0, 10.0);
-        let up = net.start_flow(FlowSpec { src: clients[0], dst: srv, bytes: 100.0, cap: f64::INFINITY }, 0.0);
-        let down = net.start_flow(FlowSpec { src: srv, dst: clients[0], bytes: 100.0, cap: f64::INFINITY }, 0.0);
+        let up = net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 100.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
+        let down = net.start_flow(
+            FlowSpec {
+                src: srv,
+                dst: clients[0],
+                bytes: 100.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
         assert!((net.rate(up) - 10.0).abs() < 1e-9);
         assert!((net.rate(down) - 10.0).abs() < 1e-9);
     }
@@ -395,8 +540,24 @@ mod tests {
     #[test]
     fn set_cap_rebalances() {
         let (mut net, clients, srv) = star(2, 100.0, 10.0);
-        let f1 = net.start_flow(FlowSpec { src: clients[0], dst: srv, bytes: 100.0, cap: f64::INFINITY }, 0.0);
-        let f2 = net.start_flow(FlowSpec { src: clients[1], dst: srv, bytes: 100.0, cap: f64::INFINITY }, 0.0);
+        let f1 = net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 100.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
+        let f2 = net.start_flow(
+            FlowSpec {
+                src: clients[1],
+                dst: srv,
+                bytes: 100.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
         net.set_cap(f1, 1.0, 0.0);
         assert!((net.rate(f1) - 1.0).abs() < 1e-9);
         assert!((net.rate(f2) - 9.0).abs() < 1e-9);
@@ -405,8 +566,24 @@ mod tests {
     #[test]
     fn cancel_mid_transfer() {
         let (mut net, clients, srv) = star(2, 100.0, 10.0);
-        let f1 = net.start_flow(FlowSpec { src: clients[0], dst: srv, bytes: 100.0, cap: f64::INFINITY }, 0.0);
-        let f2 = net.start_flow(FlowSpec { src: clients[1], dst: srv, bytes: 100.0, cap: f64::INFINITY }, 0.0);
+        let f1 = net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 100.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
+        let f2 = net.start_flow(
+            FlowSpec {
+                src: clients[1],
+                dst: srv,
+                bytes: 100.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
         net.advance_to(1.0);
         net.cancel_flow(f1);
         assert!((net.rate(f2) - 10.0).abs() < 1e-9);
@@ -416,7 +593,15 @@ mod tests {
     #[test]
     fn zero_byte_flow_completes_immediately() {
         let (mut net, clients, srv) = star(1, 100.0, 10.0);
-        let f = net.start_flow(FlowSpec { src: clients[0], dst: srv, bytes: 0.0, cap: f64::INFINITY }, 0.0);
+        let f = net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 0.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
         let (t, id) = net.next_completion().unwrap();
         assert_eq!(id, f);
         assert_eq!(t, 0.0);
@@ -427,7 +612,15 @@ mod tests {
     #[test]
     fn bytes_delivered_accumulates() {
         let (mut net, clients, srv) = star(1, 100.0, 10.0);
-        let f = net.start_flow(FlowSpec { src: clients[0], dst: srv, bytes: 20.0, cap: f64::INFINITY }, 0.0);
+        let f = net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 20.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
         net.advance_to(1.0);
         assert!((net.bytes_delivered() - 10.0).abs() < 1e-9);
         net.advance_to(2.0);
@@ -439,7 +632,15 @@ mod tests {
     #[should_panic(expected = "skip a completion")]
     fn advancing_past_completion_panics() {
         let (mut net, clients, srv) = star(1, 100.0, 10.0);
-        net.start_flow(FlowSpec { src: clients[0], dst: srv, bytes: 10.0, cap: f64::INFINITY }, 0.0);
+        net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 10.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
         net.advance_to(100.0);
     }
 
@@ -453,16 +654,140 @@ mod tests {
         t.add_duplex_link(a, b, 1.0, 0.0);
         t.compute_routes();
         let mut net = FluidNet::new(t);
-        net.start_flow(FlowSpec { src: a, dst: c, bytes: 1.0, cap: f64::INFINITY }, 0.0);
+        net.start_flow(
+            FlowSpec {
+                src: a,
+                dst: c,
+                bytes: 1.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
+    }
+
+    #[test]
+    fn failed_link_starves_its_flows_but_not_others() {
+        let (mut net, clients, srv) = star(2, 100.0, 10.0);
+        let f1 = net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 100.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
+        let f2 = net.start_flow(
+            FlowSpec {
+                src: clients[1],
+                dst: srv,
+                bytes: 100.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
+        // Fail client 0's access link (its first hop).
+        let cut = net.path(f1)[0];
+        net.fail_link(cut, 0.0);
+        assert!(net.link_is_down(cut));
+        assert_eq!(net.rate(f1), 0.0);
+        // The survivor inherits the whole server link.
+        assert!((net.rate(f2) - 10.0).abs() < 1e-9);
+        // A starved flow never completes: only f2's completion is pending.
+        let (_, id) = net.next_completion().unwrap();
+        assert_eq!(id, f2);
+    }
+
+    #[test]
+    fn restore_link_resumes_frozen_flows() {
+        let (mut net, clients, srv) = star(1, 100.0, 10.0);
+        let f = net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 20.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
+        let cut = net.path(f)[0];
+        net.fail_link(cut, 1.0); // 10 bytes through, 10 stranded
+        assert_eq!(net.rate(f), 0.0);
+        assert!(net.next_completion().is_none());
+        // Downtime passes without progress.
+        net.advance_to(5.0);
+        assert!((net.remaining(f) - 10.0).abs() < 1e-9);
+        net.restore_link(cut, 5.0);
+        assert!(!net.link_is_down(cut));
+        assert!((net.rate(f) - 10.0).abs() < 1e-9);
+        let (t, id) = net.next_completion().unwrap();
+        assert_eq!(id, f);
+        // 10 bytes left at 10 B/s, resuming at t=5.
+        assert!((t - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancelling_a_starved_flow_models_client_timeout() {
+        // The live client gives up on a hung transfer after its deadline;
+        // the sim mirror is cancel_flow on a starved flow.
+        let (mut net, clients, srv) = star(2, 100.0, 10.0);
+        let f1 = net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 100.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
+        let f2 = net.start_flow(
+            FlowSpec {
+                src: clients[1],
+                dst: srv,
+                bytes: 100.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
+        let cut = net.path(f1)[0];
+        net.fail_link(cut, 0.0);
+        net.advance_to(3.0); // the "deadline"
+        net.cancel_flow(f1);
+        assert_eq!(net.active_flows(), 1);
+        assert!((net.rate(f2) - 10.0).abs() < 1e-9);
     }
 
     /// Three flows, staggered caps: max-min should give (1, 4.5, 4.5).
     #[test]
     fn textbook_maxmin_example() {
         let (mut net, clients, srv) = star(3, 100.0, 10.0);
-        let f1 = net.start_flow(FlowSpec { src: clients[0], dst: srv, bytes: 1.0, cap: 1.0 }, 0.0);
-        let f2 = net.start_flow(FlowSpec { src: clients[1], dst: srv, bytes: 1.0, cap: f64::INFINITY }, 0.0);
-        let f3 = net.start_flow(FlowSpec { src: clients[2], dst: srv, bytes: 1.0, cap: f64::INFINITY }, 0.0);
+        let f1 = net.start_flow(
+            FlowSpec {
+                src: clients[0],
+                dst: srv,
+                bytes: 1.0,
+                cap: 1.0,
+            },
+            0.0,
+        );
+        let f2 = net.start_flow(
+            FlowSpec {
+                src: clients[1],
+                dst: srv,
+                bytes: 1.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
+        let f3 = net.start_flow(
+            FlowSpec {
+                src: clients[2],
+                dst: srv,
+                bytes: 1.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
         assert!((net.rate(f1) - 1.0).abs() < 1e-9);
         assert!((net.rate(f2) - 4.5).abs() < 1e-9);
         assert!((net.rate(f3) - 4.5).abs() < 1e-9);

@@ -52,8 +52,24 @@ mod tests {
         topo.compute_routes();
 
         let mut net = FluidNet::new(topo);
-        let f1 = net.start_flow(FlowSpec { src: c1, dst: srv, bytes: 50.0, cap: f64::INFINITY }, 0.0);
-        let f2 = net.start_flow(FlowSpec { src: c2, dst: srv, bytes: 100.0, cap: f64::INFINITY }, 0.0);
+        let f1 = net.start_flow(
+            FlowSpec {
+                src: c1,
+                dst: srv,
+                bytes: 50.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
+        let f2 = net.start_flow(
+            FlowSpec {
+                src: c2,
+                dst: srv,
+                bytes: 100.0,
+                cap: f64::INFINITY,
+            },
+            0.0,
+        );
 
         // Both share the 10 B/s bottleneck: 5 B/s each. f1 finishes at t=10.
         let (t1, done1) = net.next_completion().unwrap();

@@ -59,7 +59,12 @@ impl Topology {
         assert!(capacity > 0.0, "link capacity must be positive");
         assert!(latency >= 0.0, "latency must be non-negative");
         let id = LinkId(self.links.len());
-        self.links.push(Link { from, to, capacity, latency });
+        self.links.push(Link {
+            from,
+            to,
+            capacity,
+            latency,
+        });
         self.adjacency[from.0].push(id);
         id
     }
@@ -73,7 +78,10 @@ impl Topology {
         capacity: f64,
         latency: f64,
     ) -> (LinkId, LinkId) {
-        (self.add_link(a, b, capacity, latency), self.add_link(b, a, capacity, latency))
+        (
+            self.add_link(a, b, capacity, latency),
+            self.add_link(b, a, capacity, latency),
+        )
     }
 
     /// Number of nodes.
@@ -151,7 +159,12 @@ impl Topology {
 
     /// Total one-way latency along the route from `src` to `dst`.
     pub fn path_latency(&self, src: NodeId, dst: NodeId) -> Option<f64> {
-        Some(self.route(src, dst)?.iter().map(|&l| self.link(l).latency).sum())
+        Some(
+            self.route(src, dst)?
+                .iter()
+                .map(|&l| self.link(l).latency)
+                .sum(),
+        )
     }
 
     /// The minimum capacity along the route (the path's raw bandwidth bound).
@@ -159,7 +172,9 @@ impl Topology {
         self.route(src, dst)?
             .iter()
             .map(|&l| self.link(l).capacity)
-            .fold(None, |acc: Option<f64>, c| Some(acc.map_or(c, |a| a.min(c))))
+            .fold(None, |acc: Option<f64>, c| {
+                Some(acc.map_or(c, |a| a.min(c)))
+            })
     }
 }
 

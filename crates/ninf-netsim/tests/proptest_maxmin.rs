@@ -14,17 +14,22 @@ struct Scenario {
 }
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
-    (2usize..8, 1.0f64..50.0, 1.0f64..50.0)
-        .prop_flat_map(|(n_clients, server_cap, access_cap)| {
-            proptest::collection::vec((0..n_clients, prop_oneof![Just(0.0), 0.5f64..20.0]), 1..12)
-                .prop_map(move |flows| Scenario { n_clients, server_cap, access_cap, flows })
-        })
+    (2usize..8, 1.0f64..50.0, 1.0f64..50.0).prop_flat_map(|(n_clients, server_cap, access_cap)| {
+        proptest::collection::vec((0..n_clients, prop_oneof![Just(0.0), 0.5f64..20.0]), 1..12)
+            .prop_map(move |flows| Scenario {
+                n_clients,
+                server_cap,
+                access_cap,
+                flows,
+            })
+    })
 }
 
 fn build(scenario: &Scenario) -> (FluidNet, Vec<ninf_netsim::FlowId>) {
     let mut t = Topology::new();
-    let clients: Vec<NodeId> =
-        (0..scenario.n_clients).map(|i| t.add_node(format!("c{i}"))).collect();
+    let clients: Vec<NodeId> = (0..scenario.n_clients)
+        .map(|i| t.add_node(format!("c{i}")))
+        .collect();
     let sw = t.add_node("switch");
     let srv = t.add_node("server");
     for &c in &clients {
@@ -38,7 +43,15 @@ fn build(scenario: &Scenario) -> (FluidNet, Vec<ninf_netsim::FlowId>) {
         .iter()
         .map(|&(ci, cap)| {
             let cap = if cap == 0.0 { f64::INFINITY } else { cap };
-            net.start_flow(FlowSpec { src: clients[ci], dst: srv, bytes: 1e6, cap }, 0.0)
+            net.start_flow(
+                FlowSpec {
+                    src: clients[ci],
+                    dst: srv,
+                    bytes: 1e6,
+                    cap,
+                },
+                0.0,
+            )
         })
         .collect();
     (net, ids)

@@ -25,6 +25,28 @@ pub enum ProtocolError {
     Remote(String),
     /// The in-process channel peer disappeared.
     Disconnected,
+    /// A configured deadline elapsed before the operation completed. The
+    /// connection is desynchronized after this (a late reply may still be in
+    /// flight); callers must reconnect before retrying.
+    Timeout {
+        /// Which operation hit the deadline ("connect", "read", "write").
+        operation: &'static str,
+        /// The deadline that elapsed.
+        after: std::time::Duration,
+    },
+}
+
+impl ProtocolError {
+    /// Whether this is a deadline expiry.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ProtocolError::Timeout { .. })
+    }
+
+    /// Whether retrying the operation on a *fresh connection* could succeed.
+    /// Remote application errors are deterministic and excluded.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, ProtocolError::Remote(_))
+    }
 }
 
 impl fmt::Display for ProtocolError {
@@ -39,6 +61,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::Remote(m) => write!(f, "remote error: {m}"),
             ProtocolError::Disconnected => write!(f, "peer disconnected"),
+            ProtocolError::Timeout { operation, after } => {
+                write!(f, "timeout: {operation} deadline of {after:?} elapsed")
+            }
         }
     }
 }

@@ -1,0 +1,317 @@
+//! Deterministic fault injection for transports.
+//!
+//! [`FaultyTransport`] wraps any [`Transport`] and, on each outgoing
+//! message, rolls a seeded RNG to decide whether to forward it intact,
+//! drop it, delay it, truncate its frame, or garble its frame. Dropping
+//! and delaying model lost/stalled packets (the peer sees silence, so the
+//! reader's deadline governs recovery); truncation and garbling model
+//! on-the-wire corruption, which the receiver's framing layer must reject
+//! with a typed error rather than decode garbage.
+//!
+//! The same four failure modes exist in the simulator: a dropped or
+//! stalled message corresponds to a downed link
+//! ([`FluidNet::fail_link`](../../ninf_netsim/fluid/struct.FluidNet.html)),
+//! a delay to a fail/restore window, and corruption to an aborted flow
+//! plus a client-side error. `docs/MODEL.md` §"Failure model" records the
+//! mapping.
+
+use std::time::Duration;
+
+use crate::error::ProtocolResult;
+use crate::frame::write_frame;
+use crate::message::Message;
+use crate::transport::Transport;
+
+/// Injection probabilities and parameters. Probabilities are evaluated in
+/// the order drop → delay → truncate → garble against a single uniform
+/// draw per message, so they are mutually exclusive and their sum must be
+/// ≤ 1; the remainder is forwarded intact.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Probability a message is silently discarded.
+    pub drop_prob: f64,
+    /// Probability a message is held for [`FaultPlan::delay`] first.
+    pub delay_prob: f64,
+    /// Hold time for delayed messages.
+    pub delay: Duration,
+    /// Probability a frame is cut short mid-payload.
+    pub truncate_prob: f64,
+    /// Probability a frame's magic is corrupted.
+    pub garble_prob: f64,
+    /// RNG seed; identical seeds replay identical fault sequences.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::ZERO,
+            truncate_prob: 0.0,
+            garble_prob: 0.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Counts of injected faults, for tests to assert injection happened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages discarded.
+    pub dropped: u64,
+    /// Messages held before forwarding.
+    pub delayed: u64,
+    /// Frames cut short.
+    pub truncated: u64,
+    /// Frames with corrupted magic.
+    pub garbled: u64,
+    /// Messages forwarded intact (delayed ones count here too).
+    pub forwarded: u64,
+}
+
+/// The same SplitMix64 the simulator uses for reproducible streams
+/// (`ninf-netsim` sits above this crate, so the 10-line generator is
+/// duplicated rather than inverting the dependency).
+#[derive(Debug, Clone, Copy)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// A transport wrapper that injects faults on the send path per a
+/// [`FaultPlan`]. Receives pass through untouched.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    plan: FaultPlan,
+    rng: SplitMix64,
+    stats: FaultStats,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        let total = plan.drop_prob + plan.delay_prob + plan.truncate_prob + plan.garble_prob;
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&total),
+            "fault probabilities must sum to at most 1 (got {total})"
+        );
+        Self {
+            inner,
+            plan,
+            rng: SplitMix64(plan.seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Unwrap the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, msg: &Message) -> ProtocolResult<()> {
+        let u = self.rng.next_f64();
+        let p = self.plan;
+        if u < p.drop_prob {
+            // Lost on the wire: the peer sees nothing. Pretend success so
+            // the caller proceeds to its read — where the deadline decides.
+            self.stats.dropped += 1;
+            return Ok(());
+        }
+        if u < p.drop_prob + p.delay_prob {
+            self.stats.delayed += 1;
+            std::thread::sleep(p.delay);
+            self.stats.forwarded += 1;
+            return self.inner.send(msg);
+        }
+        if u < p.drop_prob + p.delay_prob + p.truncate_prob {
+            // Connection dies mid-frame: ship only a strict prefix.
+            self.stats.truncated += 1;
+            let mut frame = Vec::new();
+            write_frame(&mut frame, msg)?;
+            let keep = self.rng.below(frame.len() as u64) as usize;
+            return self.inner.send_raw(&frame[..keep]);
+        }
+        if u < p.drop_prob + p.delay_prob + p.truncate_prob + p.garble_prob {
+            // Corruption: flip a bit in the magic so the receiver's framing
+            // layer deterministically rejects the frame.
+            self.stats.garbled += 1;
+            let mut frame = Vec::new();
+            write_frame(&mut frame, msg)?;
+            let byte = self.rng.below(4) as usize;
+            let bit = self.rng.below(8) as u8;
+            frame[byte] ^= 1 << bit;
+            return self.inner.send_raw(&frame);
+        }
+        self.stats.forwarded += 1;
+        self.inner.send(msg)
+    }
+
+    fn recv(&mut self) -> ProtocolResult<Message> {
+        self.inner.recv()
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> ProtocolResult<bool> {
+        self.inner.set_deadline(deadline)
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> ProtocolResult<()> {
+        self.inner.send_raw(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ProtocolError;
+    use crate::transport::ChannelTransport;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let (a, mut b) = ChannelTransport::pair();
+        let mut faulty = FaultyTransport::new(a, plan());
+        let msg = Message::QueryLoad;
+        faulty.send(&msg).unwrap();
+        assert_eq!(b.recv().unwrap(), msg);
+        assert_eq!(faulty.stats().forwarded, 1);
+        assert_eq!(faulty.stats().dropped, 0);
+    }
+
+    #[test]
+    fn dropped_messages_never_arrive() {
+        let (a, mut b) = ChannelTransport::pair();
+        let mut faulty = FaultyTransport::new(
+            a,
+            FaultPlan {
+                drop_prob: 1.0,
+                ..plan()
+            },
+        );
+        for _ in 0..5 {
+            faulty.send(&Message::QueryLoad).unwrap();
+        }
+        assert_eq!(faulty.stats().dropped, 5);
+        b.set_deadline(Some(Duration::from_millis(20))).unwrap();
+        assert!(b.recv().unwrap_err().is_timeout());
+    }
+
+    #[test]
+    fn garbled_frame_rejected_by_framing() {
+        let (a, mut b) = ChannelTransport::pair();
+        let mut faulty = FaultyTransport::new(
+            a,
+            FaultPlan {
+                garble_prob: 1.0,
+                ..plan()
+            },
+        );
+        faulty.send(&Message::QueryLoad).unwrap();
+        assert_eq!(faulty.stats().garbled, 1);
+        match b.recv().unwrap_err() {
+            ProtocolError::Frame(m) => assert!(m.contains("bad magic"), "got: {m}"),
+            other => panic!("expected frame error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_fails_decode() {
+        let (a, mut b) = ChannelTransport::pair();
+        let mut faulty = FaultyTransport::new(
+            a,
+            FaultPlan {
+                truncate_prob: 1.0,
+                seed: 7,
+                ..plan()
+            },
+        );
+        faulty
+            .send(&Message::Invoke {
+                routine: "ep".into(),
+                args: vec![crate::Value::Int(4)],
+            })
+            .unwrap();
+        assert_eq!(faulty.stats().truncated, 1);
+        // A strict prefix of a frame can never decode to a message.
+        assert!(b.recv().is_err());
+    }
+
+    #[test]
+    fn delay_holds_but_delivers() {
+        let (a, mut b) = ChannelTransport::pair();
+        let mut faulty = FaultyTransport::new(
+            a,
+            FaultPlan {
+                delay_prob: 1.0,
+                delay: Duration::from_millis(30),
+                ..plan()
+            },
+        );
+        let start = std::time::Instant::now();
+        faulty.send(&Message::QueryLoad).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert_eq!(b.recv().unwrap(), Message::QueryLoad);
+        assert_eq!(faulty.stats().delayed, 1);
+    }
+
+    #[test]
+    fn same_seed_replays_same_fault_sequence() {
+        let run = |seed: u64| -> FaultStats {
+            let (a, _b) = ChannelTransport::pair();
+            let mut faulty = FaultyTransport::new(
+                a,
+                FaultPlan {
+                    drop_prob: 0.3,
+                    garble_prob: 0.3,
+                    seed,
+                    ..plan()
+                },
+            );
+            for _ in 0..32 {
+                let _ = faulty.send(&Message::QueryLoad);
+            }
+            faulty.stats()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn overfull_plan_rejected() {
+        let (a, _b) = ChannelTransport::pair();
+        let _ = FaultyTransport::new(
+            a,
+            FaultPlan {
+                drop_prob: 0.7,
+                garble_prob: 0.6,
+                ..plan()
+            },
+        );
+    }
+}

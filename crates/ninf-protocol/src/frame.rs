@@ -20,7 +20,9 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> ProtocolResult<()> {
     let payload = msg.encode();
     let len = payload.len() as u32;
     if len > MAX_FRAME_BYTES {
-        return Err(ProtocolError::Frame(format!("frame too large: {len} bytes")));
+        return Err(ProtocolError::Frame(format!(
+            "frame too large: {len} bytes"
+        )));
     }
     let mut header = [0u8; 12];
     header[0..4].copy_from_slice(&FRAME_MAGIC.to_be_bytes());
@@ -42,16 +44,33 @@ pub fn read_frame<R: Read>(r: &mut R) -> ProtocolResult<Message> {
     }
     let version = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
     if version != PROTOCOL_VERSION {
-        return Err(ProtocolError::Frame(format!("unsupported version {version}")));
+        return Err(ProtocolError::Frame(format!(
+            "unsupported version {version}"
+        )));
     }
     let len = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes"));
     if len > MAX_FRAME_BYTES {
-        return Err(ProtocolError::Frame(format!("oversized frame: {len} bytes")));
+        return Err(ProtocolError::Frame(format!(
+            "oversized frame: {len} bytes"
+        )));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    // Read the payload in capped chunks rather than allocating the full
+    // header-claimed length up front: a hostile or corrupted header can
+    // claim up to MAX_FRAME_BYTES, and the bytes must actually arrive
+    // before we commit that much memory.
+    let len = len as usize;
+    let mut payload = Vec::with_capacity(len.min(PAYLOAD_READ_CHUNK));
+    while payload.len() < len {
+        let take = (len - payload.len()).min(PAYLOAD_READ_CHUNK);
+        let start = payload.len();
+        payload.resize(start + take, 0);
+        r.read_exact(&mut payload[start..])?;
+    }
     Message::decode(&payload)
 }
+
+/// Granularity of payload reads: allocation grows only as bytes arrive.
+const PAYLOAD_READ_CHUNK: usize = 64 * 1024;
 
 #[cfg(test)]
 mod tests {
@@ -73,9 +92,13 @@ mod tests {
     #[test]
     fn multiple_frames_in_sequence() {
         let msgs = vec![
-            Message::QueryInterface { routine: "linpack".into() },
+            Message::QueryInterface {
+                routine: "linpack".into(),
+            },
             Message::QueryLoad,
-            Message::Error { reason: "nope".into() },
+            Message::Error {
+                reason: "nope".into(),
+            },
         ];
         let mut buf = Vec::new();
         for m in &msgs {
@@ -92,7 +115,10 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, &Message::QueryLoad).unwrap();
         buf[0] = 0xff;
-        assert!(matches!(read_frame(&mut buf.as_slice()), Err(ProtocolError::Frame(_))));
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtocolError::Frame(_))
+        ));
     }
 
     #[test]
@@ -100,7 +126,10 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, &Message::QueryLoad).unwrap();
         buf[7] = 99;
-        assert!(matches!(read_frame(&mut buf.as_slice()), Err(ProtocolError::Frame(_))));
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtocolError::Frame(_))
+        ));
     }
 
     #[test]
@@ -108,15 +137,54 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, &Message::QueryLoad).unwrap();
         buf[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
-        assert!(matches!(read_frame(&mut buf.as_slice()), Err(ProtocolError::Frame(_))));
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtocolError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn lying_length_header_fails_on_missing_bytes() {
+        // Header claims a near-maximal payload but the stream carries only a
+        // few bytes: the read must fail with an I/O error after at most one
+        // chunk of allocation, never commit the claimed 200+ MB.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::QueryLoad).unwrap();
+        buf[8..12].copy_from_slice(&(MAX_FRAME_BYTES - 1).to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtocolError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_payload_read_reassembles_large_frames() {
+        // A payload larger than one read chunk must still round-trip.
+        let big = Message::Invoke {
+            routine: "echo".into(),
+            args: vec![Value::DoubleArray(vec![1.25; 3 * PAYLOAD_READ_CHUNK / 8])],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &big).unwrap();
+        assert!(buf.len() > 2 * PAYLOAD_READ_CHUNK);
+        assert_eq!(read_frame(&mut buf.as_slice()).unwrap(), big);
     }
 
     #[test]
     fn truncated_stream_is_io_error() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, &Message::QueryInterface { routine: "x".into() }).unwrap();
+        write_frame(
+            &mut buf,
+            &Message::QueryInterface {
+                routine: "x".into(),
+            },
+        )
+        .unwrap();
         buf.truncate(buf.len() - 2);
-        assert!(matches!(read_frame(&mut buf.as_slice()), Err(ProtocolError::Io(_))));
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtocolError::Io(_))
+        ));
     }
 
     #[test]

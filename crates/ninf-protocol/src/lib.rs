@@ -26,6 +26,7 @@
 //! ([`transport::ChannelTransport`]) for tests and benchmarks.
 
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod marshal;
 pub mod message;
@@ -33,10 +34,11 @@ pub mod transport;
 pub mod value;
 
 pub use error::{ProtocolError, ProtocolResult};
+pub use fault::{FaultPlan, FaultStats, FaultyTransport};
+pub use frame::{read_frame, write_frame, FRAME_MAGIC, PROTOCOL_VERSION};
 pub use marshal::{
     reply_payload_bytes, request_payload_bytes, validate_call_args, validate_results,
 };
-pub use frame::{read_frame, write_frame, FRAME_MAGIC, PROTOCOL_VERSION};
 pub use message::{JobPhase, LoadReport, Message};
 pub use transport::{ChannelTransport, TcpTransport, Transport};
 pub use value::Value;

@@ -44,7 +44,8 @@ pub fn validate_call_args(
 
     let send_layout: Vec<_> = layout.iter().filter(|l| l.mode.sends()).collect();
     for ((l, v), p) in send_layout.iter().zip(args).zip(&send_params) {
-        v.conforms(l.base, l.count, p.is_scalar()).map_err(|e| e.to_string())?;
+        v.conforms(l.base, l.count, p.is_scalar())
+            .map_err(|e| e.to_string())?;
     }
     Ok(layout)
 }
@@ -71,19 +72,28 @@ pub fn validate_results(
         ));
     }
     for ((p, l), v) in recv.iter().zip(results) {
-        v.conforms(l.base, l.count, p.is_scalar()).map_err(|e| e.to_string())?;
+        v.conforms(l.base, l.count, p.is_scalar())
+            .map_err(|e| e.to_string())?;
     }
     Ok(())
 }
 
 /// Array payload bytes of the request (client → server), per the layout.
 pub fn request_payload_bytes(layout: &[ParamLayout]) -> usize {
-    layout.iter().filter(|l| l.mode.sends() && l.count > 1).map(|l| l.bytes).sum()
+    layout
+        .iter()
+        .filter(|l| l.mode.sends() && l.count > 1)
+        .map(|l| l.bytes)
+        .sum()
 }
 
 /// Array payload bytes of the reply (server → client), per the layout.
 pub fn reply_payload_bytes(layout: &[ParamLayout]) -> usize {
-    layout.iter().filter(|l| l.mode.receives() && l.count > 1).map(|l| l.bytes).sum()
+    layout
+        .iter()
+        .filter(|l| l.mode.receives() && l.count > 1)
+        .map(|l| l.bytes)
+        .sum()
 }
 
 #[cfg(test)]
@@ -148,11 +158,17 @@ mod tests {
             Value::DoubleArray(vec![0.0; n]),
         ];
         let layout = validate_call_args(&iface, &args).unwrap();
-        let good = vec![Value::DoubleArray(vec![0.0; n]), Value::IntArray(vec![0; n])];
+        let good = vec![
+            Value::DoubleArray(vec![0.0; n]),
+            Value::IntArray(vec![0; n]),
+        ];
         assert!(validate_results(&iface, &layout, &good).is_ok());
         let short = vec![Value::DoubleArray(vec![0.0; n])];
         assert!(validate_results(&iface, &layout, &short).is_err());
-        let wrong = vec![Value::DoubleArray(vec![0.0; n + 1]), Value::IntArray(vec![0; n])];
+        let wrong = vec![
+            Value::DoubleArray(vec![0.0; n + 1]),
+            Value::IntArray(vec![0; n]),
+        ];
         assert!(validate_results(&iface, &layout, &wrong).is_err());
     }
 }

@@ -246,7 +246,10 @@ impl Message {
                 enc.put_u32(TAG_DB_QUERY);
                 enc.put_string(query);
             }
-            Message::DbReply { description, values } => {
+            Message::DbReply {
+                description,
+                values,
+            } => {
                 enc.put_u32(TAG_DB_REPLY);
                 enc.put_string(description);
                 enc.put_u32(values.len() as u32);
@@ -281,10 +284,12 @@ impl Message {
         let mut dec = XdrDecoder::new(payload);
         let tag = dec.get_u32()?;
         let msg = match tag {
-            TAG_QUERY_INTERFACE => Message::QueryInterface { routine: dec.get_string()? },
-            TAG_INTERFACE_REPLY => {
-                Message::InterfaceReply { interface: CompiledInterface::decode_xdr(&mut dec)? }
-            }
+            TAG_QUERY_INTERFACE => Message::QueryInterface {
+                routine: dec.get_string()?,
+            },
+            TAG_INTERFACE_REPLY => Message::InterfaceReply {
+                interface: CompiledInterface::decode_xdr(&mut dec)?,
+            },
             TAG_INVOKE => {
                 let routine = dec.get_string()?;
                 let n = dec.get_u32()? as usize;
@@ -302,7 +307,9 @@ impl Message {
                 }
                 Message::ResultData { results }
             }
-            TAG_ERROR => Message::Error { reason: dec.get_string()? },
+            TAG_ERROR => Message::Error {
+                reason: dec.get_string()?,
+            },
             TAG_SUBMIT_JOB => {
                 let routine = dec.get_string()?;
                 let n = dec.get_u32()? as usize;
@@ -312,14 +319,22 @@ impl Message {
                 }
                 Message::SubmitJob { routine, args }
             }
-            TAG_JOB_TICKET => Message::JobTicket { job: dec.get_u64()? },
-            TAG_POLL_JOB => Message::PollJob { job: dec.get_u64()? },
+            TAG_JOB_TICKET => Message::JobTicket {
+                job: dec.get_u64()?,
+            },
+            TAG_POLL_JOB => Message::PollJob {
+                job: dec.get_u64()?,
+            },
             TAG_JOB_STATUS => Message::JobStatus {
                 job: dec.get_u64()?,
                 state: JobPhase::from_tag(dec.get_u32()?)?,
             },
-            TAG_FETCH_RESULT => Message::FetchResult { job: dec.get_u64()? },
-            TAG_DB_QUERY => Message::DbQuery { query: dec.get_string()? },
+            TAG_FETCH_RESULT => Message::FetchResult {
+                job: dec.get_u64()?,
+            },
+            TAG_DB_QUERY => Message::DbQuery {
+                query: dec.get_string()?,
+            },
             TAG_DB_REPLY => {
                 let description = dec.get_string()?;
                 let n = dec.get_u32()? as usize;
@@ -327,7 +342,10 @@ impl Message {
                 for _ in 0..n {
                     values.push(decode_tagged_value(&mut dec)?);
                 }
-                Message::DbReply { description, values }
+                Message::DbReply {
+                    description,
+                    values,
+                }
             }
             TAG_LIST_ROUTINES => Message::ListRoutines,
             TAG_ROUTINE_LIST => {
@@ -444,7 +462,9 @@ mod tests {
 
     #[test]
     fn roundtrip_query_interface() {
-        roundtrip(Message::QueryInterface { routine: "linpack".into() });
+        roundtrip(Message::QueryInterface {
+            routine: "linpack".into(),
+        });
     }
 
     #[test]
@@ -469,9 +489,14 @@ mod tests {
     #[test]
     fn roundtrip_results_and_error() {
         roundtrip(Message::ResultData {
-            results: vec![Value::DoubleArray(vec![0.5; 4]), Value::IntArray(vec![1, 0])],
+            results: vec![
+                Value::DoubleArray(vec![0.5; 4]),
+                Value::IntArray(vec![1, 0]),
+            ],
         });
-        roundtrip(Message::Error { reason: "matrix is singular".into() });
+        roundtrip(Message::Error {
+            reason: "matrix is singular".into(),
+        });
     }
 
     #[test]
@@ -490,14 +515,20 @@ mod tests {
     fn unknown_tag_rejected() {
         let mut enc = ninf_xdr::XdrEncoder::new();
         enc.put_u32(999);
-        assert!(matches!(Message::decode(&enc.finish()), Err(ProtocolError::Frame(_))));
+        assert!(matches!(
+            Message::decode(&enc.finish()),
+            Err(ProtocolError::Frame(_))
+        ));
     }
 
     #[test]
     fn trailing_garbage_rejected() {
         let mut wire = Message::QueryLoad.encode().to_vec();
         wire.extend_from_slice(&[0, 0, 0, 0]);
-        assert!(matches!(Message::decode(&wire), Err(ProtocolError::Frame(_))));
+        assert!(matches!(
+            Message::decode(&wire),
+            Err(ProtocolError::Frame(_))
+        ));
     }
 
     #[test]
@@ -513,7 +544,12 @@ mod tests {
         });
         roundtrip(Message::JobTicket { job: 42 });
         roundtrip(Message::PollJob { job: 42 });
-        for state in [JobPhase::Pending, JobPhase::Done, JobPhase::Failed, JobPhase::Unknown] {
+        for state in [
+            JobPhase::Pending,
+            JobPhase::Done,
+            JobPhase::Failed,
+            JobPhase::Unknown,
+        ] {
             roundtrip(Message::JobStatus { job: 7, state });
         }
         roundtrip(Message::FetchResult { job: 42 });
@@ -521,7 +557,9 @@ mod tests {
 
     #[test]
     fn roundtrip_db_messages() {
-        roundtrip(Message::DbQuery { query: "GET hilbert8".into() });
+        roundtrip(Message::DbQuery {
+            query: "GET hilbert8".into(),
+        });
         roundtrip(Message::DbReply {
             description: "8x8 Hilbert matrix, column-major".into(),
             values: vec![Value::DoubleArray(vec![1.0, 0.5, 0.5, 1.0 / 3.0])],
@@ -545,7 +583,10 @@ mod tests {
         enc.put_u32(11); // JobStatus
         enc.put_u64(1);
         enc.put_u32(99); // bogus phase
-        assert!(matches!(Message::decode(&enc.finish()), Err(ProtocolError::Frame(_))));
+        assert!(matches!(
+            Message::decode(&enc.finish()),
+            Err(ProtocolError::Frame(_))
+        ));
     }
 
     #[test]

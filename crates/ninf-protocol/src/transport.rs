@@ -1,9 +1,11 @@
-//! Message transports: real TCP and an in-process channel pair.
+//! Message transports: real TCP and an in-process channel pair, both with
+//! optional per-operation deadlines.
 
-use std::io::{BufReader, BufWriter};
-use std::net::TcpStream;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::error::{ProtocolError, ProtocolResult};
 use crate::frame::{read_frame, write_frame};
@@ -16,12 +18,52 @@ pub trait Transport: Send {
     fn send(&mut self, msg: &Message) -> ProtocolResult<()>;
     /// Receive the next message (blocking).
     fn recv(&mut self) -> ProtocolResult<Message>;
+
+    /// Install (or clear) a per-operation I/O deadline. Subsequent `send`
+    /// and `recv` calls that exceed it fail with
+    /// [`ProtocolError::Timeout`]. Returns `false` if the transport cannot
+    /// enforce deadlines (the default).
+    fn set_deadline(&mut self, _deadline: Option<Duration>) -> ProtocolResult<bool> {
+        Ok(false)
+    }
+
+    /// Send a pre-encoded byte sequence verbatim, bypassing framing. This is
+    /// the fault-injection hook: [`crate::fault::FaultyTransport`] uses it to
+    /// put truncated or garbled frames on the wire. Transports without a
+    /// byte-level path reject it.
+    fn send_raw(&mut self, _bytes: &[u8]) -> ProtocolResult<()> {
+        Err(ProtocolError::Frame(
+            "transport does not support raw frames".into(),
+        ))
+    }
+}
+
+/// Rewrite OS timeout errors into the typed deadline error, leaving
+/// everything else untouched. Both `WouldBlock` and `TimedOut` appear in the
+/// wild for an expired socket timeout (Unix reports `EAGAIN`).
+fn promote_timeout(
+    err: ProtocolError,
+    operation: &'static str,
+    deadline: Option<Duration>,
+) -> ProtocolError {
+    match (&err, deadline) {
+        (ProtocolError::Io(e), Some(after))
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            ProtocolError::Timeout { operation, after }
+        }
+        _ => err,
+    }
 }
 
 /// TCP transport with buffered reader/writer halves.
 pub struct TcpTransport {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    deadline: Option<Duration>,
 }
 
 impl TcpTransport {
@@ -30,22 +72,61 @@ impl TcpTransport {
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         let writer = BufWriter::new(stream);
-        Ok(Self { reader, writer })
+        Ok(Self {
+            reader,
+            writer,
+            deadline: None,
+        })
     }
 
     /// Connect to `addr` ("host:port").
     pub fn connect(addr: &str) -> ProtocolResult<Self> {
         Self::new(TcpStream::connect(addr)?)
     }
+
+    /// Connect to `addr` with a bound on connection establishment; the same
+    /// deadline is installed as the transport's I/O deadline. With `None`
+    /// this is [`TcpTransport::connect`].
+    pub fn connect_with_deadline(addr: &str, deadline: Option<Duration>) -> ProtocolResult<Self> {
+        let Some(limit) = deadline else {
+            return Self::connect(addr);
+        };
+        let sockaddr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ProtocolError::Frame(format!("address `{addr}` resolves to nothing")))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, limit)
+            .map_err(|e| promote_timeout(e.into(), "connect", deadline))?;
+        let mut transport = Self::new(stream)?;
+        transport.set_deadline(deadline)?;
+        Ok(transport)
+    }
 }
 
 impl Transport for TcpTransport {
     fn send(&mut self, msg: &Message) -> ProtocolResult<()> {
-        write_frame(&mut self.writer, msg)
+        write_frame(&mut self.writer, msg).map_err(|e| promote_timeout(e, "write", self.deadline))
     }
 
     fn recv(&mut self) -> ProtocolResult<Message> {
-        read_frame(&mut self.reader)
+        read_frame(&mut self.reader).map_err(|e| promote_timeout(e, "read", self.deadline))
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> ProtocolResult<bool> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(deadline)?;
+        stream.set_write_timeout(deadline)?;
+        self.deadline = deadline;
+        Ok(true)
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> ProtocolResult<()> {
+        let run = |w: &mut BufWriter<TcpStream>| -> ProtocolResult<()> {
+            w.write_all(bytes)?;
+            w.flush()?;
+            Ok(())
+        };
+        run(&mut self.writer).map_err(|e| promote_timeout(e, "write", self.deadline))
     }
 }
 
@@ -55,6 +136,7 @@ impl Transport for TcpTransport {
 pub struct ChannelTransport {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
+    deadline: Option<Duration>,
 }
 
 impl ChannelTransport {
@@ -62,7 +144,31 @@ impl ChannelTransport {
     pub fn pair() -> (ChannelTransport, ChannelTransport) {
         let (atx, arx) = bounded(64);
         let (btx, brx) = bounded(64);
-        (ChannelTransport { tx: atx, rx: brx }, ChannelTransport { tx: btx, rx: arx })
+        (
+            ChannelTransport {
+                tx: atx,
+                rx: brx,
+                deadline: None,
+            },
+            ChannelTransport {
+                tx: btx,
+                rx: arx,
+                deadline: None,
+            },
+        )
+    }
+
+    fn recv_bytes(&mut self) -> ProtocolResult<Vec<u8>> {
+        match self.deadline {
+            None => self.rx.recv().map_err(|_| ProtocolError::Disconnected),
+            Some(after) => self.rx.recv_timeout(after).map_err(|e| match e {
+                RecvTimeoutError::Timeout => ProtocolError::Timeout {
+                    operation: "read",
+                    after,
+                },
+                RecvTimeoutError::Disconnected => ProtocolError::Disconnected,
+            }),
+        }
     }
 }
 
@@ -74,8 +180,19 @@ impl Transport for ChannelTransport {
     }
 
     fn recv(&mut self) -> ProtocolResult<Message> {
-        let buf = self.rx.recv().map_err(|_| ProtocolError::Disconnected)?;
+        let buf = self.recv_bytes()?;
         read_frame(&mut buf.as_slice())
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> ProtocolResult<bool> {
+        self.deadline = deadline;
+        Ok(true)
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> ProtocolResult<()> {
+        self.tx
+            .send(bytes.to_vec())
+            .map_err(|_| ProtocolError::Disconnected)
     }
 }
 
@@ -88,10 +205,15 @@ mod tests {
     #[test]
     fn channel_pair_roundtrip() {
         let (mut a, mut b) = ChannelTransport::pair();
-        let msg = Message::Invoke { routine: "ep".into(), args: vec![Value::Int(20)] };
+        let msg = Message::Invoke {
+            routine: "ep".into(),
+            args: vec![Value::Int(20)],
+        };
         a.send(&msg).unwrap();
         assert_eq!(b.recv().unwrap(), msg);
-        let reply = Message::ResultData { results: vec![Value::DoubleArray(vec![1.0, 2.0])] };
+        let reply = Message::ResultData {
+            results: vec![Value::DoubleArray(vec![1.0, 2.0])],
+        };
         b.send(&reply).unwrap();
         assert_eq!(a.recv().unwrap(), reply);
     }
@@ -100,8 +222,21 @@ mod tests {
     fn channel_disconnect_detected() {
         let (mut a, b) = ChannelTransport::pair();
         drop(b);
-        assert!(matches!(a.send(&Message::QueryLoad), Err(ProtocolError::Disconnected)));
+        assert!(matches!(
+            a.send(&Message::QueryLoad),
+            Err(ProtocolError::Disconnected)
+        ));
         assert!(matches!(a.recv(), Err(ProtocolError::Disconnected)));
+    }
+
+    #[test]
+    fn channel_deadline_times_out_on_silence() {
+        let (mut a, _b) = ChannelTransport::pair();
+        a.set_deadline(Some(Duration::from_millis(30))).unwrap();
+        let start = std::time::Instant::now();
+        let err = a.recv().unwrap_err();
+        assert!(err.is_timeout(), "expected timeout, got {err}");
+        assert!(start.elapsed() < Duration::from_secs(2));
     }
 
     #[test]
@@ -113,10 +248,17 @@ mod tests {
             let mut t = TcpTransport::new(stream).unwrap();
             let msg = t.recv().unwrap();
             assert_eq!(msg.kind(), "QueryInterface");
-            t.send(&Message::Error { reason: "unknown routine".into() }).unwrap();
+            t.send(&Message::Error {
+                reason: "unknown routine".into(),
+            })
+            .unwrap();
         });
         let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
-        client.send(&Message::QueryInterface { routine: "nope".into() }).unwrap();
+        client
+            .send(&Message::QueryInterface {
+                routine: "nope".into(),
+            })
+            .unwrap();
         match client.recv().unwrap() {
             Message::Error { reason } => assert!(reason.contains("unknown")),
             other => panic!("unexpected {other:?}"),
@@ -142,12 +284,70 @@ mod tests {
         let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
         let matrix = Value::DoubleArray((0..n * n).map(|i| i as f64).collect());
         client
-            .send(&Message::Invoke { routine: "echo".into(), args: vec![matrix.clone()] })
+            .send(&Message::Invoke {
+                routine: "echo".into(),
+                args: vec![matrix.clone()],
+            })
             .unwrap();
         match client.recv().unwrap() {
             Message::ResultData { results } => assert_eq!(results, vec![matrix]),
             other => panic!("unexpected {other:?}"),
         }
         server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_read_deadline_yields_typed_timeout() {
+        // A listener that accepts but never replies: the read must abort
+        // with Timeout at roughly the deadline, not hang.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let silent = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(400));
+            drop(stream);
+        });
+        let deadline = Duration::from_millis(80);
+        let mut client =
+            TcpTransport::connect_with_deadline(&addr.to_string(), Some(deadline)).unwrap();
+        client.send(&Message::QueryLoad).unwrap();
+        let start = std::time::Instant::now();
+        match client.recv().unwrap_err() {
+            ProtocolError::Timeout { operation, after } => {
+                assert_eq!(operation, "read");
+                assert_eq!(after, deadline);
+            }
+            other => panic!("expected timeout, got {other}"),
+        }
+        assert!(start.elapsed() < Duration::from_millis(350));
+        silent.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_connect_deadline_bounds_the_attempt() {
+        // RFC 5737 TEST-NET-1 address: normally black-holes, though some
+        // sandboxes intercept it, so only the time bound is asserted — the
+        // attempt must resolve (either way) within the deadline, not hang.
+        let start = std::time::Instant::now();
+        let _ =
+            TcpTransport::connect_with_deadline("192.0.2.1:9", Some(Duration::from_millis(100)));
+        assert!(start.elapsed() < Duration::from_secs(3));
+    }
+
+    #[test]
+    fn tcp_send_raw_bytes_arrive_verbatim() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            use std::io::Read;
+            BufReader::new(stream).read_to_end(&mut buf).unwrap();
+            buf
+        });
+        let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
+        client.send_raw(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        drop(client);
+        assert_eq!(server.join().unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
     }
 }

@@ -42,7 +42,10 @@ impl Value {
 
     /// Whether this is a scalar value.
     pub fn is_scalar(&self) -> bool {
-        matches!(self, Value::Int(_) | Value::Long(_) | Value::Float(_) | Value::Double(_))
+        matches!(
+            self,
+            Value::Int(_) | Value::Long(_) | Value::Float(_) | Value::Double(_)
+        )
     }
 
     /// Element count (1 for scalars).

@@ -9,20 +9,18 @@ fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
         any::<i32>().prop_map(Value::Int),
         any::<i64>().prop_map(Value::Long),
-        any::<f32>().prop_filter("finite", |x| x.is_finite()).prop_map(Value::Float),
-        any::<f64>().prop_filter("finite", |x| x.is_finite()).prop_map(Value::Double),
+        any::<f32>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(Value::Double),
         proptest::collection::vec(any::<i32>(), 0..64).prop_map(Value::IntArray),
         proptest::collection::vec(any::<i64>(), 0..64).prop_map(Value::LongArray),
-        proptest::collection::vec(
-            any::<f32>().prop_filter("finite", |x| x.is_finite()),
-            0..64
-        )
-        .prop_map(Value::FloatArray),
-        proptest::collection::vec(
-            any::<f64>().prop_filter("finite", |x| x.is_finite()),
-            0..64
-        )
-        .prop_map(Value::DoubleArray),
+        proptest::collection::vec(any::<f32>().prop_filter("finite", |x| x.is_finite()), 0..64)
+            .prop_map(Value::FloatArray),
+        proptest::collection::vec(any::<f64>().prop_filter("finite", |x| x.is_finite()), 0..64)
+            .prop_map(Value::DoubleArray),
     ]
 }
 
@@ -36,8 +34,14 @@ fn arb_message() -> impl Strategy<Value = Message> {
             .prop_map(|results| Message::ResultData { results }),
         "\\PC{0,64}".prop_map(|reason| Message::Error { reason }),
         Just(Message::QueryLoad),
-        (any::<u32>(), any::<u32>(), any::<u32>(), 0.0f64..1e3, 0.0f64..100.0).prop_map(
-            |(pes, running, queued, load_average, cpu_utilization)| {
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            0.0f64..1e3,
+            0.0f64..100.0
+        )
+            .prop_map(|(pes, running, queued, load_average, cpu_utilization)| {
                 Message::LoadStatus(LoadReport {
                     pes,
                     running,
@@ -45,18 +49,20 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     load_average,
                     cpu_utilization,
                 })
-            }
-        ),
+            }),
         (routine, proptest::collection::vec(arb_value(), 0..6))
             .prop_map(|(routine, args)| Message::SubmitJob { routine, args }),
         any::<u64>().prop_map(|job| Message::JobTicket { job }),
         any::<u64>().prop_map(|job| Message::PollJob { job }),
-        (any::<u64>(), prop_oneof![
-            Just(JobPhase::Pending),
-            Just(JobPhase::Done),
-            Just(JobPhase::Failed),
-            Just(JobPhase::Unknown)
-        ])
+        (
+            any::<u64>(),
+            prop_oneof![
+                Just(JobPhase::Pending),
+                Just(JobPhase::Done),
+                Just(JobPhase::Failed),
+                Just(JobPhase::Unknown)
+            ]
+        )
             .prop_map(|(job, state)| Message::JobStatus { job, state }),
         any::<u64>().prop_map(|job| Message::FetchResult { job }),
     ]

@@ -16,13 +16,25 @@ use crate::registry::{Handler, Registry};
 /// flavour). EP always partitions its stream across rayon workers.
 pub fn register_stdlib(registry: &mut Registry, data_parallel: bool) {
     let sources = ninf_idl::stdlib();
-    registry.register(sources[0], dmmul_handler(data_parallel)).expect("dmmul IDL");
-    registry.register(sources[1], dgefa_handler(data_parallel)).expect("dgefa IDL");
-    registry.register(sources[2], dgesl_handler()).expect("dgesl IDL");
-    registry.register(sources[3], linpack_handler(data_parallel)).expect("linpack IDL");
+    registry
+        .register(sources[0], dmmul_handler(data_parallel))
+        .expect("dmmul IDL");
+    registry
+        .register(sources[1], dgefa_handler(data_parallel))
+        .expect("dgefa IDL");
+    registry
+        .register(sources[2], dgesl_handler())
+        .expect("dgesl IDL");
+    registry
+        .register(sources[3], linpack_handler(data_parallel))
+        .expect("linpack IDL");
     registry.register(sources[4], ep_handler()).expect("ep IDL");
-    registry.register(sources[5], dos_handler()).expect("dos IDL");
-    registry.register(sources[6], dgeco_handler()).expect("dgeco IDL");
+    registry
+        .register(sources[5], dos_handler())
+        .expect("dos IDL");
+    registry
+        .register(sources[6], dgeco_handler())
+        .expect("dgeco IDL");
 }
 
 fn get_int(v: &Value, what: &str) -> Result<usize, String> {
@@ -52,7 +64,11 @@ pub fn dmmul_handler(parallel: bool) -> Handler {
         let n = get_int(&args[0], "n")?;
         let a = Matrix::from_col_major(n, n, get_doubles(&args[1], "A")?.to_vec());
         let b = Matrix::from_col_major(n, n, get_doubles(&args[2], "B")?.to_vec());
-        let c = if parallel { ninf_exec::dmmul_parallel(&a, &b) } else { ninf_exec::dmmul(&a, &b) };
+        let c = if parallel {
+            ninf_exec::dmmul_parallel(&a, &b)
+        } else {
+            ninf_exec::dmmul(&a, &b)
+        };
         Ok(vec![Value::DoubleArray(c.into_vec())])
     })
 }
@@ -88,7 +104,10 @@ pub fn dgesl_handler() -> Handler {
     Arc::new(move |args: &[Value]| {
         let n = get_int(&args[0], "n")?;
         let a = Matrix::from_col_major(n, n, get_doubles(&args[1], "A")?.to_vec());
-        let ipvt: Vec<usize> = get_ints(&args[2], "ipvt")?.iter().map(|&p| p as usize).collect();
+        let ipvt: Vec<usize> = get_ints(&args[2], "ipvt")?
+            .iter()
+            .map(|&p| p as usize)
+            .collect();
         let mut b = get_doubles(&args[3], "b")?.to_vec();
         if ipvt.len() != n || b.len() != n {
             return Err("dgesl: ipvt/b length mismatch".into());
@@ -161,7 +180,9 @@ pub fn dos_handler() -> Handler {
             return Err("dos: bins must be positive".into());
         }
         let r = ninf_exec::dos_histogram(m as u32, 8, bins);
-        Ok(vec![Value::DoubleArray(r.histogram.iter().map(|&c| c as f64).collect())])
+        Ok(vec![Value::DoubleArray(
+            r.histogram.iter().map(|&c| c as f64).collect(),
+        )])
     })
 }
 
@@ -214,7 +235,9 @@ mod tests {
         ];
         validate_invoke(&exe.interface, &args).unwrap();
         let out = (exe.handler)(&args).unwrap();
-        let Value::DoubleArray(x) = &out[0] else { panic!("expected x") };
+        let Value::DoubleArray(x) = &out[0] else {
+            panic!("expected x")
+        };
         for xi in x {
             assert!((xi - 1.0).abs() < 1e-8);
         }
@@ -230,7 +253,9 @@ mod tests {
             Value::DoubleArray(a.as_slice().to_vec()),
         ])
         .unwrap();
-        let Value::IntArray(info) = &fa[2] else { panic!() };
+        let Value::IntArray(info) = &fa[2] else {
+            panic!()
+        };
         assert_eq!(info[0], 0, "benchmark matrix must be non-singular");
         let sl = (r.lookup("dgesl").unwrap().handler)(&[
             Value::Int(n as i32),
@@ -239,7 +264,9 @@ mod tests {
             Value::DoubleArray(b),
         ])
         .unwrap();
-        let Value::DoubleArray(x) = &sl[0] else { panic!() };
+        let Value::DoubleArray(x) = &sl[0] else {
+            panic!()
+        };
         for xi in x {
             assert!((xi - 1.0).abs() < 1e-8);
         }
@@ -253,7 +280,9 @@ mod tests {
             Value::DoubleArray(vec![1.0, 2.0, 2.0, 4.0]), // rank 1
         ])
         .unwrap();
-        let Value::IntArray(info) = &out[2] else { panic!() };
+        let Value::IntArray(info) = &out[2] else {
+            panic!()
+        };
         assert_ne!(info[0], 0);
     }
 
@@ -261,7 +290,9 @@ mod tests {
     fn ep_returns_sane_counts() {
         let r = full_registry();
         let out = (r.lookup("ep").unwrap().handler)(&[Value::Int(12)]).unwrap();
-        let Value::DoubleArray(counts) = &out[1] else { panic!() };
+        let Value::DoubleArray(counts) = &out[1] else {
+            panic!()
+        };
         let total: f64 = counts.iter().sum();
         let rate = total / 4096.0;
         assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.05);
@@ -276,9 +307,10 @@ mod tests {
     #[test]
     fn dos_histogram_sums_to_samples() {
         let r = full_registry();
-        let out =
-            (r.lookup("dos").unwrap().handler)(&[Value::Int(10), Value::Int(16)]).unwrap();
-        let Value::DoubleArray(hist) = &out[0] else { panic!() };
+        let out = (r.lookup("dos").unwrap().handler)(&[Value::Int(10), Value::Int(16)]).unwrap();
+        let Value::DoubleArray(hist) = &out[0] else {
+            panic!()
+        };
         assert_eq!(hist.len(), 16);
         assert_eq!(hist.iter().sum::<f64>(), 1024.0);
     }
@@ -294,12 +326,12 @@ mod tests {
                 h[j * n + i] = 1.0 / ((i + j + 1) as f64);
             }
         }
-        let out = (r.lookup("dgeco").unwrap().handler)(&[
-            Value::Int(n as i32),
-            Value::DoubleArray(h),
-        ])
-        .unwrap();
-        let Value::DoubleArray(rcond) = &out[2] else { panic!() };
+        let out =
+            (r.lookup("dgeco").unwrap().handler)(&[Value::Int(n as i32), Value::DoubleArray(h)])
+                .unwrap();
+        let Value::DoubleArray(rcond) = &out[2] else {
+            panic!()
+        };
         assert!(rcond[0] < 1e-8, "rcond = {}", rcond[0]);
 
         // Identity: perfectly conditioned.
@@ -307,12 +339,12 @@ mod tests {
         for i in 0..n {
             eye[i * n + i] = 1.0;
         }
-        let out = (r.lookup("dgeco").unwrap().handler)(&[
-            Value::Int(n as i32),
-            Value::DoubleArray(eye),
-        ])
-        .unwrap();
-        let Value::DoubleArray(rcond) = &out[2] else { panic!() };
+        let out =
+            (r.lookup("dgeco").unwrap().handler)(&[Value::Int(n as i32), Value::DoubleArray(eye)])
+                .unwrap();
+        let Value::DoubleArray(rcond) = &out[2] else {
+            panic!()
+        };
         assert!((rcond[0] - 1.0).abs() < 1e-9);
     }
 

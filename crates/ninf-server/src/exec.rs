@@ -64,7 +64,11 @@ impl JobGate {
     pub fn new(pes: usize, policy: SchedPolicy) -> Self {
         assert!(pes > 0);
         Self {
-            state: Mutex::new(GateState { free_pes: pes, queue: Vec::new(), next_ticket: 0 }),
+            state: Mutex::new(GateState {
+                free_pes: pes,
+                queue: Vec::new(),
+                next_ticket: 0,
+            }),
             cv: Condvar::new(),
             policy,
             pes,
@@ -113,7 +117,10 @@ impl JobGate {
                     drop(st);
                     // The admitted job changed the state; others re-evaluate.
                     self.cv.notify_all();
-                    return JobGuard { gate: self, pes: job.pes_required };
+                    return JobGuard {
+                        gate: self,
+                        pes: job.pes_required,
+                    };
                 }
                 // Someone else was picked — make sure they wake up.
                 self.cv.notify_all();
@@ -147,7 +154,11 @@ mod tests {
     use std::time::Duration;
 
     fn job(pes: usize) -> JobInfo {
-        JobInfo { arrival_seq: 0, estimated_cost: 1.0, pes_required: pes }
+        JobInfo {
+            arrival_seq: 0,
+            estimated_cost: 1.0,
+            pes_required: pes,
+        }
     }
 
     #[test]

@@ -78,7 +78,12 @@ impl SchedPolicy {
 
     /// All policies, for exhaustive ablation sweeps.
     pub fn all() -> [SchedPolicy; 4] {
-        [SchedPolicy::Fcfs, SchedPolicy::Sjf, SchedPolicy::Fpfs, SchedPolicy::Fpmpfs]
+        [
+            SchedPolicy::Fcfs,
+            SchedPolicy::Sjf,
+            SchedPolicy::Fpfs,
+            SchedPolicy::Fpmpfs,
+        ]
     }
 
     /// Display name used in benchmark tables.
@@ -97,7 +102,11 @@ mod tests {
     use super::*;
 
     fn job(seq: u64, cost: f64, pes: usize) -> JobInfo {
-        JobInfo { arrival_seq: seq, estimated_cost: cost, pes_required: pes }
+        JobInfo {
+            arrival_seq: seq,
+            estimated_cost: cost,
+            pes_required: pes,
+        }
     }
 
     #[test]

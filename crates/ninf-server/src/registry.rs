@@ -28,7 +28,9 @@ pub struct NinfExecutable {
 
 impl std::fmt::Debug for NinfExecutable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NinfExecutable").field("interface", &self.interface.name).finish()
+        f.debug_struct("NinfExecutable")
+            .field("interface", &self.interface.name)
+            .finish()
     }
 }
 
@@ -50,13 +52,17 @@ impl Registry {
     pub fn register(&mut self, idl_src: &str, handler: Handler) -> Result<(), IdlError> {
         let def = ninf_idl::parse_one(idl_src)?;
         let interface = CompiledInterface::compile(&def)?;
-        self.entries.insert(def.name.clone(), NinfExecutable { interface, handler });
+        self.entries
+            .insert(def.name.clone(), NinfExecutable { interface, handler });
         Ok(())
     }
 
     /// Register an already-compiled interface.
     pub fn register_compiled(&mut self, interface: CompiledInterface, handler: Handler) {
-        self.entries.insert(interface.name.clone(), NinfExecutable { interface, handler });
+        self.entries.insert(
+            interface.name.clone(),
+            NinfExecutable { interface, handler },
+        );
     }
 
     /// Find an executable by routine name. Accepts bare names and
@@ -122,7 +128,8 @@ pub fn validate_invoke(
     // Validate each input value against its layout slot.
     let send_layout: Vec<_> = layout.iter().filter(|l| l.mode.sends()).collect();
     for ((l, v), p) in send_layout.iter().zip(args).zip(&send_params) {
-        v.conforms(l.base, l.count, p.is_scalar()).map_err(|e| e.to_string())?;
+        v.conforms(l.base, l.count, p.is_scalar())
+            .map_err(|e| e.to_string())?;
     }
     Ok(layout)
 }

@@ -33,7 +33,11 @@ pub struct ServerConfig {
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { pes: 4, mode: ExecMode::TaskParallel, policy: SchedPolicy::Fcfs }
+        Self {
+            pes: 4,
+            mode: ExecMode::TaskParallel,
+            policy: SchedPolicy::Fcfs,
+        }
     }
 }
 
@@ -85,14 +89,21 @@ impl NinfServer {
                     // not block shutdown. The thread exits when its peer
                     // hangs up.
                     std::thread::spawn(move || {
-                        let _ =
-                            serve_connection(stream, registry, stats, gate, jobs, cost, mode);
+                        let _ = serve_connection(stream, registry, stats, gate, jobs, cost, mode);
                     });
                 }
             })
         };
 
-        Ok(Self { addr: local, stats, gate, jobs, cost, stop, accept_thread: Some(accept_thread) })
+        Ok(Self {
+            addr: local,
+            stats,
+            gate,
+            jobs,
+            cost,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address (connect clients here).
@@ -120,15 +131,33 @@ impl NinfServer {
         &self.cost
     }
 
-    /// Stop accepting and join the accept thread. In-flight connections
-    /// finish naturally.
-    pub fn shutdown(mut self) {
+    /// Stop accepting and join the accept thread, draining briefly (2 s) so
+    /// in-flight calls finish instead of being cut off mid-reply.
+    pub fn shutdown(self) {
+        self.shutdown_with_drain(std::time::Duration::from_secs(2));
+    }
+
+    /// Graceful shutdown: stop accepting new connections, then wait up to
+    /// `drain` for PEs executing calls to go idle before returning. Returns
+    /// `true` if the server drained fully, `false` if work was still running
+    /// when the window closed (those detached connection threads keep going
+    /// until their clients hang up — nothing is torn down mid-execution
+    /// either way, but the caller knows the fleet wasn't quiesced).
+    pub fn shutdown_with_drain(mut self, drain: std::time::Duration) -> bool {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept() call.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        let deadline = std::time::Instant::now() + drain;
+        while self.gate.busy_pes() > 0 {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        true
     }
 }
 
@@ -152,10 +181,12 @@ fn serve_connection(
         };
         match msg {
             Message::QueryInterface { routine } => match registry.lookup(&routine) {
-                Some(exe) => transport
-                    .send(&Message::InterfaceReply { interface: exe.interface.clone() })?,
-                None => transport
-                    .send(&Message::Error { reason: format!("unknown routine `{routine}`") })?,
+                Some(exe) => transport.send(&Message::InterfaceReply {
+                    interface: exe.interface.clone(),
+                })?,
+                None => transport.send(&Message::Error {
+                    reason: format!("unknown routine `{routine}`"),
+                })?,
             },
             Message::Invoke { routine, args } => {
                 let t_submit = stats.now();
@@ -188,7 +219,10 @@ fn serve_connection(
                 });
             }
             Message::PollJob { job } => {
-                transport.send(&Message::JobStatus { job, state: jobs.poll(job) })?;
+                transport.send(&Message::JobStatus {
+                    job,
+                    state: jobs.poll(job),
+                })?;
             }
             Message::FetchResult { job } => {
                 let reply = match jobs.fetch(job) {
@@ -238,16 +272,24 @@ fn execute_invoke(
     t_submit: f64,
 ) -> Message {
     let Some(exe) = registry.lookup(routine) else {
-        return Message::Error { reason: format!("unknown routine `{routine}`") };
+        return Message::Error {
+            reason: format!("unknown routine `{routine}`"),
+        };
     };
     let layout = match validate_invoke(&exe.interface, args) {
         Ok(l) => l,
         Err(reason) => return Message::Error { reason },
     };
-    let request_bytes: usize =
-        layout.iter().filter(|l| l.mode.sends() && l.count > 1).map(|l| l.bytes).sum();
-    let reply_bytes: usize =
-        layout.iter().filter(|l| l.mode.receives() && l.count > 1).map(|l| l.bytes).sum();
+    let request_bytes: usize = layout
+        .iter()
+        .filter(|l| l.mode.sends() && l.count > 1)
+        .map(|l| l.bytes)
+        .sum();
+    let reply_bytes: usize = layout
+        .iter()
+        .filter(|l| l.mode.receives() && l.count > 1)
+        .map(|l| l.bytes)
+        .sum();
     let n = args.first().and_then(|v| v.as_scalar_i64());
 
     let t_enqueue = stats.now();
@@ -301,19 +343,30 @@ mod tests {
         NinfServer::start(
             "127.0.0.1:0",
             registry,
-            ServerConfig { pes: 2, mode, policy: SchedPolicy::Fcfs },
+            ServerConfig {
+                pes: 2,
+                mode,
+                policy: SchedPolicy::Fcfs,
+            },
         )
         .unwrap()
     }
 
     fn raw_call(addr: &str, routine: &str, args: Vec<Value>) -> Message {
         let mut t = TcpTransport::connect(addr).unwrap();
-        t.send(&Message::QueryInterface { routine: routine.into() }).unwrap();
+        t.send(&Message::QueryInterface {
+            routine: routine.into(),
+        })
+        .unwrap();
         match t.recv().unwrap() {
             Message::InterfaceReply { .. } => {}
             other => return other,
         }
-        t.send(&Message::Invoke { routine: routine.into(), args }).unwrap();
+        t.send(&Message::Invoke {
+            routine: routine.into(),
+            args,
+        })
+        .unwrap();
         t.recv().unwrap()
     }
 
@@ -334,7 +387,9 @@ mod tests {
         );
         match reply {
             Message::ResultData { results } => {
-                let Value::DoubleArray(x) = &results[0] else { panic!() };
+                let Value::DoubleArray(x) = &results[0] else {
+                    panic!()
+                };
                 for xi in x {
                     assert!((xi - 1.0).abs() < 1e-8);
                 }
@@ -354,7 +409,10 @@ mod tests {
         let server = start_test_server(ExecMode::TaskParallel);
         let addr = server.addr().to_string();
         let mut t = TcpTransport::connect(&addr).unwrap();
-        t.send(&Message::QueryInterface { routine: "fft".into() }).unwrap();
+        t.send(&Message::QueryInterface {
+            routine: "fft".into(),
+        })
+        .unwrap();
         match t.recv().unwrap() {
             Message::Error { reason } => assert!(reason.contains("unknown routine")),
             other => panic!("unexpected {other:?}"),
@@ -369,7 +427,11 @@ mod tests {
         let reply = raw_call(
             &addr,
             "linpack",
-            vec![Value::Int(4), Value::DoubleArray(vec![0.0; 3]), Value::DoubleArray(vec![0.0; 4])],
+            vec![
+                Value::Int(4),
+                Value::DoubleArray(vec![0.0; 3]),
+                Value::DoubleArray(vec![0.0; 4]),
+            ],
         );
         assert!(matches!(reply, Message::Error { .. }));
         // Server still alive for the next call.
@@ -416,6 +478,71 @@ mod tests {
         let reply = raw_call(&addr, "ep", vec![Value::Int(10)]);
         assert!(matches!(reply, Message::ResultData { .. }));
         server.shutdown();
+    }
+
+    /// A server with one deliberately slow routine, for drain tests.
+    fn start_slow_server(sleep_ms: u64) -> NinfServer {
+        let mut registry = Registry::new();
+        registry
+            .register(
+                r#"Define slow(mode_in int n, mode_out int m[1])
+                   "sleeps, then echoes n",
+                   Required "libslow.o"
+                   Calls "C" slow(n, m);"#,
+                Arc::new(move |args: &[Value]| {
+                    std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+                    let n = args[0].as_scalar_i64().unwrap() as i32;
+                    Ok(vec![Value::IntArray(vec![n])])
+                }),
+            )
+            .unwrap();
+        NinfServer::start(
+            "127.0.0.1:0",
+            registry,
+            ServerConfig {
+                pes: 2,
+                mode: ExecMode::TaskParallel,
+                policy: SchedPolicy::Fcfs,
+            },
+        )
+        .unwrap()
+    }
+
+    /// Spin until the server reports an executing call (bounded).
+    fn await_busy(server: &NinfServer) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while server.busy_pes() == 0 {
+            assert!(std::time::Instant::now() < deadline, "call never started");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_call() {
+        let server = start_slow_server(300);
+        let addr = server.addr().to_string();
+        let client = std::thread::spawn(move || raw_call(&addr, "slow", vec![Value::Int(7)]));
+        await_busy(&server);
+        // Drain must wait for the running call, then report a clean quiesce.
+        assert!(server.shutdown_with_drain(std::time::Duration::from_secs(5)));
+        match client.join().unwrap() {
+            Message::ResultData { results } => {
+                assert_eq!(results, vec![Value::IntArray(vec![7])]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_drain_window_reports_leftover_work() {
+        let server = start_slow_server(800);
+        let addr = server.addr().to_string();
+        let client = std::thread::spawn(move || raw_call(&addr, "slow", vec![Value::Int(3)]));
+        await_busy(&server);
+        // A window shorter than the call: drain returns false, but the
+        // detached connection thread still finishes the reply.
+        assert!(!server.shutdown_with_drain(std::time::Duration::from_millis(50)));
+        assert!(matches!(client.join().unwrap(), Message::ResultData { .. }));
     }
 
     #[test]

@@ -30,8 +30,10 @@ impl RoutineTrace {
             return Some((self.samples[0].1.exp(), 0.0));
         }
         let m = n as f64;
-        let (sx, sy): (f64, f64) =
-            self.samples.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+        let (sx, sy): (f64, f64) = self
+            .samples
+            .iter()
+            .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
         let sxx: f64 = self.samples.iter().map(|&(x, _)| x * x).sum();
         let sxy: f64 = self.samples.iter().map(|&(x, y)| x * y).sum();
         let denom = m * sxx - sx * sx;
@@ -88,7 +90,10 @@ impl CostModel {
 
     /// Number of samples recorded for a routine.
     pub fn samples(&self, routine: &str) -> usize {
-        self.traces.read().get(routine).map_or(0, |t| t.samples.len())
+        self.traces
+            .read()
+            .get(routine)
+            .map_or(0, |t| t.samples.len())
     }
 }
 

@@ -22,7 +22,11 @@ pub struct ClientProc {
 impl ClientProc {
     /// New idle client.
     pub fn new(index: usize, rng: SplitMix64) -> Self {
-        Self { index, busy: false, rng }
+        Self {
+            index,
+            busy: false,
+            rng,
+        }
     }
 }
 

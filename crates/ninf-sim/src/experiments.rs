@@ -2,7 +2,9 @@
 //! ablations. Each returns a rendered text block and a JSON value for
 //! EXPERIMENTS.md generation.
 
-use ninf_machine::{alpha, alpha_cluster_node, j90, sparc_smp, supersparc, ultrasparc, MachineSpec};
+use ninf_machine::{
+    alpha, alpha_cluster_node, j90, sparc_smp, supersparc, ultrasparc, MachineSpec,
+};
 use ninf_metaserver::{Balancing, CallEstimate, ServerState};
 use ninf_protocol::LoadReport;
 use ninf_server::{ExecMode, JobInfo, SchedPolicy};
@@ -30,9 +32,26 @@ pub struct ExperimentOutput {
 /// All experiment ids, in paper order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "fig3", "fig4", "fig5", "table3", "table4", "fig7", "table5", "table6", "table7", "fig8",
-        "fig10", "table8", "fig11", "ablation-sjf", "ablation-fpfs", "ablation-sched",
-        "ablation-sched-sim", "ablation-twophase", "ablation-smp-threads", "dos-app",
+        "fig3",
+        "fig4",
+        "fig5",
+        "table3",
+        "table4",
+        "fig7",
+        "table5",
+        "table6",
+        "table7",
+        "fig8",
+        "fig10",
+        "table8",
+        "fig11",
+        "ablation-sjf",
+        "ablation-fpfs",
+        "ablation-sched",
+        "ablation-sched-sim",
+        "ablation-twophase",
+        "ablation-smp-threads",
+        "dos-app",
     ]
 }
 
@@ -42,12 +61,32 @@ pub fn run(id: &str, seed: u64) -> Option<ExperimentOutput> {
         "fig3" => fig3(seed),
         "fig4" => fig4(seed),
         "fig5" => fig5(),
-        "table3" => lan_table("table3", "Table 3: 1-PE multi-client LAN Linpack (J90)", ExecMode::TaskParallel, seed),
-        "table4" => lan_table("table4", "Table 4: 4-PE multi-client LAN Linpack (J90)", ExecMode::DataParallel, seed),
+        "table3" => lan_table(
+            "table3",
+            "Table 3: 1-PE multi-client LAN Linpack (J90)",
+            ExecMode::TaskParallel,
+            seed,
+        ),
+        "table4" => lan_table(
+            "table4",
+            "Table 4: 4-PE multi-client LAN Linpack (J90)",
+            ExecMode::DataParallel,
+            seed,
+        ),
         "fig7" => fig7(seed),
         "table5" => table5(seed),
-        "table6" => wan_table("table6", "Table 6: single-site WAN 1-PE Linpack", ExecMode::TaskParallel, seed),
-        "table7" => wan_table("table7", "Table 7: single-site WAN 4-PE Linpack", ExecMode::DataParallel, seed),
+        "table6" => wan_table(
+            "table6",
+            "Table 6: single-site WAN 1-PE Linpack",
+            ExecMode::TaskParallel,
+            seed,
+        ),
+        "table7" => wan_table(
+            "table7",
+            "Table 7: single-site WAN 4-PE Linpack",
+            ExecMode::DataParallel,
+            seed,
+        ),
         "fig8" => fig8(seed),
         "fig10" => fig10(seed),
         "table8" => table8(seed),
@@ -114,13 +153,11 @@ fn fig3(seed: u64) -> ExperimentOutput {
 
     for client in [supersparc(), ultrasparc()] {
         // Local line: the client machine's own (flat) Linpack rate.
-        let local: Vec<(f64, f64)> =
-            ns.iter().map(|&n| (n as f64, client.pe_linpack.mflops(n))).collect();
-        text += &render_series(
-            &format!("{} Local", client.name),
-            ("n", "Mflops"),
-            &local,
-        );
+        let local: Vec<(f64, f64)> = ns
+            .iter()
+            .map(|&n| (n as f64, client.pe_linpack.mflops(n)))
+            .collect();
+        text += &render_series(&format!("{} Local", client.name), ("n", "Mflops"), &local);
         data.insert(format!("{} local", client.name), points_json(&local));
 
         for (server, mode) in [
@@ -137,7 +174,10 @@ fn fig3(seed: u64) -> ExperimentOutput {
                 ("n", "Mflops"),
                 &curve,
             );
-            data.insert(format!("{} -> {}", client.name, server.name), points_json(&curve));
+            data.insert(
+                format!("{} -> {}", client.name, server.name),
+                points_json(&curve),
+            );
         }
     }
     ExperimentOutput {
@@ -150,11 +190,18 @@ fn fig3(seed: u64) -> ExperimentOutput {
 
 fn fig4(seed: u64) -> ExperimentOutput {
     let ns = FIG3_NS;
-    let opt: Vec<(f64, f64)> =
-        ns.iter().map(|&n| (n as f64, alpha().pe_linpack.mflops(n))).collect();
+    let opt: Vec<(f64, f64)> = ns
+        .iter()
+        .map(|&n| (n as f64, alpha().pe_linpack.mflops(n)))
+        .collect();
     let std: Vec<(f64, f64)> = ns
         .iter()
-        .map(|&n| (n as f64, ninf_machine::catalog::alpha_standard_linpack().mflops(n)))
+        .map(|&n| {
+            (
+                n as f64,
+                ninf_machine::catalog::alpha_standard_linpack().mflops(n),
+            )
+        })
         .collect();
     let ninf = ninf_curve("Alpha", j90(), ExecMode::DataParallel, &ns, seed);
 
@@ -185,7 +232,10 @@ fn fig4(seed: u64) -> ExperimentOutput {
 
 /// First x where curve `a` exceeds curve `b`.
 fn crossover(a: &[(f64, f64)], b: &[(f64, f64)]) -> Option<f64> {
-    a.iter().zip(b).find(|((_, ya), (_, yb))| ya > yb).map(|((x, _), _)| *x)
+    a.iter()
+        .zip(b)
+        .find(|((_, ya), (_, yb))| ya > yb)
+        .map(|((x, _), _)| *x)
 }
 
 fn fig5() -> ExperimentOutput {
@@ -209,7 +259,10 @@ fn fig5() -> ExperimentOutput {
             .map(|&b| (b, b / (overhead + b / ninf_cap) / 1e6))
             .collect();
         text += &render_series(
-            &format!("{client} -> {server} Ninf_call throughput (FTP {:.1} MB/s)", ftp_cap / 1e6),
+            &format!(
+                "{client} -> {server} Ninf_call throughput (FTP {:.1} MB/s)",
+                ftp_cap / 1e6
+            ),
             ("bytes", "MB/s"),
             &curve,
         );
@@ -263,9 +316,10 @@ fn fig7(seed: u64) -> ExperimentOutput {
     // The (n, c) -> mean Mflops surface for both modes.
     let mut text = String::new();
     let mut data = serde_json::Map::new();
-    for (label, mode) in
-        [("1-PE", ExecMode::TaskParallel), ("4-PE", ExecMode::DataParallel)]
-    {
+    for (label, mode) in [
+        ("1-PE", ExecMode::TaskParallel),
+        ("4-PE", ExecMode::DataParallel),
+    ] {
         let cells = lan_cells(mode, seed);
         let pts: Vec<Json> = cells
             .iter()
@@ -273,7 +327,10 @@ fn fig7(seed: u64) -> ExperimentOutput {
             .collect();
         text += &format!("## Fig 7 surface, {label}\n");
         for c in &cells {
-            text += &format!("{:<16} c={:<3} -> {:.2} Mflops\n", c.workload, c.clients, c.perf.mean);
+            text += &format!(
+                "{:<16} c={:<3} -> {:.2} Mflops\n",
+                c.workload, c.clients, c.perf.mean
+            );
         }
         data.insert(label.to_string(), Json::Array(pts));
     }
@@ -332,19 +389,28 @@ fn wan_cells(mode: ExecMode, seed: u64) -> Vec<CellResult> {
 
 fn wan_table(id: &'static str, title: &'static str, mode: ExecMode, seed: u64) -> ExperimentOutput {
     let cells = wan_cells(mode, seed);
-    ExperimentOutput { id, title, text: render_table(title, &cells), json: cells_json(&cells) }
+    ExperimentOutput {
+        id,
+        title,
+        text: render_table(title, &cells),
+        json: cells_json(&cells),
+    }
 }
 
 fn fig8(seed: u64) -> ExperimentOutput {
     let mut text = String::new();
     let mut data = serde_json::Map::new();
-    for (label, mode) in
-        [("1-PE", ExecMode::TaskParallel), ("4-PE", ExecMode::DataParallel)]
-    {
+    for (label, mode) in [
+        ("1-PE", ExecMode::TaskParallel),
+        ("4-PE", ExecMode::DataParallel),
+    ] {
         let cells = wan_cells(mode, seed);
         text += &format!("## Fig 8 surface, {label}\n");
         for c in &cells {
-            text += &format!("{:<16} c={:<3} -> {:.2} Mflops\n", c.workload, c.clients, c.perf.mean);
+            text += &format!(
+                "{:<16} c={:<3} -> {:.2} Mflops\n",
+                c.workload, c.clients, c.perf.mean
+            );
         }
         let pts: Vec<Json> = cells
             .iter()
@@ -474,7 +540,10 @@ impl Default for MetaserverModel {
     fn default() -> Self {
         // Calibrated so the 2^24 "sample" class flattens/slows beyond p ≈ 8
         // while class B stays near-linear to 32 (Fig 11).
-        Self { serial_dispatch: 0.35, concurrent_overhead: 1.5 }
+        Self {
+            serial_dispatch: 0.35,
+            concurrent_overhead: 1.5,
+        }
     }
 }
 
@@ -492,7 +561,11 @@ fn fig11() -> ExperimentOutput {
     let node = alpha_cluster_node();
     let model = MetaserverModel::default();
     let ps = [1usize, 2, 4, 8, 16, 32];
-    let classes: [(&str, u32); 3] = [("sample 2^24", 24), ("class A 2^28", 28), ("class B 2^30", 30)];
+    let classes: [(&str, u32); 3] = [
+        ("sample 2^24", 24),
+        ("class A 2^28", 28),
+        ("class B 2^30", 30),
+    ];
     let mut text = String::new();
     let mut data = serde_json::Map::new();
     for (label, m) in classes {
@@ -516,11 +589,7 @@ fn fig11() -> ExperimentOutput {
 
 /// Simple queue simulation driving the *live* policy code: jobs (arrival,
 /// cost, pes) admitted by `policy` onto `pes` processors.
-pub fn policy_queue_sim(
-    jobs: &[(f64, f64, usize)],
-    policy: SchedPolicy,
-    pes: usize,
-) -> (f64, f64) {
+pub fn policy_queue_sim(jobs: &[(f64, f64, usize)], policy: SchedPolicy, pes: usize) -> (f64, f64) {
     #[derive(Clone, Copy)]
     struct Running {
         end: f64,
@@ -544,7 +613,10 @@ pub fn policy_queue_sim(
                     let (job_idx, info) = queue.remove(idx);
                     waits[job_idx] = now - jobs[job_idx].0;
                     free -= info.pes_required;
-                    running.push(Running { end: now + jobs[job_idx].1, pes: info.pes_required });
+                    running.push(Running {
+                        end: now + jobs[job_idx].1,
+                        pes: info.pes_required,
+                    });
                 }
                 None => break,
             }
@@ -563,7 +635,11 @@ pub fn policy_queue_sim(
             debug_assert_eq!(arr, now);
             queue.push((
                 next_arrival,
-                JobInfo { arrival_seq: next_arrival as u64, estimated_cost: cost, pes_required: p },
+                JobInfo {
+                    arrival_seq: next_arrival as u64,
+                    estimated_cost: cost,
+                    pes_required: p,
+                },
             ));
             next_arrival += 1;
         }
@@ -627,7 +703,10 @@ fn ablation_fpfs(seed: u64) -> ExperimentOutput {
     let mut data = serde_json::Map::new();
     for policy in [SchedPolicy::Fcfs, SchedPolicy::Fpfs, SchedPolicy::Fpmpfs] {
         let (wait, makespan) = policy_queue_sim(&jobs, policy, 4);
-        text += &format!("{:<7}: mean wait {wait:.2}s, makespan {makespan:.1}s\n", policy.name());
+        text += &format!(
+            "{:<7}: mean wait {wait:.2}s, makespan {makespan:.1}s\n",
+            policy.name()
+        );
         data.insert(
             policy.name().to_string(),
             json!({ "mean_wait": wait, "makespan": makespan }),
@@ -646,26 +725,47 @@ fn ablation_sched() -> ExperimentOutput {
     // loaded one on the LAN. Communication-bound Linpack should go LAN
     // regardless of load — the paper's §4.2.2 conclusion.
     let wan_idle = ServerState {
-        load: LoadReport { pes: 4, running: 0, queued: 0, load_average: 0.0, cpu_utilization: 5.0 },
+        load: LoadReport {
+            pes: 4,
+            running: 0,
+            queued: 0,
+            load_average: 0.0,
+            cpu_utilization: 5.0,
+        },
         bandwidth_bytes_per_sec: 0.17e6,
         linpack_mflops: 556.0,
     };
     let lan_busy = ServerState {
-        load: LoadReport { pes: 4, running: 3, queued: 1, load_average: 4.0, cpu_utilization: 90.0 },
+        load: LoadReport {
+            pes: 4,
+            running: 3,
+            queued: 1,
+            load_average: 4.0,
+            cpu_utilization: 90.0,
+        },
         bandwidth_bytes_per_sec: 2.5e6,
         linpack_mflops: 556.0,
     };
     let servers = [wan_idle, lan_busy];
-    let call = CallEstimate { bytes: 8.1e6, flops: 6.7e8 }; // linpack n=1000
+    let call = CallEstimate {
+        bytes: 8.1e6,
+        flops: 6.7e8,
+    }; // linpack n=1000
 
     let completion = |s: &ServerState| {
         let backlog = (s.load.running + s.load.queued) as f64 / s.load.pes as f64;
-        call.bytes / s.bandwidth_bytes_per_sec + call.flops / (s.linpack_mflops * 1e6) * (1.0 + backlog)
+        call.bytes / s.bandwidth_bytes_per_sec
+            + call.flops / (s.linpack_mflops * 1e6) * (1.0 + backlog)
     };
 
-    let mut text = String::from("servers: [0] idle behind WAN (0.17 MB/s), [1] busy on LAN (2.5 MB/s)\n");
+    let mut text =
+        String::from("servers: [0] idle behind WAN (0.17 MB/s), [1] busy on LAN (2.5 MB/s)\n");
     let mut data = serde_json::Map::new();
-    for policy in [Balancing::LoadBased, Balancing::BandwidthAware, Balancing::MinCompletion] {
+    for policy in [
+        Balancing::LoadBased,
+        Balancing::BandwidthAware,
+        Balancing::MinCompletion,
+    ] {
         let mut rr = 0;
         let pick = policy.choose(&servers, call, &mut rr);
         let t = completion(&servers[pick]);
@@ -674,7 +774,10 @@ fn ablation_sched() -> ExperimentOutput {
             policy.name(),
             if pick == 0 { "WAN idle" } else { "LAN busy" },
         );
-        data.insert(policy.name().to_string(), json!({ "picked": pick, "time": t }));
+        data.insert(
+            policy.name().to_string(),
+            json!({ "picked": pick, "time": t }),
+        );
     }
     text += "load-based (NetSolve-style) picks the idle WAN server and loses ~5x —\n\
              'task assignment should not be merely based on server load' (§4.2.3)\n";
@@ -695,9 +798,11 @@ fn ablation_sched_sim(seed: u64) -> ExperimentOutput {
         "4 clients, linpack n=800; far J90 behind 0.17 MB/s WAN vs near UltraSPARC on LAN\n",
     );
     let mut data = serde_json::Map::new();
-    for balancing in
-        [Balancing::LoadBased, Balancing::BandwidthAware, Balancing::MinCompletion]
-    {
+    for balancing in [
+        Balancing::LoadBased,
+        Balancing::BandwidthAware,
+        Balancing::MinCompletion,
+    ] {
         let mut s = crate::scenario::Scenario::two_server_lan_wan(
             j90(),
             ultrasparc(),
@@ -744,7 +849,11 @@ fn ablation_twophase(seed: u64) -> ExperimentOutput {
     let run = |two_phase: bool, rng: &mut ninf_netsim::SplitMix64| -> (f64, usize) {
         // Each client loops: acquire slot, hold (transfer [+ compute if
         // connected]), release, [compute offline], repeat. FIFO slot queue.
-        let hold = if two_phase { t_transfer } else { t_transfer + t_compute };
+        let hold = if two_phase {
+            t_transfer
+        } else {
+            t_transfer + t_compute
+        };
         let offline = if two_phase { t_compute } else { 0.0 };
         let mut ready: Vec<f64> = (0..clients).map(|_| rng.next_f64()).collect();
         let mut slot_free: Vec<f64> = vec![0.0; slots];
@@ -797,8 +906,7 @@ fn ablation_twophase(seed: u64) -> ExperimentOutput {
 fn ablation_smp_threads(seed: u64) -> ExperimentOutput {
     // §4.2.1: "highly-multithreaded versions exhibit notable slowdown as c
     // increases (e.g., when number of threads = 12)".
-    let mut text =
-        String::from("SPARC-SMP (16 PE), Linpack n=600, varying library thread width\n");
+    let mut text = String::from("SPARC-SMP (16 PE), Linpack n=600, varying library thread width\n");
     let mut rows = Vec::new();
     for &threads in &[1.0f64, 4.0, 8.0, 12.0] {
         for &c in &[4usize, 16] {
@@ -842,9 +950,23 @@ fn dos_app(seed: u64) -> ExperimentOutput {
         for &c in &[1usize, 4, 16] {
             let build = |w: Workload, salt: u64| {
                 let mut s = if wan {
-                    Scenario::single_site_wan(j90(), c, w, ExecMode::TaskParallel, SchedPolicy::Fcfs, seed ^ salt)
+                    Scenario::single_site_wan(
+                        j90(),
+                        c,
+                        w,
+                        ExecMode::TaskParallel,
+                        SchedPolicy::Fcfs,
+                        seed ^ salt,
+                    )
                 } else {
-                    Scenario::lan(j90(), c, w, ExecMode::TaskParallel, SchedPolicy::Fcfs, seed ^ salt)
+                    Scenario::lan(
+                        j90(),
+                        c,
+                        w,
+                        ExecMode::TaskParallel,
+                        SchedPolicy::Fcfs,
+                        seed ^ salt,
+                    )
                 };
                 s.duration = 4000.0;
                 s.warmup = 250.0;
@@ -861,7 +983,10 @@ fn dos_app(seed: u64) -> ExperimentOutput {
     let mut text = render_table("DOS application (EP-style chemistry workload)", &cells);
     text += &format!(
         "DOS/EP client-observed performance ratios across cells: {:?}\n",
-        ratios.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>()
+        ratios
+            .iter()
+            .map(|r| (r * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
     text += "'similar results' (4.3.1): the workload class, not the kernel, determines behaviour\n";
     ExperimentOutput {
@@ -877,7 +1002,12 @@ fn points_json(pts: &[(f64, f64)]) -> Json {
 }
 
 fn cells_json(cells: &[CellResult]) -> Json {
-    Json::Array(cells.iter().map(|c| serde_json::to_value(c).expect("serializable")).collect())
+    Json::Array(
+        cells
+            .iter()
+            .map(|c| serde_json::to_value(c).expect("serializable"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -889,10 +1019,7 @@ mod tests {
         // Smoke-level: ids resolve; heavy experiments are validated in
         // integration tests and the repro binary.
         for id in all_ids() {
-            assert!(
-                matches!(id, _x),
-                "id list is static"
-            );
+            assert!(matches!(id, _x), "id list is static");
         }
         assert!(run("nonexistent", 1).is_none());
     }
@@ -943,7 +1070,9 @@ mod tests {
     #[test]
     fn full_sim_bandwidth_aware_beats_load_based() {
         let out = ablation_sched_sim(5);
-        let load = out.json["load-based (NetSolve-style)"]["mflops"].as_f64().unwrap();
+        let load = out.json["load-based (NetSolve-style)"]["mflops"]
+            .as_f64()
+            .unwrap();
         let bw = out.json["bandwidth-aware"]["mflops"].as_f64().unwrap();
         assert!(
             bw > 1.5 * load,

@@ -4,7 +4,7 @@
 use serde::Serialize;
 
 /// max/min/mean triple, as every table cell reports.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Maximum observed.
     pub max: f64,
@@ -18,7 +18,11 @@ impl Summary {
     /// Summarize a sample; zeros if empty.
     pub fn of(samples: &[f64]) -> Summary {
         if samples.is_empty() {
-            return Summary { max: 0.0, min: 0.0, mean: 0.0 };
+            return Summary {
+                max: 0.0,
+                min: 0.0,
+                mean: 0.0,
+            };
         }
         let mut max = f64::NEG_INFINITY;
         let mut min = f64::INFINITY;
@@ -28,7 +32,11 @@ impl Summary {
             min = min.min(s);
             sum += s;
         }
-        Summary { max, min, mean: sum / samples.len() as f64 }
+        Summary {
+            max,
+            min,
+            mean: sum / samples.len() as f64,
+        }
     }
 
     /// Render as the paper's `max/min/mean` cell.
@@ -89,8 +97,18 @@ impl CallMetrics {
     }
 }
 
+impl Serialize for Summary {
+    fn to_json_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("max".to_string(), self.max.to_json_value());
+        m.insert("min".to_string(), self.min.to_json_value());
+        m.insert("mean".to_string(), self.mean.to_json_value());
+        serde::Value::Object(m)
+    }
+}
+
 /// One cell of a results table (fixed workload × client count).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CellResult {
     /// Workload label ("linpack n=600", "EP 2^24").
     pub workload: String,
@@ -116,6 +134,30 @@ pub struct CellResult {
     /// service across calls; the paper's widening max/min spread under load
     /// is this number falling).
     pub fairness: f64,
+}
+
+impl Serialize for CellResult {
+    fn to_json_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("workload".to_string(), self.workload.to_json_value());
+        m.insert("clients".to_string(), self.clients.to_json_value());
+        m.insert("perf".to_string(), self.perf.to_json_value());
+        m.insert("response".to_string(), self.response.to_json_value());
+        m.insert("wait".to_string(), self.wait.to_json_value());
+        m.insert("throughput".to_string(), self.throughput.to_json_value());
+        m.insert(
+            "cpu_utilization".to_string(),
+            self.cpu_utilization.to_json_value(),
+        );
+        m.insert(
+            "load_average".to_string(),
+            self.load_average.to_json_value(),
+        );
+        m.insert("load_max".to_string(), self.load_max.to_json_value());
+        m.insert("times".to_string(), self.times.to_json_value());
+        m.insert("fairness".to_string(), self.fairness.to_json_value());
+        serde::Value::Object(m)
+    }
 }
 
 impl CellResult {
@@ -182,7 +224,11 @@ mod tests {
 
     #[test]
     fn summary_cell_formats_like_the_paper() {
-        let s = Summary { max: 72.71, min: 69.9, mean: 71.16 };
+        let s = Summary {
+            max: 72.71,
+            min: 69.9,
+            mean: 71.16,
+        };
         assert_eq!(s.cell(2), "72.71/69.90/71.16");
         assert_eq!(s.cell(0), "73/70/71");
     }

@@ -48,10 +48,26 @@ mod tests {
         CellResult {
             workload: "linpack n=600".into(),
             clients: 4,
-            perf: Summary { max: 72.4, min: 43.85, mean: 67.05 },
-            response: Summary { max: 1.01, min: 0.01, mean: 0.05 },
-            wait: Summary { max: 0.05, min: 0.02, mean: 0.03 },
-            throughput: Summary { max: 2.55, min: 1.89, mean: 2.34 },
+            perf: Summary {
+                max: 72.4,
+                min: 43.85,
+                mean: 67.05,
+            },
+            response: Summary {
+                max: 1.01,
+                min: 0.01,
+                mean: 0.05,
+            },
+            wait: Summary {
+                max: 0.05,
+                min: 0.02,
+                mean: 0.03,
+            },
+            throughput: Summary {
+                max: 2.55,
+                min: 1.89,
+                mean: 2.34,
+            },
             cpu_utilization: 42.03,
             load_average: 1.99,
             load_max: 3.2,

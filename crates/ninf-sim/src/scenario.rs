@@ -46,7 +46,11 @@ pub struct CrossTraffic {
 impl CrossTraffic {
     /// The calibration used for the paper's WAN environment.
     pub fn internet_1997() -> CrossTraffic {
-        CrossTraffic { intensity: 0.45, mean_on: 25.0, mean_off: 25.0 }
+        CrossTraffic {
+            intensity: 0.45,
+            mean_on: 25.0,
+            mean_off: 25.0,
+        }
     }
 }
 
@@ -172,7 +176,11 @@ impl Scenario {
             .map(|i| {
                 let node = topo.add_node(format!("client{i}"));
                 topo.add_duplex_link(node, switch, LAN_ACCESS, latency / 2.0);
-                ClientGroup { node, stream_cap, latency_to_server: latency }
+                ClientGroup {
+                    node,
+                    stream_cap,
+                    latency_to_server: latency,
+                }
             })
             .collect();
         topo.compute_routes();
@@ -343,7 +351,11 @@ impl Scenario {
             .map(|i| {
                 let node = topo.add_node(format!("client{i}"));
                 topo.add_duplex_link(node, site_router, LAN_ACCESS, 0.0001);
-                ClientGroup { node, stream_cap: WAN_SITE_LINK, latency_to_server: 0.0152 }
+                ClientGroup {
+                    node,
+                    stream_cap: WAN_SITE_LINK,
+                    latency_to_server: 0.0152,
+                }
             })
             .collect();
         topo.compute_routes();
@@ -364,7 +376,10 @@ impl Scenario {
             policy: SchedPolicy::Fcfs,
             workload,
             clients,
-            network: NetworkBuild { topo, server_node: far_node },
+            network: NetworkBuild {
+                topo,
+                server_node: far_node,
+            },
             interval_s: 3.0,
             prob_p: 0.5,
             duration: 1800.0,
@@ -404,8 +419,16 @@ mod tests {
             1,
         );
         for c in &s.clients {
-            assert!(s.network.topo.route(c.node, s.network.server_node).is_some());
-            assert!(s.network.topo.route(s.network.server_node, c.node).is_some());
+            assert!(s
+                .network
+                .topo
+                .route(c.node, s.network.server_node)
+                .is_some());
+            assert!(s
+                .network
+                .topo
+                .route(s.network.server_node, c.node)
+                .is_some());
         }
     }
 
@@ -441,7 +464,11 @@ mod tests {
         assert_eq!(s.clients.len(), 4);
         // Each client's path capacity is its own site link, not shared.
         for c in &s.clients {
-            let cap = s.network.topo.path_capacity(c.node, s.network.server_node).unwrap();
+            let cap = s
+                .network
+                .topo
+                .path_capacity(c.node, s.network.server_node)
+                .unwrap();
             assert_eq!(cap, WAN_SITE_LINK);
         }
         // Latencies differ per site.

@@ -124,7 +124,12 @@ impl ServerSim {
         self.drain(now);
         let demand = self.job_demand();
         if !self.gated {
-            self.jobs.push(JobSlot { call, remaining: work_pe_seconds, demand, rate: 0.0 });
+            self.jobs.push(JobSlot {
+                call,
+                remaining: work_pe_seconds,
+                demand,
+                rate: 0.0,
+            });
             return true;
         }
         let info = JobInfo {
@@ -133,7 +138,12 @@ impl ServerSim {
             pes_required: demand.ceil() as usize,
         };
         self.next_seq += 1;
-        self.queue.push(QueuedJob { call, work: work_pe_seconds, demand, info });
+        self.queue.push(QueuedJob {
+            call,
+            work: work_pe_seconds,
+            demand,
+            info,
+        });
         self.try_start_queued()
     }
 
@@ -151,7 +161,12 @@ impl ServerSim {
         match self.policy.pick(&infos, free) {
             Some(idx) => {
                 let q = self.queue.remove(idx);
-                self.jobs.push(JobSlot { call: q.call, remaining: q.work, demand: q.demand, rate: 0.0 });
+                self.jobs.push(JobSlot {
+                    call: q.call,
+                    remaining: q.work,
+                    demand: q.demand,
+                    rate: 0.0,
+                });
                 true
             }
             None => false,
@@ -431,7 +446,15 @@ mod tests {
         for call in 0..6 {
             srv.submit_job(call, 100.0, 0.0);
         }
-        let flow = net.start_flow(FlowSpec { src: c, dst: s, bytes: 1e9, cap: 2.6e6 }, 0.0);
+        let flow = net.start_flow(
+            FlowSpec {
+                src: c,
+                dst: s,
+                bytes: 1e9,
+                cap: 2.6e6,
+            },
+            0.0,
+        );
         srv.transfer_started(flow, 2.6e6, 0.0);
         srv.rebalance(&mut net, 0.0);
         // Marshal demand ~0.87 PE shares against 6 unit jobs: its share is
@@ -445,7 +468,15 @@ mod tests {
     fn idle_server_gives_marshalling_full_speed() {
         let (mut net, c, s) = test_net();
         let mut srv = ServerSim::new(j90(), ExecMode::TaskParallel, SchedPolicy::Fcfs);
-        let flow = net.start_flow(FlowSpec { src: c, dst: s, bytes: 1e9, cap: 2.6e6 }, 0.0);
+        let flow = net.start_flow(
+            FlowSpec {
+                src: c,
+                dst: s,
+                bytes: 1e9,
+                cap: 2.6e6,
+            },
+            0.0,
+        );
         srv.transfer_started(flow, 2.6e6, 0.0);
         srv.rebalance(&mut net, 0.0);
         assert!((net.rate(flow) - 2.6e6).abs() < 1e-3);

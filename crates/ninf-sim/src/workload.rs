@@ -64,9 +64,7 @@ impl Workload {
     /// full speed.
     pub fn service_seconds(&self, machine: &MachineSpec, pes: usize) -> f64 {
         match *self {
-            Workload::Linpack { n } => {
-                self.work_units() / (machine.linpack_mflops(n, pes) * 1e6)
-            }
+            Workload::Linpack { n } => self.work_units() / (machine.linpack_mflops(n, pes) * 1e6),
             // EP is task-parallel across PEs within a call only if the
             // library shards it; the paper runs one batch per PE, so a call's
             // batch runs on however many PEs it was given, linearly.
@@ -103,7 +101,10 @@ mod tests {
             let w = Workload::Linpack { n };
             let total = w.request_bytes() + w.reply_bytes();
             assert_eq!(total, (8 * n * n + 20 * n) as f64);
-            assert_eq!(w.work_units(), (2.0 * (n as f64).powi(3)) / 3.0 + 2.0 * (n as f64).powi(2));
+            assert_eq!(
+                w.work_units(),
+                (2.0 * (n as f64).powi(3)) / 3.0 + 2.0 * (n as f64).powi(2)
+            );
         }
     }
 

@@ -94,8 +94,7 @@ impl World {
     pub fn new(scenario: Scenario) -> Self {
         let mut engine = Engine::new();
         let net = FluidNet::new(scenario.network.topo.clone());
-        let mut primary =
-            ServerSim::new(scenario.server.clone(), scenario.mode, scenario.policy);
+        let mut primary = ServerSim::new(scenario.server.clone(), scenario.mode, scenario.policy);
         primary.threads_per_job = scenario.threads_per_job;
         let mut servers = vec![ServerSlot {
             sim: primary,
@@ -255,7 +254,9 @@ impl World {
     /// Pick a server for a new call using the metaserver's *live* balancing
     /// code over the simulated servers' current state.
     fn choose_server(&mut self) -> usize {
-        let Some(balancing) = self.scenario.balancing else { return 0 };
+        let Some(balancing) = self.scenario.balancing else {
+            return 0;
+        };
         if self.servers.len() == 1 {
             return 0;
         }
@@ -323,7 +324,10 @@ impl World {
     /// Toggle the background-traffic burst (exponential on/off process).
     fn on_cross_toggle(&mut self) {
         let now = self.now();
-        let (ct, src, dst) = self.scenario.cross_traffic.expect("cross traffic configured");
+        let (ct, src, dst) = self
+            .scenario
+            .cross_traffic
+            .expect("cross traffic configured");
         let next_delay = if let Some(flow) = self.cross_flow.take() {
             self.net.cancel_flow(flow);
             exp_sample(&mut self.rng, ct.mean_off)
@@ -331,9 +335,15 @@ impl World {
             // Effectively-infinite burst; removed at the next toggle. Its
             // cap is a fraction of the WAN site link.
             let cap = ct.intensity * crate::scenario::WAN_SITE_LINK;
-            let flow = self
-                .net
-                .start_flow(FlowSpec { src, dst, bytes: 1e15, cap }, now);
+            let flow = self.net.start_flow(
+                FlowSpec {
+                    src,
+                    dst,
+                    bytes: 1e15,
+                    cap,
+                },
+                now,
+            );
             self.cross_flow = Some(flow);
             exp_sample(&mut self.rng, ct.mean_on)
         };
@@ -342,7 +352,8 @@ impl World {
 
     fn on_decision(&mut self, client: usize) {
         let now = self.now();
-        self.engine.schedule(now + self.scenario.interval_s, Event::Decision { client });
+        self.engine
+            .schedule(now + self.scenario.interval_s, Event::Decision { client });
         let c = &mut self.clients[client];
         if c.busy {
             return;
@@ -376,8 +387,13 @@ impl World {
         // retransmit timeout (the ~5 s maxima all over the paper's tables).
         let rtt = 2.0 * self.latency_for(client, server);
         let accept = self.servers[server].sim.machine.accept_overhead_s;
-        let retry = if self.rng.bernoulli(self.scenario.syn_retry_prob) { 5.0 } else { 0.0 };
-        self.engine.schedule(now + rtt + accept + retry, Event::Accepted { call });
+        let retry = if self.rng.bernoulli(self.scenario.syn_retry_prob) {
+            5.0
+        } else {
+            0.0
+        };
+        self.engine
+            .schedule(now + rtt + accept + retry, Event::Accepted { call });
     }
 
     fn on_accepted(&mut self, call: u64) {
@@ -399,7 +415,11 @@ impl World {
             let state = self.calls.get_mut(&call).expect("call exists");
             state.t_dequeue = now;
             state.transfer_began = now;
-            (state.client, state.server, self.scenario.workload.request_bytes())
+            (
+                state.client,
+                state.server,
+                self.scenario.workload.request_bytes(),
+            )
         };
         let cap = self.cap_for(client, server);
         let flow = self.net.start_flow(
@@ -430,10 +450,11 @@ impl World {
                 state.phase = Phase::Computing;
                 let sim = &mut self.servers[server].sim;
                 let demand = sim.job_demand();
-                let work = self.scenario.workload.service_seconds(
-                    &sim.machine.clone(),
-                    demand.ceil() as usize,
-                ) * demand;
+                let work = self
+                    .scenario
+                    .workload
+                    .service_seconds(&sim.machine.clone(), demand.ceil() as usize)
+                    * demand;
                 sim.submit_job(call, work, now);
                 self.rebalance_all(now);
             }
@@ -522,7 +543,11 @@ mod tests {
             "mean perf {} vs paper 71.16",
             cell.perf.mean
         );
-        assert!((cell.throughput.mean - 2.5).abs() < 0.4, "thpt {}", cell.throughput.mean);
+        assert!(
+            (cell.throughput.mean - 2.5).abs() < 0.4,
+            "thpt {}",
+            cell.throughput.mean
+        );
     }
 
     #[test]
@@ -590,7 +615,11 @@ mod tests {
         s.duration = 2000.0;
         s.warmup = 100.0;
         let cell = World::new(s).run();
-        assert!(cell.cpu_utilization < 25.0, "util = {}", cell.cpu_utilization);
+        assert!(
+            cell.cpu_utilization < 25.0,
+            "util = {}",
+            cell.cpu_utilization
+        );
         assert!(cell.perf.mean < 3.0, "perf = {}", cell.perf.mean);
     }
 

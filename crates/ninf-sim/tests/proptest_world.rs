@@ -7,7 +7,14 @@ use ninf_sim::{Scenario, Workload, World};
 use proptest::prelude::*;
 
 fn run_lan(c: usize, n: u64, mode: ExecMode, seed: u64) -> ninf_sim::CellResult {
-    let mut s = Scenario::lan(j90(), c, Workload::Linpack { n }, mode, SchedPolicy::Fcfs, seed);
+    let mut s = Scenario::lan(
+        j90(),
+        c,
+        Workload::Linpack { n },
+        mode,
+        SchedPolicy::Fcfs,
+        seed,
+    );
     s.duration = 180.0;
     s.warmup = 30.0;
     World::new(s).run()

@@ -37,7 +37,10 @@ impl<'a> XdrDecoder<'a> {
     #[inline]
     fn take(&mut self, n: usize) -> XdrResult<&'a [u8]> {
         if self.remaining() < n {
-            return Err(XdrError::UnexpectedEof { needed: n, remaining: self.remaining() });
+            return Err(XdrError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -114,7 +117,10 @@ impl<'a> XdrDecoder<'a> {
     pub fn get_opaque(&mut self) -> XdrResult<&'a [u8]> {
         let len = self.get_u32()? as usize;
         if len > self.remaining() {
-            return Err(XdrError::LengthOverflow { requested: len, remaining: self.remaining() });
+            return Err(XdrError::LengthOverflow {
+                requested: len,
+                remaining: self.remaining(),
+            });
         }
         self.get_opaque_fixed(len)
     }
@@ -122,14 +128,21 @@ impl<'a> XdrDecoder<'a> {
     /// Read a counted UTF-8 string.
     pub fn get_string(&mut self) -> XdrResult<String> {
         let bytes = self.get_opaque()?;
-        std::str::from_utf8(bytes).map(str::to_owned).map_err(|_| XdrError::InvalidUtf8)
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| XdrError::InvalidUtf8)
     }
 
     /// Read a variable-length array of doubles.
     pub fn get_f64_array(&mut self) -> XdrResult<Vec<f64>> {
         let n = self.get_u32()? as usize;
-        if n.checked_mul(8).is_none_or(|bytes| bytes > self.remaining()) {
-            return Err(XdrError::LengthOverflow { requested: n, remaining: self.remaining() });
+        if n.checked_mul(8)
+            .is_none_or(|bytes| bytes > self.remaining())
+        {
+            return Err(XdrError::LengthOverflow {
+                requested: n,
+                remaining: self.remaining(),
+            });
         }
         self.get_f64_slice(n)
     }
@@ -152,8 +165,13 @@ impl<'a> XdrDecoder<'a> {
     /// Read a variable-length array of 32-bit signed integers.
     pub fn get_i32_array(&mut self) -> XdrResult<Vec<i32>> {
         let n = self.get_u32()? as usize;
-        if n.checked_mul(4).is_none_or(|bytes| bytes > self.remaining()) {
-            return Err(XdrError::LengthOverflow { requested: n, remaining: self.remaining() });
+        if n.checked_mul(4)
+            .is_none_or(|bytes| bytes > self.remaining())
+        {
+            return Err(XdrError::LengthOverflow {
+                requested: n,
+                remaining: self.remaining(),
+            });
         }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
@@ -165,8 +183,13 @@ impl<'a> XdrDecoder<'a> {
     /// Read a variable-length array of single-precision floats.
     pub fn get_f32_array(&mut self) -> XdrResult<Vec<f32>> {
         let n = self.get_u32()? as usize;
-        if n.checked_mul(4).is_none_or(|bytes| bytes > self.remaining()) {
-            return Err(XdrError::LengthOverflow { requested: n, remaining: self.remaining() });
+        if n.checked_mul(4)
+            .is_none_or(|bytes| bytes > self.remaining())
+        {
+            return Err(XdrError::LengthOverflow {
+                requested: n,
+                remaining: self.remaining(),
+            });
         }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
@@ -208,7 +231,13 @@ mod tests {
     fn eof_detected() {
         let wire = [0u8, 0, 0];
         let mut dec = XdrDecoder::new(&wire);
-        assert!(matches!(dec.get_u32(), Err(XdrError::UnexpectedEof { needed: 4, remaining: 3 })));
+        assert!(matches!(
+            dec.get_u32(),
+            Err(XdrError::UnexpectedEof {
+                needed: 4,
+                remaining: 3
+            })
+        ));
     }
 
     #[test]
@@ -234,7 +263,10 @@ mod tests {
         enc.put_u32(1_000_000);
         let wire = enc.finish();
         let mut dec = XdrDecoder::new(&wire);
-        assert!(matches!(dec.get_opaque(), Err(XdrError::LengthOverflow { .. })));
+        assert!(matches!(
+            dec.get_opaque(),
+            Err(XdrError::LengthOverflow { .. })
+        ));
     }
 
     #[test]
@@ -243,7 +275,10 @@ mod tests {
         enc.put_u32(u32::MAX);
         let wire = enc.finish();
         let mut dec = XdrDecoder::new(&wire);
-        assert!(matches!(dec.get_f64_array(), Err(XdrError::LengthOverflow { .. })));
+        assert!(matches!(
+            dec.get_f64_array(),
+            Err(XdrError::LengthOverflow { .. })
+        ));
     }
 
     #[test]

@@ -16,7 +16,9 @@ pub struct XdrEncoder {
 impl XdrEncoder {
     /// Create an empty encoder.
     pub fn new() -> Self {
-        Self { buf: BytesMut::new() }
+        Self {
+            buf: BytesMut::new(),
+        }
     }
 
     /// Create an encoder with `cap` bytes preallocated.
@@ -24,7 +26,9 @@ impl XdrEncoder {
     /// Ninf calls ship whole matrices, so the caller usually knows the final
     /// size from the IDL layout and can avoid reallocation.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: BytesMut::with_capacity(cap) }
+        Self {
+            buf: BytesMut::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.

@@ -41,16 +41,31 @@ impl fmt::Display for XdrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             XdrError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected end of XDR data: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected end of XDR data: needed {needed} bytes, {remaining} remain"
+                )
             }
-            XdrError::LengthOverflow { requested, remaining } => {
-                write!(f, "XDR length prefix {requested} exceeds remaining buffer ({remaining} bytes)")
+            XdrError::LengthOverflow {
+                requested,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "XDR length prefix {requested} exceeds remaining buffer ({remaining} bytes)"
+                )
             }
             XdrError::InvalidBool(v) => write!(f, "invalid XDR boolean discriminant {v}"),
             XdrError::NonZeroPadding => write!(f, "non-zero XDR padding bytes"),
             XdrError::InvalidUtf8 => write!(f, "XDR string is not valid UTF-8"),
-            XdrError::InvalidEnum { discriminant, type_name } => {
-                write!(f, "invalid discriminant {discriminant} for enum {type_name}")
+            XdrError::InvalidEnum {
+                discriminant,
+                type_name,
+            } => {
+                write!(
+                    f,
+                    "invalid discriminant {discriminant} for enum {type_name}"
+                )
             }
         }
     }

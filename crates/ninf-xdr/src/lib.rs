@@ -106,9 +106,15 @@ impl<T: Xdr> Xdr for Vec<T> {
     }
     fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
         let n = dec.get_u32()? as usize;
-        // Guard against hostile lengths: each element is at least 4 wire bytes.
-        if n > dec.remaining() / 4 + 1 {
-            return Err(XdrError::LengthOverflow { requested: n, remaining: dec.remaining() });
+        // Guard against hostile lengths: each element occupies at least 4
+        // wire bytes, so more than remaining/4 elements cannot fit. (The
+        // bound was previously off by one, admitting a single phantom
+        // element whose decode then over-allocated before erroring.)
+        if n > dec.remaining() / 4 {
+            return Err(XdrError::LengthOverflow {
+                requested: n,
+                remaining: dec.remaining(),
+            });
         }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
@@ -192,5 +198,40 @@ mod tests {
             Vec::<u32>::decode(&mut dec),
             Err(XdrError::LengthOverflow { .. })
         ));
+    }
+
+    #[test]
+    fn vec_length_one_past_remaining_rejected() {
+        // Regression: the guard used to be `n > remaining/4 + 1`, which let
+        // a count of exactly remaining/4 + 1 through — one phantom element
+        // past what the payload can hold. It must be a LengthOverflow, not
+        // a late decode failure.
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(2); // claims two elements...
+        enc.put_u32(9); // ...but only one fits
+        let wire = enc.finish();
+        let mut dec = XdrDecoder::new(&wire);
+        assert!(matches!(
+            Vec::<u32>::decode(&mut dec),
+            Err(XdrError::LengthOverflow {
+                requested: 2,
+                remaining: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn vec_length_exactly_filling_remaining_accepted() {
+        // The tightened guard must not reject a count that exactly fills
+        // the remaining bytes.
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(3);
+        for x in [1u32, 2, 3] {
+            enc.put_u32(x);
+        }
+        let wire = enc.finish();
+        let mut dec = XdrDecoder::new(&wire);
+        assert_eq!(Vec::<u32>::decode(&mut dec).unwrap(), vec![1, 2, 3]);
+        assert!(dec.is_empty());
     }
 }

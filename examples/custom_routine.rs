@@ -83,9 +83,14 @@ fn main() {
             ],
         )
         .expect("convolve");
-    let Value::DoubleArray(out) = &results[0] else { unreachable!() };
+    let Value::DoubleArray(out) = &results[0] else {
+        unreachable!()
+    };
     println!("convolve({signal:?}, {kernel:?}) = {out:?}");
     assert_eq!(out, &vec![0.5, 1.5, 2.5, 3.5, 2.0]);
-    println!("output length n+k-1 = {} — sized by the server-shipped IDL bytecode", out.len());
+    println!(
+        "output length n+k-1 = {} — sized by the server-shipped IDL bytecode",
+        out.len()
+    );
     server.shutdown();
 }

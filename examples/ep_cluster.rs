@@ -15,7 +15,9 @@ use ninf::client::{Transaction, TxArg};
 use ninf::exec::{ep_kernel, EpResult, EP_GAUSSIAN_BINS};
 use ninf::metaserver::{Balancing, Directory, Metaserver, ServerEntry};
 use ninf::protocol::Value;
-use ninf::server::{builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig};
+use ninf::server::{
+    builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig,
+};
 use std::time::Instant;
 
 fn main() {
@@ -32,7 +34,11 @@ fn main() {
             let server = NinfServer::start(
                 "127.0.0.1:0",
                 registry,
-                ServerConfig { pes: 1, mode: ExecMode::TaskParallel, policy: SchedPolicy::Fcfs },
+                ServerConfig {
+                    pes: 1,
+                    mode: ExecMode::TaskParallel,
+                    policy: SchedPolicy::Fcfs,
+                },
             )
             .expect("start server");
             directory.register(ServerEntry {
@@ -53,7 +59,11 @@ fn main() {
     for _ in 0..n_servers {
         let sums = tx.slot();
         let counts = tx.slot();
-        tx.call("ep", vec![TxArg::Value(Value::Int(m))], vec![Some(sums), Some(counts)]);
+        tx.call(
+            "ep",
+            vec![TxArg::Value(Value::Int(m))],
+            vec![Some(sums), Some(counts)],
+        );
         slots.push((sums, counts));
     }
     let levels = tx.dependency_levels().expect("acyclic");
@@ -77,8 +87,12 @@ fn main() {
         trials: 0,
     };
     for &(sums, counts) in &slots {
-        let Some(Value::DoubleArray(s)) = &results[sums.0] else { panic!("missing sums") };
-        let Some(Value::DoubleArray(c)) = &results[counts.0] else { panic!("missing counts") };
+        let Some(Value::DoubleArray(s)) = &results[sums.0] else {
+            panic!("missing sums")
+        };
+        let Some(Value::DoubleArray(c)) = &results[counts.0] else {
+            panic!("missing counts")
+        };
         merged.sx += s[0];
         merged.sy += s[1];
         for (dst, src) in merged.counts.iter_mut().zip(c) {

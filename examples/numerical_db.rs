@@ -32,7 +32,9 @@ fn main() {
     let n = 8usize;
     let (desc, values) = ninf_query(&db_addr, "GET matrix/hilbert8").expect("GET");
     println!("fetched: {desc}");
-    let Value::DoubleArray(h) = &values[1] else { unreachable!() };
+    let Value::DoubleArray(h) = &values[1] else {
+        unreachable!()
+    };
 
     // --- Ninf_call: factor + solve it remotely.
     let b: Vec<f64> = {
@@ -44,10 +46,16 @@ fn main() {
     let results = client
         .ninf_call(
             "linpack",
-            &[Value::Int(n as i32), Value::DoubleArray(h.clone()), Value::DoubleArray(b)],
+            &[
+                Value::Int(n as i32),
+                Value::DoubleArray(h.clone()),
+                Value::DoubleArray(b),
+            ],
         )
         .expect("linpack");
-    let Value::DoubleArray(x) = &results[0] else { unreachable!() };
+    let Value::DoubleArray(x) = &results[0] else {
+        unreachable!()
+    };
     let max_err = x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0f64, f64::max);
     println!(
         "solved hilbert{n} remotely: max |x_i - 1| = {max_err:.2e} \
@@ -56,8 +64,13 @@ fn main() {
 
     // --- sub-matrix queries ship only what you need.
     let (desc, values) = ninf_query(&db_addr, "GET matrix/linpack100 SUB 0 4 0 4").expect("SUB");
-    let Value::DoubleArray(block) = &values[1] else { unreachable!() };
-    println!("sub-matrix query: {desc} -> {} doubles (not 10000)", block.len());
+    let Value::DoubleArray(block) = &values[1] else {
+        unreachable!()
+    };
+    println!(
+        "sub-matrix query: {desc} -> {} doubles (not 10000)",
+        block.len()
+    );
 
     compute.shutdown();
     db.shutdown();

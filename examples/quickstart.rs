@@ -14,8 +14,8 @@ fn main() {
     // linpack, ep, dos) and start serving.
     let mut registry = Registry::new();
     register_stdlib(&mut registry, /* data_parallel = */ true);
-    let server = NinfServer::start("127.0.0.1:0", registry, ServerConfig::default())
-        .expect("bind server");
+    let server =
+        NinfServer::start("127.0.0.1:0", registry, ServerConfig::default()).expect("bind server");
     let addr = server.addr().to_string();
     println!("Ninf computational server up at {addr}");
 
@@ -32,10 +32,16 @@ fn main() {
     let results = client
         .ninf_call(
             "dmmul",
-            &[Value::Int(n as i32), Value::DoubleArray(a), Value::DoubleArray(b)],
+            &[
+                Value::Int(n as i32),
+                Value::DoubleArray(a),
+                Value::DoubleArray(b),
+            ],
         )
         .expect("dmmul");
-    let Value::DoubleArray(c) = &results[0] else { unreachable!() };
+    let Value::DoubleArray(c) = &results[0] else {
+        unreachable!()
+    };
     println!("dmmul: diag(2) x ones = {c:?} (all 2s)");
 
     // --- a dense solve: linpack(n, A, b) -> (x, ipvt).
@@ -51,7 +57,9 @@ fn main() {
             ],
         )
         .expect("linpack");
-    let Value::DoubleArray(x) = &results[0] else { unreachable!() };
+    let Value::DoubleArray(x) = &results[0] else {
+        unreachable!()
+    };
     let max_err = x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0f64, f64::max);
     println!(
         "linpack n={n}: solved {} unknowns remotely, max |x_i - 1| = {max_err:.2e}",
@@ -68,8 +76,12 @@ fn main() {
     let ep1 = call_async(addr.clone(), "ep".into(), vec![Value::Int(18)]);
     let ep2 = call_async(addr.clone(), "ep".into(), vec![Value::Int(18)]);
     let (r1, r2) = (ep1.wait().expect("ep1"), ep2.wait().expect("ep2"));
-    let Value::DoubleArray(counts1) = &r1[1] else { unreachable!() };
-    let Value::DoubleArray(counts2) = &r2[1] else { unreachable!() };
+    let Value::DoubleArray(counts1) = &r1[1] else {
+        unreachable!()
+    };
+    let Value::DoubleArray(counts2) = &r2[1] else {
+        unreachable!()
+    };
     let accepted: f64 = counts1.iter().chain(counts2).sum();
     println!(
         "async EP: 2 x 2^18 trials, acceptance rate = {:.4} (pi/4 = {:.4})",

@@ -9,24 +9,35 @@
 use ninf::client::NinfClient;
 use ninf::exec::{linpack_flops, linpack_message_bytes, matgen, solve};
 use ninf::protocol::Value;
-use ninf::server::{builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig};
+use ninf::server::{
+    builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig,
+};
 use std::time::Instant;
 
 fn main() {
-    let max_n: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(600);
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(600);
 
     let mut registry = Registry::new();
     register_stdlib(&mut registry, /* data_parallel = */ true);
     let server = NinfServer::start(
         "127.0.0.1:0",
         registry,
-        ServerConfig { pes: 4, mode: ExecMode::DataParallel, policy: SchedPolicy::Fcfs },
+        ServerConfig {
+            pes: 4,
+            mode: ExecMode::DataParallel,
+            policy: SchedPolicy::Fcfs,
+        },
     )
     .expect("start server");
     let mut client = NinfClient::connect(&server.addr().to_string()).expect("connect");
 
-    println!("{:>6} {:>14} {:>14} {:>12}", "n", "local Mflops", "ninf Mflops", "bytes moved");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12}",
+        "n", "local Mflops", "ninf Mflops", "bytes moved"
+    );
     let mut n = 100usize;
     while n <= max_n {
         // Local solve.
@@ -51,13 +62,18 @@ fn main() {
             .expect("remote linpack");
         let t_remote = t1.elapsed().as_secs_f64();
 
-        let Value::DoubleArray(x_remote) = &results[0] else { unreachable!() };
+        let Value::DoubleArray(x_remote) = &results[0] else {
+            unreachable!()
+        };
         let max_dev = x_local
             .iter()
             .zip(x_remote)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        assert!(max_dev < 1e-8, "local and remote solutions must agree (dev {max_dev})");
+        assert!(
+            max_dev < 1e-8,
+            "local and remote solutions must agree (dev {max_dev})"
+        );
 
         let flops = linpack_flops(n as u64) as f64;
         println!(

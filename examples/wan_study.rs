@@ -15,7 +15,10 @@ fn main() {
     let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1000);
     let max_c: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
 
-    let cs: Vec<usize> = [1usize, 2, 4, 8, 16].into_iter().filter(|&c| c <= max_c).collect();
+    let cs: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&c| c <= max_c)
+        .collect();
     let workload = Workload::Linpack { n };
 
     // --- LAN: the J90 behind a 15 MB/s attachment, 2.6 MB/s per stream.
@@ -35,7 +38,10 @@ fn main() {
             World::new(s).run()
         })
         .collect();
-    println!("{}", render_table(&format!("LAN, 4-PE libSci, n={n}"), &lan));
+    println!(
+        "{}",
+        render_table(&format!("LAN, 4-PE libSci, n={n}"), &lan)
+    );
 
     // --- Single-site WAN: everyone behind the shared 0.17 MB/s Ocha-U link.
     let wan: Vec<_> = cs
@@ -54,7 +60,10 @@ fn main() {
             World::new(s).run()
         })
         .collect();
-    println!("{}", render_table(&format!("single-site WAN, 4-PE libSci, n={n}"), &wan));
+    println!(
+        "{}",
+        render_table(&format!("single-site WAN, 4-PE libSci, n={n}"), &wan)
+    );
 
     // --- Multi-site WAN: the same 4/16 clients spread over four sites.
     let multi: Vec<_> = [1usize, 4]
@@ -74,7 +83,10 @@ fn main() {
             World::new(s).run()
         })
         .collect();
-    println!("{}", render_table(&format!("multi-site WAN (4 sites), n={n}"), &multi));
+    println!(
+        "{}",
+        render_table(&format!("multi-site WAN (4 sites), n={n}"), &multi)
+    );
 
     // --- The paper's takeaways, computed from the runs above.
     let lan_idle = &lan[0];

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no network and no registry cache, so the real
+//! `bytes` crate cannot be fetched. This shim implements exactly the subset
+//! the workspace uses: an immutable [`Bytes`] buffer, a growable
+//! [`BytesMut`], and the big-endian `put_*` writers of the [`BufMut`] trait.
+//! Semantics match the real crate for this subset (big-endian encodings,
+//! `freeze` handing the buffer over without copying).
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy out into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.data[..] == other.as_slice()
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reserve space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Big-endian append-only writer interface (the subset of the real `BufMut`
+/// trait that the XDR encoder uses).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `i32`.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian IEEE-754 `f32`.
+    fn put_f32(&mut self, v: f32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian IEEE-754 `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_puts() {
+        let mut b = BytesMut::new();
+        b.put_u32(0x0102_0304);
+        b.put_u8(0xff);
+        assert_eq!(&b[..], &[1, 2, 3, 4, 0xff]);
+    }
+
+    #[test]
+    fn freeze_is_stable() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_f64(1.5);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 8);
+        assert_eq!(frozen.to_vec(), 1.5f64.to_be_bytes().to_vec());
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench files compiling and runnable (`cargo bench`) without the
+//! real statistics engine: each benchmark is timed over a fixed number of
+//! iterations and the mean per-iteration time is printed. Statistical rigor
+//! is out of scope — the point is that `cargo build --benches` works offline
+//! and `cargo bench` produces a usable order-of-magnitude table.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level bench harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench("", name, 20, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark (minimum 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim prints only time per
+    /// iteration.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sample count already
+    /// bounds wall time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&self.group, &name.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&self.group, &id.to_string(), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark as `function/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Benchmark id from a function name and parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Benchmark id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (ignored by the shim
+/// beyond API compatibility).
+pub enum BatchSize {
+    /// Inputs are cheap to hold; batch many.
+    SmallInput,
+    /// Inputs are large; batch few.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput hint (ignored by the shim beyond API compatibility).
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the bench closure; `iter` times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    pending_sample: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, recording one sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(f());
+        }
+        self.pending_sample = Some(start.elapsed() / self.iters_per_sample as u32);
+    }
+
+    /// Time `routine` over fresh inputs from `setup`, excluding setup cost
+    /// from the sample.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.pending_sample = Some(total / self.iters_per_sample as u32);
+    }
+}
+
+fn run_bench<F>(group: &str, name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        pending_sample: None,
+    };
+
+    // Calibrate: aim for samples of at least ~1ms so Instant resolution
+    // doesn't dominate, but cap iterations to keep total time bounded.
+    f(&mut b);
+    let probe = b.pending_sample.take().unwrap_or(Duration::ZERO);
+    if probe < Duration::from_millis(1) {
+        let probe_ns = probe.as_nanos().max(100) as u64;
+        b.iters_per_sample = (1_000_000 / probe_ns).clamp(1, 10_000);
+    }
+
+    for _ in 0..sample_size {
+        f(&mut b);
+        if let Some(s) = b.pending_sample.take() {
+            b.samples.push(s);
+        }
+    }
+    b.samples.sort();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!(
+        "bench {label}: median {median:?} over {} samples",
+        b.samples.len()
+    );
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(8));
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 4), &4u64, |b, n| {
+            b.iter(|| {
+                ran += 1;
+                n * 2
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

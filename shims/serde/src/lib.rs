@@ -1,0 +1,432 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde is a generic serialization framework driven by derive
+//! macros; this workspace only ever serializes a couple of plain structs into
+//! JSON values. The shim therefore defines the JSON value model directly
+//! (re-exported by the sibling `serde_json` shim) and a [`Serialize`] trait
+//! that converts straight into it. Structs implement it by hand — the
+//! `derive` feature exists only so `features = ["derive"]` dependency
+//! declarations keep resolving.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON document node (what `serde_json::Value` resolves to in this
+/// workspace).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Borrow as an object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned value, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::UInt(v)) => Some(*v),
+            Value::Number(Number::Int(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Object-key lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Indexing an object by key; missing keys (and non-objects) yield `Null`,
+/// matching real serde_json.
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// Indexing an array by position; out-of-bounds (and non-arrays) yield
+/// `Null`.
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+/// `Display` renders compact JSON, matching real serde_json.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Write a JSON string literal with escapes.
+pub fn write_escaped(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+macro_rules! impl_value_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+impl_value_eq_num!(i32, i64, u32, u64, usize, f64);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+/// JSON number: integer or double, kept apart so integers print without a
+/// decimal point exactly as real serde_json does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Double-precision float.
+    Float(f64),
+}
+
+impl Number {
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(v) => v as f64,
+            Number::UInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::Int(v) => write!(f, "{v}"),
+            Number::UInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    // Real JSON has no inf/nan; serde_json emits null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// Insertion-ordered string-keyed map (the shape `serde_json::Map` has with
+/// its `preserve_order` feature).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq + AsRef<str>, V> Map<K, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert or replace; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up by key.
+    pub fn get(&self, key: &str) -> Option<&V> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.as_ref() == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterate keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl<'a, K, V> IntoIterator for &'a Map<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, (K, V)>, fn(&'a (K, V)) -> (&'a K, &'a V)>;
+    fn into_iter(self) -> Self::IntoIter {
+        fn split<K, V>(e: &(K, V)) -> (&K, &V) {
+            (&e.0, &e.1)
+        }
+        self.entries
+            .iter()
+            .map(split as fn(&'a (K, V)) -> (&'a K, &'a V))
+    }
+}
+
+impl<K, V> IntoIterator for Map<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::vec::IntoIter<(K, V)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// Conversion into the JSON value model (stands in for serde's `Serialize`).
+pub trait Serialize {
+    /// Convert to a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::Int(*self as i64))
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::UInt(*self as u64))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (*self).to_json_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m: Map<String, u32> = Map::new();
+        assert_eq!(m.insert("a".into(), 1), None);
+        assert_eq!(m.insert("a".into(), 2), Some(1));
+        assert_eq!(m.get("a"), Some(&2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn numbers_format_like_json() {
+        assert_eq!(Number::Int(-3).to_string(), "-3");
+        assert_eq!(Number::UInt(7).to_string(), "7");
+        assert_eq!(Number::Float(1.5).to_string(), "1.5");
+        assert_eq!(Number::Float(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn display_and_index() {
+        let mut m = Map::new();
+        m.insert("k".to_string(), Value::Number(Number::Int(3)));
+        let v = Value::Object(m);
+        assert_eq!(v.to_string(), "{\"k\":3}");
+        assert_eq!(v["k"], 3i64);
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = Value::String("a\"b\\c\n".into());
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\n\"");
+    }
+}

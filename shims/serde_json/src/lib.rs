@@ -1,0 +1,156 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Re-exports the JSON value model from the `serde` shim (where `Value` and
+//! its inherent accessors/`Display`/`Index` impls live) and adds the `json!`
+//! macro, `to_value`, and the compact/pretty printers — the exact surface the
+//! experiment harness uses to emit result documents.
+
+use std::fmt;
+
+pub use serde::{Map, Number, Value};
+
+/// Serialization error. The shim's value model is infallible, so this only
+/// exists to keep `Result`-returning call sites source-compatible.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert any [`serde::Serialize`] into a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Render compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_string())
+}
+
+/// Render human-readable indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_json_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Build a [`Value`] from JSON-ish syntax: `json!({ "k": v })`, `json!([a, b])`,
+/// or `json!(expr)` for any `Serialize` expression. Object values may be
+/// nested `{ .. }` / `[ .. ]` literals.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ({ $($entries:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::__json_entries!(map; $($entries)*);
+        $crate::Value::Object(map)
+    }};
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$val).expect("serializable") ),* ])
+    };
+    ($val:expr) => {
+        $crate::to_value(&$val).expect("serializable")
+    };
+}
+
+/// Object-entry muncher for [`json!`]: braced/bracketed values recurse,
+/// anything else is a `Serialize` expression.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_entries {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::__json_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::__json_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::to_value(&$val).expect("serializable"));
+        $crate::__json_entries!($map; $($($rest)*)?);
+    };
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    serde::write_escaped(out, s).expect("writing to String cannot fail");
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    use fmt::Write;
+    write!(out, "{v}").expect("writing to String cannot fail");
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({ "a": 1u64, "b": [1.5f64, 2.0f64], "s": "x" });
+        assert_eq!(v.get("a").and_then(|x| x.as_u64()), Some(1));
+        let arr = v.get("b").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(v.get("s").and_then(|x| x.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn pretty_print_is_valid_jsonish() {
+        let v = json!({ "k": [1i64, 2i64] });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"k\""));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn index_and_eq_on_documents() {
+        let doc = json!({ "seed": 3u64 });
+        assert_eq!(doc["seed"], 3);
+        assert!(doc["nope"].is_null());
+    }
+}

@@ -1,9 +1,13 @@
 //! Cross-crate integration tests of the *live* Ninf system: real TCP, real
 //! XDR marshalling, real numerical kernels, metaserver fan-out.
 
-use ninf::client::{call_async, NinfClient, Transaction, TxArg};
-use ninf::metaserver::{Balancing, Directory, Metaserver, ServerEntry};
-use ninf::protocol::{ProtocolError, Value};
+use std::time::{Duration, Instant};
+
+use ninf::client::{call_async, CallOptions, NinfClient, Transaction, TxArg};
+use ninf::metaserver::{Balancing, Directory, Metaserver, ServerEntry, QUARANTINE_THRESHOLD};
+use ninf::protocol::{
+    FaultPlan, FaultyTransport, Message, ProtocolError, TcpTransport, Transport, Value,
+};
 use ninf::server::{
     builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig,
 };
@@ -14,7 +18,11 @@ fn start_server(pes: usize, mode: ExecMode) -> NinfServer {
     NinfServer::start(
         "127.0.0.1:0",
         registry,
-        ServerConfig { pes, mode, policy: SchedPolicy::Fcfs },
+        ServerConfig {
+            pes,
+            mode,
+            policy: SchedPolicy::Fcfs,
+        },
     )
     .expect("server starts")
 }
@@ -38,12 +46,17 @@ fn full_linpack_call_over_tcp() {
         .unwrap();
 
     // Remote solution must match a local solve and the residual must pass.
-    let Value::DoubleArray(x) = &results[0] else { panic!("expected solution") };
+    let Value::DoubleArray(x) = &results[0] else {
+        panic!("expected solution")
+    };
     assert!(ninf::exec::residual_check(&a, x, &b) < 50.0);
 
     // Client-side byte accounting equals the paper's §3.1 traffic model:
     // A (8n²) + b (8n) out, x (8n) + ipvt (4n) back = 8n² + 20n in total.
-    assert_eq!(client.bytes_sent() + client.bytes_received(), 8 * n * n + 20 * n);
+    assert_eq!(
+        client.bytes_sent() + client.bytes_received(),
+        8 * n * n + 20 * n
+    );
     server.shutdown();
 }
 
@@ -80,19 +93,31 @@ fn dgefa_dgesl_split_call_chain() {
     let fa = client
         .ninf_call(
             "dgefa",
-            &[Value::Int(n as i32), Value::DoubleArray(a.as_slice().to_vec())],
+            &[
+                Value::Int(n as i32),
+                Value::DoubleArray(a.as_slice().to_vec()),
+            ],
         )
         .unwrap();
-    let Value::IntArray(info) = &fa[2] else { panic!() };
+    let Value::IntArray(info) = &fa[2] else {
+        panic!()
+    };
     assert_eq!(info[0], 0);
 
     let sl = client
         .ninf_call(
             "dgesl",
-            &[Value::Int(n as i32), fa[0].clone(), fa[1].clone(), Value::DoubleArray(b)],
+            &[
+                Value::Int(n as i32),
+                fa[0].clone(),
+                fa[1].clone(),
+                Value::DoubleArray(b),
+            ],
         )
         .unwrap();
-    let Value::DoubleArray(x) = &sl[0] else { panic!() };
+    let Value::DoubleArray(x) = &sl[0] else {
+        panic!()
+    };
     for xi in x {
         assert!((xi - 1.0).abs() < 1e-8);
     }
@@ -108,7 +133,9 @@ fn async_calls_overlap_and_join() {
         .collect();
     for call in pending {
         let out = call.wait().unwrap();
-        let Value::DoubleArray(counts) = &out[1] else { panic!() };
+        let Value::DoubleArray(counts) = &out[1] else {
+            panic!()
+        };
         assert_eq!(counts.len(), 10);
     }
     assert_eq!(server.stats().completed(), 4);
@@ -117,7 +144,9 @@ fn async_calls_overlap_and_join() {
 
 #[test]
 fn metaserver_distributes_ep_transaction() {
-    let servers: Vec<NinfServer> = (0..3).map(|_| start_server(1, ExecMode::TaskParallel)).collect();
+    let servers: Vec<NinfServer> = (0..3)
+        .map(|_| start_server(1, ExecMode::TaskParallel))
+        .collect();
     let mut dir = Directory::new();
     for (i, s) in servers.iter().enumerate() {
         dir.register(ServerEntry {
@@ -133,7 +162,11 @@ fn metaserver_distributes_ep_transaction() {
     for _ in 0..9 {
         let sums = tx.slot();
         let counts = tx.slot();
-        tx.call("ep", vec![TxArg::Value(Value::Int(10))], vec![Some(sums), Some(counts)]);
+        tx.call(
+            "ep",
+            vec![TxArg::Value(Value::Int(10))],
+            vec![Some(sums), Some(counts)],
+        );
     }
     let slots = meta.execute_transaction(&tx).unwrap();
     assert_eq!(slots.iter().filter(|s| s.is_some()).count(), 18);
@@ -150,7 +183,9 @@ fn metaserver_distributes_ep_transaction() {
 fn transaction_dataflow_across_servers() {
     // dgefa on one server, dgesl potentially on another: slots carry the
     // factored matrix between machines.
-    let servers: Vec<NinfServer> = (0..2).map(|_| start_server(1, ExecMode::TaskParallel)).collect();
+    let servers: Vec<NinfServer> = (0..2)
+        .map(|_| start_server(1, ExecMode::TaskParallel))
+        .collect();
     let mut dir = Directory::new();
     for (i, s) in servers.iter().enumerate() {
         dir.register(ServerEntry {
@@ -187,7 +222,9 @@ fn transaction_dataflow_across_servers() {
         vec![Some(x)],
     );
     let slots = meta.execute_transaction(&tx).unwrap();
-    let Some(Value::DoubleArray(sol)) = &slots[x.0] else { panic!() };
+    let Some(Value::DoubleArray(sol)) = &slots[x.0] else {
+        panic!()
+    };
     for xi in sol {
         assert!((xi - 1.0).abs() < 1e-8);
     }
@@ -204,9 +241,7 @@ fn server_survives_bad_clients() {
     let addr = server.addr().to_string();
 
     let mut bad = NinfClient::connect(&addr).unwrap();
-    let err = bad
-        .ninf_call("linpack", &[Value::Int(-3)])
-        .unwrap_err();
+    let err = bad.ninf_call("linpack", &[Value::Int(-3)]).unwrap_err();
     assert!(matches!(err, ProtocolError::Remote(_)));
 
     let mut good = NinfClient::connect(&addr).unwrap();
@@ -231,13 +266,21 @@ fn two_phase_call_survives_disconnect() {
     server.jobs().wait_done(job);
 
     let mut fetcher = NinfClient::connect(&addr).unwrap();
-    assert_eq!(fetcher.poll_job(job).unwrap(), ninf::protocol::JobPhase::Done);
+    assert_eq!(
+        fetcher.poll_job(job).unwrap(),
+        ninf::protocol::JobPhase::Done
+    );
     let results = fetcher.fetch_result(job).unwrap();
-    let Value::DoubleArray(counts) = &results[1] else { panic!() };
+    let Value::DoubleArray(counts) = &results[1] else {
+        panic!()
+    };
     let total: f64 = counts.iter().sum();
     assert!((total / (1 << 16) as f64 - std::f64::consts::FRAC_PI_4).abs() < 0.02);
     // The ticket is consumed.
-    assert_eq!(fetcher.poll_job(job).unwrap(), ninf::protocol::JobPhase::Unknown);
+    assert_eq!(
+        fetcher.poll_job(job).unwrap(),
+        ninf::protocol::JobPhase::Unknown
+    );
     server.shutdown();
 }
 
@@ -273,7 +316,10 @@ fn two_phase_reports_failures_on_fetch() {
         )
         .unwrap();
     server.jobs().wait_done(job);
-    assert_eq!(client.poll_job(job).unwrap(), ninf::protocol::JobPhase::Failed);
+    assert_eq!(
+        client.poll_job(job).unwrap(),
+        ninf::protocol::JobPhase::Failed
+    );
     let err = client.fetch_result(job).unwrap_err();
     assert!(matches!(err, ProtocolError::Remote(_)));
     server.shutdown();
@@ -300,7 +346,11 @@ fn metaserver_ft_retries_on_failure() {
     let meta = Metaserver::new(dir, Balancing::RoundRobin);
     let mut tx = Transaction::new();
     let out = tx.slot();
-    tx.call("ep", vec![TxArg::Value(Value::Int(10))], vec![Some(out), None]);
+    tx.call(
+        "ep",
+        vec![TxArg::Value(Value::Int(10))],
+        vec![Some(out), None],
+    );
     let slots = meta.execute_transaction_ft(&tx).unwrap();
     assert!(slots[out.0].is_some());
     live.shutdown();
@@ -336,7 +386,9 @@ fn local_transaction_execution_without_metaserver() {
         vec![Some(x)],
     );
     let slots = ninf::client::execute_locally(&mut client, &tx).unwrap();
-    let Some(Value::DoubleArray(sol)) = &slots[x.0] else { panic!() };
+    let Some(Value::DoubleArray(sol)) = &slots[x.0] else {
+        panic!()
+    };
     for xi in sol {
         assert!((xi - 1.0).abs() < 1e-8);
     }
@@ -356,7 +408,9 @@ fn remote_condition_estimate() {
     let out = client
         .ninf_call("dgeco", &[Value::Int(n as i32), Value::DoubleArray(eye)])
         .unwrap();
-    let Value::DoubleArray(rcond) = &out[2] else { panic!() };
+    let Value::DoubleArray(rcond) = &out[2] else {
+        panic!()
+    };
     assert!((rcond[0] - 1.0).abs() < 1e-9);
     server.shutdown();
 }
@@ -369,6 +423,232 @@ fn load_reports_reflect_activity() {
     assert_eq!(report.pes, 2);
     assert_eq!(report.running, 0);
     server.shutdown();
+}
+
+/// A listener that accepts connections and never answers — the worst live
+/// failure mode, invisible to connection-refused checks.
+fn hung_listener() -> String {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((sock, _)) = listener.accept() {
+            held.push(sock); // hold the socket open, say nothing
+        }
+    });
+    addr
+}
+
+#[test]
+fn silent_server_yields_typed_timeout_within_deadline() {
+    // The headline failure-path guarantee: a call into an
+    // accepting-but-silent server completes with a typed Timeout roughly at
+    // the configured deadline — it does not hang.
+    let addr = hung_listener();
+    let deadline = Duration::from_millis(200);
+    let mut client = NinfClient::connect_with(&addr, CallOptions::with_deadline(deadline)).unwrap();
+    let start = Instant::now();
+    let err = client.ninf_call("ep", &[Value::Int(8)]).unwrap_err();
+    let elapsed = start.elapsed();
+    match err {
+        ProtocolError::Timeout { operation, after } => {
+            assert_eq!(operation, "read");
+            assert_eq!(after, deadline);
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "took {elapsed:?}, deadline was {deadline:?}"
+    );
+}
+
+#[test]
+fn server_death_mid_call_yields_typed_error_not_hang() {
+    // The peer accepts and immediately dies: the client's call must surface
+    // a typed error (EOF → Io / Disconnected) promptly, never block.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        if let Ok((sock, _)) = listener.accept() {
+            drop(sock); // "killed" before replying
+        }
+    });
+    let mut client = NinfClient::connect_with(
+        &addr,
+        CallOptions::with_deadline(Duration::from_millis(500)),
+    )
+    .unwrap();
+    let start = Instant::now();
+    let err = client.ninf_call("ep", &[Value::Int(8)]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ProtocolError::Io(_) | ProtocolError::Disconnected | ProtocolError::Timeout { .. }
+        ),
+        "unexpected error {err:?}"
+    );
+    assert!(start.elapsed() < Duration::from_secs(2));
+}
+
+#[test]
+fn client_retries_reach_a_late_starting_server() {
+    // The server comes up only after the first attempts have failed: the
+    // retry/backoff policy dials fresh connections until one lands.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe); // free the port for the late server
+    let addr2 = addr.clone();
+    let starter = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(250));
+        let mut registry = Registry::new();
+        register_stdlib(&mut registry, false);
+        NinfServer::start(
+            &addr2,
+            registry,
+            ServerConfig {
+                pes: 1,
+                mode: ExecMode::TaskParallel,
+                policy: SchedPolicy::Fcfs,
+            },
+        )
+        .expect("late server starts")
+    });
+    let out = ninf::client::call_with_options(
+        &addr,
+        "ep",
+        &[Value::Int(8)],
+        CallOptions {
+            deadline: Some(Duration::from_secs(2)),
+            retries: 40,
+            backoff: Duration::from_millis(25),
+        },
+    )
+    .unwrap();
+    assert_eq!(out.len(), 2);
+    starter.join().unwrap().shutdown();
+}
+
+#[test]
+fn garbled_frames_are_rejected_and_server_keeps_serving() {
+    // A client whose frames get garbled on the wire: the server's framing
+    // rejects them (bad magic) and drops the connection; the server itself
+    // keeps serving clean clients afterwards.
+    let server = start_server(1, ExecMode::TaskParallel);
+    let addr = server.addr().to_string();
+
+    let tcp = TcpTransport::connect_with_deadline(&addr, Some(Duration::from_millis(500))).unwrap();
+    let mut garbler = FaultyTransport::new(
+        tcp,
+        FaultPlan {
+            garble_prob: 1.0,
+            ..FaultPlan::default()
+        },
+    );
+    garbler.send(&Message::QueryLoad).unwrap();
+    // The server never answers a garbled frame — it closes the connection.
+    assert!(garbler.recv().is_err());
+    assert_eq!(garbler.stats().garbled, 1);
+
+    let mut clean = NinfClient::connect(&addr).unwrap();
+    assert_eq!(clean.query_load().unwrap().pes, 1);
+    server.shutdown();
+}
+
+#[test]
+fn dropped_requests_surface_as_read_timeouts() {
+    // Drop faults swallow the request; with a read deadline armed the
+    // client sees the same typed Timeout a downed link would produce.
+    let server = start_server(1, ExecMode::TaskParallel);
+    let addr = server.addr().to_string();
+    let deadline = Duration::from_millis(150);
+    let tcp = TcpTransport::connect_with_deadline(&addr, Some(deadline)).unwrap();
+    let mut lossy = FaultyTransport::new(
+        tcp,
+        FaultPlan {
+            drop_prob: 1.0,
+            ..FaultPlan::default()
+        },
+    );
+    lossy.send(&Message::QueryLoad).unwrap(); // silently dropped
+    match lossy.recv().unwrap_err() {
+        ProtocolError::Timeout { operation, .. } => assert_eq!(operation, "read"),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert_eq!(lossy.stats().dropped, 1);
+    server.shutdown();
+}
+
+#[test]
+fn quarantined_live_server_is_probed_and_reinstated() {
+    let server = start_server(1, ExecMode::TaskParallel);
+    let mut dir = Directory::new();
+    dir.register(ServerEntry {
+        name: "flaky".into(),
+        addr: server.addr().to_string(),
+        bandwidth_bytes_per_sec: 10e6,
+        linpack_mflops: 100.0,
+    });
+    for _ in 0..QUARANTINE_THRESHOLD {
+        dir.record_failure(0);
+    }
+    assert!(dir.is_quarantined(0));
+    assert!(dir.available_indices().is_empty());
+    // The server answers the reinstatement probe: back in rotation.
+    assert!(dir.try_reinstate(0, Some(Duration::from_millis(500))));
+    assert!(!dir.is_quarantined(0));
+    assert_eq!(dir.available_indices(), vec![0]);
+    server.shutdown();
+}
+
+#[test]
+fn metaserver_ft_survives_hung_server_live() {
+    // Acceptance: execute_transaction_ft succeeds against a directory
+    // containing a hung (accepting-but-silent) server, not just a
+    // connection-refusing one.
+    let live = start_server(1, ExecMode::TaskParallel);
+    let mut dir = Directory::new();
+    dir.register(ServerEntry {
+        name: "hung".into(),
+        addr: hung_listener(),
+        bandwidth_bytes_per_sec: 10e6,
+        linpack_mflops: 100.0,
+    });
+    dir.register(ServerEntry {
+        name: "live".into(),
+        addr: live.addr().to_string(),
+        bandwidth_bytes_per_sec: 10e6,
+        linpack_mflops: 100.0,
+    });
+    let meta = Metaserver::with_options(
+        dir,
+        Balancing::RoundRobin,
+        CallOptions {
+            deadline: Some(Duration::from_millis(300)),
+            retries: 0,
+            backoff: Duration::from_millis(10),
+        },
+        Some(Duration::from_millis(200)),
+    );
+    let mut tx = Transaction::new();
+    let mut outs = Vec::new();
+    for _ in 0..4 {
+        let sums = tx.slot();
+        tx.call(
+            "ep",
+            vec![TxArg::Value(Value::Int(10))],
+            vec![Some(sums), None],
+        );
+        outs.push(sums);
+    }
+    let start = Instant::now();
+    let slots = meta.execute_transaction_ft(&tx).unwrap();
+    for s in outs {
+        assert!(slots[s.0].is_some());
+    }
+    // Bounded: each hung attempt costs one deadline, not forever.
+    assert!(start.elapsed() < Duration::from_secs(20));
+    live.shutdown();
 }
 
 #[test]

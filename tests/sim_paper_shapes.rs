@@ -11,15 +11,28 @@ fn cell(s: Scenario) -> ninf::sim::CellResult {
 }
 
 fn lan(c: usize, n: u64, mode: ExecMode, dur: f64) -> ninf::sim::CellResult {
-    let mut s = Scenario::lan(j90(), c, Workload::Linpack { n }, mode, SchedPolicy::Fcfs, 1997);
+    let mut s = Scenario::lan(
+        j90(),
+        c,
+        Workload::Linpack { n },
+        mode,
+        SchedPolicy::Fcfs,
+        1997,
+    );
     s.duration = dur;
     s.warmup = dur * 0.12;
     cell(s)
 }
 
 fn wan(c: usize, n: u64, mode: ExecMode, dur: f64) -> ninf::sim::CellResult {
-    let mut s =
-        Scenario::single_site_wan(j90(), c, Workload::Linpack { n }, mode, SchedPolicy::Fcfs, 1997);
+    let mut s = Scenario::single_site_wan(
+        j90(),
+        c,
+        Workload::Linpack { n },
+        mode,
+        SchedPolicy::Fcfs,
+        1997,
+    );
     s.duration = dur;
     s.warmup = dur * 0.1;
     cell(s)
@@ -45,7 +58,10 @@ fn ninf_overtakes_local_with_bandwidth() {
         s.warmup = 5.0;
         cell(s)
     };
-    assert!(small.perf.mean < local.mflops(100), "n=100: Ninf must lose to local");
+    assert!(
+        small.perf.mean < local.mflops(100),
+        "n=100: Ninf must lose to local"
+    );
     // ...beyond it the remote J90 wins decisively.
     let large = {
         let mut s = Scenario::lan(
@@ -111,7 +127,11 @@ fn lan_saturates_server_cpu() {
 fn wan_is_bandwidth_dominated() {
     let c1 = wan(1, 1000, ExecMode::TaskParallel, 1500.0);
     let c8 = wan(8, 1000, ExecMode::TaskParallel, 2500.0);
-    assert!(c8.cpu_utilization < 20.0, "WAN util = {}", c8.cpu_utilization);
+    assert!(
+        c8.cpu_utilization < 20.0,
+        "WAN util = {}",
+        c8.cpu_utilization
+    );
     let ratio = c8.perf.mean / c1.perf.mean;
     assert!(
         (0.08..=0.35).contains(&ratio),
@@ -197,13 +217,82 @@ fn ep_lan_equals_wan() {
 fn fairness_degrades_with_contention() {
     let light = lan(1, 1000, ExecMode::TaskParallel, 600.0);
     let heavy = lan(16, 1000, ExecMode::TaskParallel, 600.0);
-    assert!(light.fairness > 0.9, "c=1 should be nearly fair: {}", light.fairness);
+    assert!(
+        light.fairness > 0.9,
+        "c=1 should be nearly fair: {}",
+        light.fairness
+    );
     assert!(
         heavy.fairness < light.fairness,
         "fairness should fall with contention: {} vs {}",
         heavy.fairness,
         light.fairness
     );
+}
+
+/// Failure-model mirror: a WAN link failure in the fluid network behaves
+/// like the live path's hung server — transfers freeze (no error, no
+/// progress) until the link is restored or the client's deadline cancels
+/// the flow, and competitors on healthy paths are unaffected.
+#[test]
+fn link_failure_starves_then_recovers_like_a_hung_server() {
+    use ninf::netsim::{FlowSpec, FluidNet, Topology};
+
+    // Two client sites into one server over separate WAN links.
+    let mut t = Topology::new();
+    let c0 = t.add_node("site0");
+    let c1 = t.add_node("site1");
+    let hub = t.add_node("hub");
+    let srv = t.add_node("server");
+    t.add_duplex_link(c0, hub, 1.0e6, 0.0);
+    t.add_duplex_link(c1, hub, 1.0e6, 0.0);
+    t.add_duplex_link(hub, srv, 2.0e6, 0.0);
+    t.compute_routes();
+    let mut net = FluidNet::new(t);
+
+    let f0 = net.start_flow(
+        FlowSpec {
+            src: c0,
+            dst: srv,
+            bytes: 2.0e6,
+            cap: f64::INFINITY,
+        },
+        0.0,
+    );
+    let f1 = net.start_flow(
+        FlowSpec {
+            src: c1,
+            dst: srv,
+            bytes: 2.0e6,
+            cap: f64::INFINITY,
+        },
+        0.0,
+    );
+    assert!((net.rate(f0) - 1.0e6).abs() < 1.0);
+    assert!((net.rate(f1) - 1.0e6).abs() < 1.0);
+
+    // Site 0's access link fails at t=0.5 (live analogue: its connection
+    // goes silent mid-transfer).
+    let cut = net.path(f0)[0];
+    net.fail_link(cut, 0.5);
+    assert!(net.link_is_down(cut));
+    assert_eq!(net.rate(f0), 0.0);
+    // The healthy site is untouched and completes on schedule: 2 MB at
+    // 1 MB/s (its own access link is the bottleneck throughout).
+    let (t1, id1) = net.next_completion().unwrap();
+    assert_eq!(id1, f1);
+    assert!((t1 - 2.0).abs() < 1e-6);
+    net.advance_to(t1);
+    net.finish_flow(f1);
+
+    // The frozen flow made no progress during the outage...
+    assert!((net.remaining(f0) - 1.5e6).abs() < 1.0);
+    // ...and resumes at full rate once the link is restored.
+    net.restore_link(cut, t1);
+    assert!((net.rate(f0) - 1.0e6).abs() < 1.0);
+    let (t0, id0) = net.next_completion().unwrap();
+    assert_eq!(id0, f0);
+    assert!((t0 - (t1 + 1.5)).abs() < 1e-6);
 }
 
 /// §4.2.1: response and wait stay modest even at c=16 with the server
@@ -213,6 +302,14 @@ fn no_thrashing_at_saturation() {
     let c16 = lan(16, 1400, ExecMode::DataParallel, 700.0);
     assert!(c16.cpu_utilization > 95.0);
     assert!(c16.wait.mean < 1.0, "wait mean = {}", c16.wait.mean);
-    assert!(c16.response.mean < 1.5, "response mean = {}", c16.response.mean);
-    assert!(c16.load_max > 10.0, "load should pile up, max = {}", c16.load_max);
+    assert!(
+        c16.response.mean < 1.5,
+        "response mean = {}",
+        c16.response.mean
+    );
+    assert!(
+        c16.load_max > 10.0,
+        "load should pile up, max = {}",
+        c16.load_max
+    );
 }
