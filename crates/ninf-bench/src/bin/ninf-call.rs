@@ -1,7 +1,7 @@
 //! `ninf-call` — command-line Ninf client.
 //!
 //! ```text
-//! ninf-call [--deadline <secs>] [--retries <n>] <addr> <command>
+//! ninf-call [--deadline <secs>] [--retries <n>] [--json] <addr> <command>
 //!
 //! ninf-call <addr> list                     # routines the server exports
 //! ninf-call <addr> interface <routine>      # show its compiled interface
@@ -14,37 +14,47 @@
 //! `--deadline` bounds every connect/read/write on the wire; a server that
 //! accepts but never replies then fails with a typed timeout instead of
 //! hanging the call. `--retries` re-dials the server with exponential
-//! backoff on retryable (non-remote) errors.
+//! backoff on retryable (non-remote) errors. `--json` (for `ep` and
+//! `linpack`) emits the call's timing decomposition — connect, interface
+//! fetch, marshal, server wall time, transfer, total — as one JSON object
+//! on stdout instead of prose; the server-side wall time is joined from the
+//! server's own §4.1 stats via `QueryStats`.
 
 use std::time::Duration;
 
-use ninf_client::{CallOptions, NinfClient};
+use ninf_bench::cli::{parse_args, CliError};
+use ninf_client::{CallOptions, CallTiming, NinfClient};
 use ninf_protocol::Value;
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_args(
+        std::env::args().skip(1),
+        &["--deadline", "--retries"],
+        &["--json"],
+    ) {
+        Ok(p) => p,
+        Err(CliError::Help) => usage(""),
+        Err(CliError::Bad(msg)) => usage(&msg),
+    };
     let mut options = CallOptions::default();
-    while let Some(flag) = args.first().filter(|a| a.starts_with("--")).cloned() {
-        match flag.as_str() {
-            "--deadline" => {
-                args.remove(0);
-                let secs: f64 = parse_num(args.first(), "--deadline needs seconds");
-                options.deadline = Some(Duration::from_secs_f64(secs));
-                args.remove(0);
-            }
-            "--retries" => {
-                args.remove(0);
-                options.retries = parse_num(args.first(), "--retries needs a count");
-                args.remove(0);
-            }
-            "--help" | "-h" => usage(""),
-            other => usage(&format!("unknown flag `{other}`")),
-        }
+    match parsed.parse::<f64>("--deadline") {
+        Ok(Some(secs)) => options.deadline = Some(Duration::from_secs_f64(secs)),
+        Ok(None) => {}
+        Err(_) => usage("--deadline needs seconds"),
     }
-    let (addr, cmd, rest) = match args.as_slice() {
+    match parsed.parse::<u32>("--retries") {
+        Ok(Some(n)) => options.retries = n,
+        Ok(None) => {}
+        Err(_) => usage("--retries needs a count"),
+    }
+    let json = parsed.has("--json");
+    let (addr, cmd, rest) = match parsed.positionals.as_slice() {
         [addr, cmd, rest @ ..] => (addr.clone(), cmd.clone(), rest.to_vec()),
         _ => usage("need <addr> and a command"),
     };
+    if json && !matches!(cmd.as_str(), "ep" | "linpack") {
+        usage("--json is supported for `ep` and `linpack`");
+    }
 
     match cmd.as_str() {
         "list" => {
@@ -82,10 +92,12 @@ fn main() {
         }
         "ep" => {
             let m: i32 = parse_num(rest.first(), "ep needs the trial exponent m");
-            let mut client = connect(&addr, options);
-            let t0 = std::time::Instant::now();
-            let out = client.ninf_call("ep", &[Value::Int(m)]).unwrap_or_else(die);
-            let dt = t0.elapsed().as_secs_f64();
+            let timed = timed_call(&addr, options, "ep", vec![Value::Int(m)]);
+            if json {
+                print_json("ep", m as i64, None, &timed);
+                return;
+            }
+            let (out, dt) = timed.expect_ok();
             let Value::DoubleArray(sums) = &out[0] else {
                 unreachable!()
             };
@@ -103,19 +115,22 @@ fn main() {
         "linpack" => {
             let n: usize = parse_num(rest.first(), "linpack needs the matrix order n");
             let (a, b) = ninf_exec::random_matrix(n, 1997);
-            let mut client = connect(&addr, options);
-            let t0 = std::time::Instant::now();
-            let out = client
-                .ninf_call(
-                    "linpack",
-                    &[
-                        Value::Int(n as i32),
-                        Value::DoubleArray(a.as_slice().to_vec()),
-                        Value::DoubleArray(b.clone()),
-                    ],
-                )
-                .unwrap_or_else(die);
-            let dt = t0.elapsed().as_secs_f64();
+            let timed = timed_call(
+                &addr,
+                options,
+                "linpack",
+                vec![
+                    Value::Int(n as i32),
+                    Value::DoubleArray(a.as_slice().to_vec()),
+                    Value::DoubleArray(b.clone()),
+                ],
+            );
+            if json {
+                let flops = ninf_exec::linpack_flops(n as u64);
+                print_json("linpack", n as i64, Some(flops), &timed);
+                return;
+            }
+            let (out, dt) = timed.expect_ok();
             let Value::DoubleArray(x) = &out[0] else {
                 unreachable!()
             };
@@ -126,8 +141,8 @@ fn main() {
             );
             println!(
                 "moved {} bytes out / {} back (8n^2+20n = {})",
-                client.bytes_sent(),
-                client.bytes_received(),
+                timed.bytes_sent,
+                timed.bytes_received,
                 ninf_exec::linpack_message_bytes(n as u64)
             );
         }
@@ -151,6 +166,112 @@ fn main() {
             }
         }
         other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+/// One measured call: outcome, timing decomposition, and the server-side
+/// wall time joined from `QueryStats`.
+struct TimedCall {
+    result: Result<Vec<Value>, ninf_protocol::ProtocolError>,
+    /// Initial dial (the in-call `timing.connect` only counts redials).
+    connect: f64,
+    timing: CallTiming,
+    /// Server-observed wall time of this call (`T_complete − T_submit` on
+    /// the server clock), when the stats join succeeded.
+    server_wall: Option<f64>,
+    bytes_sent: usize,
+    bytes_received: usize,
+}
+
+impl TimedCall {
+    fn expect_ok(&self) -> (&[Value], f64) {
+        match &self.result {
+            Ok(out) => (out, self.timing.total),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Dial, mark the server's stats cursor, issue the call, and join the
+/// server-side record for it.
+fn timed_call(addr: &str, options: CallOptions, routine: &str, args: Vec<Value>) -> TimedCall {
+    let t0 = std::time::Instant::now();
+    let mut client = connect(addr, options);
+    let connect = t0.elapsed().as_secs_f64();
+    // Everything already recorded on the server is before our call.
+    let cursor = client.query_stats(u64::MAX).map(|(_, total, _)| total).ok();
+    let result = client.ninf_call(routine, &args);
+    let timing = client.last_timing().unwrap_or_default();
+    let server_wall = cursor.and_then(|since| {
+        let (_, _, records) = client.query_stats(since).ok()?;
+        records
+            .iter()
+            .rev()
+            .find(|r| r.routine == routine)
+            .map(|r| r.total())
+    });
+    TimedCall {
+        result,
+        connect,
+        timing,
+        server_wall,
+        bytes_sent: client.bytes_sent(),
+        bytes_received: client.bytes_received(),
+    }
+}
+
+/// Emit the per-call timing decomposition as one JSON object on stdout.
+fn print_json(routine: &str, n: i64, flops: Option<u64>, timed: &TimedCall) {
+    let t = timed.timing;
+    let mut timings = serde_json::Map::new();
+    timings.insert(
+        "connect".into(),
+        serde_json::json!(timed.connect + t.connect),
+    );
+    timings.insert("interface".into(), serde_json::json!(t.interface));
+    timings.insert("marshal".into(), serde_json::json!(t.marshal));
+    timings.insert("roundtrip".into(), serde_json::json!(t.roundtrip));
+    if let Some(wall) = timed.server_wall {
+        timings.insert("server_wall".into(), serde_json::json!(wall));
+        // Wire time: what the round trip spent outside the server.
+        timings.insert(
+            "transfer".into(),
+            serde_json::json!((t.roundtrip - wall).max(0.0)),
+        );
+    }
+    timings.insert("total".into(), serde_json::json!(t.total));
+    let mut doc = serde_json::Map::new();
+    doc.insert("routine".into(), serde_json::json!(routine));
+    doc.insert("n".into(), serde_json::json!(n));
+    doc.insert("ok".into(), serde_json::json!(timed.result.is_ok()));
+    if let Err(e) = &timed.result {
+        doc.insert("error".into(), serde_json::json!(e.to_string()));
+    }
+    doc.insert("timings".into(), serde_json::Value::Object(timings));
+    doc.insert("attempts".into(), serde_json::json!(t.attempts));
+    doc.insert(
+        "request_bytes".into(),
+        serde_json::json!(t.request_bytes as u64),
+    );
+    doc.insert(
+        "reply_bytes".into(),
+        serde_json::json!(t.reply_bytes as u64),
+    );
+    if let (Some(flops), true) = (flops, timed.result.is_ok()) {
+        doc.insert(
+            "mflops".into(),
+            serde_json::json!(flops as f64 / t.total / 1e6),
+        );
+    }
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("serialize")
+    );
+    if timed.result.is_err() {
+        std::process::exit(1);
     }
 }
 
@@ -185,7 +306,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: ninf-call [--deadline <secs>] [--retries <n>] <addr> <list | interface <routine> | load | ep <m> | linpack <n> | query \"...\">"
+        "usage: ninf-call [--deadline <secs>] [--retries <n>] [--json] <addr> \
+         <list | interface <routine> | load | ep <m> | linpack <n> | query \"...\">"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

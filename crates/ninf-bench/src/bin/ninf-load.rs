@@ -1,0 +1,323 @@
+//! `ninf-load` — multi-client live load generator and measurement driver.
+//!
+//! ```text
+//! ninf-load --scenario <name> [--clients <list>] [--seed <u64>]
+//!           [--json <path>] [--csv <dir>] [--addr <host:port>]
+//!           [--compare-sim] [--assert-zero-errors] [--list]
+//!
+//! ninf-load --list                                  # scenario menu
+//! ninf-load --scenario lan-linpack --clients 1,4,8  # Table 3-shaped sweep
+//! ninf-load --scenario lan-ep --addr 127.0.0.1:5656 # against a live ninfd
+//! ```
+//!
+//! Each client-count in `--clients` is one full live run: the scenario's
+//! target is spawned (or dialed, with `--addr`), N real client threads issue
+//! `Ninf_call`s over TCP per the workload spec, and the run is reported with
+//! the §4.1 vocabulary — per-call Mflops, latency percentiles, and the
+//! server-side `T_response`/`T_wait` decomposition. `--compare-sim` re-runs
+//! the simulator's Table 3/4 experiment in-process at the same seed and
+//! prints the live and simulated scalability shapes side by side.
+
+use std::io::Write as _;
+
+use ninf_bench::cli::{parse_args, parse_list, CliError};
+use ninf_loadgen::{run_scenario, scenario, scenario_names, RunReport, Target};
+
+fn main() {
+    let parsed = match parse_args(
+        std::env::args().skip(1),
+        &[
+            "--scenario|-s",
+            "--clients|-c",
+            "--seed",
+            "--json",
+            "--csv",
+            "--addr",
+        ],
+        &["--list", "--compare-sim", "--assert-zero-errors"],
+    ) {
+        Ok(p) => p,
+        Err(CliError::Help) => usage(""),
+        Err(CliError::Bad(msg)) => usage(&msg),
+    };
+    if let Some(extra) = parsed.positionals.first() {
+        usage(&format!("unexpected argument `{extra}`"));
+    }
+
+    if parsed.has("--list") {
+        for name in scenario_names() {
+            let sc = scenario(name).expect("listed scenario exists");
+            println!("{name:<14} {}", sc.about);
+        }
+        return;
+    }
+
+    let name = parsed
+        .value("--scenario")
+        .unwrap_or_else(|| usage("--scenario is required (or --list)"));
+    let mut sc =
+        scenario(name).unwrap_or_else(|| usage(&format!("unknown scenario `{name}` (try --list)")));
+    if let Some(addr) = parsed.value("--addr") {
+        sc.target = Target::External(addr.to_string());
+    }
+    let clients: Vec<usize> = match parsed.value("--clients") {
+        Some(raw) => match parse_list(raw, "--clients") {
+            Ok(v) if !v.is_empty() => v,
+            Ok(_) => usage("--clients needs at least one count"),
+            Err(CliError::Bad(msg)) => usage(&msg),
+            Err(CliError::Help) => usage(""),
+        },
+        None => vec![4],
+    };
+    let seed: u64 = match parsed.parse("--seed") {
+        Ok(v) => v.unwrap_or(1997),
+        Err(CliError::Bad(msg)) => usage(&msg),
+        Err(CliError::Help) => usage(""),
+    };
+
+    eprintln!("# scenario {name}, seed {seed}: {}", sc.about);
+    let mut reports = Vec::new();
+    for &c in &clients {
+        eprintln!("# running {c} client(s) ...");
+        match run_scenario(&sc, c, seed) {
+            Ok(report) => {
+                print!("{}", render(&report));
+                reports.push(report);
+            }
+            Err(e) => {
+                eprintln!("error: run with {c} client(s) failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    print!("{}", render_sweep(&reports));
+    if parsed.has("--compare-sim") {
+        print!("{}", compare_sim(&reports, seed));
+    }
+
+    if let Some(dir) = parsed.value("--csv") {
+        let dir = std::path::PathBuf::from(dir);
+        let mut count = 0;
+        for r in &reports {
+            count += r.write_csv(&dir).expect("write csv").len();
+        }
+        eprintln!("# wrote {count} CSV files to {}", dir.display());
+    }
+    if let Some(path) = parsed.value("--json") {
+        let doc = sweep_json(&reports, seed);
+        let mut f = std::fs::File::create(path).expect("create json output");
+        writeln!(
+            f,
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("serialize")
+        )
+        .expect("write json");
+        eprintln!("# wrote {path}");
+    }
+
+    if parsed.has("--assert-zero-errors") {
+        let errors: usize = reports.iter().map(|r| r.fleet.errors()).sum();
+        if errors > 0 {
+            eprintln!("error: {errors} call(s) failed across the sweep");
+            std::process::exit(1);
+        }
+        eprintln!("# zero errors across {} run(s)", reports.len());
+    }
+}
+
+/// One run, rendered in the paper's table vocabulary.
+fn render(r: &RunReport) -> String {
+    let mut s = format!(
+        "-----------------------------------------------------------------\n\
+         {} c={} seed={} ({})\n\
+         -----------------------------------------------------------------\n",
+        r.scenario, r.clients, r.seed, r.workload
+    );
+    s += &format!(
+        "calls {} ok {} errors {} (remote {}, timeout {}, transport {}) retries {}\n",
+        r.fleet.calls,
+        r.fleet.ok,
+        r.fleet.errors(),
+        r.fleet.remote_errors,
+        r.fleet.timeouts,
+        r.fleet.transport_errors,
+        r.fleet.retries
+    );
+    s += &format!(
+        "latency  mean {:.4}s  p50 {:.4}s  p95 {:.4}s  p99 {:.4}s\n",
+        r.fleet.latency.mean, r.fleet.p50, r.fleet.p95, r.fleet.p99
+    );
+    if r.fleet.perf_calls > 0 {
+        s += &format!(
+            "per-call Mflops  mean {:.2}  max {:.2}  min {:.2}",
+            r.fleet.perf.mean, r.fleet.perf.max, r.fleet.perf.min
+        );
+        if let Some(agg) = r.aggregate_mflops() {
+            s += &format!("  (aggregate {agg:.2})");
+        }
+        s.push('\n');
+    }
+    s += &format!(
+        "throughput {:.2} calls/s over {:.2}s wall\n",
+        r.fleet.calls_per_sec, r.wall_secs
+    );
+    if let Some(server) = &r.server {
+        s += &format!(
+            "server (n={})  T_response mean {:.4}s max {:.4}s  T_wait mean {:.4}s max {:.4}s  service mean {:.4}s\n",
+            server.records,
+            server.response.mean,
+            server.response.max,
+            server.wait.mean,
+            server.wait.max,
+            server.service.mean
+        );
+    }
+    s += "per-client:\n";
+    for c in &r.per_client {
+        s += &format!(
+            "  client {:<3} calls {:<4} ok {:<4} err {:<3} mean {:.4}s p95 {:.4}s",
+            c.client,
+            c.calls,
+            c.ok,
+            c.errors(),
+            c.latency.mean,
+            c.p95
+        );
+        if c.perf_calls > 0 {
+            s += &format!("  {:.2} Mflops", c.perf.mean);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// The sweep summary: the Table 3/4 shape — one row per client count.
+fn render_sweep(reports: &[RunReport]) -> String {
+    let mut s = String::from(
+        "=================================================================\n\
+         scalability sweep (Table 3/4 shape)\n\
+         =================================================================\n\
+         clients  mean-Mflops  max      min      p95-lat   errors\n",
+    );
+    for r in reports {
+        let perf = |v: f64| {
+            if r.fleet.perf_calls > 0 {
+                format!("{v:.2}")
+            } else {
+                "-".into()
+            }
+        };
+        s += &format!(
+            "{:<8} {:<12} {:<8} {:<8} {:<9.4} {}\n",
+            r.clients,
+            perf(r.fleet.perf.mean),
+            perf(r.fleet.perf.max),
+            perf(r.fleet.perf.min),
+            r.fleet.p95,
+            r.fleet.errors()
+        );
+    }
+    s
+}
+
+/// Live-vs-sim comparison: re-run the simulator's 1-PE LAN Linpack table
+/// (Table 3) in-process at the same seed and set the two scalability shapes
+/// side by side, each normalized to its own c=1 run.
+///
+/// Absolute numbers differ by design — the sim models the paper's J90 and
+/// n∈{600,1000,1400}, the live run measures this host — so the comparable
+/// signal is the *decline shape* of per-call Mflops as clients contend.
+fn compare_sim(reports: &[RunReport], seed: u64) -> String {
+    let sim = match ninf_sim::experiments::run("table3", seed) {
+        Some(out) => out,
+        None => return String::from("# --compare-sim: sim experiment table3 unavailable\n"),
+    };
+    // Pick the sim's smallest-n workload row set (closest to the live rig).
+    let cells: Vec<&serde_json::Value> = match sim.json.as_array() {
+        Some(cells) => cells
+            .iter()
+            .filter(|c| c["workload"].as_str().is_some_and(|w| w == "linpack n=600"))
+            .collect(),
+        None => Vec::new(),
+    };
+    let sim_at = |clients: usize| -> Option<(f64, f64, f64)> {
+        let cell = cells
+            .iter()
+            .find(|c| c["clients"].as_u64() == Some(clients as u64))?;
+        Some((
+            cell["perf"]["mean"].as_f64()?,
+            cell["response"]["mean"].as_f64()?,
+            cell["wait"]["mean"].as_f64()?,
+        ))
+    };
+
+    let mut s = String::from(
+        "=================================================================\n\
+         live vs sim (Table 3 shape, each normalized to its own c=1)\n\
+         =================================================================\n\
+         clients  live-Mflops  live-norm  sim-Mflops  sim-norm   sim-T_wait\n",
+    );
+    let live_base = reports
+        .iter()
+        .find(|r| r.clients == 1)
+        .map(|r| r.fleet.perf.mean);
+    let sim_base = sim_at(1).map(|(m, _, _)| m);
+    for r in reports {
+        let live_norm = match live_base {
+            Some(b) if b > 0.0 => format!("{:.3}", r.fleet.perf.mean / b),
+            _ => "-".into(),
+        };
+        let (sim_m, sim_norm, sim_wait) = match (sim_at(r.clients), sim_base) {
+            (Some((m, _resp, wait)), Some(b)) if b > 0.0 => (
+                format!("{m:.2}"),
+                format!("{:.3}", m / b),
+                format!("{wait:.3}s"),
+            ),
+            (Some((m, _resp, wait)), _) => (format!("{m:.2}"), "-".into(), format!("{wait:.3}s")),
+            _ => ("-".into(), "-".into(), "-".into()),
+        };
+        s += &format!(
+            "{:<8} {:<12.2} {:<10} {:<11} {:<10} {}\n",
+            r.clients, r.fleet.perf.mean, live_norm, sim_m, sim_norm, sim_wait
+        );
+    }
+    s += "# sim rows: table3, linpack n=600 on the modeled J90; live rows: this host.\n\
+          # the comparable signal is the normalized per-call decline, not absolutes.\n";
+    s
+}
+
+/// The whole sweep as one JSON document (experiments.json schema family).
+fn sweep_json(reports: &[RunReport], seed: u64) -> serde_json::Value {
+    let mut doc = serde_json::Map::new();
+    doc.insert("seed".into(), serde_json::json!(seed));
+    if let Some(first) = reports.first() {
+        doc.insert(
+            "scenario".into(),
+            serde_json::json!(first.scenario.as_str()),
+        );
+        doc.insert(
+            "workload".into(),
+            serde_json::json!(first.workload.as_str()),
+        );
+    }
+    doc.insert(
+        "runs".into(),
+        serde_json::Value::Array(reports.iter().map(|r| r.to_json()).collect()),
+    );
+    serde_json::Value::Object(doc)
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: ninf-load --scenario <name> [--clients <list>] [--seed <u64>]\n\
+        \x20                [--json <path>] [--csv <dir>] [--addr <host:port>]\n\
+        \x20                [--compare-sim] [--assert-zero-errors] [--list]\n\
+         scenarios: {}",
+        scenario_names().join(", ")
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,51 +1,44 @@
 //! `repro` — regenerate every table and figure of the SC'97 Ninf paper.
 //!
 //! ```text
-//! repro [--experiment <id>]... [--seed <u64>] [--json <path>] [--list]
+//! repro [--experiment <id>]... [--seed <u64>] [--json <path>] [--csv <dir>] [--list]
 //! ```
 
 use std::io::Write;
 
-fn main() {
-    let mut ids: Vec<String> = Vec::new();
-    let mut seed: u64 = 1997;
-    let mut json_path: Option<String> = None;
-    let mut csv_dir: Option<String> = None;
+use ninf_bench::cli::{parse_args, CliError};
 
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--list" => {
-                for id in ninf_sim::experiments::all_ids() {
-                    println!("{id}");
-                }
-                return;
-            }
-            "--experiment" | "-e" => {
-                ids.push(
-                    args.next()
-                        .unwrap_or_else(|| usage("--experiment needs an id")),
-                );
-            }
-            "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs an integer"));
-            }
-            "--json" => {
-                json_path = Some(args.next().unwrap_or_else(|| usage("--json needs a path")));
-            }
-            "--csv" => {
-                csv_dir = Some(
-                    args.next()
-                        .unwrap_or_else(|| usage("--csv needs a directory")),
-                );
-            }
-            "--help" | "-h" => usage(""),
-            other => usage(&format!("unknown argument `{other}`")),
-        }
+fn main() {
+    let parsed = match parse_args(
+        std::env::args().skip(1),
+        &["--experiment|-e", "--seed", "--json", "--csv"],
+        &["--list"],
+    ) {
+        Ok(p) => p,
+        Err(CliError::Help) => usage(""),
+        Err(CliError::Bad(msg)) => usage(&msg),
+    };
+    if let Some(extra) = parsed.positionals.first() {
+        usage(&format!("unexpected argument `{extra}`"));
     }
+
+    if parsed.has("--list") {
+        for id in ninf_sim::experiments::all_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let ids: Vec<String> = parsed
+        .values("--experiment")
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    let seed: u64 = match parsed.parse("--seed") {
+        Ok(v) => v.unwrap_or(1997),
+        Err(CliError::Bad(msg)) => usage(&msg),
+        Err(CliError::Help) => usage(""),
+    };
 
     eprintln!("# seed = {seed} (results are a pure function of the seed)");
     let outs = if ids.is_empty() {
@@ -64,7 +57,7 @@ fn main() {
         print!("{}", ninf_bench::render(out));
     }
 
-    if let Some(dir) = csv_dir {
+    if let Some(dir) = parsed.value("--csv") {
         let dir = std::path::PathBuf::from(dir);
         let mut count = 0;
         for out in &outs {
@@ -73,9 +66,9 @@ fn main() {
         eprintln!("# wrote {count} CSV files to {}", dir.display());
     }
 
-    if let Some(path) = json_path {
+    if let Some(path) = parsed.value("--json") {
         let doc = ninf_bench::to_json(&outs, seed);
-        let mut f = std::fs::File::create(&path).expect("create json output");
+        let mut f = std::fs::File::create(path).expect("create json output");
         writeln!(
             f,
             "{}",

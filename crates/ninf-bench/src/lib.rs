@@ -10,6 +10,8 @@
 //! repro --seed 7 --json out.json
 //! ```
 
+pub mod cli;
+
 use ninf_sim::experiments::{all_ids, run, ExperimentOutput};
 
 /// Run every experiment with `seed`; deterministic.

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ninf_idl::CompiledInterface;
 use ninf_protocol::{
@@ -69,6 +69,34 @@ impl CallOptions {
     }
 }
 
+/// Client-side decomposition of one `Ninf_call`, in seconds — the
+/// measurement hook a load-generation harness reads instead of scraping
+/// stdout. Segments that did not occur (interface cache hit, no redial) are
+/// zero. `total` covers the whole call including retries and backoff sleeps,
+/// so `total ≥ connect + interface + marshal + roundtrip`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CallTiming {
+    /// Seconds spent re-dialing the server inside the call (retries only).
+    pub connect: f64,
+    /// Seconds fetching the compiled interface (stage 1); 0 on a cache hit.
+    pub interface: f64,
+    /// Seconds interpreting the IDL client-side: argument validation and
+    /// layout computation before any payload byte is sent.
+    pub marshal: f64,
+    /// Seconds between sending `Invoke` and receiving the reply — wire
+    /// transfer both ways plus server wall time (subtract the server-side
+    /// [`ninf_protocol::CallStat::total`] to isolate transfer).
+    pub roundtrip: f64,
+    /// End-to-end wall seconds of the call, retries and backoff included.
+    pub total: f64,
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Request payload bytes (arrays only) of the last attempt.
+    pub request_bytes: usize,
+    /// Reply payload bytes of the last attempt (0 if it failed).
+    pub reply_bytes: usize,
+}
+
 /// FNV-1a of an address, used to salt backoff jitter per server.
 fn addr_salt(addr: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -94,6 +122,10 @@ pub struct NinfClient {
     /// Running totals of array payload bytes, for throughput accounting.
     bytes_sent: usize,
     bytes_received: usize,
+    /// Segment accumulator for the call in progress.
+    timing: CallTiming,
+    /// Completed timing of the most recent `ninf_call`.
+    last_timing: Option<CallTiming>,
 }
 
 impl NinfClient {
@@ -122,7 +154,15 @@ impl NinfClient {
             options: CallOptions::default(),
             bytes_sent: 0,
             bytes_received: 0,
+            timing: CallTiming::default(),
+            last_timing: None,
         }
+    }
+
+    /// Timing decomposition of the most recent [`NinfClient::ninf_call`]
+    /// (successful or not); `None` before the first call.
+    pub fn last_timing(&self) -> Option<CallTiming> {
+        self.last_timing
     }
 
     /// The active reliability policy.
@@ -141,10 +181,10 @@ impl NinfClient {
     /// Fails for transport-wrapping clients, which have no address.
     fn reconnect(&mut self) -> ProtocolResult<()> {
         let addr = self.addr.clone().ok_or(ProtocolError::Disconnected)?;
-        self.transport = Box::new(TcpTransport::connect_with_deadline(
-            &addr,
-            self.options.deadline,
-        )?);
+        let t0 = Instant::now();
+        let dialed = TcpTransport::connect_with_deadline(&addr, self.options.deadline);
+        self.timing.connect += t0.elapsed().as_secs_f64();
+        self.transport = Box::new(dialed?);
         Ok(())
     }
 
@@ -193,10 +233,13 @@ impl NinfClient {
     /// Stage 1: fetch (or reuse) the compiled interface for `routine`.
     pub fn query_interface(&mut self, routine: &str) -> ProtocolResult<&CompiledInterface> {
         if !self.interfaces.contains_key(routine) {
+            let t0 = Instant::now();
             self.transport.send(&Message::QueryInterface {
                 routine: routine.to_owned(),
             })?;
-            match self.transport.recv()? {
+            let reply = self.transport.recv();
+            self.timing.interface += t0.elapsed().as_secs_f64();
+            match reply? {
                 Message::InterfaceReply { interface } => {
                     self.interfaces.insert(routine.to_owned(), interface);
                 }
@@ -223,23 +266,41 @@ impl NinfClient {
     /// deadline-bounded, and retryable failures redial with backoff (see
     /// [`NinfClient::connect_with`]).
     pub fn ninf_call(&mut self, routine: &str, args: &[Value]) -> ProtocolResult<Vec<Value>> {
-        self.with_retries(|c| c.ninf_call_once(routine, args))
+        self.timing = CallTiming::default();
+        let t0 = Instant::now();
+        let out = self.with_retries(|c| {
+            c.timing.attempts += 1;
+            c.ninf_call_once(routine, args)
+        });
+        self.timing.total = t0.elapsed().as_secs_f64();
+        self.last_timing = Some(self.timing);
+        out
     }
 
     /// One two-stage call attempt, no retries.
     fn ninf_call_once(&mut self, routine: &str, args: &[Value]) -> ProtocolResult<Vec<Value>> {
         let interface = self.query_interface(routine)?.clone();
+        let t_marshal = Instant::now();
         let layout = validate_call_args(&interface, args).map_err(ProtocolError::Remote)?;
-        self.bytes_sent += ninf_protocol::request_payload_bytes(&layout);
+        self.timing.marshal += t_marshal.elapsed().as_secs_f64();
+        let request_bytes = ninf_protocol::request_payload_bytes(&layout);
+        self.bytes_sent += request_bytes;
+        self.timing.request_bytes = request_bytes;
+        self.timing.reply_bytes = 0;
 
+        let t_wire = Instant::now();
         self.transport.send(&Message::Invoke {
             routine: routine.to_owned(),
             args: args.to_vec(),
         })?;
-        match self.transport.recv()? {
+        let reply = self.transport.recv();
+        self.timing.roundtrip += t_wire.elapsed().as_secs_f64();
+        match reply? {
             Message::ResultData { results } => {
                 validate_results(&interface, &layout, &results).map_err(ProtocolError::Remote)?;
-                self.bytes_received += ninf_protocol::reply_payload_bytes(&layout);
+                let reply_bytes = ninf_protocol::reply_payload_bytes(&layout);
+                self.bytes_received += reply_bytes;
+                self.timing.reply_bytes = reply_bytes;
                 Ok(results)
             }
             Message::Error { reason } => Err(ProtocolError::Remote(reason)),
@@ -315,6 +376,29 @@ impl NinfClient {
             Message::Error { reason } => Err(ProtocolError::Remote(reason)),
             other => Err(ProtocolError::UnexpectedMessage {
                 expected: "RoutineList",
+                got: other.kind().to_owned(),
+            }),
+        }
+    }
+
+    /// Query the server's completed-call records (§4.1 timelines) from
+    /// record index `since`. Returns `(server clock now, total records,
+    /// records[since..])` — the server-side half a measurement harness joins
+    /// with its own [`CallTiming`] observations.
+    pub fn query_stats(
+        &mut self,
+        since: u64,
+    ) -> ProtocolResult<(f64, u64, Vec<ninf_protocol::CallStat>)> {
+        self.transport.send(&Message::QueryStats { since })?;
+        match self.transport.recv()? {
+            Message::StatsReply {
+                now,
+                total,
+                records,
+            } => Ok((now, total, records)),
+            Message::Error { reason } => Err(ProtocolError::Remote(reason)),
+            other => Err(ProtocolError::UnexpectedMessage {
+                expected: "StatsReply",
                 got: other.kind().to_owned(),
             }),
         }
@@ -659,6 +743,82 @@ mod tests {
         let mut client = NinfClient::from_transport(Box::new(t));
         let err = client.query_interface("dmmul").unwrap_err();
         assert!(matches!(err, ProtocolError::UnexpectedMessage { .. }));
+    }
+
+    #[test]
+    fn call_timing_is_recorded_per_call() {
+        let n = 2usize;
+        let t = Scripted::new(vec![
+            Message::InterfaceReply {
+                interface: dmmul_iface(),
+            },
+            Message::ResultData {
+                results: vec![Value::DoubleArray(vec![5.0; n * n])],
+            },
+            Message::ResultData {
+                results: vec![Value::DoubleArray(vec![5.0; n * n])],
+            },
+        ]);
+        let mut client = NinfClient::from_transport(Box::new(t));
+        assert_eq!(client.last_timing(), None);
+        let args = vec![
+            Value::Int(n as i32),
+            Value::DoubleArray(vec![1.0; n * n]),
+            Value::DoubleArray(vec![2.0; n * n]),
+        ];
+        client.ninf_call("dmmul", &args).unwrap();
+        let first = client.last_timing().unwrap();
+        assert_eq!(first.attempts, 1);
+        assert_eq!(first.request_bytes, 2 * 8 * n * n);
+        assert_eq!(first.reply_bytes, 8 * n * n);
+        assert!(first.total >= first.roundtrip);
+        assert!(first.connect == 0.0); // no redial on a wrapped transport
+        assert!(first.marshal >= 0.0 && first.interface >= 0.0);
+
+        // Second call hits the interface cache: the stage-1 segment is zero,
+        // and the timing is a fresh record, not an accumulation.
+        client.ninf_call("dmmul", &args).unwrap();
+        let second = client.last_timing().unwrap();
+        assert_eq!(second.attempts, 1);
+        assert_eq!(second.interface, 0.0);
+    }
+
+    #[test]
+    fn failed_call_still_records_timing() {
+        let t = Scripted::new(vec![Message::Error {
+            reason: "unknown routine `fft`".into(),
+        }]);
+        let mut client = NinfClient::from_transport(Box::new(t));
+        assert!(client.ninf_call("fft", &[]).is_err());
+        let timing = client.last_timing().unwrap();
+        assert_eq!(timing.attempts, 1);
+        assert_eq!(timing.reply_bytes, 0);
+        assert!(timing.total >= 0.0);
+    }
+
+    #[test]
+    fn query_stats_parses_reply() {
+        use ninf_protocol::CallStat;
+        let rec = CallStat {
+            routine: "ep".into(),
+            n: Some(20),
+            request_bytes: 0,
+            reply_bytes: 16,
+            t_submit: 0.5,
+            t_enqueue: 0.5,
+            t_dequeue: 0.6,
+            t_complete: 0.9,
+        };
+        let t = Scripted::new(vec![Message::StatsReply {
+            now: 1.25,
+            total: 3,
+            records: vec![rec.clone()],
+        }]);
+        let mut client = NinfClient::from_transport(Box::new(t));
+        let (now, total, records) = client.query_stats(2).unwrap();
+        assert_eq!(now, 1.25);
+        assert_eq!(total, 3);
+        assert_eq!(records, vec![rec]);
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod transaction;
 
 pub use client::{
     call_async, call_async_with, call_two_phase, call_with_options, ninf_call_url, parse_ninf_url,
-    AsyncCall, CallOptions, LocalTxError, NinfClient,
+    AsyncCall, CallOptions, CallTiming, LocalTxError, NinfClient,
 };
 pub use transaction::{execute_locally, PlannedCall, SlotId, Transaction, TxArg};

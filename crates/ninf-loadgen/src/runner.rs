@@ -1,0 +1,432 @@
+//! Live execution: materialize a target, fan out client threads over real
+//! TCP, drive them from the workload spec, and join client- and server-side
+//! measurements into a [`RunReport`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ninf_client::{CallTiming, NinfClient};
+use ninf_metaserver::{Balancing, Directory, Metaserver, ServerEntry};
+use ninf_protocol::{CallStat, ProtocolError, ProtocolResult, Value};
+use ninf_server::{
+    builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig,
+};
+
+use crate::report::{CallResult, Outcome, RunReport, ServerView};
+use crate::scenario::Scenario;
+use crate::spec::{Arrival, Routine, WorkloadSpec};
+
+/// What the client fleet talks to.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// An already-running server at this address (e.g. a `ninfd` spawned by
+    /// CI); nothing is started or stopped by the harness.
+    External(String),
+    /// Spawn one in-process server on a loopback ephemeral port.
+    Spawn {
+        /// PEs behind the gate.
+        pes: usize,
+        /// Admission policy.
+        policy: SchedPolicy,
+    },
+    /// Spawn a fleet fronted by an in-process metaserver; clients route
+    /// through `Metaserver::ninf_call`.
+    SpawnFleet {
+        /// Fleet size.
+        servers: usize,
+        /// PEs per server.
+        pes: usize,
+    },
+}
+
+/// Backend the client threads actually call through.
+enum Backend {
+    /// Each client dials one of these addresses directly.
+    Direct(Vec<String>),
+    /// Calls go through a shared in-process metaserver.
+    Meta(Arc<Metaserver>),
+}
+
+/// Spawned servers (shut down when the run ends) plus every queryable
+/// address.
+struct LiveTarget {
+    spawned: Vec<NinfServer>,
+    addrs: Vec<String>,
+    backend: Backend,
+}
+
+fn spawn_server(pes: usize, policy: SchedPolicy) -> ProtocolResult<NinfServer> {
+    let mut registry = Registry::new();
+    register_stdlib(&mut registry, false);
+    NinfServer::start(
+        "127.0.0.1:0",
+        registry,
+        ServerConfig {
+            pes,
+            mode: ExecMode::TaskParallel,
+            policy,
+        },
+    )
+}
+
+fn materialize(target: &Target, spec: &WorkloadSpec) -> ProtocolResult<LiveTarget> {
+    match target {
+        Target::External(addr) => Ok(LiveTarget {
+            spawned: Vec::new(),
+            addrs: vec![addr.clone()],
+            backend: Backend::Direct(vec![addr.clone()]),
+        }),
+        Target::Spawn { pes, policy } => {
+            let server = spawn_server(*pes, *policy)?;
+            let addr = server.addr().to_string();
+            Ok(LiveTarget {
+                spawned: vec![server],
+                addrs: vec![addr.clone()],
+                backend: Backend::Direct(vec![addr]),
+            })
+        }
+        Target::SpawnFleet { servers, pes } => {
+            let mut dir = Directory::new();
+            let mut spawned = Vec::new();
+            let mut addrs = Vec::new();
+            for i in 0..*servers {
+                let server = spawn_server(*pes, SchedPolicy::Fcfs)?;
+                let addr = server.addr().to_string();
+                dir.register(ServerEntry {
+                    name: format!("node{i}"),
+                    addr: addr.clone(),
+                    bandwidth_bytes_per_sec: 10e6,
+                    linpack_mflops: 100.0,
+                });
+                addrs.push(addr);
+                spawned.push(server);
+            }
+            let meta = Metaserver::with_options(
+                dir,
+                Balancing::RoundRobin,
+                spec.options,
+                Some(Duration::from_secs(1)),
+            );
+            Ok(LiveTarget {
+                spawned,
+                addrs,
+                backend: Backend::Meta(Arc::new(meta)),
+            })
+        }
+    }
+}
+
+/// Pre-generated call inputs, shared read-only across the fleet so argument
+/// generation never sits on the measured path.
+struct Inputs {
+    /// `n → (A, b)` for every distinct Linpack order in the mix.
+    linpack: HashMap<usize, (Vec<f64>, Vec<f64>)>,
+}
+
+impl Inputs {
+    fn prepare(spec: &WorkloadSpec, seed: u64) -> Self {
+        let mut linpack = HashMap::new();
+        for entry in &spec.mix {
+            if let Routine::Linpack { n } = entry.routine {
+                linpack.entry(n).or_insert_with(|| {
+                    let (a, b) = ninf_exec::random_matrix(n, seed);
+                    (a.as_slice().to_vec(), b)
+                });
+            }
+        }
+        Inputs { linpack }
+    }
+
+    fn args(&self, routine: Routine) -> Vec<Value> {
+        match routine {
+            Routine::Linpack { n } => {
+                let (a, b) = &self.linpack[&n];
+                vec![
+                    Value::Int(n as i32),
+                    Value::DoubleArray(a.clone()),
+                    Value::DoubleArray(b.clone()),
+                ]
+            }
+            Routine::Ep { m } => vec![Value::Int(m)],
+        }
+    }
+}
+
+fn classify(err: &ProtocolError) -> Outcome {
+    match err {
+        ProtocolError::Remote(_) => Outcome::Remote,
+        ProtocolError::Timeout { .. } => Outcome::Timeout,
+        _ => Outcome::Transport,
+    }
+}
+
+fn sleep_until(epoch: Instant, offset: f64) {
+    if offset <= 0.0 {
+        return;
+    }
+    let target = epoch + Duration::from_secs_f64(offset);
+    let now = Instant::now();
+    if target > now {
+        std::thread::sleep(target - now);
+    }
+}
+
+/// One client thread's whole life: issue every scheduled call, measure each.
+#[allow(clippy::too_many_arguments)]
+fn drive_client(
+    spec: &WorkloadSpec,
+    backend: &Backend,
+    inputs: &Inputs,
+    epoch: Instant,
+    seed: u64,
+    client: usize,
+    clients: usize,
+) -> Vec<CallResult> {
+    let schedule = spec.arrival_schedule(seed, client, clients);
+    let planned = spec.planned_calls(seed, client, clients);
+    let mut results = Vec::with_capacity(planned);
+
+    // Direct backends hold one long-lived connection per client, like the
+    // paper's clients; the reliability policy re-dials inside the call.
+    let mut direct = match backend {
+        Backend::Direct(addrs) => {
+            let addr = &addrs[client % addrs.len()];
+            match NinfClient::connect_with(addr, spec.options) {
+                Ok(c) => Some(c),
+                Err(_) => {
+                    // Server unreachable at start: every planned call is a
+                    // transport failure, not a silent no-show.
+                    for seq in 0..planned {
+                        let routine = spec.pick_routine(seed, client, seq);
+                        let t = epoch.elapsed().as_secs_f64();
+                        results.push(CallResult {
+                            client,
+                            seq,
+                            routine: routine.name(),
+                            n: routine.scalar(),
+                            scheduled: t,
+                            t_submit: t,
+                            t_complete: t,
+                            timing: CallTiming {
+                                attempts: 1,
+                                ..CallTiming::default()
+                            },
+                            outcome: Outcome::Transport,
+                            flops: routine.flops(),
+                        });
+                    }
+                    return results;
+                }
+            }
+        }
+        Backend::Meta(_) => None,
+    };
+
+    let (start, _end) = spec.phases.window(client, clients);
+    match spec.arrival {
+        Arrival::Closed { think } => {
+            sleep_until(epoch, start);
+            for seq in 0..spec.calls_per_client {
+                let scheduled = epoch.elapsed().as_secs_f64();
+                results.push(issue(
+                    spec,
+                    backend,
+                    &mut direct,
+                    inputs,
+                    epoch,
+                    seed,
+                    client,
+                    seq,
+                    scheduled,
+                ));
+                if think > Duration::ZERO && seq + 1 < spec.calls_per_client {
+                    std::thread::sleep(think);
+                }
+            }
+        }
+        Arrival::Open { .. } => {
+            for (seq, &offset) in schedule.iter().enumerate() {
+                // Late calls are issued immediately, never skipped: the
+                // offered load is exactly the schedule.
+                sleep_until(epoch, offset);
+                results.push(issue(
+                    spec,
+                    backend,
+                    &mut direct,
+                    inputs,
+                    epoch,
+                    seed,
+                    client,
+                    seq,
+                    offset,
+                ));
+            }
+        }
+    }
+    results
+}
+
+/// Issue and measure one call.
+#[allow(clippy::too_many_arguments)]
+fn issue(
+    spec: &WorkloadSpec,
+    backend: &Backend,
+    direct: &mut Option<NinfClient>,
+    inputs: &Inputs,
+    epoch: Instant,
+    seed: u64,
+    client: usize,
+    seq: usize,
+    scheduled: f64,
+) -> CallResult {
+    let routine = spec.pick_routine(seed, client, seq);
+    let args = inputs.args(routine);
+    let t_submit = epoch.elapsed().as_secs_f64();
+    let (timing, outcome) = match (backend, direct.as_mut()) {
+        (_, Some(c)) => {
+            let outcome = match c.ninf_call(routine.name(), &args) {
+                Ok(_) => Outcome::Ok,
+                Err(e) => classify(&e),
+            };
+            (c.last_timing().unwrap_or_default(), outcome)
+        }
+        (Backend::Meta(meta), _) => {
+            // The metaserver path has no per-segment decomposition; wall
+            // total only.
+            let t0 = Instant::now();
+            let outcome = match meta.ninf_call(routine.name(), &args) {
+                Ok(_) => Outcome::Ok,
+                Err(e) => classify(&e),
+            };
+            (
+                CallTiming {
+                    total: t0.elapsed().as_secs_f64(),
+                    attempts: 1,
+                    ..CallTiming::default()
+                },
+                outcome,
+            )
+        }
+        (Backend::Direct(_), None) => unreachable!("direct backend always has a client"),
+    };
+    let t_complete = epoch.elapsed().as_secs_f64();
+    CallResult {
+        client,
+        seq,
+        routine: routine.name(),
+        n: routine.scalar(),
+        scheduled,
+        t_submit,
+        t_complete,
+        timing,
+        outcome,
+        flops: routine.flops(),
+    }
+}
+
+/// Fetch §4.1 timelines from every queryable server after the run.
+fn collect_server_view(addrs: &[String], options: ninf_client::CallOptions) -> Option<ServerView> {
+    let mut records: Vec<CallStat> = Vec::new();
+    let mut any = false;
+    for addr in addrs {
+        if let Ok(mut c) = NinfClient::connect_with(addr, options) {
+            if let Ok((_now, _total, recs)) = c.query_stats(0) {
+                records.extend(recs);
+                any = true;
+            }
+        }
+    }
+    any.then(|| ServerView::from_stats(&records))
+}
+
+/// Short human description of what the fleet offered.
+fn workload_desc(spec: &WorkloadSpec) -> String {
+    let mix = spec
+        .mix
+        .iter()
+        .map(|e| {
+            format!(
+                "{} {}={} (w{})",
+                e.routine.name(),
+                match e.routine {
+                    Routine::Linpack { .. } => "n",
+                    Routine::Ep { .. } => "m",
+                },
+                e.routine.scalar(),
+                e.weight
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" + ");
+    match spec.arrival {
+        Arrival::Closed { think } => format!(
+            "closed-loop think={}ms, {} calls/client, mix: {mix}",
+            think.as_millis(),
+            spec.calls_per_client
+        ),
+        Arrival::Open { rate_hz } => format!(
+            "open-loop {rate_hz} Hz/client over {:.1}s, mix: {mix}",
+            spec.phases.total()
+        ),
+    }
+}
+
+/// Run `scenario` with `clients` concurrent live clients under `seed`.
+///
+/// Spawns whatever the scenario's [`Target`] asks for, fans out one OS
+/// thread per client, joins them, queries every server's §4.1 stats, shuts
+/// spawned servers down, and aggregates the [`RunReport`].
+pub fn run_scenario(scenario: &Scenario, clients: usize, seed: u64) -> ProtocolResult<RunReport> {
+    let spec = &scenario.spec;
+    let live = materialize(&scenario.target, spec)?;
+    let inputs = Inputs::prepare(spec, seed);
+
+    let epoch = Instant::now();
+    let mut calls: Vec<CallResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let backend = &live.backend;
+                let inputs = &inputs;
+                s.spawn(move || drive_client(spec, backend, inputs, epoch, seed, client, clients))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    calls.sort_by_key(|c| (c.client, c.seq));
+
+    let wall_secs = {
+        let first = calls
+            .iter()
+            .map(|c| c.t_submit)
+            .fold(f64::INFINITY, f64::min);
+        let last = calls.iter().map(|c| c.t_complete).fold(0.0, f64::max);
+        if first.is_finite() && last > first {
+            last - first
+        } else {
+            0.0
+        }
+    };
+
+    let server = collect_server_view(&live.addrs, spec.options);
+    let schedules: Vec<Vec<f64>> = (0..clients)
+        .map(|c| spec.arrival_schedule(seed, c, clients))
+        .collect();
+    for s in live.spawned {
+        s.shutdown();
+    }
+
+    Ok(RunReport::build(
+        scenario.name,
+        workload_desc(spec),
+        clients,
+        seed,
+        wall_secs,
+        calls,
+        server,
+        schedules,
+    ))
+}

@@ -1,0 +1,165 @@
+//! The scenario library: named, ready-to-run workload + target bundles
+//! mirroring the paper's experiment shapes.
+
+use std::time::Duration;
+
+use ninf_client::CallOptions;
+use ninf_server::SchedPolicy;
+
+use crate::runner::Target;
+use crate::spec::{Arrival, MixEntry, Phases, Routine, WorkloadSpec};
+
+/// A named workload + target bundle.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// CLI name.
+    pub name: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    /// The workload.
+    pub spec: WorkloadSpec,
+    /// What to run it against (the CLI may override with an external
+    /// address).
+    pub target: Target,
+}
+
+/// Names of every built-in scenario, in menu order.
+pub fn scenario_names() -> Vec<&'static str> {
+    vec!["lan-linpack", "lan-ep", "metaserver-ft"]
+}
+
+/// Look up a built-in scenario by name.
+pub fn scenario(name: &str) -> Option<Scenario> {
+    match name {
+        // The paper's §4.1 LAN rig: N closed-loop clients hammering one
+        // server with Linpack, no think time — per-call Mflops must fall as
+        // clients contend for the single gate (Table 3's shape).
+        "lan-linpack" => Some(Scenario {
+            name: "lan-linpack",
+            about: "closed-loop Linpack n=256 against a 1-PE server (Table 3 shape)",
+            spec: WorkloadSpec {
+                mix: vec![MixEntry {
+                    routine: Routine::Linpack { n: 256 },
+                    weight: 1,
+                }],
+                arrival: Arrival::Closed {
+                    think: Duration::ZERO,
+                },
+                phases: Phases::none(),
+                calls_per_client: 12,
+                options: CallOptions::default(),
+            },
+            target: Target::Spawn {
+                pes: 1,
+                policy: SchedPolicy::Fcfs,
+            },
+        }),
+        // Open-loop EP at a fixed offered rate with ramp phases: the
+        // DiPerF-style rig. Small kernel, call-rate bound, deadline set so
+        // a wedged server surfaces as timeouts rather than a hang.
+        "lan-ep" => Some(Scenario {
+            name: "lan-ep",
+            about: "open-loop EP 2^14 at 40 Hz/client with ramp phases against a 4-PE server",
+            spec: WorkloadSpec {
+                mix: vec![MixEntry {
+                    routine: Routine::Ep { m: 14 },
+                    weight: 1,
+                }],
+                arrival: Arrival::Open { rate_hz: 40.0 },
+                phases: Phases {
+                    ramp_up: 0.5,
+                    steady: 2.0,
+                    ramp_down: 0.5,
+                },
+                calls_per_client: 0,
+                options: CallOptions {
+                    deadline: Some(Duration::from_secs(5)),
+                    ..CallOptions::default()
+                },
+            },
+            target: Target::Spawn {
+                pes: 4,
+                policy: SchedPolicy::Fcfs,
+            },
+        }),
+        // A two-server fleet behind the metaserver with a mixed workload
+        // and a retrying reliability policy — the fault-tolerant routing
+        // path under multi-client load.
+        "metaserver-ft" => Some(Scenario {
+            name: "metaserver-ft",
+            about: "mixed EP+Linpack through a metaserver-fronted 2-server fleet, retrying policy",
+            spec: WorkloadSpec {
+                mix: vec![
+                    MixEntry {
+                        routine: Routine::Ep { m: 12 },
+                        weight: 3,
+                    },
+                    MixEntry {
+                        routine: Routine::Linpack { n: 64 },
+                        weight: 1,
+                    },
+                ],
+                arrival: Arrival::Closed {
+                    think: Duration::from_millis(5),
+                },
+                phases: Phases::none(),
+                calls_per_client: 10,
+                options: CallOptions {
+                    deadline: Some(Duration::from_secs(5)),
+                    retries: 2,
+                    backoff: Duration::from_millis(50),
+                },
+            },
+            target: Target::SpawnFleet { servers: 2, pes: 2 },
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in scenario_names() {
+            let sc = scenario(name).expect("listed scenario exists");
+            assert_eq!(sc.name, name);
+            assert!(!sc.spec.mix.is_empty());
+        }
+        assert!(scenario("no-such").is_none());
+    }
+
+    #[test]
+    fn lan_linpack_is_the_papers_closed_loop_rig() {
+        let sc = scenario("lan-linpack").unwrap();
+        assert!(matches!(
+            sc.spec.arrival,
+            Arrival::Closed { think } if think == Duration::ZERO
+        ));
+        assert!(matches!(sc.target, Target::Spawn { pes: 1, .. }));
+        assert!(sc.spec.calls_per_client > 0);
+        // Linpack-only mix so per-call Mflops is defined for every call.
+        assert!(sc
+            .spec
+            .mix
+            .iter()
+            .all(|e| matches!(e.routine, Routine::Linpack { .. })));
+    }
+
+    #[test]
+    fn lan_ep_is_open_loop_with_ramps_and_deadline() {
+        let sc = scenario("lan-ep").unwrap();
+        assert!(matches!(sc.spec.arrival, Arrival::Open { rate_hz } if rate_hz > 0.0));
+        assert!(sc.spec.phases.ramp_up > 0.0 && sc.spec.phases.ramp_down > 0.0);
+        assert!(sc.spec.options.deadline.is_some());
+    }
+
+    #[test]
+    fn metaserver_ft_routes_through_a_fleet_with_retries() {
+        let sc = scenario("metaserver-ft").unwrap();
+        assert!(matches!(sc.target, Target::SpawnFleet { servers: 2, .. }));
+        assert!(sc.spec.options.retries > 0);
+        assert!(sc.spec.mix.len() > 1);
+    }
+}

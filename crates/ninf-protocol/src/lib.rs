@@ -39,6 +39,6 @@ pub use frame::{read_frame, write_frame, FRAME_MAGIC, PROTOCOL_VERSION};
 pub use marshal::{
     reply_payload_bytes, request_payload_bytes, validate_call_args, validate_results,
 };
-pub use message::{JobPhase, LoadReport, Message};
+pub use message::{CallStat, JobPhase, LoadReport, Message};
 pub use transport::{ChannelTransport, TcpTransport, Transport};
 pub use value::Value;

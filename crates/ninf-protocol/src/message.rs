@@ -22,6 +22,92 @@ pub struct LoadReport {
     pub cpu_utilization: f64,
 }
 
+/// One completed call as reported by the server's statistics sink, carrying
+/// the §4.1 timestamp vocabulary (`T_submit`, `T_enqueue`, `T_dequeue`,
+/// `T_complete`) over the wire so a measurement harness can join the
+/// server-side view with its own client-side records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallStat {
+    /// Routine name.
+    pub routine: String,
+    /// First scalar input (matrix order `n` / EP exponent `m`), when any.
+    pub n: Option<i64>,
+    /// Request payload bytes (arrays only).
+    pub request_bytes: u64,
+    /// Reply payload bytes.
+    pub reply_bytes: u64,
+    /// Seconds since server start at submission.
+    pub t_submit: f64,
+    /// Seconds since server start at acceptance.
+    pub t_enqueue: f64,
+    /// Seconds since server start at executable invocation.
+    pub t_dequeue: f64,
+    /// Seconds since server start at completion.
+    pub t_complete: f64,
+}
+
+impl CallStat {
+    /// `T_response = T_enqueue − T_submit`.
+    pub fn response(&self) -> f64 {
+        self.t_enqueue - self.t_submit
+    }
+
+    /// `T_wait = T_dequeue − T_enqueue`.
+    pub fn wait(&self) -> f64 {
+        self.t_dequeue - self.t_enqueue
+    }
+
+    /// Pure service time (execution).
+    pub fn service(&self) -> f64 {
+        self.t_complete - self.t_dequeue
+    }
+
+    /// End-to-end server-side time.
+    pub fn total(&self) -> f64 {
+        self.t_complete - self.t_submit
+    }
+
+    fn encode_xdr(&self, enc: &mut XdrEncoder) {
+        enc.put_string(&self.routine);
+        match self.n {
+            Some(n) => {
+                enc.put_u32(1);
+                enc.put_i64(n);
+            }
+            None => enc.put_u32(0),
+        }
+        enc.put_u64(self.request_bytes);
+        enc.put_u64(self.reply_bytes);
+        enc.put_f64(self.t_submit);
+        enc.put_f64(self.t_enqueue);
+        enc.put_f64(self.t_dequeue);
+        enc.put_f64(self.t_complete);
+    }
+
+    fn decode_xdr(dec: &mut XdrDecoder<'_>) -> ProtocolResult<Self> {
+        let routine = dec.get_string()?;
+        let n = match dec.get_u32()? {
+            0 => None,
+            1 => Some(dec.get_i64()?),
+            other => {
+                return Err(ProtocolError::Frame(format!(
+                    "bad CallStat n-presence flag {other}"
+                )))
+            }
+        };
+        Ok(CallStat {
+            routine,
+            n,
+            request_bytes: dec.get_u64()?,
+            reply_bytes: dec.get_u64()?,
+            t_submit: dec.get_f64()?,
+            t_enqueue: dec.get_f64()?,
+            t_dequeue: dec.get_f64()?,
+            t_complete: dec.get_f64()?,
+        })
+    }
+}
+
 /// All Ninf RPC messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -110,6 +196,23 @@ pub enum Message {
         /// The numerical payload.
         values: Vec<Value>,
     },
+    /// Ask the server for its completed-call records (§4.1 timelines),
+    /// starting at record index `since` — so a harness can poll
+    /// incrementally without re-shipping history.
+    QueryStats {
+        /// Index of the first record wanted (0 = from the beginning).
+        since: u64,
+    },
+    /// Reply to [`Message::QueryStats`].
+    StatsReply {
+        /// Server clock (seconds since server start) when the reply was
+        /// built; lets the consumer align epochs.
+        now: f64,
+        /// Total records the server holds (records[0..total]).
+        total: u64,
+        /// The records from `since` onward.
+        records: Vec<CallStat>,
+    },
 }
 
 /// Lifecycle state of a two-phase job.
@@ -162,6 +265,8 @@ const TAG_LIST_ROUTINES: u32 = 13;
 const TAG_ROUTINE_LIST: u32 = 14;
 const TAG_DB_QUERY: u32 = 15;
 const TAG_DB_REPLY: u32 = 16;
+const TAG_QUERY_STATS: u32 = 17;
+const TAG_STATS_REPLY: u32 = 18;
 
 impl Message {
     /// Short name for diagnostics.
@@ -183,6 +288,8 @@ impl Message {
             Message::RoutineList { .. } => "RoutineList",
             Message::DbQuery { .. } => "DbQuery",
             Message::DbReply { .. } => "DbReply",
+            Message::QueryStats { .. } => "QueryStats",
+            Message::StatsReply { .. } => "StatsReply",
         }
     }
 
@@ -264,6 +371,23 @@ impl Message {
                 for (name, doc) in routines {
                     enc.put_string(name);
                     enc.put_string(doc);
+                }
+            }
+            Message::QueryStats { since } => {
+                enc.put_u32(TAG_QUERY_STATS);
+                enc.put_u64(*since);
+            }
+            Message::StatsReply {
+                now,
+                total,
+                records,
+            } => {
+                enc.put_u32(TAG_STATS_REPLY);
+                enc.put_f64(*now);
+                enc.put_u64(*total);
+                enc.put_u32(records.len() as u32);
+                for r in records {
+                    r.encode_xdr(&mut enc);
                 }
             }
             Message::QueryLoad => enc.put_u32(TAG_QUERY_LOAD),
@@ -355,6 +479,23 @@ impl Message {
                     routines.push((dec.get_string()?, dec.get_string()?));
                 }
                 Message::RoutineList { routines }
+            }
+            TAG_QUERY_STATS => Message::QueryStats {
+                since: dec.get_u64()?,
+            },
+            TAG_STATS_REPLY => {
+                let now = dec.get_f64()?;
+                let total = dec.get_u64()?;
+                let n = dec.get_u32()? as usize;
+                let mut records = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    records.push(CallStat::decode_xdr(&mut dec)?);
+                }
+                Message::StatsReply {
+                    now,
+                    total,
+                    records,
+                }
             }
             TAG_QUERY_LOAD => Message::QueryLoad,
             TAG_LOAD_STATUS => Message::LoadStatus(LoadReport {
@@ -575,6 +716,76 @@ mod tests {
                 ("ep".into(), "embarrassingly parallel trials".into()),
             ],
         });
+    }
+
+    #[test]
+    fn roundtrip_stats_messages() {
+        roundtrip(Message::QueryStats { since: 0 });
+        roundtrip(Message::QueryStats { since: 123456 });
+        roundtrip(Message::StatsReply {
+            now: 42.5,
+            total: 2,
+            records: vec![
+                CallStat {
+                    routine: "linpack".into(),
+                    n: Some(600),
+                    request_bytes: 2_892_000,
+                    reply_bytes: 4_800,
+                    t_submit: 1.0,
+                    t_enqueue: 1.5,
+                    t_dequeue: 3.0,
+                    t_complete: 10.0,
+                },
+                CallStat {
+                    routine: "ep".into(),
+                    n: None,
+                    request_bytes: 0,
+                    reply_bytes: 16,
+                    t_submit: 2.0,
+                    t_enqueue: 2.0,
+                    t_dequeue: 2.5,
+                    t_complete: 2.75,
+                },
+            ],
+        });
+        roundtrip(Message::StatsReply {
+            now: 0.0,
+            total: 0,
+            records: vec![],
+        });
+    }
+
+    #[test]
+    fn call_stat_derived_times_match_paper_definitions() {
+        let s = CallStat {
+            routine: "linpack".into(),
+            n: Some(600),
+            request_bytes: 0,
+            reply_bytes: 0,
+            t_submit: 1.0,
+            t_enqueue: 1.5,
+            t_dequeue: 3.0,
+            t_complete: 10.0,
+        };
+        assert!((s.response() - 0.5).abs() < 1e-12);
+        assert!((s.wait() - 1.5).abs() < 1e-12);
+        assert!((s.service() - 7.0).abs() < 1e-12);
+        assert!((s.total() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_call_stat_presence_flag_rejected() {
+        let mut enc = ninf_xdr::XdrEncoder::new();
+        enc.put_u32(18); // StatsReply
+        enc.put_f64(0.0);
+        enc.put_u64(1);
+        enc.put_u32(1); // one record
+        enc.put_string("f");
+        enc.put_u32(7); // bogus n-presence flag
+        assert!(matches!(
+            Message::decode(&enc.finish()),
+            Err(ProtocolError::Frame(_))
+        ));
     }
 
     #[test]

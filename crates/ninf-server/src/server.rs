@@ -237,6 +237,14 @@ fn serve_connection(
             Message::QueryLoad => {
                 transport.send(&Message::LoadStatus(stats.load_report()))?;
             }
+            Message::QueryStats { since } => {
+                let (now, total, records) = stats.snapshot_since(since);
+                transport.send(&Message::StatsReply {
+                    now,
+                    total,
+                    records,
+                })?;
+            }
             Message::ListRoutines => {
                 let routines = registry
                     .names()
@@ -447,6 +455,55 @@ mod tests {
         t.send(&Message::QueryLoad).unwrap();
         match t.recv().unwrap() {
             Message::LoadStatus(rep) => assert_eq!(rep.pes, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_query_returns_call_timelines_incrementally() {
+        let server = start_test_server(ExecMode::TaskParallel);
+        let addr = server.addr().to_string();
+        for m in [8, 9] {
+            let reply = raw_call(&addr, "ep", vec![Value::Int(m)]);
+            assert!(matches!(reply, Message::ResultData { .. }));
+        }
+        let mut t = TcpTransport::connect(&addr).unwrap();
+        t.send(&Message::QueryStats { since: 0 }).unwrap();
+        let (now, total, records) = match t.recv().unwrap() {
+            Message::StatsReply {
+                now,
+                total,
+                records,
+            } => (now, total, records),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(total, 2);
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert_eq!(r.routine, "ep");
+            assert!(r.t_submit <= r.t_enqueue);
+            assert!(r.t_enqueue <= r.t_dequeue);
+            assert!(r.t_dequeue <= r.t_complete);
+            assert!(r.t_complete <= now);
+            assert!(r.wait() >= 0.0 && r.response() >= 0.0);
+        }
+        // Incremental poll: everything before `since` is elided.
+        t.send(&Message::QueryStats { since: 1 }).unwrap();
+        match t.recv().unwrap() {
+            Message::StatsReply { total, records, .. } => {
+                assert_eq!(total, 2);
+                assert_eq!(records.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A `since` past the end yields an empty, well-formed reply.
+        t.send(&Message::QueryStats { since: 99 }).unwrap();
+        match t.recv().unwrap() {
+            Message::StatsReply { total, records, .. } => {
+                assert_eq!(total, 2);
+                assert!(records.is_empty());
+            }
             other => panic!("unexpected {other:?}"),
         }
         server.shutdown();

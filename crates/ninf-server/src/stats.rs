@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use ninf_protocol::LoadReport;
+use ninf_protocol::{CallStat, LoadReport};
 
 /// One completed `Ninf_call` as observed by the server.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +55,20 @@ impl CallRecord {
     /// End-to-end server-side time.
     pub fn total(&self) -> f64 {
         self.t_complete - self.t_submit
+    }
+
+    /// The wire form of this record (for [`ninf_protocol::Message::StatsReply`]).
+    pub fn to_wire(&self) -> CallStat {
+        CallStat {
+            routine: self.routine.clone(),
+            n: self.n,
+            request_bytes: self.request_bytes as u64,
+            reply_bytes: self.reply_bytes as u64,
+            t_submit: self.t_submit,
+            t_enqueue: self.t_enqueue,
+            t_dequeue: self.t_dequeue,
+            t_complete: self.t_complete,
+        }
     }
 }
 
@@ -105,6 +119,17 @@ impl ServerStats {
     /// Copy of all records so far.
     pub fn snapshot(&self) -> Vec<CallRecord> {
         self.records.lock().clone()
+    }
+
+    /// Incremental wire snapshot for a stats query: records from index
+    /// `since` onward (clamped), the total count, and the server clock now —
+    /// so a polling harness ships only new history on each probe.
+    pub fn snapshot_since(&self, since: u64) -> (f64, u64, Vec<CallStat>) {
+        let records = self.records.lock();
+        let total = records.len();
+        let from = (since as usize).min(total);
+        let wire = records[from..].iter().map(CallRecord::to_wire).collect();
+        (self.now(), total as u64, wire)
     }
 
     /// Number of completed calls.

@@ -20,6 +20,11 @@ struct RoutineTrace {
 
 impl RoutineTrace {
     /// Least-squares fit of `ln t = ln a + b·ln n`; returns `(a, b)`.
+    ///
+    /// Degenerate histories (every sample at the same `n`, durations down at
+    /// the clock-resolution floor) must yield finite coefficients: the
+    /// constant-model fallbacks below keep NaN/Inf out of the scheduler's
+    /// cost estimates.
     fn fit(&self) -> Option<(f64, f64)> {
         let n = self.samples.len();
         if n == 0 {
@@ -27,7 +32,7 @@ impl RoutineTrace {
         }
         if n == 1 {
             // A single sample: assume constant cost.
-            return Some((self.samples[0].1.exp(), 0.0));
+            return Self::finite_fit(self.samples[0].1.exp(), 0.0);
         }
         let m = n as f64;
         let (sx, sy): (f64, f64) = self
@@ -38,12 +43,19 @@ impl RoutineTrace {
         let sxy: f64 = self.samples.iter().map(|&(x, y)| x * y).sum();
         let denom = m * sxx - sx * sx;
         if denom.abs() < 1e-12 {
-            // All samples at the same n: constant model at the mean.
-            return Some(((sy / m).exp(), 0.0));
+            // All samples at the same n: constant model at the (geometric)
+            // mean.
+            return Self::finite_fit((sy / m).exp(), 0.0);
         }
         let b = (m * sxy - sx * sy) / denom;
         let ln_a = (sy - b * sx) / m;
-        Some((ln_a.exp(), b))
+        Self::finite_fit(ln_a.exp(), b).or_else(|| Self::finite_fit((sy / m).exp(), 0.0))
+    }
+
+    /// `(a, b)` only when both coefficients are finite (a slope computed
+    /// from pathological samples can overflow `exp`).
+    fn finite_fit(a: f64, b: f64) -> Option<(f64, f64)> {
+        (a.is_finite() && b.is_finite()).then_some((a, b))
     }
 }
 
@@ -62,7 +74,10 @@ impl CostModel {
     /// Record an observed execution: `routine` at problem size `n` took
     /// `seconds`.
     pub fn record(&self, routine: &str, n: i64, seconds: f64) {
-        if seconds <= 0.0 {
+        // Reject non-positive AND non-finite observations: a NaN duration
+        // (clock skew, subtraction of garbage) would otherwise poison every
+        // later fit for the routine.
+        if !(seconds > 0.0 && seconds.is_finite()) {
             return;
         }
         let x = (n.max(1)) as f64;
@@ -177,5 +192,68 @@ mod tests {
         m.record("f", 10, 0.0);
         m.record("f", 10, -3.0);
         assert_eq!(m.predict("f", 10), None);
+    }
+
+    #[test]
+    fn nonfinite_times_ignored() {
+        let m = CostModel::new();
+        m.record("f", 10, f64::NAN);
+        m.record("f", 10, f64::INFINITY);
+        assert_eq!(m.predict("f", 10), None);
+        // A later good sample still fits cleanly.
+        m.record("f", 10, 1.5);
+        let t = m.predict("f", 10).unwrap();
+        assert!(t.is_finite());
+        assert!((t - 1.5).abs() < 1e-9);
+    }
+
+    /// All samples at one `n` with wildly different durations: the log-log
+    /// normal equations are singular (denominator 0) and must fall back to
+    /// the finite constant model, never NaN/Inf.
+    #[test]
+    fn degenerate_single_n_history_stays_finite() {
+        let m = CostModel::new();
+        for secs in [1e-9, 2.0, 5e3, 1e-7] {
+            m.record("linpack", 600, secs);
+        }
+        let b = m.exponent("linpack").unwrap();
+        assert!(b.is_finite());
+        assert_eq!(b, 0.0);
+        for n in [1i64, 600, 1_000_000] {
+            let t = m.predict("linpack", n).unwrap();
+            assert!(t.is_finite() && t > 0.0, "predict({n}) = {t}");
+        }
+    }
+
+    /// Near-zero (clock-floor) durations: huge negative logs, but the fit
+    /// coefficients and predictions must stay finite and positive.
+    #[test]
+    fn near_zero_durations_fit_finite_coefficients() {
+        let m = CostModel::new();
+        for (n, secs) in [
+            (100i64, 4.9e-324),
+            (200, 1e-300),
+            (400, 2e-300),
+            (800, 1e-299),
+        ] {
+            m.record("fast", n, secs);
+        }
+        let b = m.exponent("fast").unwrap();
+        assert!(b.is_finite(), "exponent = {b}");
+        let t = m.predict("fast", 300).unwrap();
+        assert!(t.is_finite() && t >= 0.0, "predict = {t}");
+    }
+
+    /// The n=1 sample puts ln n = 0 for every observation; combined with a
+    /// second point this exercises the near-singular branch boundary.
+    #[test]
+    fn all_samples_at_n_equals_one_stay_finite() {
+        let m = CostModel::new();
+        m.record("g", 1, 1e-12);
+        m.record("g", 1, 1e12);
+        let (t, b) = (m.predict("g", 1).unwrap(), m.exponent("g").unwrap());
+        assert!(t.is_finite() && b.is_finite());
+        // Geometric mean of 1e-12 and 1e12 = 1.
+        assert!((t - 1.0).abs() < 1e-6, "t = {t}");
     }
 }
