@@ -16,6 +16,7 @@ fn bench_message_codec(c: &mut Criterion) {
                 Value::DoubleArray(vec![0.5; n * n]),
                 Value::DoubleArray(vec![1.0; n]),
             ],
+            trace: None,
         };
         group.throughput(Throughput::Bytes((n * n * 8) as u64));
         group.bench_with_input(BenchmarkId::new("encode+decode", n), &msg, |b, msg| {

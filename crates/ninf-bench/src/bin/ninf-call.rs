@@ -236,11 +236,15 @@ fn print_json(routine: &str, n: i64, flops: Option<u64>, timed: &TimedCall) {
     timings.insert("roundtrip".into(), serde_json::json!(t.roundtrip));
     if let Some(wall) = timed.server_wall {
         timings.insert("server_wall".into(), serde_json::json!(wall));
-        // Wire time: what the round trip spent outside the server.
+        // Wire time: what the round trip spent outside the server. Clamped
+        // at zero — client and server clocks are not synchronized, so the
+        // raw difference can go (meaninglessly) negative; the raw value is
+        // surfaced separately as `clock_skew` so skew stays observable.
         timings.insert(
             "transfer".into(),
             serde_json::json!((t.roundtrip - wall).max(0.0)),
         );
+        timings.insert("clock_skew".into(), serde_json::json!(t.roundtrip - wall));
     }
     timings.insert("total".into(), serde_json::json!(t.total));
     let mut doc = serde_json::Map::new();

@@ -3,6 +3,7 @@
 //! ```text
 //! ninf-load --scenario <name> [--clients <list>] [--seed <u64>]
 //!           [--json <path>] [--csv <dir>] [--addr <host:port>]
+//!           [--trace] [--trace-out <path>]
 //!           [--compare-sim] [--assert-zero-errors] [--list]
 //!
 //! ninf-load --list                                  # scenario menu
@@ -14,7 +15,13 @@
 //! target is spawned (or dialed, with `--addr`), N real client threads issue
 //! `Ninf_call`s over TCP per the workload spec, and the run is reported with
 //! the §4.1 vocabulary — per-call Mflops, latency percentiles, and the
-//! server-side `T_response`/`T_wait` decomposition. `--compare-sim` re-runs
+//! server-side `T_response`/`T_wait` decomposition. `--trace` arms the
+//! flight recorder for the whole sweep (every call carries trace context;
+//! per-call trace ids land in the CSV/JSON); `--trace-out` additionally
+//! writes every span this process recorded — for in-process targets that is
+//! the client, metaserver, *and* server side — as Chrome `trace_event` JSON
+//! loadable in Perfetto (merge spans fetched from external servers with
+//! `ninf-trace fetch --merge`). `--compare-sim` re-runs
 //! the simulator's Table 3/4 experiment in-process at the same seed and
 //! prints the live and simulated scalability shapes side by side.
 
@@ -33,8 +40,9 @@ fn main() {
             "--json",
             "--csv",
             "--addr",
+            "--trace-out",
         ],
-        &["--list", "--compare-sim", "--assert-zero-errors"],
+        &["--list", "--compare-sim", "--assert-zero-errors", "--trace"],
     ) {
         Ok(p) => p,
         Err(CliError::Help) => usage(""),
@@ -75,6 +83,12 @@ fn main() {
         Err(CliError::Help) => usage(""),
     };
 
+    let trace_out = parsed.value("--trace-out");
+    if parsed.has("--trace") || trace_out.is_some() {
+        ninf_obs::recorder::global().set_enabled(true);
+        eprintln!("# flight recorder armed");
+    }
+
     eprintln!("# scenario {name}, seed {seed}: {}", sc.about);
     let mut reports = Vec::new();
     for &c in &clients {
@@ -114,6 +128,18 @@ fn main() {
         )
         .expect("write json");
         eprintln!("# wrote {path}");
+    }
+
+    if let Some(path) = trace_out {
+        let rec = ninf_obs::recorder::global();
+        let spans = ninf_obs::export::dedup(&rec.snapshot(0));
+        let json = ninf_obs::export::chrome_trace_json(&spans);
+        std::fs::write(path, json).expect("write trace output");
+        eprintln!(
+            "# wrote {} span(s) to {path} ({} dropped by the ring)",
+            spans.len(),
+            rec.dropped()
+        );
     }
 
     if parsed.has("--assert-zero-errors") {
@@ -315,6 +341,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: ninf-load --scenario <name> [--clients <list>] [--seed <u64>]\n\
         \x20                [--json <path>] [--csv <dir>] [--addr <host:port>]\n\
+        \x20                [--trace] [--trace-out <path>]\n\
         \x20                [--compare-sim] [--assert-zero-errors] [--list]\n\
          scenarios: {}",
         scenario_names().join(", ")

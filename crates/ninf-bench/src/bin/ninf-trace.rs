@@ -1,0 +1,370 @@
+//! `ninf-trace` — join per-process flight-recorder spans into one
+//! cross-process call tree and export Chrome `trace_event` JSON.
+//!
+//! ```text
+//! ninf-trace demo  [--n 64] [--out trace.json]
+//! ninf-trace fetch <addr>... [--trace <id>] [--merge <chrome.json>] [--out <path>]
+//! ninf-trace sim   [--clients 4] [--n 600] [--out <path>]
+//! ninf-trace diff  <a.json> <b.json>
+//! ninf-trace check <chrome.json> [--slack-us 1000]
+//! ninf-trace metrics <addr>
+//! ```
+//!
+//! * `demo` runs one metaserver-routed `Ninf_call` against an in-process
+//!   fleet with tracing armed and prints the resulting call tree — the
+//!   zero-setup way to see the span schema.
+//! * `fetch` drains the flight recorder of live processes over the
+//!   `QueryTrace` protocol message (`--trace` limits to one trace id, as
+//!   printed by `ninf-load`'s CSV; ids parse as hex when `0x`-prefixed or
+//!   16 digits wide, decimal otherwise) and joins them — `--merge` folds in
+//!   spans already exported to a Chrome JSON file (e.g. by
+//!   `ninf-load --trace-out`).
+//! * `sim` renders a simulated LAN run in the same span schema, so a live
+//!   trace and its simulated twin diff side by side with `diff`.
+//! * `check` validates a Chrome trace file: it must parse, spans must nest
+//!   within their parents, and every client call span must have matching
+//!   server spans (CI uses this as the trace smoke test).
+//! * `metrics` is the `curl`-equivalent read of a metrics endpoint.
+//!
+//! Output files load directly in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
+
+use ninf_client::NinfClient;
+use ninf_metaserver::{Balancing, Directory, Metaserver, ServerEntry};
+use ninf_obs::export::{
+    chrome_trace_json, client_server_coverage, dedup, diff_summary, parse_chrome_trace,
+    render_tree, validate_nesting,
+};
+use ninf_obs::{recorder, Span, TraceContext};
+use ninf_protocol::Value;
+use ninf_server::{
+    builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage("a subcommand is required");
+    };
+    match cmd.as_str() {
+        "demo" => demo(&args[1..]),
+        "fetch" => fetch(&args[1..]),
+        "sim" => sim(&args[1..]),
+        "diff" => diff(&args[1..]),
+        "check" => check(&args[1..]),
+        "metrics" => metrics(&args[1..]),
+        "--help" | "-h" => usage(""),
+        other => usage(&format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Pull `--flag value` out of an argument list; the rest are positionals.
+fn split_flags(args: &[String], flags: &[&str]) -> (Vec<(String, String)>, Vec<String>) {
+    let mut values = Vec::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if flags.contains(&a.as_str()) {
+            match it.next() {
+                Some(v) => values.push((a.clone(), v.clone())),
+                None => usage(&format!("{a} needs a value")),
+            }
+        } else if a == "--help" || a == "-h" {
+            usage("");
+        } else if a.starts_with("--") {
+            usage(&format!("unknown flag `{a}`"));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (values, positional)
+}
+
+fn flag_value<'a>(values: &'a [(String, String)], flag: &str) -> Option<&'a str> {
+    values
+        .iter()
+        .find(|(f, _)| f == flag)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Trace ids print as 16 hex digits in the load generator's CSV; accept
+/// that, `0x`-prefixed hex, or plain decimal.
+fn parse_trace_id(raw: &str) -> u64 {
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else if raw.len() == 16 {
+        u64::from_str_radix(raw, 16)
+    } else {
+        raw.parse()
+    };
+    parsed.unwrap_or_else(|_| usage(&format!("`{raw}` is not a trace id")))
+}
+
+fn write_or_print(spans: &[Span], out: Option<&str>) {
+    match out {
+        Some(path) => {
+            std::fs::write(path, chrome_trace_json(spans)).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "# wrote {} span(s) to {path} (open in Perfetto)",
+                spans.len()
+            );
+        }
+        None => eprintln!(
+            "# {} span(s); pass --out <path> for Chrome JSON",
+            spans.len()
+        ),
+    }
+}
+
+/// One traced, metaserver-routed call against an in-process fleet.
+fn demo(args: &[String]) {
+    let (values, extra) = split_flags(args, &["--n", "--out"]);
+    if let Some(extra) = extra.first() {
+        usage(&format!("unexpected argument `{extra}`"));
+    }
+    let n: usize = flag_value(&values, "--n")
+        .map(|v| v.parse().unwrap_or_else(|_| usage("--n needs an integer")))
+        .unwrap_or(64);
+
+    recorder::global().set_enabled(true);
+    let mut dir = Directory::new();
+    let mut servers = Vec::new();
+    for i in 0..2 {
+        let mut registry = Registry::new();
+        register_stdlib(&mut registry, false);
+        let server = NinfServer::start(
+            "127.0.0.1:0",
+            registry,
+            ServerConfig {
+                pes: 2,
+                mode: ExecMode::TaskParallel,
+                policy: SchedPolicy::Fcfs,
+            },
+        )
+        .expect("start in-process server");
+        dir.register(ServerEntry {
+            name: format!("node{i}"),
+            addr: server.addr().to_string(),
+            bandwidth_bytes_per_sec: 10e6,
+            linpack_mflops: 100.0,
+        });
+        servers.push(server);
+    }
+    let meta = Metaserver::new(dir, Balancing::RoundRobin);
+
+    // The client's own root span, parent of everything downstream.
+    let ctx = TraceContext::root();
+    let start = ninf_obs::now_us();
+    let (a, b) = ninf_exec::matgen(n);
+    let call_args = vec![
+        Value::Int(n as i32),
+        Value::DoubleArray(a.as_slice().to_vec()),
+        Value::DoubleArray(b),
+    ];
+    let (outcome, trace_id) = meta.ninf_call_traced("linpack", &call_args, Some(ctx));
+    recorder::global().record(
+        Span::at(ctx, "call", "client", start)
+            .with_detail(format!("routine=linpack n={n} ok={}", outcome.is_ok())),
+    );
+    outcome.expect("demo call succeeds");
+    assert_eq!(trace_id, ctx.trace_id);
+
+    // The server records its "reply" span just after the bytes go out, so
+    // give its connection thread a beat before draining the recorder.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let spans = dedup(&recorder::global().snapshot(trace_id));
+    println!("{}", render_tree(&spans));
+    // Same-process clocks: the tree must nest and cover client → server.
+    // The slack absorbs scheduling skew — the server stamps its "reply"
+    // span end after `send` returns, which can trail the client's read.
+    validate_nesting(&spans, 10_000).expect("spans nest");
+    let covered = client_server_coverage(&spans).expect("client calls reach the server");
+    eprintln!(
+        "# trace {trace_id:016x}: {} span(s), {} client call(s) with server spans",
+        spans.len(),
+        covered
+    );
+    write_or_print(&spans, flag_value(&values, "--out"));
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+/// Drain live processes' recorders over QueryTrace and join the spans.
+fn fetch(args: &[String]) {
+    let (values, addrs) = split_flags(args, &["--trace", "--merge", "--out", "--slack-us"]);
+    let trace_id = flag_value(&values, "--trace")
+        .map(parse_trace_id)
+        .unwrap_or(0);
+    let mut spans: Vec<Span> = Vec::new();
+    if let Some(path) = flag_value(&values, "--merge") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut merged = parse_chrome_trace(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        });
+        if trace_id != 0 {
+            merged.retain(|s| s.trace_id == trace_id);
+        }
+        eprintln!("# merged {} span(s) from {path}", merged.len());
+        spans.append(&mut merged);
+    }
+    if addrs.is_empty() && spans.is_empty() {
+        usage("fetch needs at least one <addr> or --merge <file>");
+    }
+    for addr in &addrs {
+        match NinfClient::connect(addr).and_then(|mut c| c.query_trace(trace_id)) {
+            Ok((process, dropped, mut remote)) => {
+                eprintln!(
+                    "# {addr} ({process}): {} span(s), {dropped} dropped by the ring",
+                    remote.len()
+                );
+                spans.append(&mut remote);
+            }
+            Err(e) => {
+                eprintln!("error: cannot fetch spans from {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let spans = dedup(&spans);
+    println!("{}", render_tree(&spans));
+    write_or_print(&spans, flag_value(&values, "--out"));
+}
+
+/// A simulated LAN run in the live span schema.
+fn sim(args: &[String]) {
+    let (values, extra) = split_flags(args, &["--clients", "--n", "--seed", "--out"]);
+    if let Some(extra) = extra.first() {
+        usage(&format!("unexpected argument `{extra}`"));
+    }
+    let parse_or = |flag: &str, default: u64| -> u64 {
+        flag_value(&values, flag)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| usage(&format!("{flag} needs an integer")))
+            })
+            .unwrap_or(default)
+    };
+    let clients = parse_or("--clients", 4) as usize;
+    let n = parse_or("--n", 600);
+    let seed = parse_or("--seed", 1997);
+
+    let scenario = ninf_sim::Scenario::lan(
+        ninf_machine::j90(),
+        clients,
+        ninf_sim::Workload::Linpack { n },
+        ExecMode::TaskParallel,
+        SchedPolicy::Fcfs,
+        seed,
+    );
+    let (cell, calls) = ninf_sim::World::new(scenario).run_detailed();
+    let spans = ninf_sim::spans_from_metrics(&calls);
+    println!("{}", render_tree(&spans));
+    eprintln!(
+        "# sim: {} call(s), {} clients, perf mean {:.2} Mflops",
+        calls.len(),
+        cell.clients,
+        cell.perf.mean
+    );
+    write_or_print(&spans, flag_value(&values, "--out"));
+}
+
+/// Per-(process, name) mean-duration comparison of two trace files.
+fn diff(args: &[String]) {
+    let (_, files) = split_flags(args, &[]);
+    let [a, b] = files.as_slice() else {
+        usage("diff needs exactly two <chrome.json> files");
+    };
+    let load = |path: &str| -> Vec<Span> {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        parse_chrome_trace(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    print!("{}", diff_summary(a, &load(a), b, &load(b)));
+}
+
+/// Validate a Chrome trace file (parse, nesting, client↔server coverage).
+fn check(args: &[String]) {
+    let (values, files) = split_flags(args, &["--slack-us"]);
+    let [path] = files.as_slice() else {
+        usage("check needs exactly one <chrome.json> file");
+    };
+    let slack: u64 = flag_value(&values, "--slack-us")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| usage("--slack-us needs an integer"))
+        })
+        .unwrap_or(1_000);
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let spans = parse_chrome_trace(&text).unwrap_or_else(|e| {
+        eprintln!("check failed: {path} does not parse: {e}");
+        std::process::exit(1);
+    });
+    if spans.is_empty() {
+        eprintln!("check failed: {path} contains no spans");
+        std::process::exit(1);
+    }
+    if let Err(e) = validate_nesting(&spans, slack) {
+        eprintln!("check failed: spans do not nest (slack {slack}µs): {e}");
+        std::process::exit(1);
+    }
+    let covered = match client_server_coverage(&spans) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("check failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let traces: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.trace_id).collect();
+    println!(
+        "ok: {} span(s), {} trace(s), {} client call(s) with matching server spans",
+        spans.len(),
+        traces.len(),
+        covered
+    );
+}
+
+/// `curl`-equivalent read of a Prometheus metrics endpoint.
+fn metrics(args: &[String]) {
+    let (_, addrs) = split_flags(args, &[]);
+    let [addr] = addrs.as_slice() else {
+        usage("metrics needs exactly one <addr>");
+    };
+    match ninf_obs::http::fetch_metrics(addr) {
+        Ok(body) => print!("{body}"),
+        Err(e) => {
+            eprintln!("error: cannot read metrics from {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: ninf-trace demo  [--n 64] [--out trace.json]\n\
+        \x20      ninf-trace fetch <addr>... [--trace <id>] [--merge <chrome.json>] [--out <path>]\n\
+        \x20      ninf-trace sim   [--clients 4] [--n 600] [--seed 1997] [--out <path>]\n\
+        \x20      ninf-trace diff  <a.json> <b.json>\n\
+        \x20      ninf-trace check <chrome.json> [--slack-us 1000]\n\
+        \x20      ninf-trace metrics <addr>"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

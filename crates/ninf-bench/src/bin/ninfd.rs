@@ -3,11 +3,16 @@
 //!
 //! ```text
 //! ninfd [--addr 0.0.0.0:5656] [--pes 4] [--mode task|data] \
-//!       [--policy fcfs|sjf|fpfs|fpmpfs] [--db-addr 0.0.0.0:5657]
+//!       [--policy fcfs|sjf|fpfs|fpmpfs] [--db-addr 0.0.0.0:5657] \
+//!       [--trace] [--metrics-addr 0.0.0.0:9156]
 //! ```
 //!
 //! Serves the stdlib routines (dmmul, dgefa, dgesl, linpack, ep, dos) until
 //! killed. With `--db-addr`, also serves the builtin numerical datasets.
+//! `--trace` arms the in-process flight recorder (same effect as setting
+//! `NINF_TRACE=1`): spans are recorded for traced calls and served over the
+//! `QueryTrace` protocol message. `--metrics-addr` exposes the server's
+//! metrics registry as Prometheus text on a plain-TCP HTTP endpoint.
 
 use ninf_server::{
     builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig,
@@ -19,6 +24,8 @@ fn main() {
     let mut pes = 4usize;
     let mut mode = ExecMode::TaskParallel;
     let mut policy = SchedPolicy::Fcfs;
+    let mut trace = false;
+    let mut metrics_addr: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,11 +59,21 @@ fn main() {
                     _ => usage("--policy is fcfs|sjf|fpfs|fpmpfs"),
                 }
             }
+            "--trace" => trace = true,
+            "--metrics-addr" => {
+                metrics_addr = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--metrics-addr needs a value")),
+                )
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
 
+    if trace {
+        ninf_obs::recorder::global().set_enabled(true);
+    }
     let mut registry = Registry::new();
     register_stdlib(&mut registry, matches!(mode, ExecMode::DataParallel));
     let server = NinfServer::start(&addr, registry, ServerConfig { pes, mode, policy })
@@ -71,6 +88,19 @@ fn main() {
         mode.name(),
         policy.name()
     );
+
+    if let Some(a) = metrics_addr {
+        match ninf_obs::http::serve_metrics(server.metrics().registry().clone(), &a) {
+            Ok(bound) => eprintln!("ninfd: metrics at http://{bound}/metrics"),
+            Err(e) => {
+                eprintln!("cannot bind metrics on {a}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if trace || ninf_obs::recorder::global().enabled() {
+        eprintln!("ninfd: flight recorder armed (QueryTrace serves spans)");
+    }
 
     let _db = db_addr.map(|a| {
         let db = ninf_db::DbServer::start(&a, ninf_db::builtin_datasets()).unwrap_or_else(|e| {
@@ -100,7 +130,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: ninfd [--addr host:port] [--pes N] [--mode task|data] \
-         [--policy fcfs|sjf|fpfs|fpmpfs] [--db-addr host:port]"
+         [--policy fcfs|sjf|fpfs|fpmpfs] [--db-addr host:port] \
+         [--trace] [--metrics-addr host:port]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

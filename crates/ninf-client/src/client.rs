@@ -6,9 +6,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ninf_idl::CompiledInterface;
+use ninf_obs::recorder;
 use ninf_protocol::{
-    validate_call_args, validate_results, Message, ProtocolError, ProtocolResult, TcpTransport,
-    Transport, Value,
+    validate_call_args, validate_results, Message, ProtocolError, ProtocolResult, Span,
+    TcpTransport, TraceContext, Transport, Value,
 };
 
 /// Per-call reliability policy: how long one attempt may take and how
@@ -126,6 +127,16 @@ pub struct NinfClient {
     timing: CallTiming,
     /// Completed timing of the most recent `ninf_call`.
     last_timing: Option<CallTiming>,
+    /// Trace position to parent new calls under (set by a routing layer);
+    /// `None` starts fresh root traces.
+    trace_parent: Option<TraceContext>,
+    /// Process label stamped on spans this client records (`client` unless a
+    /// routing layer relabels its forwarding legs).
+    trace_process: String,
+    /// Context of the call in progress (`None` when tracing is off).
+    call_ctx: Option<TraceContext>,
+    /// Trace id of the most recent traced call (0 before any, or untraced).
+    last_trace_id: u64,
 }
 
 impl NinfClient {
@@ -156,6 +167,10 @@ impl NinfClient {
             bytes_received: 0,
             timing: CallTiming::default(),
             last_timing: None,
+            trace_parent: None,
+            trace_process: "client".to_string(),
+            call_ctx: None,
+            last_trace_id: 0,
         }
     }
 
@@ -170,6 +185,34 @@ impl NinfClient {
         self.options
     }
 
+    /// Parent the next calls' traces under `parent` (a routing layer passes
+    /// its own span position here); `None` reverts to fresh root traces.
+    pub fn set_trace_parent(&mut self, parent: Option<TraceContext>) {
+        self.trace_parent = parent;
+    }
+
+    /// Relabel the logical process stamped on spans this client records.
+    pub fn set_trace_process(&mut self, process: impl Into<String>) {
+        self.trace_process = process.into();
+    }
+
+    /// Trace id of the most recent traced call; 0 when tracing was off.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
+    }
+
+    /// Context for one new call: a child of the configured parent, or a
+    /// fresh root. `None` (free of any id/clock work) when tracing is off.
+    fn mint_ctx(&self) -> Option<TraceContext> {
+        if !recorder::global().enabled() {
+            return None;
+        }
+        Some(match self.trace_parent {
+            Some(parent) => parent.child(),
+            None => TraceContext::root(),
+        })
+    }
+
     /// Replace the reliability policy, re-arming the transport deadline.
     pub fn set_options(&mut self, options: CallOptions) -> ProtocolResult<()> {
         self.transport.set_deadline(options.deadline)?;
@@ -182,8 +225,15 @@ impl NinfClient {
     fn reconnect(&mut self) -> ProtocolResult<()> {
         let addr = self.addr.clone().ok_or(ProtocolError::Disconnected)?;
         let t0 = Instant::now();
+        let start_us = self.call_ctx.map(|_| ninf_obs::now_us());
         let dialed = TcpTransport::connect_with_deadline(&addr, self.options.deadline);
         self.timing.connect += t0.elapsed().as_secs_f64();
+        if let (Some(ctx), Some(start)) = (self.call_ctx, start_us) {
+            recorder::global().record(
+                Span::at(ctx.child(), "connect", &self.trace_process, start)
+                    .with_detail(format!("addr={addr}")),
+            );
+        }
         self.transport = Box::new(dialed?);
         Ok(())
     }
@@ -267,6 +317,8 @@ impl NinfClient {
     /// [`NinfClient::connect_with`]).
     pub fn ninf_call(&mut self, routine: &str, args: &[Value]) -> ProtocolResult<Vec<Value>> {
         self.timing = CallTiming::default();
+        self.call_ctx = self.mint_ctx();
+        let start_us = self.call_ctx.map(|_| ninf_obs::now_us());
         let t0 = Instant::now();
         let out = self.with_retries(|c| {
             c.timing.attempts += 1;
@@ -274,27 +326,61 @@ impl NinfClient {
         });
         self.timing.total = t0.elapsed().as_secs_f64();
         self.last_timing = Some(self.timing);
+        if let (Some(ctx), Some(start)) = (self.call_ctx, start_us) {
+            self.last_trace_id = ctx.trace_id;
+            recorder::global().record(
+                Span::at(ctx, "call", &self.trace_process, start).with_detail(format!(
+                    "routine={routine} attempts={} ok={}",
+                    self.timing.attempts,
+                    out.is_ok()
+                )),
+            );
+        }
         out
     }
 
     /// One two-stage call attempt, no retries.
     fn ninf_call_once(&mut self, routine: &str, args: &[Value]) -> ProtocolResult<Vec<Value>> {
+        let ctx = self.call_ctx;
+        let cache_miss = !self.interfaces.contains_key(routine);
+        let iface_start_us = (ctx.is_some() && cache_miss).then(ninf_obs::now_us);
         let interface = self.query_interface(routine)?.clone();
+        if let (Some(ctx), Some(start)) = (ctx, iface_start_us) {
+            recorder::global().record(
+                Span::at(ctx.child(), "interface", &self.trace_process, start)
+                    .with_detail(format!("routine={routine}")),
+            );
+        }
+        let marshal_start_us = ctx.map(|_| ninf_obs::now_us());
         let t_marshal = Instant::now();
         let layout = validate_call_args(&interface, args).map_err(ProtocolError::Remote)?;
         self.timing.marshal += t_marshal.elapsed().as_secs_f64();
+        if let (Some(ctx), Some(start)) = (ctx, marshal_start_us) {
+            recorder::global().record(Span::at(ctx.child(), "marshal", &self.trace_process, start));
+        }
         let request_bytes = ninf_protocol::request_payload_bytes(&layout);
         self.bytes_sent += request_bytes;
         self.timing.request_bytes = request_bytes;
         self.timing.reply_bytes = 0;
 
+        // The rpc span's position travels on the wire, so the server parents
+        // its own spans inside the client's send→receive interval.
+        let rpc_ctx = ctx.map(|c| c.child());
+        let rpc_start_us = rpc_ctx.map(|_| ninf_obs::now_us());
         let t_wire = Instant::now();
         self.transport.send(&Message::Invoke {
             routine: routine.to_owned(),
             args: args.to_vec(),
+            trace: rpc_ctx,
         })?;
         let reply = self.transport.recv();
         self.timing.roundtrip += t_wire.elapsed().as_secs_f64();
+        if let (Some(rpc), Some(start)) = (rpc_ctx, rpc_start_us) {
+            recorder::global().record(
+                Span::at(rpc, "rpc", &self.trace_process, start)
+                    .with_detail(format!("request_bytes={request_bytes}")),
+            );
+        }
         match reply? {
             Message::ResultData { results } => {
                 validate_results(&interface, &layout, &results).map_err(ProtocolError::Remote)?;
@@ -320,7 +406,17 @@ impl NinfClient {
     /// a retried submission whose first ticket was lost in flight may leave
     /// an orphan job on the server whose result is simply never fetched.
     pub fn submit_job(&mut self, routine: &str, args: &[Value]) -> ProtocolResult<u64> {
-        self.with_retries(|c| c.submit_job_once(routine, args))
+        self.call_ctx = self.mint_ctx();
+        let start_us = self.call_ctx.map(|_| ninf_obs::now_us());
+        let out = self.with_retries(|c| c.submit_job_once(routine, args));
+        if let (Some(ctx), Some(start)) = (self.call_ctx, start_us) {
+            self.last_trace_id = ctx.trace_id;
+            recorder::global().record(
+                Span::at(ctx, "submit", &self.trace_process, start)
+                    .with_detail(format!("routine={routine} ok={}", out.is_ok())),
+            );
+        }
+        out
     }
 
     /// One submission attempt, no retries.
@@ -331,6 +427,7 @@ impl NinfClient {
         self.transport.send(&Message::SubmitJob {
             routine: routine.to_owned(),
             args: args.to_vec(),
+            trace: self.call_ctx,
         })?;
         match self.transport.recv()? {
             Message::JobTicket { job } => Ok(job),
@@ -399,6 +496,25 @@ impl NinfClient {
             Message::Error { reason } => Err(ProtocolError::Remote(reason)),
             other => Err(ProtocolError::UnexpectedMessage {
                 expected: "StatsReply",
+                got: other.kind().to_owned(),
+            }),
+        }
+    }
+
+    /// Fetch the remote process's flight recorder: `(process label, spans
+    /// dropped by its ring, retained spans)`. `trace_id` 0 fetches every
+    /// retained span.
+    pub fn query_trace(&mut self, trace_id: u64) -> ProtocolResult<(String, u64, Vec<Span>)> {
+        self.transport.send(&Message::QueryTrace { trace_id })?;
+        match self.transport.recv()? {
+            Message::TraceReply {
+                process,
+                dropped,
+                spans,
+            } => Ok((process, dropped, spans)),
+            Message::Error { reason } => Err(ProtocolError::Remote(reason)),
+            other => Err(ProtocolError::UnexpectedMessage {
+                expected: "TraceReply",
                 got: other.kind().to_owned(),
             }),
         }
@@ -531,8 +647,31 @@ pub fn call_with_options(
     args: &[Value],
     options: CallOptions,
 ) -> ProtocolResult<Vec<Value>> {
+    call_with_options_traced(addr, routine, args, options, None, "client")
+}
+
+/// [`call_with_options`] with an explicit trace position: each attempt's
+/// spans parent under `parent` (or start a fresh root trace) and carry the
+/// `process` label — the hook a routing layer uses to keep its forwarded
+/// legs inside the caller's trace.
+pub fn call_with_options_traced(
+    addr: &str,
+    routine: &str,
+    args: &[Value],
+    options: CallOptions,
+    parent: Option<TraceContext>,
+    process: &str,
+) -> ProtocolResult<Vec<Value>> {
     let mut attempt = 0u32;
     loop {
+        // One span per attempt: the leg's interface/marshal/rpc spans
+        // parent under this "call" span, which in turn parents under the
+        // routing layer's position (or roots a fresh trace).
+        let ctx = recorder::global().enabled().then(|| match parent {
+            Some(p) => p.child(),
+            None => TraceContext::root(),
+        });
+        let start_us = ctx.map(|_| ninf_obs::now_us());
         let outcome = NinfClient::connect_with(
             addr,
             CallOptions {
@@ -540,7 +679,18 @@ pub fn call_with_options(
                 ..options
             },
         )
-        .and_then(|mut client| client.ninf_call_once(routine, args));
+        .and_then(|mut client| {
+            client.trace_parent = parent;
+            client.trace_process = process.to_string();
+            client.call_ctx = ctx;
+            client.ninf_call_once(routine, args)
+        });
+        if let (Some(ctx), Some(start)) = (ctx, start_us) {
+            recorder::global().record(Span::at(ctx, "call", process, start).with_detail(format!(
+                "routine={routine} attempt={attempt} ok={}",
+                outcome.is_ok()
+            )));
+        }
         match outcome {
             Ok(v) => return Ok(v),
             Err(e) if e.is_retryable() && attempt < options.retries => {
@@ -570,7 +720,23 @@ pub fn call_async_with(
     args: Vec<Value>,
     options: CallOptions,
 ) -> AsyncCall {
-    let handle = std::thread::spawn(move || call_with_options(&addr, &routine, &args, options));
+    call_async_traced(addr, routine, args, options, None, "client")
+}
+
+/// [`call_async_with`] with an explicit trace position (see
+/// [`call_with_options_traced`]).
+pub fn call_async_traced(
+    addr: String,
+    routine: String,
+    args: Vec<Value>,
+    options: CallOptions,
+    parent: Option<TraceContext>,
+    process: &str,
+) -> AsyncCall {
+    let process = process.to_string();
+    let handle = std::thread::spawn(move || {
+        call_with_options_traced(&addr, &routine, &args, options, parent, &process)
+    });
     AsyncCall { handle }
 }
 

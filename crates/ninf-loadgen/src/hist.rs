@@ -1,251 +1,7 @@
 //! Fixed-bucket log-scale latency histogram.
 //!
-//! Percentiles over thousands of per-call latencies without keeping (or
-//! sorting) every sample: 16 geometric buckets per decade spanning 1 µs to
-//! 10⁴ s, constant memory, O(1) record, mergeable across clients. Bucket
-//! resolution is ~15% — far below the run-to-run variance of any live
-//! latency distribution.
+//! The implementation moved to `ninf-obs` (it now also backs the metrics
+//! registry's Prometheus summaries); this module re-exports it so existing
+//! `ninf_loadgen::hist::LogHistogram` users keep working.
 
-/// Buckets per decade of the geometric grid.
-const PER_DECADE: usize = 16;
-/// log10 of the smallest bucketed latency (1 µs).
-const LOG_MIN: f64 = -6.0;
-/// Decades covered: 1 µs .. 10⁴ s.
-const DECADES: usize = 10;
-/// Bucket count.
-const BUCKETS: usize = PER_DECADE * DECADES;
-
-/// A mergeable fixed-memory histogram of positive durations (seconds).
-#[derive(Debug, Clone)]
-pub struct LogHistogram {
-    counts: [u64; BUCKETS],
-    /// Samples below 1 µs (clamped to the bottom).
-    under: u64,
-    /// Samples at or above 10⁴ s (clamped to the top).
-    over: u64,
-    count: u64,
-    sum: f64,
-    min: f64,
-    max: f64,
-}
-
-impl Default for LogHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LogHistogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        Self {
-            counts: [0; BUCKETS],
-            under: 0,
-            over: 0,
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: 0.0,
-        }
-    }
-
-    fn bucket(secs: f64) -> Result<usize, bool> {
-        let idx = (secs.log10() - LOG_MIN) * PER_DECADE as f64;
-        if idx < 0.0 {
-            Err(false) // under
-        } else if idx >= BUCKETS as f64 {
-            Err(true) // over
-        } else {
-            Ok(idx as usize)
-        }
-    }
-
-    /// Record one duration; non-positive and non-finite samples are ignored.
-    pub fn record(&mut self, secs: f64) {
-        if !(secs > 0.0 && secs.is_finite()) {
-            return;
-        }
-        match Self::bucket(secs) {
-            Ok(i) => self.counts[i] += 1,
-            Err(false) => self.under += 1,
-            Err(true) => self.over += 1,
-        }
-        self.count += 1;
-        self.sum += secs;
-        self.min = self.min.min(secs);
-        self.max = self.max.max(secs);
-    }
-
-    /// Fold another histogram in (per-client → fleet aggregation).
-    pub fn merge(&mut self, other: &LogHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
-        self.under += other.under;
-        self.over += other.over;
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Arithmetic mean (exact — tracked outside the buckets), or 0 when
-    /// empty.
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
-    }
-
-    /// Smallest sample (exact), or 0 when empty.
-    pub fn min(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.min
-        }
-    }
-
-    /// Largest sample (exact), or 0 when empty.
-    pub fn max(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.max
-        }
-    }
-
-    /// The `q`-th percentile (`0 < q ≤ 100`), approximated at the geometric
-    /// midpoint of the containing bucket and clamped to the exact observed
-    /// [min, max]; 0 when empty.
-    pub fn percentile(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = self.under;
-        let mut value = if self.under >= rank {
-            self.min
-        } else {
-            let mut v = self.max;
-            for (i, &c) in self.counts.iter().enumerate() {
-                seen += c;
-                if seen >= rank {
-                    // Geometric midpoint of bucket i.
-                    let lo = LOG_MIN + i as f64 / PER_DECADE as f64;
-                    v = 10f64.powf(lo + 0.5 / PER_DECADE as f64);
-                    break;
-                }
-            }
-            v
-        };
-        value = value.clamp(self.min, self.max);
-        value
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_is_all_zero() {
-        let h = LogHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.percentile(50.0), 0.0);
-        assert_eq!(h.min(), 0.0);
-        assert_eq!(h.max(), 0.0);
-    }
-
-    #[test]
-    fn mean_min_max_are_exact() {
-        let mut h = LogHistogram::new();
-        for v in [0.010, 0.020, 0.030] {
-            h.record(v);
-        }
-        assert!((h.mean() - 0.020).abs() < 1e-12);
-        assert_eq!(h.min(), 0.010);
-        assert_eq!(h.max(), 0.030);
-    }
-
-    #[test]
-    fn percentiles_track_known_distribution() {
-        let mut h = LogHistogram::new();
-        // 100 samples: 90 at ~1 ms, 10 at ~1 s.
-        for _ in 0..90 {
-            h.record(1e-3);
-        }
-        for _ in 0..10 {
-            h.record(1.0);
-        }
-        let p50 = h.percentile(50.0);
-        let p95 = h.percentile(95.0);
-        let p99 = h.percentile(99.0);
-        assert!((5e-4..2e-3).contains(&p50), "p50 = {p50}");
-        assert!((0.5..2.0).contains(&p95), "p95 = {p95}");
-        assert!((0.5..2.0).contains(&p99), "p99 = {p99}");
-        assert!(p50 <= p95 && p95 <= p99);
-    }
-
-    #[test]
-    fn percentile_error_is_bounded_by_bucket_width() {
-        let mut h = LogHistogram::new();
-        for i in 1..=1000 {
-            h.record(i as f64 * 1e-3); // 1 ms .. 1 s uniform
-        }
-        let p50 = h.percentile(50.0);
-        // True median 0.5 s; one bucket is 10^(1/16) ≈ 15.5%.
-        assert!((p50 - 0.5).abs() / 0.5 < 0.2, "p50 = {p50}");
-    }
-
-    #[test]
-    fn out_of_range_samples_clamp_not_lost() {
-        let mut h = LogHistogram::new();
-        h.record(1e-9); // under 1 µs
-        h.record(1e6); // over 10⁴ s
-        assert_eq!(h.count(), 2);
-        assert_eq!(h.percentile(1.0), 1e-9); // clamped to exact min
-        assert_eq!(h.percentile(100.0), 1e6); // clamped to exact max
-    }
-
-    #[test]
-    fn junk_samples_ignored() {
-        let mut h = LogHistogram::new();
-        h.record(0.0);
-        h.record(-1.0);
-        h.record(f64::NAN);
-        h.record(f64::INFINITY);
-        assert_eq!(h.count(), 0);
-    }
-
-    #[test]
-    fn merge_equals_union() {
-        let mut a = LogHistogram::new();
-        let mut b = LogHistogram::new();
-        let mut whole = LogHistogram::new();
-        for i in 1..=50 {
-            let v = i as f64 * 2e-3;
-            a.record(v);
-            whole.record(v);
-        }
-        for i in 1..=50 {
-            let v = i as f64 * 4e-3;
-            b.record(v);
-            whole.record(v);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), whole.count());
-        assert!((a.mean() - whole.mean()).abs() < 1e-12);
-        assert_eq!(a.percentile(90.0), whole.percentile(90.0));
-        assert_eq!(a.min(), whole.min());
-        assert_eq!(a.max(), whole.max());
-    }
-}
+pub use ninf_obs::hist::LogHistogram;

@@ -63,6 +63,9 @@ pub struct CallResult {
     pub outcome: Outcome,
     /// Kernel flop count, when defined for the routine.
     pub flops: Option<u64>,
+    /// Trace id minted for this call (0 when tracing was off), joining the
+    /// client-side record to the cross-process flight-recorder spans.
+    pub trace_id: u64,
 }
 
 impl CallResult {
@@ -402,12 +405,12 @@ impl RunReport {
         let mut f = std::fs::File::create(&calls_path)?;
         writeln!(
             f,
-            "client,seq,routine,n,outcome,scheduled,t_submit,t_complete,total,connect,interface,marshal,roundtrip,attempts,request_bytes,reply_bytes,mflops"
+            "client,seq,routine,n,outcome,scheduled,t_submit,t_complete,total,connect,interface,marshal,roundtrip,attempts,request_bytes,reply_bytes,mflops,trace_id"
         )?;
         for c in &self.calls {
             writeln!(
                 f,
-                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{}",
+                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:016x}",
                 c.client,
                 c.seq,
                 c.routine,
@@ -425,6 +428,7 @@ impl RunReport {
                 c.timing.request_bytes,
                 c.timing.reply_bytes,
                 c.mflops().map(|m| format!("{m:.3}")).unwrap_or_default(),
+                c.trace_id,
             )?;
         }
 
@@ -478,6 +482,7 @@ mod tests {
             },
             outcome,
             flops: Some(1_000_000),
+            trace_id: 0,
         }
     }
 

@@ -214,6 +214,7 @@ fn drive_client(
                             },
                             outcome: Outcome::Transport,
                             flops: routine.flops(),
+                            trace_id: 0,
                         });
                     }
                     return results;
@@ -283,19 +284,24 @@ fn issue(
     let routine = spec.pick_routine(seed, client, seq);
     let args = inputs.args(routine);
     let t_submit = epoch.elapsed().as_secs_f64();
-    let (timing, outcome) = match (backend, direct.as_mut()) {
+    let (timing, outcome, trace_id) = match (backend, direct.as_mut()) {
         (_, Some(c)) => {
             let outcome = match c.ninf_call(routine.name(), &args) {
                 Ok(_) => Outcome::Ok,
                 Err(e) => classify(&e),
             };
-            (c.last_timing().unwrap_or_default(), outcome)
+            (
+                c.last_timing().unwrap_or_default(),
+                outcome,
+                c.last_trace_id(),
+            )
         }
         (Backend::Meta(meta), _) => {
             // The metaserver path has no per-segment decomposition; wall
             // total only.
             let t0 = Instant::now();
-            let outcome = match meta.ninf_call(routine.name(), &args) {
+            let (result, trace_id) = meta.ninf_call_traced(routine.name(), &args, None);
+            let outcome = match result {
                 Ok(_) => Outcome::Ok,
                 Err(e) => classify(&e),
             };
@@ -306,6 +312,7 @@ fn issue(
                     ..CallTiming::default()
                 },
                 outcome,
+                trace_id,
             )
         }
         (Backend::Direct(_), None) => unreachable!("direct backend always has a client"),
@@ -322,6 +329,7 @@ fn issue(
         timing,
         outcome,
         flops: routine.flops(),
+        trace_id,
     }
 }
 

@@ -1,10 +1,13 @@
 //! The metaserver proper: transaction execution over the server fleet.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use ninf_client::{call_async_with, AsyncCall, CallOptions, PlannedCall, Transaction, TxArg};
-use ninf_protocol::{ProtocolError, ProtocolResult, Value};
+use ninf_client::{
+    call_async_traced, call_async_with, AsyncCall, CallOptions, PlannedCall, Transaction, TxArg,
+};
+use ninf_obs::{recorder, Counter, MetricsRegistry, Span};
+use ninf_protocol::{ProtocolError, ProtocolResult, TraceContext, Value};
 
 use crate::balance::{Balancing, CallEstimate};
 use crate::directory::Directory;
@@ -16,6 +19,9 @@ pub struct Metaserver {
     rr_cursor: Mutex<usize>,
     options: CallOptions,
     probe_deadline: Option<Duration>,
+    metrics: Arc<MetricsRegistry>,
+    routed: Counter,
+    failed: Counter,
 }
 
 impl Metaserver {
@@ -39,18 +45,36 @@ impl Metaserver {
         options: CallOptions,
         probe_deadline: Option<Duration>,
     ) -> Self {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let routed = metrics.counter(
+            "ninf_meta_calls_total",
+            "calls routed through the metaserver",
+        );
+        let failed = metrics.counter(
+            "ninf_meta_errors_total",
+            "routed calls whose final outcome was an error",
+        );
         Self {
             directory,
             balancing,
             rr_cursor: Mutex::new(0),
             options,
             probe_deadline,
+            metrics,
+            routed,
+            failed,
         }
     }
 
     /// The directory.
     pub fn directory(&self) -> &Directory {
         &self.directory
+    }
+
+    /// The metaserver's metrics registry (serve it with
+    /// `ninf_obs::http::serve_metrics`).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Call options applied to routed calls.
@@ -91,20 +115,77 @@ impl Metaserver {
     /// Route one `Ninf_call` through the metaserver (the client "need not be
     /// aware … of the physical location of computing servers", §2.4).
     pub fn ninf_call(&self, routine: &str, args: &[Value]) -> ProtocolResult<Vec<Value>> {
+        self.ninf_call_traced(routine, args, None).0
+    }
+
+    /// [`Metaserver::ninf_call`] carrying the caller's trace position: the
+    /// routing decision and the forwarded leg are recorded as metaserver
+    /// spans under `parent` (a fresh root when `parent` is `None` and
+    /// tracing is armed). Returns the outcome and the trace id used
+    /// (0 when tracing is off).
+    pub fn ninf_call_traced(
+        &self,
+        routine: &str,
+        args: &[Value],
+        parent: Option<TraceContext>,
+    ) -> (ProtocolResult<Vec<Value>>, u64) {
+        let ctx = recorder::global()
+            .enabled()
+            .then(|| parent.map(|p| p.child()).unwrap_or_else(TraceContext::root));
+        let start_us = ninf_obs::now_us();
         let bytes: f64 = args.iter().map(|v| v.wire_bytes() as f64).sum();
+        let route_start = ctx.map(|_| ninf_obs::now_us());
         let idx = self.choose_server(CallEstimate {
             bytes,
             flops: bytes * 100.0,
         });
         let addr = self.directory.entries()[idx].addr.clone();
-        let outcome = call_async_with(addr, routine.to_owned(), args.to_vec(), self.options).wait();
+        if let (Some(ctx), Some(start)) = (ctx, route_start) {
+            // The probe + balancing decision is its own hop.
+            recorder::global().record(
+                Span::at(ctx.child(), "route", "metaserver", start)
+                    .with_detail(format!("server={idx} addr={addr}")),
+            );
+        }
+        let outcome = call_async_traced(
+            addr,
+            routine.to_owned(),
+            args.to_vec(),
+            self.options,
+            ctx,
+            "metaserver",
+        )
+        .wait();
+        self.routed.inc();
         match &outcome {
             Ok(_) => self.directory.record_success(idx),
             Err(_) => {
+                self.failed.inc();
                 self.directory.record_failure(idx);
             }
         }
-        outcome
+        let end_us = ninf_obs::now_us();
+        self.metrics
+            .histogram(
+                "ninf_meta_call_seconds",
+                "end-to-end routed call time as seen by the metaserver",
+            )
+            .lock()
+            .record(end_us.saturating_sub(start_us) as f64 / 1e6);
+        let trace_id = ctx.map_or(0, |c| c.trace_id);
+        if let Some(ctx) = ctx {
+            recorder::global().record(Span {
+                trace_id: ctx.trace_id,
+                span_id: ctx.span_id,
+                parent_span_id: ctx.parent_span_id,
+                name: "forward".into(),
+                process: "metaserver".into(),
+                start_us,
+                dur_us: end_us.saturating_sub(start_us),
+                detail: format!("routine={routine} server={idx} ok={}", outcome.is_ok()),
+            });
+        }
+        (outcome, trace_id)
     }
 
     /// Execute a recorded transaction: topologically layer the dependency

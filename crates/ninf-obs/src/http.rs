@@ -1,0 +1,102 @@
+//! Plain-TCP Prometheus exposition endpoint.
+//!
+//! A deliberately tiny HTTP/1.0 responder: every request to the bound port
+//! answers with the registry rendered as `text/plain; version=0.0.4`,
+//! which is exactly what `curl http://host:port/metrics` and a Prometheus
+//! scrape need. One thread, one connection at a time — a scrape endpoint,
+//! not a web server.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::metrics::MetricsRegistry;
+
+/// Bind `addr` and serve `registry` forever from a background thread.
+/// Returns the bound address (useful with port 0).
+pub fn serve_metrics(registry: Arc<MetricsRegistry>, addr: &str) -> io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("ninf-metrics".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let _ = answer(stream, &registry);
+            }
+        })?;
+    Ok(local)
+}
+
+fn answer(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the blank line ending the request head (bounded).
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while head.len() < 8192 && !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => head.push(byte[0]),
+            Err(_) => break,
+        }
+    }
+    let body = registry.render_prometheus();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// `curl`-equivalent client: fetch and return the exposition body from a
+/// metrics endpoint.
+pub fn fetch_metrics(addr: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: ninf\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(head, body)| {
+            if !head.starts_with("HTTP/1.0 200") && !head.starts_with("HTTP/1.1 200") {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "metrics endpoint answered: {}",
+                        head.lines().next().unwrap_or("")
+                    ),
+                ));
+            }
+            Ok(body.to_string())
+        })
+        .unwrap_or_else(|| {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "no HTTP header terminator in response",
+            ))
+        })?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_round_trips_prometheus_text() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("ninf_calls_total", "calls").add(42);
+        let addr = serve_metrics(registry.clone(), "127.0.0.1:0").expect("bind");
+        let body = fetch_metrics(&addr.to_string()).expect("fetch");
+        assert!(body.contains("ninf_calls_total 42"), "{body}");
+        // Counters keep moving between scrapes.
+        registry.counter("ninf_calls_total", "calls").inc();
+        let body = fetch_metrics(&addr.to_string()).expect("fetch again");
+        assert!(body.contains("ninf_calls_total 43"), "{body}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Observability for the Ninf stack.
+//!
+//! The paper's contribution is measurement; this crate is the shared
+//! measurement substrate for the live system and the simulator:
+//!
+//! - [`trace`]: trace context (`trace_id`/`span_id`/`parent_span_id`) and
+//!   the [`Span`] schema every process records.
+//! - [`recorder`]: a fixed-memory, drop-counting per-process flight
+//!   recorder; `QueryTrace` serves from it.
+//! - [`metrics`]: counters/gauges/latency summaries with Prometheus text
+//!   exposition, served over TCP by [`http`].
+//! - [`hist`]: the log-scale latency histogram (shared with `ninf-loadgen`).
+//! - [`export`]: joins per-process spans into call trees, exports Chrome
+//!   `trace_event` JSON for Perfetto, validates nesting, diffs live vs sim.
+//! - [`log`]: leveled `key=value` structured logging ([`logkv!`]).
+//!
+//! The crate is dependency-light on purpose: `ninf-protocol` depends on it
+//! for the wire-visible types, so it must sit below the whole stack.
+
+pub mod export;
+pub mod hist;
+pub mod http;
+pub mod log;
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use hist::LogHistogram;
+pub use metrics::{Counter, Gauge, MetricsRegistry};
+pub use recorder::FlightRecorder;
+pub use trace::{next_id, now_us, Span, TraceContext};

@@ -1,0 +1,180 @@
+//! Structured, leveled `key=value` logging to stderr.
+//!
+//! One line per event: `ts=<epoch secs> level=<l> component=<c> event=<e>
+//! k=v ...`. The level gate is a relaxed atomic load, and the [`crate::logkv!`]
+//! macro formats field values only when the line will actually be emitted —
+//! so an `info`-level request-path log costs one atomic read when the
+//! process runs at the default `warn`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable selecting the log level (`error`, `warn`, `info`,
+/// `debug`); default `warn`.
+pub const LOG_ENV: &str = "NINF_LOG";
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// A request failed or state was lost.
+    Error = 0,
+    /// Something degraded but handled (retry, eviction, clamp).
+    Warn = 1,
+    /// Request-path milestones.
+    Info = 2,
+    /// Per-hop detail.
+    Debug = 3,
+}
+
+impl Level {
+    /// Lower-case name used on the wire format and in [`LOG_ENV`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn max_level() -> u8 {
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| {
+        if MAX_LEVEL.load(Ordering::Relaxed) == u8::MAX {
+            let from_env = std::env::var(LOG_ENV)
+                .ok()
+                .and_then(|v| Level::parse(&v))
+                .unwrap_or(Level::Warn);
+            MAX_LEVEL.store(from_env as u8, Ordering::Relaxed);
+        }
+    });
+    MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Whether a record at `level` would be emitted.
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= max_level()
+}
+
+/// Override the level (tests, CLI flags); wins over [`LOG_ENV`].
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Format one record. `=`-joined fields follow the fixed header; values with
+/// whitespace, quotes, or `=` get quoted.
+pub fn format_line(
+    level: Level,
+    component: &str,
+    event: &str,
+    fields: &[(&str, String)],
+) -> String {
+    use std::fmt::Write as _;
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    let mut line = format!(
+        "ts={ts:.6} level={} component={component} event={event}",
+        level.name()
+    );
+    for (k, v) in fields {
+        if v.contains([' ', '\t', '"', '=']) {
+            let _ = write!(line, " {k}={:?}", v);
+        } else {
+            let _ = write!(line, " {k}={v}");
+        }
+    }
+    line
+}
+
+/// Emit one record to stderr (already level-gated by callers via
+/// [`enabled`]; gates again for direct calls).
+pub fn write_line(level: Level, component: &str, event: &str, fields: &[(&str, String)]) {
+    if !enabled(level) {
+        return;
+    }
+    eprintln!("{}", format_line(level, component, event, fields));
+}
+
+/// Structured log line: `logkv!(Level::Info, "server", "invoke", routine =
+/// name, bytes = n)`. Field values are formatted with `Display` and only
+/// when the level is enabled.
+#[macro_export]
+macro_rules! logkv {
+    ($level:expr, $component:expr, $event:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::log::enabled($level) {
+            $crate::log::write_line(
+                $level,
+                $component,
+                $event,
+                &[$((stringify!($key), format!("{}", $value))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn parse_accepts_common_spellings() {
+        assert_eq!(Level::parse("ERROR"), Some(Level::Error));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("trace"), Some(Level::Debug));
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn format_is_key_value_with_quoting() {
+        let line = format_line(
+            Level::Info,
+            "server",
+            "invoke",
+            &[
+                ("routine", "linpack".into()),
+                ("detail", "has space".into()),
+            ],
+        );
+        assert!(line.contains("level=info"));
+        assert!(line.contains("component=server"));
+        assert!(line.contains("event=invoke"));
+        assert!(line.contains("routine=linpack"));
+        assert!(line.contains("detail=\"has space\""));
+        assert!(line.starts_with("ts="));
+    }
+
+    #[test]
+    fn set_level_gates() {
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_level(Level::Warn);
+    }
+}

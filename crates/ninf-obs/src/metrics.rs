@@ -1,0 +1,214 @@
+//! Counters, gauges, and latency summaries with Prometheus text exposition.
+//!
+//! The registry hands out cheap atomic handles (`Counter`, `Gauge`) and
+//! shared [`LogHistogram`]s keyed by metric name; `render_prometheus`
+//! produces the version-0.0.4 text format a `curl` of the metrics endpoint
+//! expects.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hist::LogHistogram;
+
+/// Monotone event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous value (queue depth, utilization, ...), stored as f64 bits.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Mutex<LogHistogram>>),
+}
+
+/// Named metrics of one process; get-or-create by name, render as Prometheus
+/// text.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<Vec<(String, String, Metric)>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MetricsRegistry({} metrics)", self.metrics.lock().len())
+    }
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created with `help` on first use.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut metrics = self.metrics.lock();
+        for (n, _, m) in metrics.iter() {
+            if n == name {
+                if let Metric::Counter(c) = m {
+                    return c.clone();
+                }
+                panic!("metric {name} already registered with a different type");
+            }
+        }
+        let c = Counter::default();
+        metrics.push((name.into(), help.into(), Metric::Counter(c.clone())));
+        c
+    }
+
+    /// The gauge named `name`, created with `help` on first use.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let mut metrics = self.metrics.lock();
+        for (n, _, m) in metrics.iter() {
+            if n == name {
+                if let Metric::Gauge(g) = m {
+                    return g.clone();
+                }
+                panic!("metric {name} already registered with a different type");
+            }
+        }
+        let g = Gauge::default();
+        metrics.push((name.into(), help.into(), Metric::Gauge(g.clone())));
+        g
+    }
+
+    /// The latency summary named `name` (record seconds into the returned
+    /// histogram), created with `help` on first use.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Mutex<LogHistogram>> {
+        let mut metrics = self.metrics.lock();
+        for (n, _, m) in metrics.iter() {
+            if n == name {
+                if let Metric::Histogram(h) = m {
+                    return h.clone();
+                }
+                panic!("metric {name} already registered with a different type");
+            }
+        }
+        let h = Arc::new(Mutex::new(LogHistogram::new()));
+        metrics.push((name.into(), help.into(), Metric::Histogram(h.clone())));
+        h
+    }
+
+    /// Prometheus text exposition format 0.0.4; histograms render as
+    /// summaries with p50/p95/p99 quantiles.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.metrics.lock();
+        let mut out = String::new();
+        for (name, help, metric) in metrics.iter() {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let h = h.lock();
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    for (q, p) in [("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)] {
+                        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", h.percentile(p));
+                    }
+                    let _ = writeln!(out, "{name}_sum {}", h.mean() * h.count() as f64);
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("ninf_calls_total", "calls");
+        let b = reg.counter("ninf_calls_total", "calls");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn gauge_stores_floats() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("ninf_queue_depth", "queued jobs");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn render_contains_all_metric_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ninf_calls_total", "completed calls").add(7);
+        reg.gauge("ninf_running", "executing now").set(3.0);
+        let h = reg.histogram("ninf_call_seconds", "per-call latency");
+        for _ in 0..100 {
+            h.lock().record(0.010);
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE ninf_calls_total counter"));
+        assert!(text.contains("ninf_calls_total 7"));
+        assert!(text.contains("# TYPE ninf_running gauge"));
+        assert!(text.contains("ninf_running 3"));
+        assert!(text.contains("# TYPE ninf_call_seconds summary"));
+        assert!(text.contains("ninf_call_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("ninf_call_seconds_count 100"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            let name = parts.next().unwrap();
+            let value = parts.next().unwrap();
+            assert!(name.starts_with("ninf_"), "bad name in {line}");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn name_reuse_across_types_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ninf_x", "x");
+        reg.gauge("ninf_x", "x");
+    }
+}

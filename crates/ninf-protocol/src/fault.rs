@@ -254,6 +254,7 @@ mod tests {
             .send(&Message::Invoke {
                 routine: "ep".into(),
                 args: vec![crate::Value::Int(4)],
+                trace: None,
             })
             .unwrap();
         assert_eq!(faulty.stats().truncated, 1);

@@ -82,6 +82,7 @@ mod tests {
         let msg = Message::Invoke {
             routine: "ep".into(),
             args: vec![Value::Int(24)],
+            trace: None,
         };
         let mut buf = Vec::new();
         write_frame(&mut buf, &msg).unwrap();
@@ -163,6 +164,7 @@ mod tests {
         let big = Message::Invoke {
             routine: "echo".into(),
             args: vec![Value::DoubleArray(vec![1.25; 3 * PAYLOAD_READ_CHUNK / 8])],
+            trace: None,
         };
         let mut buf = Vec::new();
         write_frame(&mut buf, &big).unwrap();

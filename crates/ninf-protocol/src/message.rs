@@ -1,6 +1,7 @@
 //! Protocol messages and their XDR codecs.
 
 use ninf_idl::CompiledInterface;
+use ninf_obs::{Span, TraceContext};
 use ninf_xdr::{XdrDecoder, XdrEncoder};
 
 use crate::error::{ProtocolError, ProtocolResult};
@@ -130,6 +131,8 @@ pub enum Message {
         /// Input values. Scalars first bind dimension variables; array
         /// extents must match the IDL layout.
         args: Vec<Value>,
+        /// Caller's trace position; the server parents its spans under it.
+        trace: Option<TraceContext>,
     },
     /// Stage 2 reply: `mode_out`/`mode_inout` values in declaration order.
     ResultData {
@@ -152,6 +155,8 @@ pub enum Message {
         routine: String,
         /// Input values, as in [`Message::Invoke`].
         args: Vec<Value>,
+        /// Caller's trace position; the server parents its spans under it.
+        trace: Option<TraceContext>,
     },
     /// Reply to [`Message::SubmitJob`].
     JobTicket {
@@ -213,6 +218,70 @@ pub enum Message {
         /// The records from `since` onward.
         records: Vec<CallStat>,
     },
+    /// Ask a process for the contents of its flight recorder.
+    QueryTrace {
+        /// Trace to fetch, or 0 for every retained span.
+        trace_id: u64,
+    },
+    /// Reply to [`Message::QueryTrace`].
+    TraceReply {
+        /// Logical process label of the responder (`server`, `metaserver`).
+        process: String,
+        /// Spans evicted from the ring to stay within capacity.
+        dropped: u64,
+        /// Retained spans matching the query.
+        spans: Vec<Span>,
+    },
+}
+
+fn encode_trace_ctx(enc: &mut XdrEncoder, trace: &Option<TraceContext>) {
+    match trace {
+        Some(ctx) => {
+            enc.put_u32(1);
+            enc.put_u64(ctx.trace_id);
+            enc.put_u64(ctx.span_id);
+            enc.put_u64(ctx.parent_span_id);
+        }
+        None => enc.put_u32(0),
+    }
+}
+
+fn decode_trace_ctx(dec: &mut XdrDecoder<'_>) -> ProtocolResult<Option<TraceContext>> {
+    match dec.get_u32()? {
+        0 => Ok(None),
+        1 => Ok(Some(TraceContext {
+            trace_id: dec.get_u64()?,
+            span_id: dec.get_u64()?,
+            parent_span_id: dec.get_u64()?,
+        })),
+        other => Err(ProtocolError::Frame(format!(
+            "bad trace-context presence flag {other}"
+        ))),
+    }
+}
+
+fn encode_span(enc: &mut XdrEncoder, span: &Span) {
+    enc.put_u64(span.trace_id);
+    enc.put_u64(span.span_id);
+    enc.put_u64(span.parent_span_id);
+    enc.put_string(&span.name);
+    enc.put_string(&span.process);
+    enc.put_u64(span.start_us);
+    enc.put_u64(span.dur_us);
+    enc.put_string(&span.detail);
+}
+
+fn decode_span(dec: &mut XdrDecoder<'_>) -> ProtocolResult<Span> {
+    Ok(Span {
+        trace_id: dec.get_u64()?,
+        span_id: dec.get_u64()?,
+        parent_span_id: dec.get_u64()?,
+        name: dec.get_string()?,
+        process: dec.get_string()?,
+        start_us: dec.get_u64()?,
+        dur_us: dec.get_u64()?,
+        detail: dec.get_string()?,
+    })
 }
 
 /// Lifecycle state of a two-phase job.
@@ -267,6 +336,8 @@ const TAG_DB_QUERY: u32 = 15;
 const TAG_DB_REPLY: u32 = 16;
 const TAG_QUERY_STATS: u32 = 17;
 const TAG_STATS_REPLY: u32 = 18;
+const TAG_QUERY_TRACE: u32 = 19;
+const TAG_TRACE_REPLY: u32 = 20;
 
 impl Message {
     /// Short name for diagnostics.
@@ -290,6 +361,8 @@ impl Message {
             Message::DbReply { .. } => "DbReply",
             Message::QueryStats { .. } => "QueryStats",
             Message::StatsReply { .. } => "StatsReply",
+            Message::QueryTrace { .. } => "QueryTrace",
+            Message::TraceReply { .. } => "TraceReply",
         }
     }
 
@@ -305,13 +378,18 @@ impl Message {
                 enc.put_u32(TAG_INTERFACE_REPLY);
                 interface.encode_xdr(&mut enc);
             }
-            Message::Invoke { routine, args } => {
+            Message::Invoke {
+                routine,
+                args,
+                trace,
+            } => {
                 enc.put_u32(TAG_INVOKE);
                 enc.put_string(routine);
                 enc.put_u32(args.len() as u32);
                 for v in args {
                     encode_tagged_value(&mut enc, v);
                 }
+                encode_trace_ctx(&mut enc, trace);
             }
             Message::ResultData { results } => {
                 enc.put_u32(TAG_RESULT_DATA);
@@ -324,13 +402,18 @@ impl Message {
                 enc.put_u32(TAG_ERROR);
                 enc.put_string(reason);
             }
-            Message::SubmitJob { routine, args } => {
+            Message::SubmitJob {
+                routine,
+                args,
+                trace,
+            } => {
                 enc.put_u32(TAG_SUBMIT_JOB);
                 enc.put_string(routine);
                 enc.put_u32(args.len() as u32);
                 for v in args {
                     encode_tagged_value(&mut enc, v);
                 }
+                encode_trace_ctx(&mut enc, trace);
             }
             Message::JobTicket { job } => {
                 enc.put_u32(TAG_JOB_TICKET);
@@ -390,6 +473,23 @@ impl Message {
                     r.encode_xdr(&mut enc);
                 }
             }
+            Message::QueryTrace { trace_id } => {
+                enc.put_u32(TAG_QUERY_TRACE);
+                enc.put_u64(*trace_id);
+            }
+            Message::TraceReply {
+                process,
+                dropped,
+                spans,
+            } => {
+                enc.put_u32(TAG_TRACE_REPLY);
+                enc.put_string(process);
+                enc.put_u64(*dropped);
+                enc.put_u32(spans.len() as u32);
+                for s in spans {
+                    encode_span(&mut enc, s);
+                }
+            }
             Message::QueryLoad => enc.put_u32(TAG_QUERY_LOAD),
             Message::LoadStatus(r) => {
                 enc.put_u32(TAG_LOAD_STATUS);
@@ -421,7 +521,12 @@ impl Message {
                 for _ in 0..n {
                     args.push(decode_tagged_value(&mut dec)?);
                 }
-                Message::Invoke { routine, args }
+                let trace = decode_trace_ctx(&mut dec)?;
+                Message::Invoke {
+                    routine,
+                    args,
+                    trace,
+                }
             }
             TAG_RESULT_DATA => {
                 let n = dec.get_u32()? as usize;
@@ -441,7 +546,12 @@ impl Message {
                 for _ in 0..n {
                     args.push(decode_tagged_value(&mut dec)?);
                 }
-                Message::SubmitJob { routine, args }
+                let trace = decode_trace_ctx(&mut dec)?;
+                Message::SubmitJob {
+                    routine,
+                    args,
+                    trace,
+                }
             }
             TAG_JOB_TICKET => Message::JobTicket {
                 job: dec.get_u64()?,
@@ -495,6 +605,23 @@ impl Message {
                     now,
                     total,
                     records,
+                }
+            }
+            TAG_QUERY_TRACE => Message::QueryTrace {
+                trace_id: dec.get_u64()?,
+            },
+            TAG_TRACE_REPLY => {
+                let process = dec.get_string()?;
+                let dropped = dec.get_u64()?;
+                let n = dec.get_u32()? as usize;
+                let mut spans = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    spans.push(decode_span(&mut dec)?);
+                }
+                Message::TraceReply {
+                    process,
+                    dropped,
+                    spans,
                 }
             }
             TAG_QUERY_LOAD => Message::QueryLoad,
@@ -624,6 +751,16 @@ mod tests {
                 Value::DoubleArray(vec![1.0; 9]),
                 Value::DoubleArray(vec![2.0; 9]),
             ],
+            trace: None,
+        });
+        roundtrip(Message::Invoke {
+            routine: "dmmul".into(),
+            args: vec![Value::Int(3)],
+            trace: Some(TraceContext {
+                trace_id: 0xdead_beef_cafe_f00d,
+                span_id: 17,
+                parent_span_id: 0,
+            }),
         });
     }
 
@@ -682,6 +819,16 @@ mod tests {
         roundtrip(Message::SubmitJob {
             routine: "ep".into(),
             args: vec![Value::Int(24)],
+            trace: None,
+        });
+        roundtrip(Message::SubmitJob {
+            routine: "ep".into(),
+            args: vec![Value::Int(24)],
+            trace: Some(TraceContext {
+                trace_id: 1,
+                span_id: 2,
+                parent_span_id: 3,
+            }),
         });
         roundtrip(Message::JobTicket { job: 42 });
         roundtrip(Message::PollJob { job: 42 });
@@ -814,6 +961,57 @@ mod tests {
                 Value::FloatArray(vec![7.0]),
                 Value::DoubleArray(vec![8.0]),
             ],
+            trace: None,
         });
+    }
+
+    #[test]
+    fn roundtrip_trace_messages() {
+        roundtrip(Message::QueryTrace { trace_id: 0 });
+        roundtrip(Message::QueryTrace { trace_id: u64::MAX });
+        roundtrip(Message::TraceReply {
+            process: "server".into(),
+            dropped: 3,
+            spans: vec![
+                Span {
+                    trace_id: 0xabc,
+                    span_id: 0xdef,
+                    parent_span_id: 0,
+                    name: "request".into(),
+                    process: "server".into(),
+                    start_us: 1_700_000_000_000_000,
+                    dur_us: 12_345,
+                    detail: "routine=linpack".into(),
+                },
+                Span {
+                    trace_id: 0xabc,
+                    span_id: 0x123,
+                    parent_span_id: 0xdef,
+                    name: "exec".into(),
+                    process: "server".into(),
+                    start_us: 1_700_000_000_001_000,
+                    dur_us: 10_000,
+                    detail: String::new(),
+                },
+            ],
+        });
+        roundtrip(Message::TraceReply {
+            process: "metaserver".into(),
+            dropped: 0,
+            spans: vec![],
+        });
+    }
+
+    #[test]
+    fn bad_trace_presence_flag_rejected() {
+        let mut enc = ninf_xdr::XdrEncoder::new();
+        enc.put_u32(3); // Invoke
+        enc.put_string("f");
+        enc.put_u32(0); // zero args
+        enc.put_u32(9); // bogus trace presence flag
+        assert!(matches!(
+            Message::decode(&enc.finish()),
+            Err(ProtocolError::Frame(_))
+        ));
     }
 }

@@ -208,6 +208,7 @@ mod tests {
         let msg = Message::Invoke {
             routine: "ep".into(),
             args: vec![Value::Int(20)],
+            trace: None,
         };
         a.send(&msg).unwrap();
         assert_eq!(b.recv().unwrap(), msg);
@@ -287,6 +288,7 @@ mod tests {
             .send(&Message::Invoke {
                 routine: "echo".into(),
                 args: vec![matrix.clone()],
+                trace: None,
             })
             .unwrap();
         match client.recv().unwrap() {

@@ -2,7 +2,7 @@
 //! encode → frame → read → decode pipeline, and the decoder never panics on
 //! arbitrary bytes.
 
-use ninf_protocol::{read_frame, write_frame, JobPhase, LoadReport, Message, Value};
+use ninf_protocol::{read_frame, write_frame, JobPhase, LoadReport, Message, TraceContext, Value};
 use proptest::prelude::*;
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -28,8 +28,21 @@ fn arb_message() -> impl Strategy<Value = Message> {
     let routine = "[a-z][a-z0-9_]{0,15}";
     prop_oneof![
         routine.prop_map(|r| Message::QueryInterface { routine: r }),
-        (routine, proptest::collection::vec(arb_value(), 0..6))
-            .prop_map(|(routine, args)| Message::Invoke { routine, args }),
+        (
+            routine,
+            proptest::collection::vec(arb_value(), 0..6),
+            any::<u64>()
+        )
+            .prop_map(|(routine, args, t)| Message::Invoke {
+                routine,
+                args,
+                // t == 0 exercises the absent-context encoding.
+                trace: (t != 0).then_some(TraceContext {
+                    trace_id: t,
+                    span_id: t ^ 0x5555,
+                    parent_span_id: t >> 1,
+                }),
+            }),
         proptest::collection::vec(arb_value(), 0..6)
             .prop_map(|results| Message::ResultData { results }),
         "\\PC{0,64}".prop_map(|reason| Message::Error { reason }),
@@ -50,8 +63,20 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     cpu_utilization,
                 })
             }),
-        (routine, proptest::collection::vec(arb_value(), 0..6))
-            .prop_map(|(routine, args)| Message::SubmitJob { routine, args }),
+        (
+            routine,
+            proptest::collection::vec(arb_value(), 0..6),
+            any::<u64>()
+        )
+            .prop_map(|(routine, args, t)| Message::SubmitJob {
+                routine,
+                args,
+                trace: (t != 0).then_some(TraceContext {
+                    trace_id: t,
+                    span_id: t ^ 0x5555,
+                    parent_span_id: t >> 1,
+                }),
+            }),
         any::<u64>().prop_map(|job| Message::JobTicket { job }),
         any::<u64>().prop_map(|job| Message::PollJob { job }),
         (

@@ -36,7 +36,7 @@ pub mod twophase;
 pub use exec::ExecMode;
 pub use policy::{JobInfo, SchedPolicy};
 pub use registry::{Handler, NinfExecutable, Registry};
-pub use server::{NinfServer, ServerConfig};
+pub use server::{NinfServer, ServerConfig, ServerMetrics};
 pub use stats::{CallRecord, ServerStats};
 pub use trace::CostModel;
 pub use twophase::JobTable;

@@ -11,7 +11,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use ninf_protocol::{Message, ProtocolError, ProtocolResult, TcpTransport, Transport};
+use ninf_obs::log::Level;
+use ninf_obs::{logkv, recorder, Counter, Gauge, LogHistogram, MetricsRegistry};
+use ninf_protocol::{
+    Message, ProtocolError, ProtocolResult, Span, TcpTransport, TraceContext, Transport,
+};
 
 use crate::exec::{ExecMode, JobGate};
 use crate::policy::{JobInfo, SchedPolicy};
@@ -41,6 +45,50 @@ impl Default for ServerConfig {
     }
 }
 
+/// Pre-resolved metric handles for the per-call hot path, backed by a
+/// [`MetricsRegistry`] the process can expose over HTTP.
+pub struct ServerMetrics {
+    registry: Arc<MetricsRegistry>,
+    calls: Counter,
+    errors: Counter,
+    latency: Arc<parking_lot::Mutex<LogHistogram>>,
+    running: Gauge,
+    queued: Gauge,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let calls = registry.counter(
+            "ninf_server_calls_total",
+            "Ninf_call invocations completed (including errors)",
+        );
+        let errors = registry.counter(
+            "ninf_server_errors_total",
+            "Ninf_call invocations that returned an error",
+        );
+        let latency = registry.histogram(
+            "ninf_server_call_seconds",
+            "server-side Ninf_call time from submit to complete",
+        );
+        let running = registry.gauge("ninf_server_running", "calls executing now");
+        let queued = registry.gauge("ninf_server_queued", "calls waiting for a PE");
+        Self {
+            registry,
+            calls,
+            errors,
+            latency,
+            running,
+            queued,
+        }
+    }
+
+    /// The backing registry (serve it with `ninf_obs::http::serve_metrics`).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+}
+
 /// Handle to a running server; dropping it does **not** stop the server —
 /// call [`NinfServer::shutdown`].
 pub struct NinfServer {
@@ -49,6 +97,7 @@ pub struct NinfServer {
     gate: Arc<JobGate>,
     jobs: Arc<JobTable>,
     cost: Arc<CostModel>,
+    metrics: Arc<ServerMetrics>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -63,6 +112,7 @@ impl NinfServer {
         let gate = Arc::new(JobGate::new(config.pes, config.policy));
         let jobs = Arc::new(JobTable::new());
         let cost = Arc::new(CostModel::new());
+        let metrics = Arc::new(ServerMetrics::new());
         let stop = Arc::new(AtomicBool::new(false));
         let registry = Arc::new(registry);
 
@@ -71,6 +121,7 @@ impl NinfServer {
             let gate = gate.clone();
             let jobs = jobs.clone();
             let cost = cost.clone();
+            let metrics = metrics.clone();
             let stop = stop.clone();
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
@@ -83,13 +134,16 @@ impl NinfServer {
                     let gate = gate.clone();
                     let jobs = jobs.clone();
                     let cost = cost.clone();
+                    let metrics = metrics.clone();
                     let mode = config.mode;
                     // Connection threads are detached: a client that keeps
                     // its connection open (normal for Ninf RPC, §5.1) must
                     // not block shutdown. The thread exits when its peer
                     // hangs up.
                     std::thread::spawn(move || {
-                        let _ = serve_connection(stream, registry, stats, gate, jobs, cost, mode);
+                        let _ = serve_connection(
+                            stream, registry, stats, gate, jobs, cost, metrics, mode,
+                        );
                     });
                 }
             })
@@ -101,6 +155,7 @@ impl NinfServer {
             gate,
             jobs,
             cost,
+            metrics,
             stop,
             accept_thread: Some(accept_thread),
         })
@@ -129,6 +184,11 @@ impl NinfServer {
     /// The execution-trace cost model feeding SJF predictions (§5.2).
     pub fn cost_model(&self) -> &Arc<CostModel> {
         &self.cost
+    }
+
+    /// Per-process metric handles (counters, gauges, latency summary).
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
     }
 
     /// Stop accepting and join the accept thread, draining briefly (2 s) so
@@ -162,6 +222,7 @@ impl NinfServer {
 }
 
 /// Serve one client connection until it closes.
+#[allow(clippy::too_many_arguments)] // one shared handle per subsystem
 fn serve_connection(
     stream: TcpStream,
     registry: Arc<Registry>,
@@ -169,8 +230,14 @@ fn serve_connection(
     gate: Arc<JobGate>,
     jobs: Arc<JobTable>,
     cost: Arc<CostModel>,
+    metrics: Arc<ServerMetrics>,
     mode: ExecMode,
 ) -> ProtocolResult<()> {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
+    logkv!(Level::Debug, "server", "accept", peer = peer);
     let mut transport = TcpTransport::new(stream)?;
     loop {
         let msg = match transport.recv() {
@@ -184,31 +251,66 @@ fn serve_connection(
                 Some(exe) => transport.send(&Message::InterfaceReply {
                     interface: exe.interface.clone(),
                 })?,
-                None => transport.send(&Message::Error {
-                    reason: format!("unknown routine `{routine}`"),
-                })?,
+                None => {
+                    logkv!(Level::Warn, "server", "unknown_routine", routine = routine);
+                    transport.send(&Message::Error {
+                        reason: format!("unknown routine `{routine}`"),
+                    })?
+                }
             },
-            Message::Invoke { routine, args } => {
+            Message::Invoke {
+                routine,
+                args,
+                trace,
+            } => {
                 let t_submit = stats.now();
-                let reply = execute_invoke(
-                    &routine, &args, &registry, &stats, &gate, &cost, mode, t_submit,
+                logkv!(
+                    Level::Info,
+                    "server",
+                    "invoke",
+                    routine = routine,
+                    args = args.len()
                 );
+                let reply = execute_invoke(
+                    &routine, &args, &registry, &stats, &gate, &cost, mode, t_submit, trace,
+                    &metrics,
+                );
+                // The reply leg gets its own span, a sibling of the invoke
+                // span under the caller's rpc position.
+                let tracing = trace.filter(|_| recorder::global().enabled());
+                let send_start = tracing.map(|_| ninf_obs::now_us());
                 transport.send(&reply)?;
+                if let (Some(ctx), Some(start)) = (tracing, send_start) {
+                    recorder::global().record(Span::at(ctx.child(), "reply", "server", start));
+                }
             }
-            Message::SubmitJob { routine, args } => {
+            Message::SubmitJob {
+                routine,
+                args,
+                trace,
+            } => {
                 // Two-phase, phase 1 (§5.1): ticket now, compute detached —
                 // the client may disconnect immediately.
                 let ticket = jobs.submit();
+                logkv!(
+                    Level::Info,
+                    "server",
+                    "submit_job",
+                    routine = routine,
+                    job = ticket
+                );
                 transport.send(&Message::JobTicket { job: ticket })?;
                 let registry = registry.clone();
                 let stats = stats.clone();
                 let gate = gate.clone();
                 let jobs = jobs.clone();
                 let cost = cost.clone();
+                let metrics = metrics.clone();
                 std::thread::spawn(move || {
                     let t_submit = stats.now();
                     let reply = execute_invoke(
-                        &routine, &args, &registry, &stats, &gate, &cost, mode, t_submit,
+                        &routine, &args, &registry, &stats, &gate, &cost, mode, t_submit, trace,
+                        &metrics,
                     );
                     let outcome = match reply {
                         Message::ResultData { results } => Ok(results),
@@ -245,6 +347,17 @@ fn serve_connection(
                     records,
                 })?;
             }
+            Message::QueryTrace { trace_id } => {
+                // Flight-recorder drain: the spans this process recorded for
+                // `trace_id` (0 = everything retained), joined client-side
+                // into one cross-process call tree.
+                let rec = recorder::global();
+                transport.send(&Message::TraceReply {
+                    process: "server".into(),
+                    dropped: rec.dropped(),
+                    spans: rec.snapshot(trace_id),
+                })?;
+            }
             Message::ListRoutines => {
                 let routines = registry
                     .names()
@@ -268,7 +381,7 @@ fn serve_connection(
     }
 }
 
-#[allow(clippy::too_many_arguments)] // the call context really has 8 parts
+#[allow(clippy::too_many_arguments)] // the call context really has this many parts
 fn execute_invoke(
     routine: &str,
     args: &[ninf_protocol::Value],
@@ -278,15 +391,36 @@ fn execute_invoke(
     cost: &CostModel,
     mode: ExecMode,
     t_submit: f64,
+    trace: Option<TraceContext>,
+    metrics: &ServerMetrics,
 ) -> Message {
+    // The caller's rpc span is the parent; this invoke gets its own span with
+    // queue_wait and exec nested inside it.
+    let ctx = trace
+        .filter(|_| recorder::global().enabled())
+        .map(|parent| parent.child());
+    let entry_us = ctx.map(|_| ninf_obs::now_us());
     let Some(exe) = registry.lookup(routine) else {
+        metrics.calls.inc();
+        metrics.errors.inc();
         return Message::Error {
             reason: format!("unknown routine `{routine}`"),
         };
     };
     let layout = match validate_invoke(&exe.interface, args) {
         Ok(l) => l,
-        Err(reason) => return Message::Error { reason },
+        Err(reason) => {
+            metrics.calls.inc();
+            metrics.errors.inc();
+            logkv!(
+                Level::Warn,
+                "server",
+                "invoke_rejected",
+                routine = routine,
+                reason = reason
+            );
+            return Message::Error { reason };
+        }
     };
     let request_bytes: usize = layout
         .iter()
@@ -307,6 +441,7 @@ fn execute_invoke(
     let estimated_cost = n
         .and_then(|n| cost.predict(routine, n))
         .unwrap_or((request_bytes + reply_bytes) as f64 * 1e-9);
+    let enqueue_us = ctx.map(|_| ninf_obs::now_us());
     let guard = gate.acquire(JobInfo {
         arrival_seq: 0, // assigned by the gate
         estimated_cost,
@@ -314,10 +449,12 @@ fn execute_invoke(
     });
     let t_dequeue = stats.now();
     stats.job_started();
+    let dequeue_us = ctx.map(|_| ninf_obs::now_us());
 
     let result = (exe.handler)(args);
     let t_complete = stats.now();
     drop(guard);
+    let complete_us = ctx.map(|_| ninf_obs::now_us());
     if let Some(n) = n {
         cost.record(routine, n, t_complete - t_dequeue);
     }
@@ -332,10 +469,68 @@ fn execute_invoke(
         t_dequeue,
         t_complete,
     });
+    metrics.calls.inc();
+    if result.is_err() {
+        metrics.errors.inc();
+    }
+    metrics.latency.lock().record(t_complete - t_submit);
+    let load = stats.load_report();
+    metrics.running.set(load.running as f64);
+    metrics.queued.set(load.queued as f64);
+
+    if let (Some(ctx), Some(entry), Some(enq), Some(deq), Some(done)) =
+        (ctx, entry_us, enqueue_us, dequeue_us, complete_us)
+    {
+        let rec = recorder::global();
+        let wait = ctx.child();
+        rec.record(Span {
+            trace_id: wait.trace_id,
+            span_id: wait.span_id,
+            parent_span_id: wait.parent_span_id,
+            name: "queue_wait".into(),
+            process: "server".into(),
+            start_us: enq,
+            dur_us: deq.saturating_sub(enq),
+            detail: String::new(),
+        });
+        let exec = ctx.child();
+        rec.record(Span {
+            trace_id: exec.trace_id,
+            span_id: exec.span_id,
+            parent_span_id: exec.parent_span_id,
+            name: "exec".into(),
+            process: "server".into(),
+            start_us: deq,
+            dur_us: done.saturating_sub(deq),
+            detail: match n {
+                Some(n) => format!("routine={routine} n={n}"),
+                None => format!("routine={routine}"),
+            },
+        });
+        rec.record(Span {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_span_id: ctx.parent_span_id,
+            name: "invoke".into(),
+            process: "server".into(),
+            start_us: entry,
+            dur_us: done.saturating_sub(entry),
+            detail: format!("routine={routine} ok={}", result.is_ok()),
+        });
+    }
 
     match result {
         Ok(results) => Message::ResultData { results },
-        Err(reason) => Message::Error { reason },
+        Err(reason) => {
+            logkv!(
+                Level::Warn,
+                "server",
+                "invoke_failed",
+                routine = routine,
+                reason = reason
+            );
+            Message::Error { reason }
+        }
     }
 }
 
@@ -373,6 +568,7 @@ mod tests {
         t.send(&Message::Invoke {
             routine: routine.into(),
             args,
+            trace: None,
         })
         .unwrap();
         t.recv().unwrap()

@@ -7,12 +7,19 @@
 //! completed T_complete." — with `T_response = T_enqueue − T_submit` and
 //! `T_wait = T_dequeue − T_enqueue`.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use ninf_protocol::{CallStat, LoadReport};
+
+/// Default cap on retained [`CallRecord`]s. A long-lived server keeps a
+/// bounded window of recent history instead of growing without limit; the
+/// monotone record index (`base`) keeps incremental stats queries correct
+/// across eviction.
+pub const DEFAULT_RECORD_CAPACITY: usize = 65_536;
 
 /// One completed `Ninf_call` as observed by the server.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,11 +79,38 @@ impl CallRecord {
     }
 }
 
+/// Bounded record history: a ring of the most recent records plus the
+/// monotone index of the oldest retained one, so global record indices
+/// (`base..base+buf.len()`) stay stable as old entries are evicted.
+#[derive(Debug)]
+struct RecordRing {
+    buf: VecDeque<CallRecord>,
+    /// Global index of `buf[0]`; equivalently, how many records have been
+    /// evicted so far.
+    base: u64,
+    cap: usize,
+}
+
+impl RecordRing {
+    fn push(&mut self, record: CallRecord) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+        self.buf.push_back(record);
+    }
+
+    /// Total records ever completed (retained + evicted).
+    fn total(&self) -> u64 {
+        self.base + self.buf.len() as u64
+    }
+}
+
 /// Shared, thread-safe statistics sink of a live server.
 #[derive(Debug)]
 pub struct ServerStats {
     start: Instant,
-    records: Mutex<Vec<CallRecord>>,
+    records: Mutex<RecordRing>,
     running: AtomicUsize,
     queued: AtomicUsize,
     pes: usize,
@@ -85,9 +119,18 @@ pub struct ServerStats {
 impl ServerStats {
     /// New sink for a machine with `pes` PEs; the clock starts now.
     pub fn new(pes: usize) -> Self {
+        Self::with_capacity(pes, DEFAULT_RECORD_CAPACITY)
+    }
+
+    /// New sink retaining at most `capacity` recent records.
+    pub fn with_capacity(pes: usize, capacity: usize) -> Self {
         Self {
             start: Instant::now(),
-            records: Mutex::new(Vec::new()),
+            records: Mutex::new(RecordRing {
+                buf: VecDeque::with_capacity(capacity.min(DEFAULT_RECORD_CAPACITY)),
+                base: 0,
+                cap: capacity.max(1),
+            }),
             running: AtomicUsize::new(0),
             queued: AtomicUsize::new(0),
             pes,
@@ -110,31 +153,46 @@ impl ServerStats {
         self.running.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Mark a job finished and store its record.
+    /// Mark a job finished and store its record (evicting the oldest retained
+    /// record once the ring is full).
     pub fn job_finished(&self, record: CallRecord) {
         self.running.fetch_sub(1, Ordering::Relaxed);
         self.records.lock().push(record);
     }
 
-    /// Copy of all records so far.
+    /// Copy of all *retained* records (the most recent window).
     pub fn snapshot(&self) -> Vec<CallRecord> {
-        self.records.lock().clone()
+        self.records.lock().buf.iter().cloned().collect()
     }
 
-    /// Incremental wire snapshot for a stats query: records from index
-    /// `since` onward (clamped), the total count, and the server clock now —
-    /// so a polling harness ships only new history on each probe.
+    /// Incremental wire snapshot for a stats query: records from global index
+    /// `since` onward, the total count ever completed, and the server clock
+    /// now — so a polling harness ships only new history on each probe.
+    /// `since` below the retention window is clamped up to the oldest
+    /// retained record (the evicted prefix is gone, never re-sent), so a
+    /// cursor-driven poller sees every retained record exactly once.
     pub fn snapshot_since(&self, since: u64) -> (f64, u64, Vec<CallStat>) {
         let records = self.records.lock();
-        let total = records.len();
-        let from = (since as usize).min(total);
-        let wire = records[from..].iter().map(CallRecord::to_wire).collect();
-        (self.now(), total as u64, wire)
+        let total = records.total();
+        let from = since.clamp(records.base, total);
+        let wire = records
+            .buf
+            .iter()
+            .skip((from - records.base) as usize)
+            .map(CallRecord::to_wire)
+            .collect();
+        (self.now(), total, wire)
     }
 
-    /// Number of completed calls.
+    /// Number of completed calls over the server's lifetime (including
+    /// records already evicted from the bounded ring).
     pub fn completed(&self) -> usize {
-        self.records.lock().len()
+        self.records.lock().total() as usize
+    }
+
+    /// Number of records currently retained (bounded by the ring capacity).
+    pub fn retained(&self) -> usize {
+        self.records.lock().buf.len()
     }
 
     /// Current load report for the metaserver.
@@ -211,5 +269,70 @@ mod tests {
         let a = s.now();
         let b = s.now();
         assert!(b >= a);
+    }
+
+    /// A long run stays memory-flat: the ring never retains more than its
+    /// capacity, while the lifetime total keeps counting.
+    #[test]
+    fn record_history_is_bounded() {
+        let cap = 8;
+        let s = ServerStats::with_capacity(2, cap);
+        for i in 0..10 * cap {
+            s.job_queued();
+            s.job_started();
+            s.job_finished(record(i as f64, i as f64, i as f64, i as f64 + 1.0));
+            assert!(s.retained() <= cap);
+        }
+        assert_eq!(s.completed(), 10 * cap);
+        assert_eq!(s.retained(), cap);
+        // The retained window is the most recent `cap` records.
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), cap);
+        assert_eq!(snap[0].t_submit, (10 * cap - cap) as f64);
+        assert_eq!(snap[cap - 1].t_submit, (10 * cap - 1) as f64);
+    }
+
+    /// A cursor-driven incremental poller sees each record exactly once,
+    /// even when eviction removes records between polls.
+    #[test]
+    fn incremental_queries_are_exactly_once_across_eviction() {
+        let cap = 4;
+        let s = ServerStats::with_capacity(1, cap);
+        let mut cursor = 0u64;
+        let mut seen = Vec::new();
+        let push = |s: &ServerStats, i: usize| {
+            s.job_queued();
+            s.job_started();
+            s.job_finished(record(i as f64, i as f64, i as f64, i as f64));
+        };
+        // Poll faster than eviction: nothing lost, nothing duplicated.
+        for i in 0..6 {
+            push(&s, i);
+            if i % 2 == 1 {
+                let (_, total, batch) = s.snapshot_since(cursor);
+                seen.extend(batch.iter().map(|r| r.t_submit as usize));
+                cursor = total;
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+
+        // Now fall behind: 10 more records through a 4-slot ring evicts the
+        // middle. The poller gets only the retained tail — no duplicates,
+        // and the total accounts for the evicted gap.
+        for i in 6..16 {
+            push(&s, i);
+        }
+        let (_, total, batch) = s.snapshot_since(cursor);
+        assert_eq!(total, 16);
+        let tail: Vec<usize> = batch.iter().map(|r| r.t_submit as usize).collect();
+        assert_eq!(tail, vec![12, 13, 14, 15]);
+        cursor = total;
+        // Fully drained: the same cursor now yields an empty, stable reply.
+        let (_, total, batch) = s.snapshot_since(cursor);
+        assert_eq!(total, 16);
+        assert!(batch.is_empty());
+        // A stale cursor (before the window) is clamped, not wrapped.
+        let (_, _, batch) = s.snapshot_since(0);
+        assert_eq!(batch.len(), cap);
     }
 }

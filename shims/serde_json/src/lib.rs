@@ -9,14 +9,15 @@ use std::fmt;
 
 pub use serde::{Map, Number, Value};
 
-/// Serialization error. The shim's value model is infallible, so this only
-/// exists to keep `Result`-returning call sites source-compatible.
+/// Serialization/deserialization error. Serialization into the shim's value
+/// model is infallible; parsing ([`from_str`]) reports the offending byte
+/// offset and what was expected.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json serialization error")
+        write!(f, "{}", self.0)
     }
 }
 
@@ -37,6 +38,209 @@ pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error>
     let mut out = String::new();
     write_pretty(&value.to_json_value(), 0, &mut out);
     Ok(out)
+}
+
+/// Parse a JSON document into a [`Value`] (the only deserialization target
+/// this workspace uses). Integers parse to `Number::UInt`/`Number::Int` so a
+/// serialize→parse round trip preserves exact u64 ids.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("end of input"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, expected: &str) -> Error {
+        Error(format!("expected {expected} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(self.err(token))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.eat("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.eat("false").map(|_| Value::Bool(false)),
+            Some(b'n') => self.eat("null").map(|_| Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat("{")?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("`,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat("[")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("`,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat("\"")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("valid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("an escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.eat("\\u")?;
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00))
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("a valid codepoint"))?,
+                            );
+                        }
+                        _ => return Err(self.err("a valid escape")),
+                    }
+                }
+                _ => return Err(self.err("closing `\"`")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("4 hex digits"))?;
+        let v = u32::from_str_radix(chunk, 16).map_err(|_| self.err("4 hex digits"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("a number"))?;
+        let number = if float {
+            Number::Float(text.parse().map_err(|_| self.err("a number"))?)
+        } else if text.starts_with('-') {
+            Number::Int(text.parse().map_err(|_| self.err("an integer"))?)
+        } else {
+            Number::UInt(text.parse().map_err(|_| self.err("an integer"))?)
+        };
+        Ok(Value::Number(number))
+    }
 }
 
 /// Build a [`Value`] from JSON-ish syntax: `json!({ "k": v })`, `json!([a, b])`,
@@ -152,5 +356,42 @@ mod tests {
         let doc = json!({ "seed": 3u64 });
         assert_eq!(doc["seed"], 3);
         assert!(doc["nope"].is_null());
+    }
+
+    #[test]
+    fn parse_round_trips_documents() {
+        let doc = json!({
+            "id": 18446744073709551615u64,
+            "neg": -42i64,
+            "pi": 3.25f64,
+            "flag": true,
+            "none": serde::Value::Null,
+            "text": "a \"quoted\"\nline",
+            "list": [1u64, 2u64, 3u64],
+        });
+        let text = to_string_pretty(&doc).unwrap();
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed, doc);
+        // Exact u64 survives (no f64 round trip).
+        assert_eq!(parsed["id"].as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn parse_handles_whitespace_empties_and_unicode_escapes() {
+        let v = from_str(" { \"a\" : [ ] , \"b\" : { } , \"c\" : \"\\u0041\\ud83d\\ude00\" } ")
+            .unwrap();
+        assert_eq!(v["a"].as_array().unwrap().len(), 0);
+        assert_eq!(v["b"].as_object().unwrap().len(), 0);
+        assert_eq!(v["c"].as_str(), Some("A😀"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("{\"a\":1}trailing").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("treu").is_err());
     }
 }

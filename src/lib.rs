@@ -62,6 +62,7 @@ pub use ninf_idl as idl;
 pub use ninf_machine as machine;
 pub use ninf_metaserver as metaserver;
 pub use ninf_netsim as netsim;
+pub use ninf_obs as obs;
 pub use ninf_protocol as protocol;
 pub use ninf_server as server;
 pub use ninf_sim as sim;
