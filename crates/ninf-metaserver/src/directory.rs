@@ -12,6 +12,10 @@ use crate::balance::ServerState;
 /// it until a probe succeeds again.
 pub const QUARANTINE_THRESHOLD: u32 = 3;
 
+/// Cap on the retained health-event log; transitions beyond it are counted
+/// in [`Directory::health_events_dropped`] instead of recorded.
+const EVENT_CAP: usize = 1 << 16;
+
 /// One registered computational server.
 #[derive(Debug, Clone)]
 pub struct ServerEntry {
@@ -32,13 +36,84 @@ struct Health {
     quarantined: bool,
 }
 
+/// One observable health-state transition, appended (under the same lock
+/// that mutates the state) every time failure accounting runs. The log is
+/// what a correctness harness replays to check quarantine/reinstate
+/// legality: a [`HealthEvent::Quarantined`] may only follow a
+/// [`HealthEvent::Failure`] whose streak reached the threshold, and a
+/// [`HealthEvent::Reinstated`] may only follow a [`HealthEvent::Success`]
+/// on the same server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// One failed call (`probe == false`) or failed reinstatement probe
+    /// (`probe == true`); `streak` is the consecutive-failure count *after*
+    /// this failure.
+    Failure {
+        /// Server index.
+        server: usize,
+        /// Whether the failure came from a reinstatement probe.
+        probe: bool,
+        /// Consecutive failures including this one.
+        streak: u32,
+    },
+    /// The failure streak crossed [`QUARANTINE_THRESHOLD`]; emitted
+    /// immediately after the tipping [`HealthEvent::Failure`].
+    Quarantined {
+        /// Server index.
+        server: usize,
+    },
+    /// One successful call (`probe == false`) or reinstatement probe
+    /// (`probe == true`); resets the streak.
+    Success {
+        /// Server index.
+        server: usize,
+        /// Whether the success came from a reinstatement probe.
+        probe: bool,
+    },
+    /// A quarantined server became available again; emitted immediately
+    /// after the clearing [`HealthEvent::Success`].
+    Reinstated {
+        /// Server index.
+        server: usize,
+    },
+}
+
+/// Health slots plus the transition log, guarded by one lock so every
+/// event sequence in the log is a legal serialization of the state
+/// machine.
+#[derive(Debug, Default, Clone)]
+struct HealthState {
+    slots: Vec<Health>,
+    events: Vec<HealthEvent>,
+    events_dropped: u64,
+}
+
+impl HealthState {
+    fn note(&mut self, e: HealthEvent) {
+        if self.events.len() < EVENT_CAP {
+            self.events.push(e);
+        } else {
+            self.events_dropped += 1;
+        }
+    }
+}
+
+/// Point-in-time copy of one server's health accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Consecutive failures so far.
+    pub consecutive_failures: u32,
+    /// Whether the server is currently quarantined.
+    pub quarantined: bool,
+}
+
 /// The metaserver's view of the server fleet.
 #[derive(Debug, Default)]
 pub struct Directory {
     entries: Vec<ServerEntry>,
     // Interior mutability: failure accounting happens on the read-only call
     // paths (choose/execute), which take `&self`.
-    health: Mutex<Vec<Health>>,
+    health: Mutex<HealthState>,
 }
 
 impl Clone for Directory {
@@ -62,6 +137,7 @@ impl Directory {
         self.health
             .lock()
             .expect("health lock")
+            .slots
             .push(Health::default());
         self.entries.len() - 1
     }
@@ -81,42 +157,91 @@ impl Directory {
         self.entries.is_empty()
     }
 
-    /// Record one failed call/probe against server `idx`. Returns `true` if
-    /// this failure pushed the server over [`QUARANTINE_THRESHOLD`] into
-    /// quarantine.
-    pub fn record_failure(&self, idx: usize) -> bool {
+    /// Shared failure bookkeeping for calls and probes.
+    fn fail(&self, idx: usize, probe: bool) -> bool {
         let mut health = self.health.lock().expect("health lock");
-        let h = &mut health[idx];
+        let h = &mut health.slots[idx];
         h.consecutive_failures += 1;
-        if !h.quarantined && h.consecutive_failures >= QUARANTINE_THRESHOLD {
-            h.quarantined = true;
-            return true;
+        let streak = h.consecutive_failures;
+        let tipped = !h.quarantined && streak >= QUARANTINE_THRESHOLD;
+        if tipped {
+            health.slots[idx].quarantined = true;
         }
-        false
+        health.note(HealthEvent::Failure {
+            server: idx,
+            probe,
+            streak,
+        });
+        if tipped {
+            health.note(HealthEvent::Quarantined { server: idx });
+        }
+        tipped
     }
 
-    /// Record one successful call/probe against server `idx`, clearing its
+    /// Shared success bookkeeping for calls and probes.
+    fn succeed(&self, idx: usize, probe: bool) {
+        let mut health = self.health.lock().expect("health lock");
+        let was_quarantined = health.slots[idx].quarantined;
+        health.slots[idx] = Health::default();
+        health.note(HealthEvent::Success { server: idx, probe });
+        if was_quarantined {
+            health.note(HealthEvent::Reinstated { server: idx });
+        }
+    }
+
+    /// Record one failed call against server `idx`. Returns `true` if this
+    /// failure pushed the server over [`QUARANTINE_THRESHOLD`] into
+    /// quarantine.
+    pub fn record_failure(&self, idx: usize) -> bool {
+        self.fail(idx, false)
+    }
+
+    /// Record one successful call against server `idx`, clearing its
     /// failure streak (and any quarantine).
     pub fn record_success(&self, idx: usize) {
-        let mut health = self.health.lock().expect("health lock");
-        health[idx] = Health::default();
+        self.succeed(idx, false);
     }
 
     /// Whether server `idx` is currently quarantined.
     pub fn is_quarantined(&self, idx: usize) -> bool {
-        self.health.lock().expect("health lock")[idx].quarantined
+        self.health.lock().expect("health lock").slots[idx].quarantined
     }
 
     /// Consecutive failure count for server `idx`.
     pub fn failure_count(&self, idx: usize) -> u32 {
-        self.health.lock().expect("health lock")[idx].consecutive_failures
+        self.health.lock().expect("health lock").slots[idx].consecutive_failures
+    }
+
+    /// Point-in-time health of every server, in registration order.
+    pub fn health_snapshot(&self) -> Vec<HealthSnapshot> {
+        self.health
+            .lock()
+            .expect("health lock")
+            .slots
+            .iter()
+            .map(|h| HealthSnapshot {
+                consecutive_failures: h.consecutive_failures,
+                quarantined: h.quarantined,
+            })
+            .collect()
+    }
+
+    /// The health-state transition log so far (capped; see
+    /// [`Directory::health_events_dropped`]).
+    pub fn health_events(&self) -> Vec<HealthEvent> {
+        self.health.lock().expect("health lock").events.clone()
+    }
+
+    /// Transitions that no longer fit the capped event log.
+    pub fn health_events_dropped(&self) -> u64 {
+        self.health.lock().expect("health lock").events_dropped
     }
 
     /// Indices of all non-quarantined servers, in registration order.
     pub fn available_indices(&self) -> Vec<usize> {
         let health = self.health.lock().expect("health lock");
         (0..self.entries.len())
-            .filter(|&i| !health[i].quarantined)
+            .filter(|&i| !health.slots[i].quarantined)
             .collect()
     }
 
@@ -128,13 +253,13 @@ impl Directory {
         }
         match probe_with_deadline(&self.entries[idx].addr, deadline) {
             Ok(_) => {
-                self.record_success(idx);
+                self.succeed(idx, true);
                 true
             }
             Err(_) => {
                 // Stays quarantined; keep counting so monitoring can see how
                 // long it has been down.
-                self.record_failure(idx);
+                self.fail(idx, true);
                 false
             }
         }
@@ -276,5 +401,91 @@ mod tests {
         }
         let d2 = d.clone();
         assert!(d2.is_quarantined(0));
+        // The event log travels too.
+        assert_eq!(d2.health_events(), d.health_events());
+    }
+
+    #[test]
+    fn event_log_records_quarantine_transition() {
+        let mut d = Directory::new();
+        d.register(entry("flaky"));
+        d.record_failure(0);
+        d.record_success(0);
+        for _ in 0..QUARANTINE_THRESHOLD {
+            d.record_failure(0);
+        }
+        let events = d.health_events();
+        assert_eq!(
+            events,
+            vec![
+                HealthEvent::Failure {
+                    server: 0,
+                    probe: false,
+                    streak: 1
+                },
+                HealthEvent::Success {
+                    server: 0,
+                    probe: false
+                },
+                HealthEvent::Failure {
+                    server: 0,
+                    probe: false,
+                    streak: 1
+                },
+                HealthEvent::Failure {
+                    server: 0,
+                    probe: false,
+                    streak: 2
+                },
+                HealthEvent::Failure {
+                    server: 0,
+                    probe: false,
+                    streak: 3
+                },
+                HealthEvent::Quarantined { server: 0 },
+            ]
+        );
+        assert_eq!(d.health_events_dropped(), 0);
+    }
+
+    #[test]
+    fn failed_probe_logs_probe_failure() {
+        let mut d = Directory::new();
+        d.register(entry("dead"));
+        for _ in 0..QUARANTINE_THRESHOLD {
+            d.record_failure(0);
+        }
+        assert!(!d.try_reinstate(0, Some(Duration::from_millis(50))));
+        let last = *d.health_events().last().unwrap();
+        assert_eq!(
+            last,
+            HealthEvent::Failure {
+                server: 0,
+                probe: true,
+                streak: QUARANTINE_THRESHOLD + 1
+            }
+        );
+    }
+
+    #[test]
+    fn snapshot_reflects_current_state() {
+        let mut d = Directory::new();
+        d.register(entry("a"));
+        d.register(entry("b"));
+        d.record_failure(1);
+        let snap = d.health_snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                HealthSnapshot {
+                    consecutive_failures: 0,
+                    quarantined: false
+                },
+                HealthSnapshot {
+                    consecutive_failures: 1,
+                    quarantined: false
+                },
+            ]
+        );
     }
 }

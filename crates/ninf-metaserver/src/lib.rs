@@ -25,5 +25,7 @@ pub mod directory;
 pub mod metaserver;
 
 pub use balance::{Balancing, CallEstimate, ServerState};
-pub use directory::{probe_with_deadline, Directory, ServerEntry, QUARANTINE_THRESHOLD};
+pub use directory::{
+    probe_with_deadline, Directory, HealthEvent, HealthSnapshot, ServerEntry, QUARANTINE_THRESHOLD,
+};
 pub use metaserver::Metaserver;

@@ -8,6 +8,16 @@
 //! on-the-wire corruption, which the receiver's framing layer must reject
 //! with a typed error rather than decode garbage.
 //!
+//! **Determinism contract**: the fault taken by send operation `k` is a
+//! pure function of `(plan.seed, k)` — each operation derives its own
+//! SplitMix64 sub-stream, so outcome-dependent parameter draws (the
+//! truncation cut point, the garbled bit) can never shift later
+//! decisions. Two transports built from the same plan produce identical
+//! fault schedules however their sends interleave with anything else, and
+//! [`fault_schedule`] precomputes the whole schedule without a transport
+//! at all — the hook a chaos harness uses to fingerprint a run's faults
+//! before issuing a single call.
+//!
 //! The same four failure modes exist in the simulator: a dropped or
 //! stalled message corresponds to a downed link
 //! ([`FluidNet::fail_link`](../../ninf_netsim/fluid/struct.FluidNet.html)),
@@ -15,6 +25,7 @@
 //! plus a client-side error. `docs/MODEL.md` §"Failure model" records the
 //! mapping.
 
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::error::ProtocolResult;
@@ -70,6 +81,46 @@ pub struct FaultStats {
     pub forwarded: u64,
 }
 
+/// What [`FaultyTransport`] did (or [`planned_fault`] will do) to one send
+/// operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Forwarded intact.
+    Forward,
+    /// Silently discarded.
+    Drop,
+    /// Held for the plan's delay, then forwarded.
+    Delay,
+    /// Frame cut to a strict prefix.
+    Truncate,
+    /// Frame magic corrupted.
+    Garble,
+}
+
+impl FaultKind {
+    /// Short stable label, used in schedules and transcripts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Forward => "forward",
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Truncate => "truncate",
+            FaultKind::Garble => "garble",
+        }
+    }
+
+    /// Whether this fault puts corrupted bytes on the wire. A truncated
+    /// frame can leave the receiver mid-read so that *later* frames'
+    /// bytes complete it — in a checksum-less protocol the composite can
+    /// even decode, misattributing work — so everything on the stream
+    /// after the first corrupting fault is suspect. Drops and delays
+    /// never corrupt framing: the peer sees either nothing or an intact
+    /// frame.
+    pub fn corrupts_stream(&self) -> bool {
+        matches!(self, FaultKind::Truncate | FaultKind::Garble)
+    }
+}
+
 /// The same SplitMix64 the simulator uses for reproducible streams
 /// (`ninf-netsim` sits above this crate, so the 10-line generator is
 /// duplicated rather than inverting the dependency).
@@ -94,13 +145,87 @@ impl SplitMix64 {
     }
 }
 
+/// Dedicated sub-stream for operation `op` under `seed`: decision and
+/// every fault parameter of one operation draw from here, and nowhere
+/// else.
+fn op_stream(seed: u64, op: u64) -> SplitMix64 {
+    SplitMix64(seed ^ op.wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+/// Map a uniform draw to a fault decision under `plan`'s probability
+/// bands.
+fn classify_draw(plan: &FaultPlan, u: f64) -> FaultKind {
+    if u < plan.drop_prob {
+        FaultKind::Drop
+    } else if u < plan.drop_prob + plan.delay_prob {
+        FaultKind::Delay
+    } else if u < plan.drop_prob + plan.delay_prob + plan.truncate_prob {
+        FaultKind::Truncate
+    } else if u < plan.drop_prob + plan.delay_prob + plan.truncate_prob + plan.garble_prob {
+        FaultKind::Garble
+    } else {
+        FaultKind::Forward
+    }
+}
+
+/// The fault that send operation `op` (0-based) takes under `plan` — a
+/// pure function, usable without any transport. A [`FaultyTransport`]
+/// built from the same plan takes exactly this fault on its `op`-th send.
+pub fn planned_fault(plan: &FaultPlan, op: u64) -> FaultKind {
+    classify_draw(plan, op_stream(plan.seed, op).next_f64())
+}
+
+/// The first `ops` fault decisions under `plan`, precomputed. Two calls
+/// with the same plan return identical schedules; this is the
+/// fingerprintable "what will the chaos do" artifact.
+pub fn fault_schedule(plan: &FaultPlan, ops: u64) -> Vec<FaultKind> {
+    (0..ops).map(|op| planned_fault(plan, op)).collect()
+}
+
+/// Cap on the per-transport fault history kept for assertions.
+const HISTORY_CAP: usize = 1 << 16;
+
+/// Cloneable handle onto a [`FaultyTransport`]'s observed fault history.
+/// Lets a harness watch which faults actually fired even after the
+/// transport itself has been boxed into a client — e.g. to exclude calls
+/// whose bytes were corrupted in flight from trace-attribution claims.
+#[derive(Clone, Debug, Default)]
+pub struct FaultHistory(Arc<Mutex<Vec<FaultKind>>>);
+
+impl FaultHistory {
+    /// The fault each send operation has taken so far, in order (capped
+    /// at 2^16 entries).
+    pub fn snapshot(&self) -> Vec<FaultKind> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Number of send operations observed so far.
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no send has happened yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, kind: FaultKind) {
+        let mut v = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        if v.len() < HISTORY_CAP {
+            v.push(kind);
+        }
+    }
+}
+
 /// A transport wrapper that injects faults on the send path per a
 /// [`FaultPlan`]. Receives pass through untouched.
 pub struct FaultyTransport<T: Transport> {
     inner: T,
     plan: FaultPlan,
-    rng: SplitMix64,
+    /// Index of the next send operation (the RNG position).
+    op: u64,
     stats: FaultStats,
+    history: FaultHistory,
 }
 
 impl<T: Transport> FaultyTransport<T> {
@@ -114,14 +239,28 @@ impl<T: Transport> FaultyTransport<T> {
         Self {
             inner,
             plan,
-            rng: SplitMix64(plan.seed),
+            op: 0,
             stats: FaultStats::default(),
+            history: FaultHistory::default(),
         }
     }
 
     /// Injection counters so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
+    }
+
+    /// The fault each send operation took, in order (capped at 2^16
+    /// entries) — must equal the prefix of [`fault_schedule`] for this
+    /// plan.
+    pub fn history(&self) -> Vec<FaultKind> {
+        self.history.snapshot()
+    }
+
+    /// A cloneable handle onto this transport's live fault history,
+    /// usable after the transport has been boxed away.
+    pub fn history_handle(&self) -> FaultHistory {
+        self.history.clone()
     }
 
     /// Unwrap the inner transport.
@@ -132,41 +271,47 @@ impl<T: Transport> FaultyTransport<T> {
 
 impl<T: Transport> Transport for FaultyTransport<T> {
     fn send(&mut self, msg: &Message) -> ProtocolResult<()> {
-        let u = self.rng.next_f64();
-        let p = self.plan;
-        if u < p.drop_prob {
-            // Lost on the wire: the peer sees nothing. Pretend success so
-            // the caller proceeds to its read — where the deadline decides.
-            self.stats.dropped += 1;
-            return Ok(());
+        let mut rng = op_stream(self.plan.seed, self.op);
+        self.op += 1;
+        let kind = classify_draw(&self.plan, rng.next_f64());
+        self.history.push(kind);
+        match kind {
+            FaultKind::Drop => {
+                // Lost on the wire: the peer sees nothing. Pretend success so
+                // the caller proceeds to its read — where the deadline decides.
+                self.stats.dropped += 1;
+                Ok(())
+            }
+            FaultKind::Delay => {
+                self.stats.delayed += 1;
+                std::thread::sleep(self.plan.delay);
+                self.stats.forwarded += 1;
+                self.inner.send(msg)
+            }
+            FaultKind::Truncate => {
+                // Connection dies mid-frame: ship only a strict prefix.
+                self.stats.truncated += 1;
+                let mut frame = Vec::new();
+                write_frame(&mut frame, msg)?;
+                let keep = rng.below(frame.len() as u64) as usize;
+                self.inner.send_raw(&frame[..keep])
+            }
+            FaultKind::Garble => {
+                // Corruption: flip a bit in the magic so the receiver's framing
+                // layer deterministically rejects the frame.
+                self.stats.garbled += 1;
+                let mut frame = Vec::new();
+                write_frame(&mut frame, msg)?;
+                let byte = rng.below(4) as usize;
+                let bit = rng.below(8) as u8;
+                frame[byte] ^= 1 << bit;
+                self.inner.send_raw(&frame)
+            }
+            FaultKind::Forward => {
+                self.stats.forwarded += 1;
+                self.inner.send(msg)
+            }
         }
-        if u < p.drop_prob + p.delay_prob {
-            self.stats.delayed += 1;
-            std::thread::sleep(p.delay);
-            self.stats.forwarded += 1;
-            return self.inner.send(msg);
-        }
-        if u < p.drop_prob + p.delay_prob + p.truncate_prob {
-            // Connection dies mid-frame: ship only a strict prefix.
-            self.stats.truncated += 1;
-            let mut frame = Vec::new();
-            write_frame(&mut frame, msg)?;
-            let keep = self.rng.below(frame.len() as u64) as usize;
-            return self.inner.send_raw(&frame[..keep]);
-        }
-        if u < p.drop_prob + p.delay_prob + p.truncate_prob + p.garble_prob {
-            // Corruption: flip a bit in the magic so the receiver's framing
-            // layer deterministically rejects the frame.
-            self.stats.garbled += 1;
-            let mut frame = Vec::new();
-            write_frame(&mut frame, msg)?;
-            let byte = self.rng.below(4) as usize;
-            let bit = self.rng.below(8) as u8;
-            frame[byte] ^= 1 << bit;
-            return self.inner.send_raw(&frame);
-        }
-        self.stats.forwarded += 1;
-        self.inner.send(msg)
     }
 
     fn recv(&mut self) -> ProtocolResult<Message> {
@@ -190,6 +335,24 @@ mod tests {
 
     fn plan() -> FaultPlan {
         FaultPlan::default()
+    }
+
+    /// Discards everything. Schedule-only tests (which inspect `history()`
+    /// / `stats()` and never read the peer side) use this instead of
+    /// [`ChannelTransport`], whose bounded buffer would block an undrained
+    /// bulk send.
+    struct Sink;
+
+    impl crate::Transport for Sink {
+        fn send(&mut self, _msg: &Message) -> crate::ProtocolResult<()> {
+            Ok(())
+        }
+        fn recv(&mut self) -> crate::ProtocolResult<Message> {
+            Err(ProtocolError::Disconnected)
+        }
+        fn send_raw(&mut self, _bytes: &[u8]) -> crate::ProtocolResult<()> {
+            Ok(())
+        }
     }
 
     #[test]
@@ -283,9 +446,8 @@ mod tests {
     #[test]
     fn same_seed_replays_same_fault_sequence() {
         let run = |seed: u64| -> FaultStats {
-            let (a, _b) = ChannelTransport::pair();
             let mut faulty = FaultyTransport::new(
-                a,
+                Sink,
                 FaultPlan {
                     drop_prob: 0.3,
                     garble_prob: 0.3,
@@ -300,6 +462,101 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    /// Regression (draw-order pinning): with the old single-stream RNG the
+    /// truncation cut point and garble position consumed extra draws, so a
+    /// plan with truncation took *different* drop/forward decisions later in
+    /// the run than a drop-only plan with the same seed. Per-operation
+    /// sub-streams make decision `k` independent of every other operation's
+    /// parameter draws: plans that agree on the probability bands for a
+    /// region of `u` agree on which operations land there.
+    #[test]
+    fn decision_sequence_is_independent_of_parameter_draws() {
+        let mixed = FaultPlan {
+            drop_prob: 0.2,
+            truncate_prob: 0.2,
+            garble_prob: 0.2,
+            seed: 9,
+            ..plan()
+        };
+        let drop_only = FaultPlan {
+            drop_prob: 0.2,
+            seed: 9,
+            ..plan()
+        };
+        let mixed_sched = fault_schedule(&mixed, 256);
+        let drop_sched = fault_schedule(&drop_only, 256);
+        // Same seed, same leading band: operation k drops under `mixed`
+        // exactly when it drops under `drop_only`, no matter how many
+        // truncations (with their extra parameter draws) happened before k.
+        for (k, (m, d)) in mixed_sched.iter().zip(&drop_sched).enumerate() {
+            assert_eq!(
+                *m == FaultKind::Drop,
+                *d == FaultKind::Drop,
+                "operation {k} disagrees on the drop band"
+            );
+        }
+        assert!(mixed_sched.contains(&FaultKind::Truncate));
+    }
+
+    /// Regression (satellite): two transports built from the same seed
+    /// produce identical fault schedules regardless of thread interleaving,
+    /// and both match the precomputed pure schedule.
+    #[test]
+    fn same_seed_transports_agree_across_threads() {
+        let chaos = FaultPlan {
+            drop_prob: 0.25,
+            truncate_prob: 0.25,
+            garble_prob: 0.25,
+            seed: 1997,
+            ..plan()
+        };
+        let drive = move || {
+            let mut faulty = FaultyTransport::new(Sink, chaos);
+            for _ in 0..128 {
+                let _ = faulty.send(&Message::QueryLoad);
+                std::thread::yield_now();
+            }
+            faulty.history().to_vec()
+        };
+        let (h1, h2) = std::thread::scope(|s| {
+            let t1 = s.spawn(drive);
+            let t2 = s.spawn(drive);
+            (t1.join().unwrap(), t2.join().unwrap())
+        });
+        assert_eq!(h1, h2);
+        assert_eq!(h1, fault_schedule(&chaos, 128));
+    }
+
+    /// The transport's observed history is exactly the planned schedule.
+    #[test]
+    fn history_matches_planned_schedule() {
+        let chaos = FaultPlan {
+            drop_prob: 0.3,
+            delay_prob: 0.1,
+            delay: Duration::from_millis(1),
+            truncate_prob: 0.2,
+            garble_prob: 0.2,
+            seed: 31,
+        };
+        let mut faulty = FaultyTransport::new(Sink, chaos);
+        for _ in 0..64 {
+            let _ = faulty.send(&Message::QueryLoad);
+        }
+        assert_eq!(faulty.history(), fault_schedule(&chaos, 64).as_slice());
+        // And the stats agree with the schedule's composition.
+        let sched = fault_schedule(&chaos, 64);
+        let count = |k: FaultKind| sched.iter().filter(|&&s| s == k).count() as u64;
+        let stats = faulty.stats();
+        assert_eq!(stats.dropped, count(FaultKind::Drop));
+        assert_eq!(stats.delayed, count(FaultKind::Delay));
+        assert_eq!(stats.truncated, count(FaultKind::Truncate));
+        assert_eq!(stats.garbled, count(FaultKind::Garble));
+        assert_eq!(
+            stats.forwarded,
+            count(FaultKind::Forward) + count(FaultKind::Delay)
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod transport;
 pub mod value;
 
 pub use error::{ProtocolError, ProtocolResult};
-pub use fault::{FaultPlan, FaultStats, FaultyTransport};
+pub use fault::{
+    fault_schedule, planned_fault, FaultHistory, FaultKind, FaultPlan, FaultStats, FaultyTransport,
+};
 pub use frame::{read_frame, write_frame, FRAME_MAGIC, PROTOCOL_VERSION};
 pub use marshal::{
     reply_payload_bytes, request_payload_bytes, validate_call_args, validate_results,

@@ -1,8 +1,15 @@
 //! Property tests: every representable message survives the full
-//! encode → frame → read → decode pipeline, and the decoder never panics on
-//! arbitrary bytes.
+//! encode → frame → read → decode pipeline, truncated encodings are
+//! rejected, and the decoder never panics on arbitrary bytes.
+//!
+//! `sample_messages`/`variant_index` below are kept exhaustive against the
+//! `Message` enum by an exhaustive `match` — adding a variant without
+//! covering it here is a compile error, and `every_variant_is_generated`
+//! fails if the proptest generator or the sample list misses a kind.
 
-use ninf_protocol::{read_frame, write_frame, JobPhase, LoadReport, Message, TraceContext, Value};
+use ninf_protocol::{
+    read_frame, write_frame, CallStat, JobPhase, LoadReport, Message, Span, TraceContext, Value,
+};
 use proptest::prelude::*;
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -24,10 +31,83 @@ fn arb_value() -> impl Strategy<Value = Value> {
     ]
 }
 
+fn arb_trace(t: u64) -> Option<TraceContext> {
+    // t == 0 exercises the absent-context encoding.
+    (t != 0).then_some(TraceContext {
+        trace_id: t,
+        span_id: t ^ 0x5555,
+        parent_span_id: t >> 1,
+    })
+}
+
+fn arb_call_stat() -> impl Strategy<Value = CallStat> {
+    (
+        "[a-z][a-z0-9_]{0,15}",
+        proptest::option::of(any::<i64>()),
+        any::<u64>(),
+        any::<u64>(),
+        0.0f64..1e6,
+        0.0f64..1e6,
+        0.0f64..1e6,
+        0.0f64..1e6,
+    )
+        .prop_map(
+            |(
+                routine,
+                n,
+                request_bytes,
+                reply_bytes,
+                t_submit,
+                t_enqueue,
+                t_dequeue,
+                t_complete,
+            )| {
+                CallStat {
+                    routine,
+                    n,
+                    request_bytes,
+                    reply_bytes,
+                    t_submit,
+                    t_enqueue,
+                    t_dequeue,
+                    t_complete,
+                }
+            },
+        )
+}
+
+fn arb_span() -> impl Strategy<Value = Span> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        "[a-z_]{1,12}",
+        "[a-z]{1,10}",
+        any::<u64>(),
+        any::<u64>(),
+        "\\PC{0,32}",
+    )
+        .prop_map(
+            |((trace_id, span_id, parent_span_id), name, process, start_us, dur_us, detail)| Span {
+                trace_id,
+                span_id,
+                parent_span_id,
+                name,
+                process,
+                start_us,
+                dur_us,
+                detail,
+            },
+        )
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     let routine = "[a-z][a-z0-9_]{0,15}";
     prop_oneof![
         routine.prop_map(|r| Message::QueryInterface { routine: r }),
+        // Arbitrary *valid* interfaces are exactly the compiler's output, so
+        // sample the compiled stdlib rather than inventing a parallel
+        // generator that could drift from the real invariants.
+        proptest::sample::select(ninf_idl::stdlib_interfaces())
+            .prop_map(|interface| Message::InterfaceReply { interface }),
         (
             routine,
             proptest::collection::vec(arb_value(), 0..6),
@@ -36,12 +116,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             .prop_map(|(routine, args, t)| Message::Invoke {
                 routine,
                 args,
-                // t == 0 exercises the absent-context encoding.
-                trace: (t != 0).then_some(TraceContext {
-                    trace_id: t,
-                    span_id: t ^ 0x5555,
-                    parent_span_id: t >> 1,
-                }),
+                trace: arb_trace(t),
             }),
         proptest::collection::vec(arb_value(), 0..6)
             .prop_map(|results| Message::ResultData { results }),
@@ -71,11 +146,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             .prop_map(|(routine, args, t)| Message::SubmitJob {
                 routine,
                 args,
-                trace: (t != 0).then_some(TraceContext {
-                    trace_id: t,
-                    span_id: t ^ 0x5555,
-                    parent_span_id: t >> 1,
-                }),
+                trace: arb_trace(t),
             }),
         any::<u64>().prop_map(|job| Message::JobTicket { job }),
         any::<u64>().prop_map(|job| Message::PollJob { job }),
@@ -90,7 +161,202 @@ fn arb_message() -> impl Strategy<Value = Message> {
         )
             .prop_map(|(job, state)| Message::JobStatus { job, state }),
         any::<u64>().prop_map(|job| Message::FetchResult { job }),
+        Just(Message::ListRoutines),
+        proptest::collection::vec(("[a-z][a-z0-9_]{0,15}", "\\PC{0,48}"), 0..8)
+            .prop_map(|routines| Message::RoutineList { routines }),
+        "\\PC{0,64}".prop_map(|query| Message::DbQuery { query }),
+        ("\\PC{0,64}", proptest::collection::vec(arb_value(), 0..6)).prop_map(
+            |(description, values)| Message::DbReply {
+                description,
+                values
+            }
+        ),
+        any::<u64>().prop_map(|since| Message::QueryStats { since }),
+        (
+            0.0f64..1e9,
+            any::<u64>(),
+            proptest::collection::vec(arb_call_stat(), 0..8)
+        )
+            .prop_map(|(now, total, records)| Message::StatsReply {
+                now,
+                total,
+                records
+            }),
+        any::<u64>().prop_map(|trace_id| Message::QueryTrace { trace_id }),
+        (
+            "[a-z]{1,10}",
+            any::<u64>(),
+            proptest::collection::vec(arb_span(), 0..8)
+        )
+            .prop_map(|(process, dropped, spans)| Message::TraceReply {
+                process,
+                dropped,
+                spans
+            }),
     ]
+}
+
+/// Position of each variant in the canonical ordering. The `match` is
+/// deliberately wildcard-free: a new `Message` variant fails to compile
+/// until it is ranked here (and added to `sample_messages`).
+fn variant_index(m: &Message) -> usize {
+    match m {
+        Message::QueryInterface { .. } => 0,
+        Message::InterfaceReply { .. } => 1,
+        Message::Invoke { .. } => 2,
+        Message::ResultData { .. } => 3,
+        Message::Error { .. } => 4,
+        Message::QueryLoad => 5,
+        Message::LoadStatus(_) => 6,
+        Message::SubmitJob { .. } => 7,
+        Message::JobTicket { .. } => 8,
+        Message::PollJob { .. } => 9,
+        Message::JobStatus { .. } => 10,
+        Message::FetchResult { .. } => 11,
+        Message::ListRoutines => 12,
+        Message::RoutineList { .. } => 13,
+        Message::DbQuery { .. } => 14,
+        Message::DbReply { .. } => 15,
+        Message::QueryStats { .. } => 16,
+        Message::StatsReply { .. } => 17,
+        Message::QueryTrace { .. } => 18,
+        Message::TraceReply { .. } => 19,
+    }
+}
+
+const VARIANT_COUNT: usize = 20;
+
+/// One concrete witness per variant, used by the exhaustiveness test and
+/// the deterministic truncation test.
+fn sample_messages() -> Vec<Message> {
+    let ctx = TraceContext {
+        trace_id: 7,
+        span_id: 8,
+        parent_span_id: 0,
+    };
+    vec![
+        Message::QueryInterface {
+            routine: "linpack".into(),
+        },
+        Message::InterfaceReply {
+            interface: ninf_idl::stdlib_interfaces().remove(0),
+        },
+        Message::Invoke {
+            routine: "linpack".into(),
+            args: vec![Value::Int(64), Value::DoubleArray(vec![1.0, 2.0])],
+            trace: Some(ctx),
+        },
+        Message::ResultData {
+            results: vec![Value::Double(3.5)],
+        },
+        Message::Error {
+            reason: "no such routine".into(),
+        },
+        Message::QueryLoad,
+        Message::LoadStatus(LoadReport {
+            pes: 4,
+            running: 1,
+            queued: 2,
+            load_average: 0.5,
+            cpu_utilization: 40.0,
+        }),
+        Message::SubmitJob {
+            routine: "ep".into(),
+            args: vec![Value::Int(12)],
+            trace: None,
+        },
+        Message::JobTicket { job: 42 },
+        Message::PollJob { job: 42 },
+        Message::JobStatus {
+            job: 42,
+            state: JobPhase::Done,
+        },
+        Message::FetchResult { job: 42 },
+        Message::ListRoutines,
+        Message::RoutineList {
+            routines: vec![("linpack".into(), "solve".into())],
+        },
+        Message::DbQuery {
+            query: "select capability".into(),
+        },
+        Message::DbReply {
+            description: "one row".into(),
+            values: vec![Value::Long(1)],
+        },
+        Message::QueryStats { since: 3 },
+        Message::StatsReply {
+            now: 12.5,
+            total: 9,
+            records: vec![CallStat {
+                routine: "linpack".into(),
+                n: Some(64),
+                request_bytes: 1024,
+                reply_bytes: 2048,
+                t_submit: 1.0,
+                t_enqueue: 1.1,
+                t_dequeue: 1.2,
+                t_complete: 2.0,
+            }],
+        },
+        Message::QueryTrace { trace_id: 77 },
+        Message::TraceReply {
+            process: "server".into(),
+            dropped: 1,
+            spans: vec![Span {
+                trace_id: 77,
+                span_id: 5,
+                parent_span_id: 0,
+                name: "invoke".into(),
+                process: "server".into(),
+                start_us: 100,
+                dur_us: 50,
+                detail: "linpack".into(),
+            }],
+        },
+    ]
+}
+
+/// Every `Message` variant appears exactly once in `sample_messages`, in
+/// `variant_index` order, and all round-trip through the codec.
+#[test]
+fn variant_list_is_exhaustive() {
+    let samples = sample_messages();
+    assert_eq!(samples.len(), VARIANT_COUNT);
+    let mut kinds = Vec::new();
+    for (i, m) in samples.iter().enumerate() {
+        assert_eq!(
+            variant_index(m),
+            i,
+            "sample_messages out of order at {} ({})",
+            i,
+            m.kind()
+        );
+        assert!(
+            !kinds.contains(&m.kind()),
+            "duplicate sample for {}",
+            m.kind()
+        );
+        kinds.push(m.kind());
+        let back = Message::decode(&m.encode()).unwrap();
+        assert_eq!(&back, m);
+    }
+}
+
+/// Every strict prefix of every sample encoding is rejected — a
+/// deterministic companion to the property below, one case per variant.
+#[test]
+fn sample_prefixes_all_rejected() {
+    for m in sample_messages() {
+        let wire = m.encode();
+        for cut in 0..wire.len() {
+            assert!(
+                Message::decode(&wire[..cut]).is_err(),
+                "{}-byte prefix of {} decoded",
+                cut,
+                m.kind()
+            );
+        }
+    }
 }
 
 proptest! {
@@ -120,6 +386,24 @@ proptest! {
             prop_assert_eq!(&read_frame(&mut reader).unwrap(), m);
         }
         prop_assert!(reader.is_empty());
+    }
+
+    /// The proptest generator itself covers every variant: any sampled
+    /// message maps to a legal variant rank (paired with
+    /// `variant_list_is_exhaustive`, which pins the rank list to the enum).
+    #[test]
+    fn every_variant_is_generated(msg in arb_message()) {
+        prop_assert!(variant_index(&msg) < VARIANT_COUNT);
+    }
+
+    /// Truncating an encoding anywhere must yield a decode error, never a
+    /// silently shorter message: no valid encoding is a strict prefix of
+    /// another.
+    #[test]
+    fn truncated_prefix_is_rejected(msg in arb_message(), cut in any::<prop::sample::Index>()) {
+        let wire = msg.encode();
+        let cut = cut.index(wire.len());
+        prop_assert!(Message::decode(&wire[..cut]).is_err());
     }
 
     /// Decoding arbitrary garbage yields an error, never a panic.

@@ -1,0 +1,424 @@
+//! The chaos harness: spawn a real fleet over loopback TCP, drive a
+//! [`ChaosSpec`] through fault-injecting clients, and evaluate every
+//! invariant, emitting a bit-deterministic transcript.
+//!
+//! Determinism contract: the transcript contains only facts that are pure
+//! functions of `(spec, seed)` — the spec fingerprint, per-client planned
+//! fault-schedule and arrival-schedule fingerprints, and the PASS/FAIL
+//! verdicts. Wall-clock-dependent quantities (how many calls a drop turned
+//! into timeouts vs transport errors) are deliberately excluded, so two
+//! same-seed runs print byte-identical transcripts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ninf_client::{NinfClient, Transaction, TxArg};
+use ninf_loadgen::{Outcome, Routine};
+use ninf_metaserver::{Balancing, Directory, Metaserver, ServerEntry};
+use ninf_obs::recorder;
+use ninf_protocol::{
+    fault_schedule, FaultKind, FaultyTransport, ProtocolError, ProtocolResult, TcpTransport, Value,
+};
+use ninf_server::{
+    builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig,
+};
+
+use crate::invariants::{
+    conservation, exactly_once, monotone_cursors, quarantine_legal, traces_connected,
+    tx_exactly_once, CallRecord, Check, StatsPoll,
+};
+use crate::spec::{fnv1a, ChaosSpec};
+
+/// Nesting slack for trace validation: in-process clocks agree, but span
+/// ends are stamped a scheduling quantum apart.
+const NESTING_SLACK_US: u64 = 10_000;
+
+/// Deliberate defects the harness can plant in its own accounting, used to
+/// prove the invariant checkers actually bite (`ninf-chaos --violate-*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inject {
+    /// No defect: measure the system as-is.
+    None,
+    /// Duplicate the first completion record, violating exactly-once.
+    DuplicateCompletion,
+}
+
+/// One finished chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    /// Scenario name.
+    pub scenario: String,
+    /// Run seed.
+    pub seed: u64,
+    /// Spec fingerprint (seed-independent).
+    pub fingerprint: u64,
+    /// All invariant verdicts, in transcript order.
+    pub checks: Vec<Check>,
+    /// The deterministic transcript.
+    pub transcript: String,
+}
+
+impl ChaosRun {
+    /// Whether every invariant held.
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// The failed checks' transcript lines.
+    pub fn violations(&self) -> Vec<String> {
+        self.checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.line())
+            .collect()
+    }
+}
+
+/// Serializes harness runs within one process: the global flight recorder
+/// is shared state, and concurrent fleets would corrupt each other's
+/// trace snapshots (and wall-clock determinism).
+static GATE: Mutex<()> = Mutex::new(());
+
+fn spawn_server(pes: usize) -> ProtocolResult<NinfServer> {
+    let mut registry = Registry::new();
+    register_stdlib(&mut registry, false);
+    NinfServer::start(
+        "127.0.0.1:0",
+        registry,
+        ServerConfig {
+            pes,
+            mode: ExecMode::TaskParallel,
+            policy: SchedPolicy::Fcfs,
+        },
+    )
+}
+
+/// Call arguments for a routine. Linpack gets an identity system so the
+/// solve is well-conditioned without hauling a matrix generator in here.
+fn args_for(routine: Routine) -> Vec<Value> {
+    match routine {
+        Routine::Ep { m } => vec![Value::Int(m)],
+        Routine::Linpack { n } => {
+            let mut a = vec![0.0f64; n * n];
+            for i in 0..n {
+                a[i * n + i] = 1.0;
+            }
+            vec![
+                Value::Int(n as i32),
+                Value::DoubleArray(a),
+                Value::DoubleArray(vec![1.0; n]),
+            ]
+        }
+    }
+}
+
+fn classify(err: &ProtocolError) -> Outcome {
+    match err {
+        ProtocolError::Remote(_) => Outcome::Remote,
+        ProtocolError::Timeout { .. } => Outcome::Timeout,
+        _ => Outcome::Transport,
+    }
+}
+
+/// One client leg: wrap a live TCP connection in the seeded fault
+/// injector and issue every planned call, recording typed outcomes and
+/// the trace ids of calls that succeeded over a still-uncorrupted stream
+/// (trace attribution is unverifiable past the first truncate/garble).
+fn drive_client(
+    spec: &ChaosSpec,
+    addr: &str,
+    seed: u64,
+    client: usize,
+) -> (Vec<CallRecord>, Vec<u64>) {
+    let planned = spec.workload.planned_calls(seed, client, spec.clients);
+    let mut records = Vec::with_capacity(planned);
+    let mut trace_ids = Vec::new();
+    let plan = spec.client_faults(seed, client);
+    let tcp = match TcpTransport::connect_with_deadline(addr, spec.workload.options.deadline) {
+        Ok(t) => t,
+        Err(_) => {
+            for seq in 0..planned {
+                records.push(CallRecord {
+                    client,
+                    seq,
+                    outcome: Outcome::Transport,
+                });
+            }
+            return (records, trace_ids);
+        }
+    };
+    let faulty = FaultyTransport::new(tcp, plan);
+    let fault_log = faulty.history_handle();
+    let mut c = NinfClient::from_transport(Box::new(faulty));
+    if c.set_options(spec.workload.options).is_err() {
+        for seq in 0..planned {
+            records.push(CallRecord {
+                client,
+                seq,
+                outcome: Outcome::Transport,
+            });
+        }
+        return (records, trace_ids);
+    }
+    for seq in 0..planned {
+        let routine = spec.workload.pick_routine(seed, client, seq);
+        let outcome = match c.ninf_call(routine.name(), &args_for(routine)) {
+            Ok(_) => {
+                // Trace attribution is only claimed while the stream is
+                // clean: once a truncate/garble has put corrupted bytes on
+                // the wire, a later frame's bytes can complete a pending
+                // read and the checksum-less composite may even decode, so
+                // the server may file this call's work under a mangled
+                // trace id. Such calls stay in the conservation ledger but
+                // leave the trace-connectedness claim.
+                if !fault_log.snapshot().iter().any(FaultKind::corrupts_stream) {
+                    trace_ids.push(c.last_trace_id());
+                }
+                Outcome::Ok
+            }
+            Err(e) => classify(&e),
+        };
+        records.push(CallRecord {
+            client,
+            seq,
+            outcome,
+        });
+    }
+    (records, trace_ids)
+}
+
+/// Stats monitor for one server: poll `QueryStats` with a moving cursor
+/// while the run is live, then drain until the cursor catches the
+/// server's lifetime total (records are appended asynchronously around
+/// reply time, so the drain is bounded, not one-shot).
+fn monitor_stats(addr: &str, stop: &AtomicBool) -> ProtocolResult<Vec<StatsPoll>> {
+    let mut c = NinfClient::connect_with(
+        addr,
+        ninf_client::CallOptions::with_deadline(Duration::from_secs(2)),
+    )?;
+    let mut polls = Vec::new();
+    let mut cursor = 0u64;
+    fn poll(
+        c: &mut NinfClient,
+        cursor: &mut u64,
+        polls: &mut Vec<StatsPoll>,
+    ) -> ProtocolResult<u64> {
+        let (now, total, records) = c.query_stats(*cursor)?;
+        *cursor += records.len() as u64;
+        polls.push(StatsPoll {
+            now,
+            total,
+            fetched: records.len(),
+        });
+        Ok(total)
+    }
+    while !stop.load(Ordering::Acquire) {
+        poll(&mut c, &mut cursor, &mut polls)?;
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    // Bounded drain: totals are monotone and the run is over, so catch up.
+    for _ in 0..200 {
+        let total = poll(&mut c, &mut cursor, &mut polls)?;
+        if cursor >= total {
+            return Ok(polls);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Ok(polls)
+}
+
+/// The metaserver transaction leg: `tx_calls` independent calls routed
+/// fault-tolerantly over the live fleet plus `dead_servers` unreachable
+/// directory entries, so retries and quarantine accounting are exercised.
+/// Returns per-call completion counts and the health-event log.
+fn drive_transaction(
+    spec: &ChaosSpec,
+    addrs: &[String],
+) -> ProtocolResult<(Vec<u32>, Vec<ninf_metaserver::HealthEvent>, usize)> {
+    let mut dir = Directory::new();
+    // Dead entries first: round-robin hits them early and often enough to
+    // cross the quarantine threshold within one transaction.
+    for d in 0..spec.dead_servers {
+        dir.register(ServerEntry {
+            name: format!("dead{d}"),
+            addr: "127.0.0.1:1".into(),
+            bandwidth_bytes_per_sec: 10e6,
+            linpack_mflops: 100.0,
+        });
+    }
+    for (i, addr) in addrs.iter().enumerate() {
+        dir.register(ServerEntry {
+            name: format!("node{i}"),
+            addr: addr.clone(),
+            bandwidth_bytes_per_sec: 10e6,
+            linpack_mflops: 100.0,
+        });
+    }
+    let servers = dir.len();
+    let meta = Metaserver::with_options(
+        dir,
+        Balancing::RoundRobin,
+        spec.workload.options,
+        Some(Duration::from_millis(500)),
+    );
+    let mut tx = Transaction::new();
+    let mut slots = Vec::with_capacity(spec.tx_calls);
+    for _ in 0..spec.tx_calls {
+        let s = tx.slot();
+        tx.call("ep", vec![TxArg::Value(Value::Int(8))], vec![Some(s), None]);
+        slots.push(s);
+    }
+    let out = meta.execute_transaction_ft(&tx)?;
+    let completions: Vec<u32> = slots
+        .iter()
+        .map(|s| u32::from(out.get(s.0).is_some_and(|v| v.is_some())))
+        .collect();
+    Ok((completions, meta.directory().health_events(), servers))
+}
+
+/// Run one chaos scenario under one seed and evaluate every invariant.
+pub fn run_chaos(spec: &ChaosSpec, seed: u64, inject: Inject) -> ProtocolResult<ChaosRun> {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let rec = recorder::global();
+    let was_enabled = rec.enabled();
+    rec.set_enabled(true);
+    rec.clear();
+
+    let mut servers = Vec::with_capacity(spec.servers);
+    for _ in 0..spec.servers {
+        servers.push(spawn_server(spec.pes)?);
+    }
+    let addrs: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
+
+    let stop = AtomicBool::new(false);
+    let (mut records, trace_ids, tx_outcome, stats_results) = std::thread::scope(|scope| {
+        let stop_ref = &stop;
+        let monitors: Vec<_> = addrs
+            .iter()
+            .map(|addr| scope.spawn(move || monitor_stats(addr, stop_ref)))
+            .collect();
+        let clients: Vec<_> = (0..spec.clients)
+            .map(|client| {
+                let addr = &addrs[client % addrs.len()];
+                scope.spawn(move || drive_client(spec, addr, seed, client))
+            })
+            .collect();
+        let mut records = Vec::new();
+        let mut trace_ids = Vec::new();
+        for handle in clients {
+            let (r, t) = handle.join().expect("client thread");
+            records.extend(r);
+            trace_ids.extend(t);
+        }
+        // The transaction leg runs while monitors still poll, so its calls
+        // land inside the monitored cursor stream too.
+        let tx_outcome = (spec.tx_calls > 0).then(|| drive_transaction(spec, &addrs));
+        stop.store(true, Ordering::Release);
+        let mut stats_results = Vec::new();
+        for m in monitors {
+            stats_results.push(m.join().expect("monitor thread"));
+        }
+        (records, trace_ids, tx_outcome, stats_results)
+    });
+    let snapshot = rec.snapshot(0);
+    rec.set_enabled(was_enabled);
+    for s in servers {
+        s.shutdown();
+    }
+
+    let mut stats_polls = Vec::with_capacity(stats_results.len());
+    for r in stats_results {
+        stats_polls.push(r?);
+    }
+
+    if inject == Inject::DuplicateCompletion {
+        if let Some(first) = records.first().copied() {
+            records.push(first);
+        }
+    }
+
+    let planned: Vec<usize> = (0..spec.clients)
+        .map(|c| spec.workload.planned_calls(seed, c, spec.clients))
+        .collect();
+
+    let mut checks = vec![
+        conservation(&records, &planned),
+        exactly_once(&records, &planned),
+        monotone_cursors(&stats_polls),
+        traces_connected(&snapshot, &trace_ids, NESTING_SLACK_US),
+    ];
+    if let Some(tx) = tx_outcome {
+        let (completions, events, dir_len) = tx?;
+        checks.push(tx_exactly_once(&completions));
+        checks.push(quarantine_legal(&events, dir_len));
+    }
+
+    let transcript = transcript(spec, seed, &planned, &checks);
+    Ok(ChaosRun {
+        scenario: spec.name.to_string(),
+        seed,
+        fingerprint: spec.fingerprint(),
+        checks,
+        transcript,
+    })
+}
+
+/// Build the deterministic transcript: a header of seed-derived facts,
+/// one line per invariant, and a RESULT trailer.
+fn transcript(spec: &ChaosSpec, seed: u64, planned: &[usize], checks: &[Check]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# ninf-chaos scenario={} seed={} fingerprint={:#018x}\n",
+        spec.name,
+        seed,
+        spec.fingerprint()
+    ));
+    out.push_str(&format!(
+        "# clients={} servers={} pes={} dead={} tx_calls={}\n",
+        spec.clients, spec.servers, spec.pes, spec.dead_servers, spec.tx_calls
+    ));
+    out.push_str(&format!(
+        "# faults drop={:.3} delay={:.3} delay_ms={} truncate={:.3} garble={:.3}\n",
+        spec.faults.drop_prob,
+        spec.faults.delay_prob,
+        spec.faults.delay.as_millis(),
+        spec.faults.truncate_prob,
+        spec.faults.garble_prob
+    ));
+    for (client, &n) in planned.iter().enumerate() {
+        // Fingerprint the *planned* fault schedule over a generous window
+        // (several transport sends per call) — a pure function of the
+        // plan, independent of how the run actually interleaved.
+        let plan = spec.client_faults(seed, client);
+        let schedule = fault_schedule(&plan, (4 * n + 8) as u64);
+        let mut bytes = Vec::new();
+        for k in &schedule {
+            bytes.extend_from_slice(k.label().as_bytes());
+            bytes.push(b',');
+        }
+        let arrivals = spec.workload.arrival_schedule(seed, client, spec.clients);
+        let mut arr_bytes = Vec::with_capacity(arrivals.len() * 8);
+        for t in &arrivals {
+            arr_bytes.extend_from_slice(&t.to_bits().to_le_bytes());
+        }
+        out.push_str(&format!(
+            "# client {client}: planned={n} faults_fnv={:#018x} arrivals_fnv={:#018x}\n",
+            fnv1a(&bytes),
+            fnv1a(&arr_bytes)
+        ));
+    }
+    for c in checks {
+        out.push_str(&c.line());
+        out.push('\n');
+    }
+    let pass = checks.iter().all(|c| c.pass);
+    out.push_str(&format!(
+        "RESULT {} scenario={} seed={} fingerprint={:#018x}\n",
+        if pass { "PASS" } else { "FAIL" },
+        spec.name,
+        seed,
+        spec.fingerprint()
+    ));
+    out
+}

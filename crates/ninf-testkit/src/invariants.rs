@@ -1,0 +1,460 @@
+//! Machine-checkable invariants evaluated after every chaos run.
+//!
+//! Each checker returns a [`Check`]: on PASS the detail is a *static*
+//! string (no counts, no timings), so same-seed transcripts are
+//! byte-identical even where wall-clock races decide how many calls timed
+//! out; on FAIL the detail names the offending record, which is itself
+//! deterministic for seed-pinned violations.
+
+use ninf_loadgen::Outcome;
+use ninf_metaserver::{HealthEvent, QUARANTINE_THRESHOLD};
+use ninf_obs::export::{client_server_coverage, validate_nesting};
+use ninf_obs::Span;
+
+/// One invariant's verdict.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Invariant name (stable, used in transcripts).
+    pub name: &'static str,
+    /// Whether the invariant held.
+    pub pass: bool,
+    /// `"ok"` on pass; the violation on fail.
+    pub detail: String,
+}
+
+impl Check {
+    fn pass(name: &'static str) -> Self {
+        Check {
+            name,
+            pass: true,
+            detail: "ok".into(),
+        }
+    }
+
+    fn fail(name: &'static str, detail: String) -> Self {
+        Check {
+            name,
+            pass: false,
+            detail,
+        }
+    }
+
+    /// The transcript line for this check.
+    pub fn line(&self) -> String {
+        if self.pass {
+            format!("PASS {}", self.name)
+        } else {
+            format!("FAIL {}: {}", self.name, self.detail)
+        }
+    }
+}
+
+/// One completed (or failed) call as the harness ledger records it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallRecord {
+    /// Issuing client.
+    pub client: usize,
+    /// Sequence number within the client.
+    pub seq: usize,
+    /// Typed outcome.
+    pub outcome: Outcome,
+}
+
+/// Exactly-once completion: every planned `(client, seq)` has exactly one
+/// ledger record — retries and faults may change the *outcome* but can
+/// never double- or zero-count a call.
+pub fn exactly_once(records: &[CallRecord], planned: &[usize]) -> Check {
+    const NAME: &str = "exactly-once";
+    for (client, &n) in planned.iter().enumerate() {
+        for seq in 0..n {
+            let hits = records
+                .iter()
+                .filter(|r| r.client == client && r.seq == seq)
+                .count();
+            if hits != 1 {
+                return Check::fail(
+                    NAME,
+                    format!("call (client {client}, seq {seq}) completed {hits} times, want 1"),
+                );
+            }
+        }
+    }
+    let total: usize = planned.iter().sum();
+    if records.len() != total {
+        return Check::fail(
+            NAME,
+            format!(
+                "{} ledger records for {} planned calls",
+                records.len(),
+                total
+            ),
+        );
+    }
+    Check::pass(NAME)
+}
+
+/// Conservation: calls issued == ok + remote + timeout + transport, per
+/// client and fleet-wide — nothing the fault injector does may make a call
+/// vanish without a typed outcome.
+pub fn conservation(records: &[CallRecord], planned: &[usize]) -> Check {
+    const NAME: &str = "conservation";
+    for (client, &n) in planned.iter().enumerate() {
+        let own: Vec<&CallRecord> = records.iter().filter(|r| r.client == client).collect();
+        let ok = own.iter().filter(|r| r.outcome == Outcome::Ok).count();
+        let remote = own.iter().filter(|r| r.outcome == Outcome::Remote).count();
+        let timeout = own.iter().filter(|r| r.outcome == Outcome::Timeout).count();
+        let transport = own
+            .iter()
+            .filter(|r| r.outcome == Outcome::Transport)
+            .count();
+        if ok + remote + timeout + transport != n {
+            return Check::fail(
+                NAME,
+                format!(
+                    "client {client}: {n} issued but {ok} ok + {remote} remote + \
+                     {timeout} timeout + {transport} transport"
+                ),
+            );
+        }
+    }
+    Check::pass(NAME)
+}
+
+/// One `QueryStats` poll observation: `(server clock, total calls, records
+/// fetched at this cursor position)`.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsPoll {
+    /// Server-reported seconds since start.
+    pub now: f64,
+    /// Server-reported lifetime call total.
+    pub total: u64,
+    /// Records this poll fetched.
+    pub fetched: usize,
+}
+
+/// Monotone cursors: per server, the stats clock and lifetime total never
+/// go backwards across polls, and cursor-driven fetches deliver every
+/// record exactly once (Σ fetched == final total).
+pub fn monotone_cursors(per_server: &[Vec<StatsPoll>]) -> Check {
+    const NAME: &str = "monotone-cursors";
+    for (server, polls) in per_server.iter().enumerate() {
+        let mut fetched = 0u64;
+        for (i, w) in polls.windows(2).enumerate() {
+            if w[1].now < w[0].now {
+                return Check::fail(
+                    NAME,
+                    format!("server {server}: clock went backwards at poll {}", i + 1),
+                );
+            }
+            if w[1].total < w[0].total {
+                return Check::fail(
+                    NAME,
+                    format!("server {server}: call total shrank at poll {}", i + 1),
+                );
+            }
+        }
+        for p in polls {
+            fetched += p.fetched as u64;
+        }
+        if let Some(last) = polls.last() {
+            if fetched != last.total {
+                return Check::fail(
+                    NAME,
+                    format!(
+                        "server {server}: cursors fetched {fetched} records for a total of {}",
+                        last.total
+                    ),
+                );
+            }
+        }
+    }
+    Check::pass(NAME)
+}
+
+/// Trace-tree connectedness: every trace a successful call minted must
+/// form one well-nested tree with both client- and server-side spans.
+pub fn traces_connected(spans: &[Span], ok_trace_ids: &[u64], slack_us: u64) -> Check {
+    const NAME: &str = "trace-connected";
+    for &tid in ok_trace_ids {
+        let own: Vec<Span> = spans
+            .iter()
+            .filter(|s| s.trace_id == tid)
+            .cloned()
+            .collect();
+        if own.is_empty() {
+            return Check::fail(NAME, format!("trace {tid:#x}: no spans recorded"));
+        }
+        if let Err(e) = validate_nesting(&own, slack_us) {
+            return Check::fail(NAME, format!("trace {tid:#x}: {e}"));
+        }
+        if let Err(e) = client_server_coverage(&own) {
+            return Check::fail(NAME, format!("trace {tid:#x}: {e}"));
+        }
+    }
+    Check::pass(NAME)
+}
+
+/// Quarantine/reinstate legality: replay the directory's health-event log
+/// against a reference state machine. A `Quarantined` may only follow the
+/// failure that crossed the threshold; a `Reinstated` may only follow a
+/// `Success` on the same server; streak accounting must match.
+pub fn quarantine_legal(events: &[HealthEvent], servers: usize) -> Check {
+    const NAME: &str = "quarantine-legal";
+    #[derive(Default, Clone, Copy)]
+    struct Model {
+        streak: u32,
+        quarantined: bool,
+    }
+    let mut models = vec![Model::default(); servers];
+    let mut pending_quarantine: Option<usize> = None;
+    let mut pending_reinstate: Option<usize> = None;
+    for (i, e) in events.iter().enumerate() {
+        if let Some(s) = pending_quarantine.take() {
+            if *e != (HealthEvent::Quarantined { server: s }) {
+                return Check::fail(
+                    NAME,
+                    format!("event {i}: server {s} crossed threshold but next event is {e:?}"),
+                );
+            }
+            continue;
+        }
+        if let Some(s) = pending_reinstate.take() {
+            if *e != (HealthEvent::Reinstated { server: s }) {
+                return Check::fail(
+                    NAME,
+                    format!("event {i}: quarantined server {s} succeeded but next event is {e:?}"),
+                );
+            }
+            continue;
+        }
+        match *e {
+            HealthEvent::Failure { server, streak, .. } => {
+                let Some(m) = models.get_mut(server) else {
+                    return Check::fail(NAME, format!("event {i}: unknown server {server}"));
+                };
+                m.streak += 1;
+                if streak != m.streak {
+                    return Check::fail(
+                        NAME,
+                        format!(
+                            "event {i}: server {server} streak {streak}, model says {}",
+                            m.streak
+                        ),
+                    );
+                }
+                if !m.quarantined && m.streak >= QUARANTINE_THRESHOLD {
+                    m.quarantined = true;
+                    pending_quarantine = Some(server);
+                }
+            }
+            HealthEvent::Quarantined { server } => {
+                // Legal occurrences were consumed by `pending_quarantine`
+                // above; reaching this arm means no threshold-crossing
+                // failure immediately preceded (e.g. quarantined below
+                // threshold, or a duplicate quarantine event).
+                return Check::fail(
+                    NAME,
+                    format!("event {i}: server {server} quarantined below threshold"),
+                );
+            }
+            HealthEvent::Success { server, .. } => {
+                let Some(m) = models.get_mut(server) else {
+                    return Check::fail(NAME, format!("event {i}: unknown server {server}"));
+                };
+                if m.quarantined {
+                    pending_reinstate = Some(server);
+                }
+                m.streak = 0;
+                m.quarantined = false;
+            }
+            HealthEvent::Reinstated { server } => {
+                // Legal occurrences were consumed by `pending_reinstate`
+                // above; reaching this arm at all means the reinstatement
+                // had no immediately-preceding success.
+                return Check::fail(
+                    NAME,
+                    format!("event {i}: server {server} reinstated without a success"),
+                );
+            }
+        }
+    }
+    if pending_quarantine.is_some() || pending_reinstate.is_some() {
+        return Check::fail(NAME, "log ends mid-transition".into());
+    }
+    Check::pass(NAME)
+}
+
+/// Transaction exactly-once: every transaction call completed exactly once
+/// (its slot written once, never twice under retries).
+pub fn tx_exactly_once(completions: &[u32]) -> Check {
+    const NAME: &str = "tx-exactly-once";
+    for (call, &n) in completions.iter().enumerate() {
+        if n != 1 {
+            return Check::fail(NAME, format!("tx call #{call} completed {n} times, want 1"));
+        }
+    }
+    Check::pass(NAME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(client: usize, seq: usize, outcome: Outcome) -> CallRecord {
+        CallRecord {
+            client,
+            seq,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn exactly_once_catches_duplicates_and_holes() {
+        let planned = vec![2, 1];
+        let good = vec![
+            rec(0, 0, Outcome::Ok),
+            rec(0, 1, Outcome::Timeout),
+            rec(1, 0, Outcome::Ok),
+        ];
+        assert!(exactly_once(&good, &planned).pass);
+        let mut dup = good.clone();
+        dup.push(rec(0, 0, Outcome::Ok));
+        let c = exactly_once(&dup, &planned);
+        assert!(!c.pass);
+        assert!(c.detail.contains("2 times"));
+        let hole = vec![rec(0, 0, Outcome::Ok), rec(1, 0, Outcome::Ok)];
+        assert!(!exactly_once(&hole, &planned).pass);
+    }
+
+    #[test]
+    fn conservation_holds_over_typed_outcomes_only() {
+        let planned = vec![3];
+        let ok = vec![
+            rec(0, 0, Outcome::Ok),
+            rec(0, 1, Outcome::Transport),
+            rec(0, 2, Outcome::Remote),
+        ];
+        assert!(conservation(&ok, &planned).pass);
+        let short = vec![rec(0, 0, Outcome::Ok)];
+        assert!(!conservation(&short, &planned).pass);
+    }
+
+    #[test]
+    fn cursor_checks() {
+        let ok = vec![vec![
+            StatsPoll {
+                now: 0.1,
+                total: 2,
+                fetched: 2,
+            },
+            StatsPoll {
+                now: 0.2,
+                total: 5,
+                fetched: 3,
+            },
+        ]];
+        assert!(monotone_cursors(&ok).pass);
+        let back = vec![vec![
+            StatsPoll {
+                now: 0.2,
+                total: 5,
+                fetched: 5,
+            },
+            StatsPoll {
+                now: 0.1,
+                total: 5,
+                fetched: 0,
+            },
+        ]];
+        assert!(!monotone_cursors(&back).pass);
+        let lost = vec![vec![
+            StatsPoll {
+                now: 0.1,
+                total: 2,
+                fetched: 1,
+            },
+            StatsPoll {
+                now: 0.2,
+                total: 5,
+                fetched: 3,
+            },
+        ]];
+        let c = monotone_cursors(&lost);
+        assert!(!c.pass);
+        assert!(c.detail.contains("fetched 4"));
+    }
+
+    #[test]
+    fn quarantine_legality_accepts_real_log_and_rejects_corruption() {
+        let legal = vec![
+            HealthEvent::Failure {
+                server: 0,
+                probe: false,
+                streak: 1,
+            },
+            HealthEvent::Failure {
+                server: 0,
+                probe: false,
+                streak: 2,
+            },
+            HealthEvent::Failure {
+                server: 0,
+                probe: false,
+                streak: 3,
+            },
+            HealthEvent::Quarantined { server: 0 },
+            HealthEvent::Failure {
+                server: 0,
+                probe: true,
+                streak: 4,
+            },
+            HealthEvent::Success {
+                server: 0,
+                probe: true,
+            },
+            HealthEvent::Reinstated { server: 0 },
+        ];
+        assert!(quarantine_legal(&legal, 1).pass);
+
+        // Reinstated with no preceding success.
+        let rogue = vec![
+            HealthEvent::Failure {
+                server: 0,
+                probe: false,
+                streak: 1,
+            },
+            HealthEvent::Reinstated { server: 0 },
+        ];
+        let c = quarantine_legal(&rogue, 1);
+        assert!(!c.pass);
+        assert!(c.detail.contains("without a success"));
+
+        // Quarantined below threshold.
+        let early = vec![
+            HealthEvent::Failure {
+                server: 0,
+                probe: false,
+                streak: 1,
+            },
+            HealthEvent::Quarantined { server: 0 },
+        ];
+        assert!(!quarantine_legal(&early, 1).pass);
+
+        // Streak accounting mismatch.
+        let skip = vec![HealthEvent::Failure {
+            server: 0,
+            probe: false,
+            streak: 2,
+        }];
+        assert!(!quarantine_legal(&skip, 1).pass);
+    }
+
+    #[test]
+    fn tx_exactly_once_flags_doubles() {
+        assert!(tx_exactly_once(&[1, 1, 1]).pass);
+        let c = tx_exactly_once(&[1, 2, 1]);
+        assert!(!c.pass);
+        assert!(c.detail.contains("#1"));
+        assert!(!tx_exactly_once(&[0]).pass);
+    }
+}

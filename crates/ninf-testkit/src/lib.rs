@@ -1,0 +1,43 @@
+//! ninf-testkit: a deterministic chaos/conformance harness for the live
+//! Ninf stack.
+//!
+//! The paper's claim is behavioral — multi-client Ninf degrades
+//! *predictably* under load and faults — so this crate turns that into
+//! machine-checkable form. A [`ChaosSpec`] names a workload (reusing
+//! [`ninf_loadgen::WorkloadSpec`]), a fleet shape, and a seeded
+//! [`ninf_protocol::FaultPlan`]; [`run_chaos`] spawns the real fleet
+//! (in-process `ninfd`s over loopback TCP), drives fault-injecting
+//! clients plus an optional metaserver transaction leg, and evaluates:
+//!
+//! - **conservation** — calls issued == ok + remote + timeout + transport;
+//! - **exactly-once** — every planned call has exactly one completion
+//!   record (and every transaction call one slot write) under retries;
+//! - **monotone-cursors** — `QueryStats` clocks and totals never regress,
+//!   and cursor-driven fetches deliver each record exactly once;
+//! - **trace-connected** — every successful call's trace forms one
+//!   well-nested client+server tree in the flight recorder;
+//! - **quarantine-legal** — the directory's health-event log replays
+//!   legally: quarantine only at the threshold, reinstatement only after
+//!   a success.
+//!
+//! Transcripts are bit-deterministic for a given `(spec, seed)`: they
+//! carry the spec fingerprint and the *planned* fault/arrival schedule
+//! fingerprints, never wall-clock-dependent counts. The same seed is the
+//! whole reproducer — `ninf-chaos replay --scenario S --seed N`.
+//!
+//! [`live_vs_sim`] is the differential oracle: the live `lan-linpack`
+//! scalability shape against a matched simulator scenario (saturated
+//! closed-loop clients on a 1-PE server), normalized and compared within
+//! a declared tolerance.
+
+#![warn(missing_docs)]
+
+pub mod differential;
+pub mod harness;
+pub mod invariants;
+pub mod spec;
+
+pub use differential::{live_vs_sim, DiffReport, ShapePoint, DEFAULT_TOLERANCE};
+pub use harness::{run_chaos, ChaosRun, Inject};
+pub use invariants::{Check, StatsPoll};
+pub use spec::{chaos, chaos_names, ChaosSpec};

@@ -1,0 +1,265 @@
+//! Declarative chaos scenarios: a workload (reusing
+//! [`ninf_loadgen::WorkloadSpec`]), a fleet shape, and a fault plan, plus a
+//! canonical fingerprint so a reproducer command pins *exactly* what ran.
+
+use std::time::Duration;
+
+use ninf_client::CallOptions;
+use ninf_loadgen::{Arrival, MixEntry, Phases, Routine, WorkloadSpec};
+use ninf_protocol::FaultPlan;
+
+/// Everything one chaos run needs besides the seed.
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// CLI name.
+    pub name: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    /// Concurrent live clients in the call leg.
+    pub clients: usize,
+    /// What each client calls and under which reliability policy.
+    pub workload: WorkloadSpec,
+    /// Fault plan template; the per-client seed is derived from the run
+    /// seed, everything else is taken verbatim.
+    pub faults: FaultPlan,
+    /// Live in-process servers to spawn.
+    pub servers: usize,
+    /// PEs per server.
+    pub pes: usize,
+    /// Unreachable addresses additionally registered with the metaserver
+    /// (transaction leg only) to force failure accounting.
+    pub dead_servers: usize,
+    /// Calls in the metaserver transaction leg; 0 skips the leg.
+    pub tx_calls: usize,
+}
+
+/// FNV-1a (the same hash reports use for schedules).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+impl ChaosSpec {
+    /// Canonical byte encoding of every load-shaping field. The fault
+    /// seed is *excluded*: it is derived from the run seed, so one
+    /// fingerprint covers the whole seed range of `hunt`.
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.name.as_bytes());
+        push_u64(&mut out, self.clients as u64);
+        push_u64(&mut out, self.servers as u64);
+        push_u64(&mut out, self.pes as u64);
+        push_u64(&mut out, self.dead_servers as u64);
+        push_u64(&mut out, self.tx_calls as u64);
+        for e in &self.workload.mix {
+            out.extend_from_slice(e.routine.name().as_bytes());
+            push_u64(&mut out, e.routine.scalar() as u64);
+            push_u64(&mut out, u64::from(e.weight));
+        }
+        match self.workload.arrival {
+            Arrival::Closed { think } => {
+                out.push(0);
+                push_f64(&mut out, think.as_secs_f64());
+            }
+            Arrival::Open { rate_hz } => {
+                out.push(1);
+                push_f64(&mut out, rate_hz);
+            }
+        }
+        push_f64(&mut out, self.workload.phases.ramp_up);
+        push_f64(&mut out, self.workload.phases.steady);
+        push_f64(&mut out, self.workload.phases.ramp_down);
+        push_u64(&mut out, self.workload.calls_per_client as u64);
+        push_f64(
+            &mut out,
+            self.workload
+                .options
+                .deadline
+                .map_or(-1.0, |d| d.as_secs_f64()),
+        );
+        push_u64(&mut out, u64::from(self.workload.options.retries));
+        push_f64(&mut out, self.workload.options.backoff.as_secs_f64());
+        push_f64(&mut out, self.faults.drop_prob);
+        push_f64(&mut out, self.faults.delay_prob);
+        push_f64(&mut out, self.faults.delay.as_secs_f64());
+        push_f64(&mut out, self.faults.truncate_prob);
+        push_f64(&mut out, self.faults.garble_prob);
+        out
+    }
+
+    /// Stable spec fingerprint, printed in every transcript and reproducer.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(&self.canonical_bytes())
+    }
+
+    /// Fault plan of `client` in a run seeded with `seed`: the template
+    /// with a decorrelated per-client RNG seed (same constants the
+    /// workload spec uses for its per-client streams).
+    pub fn client_faults(&self, seed: u64, client: usize) -> FaultPlan {
+        FaultPlan {
+            seed: seed
+                ^ 0x000c_4a05_u64.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (client as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            ..self.faults
+        }
+    }
+}
+
+/// Names of every built-in chaos scenario, in menu order.
+pub fn chaos_names() -> Vec<&'static str> {
+    vec!["clean", "drop-delay", "corrupt", "meta-ft"]
+}
+
+fn ep_workload(calls: usize, deadline_ms: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        mix: vec![MixEntry {
+            routine: Routine::Ep { m: 8 },
+            weight: 1,
+        }],
+        arrival: Arrival::Closed {
+            think: Duration::ZERO,
+        },
+        phases: Phases::none(),
+        calls_per_client: calls,
+        options: CallOptions {
+            deadline: Some(Duration::from_millis(deadline_ms)),
+            retries: 0,
+            backoff: Duration::from_millis(10),
+        },
+    }
+}
+
+/// Look up a built-in chaos scenario by name.
+pub fn chaos(name: &str) -> Option<ChaosSpec> {
+    match name {
+        // Fault-free control: every invariant must hold trivially, every
+        // call must succeed, and every trace must be connected.
+        "clean" => Some(ChaosSpec {
+            name: "clean",
+            about: "fault-free control run: all calls succeed, all invariants hold",
+            clients: 2,
+            workload: ep_workload(6, 2000),
+            faults: FaultPlan::default(),
+            servers: 1,
+            pes: 2,
+            dead_servers: 0,
+            tx_calls: 0,
+        }),
+        // Lost and stalled messages: drops surface as client deadline
+        // expiries, delays complete inside the deadline. Conservation must
+        // hold exactly; the fault schedule is pinned by the seed.
+        "drop-delay" => Some(ChaosSpec {
+            name: "drop-delay",
+            about: "seeded drops (timeout) and sub-deadline delays on the client send path",
+            clients: 3,
+            workload: ep_workload(8, 600),
+            faults: FaultPlan {
+                drop_prob: 0.12,
+                delay_prob: 0.10,
+                delay: Duration::from_millis(30),
+                ..FaultPlan::default()
+            },
+            servers: 1,
+            pes: 2,
+            dead_servers: 0,
+            tx_calls: 0,
+        }),
+        // On-the-wire corruption: the server's framing layer must reject
+        // the frame and the client must see a typed error, never garbage.
+        "corrupt" => Some(ChaosSpec {
+            name: "corrupt",
+            about: "seeded frame truncation/garbling; every outcome stays a typed error",
+            clients: 3,
+            workload: ep_workload(8, 600),
+            faults: FaultPlan {
+                truncate_prob: 0.08,
+                garble_prob: 0.08,
+                ..FaultPlan::default()
+            },
+            servers: 1,
+            pes: 2,
+            dead_servers: 0,
+            tx_calls: 0,
+        }),
+        // The fault-tolerant routing path: a transaction through a
+        // metaserver whose directory includes an unreachable server, so
+        // retries, quarantine, and the health-event log are all exercised.
+        "meta-ft" => Some(ChaosSpec {
+            name: "meta-ft",
+            about:
+                "metaserver transaction over a fleet with a dead member: quarantine + exactly-once",
+            clients: 2,
+            workload: WorkloadSpec {
+                options: CallOptions {
+                    deadline: Some(Duration::from_secs(2)),
+                    retries: 1,
+                    backoff: Duration::from_millis(20),
+                },
+                ..ep_workload(4, 2000)
+            },
+            faults: FaultPlan::default(),
+            servers: 2,
+            pes: 2,
+            dead_servers: 1,
+            // 9 round-robin picks over 3 directory entries hand the dead
+            // member 3 first attempts — exactly the quarantine threshold.
+            tx_calls: 9,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in chaos_names() {
+            let spec = chaos(name).expect("listed scenario exists");
+            assert_eq!(spec.name, name);
+            assert!(spec.clients > 0 && spec.servers > 0);
+            // Any plan that can silence a message must pair with a client
+            // deadline, or a dropped send would hang the harness.
+            if spec.faults.drop_prob > 0.0 {
+                assert!(spec.workload.options.deadline.is_some());
+            }
+        }
+        assert!(chaos("no-such").is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_seed_independent() {
+        let a = chaos("drop-delay").unwrap();
+        let b = chaos("drop-delay").unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Distinct scenarios fingerprint differently.
+        assert_ne!(a.fingerprint(), chaos("clean").unwrap().fingerprint());
+        // The per-run fault seed does not enter the fingerprint.
+        let mut c = a.clone();
+        c.faults.seed = 999;
+        assert_eq!(c.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn client_fault_plans_are_decorrelated() {
+        let spec = chaos("drop-delay").unwrap();
+        let p0 = spec.client_faults(7, 0);
+        let p1 = spec.client_faults(7, 1);
+        assert_ne!(p0.seed, p1.seed);
+        assert_eq!(p0.drop_prob, spec.faults.drop_prob);
+        // Same (seed, client) → same plan seed.
+        assert_eq!(p0.seed, spec.client_faults(7, 0).seed);
+    }
+}

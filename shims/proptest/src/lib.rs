@@ -179,10 +179,7 @@ pub trait Strategy {
             let branch = recurse(level).boxed();
             // Each level is an even mix of stopping at a leaf or recursing,
             // which keeps expected tree size finite.
-            level = Union {
-                arms: vec![leaf.clone(), branch],
-            }
-            .boxed();
+            level = Union::new(vec![leaf.clone(), branch]).boxed();
         }
         level
     }
@@ -270,16 +267,27 @@ where
     }
 }
 
-/// Uniform choice between alternatives (what `prop_oneof!` builds).
+/// Choice between alternatives (what `prop_oneof!` builds). Uniform unless
+/// built with [`Union::new_weighted`].
 pub struct Union<T> {
-    /// The alternatives; chosen uniformly.
-    pub arms: Vec<BoxedStrategy<T>>,
+    /// The alternatives, each with a relative weight.
+    pub arms: Vec<(u32, BoxedStrategy<T>)>,
 }
 
 impl<T> Union<T> {
-    /// Union over the given alternatives.
+    /// Uniform union over the given alternatives.
     pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Self::new_weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// Union with per-arm relative weights (real proptest's
+    /// `prop_oneof![w => strat, ..]` form).
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! weights must not all be zero"
+        );
         Self { arms }
     }
 }
@@ -287,8 +295,16 @@ impl<T> Union<T> {
 impl<T> Strategy for Union<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
-        let i = rng.below(self.arms.len() as u64) as usize;
-        self.arms[i].generate(rng)
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick below total weight")
     }
 }
 
@@ -412,6 +428,10 @@ impl_tuple_strategy! {
     (0 A, 1 B, 2 C, 3 D);
     (0 A, 1 B, 2 C, 3 D, 4 E);
     (0 A, 1 B, 2 C, 3 D, 4 E, 5 F);
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G);
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H);
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I);
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I, 9 J);
 }
 
 // --- &str regex-lite strategies --------------------------------------------
@@ -622,6 +642,47 @@ pub mod sample {
             Index(rng.next_u64())
         }
     }
+
+    /// Uniform choice from a fixed list of values (real proptest's
+    /// `sample::select`).
+    pub fn select<T: Clone + std::fmt::Debug>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select from empty list");
+        Select(values)
+    }
+
+    /// See [`select`].
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone + std::fmt::Debug> super::Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// `Option` strategies (real proptest's `option` module).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `None` about a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -716,6 +777,9 @@ macro_rules! prop_assert_eq {
 /// Uniform choice among strategies producing the same value type.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![ $( ($weight as u32, $crate::Strategy::boxed($strat)) ),+ ])
+    };
     ($($strat:expr),+ $(,)?) => {
         $crate::Union::new(vec![ $( $crate::Strategy::boxed($strat) ),+ ])
     };
@@ -730,7 +794,7 @@ pub mod prelude {
 
     /// Namespaced re-exports matching real proptest's `prop::` path.
     pub mod prop {
-        pub use crate::{collection, sample};
+        pub use crate::{collection, option, sample};
     }
 }
 

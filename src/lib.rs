@@ -54,11 +54,14 @@
 //! | [`machine`] | `ninf-machine` | calibrated 1997 machine models, OS accounting |
 //! | [`sim`] | `ninf-sim` | whole-system simulator + SC'97 experiment drivers |
 //! | [`db`] | `ninf-db` | numerical database server (`Ninf_query`) |
+//! | [`loadgen`] | `ninf-loadgen` | multi-client live load generation + measurement |
+//! | [`testkit`] | `ninf-testkit` | deterministic chaos harness + live-vs-sim differential |
 
 pub use ninf_client as client;
 pub use ninf_db as db;
 pub use ninf_exec as exec;
 pub use ninf_idl as idl;
+pub use ninf_loadgen as loadgen;
 pub use ninf_machine as machine;
 pub use ninf_metaserver as metaserver;
 pub use ninf_netsim as netsim;
@@ -66,4 +69,5 @@ pub use ninf_obs as obs;
 pub use ninf_protocol as protocol;
 pub use ninf_server as server;
 pub use ninf_sim as sim;
+pub use ninf_testkit as testkit;
 pub use ninf_xdr as xdr;
