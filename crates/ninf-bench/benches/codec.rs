@@ -1,0 +1,110 @@
+//! Criterion bench: the v2 zero-copy message codec against the v1
+//! per-element path it replaced.
+//!
+//! The workload is the paper's dominant wire shape — an n×n f64 matrix
+//! (1024×1024 = 8 MiB) — measured three ways: raw XDR array
+//! encode/decode (chunked byteswap vs a per-element `put_f64`/`get_f64`
+//! loop), and the full framed `Invoke` round trip including the CRC-32C
+//! pass. Set `NINF_BENCH_QUICK=1` for a smoke run (CI): fewer samples,
+//! same code paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ninf_protocol::{read_frame, write_frame, Message, Value};
+use ninf_xdr::{Bytes, XdrDecoder, XdrEncoder};
+use std::hint::black_box;
+
+const N: usize = 1024;
+
+fn sample_size() -> usize {
+    if std::env::var_os("NINF_BENCH_QUICK").is_some() {
+        3
+    } else {
+        20
+    }
+}
+
+fn matrix() -> Vec<f64> {
+    (0..N * N).map(|i| i as f64 * 0.5).collect()
+}
+
+/// The pre-v2 encode: length word plus one `put_f64` per element.
+fn encode_legacy(data: &[f64]) -> Bytes {
+    let mut enc = XdrEncoder::with_capacity(data.len() * 8 + 4);
+    enc.put_u32(data.len() as u32);
+    for &x in data {
+        enc.put_f64(x);
+    }
+    enc.finish()
+}
+
+/// The pre-v2 decode: one `get_f64` per element into a growing vec.
+fn decode_legacy(wire: &[u8]) -> Vec<f64> {
+    let mut dec = XdrDecoder::new(wire);
+    let n = dec.get_u32().unwrap() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(dec.get_f64().unwrap());
+    }
+    out
+}
+
+fn bench_matrix_arrays(c: &mut Criterion) {
+    let data = matrix();
+    let bytes = (N * N * 8) as u64;
+    let mut group = c.benchmark_group("codec_matrix_f64");
+    group.sample_size(sample_size());
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_with_input(BenchmarkId::new("encode_fast", N), &data, |b, data| {
+        b.iter(|| {
+            let mut enc = XdrEncoder::with_capacity(data.len() * 8 + 4);
+            enc.put_f64_array(black_box(data));
+            black_box(enc.finish())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("encode_legacy", N), &data, |b, data| {
+        b.iter(|| black_box(encode_legacy(black_box(data))))
+    });
+    let mut enc = XdrEncoder::new();
+    enc.put_f64_array(&data);
+    let wire = enc.finish();
+    group.bench_with_input(BenchmarkId::new("decode_fast", N), &wire, |b, wire| {
+        b.iter(|| {
+            let mut dec = XdrDecoder::new(black_box(wire));
+            black_box(dec.get_f64_array().unwrap())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("decode_legacy", N), &wire, |b, wire| {
+        b.iter(|| black_box(decode_legacy(black_box(wire))))
+    });
+    group.finish();
+}
+
+fn bench_framed_invoke(c: &mut Criterion) {
+    let msg = Message::Invoke {
+        routine: "linpack".into(),
+        args: vec![
+            Value::Int(N as i32),
+            Value::DoubleArray(matrix()),
+            Value::DoubleArray(vec![1.0; N]),
+        ],
+        trace: None,
+    };
+    let mut group = c.benchmark_group("codec_framed_invoke");
+    group.sample_size(sample_size());
+    group.bench_with_input(BenchmarkId::new("write_frame", N), &msg, |b, msg| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, black_box(msg)).unwrap();
+            black_box(buf)
+        })
+    });
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &msg).unwrap();
+    group.bench_with_input(BenchmarkId::new("read_frame", N), &framed, |b, framed| {
+        b.iter(|| black_box(read_frame(&mut black_box(framed.as_slice())).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix_arrays, bench_framed_invoke);
+criterion_main!(benches);

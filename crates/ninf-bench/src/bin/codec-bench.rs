@@ -1,0 +1,180 @@
+//! codec-bench: measure the v2 zero-copy codec against the v1 per-element
+//! path and regenerate `results/BENCH_codec.json`.
+//!
+//! Two claims are pinned by the emitted JSON:
+//!
+//! 1. **Codec throughput** — encode+decode of a 1024×1024 f64 matrix via
+//!    the chunked fast path is ≥3× the per-element `put_f64`/`get_f64`
+//!    loop the v1 codec used.
+//! 2. **No end-to-end regression** — live `lan-linpack` mean Mflops at
+//!    c = 1/4/8 (seed 1997) under checksummed v2 framing stays at the
+//!    level recorded in `results/BENCH_loadgen.json`.
+//!
+//! Usage: `codec-bench [--out results/BENCH_codec.json] [--quick]`
+//! `--quick` (or `NINF_BENCH_QUICK=1`) trims samples for CI smoke runs.
+
+use std::time::Instant;
+
+use ninf_loadgen::{run_scenario, scenario};
+use ninf_xdr::{Bytes, XdrDecoder, XdrEncoder};
+
+const N: usize = 1024;
+const SEED: u64 = 1997;
+
+fn encode_fast(data: &[f64]) -> Bytes {
+    let mut enc = XdrEncoder::with_capacity(data.len() * 8 + 4);
+    enc.put_f64_array(data);
+    enc.finish()
+}
+
+fn encode_legacy(data: &[f64]) -> Bytes {
+    let mut enc = XdrEncoder::with_capacity(data.len() * 8 + 4);
+    enc.put_u32(data.len() as u32);
+    for &x in data {
+        enc.put_f64(x);
+    }
+    enc.finish()
+}
+
+fn decode_fast(wire: &[u8]) -> Vec<f64> {
+    let mut dec = XdrDecoder::new(wire);
+    dec.get_f64_array().expect("valid wire")
+}
+
+fn decode_legacy(wire: &[u8]) -> Vec<f64> {
+    let mut dec = XdrDecoder::new(wire);
+    let n = dec.get_u32().expect("length") as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(dec.get_f64().expect("element"));
+    }
+    out
+}
+
+/// Median seconds per call of `f` over `samples` timed runs.
+fn median_secs<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "results/BENCH_codec.json".to_string();
+    let mut quick = std::env::var_os("NINF_BENCH_QUICK").is_some();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out takes a path").clone(),
+            "--quick" => quick = true,
+            other => {
+                eprintln!("usage: codec-bench [--out <path>] [--quick] (got {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let samples = if quick { 5 } else { 15 };
+    let bytes = (N * N * 8) as f64;
+    let gib = 1024.0 * 1024.0 * 1024.0;
+
+    // Measure on a worker thread, where real encodes happen (client call
+    // threads, server connection threads). The main thread's glibc arena
+    // trims its heap top back to the OS after each multi-megabyte free, so
+    // every iteration would re-fault its pages in and measure the kernel,
+    // not the codec.
+    let (t_enc_fast, t_enc_legacy, t_dec_fast, t_dec_legacy) = std::thread::spawn(move || {
+        let data: Vec<f64> = (0..N * N).map(|i| i as f64 * 0.5).collect();
+        let wire = encode_fast(&data);
+        assert_eq!(
+            wire,
+            encode_legacy(&data),
+            "fast and legacy encodings must be byte-identical"
+        );
+        assert_eq!(decode_fast(&wire), data, "fast decode must round-trip");
+        (
+            median_secs(samples, || encode_fast(&data)),
+            median_secs(samples, || encode_legacy(&data)),
+            median_secs(samples, || decode_fast(&wire)),
+            median_secs(samples, || decode_legacy(&wire)),
+        )
+    })
+    .join()
+    .expect("measurement thread");
+    let combined_speedup = (t_enc_legacy + t_dec_legacy) / (t_enc_fast + t_dec_fast);
+    eprintln!(
+        "encode: fast {:.1} ms vs legacy {:.1} ms ({:.2}x); decode: fast {:.1} ms vs legacy {:.1} ms ({:.2}x); combined {combined_speedup:.2}x",
+        t_enc_fast * 1e3,
+        t_enc_legacy * 1e3,
+        t_enc_legacy / t_enc_fast,
+        t_dec_fast * 1e3,
+        t_dec_legacy * 1e3,
+        t_dec_legacy / t_dec_fast,
+    );
+
+    // End-to-end: live lan-linpack under v2 framing, same seed and client
+    // counts as results/BENCH_loadgen.json.
+    let sc = scenario("lan-linpack").expect("lan-linpack scenario exists");
+    let mut linpack = Vec::new();
+    for clients in [1usize, 4, 8] {
+        let report = run_scenario(&sc, clients, SEED)
+            .unwrap_or_else(|e| panic!("lan-linpack c={clients} failed: {e}"));
+        eprintln!(
+            "lan-linpack c={clients}: {:.0} Mflops mean, {} ok / {} calls",
+            report.fleet.perf.mean, report.fleet.ok, report.fleet.calls
+        );
+        linpack.push(serde_json::json!({
+            "clients": clients,
+            "mflops_mean": report.fleet.perf.mean,
+            "ok": report.fleet.ok,
+            "calls": report.fleet.calls,
+        }));
+    }
+
+    let doc = serde_json::json!({
+        "bench": "codec",
+        "seed": SEED,
+        "matrix_n": N,
+        "payload_bytes": bytes as u64,
+        "samples": samples,
+        "encode": {
+            "fast_secs": t_enc_fast,
+            "legacy_secs": t_enc_legacy,
+            "fast_gib_per_sec": bytes / t_enc_fast / gib,
+            "legacy_gib_per_sec": bytes / t_enc_legacy / gib,
+            "speedup": t_enc_legacy / t_enc_fast,
+        },
+        "decode": {
+            "fast_secs": t_dec_fast,
+            "legacy_secs": t_dec_legacy,
+            "fast_gib_per_sec": bytes / t_dec_fast / gib,
+            "legacy_gib_per_sec": bytes / t_dec_legacy / gib,
+            "speedup": t_dec_legacy / t_dec_fast,
+        },
+        "combined_speedup": combined_speedup,
+        "lan_linpack": linpack,
+        "baseline": {
+            "file": "results/BENCH_loadgen.json",
+            "note": "lan-linpack mflops_mean at c=1/4/8 must be no worse than the pre-v2 run recorded there",
+        },
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&doc).expect("serialize") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+    if combined_speedup < 3.0 {
+        eprintln!("WARNING: combined speedup {combined_speedup:.2}x is below the 3x target");
+        // Quick mode is a smoke run (few samples, noisy shared runners):
+        // it fails on panic or a broken codec, not on a noisy ratio.
+        if !quick {
+            std::process::exit(1);
+        }
+    }
+}

@@ -187,10 +187,7 @@ impl TimedCall {
     fn expect_ok(&self) -> (&[Value], f64) {
         match &self.result {
             Ok(out) => (out, self.timing.total),
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
+            Err(e) => die_ref(e),
         }
     }
 }
@@ -301,7 +298,24 @@ fn parse_num<T: std::str::FromStr>(v: Option<&String>, msg: &str) -> T {
 }
 
 fn die<T>(e: ninf_protocol::ProtocolError) -> T {
+    die_ref(&e)
+}
+
+fn die_ref<T>(e: &ninf_protocol::ProtocolError) -> T {
     eprintln!("error: {e}");
+    if let ninf_protocol::ProtocolError::UnsupportedVersion { got, want } = e {
+        if *got < *want {
+            eprintln!(
+                "hint: the server speaks frame version {got}, this client needs v{want} \
+                 (checksummed framing); upgrade the server — retrying will not help"
+            );
+        } else {
+            eprintln!(
+                "hint: the server speaks frame version {got}, newer than this client's \
+                 v{want}; upgrade this client — retrying will not help"
+            );
+        }
+    }
     std::process::exit(1);
 }
 

@@ -285,7 +285,12 @@ impl Metaserver {
                 }
                 let mut last_server = first_server;
                 let mut attempt: u32 = 0;
-                while outcome.is_err() && attempt < max_attempts {
+                // Only retryable failures fail over: a Remote error is the
+                // application itself answering (another server would say
+                // the same), and an UnsupportedVersion peer will not
+                // change its mind on a retry — burning attempts on either
+                // just delays the caller's error.
+                while outcome.as_ref().is_err_and(|e| e.is_retryable()) && attempt < max_attempts {
                     // Exponential backoff with per-call jitter so concurrent
                     // retriers don't stampede a recovering server.
                     std::thread::sleep(self.options.backoff_delay(attempt, call_idx as u64));

@@ -11,8 +11,25 @@ pub enum ProtocolError {
     Xdr(ninf_xdr::XdrError),
     /// Compiled-IDL decode failure.
     Idl(ninf_idl::IdlError),
-    /// Frame-level violation (bad magic, bad version, oversized frame).
+    /// Frame-level violation (bad magic, oversized frame, trailing bytes).
     Frame(String),
+    /// The frame payload failed its CRC-32C integrity check: the bytes were
+    /// corrupted in flight. The stream is desynchronized after this; the
+    /// connection must be torn down.
+    Checksum {
+        /// Digest the frame header promised.
+        expected: u32,
+        /// Digest of the payload that actually arrived.
+        got: u32,
+    },
+    /// The peer speaks a different frame version. Deterministic per peer:
+    /// retrying the same endpoint cannot succeed.
+    UnsupportedVersion {
+        /// Version word the peer sent.
+        got: u32,
+        /// Version this implementation speaks.
+        want: u32,
+    },
     /// Unknown or out-of-order message for the current protocol state.
     UnexpectedMessage {
         /// What the caller was waiting for.
@@ -43,9 +60,14 @@ impl ProtocolError {
     }
 
     /// Whether retrying the operation on a *fresh connection* could succeed.
-    /// Remote application errors are deterministic and excluded.
+    /// Remote application errors and version mismatches are deterministic
+    /// and excluded; checksum failures are transient wire corruption and
+    /// *are* retryable once reconnected.
     pub fn is_retryable(&self) -> bool {
-        !matches!(self, ProtocolError::Remote(_))
+        !matches!(
+            self,
+            ProtocolError::Remote(_) | ProtocolError::UnsupportedVersion { .. }
+        )
     }
 }
 
@@ -56,6 +78,13 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Xdr(e) => write!(f, "XDR error: {e}"),
             ProtocolError::Idl(e) => write!(f, "IDL error: {e}"),
             ProtocolError::Frame(m) => write!(f, "frame error: {m}"),
+            ProtocolError::Checksum { expected, got } => write!(
+                f,
+                "checksum mismatch: header promised crc32c {expected:#010x}, payload has {got:#010x}"
+            ),
+            ProtocolError::UnsupportedVersion { got, want } => {
+                write!(f, "unsupported frame version {got} (this peer speaks v{want})")
+            }
             ProtocolError::UnexpectedMessage { expected, got } => {
                 write!(f, "protocol violation: expected {expected}, got {got}")
             }

@@ -45,9 +45,9 @@ pub struct FaultPlan {
     pub delay_prob: f64,
     /// Hold time for delayed messages.
     pub delay: Duration,
-    /// Probability a frame is cut short mid-payload.
+    /// Probability a frame is cut to a nonempty strict prefix.
     pub truncate_prob: f64,
-    /// Probability a frame's magic is corrupted.
+    /// Probability one bit of a frame is flipped in flight.
     pub garble_prob: f64,
     /// RNG seed; identical seeds replay identical fault sequences.
     pub seed: u64,
@@ -75,7 +75,7 @@ pub struct FaultStats {
     pub delayed: u64,
     /// Frames cut short.
     pub truncated: u64,
-    /// Frames with corrupted magic.
+    /// Frames with a flipped bit.
     pub garbled: u64,
     /// Messages forwarded intact (delayed ones count here too).
     pub forwarded: u64,
@@ -91,9 +91,9 @@ pub enum FaultKind {
     Drop,
     /// Held for the plan's delay, then forwarded.
     Delay,
-    /// Frame cut to a strict prefix.
+    /// Frame cut to a nonempty strict prefix.
     Truncate,
-    /// Frame magic corrupted.
+    /// One bit of the frame flipped.
     Garble,
 }
 
@@ -110,12 +110,16 @@ impl FaultKind {
     }
 
     /// Whether this fault puts corrupted bytes on the wire. A truncated
-    /// frame can leave the receiver mid-read so that *later* frames'
-    /// bytes complete it — in a checksum-less protocol the composite can
-    /// even decode, misattributing work — so everything on the stream
-    /// after the first corrupting fault is suspect. Drops and delays
-    /// never corrupt framing: the peer sees either nothing or an intact
-    /// frame.
+    /// frame leaves the receiver mid-read, so *later* frames' bytes
+    /// complete the pending read; under v1's checksum-less framing such a
+    /// composite could even decode as a valid message, misattributing
+    /// work. The v2 payload CRC closed that hole — every corruption now
+    /// surfaces as a typed error and the receiver tears the connection
+    /// down — so this predicate no longer carves calls out of the trace
+    /// invariants; it drives the *stronger* corruption-rejected check
+    /// instead: once a corrupting fault fires on a stream, no later call
+    /// over it may complete successfully. Drops and delays never corrupt
+    /// framing: the peer sees either nothing or an intact frame.
     pub fn corrupts_stream(&self) -> bool {
         matches!(self, FaultKind::Truncate | FaultKind::Garble)
     }
@@ -289,20 +293,26 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 self.inner.send(msg)
             }
             FaultKind::Truncate => {
-                // Connection dies mid-frame: ship only a strict prefix.
+                // Connection dies mid-frame: ship a *nonempty* strict
+                // prefix. An empty prefix would be indistinguishable from
+                // a drop and leave the stream clean at a frame boundary —
+                // truncation must actually poison the stream.
                 self.stats.truncated += 1;
                 let mut frame = Vec::new();
                 write_frame(&mut frame, msg)?;
-                let keep = rng.below(frame.len() as u64) as usize;
+                let keep = 1 + rng.below(frame.len() as u64 - 1) as usize;
                 self.inner.send_raw(&frame[..keep])
             }
             FaultKind::Garble => {
-                // Corruption: flip a bit in the magic so the receiver's framing
-                // layer deterministically rejects the frame.
+                // Corruption: flip one bit anywhere in the frame. Wherever
+                // it lands — magic, version, length, checksum word, or deep
+                // in the payload — the receiver's framing layer must reject
+                // the frame with a typed error; the v2 payload CRC
+                // guarantees this even for payload bits.
                 self.stats.garbled += 1;
                 let mut frame = Vec::new();
                 write_frame(&mut frame, msg)?;
-                let byte = rng.below(4) as usize;
+                let byte = rng.below(frame.len() as u64) as usize;
                 let bit = rng.below(8) as u8;
                 frame[byte] ^= 1 << bit;
                 self.inner.send_raw(&frame)
@@ -385,20 +395,42 @@ mod tests {
     }
 
     #[test]
-    fn garbled_frame_rejected_by_framing() {
-        let (a, mut b) = ChannelTransport::pair();
-        let mut faulty = FaultyTransport::new(
-            a,
-            FaultPlan {
-                garble_prob: 1.0,
-                ..plan()
-            },
-        );
-        faulty.send(&Message::QueryLoad).unwrap();
-        assert_eq!(faulty.stats().garbled, 1);
-        match b.recv().unwrap_err() {
-            ProtocolError::Frame(m) => assert!(m.contains("bad magic"), "got: {m}"),
-            other => panic!("expected frame error, got {other}"),
+    fn garbled_frame_never_decodes() {
+        // A single flipped bit anywhere in the frame — magic, version,
+        // length, checksum word, or payload — must surface as a typed
+        // rejection, never a decoded message. (A length bit flipped upward
+        // leaves the receiver waiting for bytes that never come, which the
+        // deadline converts to a typed timeout.)
+        for seed in 0..64 {
+            let (a, mut b) = ChannelTransport::pair();
+            let mut faulty = FaultyTransport::new(
+                a,
+                FaultPlan {
+                    garble_prob: 1.0,
+                    seed,
+                    ..plan()
+                },
+            );
+            faulty
+                .send(&Message::Invoke {
+                    routine: "ep".into(),
+                    args: vec![crate::Value::DoubleArray(vec![1.5; 8])],
+                    trace: None,
+                })
+                .unwrap();
+            assert_eq!(faulty.stats().garbled, 1);
+            b.set_deadline(Some(Duration::from_millis(50))).unwrap();
+            match b.recv() {
+                Ok(m) => panic!("garbled frame decoded as {} (seed {seed})", m.kind()),
+                Err(
+                    ProtocolError::Frame(_)
+                    | ProtocolError::Checksum { .. }
+                    | ProtocolError::UnsupportedVersion { .. }
+                    | ProtocolError::Io(_)
+                    | ProtocolError::Timeout { .. },
+                ) => {}
+                Err(other) => panic!("untyped rejection {other} (seed {seed})"),
+            }
         }
     }
 

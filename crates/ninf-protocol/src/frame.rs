@@ -1,16 +1,31 @@
-//! Binary framing: every message travels as
-//! `magic (4) | version (4) | payload length (4) | payload (XDR)`.
+//! Binary framing v2: every message travels as
+//! `magic (4) | version (4) | payload length (4) | crc32c (4) | payload (XDR)`.
+//!
+//! The CRC-32C of the payload is verified *before* any decode runs, so bytes
+//! corrupted in flight surface as a typed [`ProtocolError::Checksum`] — they
+//! can never reassemble into a plausibly-decodable message. v1 frames (no
+//! checksum word) are rejected with [`ProtocolError::UnsupportedVersion`];
+//! the payload encoding itself is unchanged from v1, only the header grew.
+//!
+//! On the write side the header and the borrowed payload go out in one
+//! vectored syscall — the multi-megabyte matrix payload is never copied into
+//! a header-prefixed staging buffer.
 
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 
+use crate::crc::crc32c;
 use crate::error::{ProtocolError, ProtocolResult};
 use crate::message::Message;
 
 /// Frame magic: ASCII "NINF".
 pub const FRAME_MAGIC: u32 = 0x4E49_4E46;
 
-/// Protocol version this implementation speaks.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version this implementation speaks. v2 added the payload
+/// CRC-32C word to the header.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Bytes in a v2 frame header.
+pub const FRAME_HEADER_BYTES: usize = 16;
 
 /// Upper bound on a sane frame (a 4096×4096 double matrix plus headers).
 pub const MAX_FRAME_BYTES: u32 = 256 * 1024 * 1024;
@@ -24,19 +39,39 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> ProtocolResult<()> {
             "frame too large: {len} bytes"
         )));
     }
-    let mut header = [0u8; 12];
+    let mut header = [0u8; FRAME_HEADER_BYTES];
     header[0..4].copy_from_slice(&FRAME_MAGIC.to_be_bytes());
     header[4..8].copy_from_slice(&PROTOCOL_VERSION.to_be_bytes());
     header[8..12].copy_from_slice(&len.to_be_bytes());
-    w.write_all(&header)?;
-    w.write_all(&payload)?;
+    header[12..16].copy_from_slice(&crc32c(&payload).to_be_bytes());
+    write_all_vectored(w, &header, &payload)?;
     w.flush()?;
+    Ok(())
+}
+
+/// Write `header` then `payload` with vectored I/O, tracking partial writes
+/// manually (short vectored writes are legal for any `Write` impl).
+fn write_all_vectored<W: Write>(w: &mut W, header: &[u8], payload: &[u8]) -> std::io::Result<()> {
+    let total = header.len() + payload.len();
+    let mut written = 0usize;
+    while written < total {
+        let n = if written < header.len() {
+            let bufs = [IoSlice::new(&header[written..]), IoSlice::new(payload)];
+            w.write_vectored(&bufs)?
+        } else {
+            w.write(&payload[written - header.len()..])?
+        };
+        if n == 0 {
+            return Err(std::io::ErrorKind::WriteZero.into());
+        }
+        written += n;
+    }
     Ok(())
 }
 
 /// Read one framed message (blocking).
 pub fn read_frame<R: Read>(r: &mut R) -> ProtocolResult<Message> {
-    let mut header = [0u8; 12];
+    let mut header = [0u8; FRAME_HEADER_BYTES];
     r.read_exact(&mut header)?;
     let magic = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
     if magic != FRAME_MAGIC {
@@ -44,9 +79,10 @@ pub fn read_frame<R: Read>(r: &mut R) -> ProtocolResult<Message> {
     }
     let version = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
     if version != PROTOCOL_VERSION {
-        return Err(ProtocolError::Frame(format!(
-            "unsupported version {version}"
-        )));
+        return Err(ProtocolError::UnsupportedVersion {
+            got: version,
+            want: PROTOCOL_VERSION,
+        });
     }
     let len = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes"));
     if len > MAX_FRAME_BYTES {
@@ -54,10 +90,12 @@ pub fn read_frame<R: Read>(r: &mut R) -> ProtocolResult<Message> {
             "oversized frame: {len} bytes"
         )));
     }
+    let expected = u32::from_be_bytes(header[12..16].try_into().expect("4 bytes"));
     // Read the payload in capped chunks rather than allocating the full
     // header-claimed length up front: a hostile or corrupted header can
     // claim up to MAX_FRAME_BYTES, and the bytes must actually arrive
-    // before we commit that much memory.
+    // before we commit that much memory. Chunks land at their final offset
+    // in the payload buffer — no reassembly copy.
     let len = len as usize;
     let mut payload = Vec::with_capacity(len.min(PAYLOAD_READ_CHUNK));
     while payload.len() < len {
@@ -65,6 +103,10 @@ pub fn read_frame<R: Read>(r: &mut R) -> ProtocolResult<Message> {
         let start = payload.len();
         payload.resize(start + take, 0);
         r.read_exact(&mut payload[start..])?;
+    }
+    let got = crc32c(&payload);
+    if got != expected {
+        return Err(ProtocolError::Checksum { expected, got });
     }
     Message::decode(&payload)
 }
@@ -123,13 +165,58 @@ mod tests {
     }
 
     #[test]
-    fn bad_version_rejected() {
+    fn bad_version_is_typed() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &Message::QueryLoad).unwrap();
         buf[7] = 99;
         assert!(matches!(
             read_frame(&mut buf.as_slice()),
-            Err(ProtocolError::Frame(_))
+            Err(ProtocolError::UnsupportedVersion {
+                got: 99,
+                want: PROTOCOL_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn v1_frame_rejected_as_unsupported_version() {
+        // A v1 peer sends `magic | 1 | len | payload` with no checksum word.
+        // The version check fires before anything after it is interpreted.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::QueryLoad).unwrap();
+        buf[4..8].copy_from_slice(&1u32.to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtocolError::UnsupportedVersion { got: 1, want: 2 })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let msg = Message::Invoke {
+            routine: "linpack".into(),
+            args: vec![Value::DoubleArray(vec![1.5; 64])],
+            trace: None,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        // Flip one bit deep inside the payload.
+        let target = FRAME_HEADER_BYTES + 40;
+        buf[target] ^= 0x10;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtocolError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_checksum_word_fails_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::QueryLoad).unwrap();
+        buf[13] ^= 0x01;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtocolError::Checksum { .. })
         ));
     }
 
@@ -190,10 +277,54 @@ mod tests {
     }
 
     #[test]
-    fn header_is_twelve_bytes_big_endian() {
+    fn header_is_sixteen_bytes_big_endian() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &Message::QueryLoad).unwrap();
         assert_eq!(&buf[0..4], b"NINF");
-        assert_eq!(&buf[4..8], &[0, 0, 0, 1]);
+        assert_eq!(&buf[4..8], &[0, 0, 0, 2]);
+        let len = u32::from_be_bytes(buf[8..12].try_into().unwrap()) as usize;
+        assert_eq!(buf.len(), FRAME_HEADER_BYTES + len);
+        let crc = u32::from_be_bytes(buf[12..16].try_into().unwrap());
+        assert_eq!(crc, crate::crc::crc32c(&buf[FRAME_HEADER_BYTES..]));
+    }
+
+    /// A writer that accepts at most one byte per call, including vectored
+    /// calls — the worst legal case for partial-write bookkeeping.
+    struct TrickleWriter(Vec<u8>);
+
+    impl Write for TrickleWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.push(buf[0]);
+            Ok(1)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            for b in bufs {
+                if !b.is_empty() {
+                    return self.write(&b[..1]);
+                }
+            }
+            Ok(0)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn partial_vectored_writes_still_frame_correctly() {
+        let msg = Message::Invoke {
+            routine: "trickle".into(),
+            args: vec![Value::DoubleArray(vec![2.5; 17])],
+            trace: None,
+        };
+        let mut trickle = TrickleWriter(Vec::new());
+        write_frame(&mut trickle, &msg).unwrap();
+        let mut direct = Vec::new();
+        write_frame(&mut direct, &msg).unwrap();
+        assert_eq!(trickle.0, direct);
+        assert_eq!(read_frame(&mut trickle.0.as_slice()).unwrap(), msg);
     }
 }

@@ -25,6 +25,8 @@
 //! real TCP ([`transport::TcpTransport`]) and an in-process channel pair
 //! ([`transport::ChannelTransport`]) for tests and benchmarks.
 
+pub mod codec;
+pub mod crc;
 pub mod error;
 pub mod fault;
 pub mod frame;
@@ -33,11 +35,13 @@ pub mod message;
 pub mod transport;
 pub mod value;
 
+pub use codec::Wire;
+pub use crc::crc32c;
 pub use error::{ProtocolError, ProtocolResult};
 pub use fault::{
     fault_schedule, planned_fault, FaultHistory, FaultKind, FaultPlan, FaultStats, FaultyTransport,
 };
-pub use frame::{read_frame, write_frame, FRAME_MAGIC, PROTOCOL_VERSION};
+pub use frame::{read_frame, write_frame, FRAME_HEADER_BYTES, FRAME_MAGIC, PROTOCOL_VERSION};
 pub use marshal::{
     reply_payload_bytes, request_payload_bytes, validate_call_args, validate_results,
 };

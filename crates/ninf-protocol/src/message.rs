@@ -1,10 +1,18 @@
 //! Protocol messages and their XDR codecs.
+//!
+//! The codecs are *generated*: every struct and enum that crosses the wire
+//! declares its layout once through [`crate::codec::impl_wire!`], and the
+//! `Message` enum's whole encode/decode surface comes from one tag table
+//! fed to `impl_message_codec!` at the bottom of this file. The payload
+//! byte layout is unchanged from protocol v1 — only the frame header grew
+//! a checksum word in v2.
 
 use ninf_idl::CompiledInterface;
 use ninf_obs::{Span, TraceContext};
 use ninf_xdr::{XdrDecoder, XdrEncoder};
 
-use crate::error::{ProtocolError, ProtocolResult};
+use crate::codec::{impl_message_codec, impl_wire, Wire};
+use crate::error::ProtocolResult;
 use crate::value::Value;
 
 /// A server load report (consumed by the metaserver, which "keeps track of
@@ -22,6 +30,14 @@ pub struct LoadReport {
     /// CPU utilization percent over the report window.
     pub cpu_utilization: f64,
 }
+
+impl_wire!(struct LoadReport {
+    pes,
+    running,
+    queued,
+    load_average,
+    cpu_utilization,
+});
 
 /// One completed call as reported by the server's statistics sink, carrying
 /// the §4.1 timestamp vocabulary (`T_submit`, `T_enqueue`, `T_dequeue`,
@@ -47,6 +63,17 @@ pub struct CallStat {
     pub t_complete: f64,
 }
 
+impl_wire!(struct CallStat {
+    routine,
+    n,
+    request_bytes,
+    reply_bytes,
+    t_submit,
+    t_enqueue,
+    t_dequeue,
+    t_complete,
+});
+
 impl CallStat {
     /// `T_response = T_enqueue − T_submit`.
     pub fn response(&self) -> f64 {
@@ -67,45 +94,31 @@ impl CallStat {
     pub fn total(&self) -> f64 {
         self.t_complete - self.t_submit
     }
+}
 
-    fn encode_xdr(&self, enc: &mut XdrEncoder) {
-        enc.put_string(&self.routine);
-        match self.n {
-            Some(n) => {
-                enc.put_u32(1);
-                enc.put_i64(n);
-            }
-            None => enc.put_u32(0),
-        }
-        enc.put_u64(self.request_bytes);
-        enc.put_u64(self.reply_bytes);
-        enc.put_f64(self.t_submit);
-        enc.put_f64(self.t_enqueue);
-        enc.put_f64(self.t_dequeue);
-        enc.put_f64(self.t_complete);
+impl_wire!(struct TraceContext {
+    trace_id,
+    span_id,
+    parent_span_id,
+});
+
+impl_wire!(struct Span {
+    trace_id,
+    span_id,
+    parent_span_id,
+    name,
+    process,
+    start_us,
+    dur_us,
+    detail,
+});
+
+impl Wire for CompiledInterface {
+    fn put(&self, enc: &mut XdrEncoder) {
+        self.encode_xdr(enc);
     }
-
-    fn decode_xdr(dec: &mut XdrDecoder<'_>) -> ProtocolResult<Self> {
-        let routine = dec.get_string()?;
-        let n = match dec.get_u32()? {
-            0 => None,
-            1 => Some(dec.get_i64()?),
-            other => {
-                return Err(ProtocolError::Frame(format!(
-                    "bad CallStat n-presence flag {other}"
-                )))
-            }
-        };
-        Ok(CallStat {
-            routine,
-            n,
-            request_bytes: dec.get_u64()?,
-            reply_bytes: dec.get_u64()?,
-            t_submit: dec.get_f64()?,
-            t_enqueue: dec.get_f64()?,
-            t_dequeue: dec.get_f64()?,
-            t_complete: dec.get_f64()?,
-        })
+    fn get(dec: &mut XdrDecoder<'_>) -> ProtocolResult<Self> {
+        Ok(CompiledInterface::decode_xdr(dec)?)
     }
 }
 
@@ -234,56 +247,6 @@ pub enum Message {
     },
 }
 
-fn encode_trace_ctx(enc: &mut XdrEncoder, trace: &Option<TraceContext>) {
-    match trace {
-        Some(ctx) => {
-            enc.put_u32(1);
-            enc.put_u64(ctx.trace_id);
-            enc.put_u64(ctx.span_id);
-            enc.put_u64(ctx.parent_span_id);
-        }
-        None => enc.put_u32(0),
-    }
-}
-
-fn decode_trace_ctx(dec: &mut XdrDecoder<'_>) -> ProtocolResult<Option<TraceContext>> {
-    match dec.get_u32()? {
-        0 => Ok(None),
-        1 => Ok(Some(TraceContext {
-            trace_id: dec.get_u64()?,
-            span_id: dec.get_u64()?,
-            parent_span_id: dec.get_u64()?,
-        })),
-        other => Err(ProtocolError::Frame(format!(
-            "bad trace-context presence flag {other}"
-        ))),
-    }
-}
-
-fn encode_span(enc: &mut XdrEncoder, span: &Span) {
-    enc.put_u64(span.trace_id);
-    enc.put_u64(span.span_id);
-    enc.put_u64(span.parent_span_id);
-    enc.put_string(&span.name);
-    enc.put_string(&span.process);
-    enc.put_u64(span.start_us);
-    enc.put_u64(span.dur_us);
-    enc.put_string(&span.detail);
-}
-
-fn decode_span(dec: &mut XdrDecoder<'_>) -> ProtocolResult<Span> {
-    Ok(Span {
-        trace_id: dec.get_u64()?,
-        span_id: dec.get_u64()?,
-        parent_span_id: dec.get_u64()?,
-        name: dec.get_string()?,
-        process: dec.get_string()?,
-        start_us: dec.get_u64()?,
-        dur_us: dec.get_u64()?,
-        detail: dec.get_string()?,
-    })
-}
-
 /// Lifecycle state of a two-phase job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobPhase {
@@ -297,26 +260,34 @@ pub enum JobPhase {
     Unknown,
 }
 
-impl JobPhase {
-    fn tag(self) -> u32 {
-        match self {
-            JobPhase::Pending => 0,
-            JobPhase::Done => 1,
-            JobPhase::Failed => 2,
-            JobPhase::Unknown => 3,
-        }
-    }
+impl_wire!(unit_enum JobPhase {
+    Pending = 0,
+    Done = 1,
+    Failed = 2,
+    Unknown = 3,
+});
 
-    fn from_tag(t: u32) -> Result<Self, ProtocolError> {
-        Ok(match t {
-            0 => JobPhase::Pending,
-            1 => JobPhase::Done,
-            2 => JobPhase::Failed,
-            3 => JobPhase::Unknown,
-            other => return Err(ProtocolError::Frame(format!("unknown job phase {other}"))),
-        })
+const VTAG_INT: u32 = 0;
+const VTAG_LONG: u32 = 1;
+const VTAG_FLOAT: u32 = 2;
+const VTAG_DOUBLE: u32 = 3;
+const VTAG_INT_ARR: u32 = 4;
+const VTAG_LONG_ARR: u32 = 5;
+const VTAG_FLOAT_ARR: u32 = 6;
+const VTAG_DOUBLE_ARR: u32 = 7;
+
+impl_wire!(
+    enum Value {
+        Int = VTAG_INT,
+        Long = VTAG_LONG,
+        Float = VTAG_FLOAT,
+        Double = VTAG_DOUBLE,
+        IntArray = VTAG_INT_ARR,
+        LongArray = VTAG_LONG_ARR,
+        FloatArray = VTAG_FLOAT_ARR,
+        DoubleArray = VTAG_DOUBLE_ARR,
     }
-}
+);
 
 const TAG_QUERY_INTERFACE: u32 = 1;
 const TAG_INTERFACE_REPLY: u32 = 2;
@@ -339,388 +310,39 @@ const TAG_STATS_REPLY: u32 = 18;
 const TAG_QUERY_TRACE: u32 = 19;
 const TAG_TRACE_REPLY: u32 = 20;
 
-impl Message {
-    /// Short name for diagnostics.
-    pub fn kind(&self) -> &'static str {
-        match self {
-            Message::QueryInterface { .. } => "QueryInterface",
-            Message::InterfaceReply { .. } => "InterfaceReply",
-            Message::Invoke { .. } => "Invoke",
-            Message::ResultData { .. } => "ResultData",
-            Message::Error { .. } => "Error",
-            Message::QueryLoad => "QueryLoad",
-            Message::LoadStatus(_) => "LoadStatus",
-            Message::SubmitJob { .. } => "SubmitJob",
-            Message::JobTicket { .. } => "JobTicket",
-            Message::PollJob { .. } => "PollJob",
-            Message::JobStatus { .. } => "JobStatus",
-            Message::FetchResult { .. } => "FetchResult",
-            Message::ListRoutines => "ListRoutines",
-            Message::RoutineList { .. } => "RoutineList",
-            Message::DbQuery { .. } => "DbQuery",
-            Message::DbReply { .. } => "DbReply",
-            Message::QueryStats { .. } => "QueryStats",
-            Message::StatsReply { .. } => "StatsReply",
-            Message::QueryTrace { .. } => "QueryTrace",
-            Message::TraceReply { .. } => "TraceReply",
-        }
+impl_message_codec! {
+    units {
+        QueryLoad = TAG_QUERY_LOAD,
+        ListRoutines = TAG_LIST_ROUTINES,
     }
-
-    /// Encode to XDR payload bytes (without frame header).
-    pub fn encode(&self) -> bytes::Bytes {
-        let mut enc = XdrEncoder::new();
-        match self {
-            Message::QueryInterface { routine } => {
-                enc.put_u32(TAG_QUERY_INTERFACE);
-                enc.put_string(routine);
-            }
-            Message::InterfaceReply { interface } => {
-                enc.put_u32(TAG_INTERFACE_REPLY);
-                interface.encode_xdr(&mut enc);
-            }
-            Message::Invoke {
-                routine,
-                args,
-                trace,
-            } => {
-                enc.put_u32(TAG_INVOKE);
-                enc.put_string(routine);
-                enc.put_u32(args.len() as u32);
-                for v in args {
-                    encode_tagged_value(&mut enc, v);
-                }
-                encode_trace_ctx(&mut enc, trace);
-            }
-            Message::ResultData { results } => {
-                enc.put_u32(TAG_RESULT_DATA);
-                enc.put_u32(results.len() as u32);
-                for v in results {
-                    encode_tagged_value(&mut enc, v);
-                }
-            }
-            Message::Error { reason } => {
-                enc.put_u32(TAG_ERROR);
-                enc.put_string(reason);
-            }
-            Message::SubmitJob {
-                routine,
-                args,
-                trace,
-            } => {
-                enc.put_u32(TAG_SUBMIT_JOB);
-                enc.put_string(routine);
-                enc.put_u32(args.len() as u32);
-                for v in args {
-                    encode_tagged_value(&mut enc, v);
-                }
-                encode_trace_ctx(&mut enc, trace);
-            }
-            Message::JobTicket { job } => {
-                enc.put_u32(TAG_JOB_TICKET);
-                enc.put_u64(*job);
-            }
-            Message::PollJob { job } => {
-                enc.put_u32(TAG_POLL_JOB);
-                enc.put_u64(*job);
-            }
-            Message::JobStatus { job, state } => {
-                enc.put_u32(TAG_JOB_STATUS);
-                enc.put_u64(*job);
-                enc.put_u32(state.tag());
-            }
-            Message::FetchResult { job } => {
-                enc.put_u32(TAG_FETCH_RESULT);
-                enc.put_u64(*job);
-            }
-            Message::DbQuery { query } => {
-                enc.put_u32(TAG_DB_QUERY);
-                enc.put_string(query);
-            }
-            Message::DbReply {
-                description,
-                values,
-            } => {
-                enc.put_u32(TAG_DB_REPLY);
-                enc.put_string(description);
-                enc.put_u32(values.len() as u32);
-                for v in values {
-                    encode_tagged_value(&mut enc, v);
-                }
-            }
-            Message::ListRoutines => enc.put_u32(TAG_LIST_ROUTINES),
-            Message::RoutineList { routines } => {
-                enc.put_u32(TAG_ROUTINE_LIST);
-                enc.put_u32(routines.len() as u32);
-                for (name, doc) in routines {
-                    enc.put_string(name);
-                    enc.put_string(doc);
-                }
-            }
-            Message::QueryStats { since } => {
-                enc.put_u32(TAG_QUERY_STATS);
-                enc.put_u64(*since);
-            }
-            Message::StatsReply {
-                now,
-                total,
-                records,
-            } => {
-                enc.put_u32(TAG_STATS_REPLY);
-                enc.put_f64(*now);
-                enc.put_u64(*total);
-                enc.put_u32(records.len() as u32);
-                for r in records {
-                    r.encode_xdr(&mut enc);
-                }
-            }
-            Message::QueryTrace { trace_id } => {
-                enc.put_u32(TAG_QUERY_TRACE);
-                enc.put_u64(*trace_id);
-            }
-            Message::TraceReply {
-                process,
-                dropped,
-                spans,
-            } => {
-                enc.put_u32(TAG_TRACE_REPLY);
-                enc.put_string(process);
-                enc.put_u64(*dropped);
-                enc.put_u32(spans.len() as u32);
-                for s in spans {
-                    encode_span(&mut enc, s);
-                }
-            }
-            Message::QueryLoad => enc.put_u32(TAG_QUERY_LOAD),
-            Message::LoadStatus(r) => {
-                enc.put_u32(TAG_LOAD_STATUS);
-                enc.put_u32(r.pes);
-                enc.put_u32(r.running);
-                enc.put_u32(r.queued);
-                enc.put_f64(r.load_average);
-                enc.put_f64(r.cpu_utilization);
-            }
-        }
-        enc.finish()
+    newtypes {
+        LoadStatus = TAG_LOAD_STATUS,
     }
-
-    /// Decode from XDR payload bytes.
-    pub fn decode(payload: &[u8]) -> ProtocolResult<Message> {
-        let mut dec = XdrDecoder::new(payload);
-        let tag = dec.get_u32()?;
-        let msg = match tag {
-            TAG_QUERY_INTERFACE => Message::QueryInterface {
-                routine: dec.get_string()?,
-            },
-            TAG_INTERFACE_REPLY => Message::InterfaceReply {
-                interface: CompiledInterface::decode_xdr(&mut dec)?,
-            },
-            TAG_INVOKE => {
-                let routine = dec.get_string()?;
-                let n = dec.get_u32()? as usize;
-                let mut args = Vec::with_capacity(n.min(256));
-                for _ in 0..n {
-                    args.push(decode_tagged_value(&mut dec)?);
-                }
-                let trace = decode_trace_ctx(&mut dec)?;
-                Message::Invoke {
-                    routine,
-                    args,
-                    trace,
-                }
-            }
-            TAG_RESULT_DATA => {
-                let n = dec.get_u32()? as usize;
-                let mut results = Vec::with_capacity(n.min(256));
-                for _ in 0..n {
-                    results.push(decode_tagged_value(&mut dec)?);
-                }
-                Message::ResultData { results }
-            }
-            TAG_ERROR => Message::Error {
-                reason: dec.get_string()?,
-            },
-            TAG_SUBMIT_JOB => {
-                let routine = dec.get_string()?;
-                let n = dec.get_u32()? as usize;
-                let mut args = Vec::with_capacity(n.min(256));
-                for _ in 0..n {
-                    args.push(decode_tagged_value(&mut dec)?);
-                }
-                let trace = decode_trace_ctx(&mut dec)?;
-                Message::SubmitJob {
-                    routine,
-                    args,
-                    trace,
-                }
-            }
-            TAG_JOB_TICKET => Message::JobTicket {
-                job: dec.get_u64()?,
-            },
-            TAG_POLL_JOB => Message::PollJob {
-                job: dec.get_u64()?,
-            },
-            TAG_JOB_STATUS => Message::JobStatus {
-                job: dec.get_u64()?,
-                state: JobPhase::from_tag(dec.get_u32()?)?,
-            },
-            TAG_FETCH_RESULT => Message::FetchResult {
-                job: dec.get_u64()?,
-            },
-            TAG_DB_QUERY => Message::DbQuery {
-                query: dec.get_string()?,
-            },
-            TAG_DB_REPLY => {
-                let description = dec.get_string()?;
-                let n = dec.get_u32()? as usize;
-                let mut values = Vec::with_capacity(n.min(256));
-                for _ in 0..n {
-                    values.push(decode_tagged_value(&mut dec)?);
-                }
-                Message::DbReply {
-                    description,
-                    values,
-                }
-            }
-            TAG_LIST_ROUTINES => Message::ListRoutines,
-            TAG_ROUTINE_LIST => {
-                let n = dec.get_u32()? as usize;
-                let mut routines = Vec::with_capacity(n.min(256));
-                for _ in 0..n {
-                    routines.push((dec.get_string()?, dec.get_string()?));
-                }
-                Message::RoutineList { routines }
-            }
-            TAG_QUERY_STATS => Message::QueryStats {
-                since: dec.get_u64()?,
-            },
-            TAG_STATS_REPLY => {
-                let now = dec.get_f64()?;
-                let total = dec.get_u64()?;
-                let n = dec.get_u32()? as usize;
-                let mut records = Vec::with_capacity(n.min(256));
-                for _ in 0..n {
-                    records.push(CallStat::decode_xdr(&mut dec)?);
-                }
-                Message::StatsReply {
-                    now,
-                    total,
-                    records,
-                }
-            }
-            TAG_QUERY_TRACE => Message::QueryTrace {
-                trace_id: dec.get_u64()?,
-            },
-            TAG_TRACE_REPLY => {
-                let process = dec.get_string()?;
-                let dropped = dec.get_u64()?;
-                let n = dec.get_u32()? as usize;
-                let mut spans = Vec::with_capacity(n.min(256));
-                for _ in 0..n {
-                    spans.push(decode_span(&mut dec)?);
-                }
-                Message::TraceReply {
-                    process,
-                    dropped,
-                    spans,
-                }
-            }
-            TAG_QUERY_LOAD => Message::QueryLoad,
-            TAG_LOAD_STATUS => Message::LoadStatus(LoadReport {
-                pes: dec.get_u32()?,
-                running: dec.get_u32()?,
-                queued: dec.get_u32()?,
-                load_average: dec.get_f64()?,
-                cpu_utilization: dec.get_f64()?,
-            }),
-            other => return Err(ProtocolError::Frame(format!("unknown message tag {other}"))),
-        };
-        if !dec.is_empty() {
-            return Err(ProtocolError::Frame(format!(
-                "{} trailing bytes after {}",
-                dec.remaining(),
-                msg.kind()
-            )));
-        }
-        Ok(msg)
+    structs {
+        QueryInterface = TAG_QUERY_INTERFACE => { routine },
+        InterfaceReply = TAG_INTERFACE_REPLY => { interface },
+        Invoke = TAG_INVOKE => { routine, args, trace },
+        ResultData = TAG_RESULT_DATA => { results },
+        Error = TAG_ERROR => { reason },
+        SubmitJob = TAG_SUBMIT_JOB => { routine, args, trace },
+        JobTicket = TAG_JOB_TICKET => { job },
+        PollJob = TAG_POLL_JOB => { job },
+        JobStatus = TAG_JOB_STATUS => { job, state },
+        FetchResult = TAG_FETCH_RESULT => { job },
+        RoutineList = TAG_ROUTINE_LIST => { routines },
+        DbQuery = TAG_DB_QUERY => { query },
+        DbReply = TAG_DB_REPLY => { description, values },
+        QueryStats = TAG_QUERY_STATS => { since },
+        StatsReply = TAG_STATS_REPLY => { now, total, records },
+        QueryTrace = TAG_QUERY_TRACE => { trace_id },
+        TraceReply = TAG_TRACE_REPLY => { process, dropped, spans },
     }
-}
-
-const VTAG_INT: u32 = 0;
-const VTAG_LONG: u32 = 1;
-const VTAG_FLOAT: u32 = 2;
-const VTAG_DOUBLE: u32 = 3;
-const VTAG_INT_ARR: u32 = 4;
-const VTAG_LONG_ARR: u32 = 5;
-const VTAG_FLOAT_ARR: u32 = 6;
-const VTAG_DOUBLE_ARR: u32 = 7;
-
-fn encode_tagged_value(enc: &mut XdrEncoder, v: &Value) {
-    match v {
-        Value::Int(x) => {
-            enc.put_u32(VTAG_INT);
-            enc.put_i32(*x);
-        }
-        Value::Long(x) => {
-            enc.put_u32(VTAG_LONG);
-            enc.put_i64(*x);
-        }
-        Value::Float(x) => {
-            enc.put_u32(VTAG_FLOAT);
-            enc.put_f32(*x);
-        }
-        Value::Double(x) => {
-            enc.put_u32(VTAG_DOUBLE);
-            enc.put_f64(*x);
-        }
-        Value::IntArray(x) => {
-            enc.put_u32(VTAG_INT_ARR);
-            enc.put_i32_array(x);
-        }
-        Value::LongArray(x) => {
-            enc.put_u32(VTAG_LONG_ARR);
-            enc.put_u32(x.len() as u32);
-            for &e in x {
-                enc.put_i64(e);
-            }
-        }
-        Value::FloatArray(x) => {
-            enc.put_u32(VTAG_FLOAT_ARR);
-            enc.put_f32_array(x);
-        }
-        Value::DoubleArray(x) => {
-            enc.put_u32(VTAG_DOUBLE_ARR);
-            enc.put_f64_array(x);
-        }
-    }
-}
-
-fn decode_tagged_value(dec: &mut XdrDecoder<'_>) -> ProtocolResult<Value> {
-    Ok(match dec.get_u32()? {
-        VTAG_INT => Value::Int(dec.get_i32()?),
-        VTAG_LONG => Value::Long(dec.get_i64()?),
-        VTAG_FLOAT => Value::Float(dec.get_f32()?),
-        VTAG_DOUBLE => Value::Double(dec.get_f64()?),
-        VTAG_INT_ARR => Value::IntArray(dec.get_i32_array()?),
-        VTAG_LONG_ARR => {
-            let n = dec.get_u32()? as usize;
-            if n.checked_mul(8).is_none_or(|b| b > dec.remaining()) {
-                return Err(ProtocolError::Frame("long array overruns frame".into()));
-            }
-            let mut v = Vec::with_capacity(n);
-            for _ in 0..n {
-                v.push(dec.get_i64()?);
-            }
-            Value::LongArray(v)
-        }
-        VTAG_FLOAT_ARR => Value::FloatArray(dec.get_f32_array()?),
-        VTAG_DOUBLE_ARR => Value::DoubleArray(dec.get_f64_array()?),
-        t => return Err(ProtocolError::Frame(format!("unknown value tag {t}"))),
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ProtocolError;
 
     fn roundtrip(m: Message) {
         let wire = m.encode();
@@ -810,8 +432,67 @@ mod tests {
     }
 
     #[test]
+    fn trailing_garbage_after_nontrivial_message_rejected() {
+        // Regression: a frame whose payload parses as a complete message but
+        // is not fully consumed must be rejected — valid-prefix corruption
+        // is the residual hole even a payload CRC cannot catch once the
+        // prefix itself checksums clean (e.g. a resynchronized stream).
+        let msgs = [
+            Message::Invoke {
+                routine: "linpack".into(),
+                args: vec![Value::Int(600), Value::DoubleArray(vec![0.5; 16])],
+                trace: Some(TraceContext {
+                    trace_id: 9,
+                    span_id: 3,
+                    parent_span_id: 1,
+                }),
+            },
+            Message::ResultData {
+                results: vec![Value::IntArray(vec![1, 2, 3])],
+            },
+            Message::StatsReply {
+                now: 1.0,
+                total: 0,
+                records: vec![],
+            },
+        ];
+        for msg in msgs {
+            let mut wire = msg.encode().to_vec();
+            wire.extend_from_slice(&7u32.to_be_bytes());
+            match Message::decode(&wire) {
+                Err(ProtocolError::Frame(m)) => {
+                    assert!(m.contains("trailing"), "unexpected message: {m}")
+                }
+                other => panic!("expected trailing-bytes rejection, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn empty_payload_rejected() {
         assert!(Message::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn payload_encoding_is_v1_compatible() {
+        // Golden bytes pinning the payload layout across the codec rewrite:
+        // tag 3 (Invoke), "ep", one arg (VTAG_INT 24), absent trace.
+        let msg = Message::Invoke {
+            routine: "ep".into(),
+            args: vec![Value::Int(24)],
+            trace: None,
+        };
+        let expected: Vec<u8> = [
+            &3u32.to_be_bytes()[..],  // TAG_INVOKE
+            &2u32.to_be_bytes()[..],  // strlen("ep")
+            b"ep\0\0",                // padded routine name
+            &1u32.to_be_bytes()[..],  // argc
+            &0u32.to_be_bytes()[..],  // VTAG_INT
+            &24i32.to_be_bytes()[..], // the scalar
+            &0u32.to_be_bytes()[..],  // trace absent
+        ]
+        .concat();
+        assert_eq!(&msg.encode()[..], &expected[..]);
     }
 
     #[test]
@@ -1013,5 +694,22 @@ mod tests {
             Message::decode(&enc.finish()),
             Err(ProtocolError::Frame(_))
         ));
+    }
+
+    #[test]
+    fn message_tag_matches_decode_table() {
+        // tag() is generated from the same table as decode; a fresh decode
+        // of each encoded message must agree on the leading word.
+        let msgs = [
+            Message::QueryLoad,
+            Message::ListRoutines,
+            Message::JobTicket { job: 1 },
+            Message::QueryStats { since: 0 },
+        ];
+        for m in msgs {
+            let wire = m.encode();
+            let mut dec = ninf_xdr::XdrDecoder::new(&wire);
+            assert_eq!(dec.get_u32().unwrap(), m.tag(), "{}", m.kind());
+        }
     }
 }

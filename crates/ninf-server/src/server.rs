@@ -51,6 +51,7 @@ pub struct ServerMetrics {
     registry: Arc<MetricsRegistry>,
     calls: Counter,
     errors: Counter,
+    rejected_frames: Counter,
     latency: Arc<parking_lot::Mutex<LogHistogram>>,
     running: Gauge,
     queued: Gauge,
@@ -67,6 +68,10 @@ impl ServerMetrics {
             "ninf_server_errors_total",
             "Ninf_call invocations that returned an error",
         );
+        let rejected_frames = registry.counter(
+            "ninf_server_rejected_frames_total",
+            "inbound frames rejected before decode (bad magic/version/checksum)",
+        );
         let latency = registry.histogram(
             "ninf_server_call_seconds",
             "server-side Ninf_call time from submit to complete",
@@ -77,6 +82,7 @@ impl ServerMetrics {
             registry,
             calls,
             errors,
+            rejected_frames,
             latency,
             running,
             queued,
@@ -244,7 +250,21 @@ fn serve_connection(
             Ok(m) => m,
             // Normal client hang-up between calls.
             Err(ProtocolError::Io(_)) | Err(ProtocolError::Disconnected) => return Ok(()),
-            Err(e) => return Err(e),
+            // Anything else means the wire carried a frame this server
+            // must not act on — bad magic, wrong version, checksum
+            // mismatch, malformed payload. Count it, say why, and tear
+            // the connection down: the stream is desynchronized.
+            Err(e) => {
+                metrics.rejected_frames.inc();
+                logkv!(
+                    Level::Warn,
+                    "server",
+                    "frame_rejected",
+                    peer = peer,
+                    why = e
+                );
+                return Err(e);
+            }
         };
         match msg {
             Message::QueryInterface { routine } => match registry.lookup(&routine) {

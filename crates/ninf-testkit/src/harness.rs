@@ -25,8 +25,8 @@ use ninf_server::{
 };
 
 use crate::invariants::{
-    conservation, exactly_once, monotone_cursors, quarantine_legal, traces_connected,
-    tx_exactly_once, CallRecord, Check, StatsPoll,
+    conservation, corruption_rejected, exactly_once, monotone_cursors, quarantine_legal,
+    traces_connected, tx_exactly_once, CallRecord, Check, StatsPoll,
 };
 use crate::spec::{fnv1a, ChaosSpec};
 
@@ -122,9 +122,12 @@ fn classify(err: &ProtocolError) -> Outcome {
 }
 
 /// One client leg: wrap a live TCP connection in the seeded fault
-/// injector and issue every planned call, recording typed outcomes and
-/// the trace ids of calls that succeeded over a still-uncorrupted stream
-/// (trace attribution is unverifiable past the first truncate/garble).
+/// injector and issue every planned call, recording typed outcomes, the
+/// trace ids of every successful call, and whether the stream had been
+/// corrupted (truncate/garble) by the time each call returned. With v2
+/// checksummed framing an `Ok` means the peer decoded genuine bytes, so
+/// trace attribution is claimed unconditionally — and any `Ok` after a
+/// corrupting fault is itself an invariant violation.
 fn drive_client(
     spec: &ChaosSpec,
     addr: &str,
@@ -143,6 +146,7 @@ fn drive_client(
                     client,
                     seq,
                     outcome: Outcome::Transport,
+                    tainted: false,
                 });
             }
             return (records, trace_ids);
@@ -157,24 +161,25 @@ fn drive_client(
                 client,
                 seq,
                 outcome: Outcome::Transport,
+                tainted: false,
             });
         }
         return (records, trace_ids);
     }
+    let mut tainted = false;
     for seq in 0..planned {
         let routine = spec.workload.pick_routine(seed, client, seq);
-        let outcome = match c.ninf_call(routine.name(), &args_for(routine)) {
+        let result = c.ninf_call(routine.name(), &args_for(routine));
+        // The fault log now covers every send this call performed, so the
+        // taint flag reflects the stream state at the moment the outcome
+        // was decided. Taint is sticky: the client never reconnects.
+        tainted = tainted || fault_log.snapshot().iter().any(FaultKind::corrupts_stream);
+        let outcome = match result {
             Ok(_) => {
-                // Trace attribution is only claimed while the stream is
-                // clean: once a truncate/garble has put corrupted bytes on
-                // the wire, a later frame's bytes can complete a pending
-                // read and the checksum-less composite may even decode, so
-                // the server may file this call's work under a mangled
-                // trace id. Such calls stay in the conservation ledger but
-                // leave the trace-connectedness claim.
-                if !fault_log.snapshot().iter().any(FaultKind::corrupts_stream) {
-                    trace_ids.push(c.last_trace_id());
-                }
+                // The payload CRC means a decoded reply is a genuine
+                // reply: claim trace attribution for every success, with
+                // no corrupted-stream carve-out.
+                trace_ids.push(c.last_trace_id());
                 Outcome::Ok
             }
             Err(e) => classify(&e),
@@ -183,6 +188,7 @@ fn drive_client(
             client,
             seq,
             outcome,
+            tainted,
         });
     }
     (records, trace_ids)
@@ -345,6 +351,7 @@ pub fn run_chaos(spec: &ChaosSpec, seed: u64, inject: Inject) -> ProtocolResult<
     let mut checks = vec![
         conservation(&records, &planned),
         exactly_once(&records, &planned),
+        corruption_rejected(&records),
         monotone_cursors(&stats_polls),
         traces_connected(&snapshot, &trace_ids, NESTING_SLACK_US),
     ];

@@ -58,6 +58,9 @@ pub struct CallRecord {
     pub seq: usize,
     /// Typed outcome.
     pub outcome: Outcome,
+    /// Whether a stream-corrupting fault (truncate/garble) had fired on
+    /// this client's connection by the time the call returned.
+    pub tainted: bool,
 }
 
 /// Exactly-once completion: every planned `(client, seq)` has exactly one
@@ -166,6 +169,32 @@ pub fn monotone_cursors(per_server: &[Vec<StatsPoll>]) -> Check {
                     ),
                 );
             }
+        }
+    }
+    Check::pass(NAME)
+}
+
+/// Corruption rejection: once a truncate/garble fault has fired on a
+/// client's stream, no later call over that stream may complete
+/// successfully. Each chaos client drives all its calls over one
+/// connection and never reconnects; v2 framing checksums every payload,
+/// so the receiver rejects the corrupted frame with a typed error and
+/// tears the connection down — a subsequent `Ok` would mean a corrupted
+/// or misattributed frame decoded. Under v1's checksum-less framing this
+/// could genuinely happen (composite frames from interleaved truncation),
+/// which is why trace claims used to carve those calls out; the CRC made
+/// the stronger claim checkable.
+pub fn corruption_rejected(records: &[CallRecord]) -> Check {
+    const NAME: &str = "corruption-rejected";
+    for r in records {
+        if r.tainted && r.outcome == Outcome::Ok {
+            return Check::fail(
+                NAME,
+                format!(
+                    "call (client {}, seq {}) succeeded on a corrupted stream",
+                    r.client, r.seq
+                ),
+            );
         }
     }
     Check::pass(NAME)
@@ -305,6 +334,7 @@ mod tests {
             client,
             seq,
             outcome,
+            tainted: false,
         }
     }
 
@@ -324,6 +354,31 @@ mod tests {
         assert!(c.detail.contains("2 times"));
         let hole = vec![rec(0, 0, Outcome::Ok), rec(1, 0, Outcome::Ok)];
         assert!(!exactly_once(&hole, &planned).pass);
+    }
+
+    #[test]
+    fn corruption_rejected_flags_ok_on_tainted_stream() {
+        let clean = vec![
+            rec(0, 0, Outcome::Ok),
+            CallRecord {
+                tainted: true,
+                ..rec(0, 1, Outcome::Transport)
+            },
+            CallRecord {
+                tainted: true,
+                ..rec(0, 2, Outcome::Timeout)
+            },
+        ];
+        assert!(corruption_rejected(&clean).pass);
+        let mut bad = clean.clone();
+        bad.push(CallRecord {
+            tainted: true,
+            ..rec(0, 3, Outcome::Ok)
+        });
+        let c = corruption_rejected(&bad);
+        assert!(!c.pass);
+        assert!(c.detail.contains("seq 3"));
+        assert!(c.detail.contains("corrupted stream"));
     }
 
     #[test]

@@ -12,10 +12,14 @@
 //! - **conservation** — calls issued == ok + remote + timeout + transport;
 //! - **exactly-once** — every planned call has exactly one completion
 //!   record (and every transaction call one slot write) under retries;
+//! - **corruption-rejected** — once a truncate/garble fault fires on a
+//!   client's stream, checksummed v2 framing guarantees no later call
+//!   over that stream succeeds;
 //! - **monotone-cursors** — `QueryStats` clocks and totals never regress,
 //!   and cursor-driven fetches deliver each record exactly once;
 //! - **trace-connected** — every successful call's trace forms one
-//!   well-nested client+server tree in the flight recorder;
+//!   well-nested client+server tree in the flight recorder, with no
+//!   corrupted-stream carve-out;
 //! - **quarantine-legal** — the directory's health-event log replays
 //!   legally: quarantine only at the threshold, reinstatement only after
 //!   a success.
@@ -39,5 +43,5 @@ pub mod spec;
 
 pub use differential::{live_vs_sim, DiffReport, ShapePoint, DEFAULT_TOLERANCE};
 pub use harness::{run_chaos, ChaosRun, Inject};
-pub use invariants::{Check, StatsPoll};
+pub use invariants::{CallRecord, Check, StatsPoll};
 pub use spec::{chaos, chaos_names, ChaosSpec};

@@ -175,11 +175,12 @@ pub fn chaos(name: &str) -> Option<ChaosSpec> {
             dead_servers: 0,
             tx_calls: 0,
         }),
-        // On-the-wire corruption: the server's framing layer must reject
-        // the frame and the client must see a typed error, never garbage.
+        // On-the-wire corruption: the payload CRC must reject every
+        // truncated/garbled frame with a typed error — zero frames decode
+        // after corruption, and no call on a corrupted stream succeeds.
         "corrupt" => Some(ChaosSpec {
             name: "corrupt",
-            about: "seeded frame truncation/garbling; every outcome stays a typed error",
+            about: "seeded frame truncation/garbling; checksummed framing rejects every one",
             clients: 3,
             workload: ep_workload(8, 600),
             faults: FaultPlan {

@@ -148,16 +148,23 @@ impl<'a> XdrDecoder<'a> {
     }
 
     /// Read `n` doubles back-to-back (fixed array, no length word).
+    ///
+    /// The byte swap runs through the bulk kernel straight from the wire
+    /// slice into the result `Vec`'s spare capacity, so elements land in
+    /// their final buffer with no per-element bounds checks and no
+    /// intermediate copy.
     pub fn get_f64_slice(&mut self, n: usize) -> XdrResult<Vec<f64>> {
         let bytes = self.take(n.checked_mul(8).ok_or(XdrError::LengthOverflow {
             requested: n,
             remaining: self.remaining(),
         })?)?;
-        let mut out = Vec::with_capacity(n);
-        for chunk in bytes.chunks_exact(8) {
-            let mut arr = [0u8; 8];
-            arr.copy_from_slice(chunk);
-            out.push(f64::from_be_bytes(arr));
+        let mut out = Vec::<f64>::with_capacity(n);
+        // SAFETY: `bytes` holds exactly n * 8 readable bytes, `out` owns
+        // n * 8 writable bytes of spare capacity (fully written by the
+        // kernel), and the buffers are disjoint.
+        unsafe {
+            crate::swap::be_words64(bytes.as_ptr(), out.as_mut_ptr().cast(), n * 8);
+            out.set_len(n);
         }
         Ok(out)
     }
@@ -173,9 +180,34 @@ impl<'a> XdrDecoder<'a> {
                 remaining: self.remaining(),
             });
         }
+        let bytes = self.take(n * 4)?;
         let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.get_i32()?);
+        out.extend(bytes.chunks_exact(4).map(|c| {
+            let mut arr = [0u8; 4];
+            arr.copy_from_slice(c);
+            i32::from_be_bytes(arr)
+        }));
+        Ok(out)
+    }
+
+    /// Read a variable-length array of 64-bit signed integers.
+    pub fn get_i64_array(&mut self) -> XdrResult<Vec<i64>> {
+        let n = self.get_u32()? as usize;
+        if n.checked_mul(8)
+            .is_none_or(|bytes| bytes > self.remaining())
+        {
+            return Err(XdrError::LengthOverflow {
+                requested: n,
+                remaining: self.remaining(),
+            });
+        }
+        let bytes = self.take(n * 8)?;
+        let mut out = Vec::<i64>::with_capacity(n);
+        // SAFETY: same contract as `get_f64_slice` — n * 8 readable bytes
+        // in, n * 8 bytes of disjoint spare capacity out, fully written.
+        unsafe {
+            crate::swap::be_words64(bytes.as_ptr(), out.as_mut_ptr().cast(), n * 8);
+            out.set_len(n);
         }
         Ok(out)
     }
@@ -191,10 +223,13 @@ impl<'a> XdrDecoder<'a> {
                 remaining: self.remaining(),
             });
         }
+        let bytes = self.take(n * 4)?;
         let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.get_f32()?);
-        }
+        out.extend(bytes.chunks_exact(4).map(|c| {
+            let mut arr = [0u8; 4];
+            arr.copy_from_slice(c);
+            f32::from_be_bytes(arr)
+        }));
         Ok(out)
     }
 }
@@ -309,6 +344,40 @@ mod tests {
         let mut dec = XdrDecoder::new(&wire);
         assert_eq!(dec.get_opaque_fixed(5).unwrap(), &[1, 2, 3, 4, 5]);
         assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn large_array_roundtrips_across_chunk_boundaries() {
+        // Sizes straddling the encoder's byteswap chunk (256 elements).
+        for n in [0usize, 1, 255, 256, 257, 1024, 1000] {
+            let data: Vec<f64> = (0..n).map(|i| i as f64 * 1.5 - 7.0).collect();
+            let mut enc = XdrEncoder::new();
+            enc.put_f64_array(&data);
+            let wire = enc.finish();
+            let mut dec = XdrDecoder::new(&wire);
+            assert_eq!(dec.get_f64_array().unwrap(), data);
+            assert!(dec.is_empty());
+        }
+    }
+
+    #[test]
+    fn i64_array_roundtrips_and_rejects_hostile_length() {
+        let data: Vec<i64> = (0..300).map(|i| (i as i64 - 150) << 32).collect();
+        let mut enc = XdrEncoder::new();
+        enc.put_i64_array(&data);
+        let wire = enc.finish();
+        let mut dec = XdrDecoder::new(&wire);
+        assert_eq!(dec.get_i64_array().unwrap(), data);
+        assert!(dec.is_empty());
+
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(u32::MAX);
+        let wire = enc.finish();
+        let mut dec = XdrDecoder::new(&wire);
+        assert!(matches!(
+            dec.get_i64_array(),
+            Err(XdrError::LengthOverflow { .. })
+        ));
     }
 
     #[test]

@@ -36,7 +36,9 @@
 mod decode;
 mod encode;
 mod error;
+mod swap;
 
+pub use bytes::Bytes;
 pub use decode::XdrDecoder;
 pub use encode::XdrEncoder;
 pub use error::{XdrError, XdrResult};

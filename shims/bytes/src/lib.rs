@@ -11,9 +11,15 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// Cheaply cloneable immutable byte buffer.
+///
+/// Backed by `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that
+/// [`BytesMut::freeze`] / `From<Vec<u8>>` really are zero-copy: converting
+/// a `Vec` into an `Arc<[u8]>` would have to reallocate to place the
+/// refcount header inline, silently re-copying every frozen buffer —
+/// megabytes per matrix frame on the RPC hot path.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
@@ -25,7 +31,7 @@ impl Bytes {
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(data),
+            data: Arc::new(data.to_vec()),
         }
     }
 
@@ -60,9 +66,7 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes {
-            data: Arc::from(v.into_boxed_slice()),
-        }
+        Bytes { data: Arc::new(v) }
     }
 }
 

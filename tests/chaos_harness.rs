@@ -60,6 +60,32 @@ fn injected_duplicate_completion_is_caught_deterministically() {
     );
 }
 
+/// Corruption sweep: 100 consecutive seeds of the `corrupt` scenario
+/// (seeded frame truncation + garbling). With checksummed v2 framing every
+/// injected corruption must surface as a typed error — zero frames decode
+/// after a truncate/garble, no call on a corrupted stream succeeds
+/// (`corruption-rejected`), and trace connectedness holds for every `Ok`
+/// with no corrupted-stream carve-out (`trace-connected`).
+#[test]
+fn corrupt_scenario_rejects_every_corruption_over_100_seeds() {
+    let spec = chaos("corrupt").expect("scenario exists");
+    for seed in 3000..3100u64 {
+        let run = run_chaos(&spec, seed, Inject::None)
+            .unwrap_or_else(|e| panic!("corrupt seed {seed} failed to run: {e}"));
+        assert!(
+            run.pass(),
+            "corrupt seed {seed} violated an invariant:\n{}",
+            run.transcript
+        );
+        for name in ["corruption-rejected", "trace-connected"] {
+            assert!(
+                run.checks.iter().any(|c| c.name == name && c.pass),
+                "corrupt seed {seed}: check {name} missing from transcript"
+            );
+        }
+    }
+}
+
 /// Flake sweep: 100 consecutive seeds of the fault-tolerant metaserver
 /// scenario all complete with conserved outcomes and no panics. Any seed
 /// that fails here is a ready-made reproducer.
