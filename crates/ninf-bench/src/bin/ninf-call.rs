@@ -13,18 +13,23 @@
 //!
 //! `--deadline` bounds every connect/read/write on the wire; a server that
 //! accepts but never replies then fails with a typed timeout instead of
-//! hanging the call. `--retries` re-dials the server with exponential
-//! backoff on retryable (non-remote) errors. `--json` (for `ep` and
-//! `linpack`) emits the call's timing decomposition — connect, interface
-//! fetch, marshal, server wall time, transfer, total — as one JSON object
-//! on stdout instead of prose; the server-side wall time is joined from the
-//! server's own §4.1 stats via `QueryStats`.
+//! hanging the call. `--retries` re-checks-out with exponential backoff on
+//! retryable (non-remote) errors. Connections come from the process-wide
+//! multiplexed stream pool — every command in one invocation shares a
+//! single connection to the server rather than dialing per call. `--json`
+//! (for `ep` and `linpack`) emits the call's timing decomposition —
+//! connect, interface fetch, marshal, server wall time, transfer, total —
+//! plus `stream_reused` (whether the measured call rode an already-open
+//! pooled stream) as one JSON object on stdout instead of prose; the
+//! server-side wall time is joined from the server's own §4.1 stats via
+//! `QueryStats`.
 
 use std::time::Duration;
 
 use ninf_bench::cli::{parse_args, CliError};
 use ninf_client::{CallOptions, CallTiming, NinfClient};
 use ninf_protocol::Value;
+use ninf_reactor::global_pool;
 
 fn main() {
     let parsed = match parse_args(
@@ -179,6 +184,9 @@ struct TimedCall {
     /// Server-observed wall time of this call (`T_complete − T_submit` on
     /// the server clock), when the stats join succeeded.
     server_wall: Option<f64>,
+    /// Whether the measured call's checkout reused an already-open pooled
+    /// stream.
+    stream_reused: bool,
     bytes_sent: usize,
     bytes_received: usize,
 }
@@ -192,18 +200,22 @@ impl TimedCall {
     }
 }
 
-/// Dial, mark the server's stats cursor, issue the call, and join the
-/// server-side record for it.
+/// Mark the server's stats cursor on one pooled checkout, issue the call
+/// on another (which reuses the stream the cursor client dialed), and join
+/// the server-side record for it.
 fn timed_call(addr: &str, options: CallOptions, routine: &str, args: Vec<Value>) -> TimedCall {
+    // The cursor client's checkout dials the pooled stream; the measured
+    // call below then checks the same stream out again — a pool hit.
+    let mut stats = connect(addr, options);
+    let cursor = stats.query_stats(u64::MAX).map(|(_, total, _)| total).ok();
     let t0 = std::time::Instant::now();
     let mut client = connect(addr, options);
     let connect = t0.elapsed().as_secs_f64();
-    // Everything already recorded on the server is before our call.
-    let cursor = client.query_stats(u64::MAX).map(|(_, total, _)| total).ok();
+    let stream_reused = client.stream_reused();
     let result = client.ninf_call(routine, &args);
     let timing = client.last_timing().unwrap_or_default();
     let server_wall = cursor.and_then(|since| {
-        let (_, _, records) = client.query_stats(since).ok()?;
+        let (_, _, records) = stats.query_stats(since).ok()?;
         records
             .iter()
             .rev()
@@ -215,6 +227,7 @@ fn timed_call(addr: &str, options: CallOptions, routine: &str, args: Vec<Value>)
         connect,
         timing,
         server_wall,
+        stream_reused,
         bytes_sent: client.bytes_sent(),
         bytes_received: client.bytes_received(),
     }
@@ -252,6 +265,10 @@ fn print_json(routine: &str, n: i64, flops: Option<u64>, timed: &TimedCall) {
         doc.insert("error".into(), serde_json::json!(e.to_string()));
     }
     doc.insert("timings".into(), serde_json::Value::Object(timings));
+    doc.insert(
+        "stream_reused".into(),
+        serde_json::json!(timed.stream_reused),
+    );
     doc.insert("attempts".into(), serde_json::json!(t.attempts));
     doc.insert(
         "request_bytes".into(),
@@ -276,10 +293,12 @@ fn print_json(routine: &str, n: i64, flops: Option<u64>, timed: &TimedCall) {
     }
 }
 
+/// Check a pooled client out of the process-wide stream pool (dialing only
+/// when no live stream to `addr` exists yet).
 fn connect(addr: &str, options: CallOptions) -> NinfClient {
     let mut attempt = 0u32;
     loop {
-        match NinfClient::connect_with(addr, options) {
+        match NinfClient::connect_pooled(addr, options, global_pool().clone()) {
             Ok(client) => return client,
             Err(e) if attempt < options.retries && e.is_retryable() => {
                 std::thread::sleep(options.backoff_delay(attempt, 0));

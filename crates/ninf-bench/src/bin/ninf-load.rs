@@ -3,6 +3,7 @@
 //! ```text
 //! ninf-load --scenario <name> [--clients <list>] [--seed <u64>]
 //!           [--json <path>] [--csv <dir>] [--addr <host:port>]
+//!           [--server-core reactor|threaded]
 //!           [--trace] [--trace-out <path>]
 //!           [--compare-sim] [--assert-zero-errors] [--list]
 //!
@@ -29,6 +30,7 @@ use std::io::Write as _;
 
 use ninf_bench::cli::{parse_args, parse_list, CliError};
 use ninf_loadgen::{run_scenario, scenario, scenario_names, RunReport, Target};
+use ninf_server::ServerCore;
 
 fn main() {
     let parsed = match parse_args(
@@ -40,6 +42,7 @@ fn main() {
             "--json",
             "--csv",
             "--addr",
+            "--server-core",
             "--trace-out",
         ],
         &["--list", "--compare-sim", "--assert-zero-errors", "--trace"],
@@ -67,6 +70,17 @@ fn main() {
         scenario(name).unwrap_or_else(|| usage(&format!("unknown scenario `{name}` (try --list)")));
     if let Some(addr) = parsed.value("--addr") {
         sc.target = Target::External(addr.to_string());
+    }
+    if let Some(which) = parsed.value("--server-core") {
+        let core = match which {
+            "reactor" => ServerCore::default(),
+            "threaded" => ServerCore::ThreadPerConnection,
+            _ => usage("--server-core is reactor or threaded"),
+        };
+        match &mut sc.target {
+            Target::Spawn { core: c, .. } => *c = core,
+            _ => usage("--server-core only applies to scenarios that spawn one server"),
+        }
     }
     let clients: Vec<usize> = match parsed.value("--clients") {
         Some(raw) => match parse_list(raw, "--clients") {
@@ -341,6 +355,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: ninf-load --scenario <name> [--clients <list>] [--seed <u64>]\n\
         \x20                [--json <path>] [--csv <dir>] [--addr <host:port>]\n\
+        \x20                [--server-core reactor|threaded]\n\
         \x20                [--trace] [--trace-out <path>]\n\
         \x20                [--compare-sim] [--assert-zero-errors] [--list]\n\
          scenarios: {}",

@@ -142,6 +142,7 @@ fn demo(args: &[String]) {
                 pes: 2,
                 mode: ExecMode::TaskParallel,
                 policy: SchedPolicy::Fcfs,
+                core: Default::default(),
             },
         )
         .expect("start in-process server");

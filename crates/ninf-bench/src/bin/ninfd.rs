@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! ninfd [--addr 0.0.0.0:5656] [--pes 4] [--mode task|data] \
-//!       [--policy fcfs|sjf|fpfs|fpmpfs] [--db-addr 0.0.0.0:5657] \
+//!       [--policy fcfs|sjf|fpfs|fpmpfs] [--core reactor|threaded] \
+//!       [--workers N] [--db-addr 0.0.0.0:5657] \
 //!       [--trace] [--metrics-addr 0.0.0.0:9156]
 //! ```
 //!
@@ -15,7 +16,7 @@
 //! metrics registry as Prometheus text on a plain-TCP HTTP endpoint.
 
 use ninf_server::{
-    builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig,
+    builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig, ServerCore,
 };
 
 fn main() {
@@ -24,6 +25,8 @@ fn main() {
     let mut pes = 4usize;
     let mut mode = ExecMode::TaskParallel;
     let mut policy = SchedPolicy::Fcfs;
+    let mut threaded_core = false;
+    let mut workers = 8usize;
     let mut trace = false;
     let mut metrics_addr: Option<String> = None;
 
@@ -59,6 +62,19 @@ fn main() {
                     _ => usage("--policy is fcfs|sjf|fpfs|fpmpfs"),
                 }
             }
+            "--core" => {
+                threaded_core = match args.next().as_deref() {
+                    Some("reactor") => false,
+                    Some("threaded") => true,
+                    _ => usage("--core is reactor or threaded"),
+                }
+            }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--workers needs a positive integer"))
+            }
             "--trace" => trace = true,
             "--metrics-addr" => {
                 metrics_addr = Some(
@@ -76,17 +92,32 @@ fn main() {
     }
     let mut registry = Registry::new();
     register_stdlib(&mut registry, matches!(mode, ExecMode::DataParallel));
-    let server = NinfServer::start(&addr, registry, ServerConfig { pes, mode, policy })
-        .unwrap_or_else(|e| {
-            eprintln!("cannot bind {addr}: {e}");
-            std::process::exit(1);
-        });
+    let core = if threaded_core {
+        ServerCore::ThreadPerConnection
+    } else {
+        ServerCore::Reactor { workers }
+    };
+    let server = NinfServer::start(
+        &addr,
+        registry,
+        ServerConfig {
+            pes,
+            mode,
+            policy,
+            core,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
     eprintln!(
-        "ninfd: serving dmmul dgefa dgesl dgeco linpack ep dos at {} ({} PEs, {}, {})",
+        "ninfd: serving dmmul dgefa dgesl dgeco linpack ep dos at {} ({} PEs, {}, {}, {} core)",
         server.addr(),
         pes,
         mode.name(),
-        policy.name()
+        policy.name(),
+        if threaded_core { "threaded" } else { "reactor" }
     );
 
     if let Some(a) = metrics_addr {
@@ -130,8 +161,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: ninfd [--addr host:port] [--pes N] [--mode task|data] \
-         [--policy fcfs|sjf|fpfs|fpmpfs] [--db-addr host:port] \
-         [--trace] [--metrics-addr host:port]"
+         [--policy fcfs|sjf|fpfs|fpmpfs] [--core reactor|threaded] [--workers N] \
+         [--db-addr host:port] [--trace] [--metrics-addr host:port]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -1,8 +1,14 @@
 //! `repro` — regenerate every table and figure of the SC'97 Ninf paper.
 //!
 //! ```text
-//! repro [--experiment <id>]... [--seed <u64>] [--json <path>] [--csv <dir>] [--list]
+//! repro [--experiment <id>]... [--seed <u64>] [--json <path>] [--csv <dir>]
+//!       [--live-check <addr>] [--list]
 //! ```
+//!
+//! `--live-check` sanity-checks a live server through the process-wide
+//! multiplexed stream pool (two EP calls; the second must reuse the first's
+//! connection) before — or, with no `--experiment`, instead of — the
+//! deterministic experiment suite.
 
 use std::io::Write;
 
@@ -11,7 +17,13 @@ use ninf_bench::cli::{parse_args, CliError};
 fn main() {
     let parsed = match parse_args(
         std::env::args().skip(1),
-        &["--experiment|-e", "--seed", "--json", "--csv"],
+        &[
+            "--experiment|-e",
+            "--seed",
+            "--json",
+            "--csv",
+            "--live-check",
+        ],
         &["--list"],
     ) {
         Ok(p) => p,
@@ -34,6 +46,13 @@ fn main() {
         .into_iter()
         .map(str::to_string)
         .collect();
+
+    if let Some(addr) = parsed.value("--live-check") {
+        live_check(addr);
+        if ids.is_empty() {
+            return;
+        }
+    }
     let seed: u64 = match parsed.parse("--seed") {
         Ok(v) => v.unwrap_or(1997),
         Err(CliError::Bad(msg)) => usage(&msg),
@@ -79,12 +98,37 @@ fn main() {
     }
 }
 
+/// Two pooled EP calls against a live server: the first checkout dials,
+/// the second must reuse the same multiplexed stream.
+fn live_check(addr: &str) {
+    use ninf_client::{CallOptions, NinfClient};
+    use ninf_protocol::Value;
+    let opts = CallOptions::with_deadline(std::time::Duration::from_secs(10));
+    let pool = ninf_reactor::global_pool();
+    for round in 0..2 {
+        let mut client = NinfClient::connect_pooled(addr, opts, pool.clone()).unwrap_or_else(|e| {
+            eprintln!("error: live-check cannot reach {addr}: {e}");
+            std::process::exit(1);
+        });
+        if round > 0 && !client.stream_reused() {
+            eprintln!("error: live-check checkout {round} did not reuse the pooled stream");
+            std::process::exit(1);
+        }
+        if let Err(e) = client.ninf_call("ep", &[Value::Int(6)]) {
+            eprintln!("error: live-check call {round} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("# live-check {addr}: 2 EP calls ok over 1 pooled stream (stream_reused=true)");
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--experiment <id>]... [--seed <u64>] [--json <path>] [--csv <dir>] [--list]\n\
+        "usage: repro [--experiment <id>]... [--seed <u64>] [--json <path>] [--csv <dir>]\n\
+        \x20      [--live-check <addr>] [--list]\n\
          ids: {}",
         ninf_sim::experiments::all_ids().join(", ")
     );

@@ -2,6 +2,7 @@
 //! interface caching and asynchronous variants.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -11,6 +12,7 @@ use ninf_protocol::{
     validate_call_args, validate_results, Message, ProtocolError, ProtocolResult, Span,
     TcpTransport, TraceContext, Transport, Value,
 };
+use ninf_reactor::MuxPool;
 
 /// Per-call reliability policy: how long one attempt may take and how
 /// failed attempts are retried.
@@ -119,6 +121,12 @@ pub struct NinfClient {
     /// Remembered dial address; retries reconnect through it. `None` for
     /// clients wrapped around a caller-supplied transport.
     addr: Option<String>,
+    /// Pool this client checks streams out of; reconnects re-check-out
+    /// instead of dialing, so a retry transparently lands on a live (or
+    /// freshly dialed) multiplexed stream. `None` for direct connections.
+    pool: Option<Arc<MuxPool>>,
+    /// Whether the most recent checkout reused an already-open stream.
+    stream_reused: bool,
     options: CallOptions,
     /// Running totals of array payload bytes, for throughput accounting.
     bytes_sent: usize,
@@ -156,12 +164,42 @@ impl NinfClient {
         Ok(client)
     }
 
+    /// Connect through a shared [`MuxPool`]: the connection is *checked
+    /// out* — an already-open multiplexed stream to `addr` is reused when
+    /// one has admission capacity, and a new one is dialed only on a pool
+    /// miss. Retries re-check-out, so after a stream failure the next
+    /// attempt transparently lands on a fresh connection while calls on
+    /// other streams never notice.
+    pub fn connect_pooled(
+        addr: &str,
+        options: CallOptions,
+        pool: Arc<MuxPool>,
+    ) -> ProtocolResult<Self> {
+        let checkout = pool.checkout(addr, options.deadline)?;
+        let mut client = Self::from_transport(Box::new(checkout.handle));
+        client.transport.set_deadline(options.deadline)?;
+        client.addr = Some(addr.to_owned());
+        client.options = options;
+        client.pool = Some(pool);
+        client.stream_reused = checkout.reused;
+        Ok(client)
+    }
+
+    /// Whether the most recent checkout of this pooled client reused an
+    /// already-open multiplexed stream (always `false` for direct
+    /// connections).
+    pub fn stream_reused(&self) -> bool {
+        self.stream_reused
+    }
+
     /// Wrap an arbitrary transport (e.g. an in-process channel in tests).
     pub fn from_transport(transport: Box<dyn Transport>) -> Self {
         Self {
             transport,
             interfaces: HashMap::new(),
             addr: None,
+            pool: None,
+            stream_reused: false,
             options: CallOptions::default(),
             bytes_sent: 0,
             bytes_received: 0,
@@ -220,13 +258,22 @@ impl NinfClient {
         Ok(())
     }
 
-    /// Tear down the connection and dial the remembered address again.
-    /// Fails for transport-wrapping clients, which have no address.
+    /// Tear down the connection and reach the remembered address again —
+    /// through the pool (re-checkout; dead streams were evicted) for pooled
+    /// clients, by redialing for direct ones. Fails for transport-wrapping
+    /// clients, which have no address.
     fn reconnect(&mut self) -> ProtocolResult<()> {
         let addr = self.addr.clone().ok_or(ProtocolError::Disconnected)?;
         let t0 = Instant::now();
         let start_us = self.call_ctx.map(|_| ninf_obs::now_us());
-        let dialed = TcpTransport::connect_with_deadline(&addr, self.options.deadline);
+        let dialed: ProtocolResult<Box<dyn Transport>> = match &self.pool {
+            Some(pool) => pool.checkout(&addr, self.options.deadline).map(|co| {
+                self.stream_reused = co.reused;
+                Box::new(co.handle) as Box<dyn Transport>
+            }),
+            None => TcpTransport::connect_with_deadline(&addr, self.options.deadline)
+                .map(|t| Box::new(t) as Box<dyn Transport>),
+        };
         self.timing.connect += t0.elapsed().as_secs_f64();
         if let (Some(ctx), Some(start)) = (self.call_ctx, start_us) {
             recorder::global().record(
@@ -234,7 +281,8 @@ impl NinfClient {
                     .with_detail(format!("addr={addr}")),
             );
         }
-        self.transport = Box::new(dialed?);
+        self.transport = dialed?;
+        self.transport.set_deadline(self.options.deadline)?;
         Ok(())
     }
 
@@ -700,6 +748,77 @@ pub fn call_with_options_traced(
             Err(e) => return Err(e),
         }
     }
+}
+
+/// [`call_with_options_traced`] over a shared [`MuxPool`]: every attempt
+/// *checks out* a multiplexed stream from `pool` instead of dialing fresh,
+/// so concurrent calls to one server share connections. A stream failure
+/// poisons only that stream and fails exactly the calls in flight on it as
+/// retryable; the retry re-checks-out onto a live or freshly dialed stream.
+pub fn call_pooled_traced(
+    pool: &Arc<MuxPool>,
+    addr: &str,
+    routine: &str,
+    args: &[Value],
+    options: CallOptions,
+    parent: Option<TraceContext>,
+    process: &str,
+) -> ProtocolResult<Vec<Value>> {
+    let mut attempt = 0u32;
+    loop {
+        let ctx = recorder::global().enabled().then(|| match parent {
+            Some(p) => p.child(),
+            None => TraceContext::root(),
+        });
+        let start_us = ctx.map(|_| ninf_obs::now_us());
+        let outcome = NinfClient::connect_pooled(
+            addr,
+            CallOptions {
+                retries: 0,
+                ..options
+            },
+            pool.clone(),
+        )
+        .and_then(|mut client| {
+            client.trace_parent = parent;
+            client.trace_process = process.to_string();
+            client.call_ctx = ctx;
+            client.ninf_call_once(routine, args)
+        });
+        if let (Some(ctx), Some(start)) = (ctx, start_us) {
+            recorder::global().record(Span::at(ctx, "call", process, start).with_detail(format!(
+                "routine={routine} attempt={attempt} ok={}",
+                outcome.is_ok()
+            )));
+        }
+        match outcome {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() && attempt < options.retries => {
+                std::thread::sleep(options.backoff_delay(attempt, addr_salt(addr)));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// [`call_async_traced`] over a shared pool: the worker thread checks its
+/// stream out of `pool` (see [`call_pooled_traced`]) — how the metaserver
+/// fans a transaction out without one dial per call.
+pub fn call_async_pooled(
+    pool: Arc<MuxPool>,
+    addr: String,
+    routine: String,
+    args: Vec<Value>,
+    options: CallOptions,
+    parent: Option<TraceContext>,
+    process: &str,
+) -> AsyncCall {
+    let process = process.to_string();
+    let handle = std::thread::spawn(move || {
+        call_pooled_traced(&pool, &addr, &routine, &args, options, parent, &process)
+    });
+    AsyncCall { handle }
 }
 
 /// `Ninf_call_async`: run one call on its own connection and thread.

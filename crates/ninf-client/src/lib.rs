@@ -37,8 +37,8 @@ pub mod client;
 pub mod transaction;
 
 pub use client::{
-    call_async, call_async_traced, call_async_with, call_two_phase, call_with_options,
-    call_with_options_traced, ninf_call_url, parse_ninf_url, AsyncCall, CallOptions, CallTiming,
-    LocalTxError, NinfClient,
+    call_async, call_async_pooled, call_async_traced, call_async_with, call_pooled_traced,
+    call_two_phase, call_with_options, call_with_options_traced, ninf_call_url, parse_ninf_url,
+    AsyncCall, CallOptions, CallTiming, LocalTxError, NinfClient,
 };
 pub use transaction::{execute_locally, PlannedCall, SlotId, Transaction, TxArg};

@@ -8,9 +8,10 @@ use std::time::{Duration, Instant};
 
 use ninf_client::{CallTiming, NinfClient};
 use ninf_metaserver::{Balancing, Directory, Metaserver, ServerEntry};
-use ninf_protocol::{CallStat, ProtocolError, ProtocolResult, Value};
+use ninf_protocol::{CallStat, Message, ProtocolError, ProtocolResult, Value};
+use ninf_reactor::{run_open_loop, DriverConfig};
 use ninf_server::{
-    builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig,
+    builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig, ServerCore,
 };
 
 use crate::report::{CallResult, Outcome, RunReport, ServerView};
@@ -29,6 +30,8 @@ pub enum Target {
         pes: usize,
         /// Admission policy.
         policy: SchedPolicy,
+        /// Connection core (reactor vs thread-per-connection baseline).
+        core: ServerCore,
     },
     /// Spawn a fleet fronted by an in-process metaserver; clients route
     /// through `Metaserver::ninf_call`.
@@ -56,7 +59,7 @@ struct LiveTarget {
     backend: Backend,
 }
 
-fn spawn_server(pes: usize, policy: SchedPolicy) -> ProtocolResult<NinfServer> {
+fn spawn_server(pes: usize, policy: SchedPolicy, core: ServerCore) -> ProtocolResult<NinfServer> {
     let mut registry = Registry::new();
     register_stdlib(&mut registry, false);
     NinfServer::start(
@@ -66,6 +69,7 @@ fn spawn_server(pes: usize, policy: SchedPolicy) -> ProtocolResult<NinfServer> {
             pes,
             mode: ExecMode::TaskParallel,
             policy,
+            core,
         },
     )
 }
@@ -77,8 +81,8 @@ fn materialize(target: &Target, spec: &WorkloadSpec) -> ProtocolResult<LiveTarge
             addrs: vec![addr.clone()],
             backend: Backend::Direct(vec![addr.clone()]),
         }),
-        Target::Spawn { pes, policy } => {
-            let server = spawn_server(*pes, *policy)?;
+        Target::Spawn { pes, policy, core } => {
+            let server = spawn_server(*pes, *policy, *core)?;
             let addr = server.addr().to_string();
             Ok(LiveTarget {
                 spawned: vec![server],
@@ -91,7 +95,7 @@ fn materialize(target: &Target, spec: &WorkloadSpec) -> ProtocolResult<LiveTarge
             let mut spawned = Vec::new();
             let mut addrs = Vec::new();
             for i in 0..*servers {
-                let server = spawn_server(*pes, SchedPolicy::Fcfs)?;
+                let server = spawn_server(*pes, SchedPolicy::Fcfs, ServerCore::default())?;
                 let addr = server.addr().to_string();
                 dir.register(ServerEntry {
                     name: format!("node{i}"),
@@ -386,6 +390,12 @@ fn workload_desc(spec: &WorkloadSpec) -> String {
 /// thread per client, joins them, queries every server's §4.1 stats, shuts
 /// spawned servers down, and aggregates the [`RunReport`].
 pub fn run_scenario(scenario: &Scenario, clients: usize, seed: u64) -> ProtocolResult<RunReport> {
+    // The c10k scenario swaps the thread-per-client fleet for the
+    // single-threaded open-loop driver: 10 000 OS threads on a small host
+    // is its own experiment, not the one we're measuring.
+    if scenario.name == "lan-c10k" {
+        return run_c10k(scenario, clients, seed);
+    }
     let spec = &scenario.spec;
     let live = materialize(&scenario.target, spec)?;
     let inputs = Inputs::prepare(spec, seed);
@@ -437,4 +447,111 @@ pub fn run_scenario(scenario: &Scenario, clients: usize, seed: u64) -> ProtocolR
         server,
         schedules,
     ))
+}
+
+/// The `lan-c10k` path: `clients` is the *connection* count, all driven from
+/// one poller thread ([`run_open_loop`]); the spec's per-client open-loop
+/// rate scales to an aggregate schedule. Calls collapse into a single
+/// per-client summary row — at c=10 000 a per-connection breakdown is noise.
+fn run_c10k(scenario: &Scenario, clients: usize, seed: u64) -> ProtocolResult<RunReport> {
+    let spec = &scenario.spec;
+    let live = materialize(&scenario.target, spec)?;
+    let addr = live
+        .addrs
+        .first()
+        .cloned()
+        .ok_or_else(|| ProtocolError::Frame("c10k target has no address".into()))?;
+
+    let routine = spec
+        .mix
+        .first()
+        .map(|e| e.routine)
+        .unwrap_or(Routine::Ep { m: 4 });
+    let inputs = Inputs::prepare(spec, seed);
+    let rate_per_conn = match spec.arrival {
+        Arrival::Open { rate_hz } => rate_hz,
+        Arrival::Closed { .. } => 1.0,
+    };
+    let drain = spec.options.deadline.unwrap_or(Duration::from_secs(10));
+    let config = DriverConfig {
+        addr,
+        conns: clients,
+        duration: Duration::from_secs_f64(spec.phases.total().max(1.0)),
+        rate_hz: rate_per_conn * clients as f64,
+        max_inflight_per_conn: 32,
+        request: Message::Invoke {
+            routine: routine.name().into(),
+            args: inputs.args(routine),
+            trace: None,
+        },
+        drain,
+    };
+    let report = run_open_loop(&config)?;
+
+    let mut calls: Vec<CallResult> = report
+        .samples
+        .iter()
+        .enumerate()
+        .map(|(seq, s)| CallResult {
+            client: 0,
+            seq,
+            routine: routine.name(),
+            n: routine.scalar(),
+            scheduled: s.scheduled,
+            t_submit: s.scheduled,
+            t_complete: s.scheduled + s.latency,
+            timing: CallTiming {
+                total: s.latency,
+                attempts: 1,
+                ..CallTiming::default()
+            },
+            outcome: if s.ok { Outcome::Ok } else { Outcome::Remote },
+            flops: routine.flops(),
+            trace_id: 0,
+        })
+        .collect();
+    // Driver-level errors with no sample (dead connections, calls still owed
+    // at the drain deadline) must surface in the report, not vanish.
+    let sample_errors = report.samples.iter().filter(|s| !s.ok).count() as u64;
+    let base = calls.len();
+    for k in 0..report.errors.saturating_sub(sample_errors) {
+        calls.push(CallResult {
+            client: 0,
+            seq: base + k as usize,
+            routine: routine.name(),
+            n: routine.scalar(),
+            scheduled: 0.0,
+            t_submit: 0.0,
+            t_complete: 0.0,
+            timing: CallTiming {
+                attempts: 1,
+                ..CallTiming::default()
+            },
+            outcome: Outcome::Transport,
+            flops: routine.flops(),
+            trace_id: 0,
+        });
+    }
+
+    let server_view = collect_server_view(&live.addrs, spec.options);
+    for s in live.spawned {
+        s.shutdown();
+    }
+    let mut run = RunReport::build(
+        scenario.name,
+        format!(
+            "open-loop {:.1} Hz aggregate over {} mux connections, {}",
+            config.rate_hz,
+            report.conns,
+            workload_desc(spec)
+        ),
+        1,
+        seed,
+        report.elapsed,
+        calls,
+        server_view,
+        Vec::new(),
+    );
+    run.clients = report.conns;
+    Ok(run)
 }

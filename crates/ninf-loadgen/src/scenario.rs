@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 use ninf_client::CallOptions;
-use ninf_server::SchedPolicy;
+use ninf_server::{SchedPolicy, ServerCore};
 
 use crate::runner::Target;
 use crate::spec::{Arrival, MixEntry, Phases, Routine, WorkloadSpec};
@@ -25,7 +25,7 @@ pub struct Scenario {
 
 /// Names of every built-in scenario, in menu order.
 pub fn scenario_names() -> Vec<&'static str> {
-    vec!["lan-linpack", "lan-ep", "metaserver-ft"]
+    vec!["lan-linpack", "lan-ep", "lan-c10k", "metaserver-ft"]
 }
 
 /// Look up a built-in scenario by name.
@@ -52,6 +52,7 @@ pub fn scenario(name: &str) -> Option<Scenario> {
             target: Target::Spawn {
                 pes: 1,
                 policy: SchedPolicy::Fcfs,
+                core: ServerCore::default(),
             },
         }),
         // Open-loop EP at a fixed offered rate with ramp phases: the
@@ -80,6 +81,38 @@ pub fn scenario(name: &str) -> Option<Scenario> {
             target: Target::Spawn {
                 pes: 4,
                 policy: SchedPolicy::Fcfs,
+                core: ServerCore::default(),
+            },
+        }),
+        // The C10k rig: thousands of multiplexed connections from one
+        // open-loop driver thread, tiny EP payloads so the measurement is
+        // connection-scaling, not compute. `--clients` is the connection
+        // count (c ∈ {256, 1024, 4096, 10000} in the committed benchmark);
+        // the per-connection rate scales to an aggregate schedule.
+        "lan-c10k" => Some(Scenario {
+            name: "lan-c10k",
+            about: "open-loop tiny-EP over --clients multiplexed connections (reactor core)",
+            spec: WorkloadSpec {
+                mix: vec![MixEntry {
+                    routine: Routine::Ep { m: 4 },
+                    weight: 1,
+                }],
+                arrival: Arrival::Open { rate_hz: 1.0 },
+                phases: Phases {
+                    ramp_up: 0.0,
+                    steady: 5.0,
+                    ramp_down: 0.0,
+                },
+                calls_per_client: 0,
+                options: CallOptions {
+                    deadline: Some(Duration::from_secs(10)),
+                    ..CallOptions::default()
+                },
+            },
+            target: Target::Spawn {
+                pes: 4,
+                policy: SchedPolicy::Fcfs,
+                core: ServerCore::default(),
             },
         }),
         // A two-server fleet behind the metaserver with a mixed workload
@@ -152,6 +185,20 @@ mod tests {
         let sc = scenario("lan-ep").unwrap();
         assert!(matches!(sc.spec.arrival, Arrival::Open { rate_hz } if rate_hz > 0.0));
         assert!(sc.spec.phases.ramp_up > 0.0 && sc.spec.phases.ramp_down > 0.0);
+        assert!(sc.spec.options.deadline.is_some());
+    }
+
+    #[test]
+    fn lan_c10k_targets_the_reactor_core() {
+        let sc = scenario("lan-c10k").unwrap();
+        assert!(matches!(
+            sc.target,
+            Target::Spawn {
+                core: ServerCore::Reactor { .. },
+                ..
+            }
+        ));
+        assert!(matches!(sc.spec.arrival, Arrival::Open { rate_hz } if rate_hz > 0.0));
         assert!(sc.spec.options.deadline.is_some());
     }
 

@@ -3,11 +3,10 @@
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use ninf_client::{
-    call_async_traced, call_async_with, AsyncCall, CallOptions, PlannedCall, Transaction, TxArg,
-};
+use ninf_client::{call_async_pooled, AsyncCall, CallOptions, PlannedCall, Transaction, TxArg};
 use ninf_obs::{recorder, Counter, MetricsRegistry, Span};
 use ninf_protocol::{ProtocolError, ProtocolResult, TraceContext, Value};
+use ninf_reactor::{MuxPool, PoolConfig};
 
 use crate::balance::{Balancing, CallEstimate};
 use crate::directory::Directory;
@@ -22,6 +21,10 @@ pub struct Metaserver {
     metrics: Arc<MetricsRegistry>,
     routed: Counter,
     failed: Counter,
+    /// Multiplexed streams to the fleet: fan-out legs check connections out
+    /// of here instead of dialing one per call. Hit/miss counters land on
+    /// [`Metaserver::metrics`].
+    pool: Arc<MuxPool>,
 }
 
 impl Metaserver {
@@ -54,6 +57,7 @@ impl Metaserver {
             "ninf_meta_errors_total",
             "routed calls whose final outcome was an error",
         );
+        let pool = Arc::new(MuxPool::with_metrics(PoolConfig::default(), &metrics));
         Self {
             directory,
             balancing,
@@ -63,7 +67,13 @@ impl Metaserver {
             metrics,
             routed,
             failed,
+            pool,
         }
+    }
+
+    /// The connection pool routed calls go through.
+    pub fn pool(&self) -> &Arc<MuxPool> {
+        &self.pool
     }
 
     /// The directory.
@@ -147,7 +157,8 @@ impl Metaserver {
                     .with_detail(format!("server={idx} addr={addr}")),
             );
         }
-        let outcome = call_async_traced(
+        let outcome = call_async_pooled(
+            self.pool.clone(),
             addr,
             routine.to_owned(),
             args.to_vec(),
@@ -214,7 +225,15 @@ impl Metaserver {
                 let addr = self.directory.entries()[sidx].addr.clone();
                 in_flight.push((
                     call_idx,
-                    call_async_with(addr, call.routine.clone(), args, self.options),
+                    call_async_pooled(
+                        self.pool.clone(),
+                        addr,
+                        call.routine.clone(),
+                        args,
+                        self.options,
+                        None,
+                        "metaserver",
+                    ),
                 ));
             }
             for (call_idx, pending) in in_flight {
@@ -271,7 +290,15 @@ impl Metaserver {
                 in_flight.push((
                     call_idx,
                     sidx,
-                    call_async_with(addr, call.routine.clone(), args, self.options),
+                    call_async_pooled(
+                        self.pool.clone(),
+                        addr,
+                        call.routine.clone(),
+                        args,
+                        self.options,
+                        None,
+                        "metaserver",
+                    ),
                 ));
             }
             for (call_idx, first_server, pending) in in_flight {
@@ -306,8 +333,16 @@ impl Metaserver {
                     // are still intact).
                     let args = resolve_args(call, &slots)?;
                     let addr = self.directory.entries()[sidx].addr.clone();
-                    outcome =
-                        call_async_with(addr, call.routine.clone(), args, self.options).wait();
+                    outcome = call_async_pooled(
+                        self.pool.clone(),
+                        addr,
+                        call.routine.clone(),
+                        args,
+                        self.options,
+                        None,
+                        "metaserver",
+                    )
+                    .wait();
                     match &outcome {
                         Ok(_) => self.directory.record_success(sidx),
                         Err(_) => {
@@ -369,6 +404,7 @@ mod tests {
                     pes: 2,
                     mode: ExecMode::TaskParallel,
                     policy: SchedPolicy::Fcfs,
+                    core: Default::default(),
                 },
             )
             .unwrap();
@@ -389,6 +425,23 @@ mod tests {
         let meta = Metaserver::new(dir, Balancing::RoundRobin);
         let out = meta.ninf_call("ep", &[Value::Int(8)]).unwrap();
         assert_eq!(out.len(), 2); // sums + counts
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn routed_calls_share_pooled_streams() {
+        let (servers, dir) = spawn_fleet(1);
+        let meta = Metaserver::new(dir, Balancing::RoundRobin);
+        meta.ninf_call("ep", &[Value::Int(6)]).unwrap();
+        meta.ninf_call("ep", &[Value::Int(6)]).unwrap();
+        assert_eq!(meta.pool().misses(), 1, "one server, one dialed stream");
+        assert!(meta.pool().hits() >= 1, "second call must reuse the stream");
+        // The hit/miss counters live on the metaserver's own registry.
+        let text = meta.metrics().render_prometheus();
+        assert!(text.contains("ninf_client_pool_hits_total"), "{text}");
+        assert!(text.contains("ninf_client_pool_misses_total"), "{text}");
         for s in servers {
             s.shutdown();
         }

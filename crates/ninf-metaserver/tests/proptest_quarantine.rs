@@ -159,6 +159,7 @@ fn successful_probe_reinstates() {
             pes: 1,
             mode: ExecMode::TaskParallel,
             policy: SchedPolicy::Fcfs,
+            core: Default::default(),
         },
     )
     .unwrap();

@@ -94,6 +94,45 @@ pub fn crc32c(data: &[u8]) -> u32 {
     !update_sw(!0, data)
 }
 
+/// Streaming CRC-32C: digest non-contiguous byte ranges (the v3 frame
+/// checksum covers the call-id header field *and* the payload, which are
+/// separated by the checksum word itself) without concatenating them.
+/// `Crc32c::new().update(a).update(b).finish() == crc32c(a ++ b)`.
+#[derive(Clone, Copy)]
+pub struct Crc32c(u32);
+
+impl Default for Crc32c {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32c {
+    /// Fresh digest state.
+    pub fn new() -> Self {
+        Crc32c(!0)
+    }
+
+    /// Fold `data` into the digest.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("sse4.2") {
+                // SAFETY: the `crc32` instruction was detected at runtime.
+                self.0 = unsafe { update_hw(self.0, data) };
+                return self;
+            }
+        }
+        self.0 = update_sw(self.0, data);
+        self
+    }
+
+    /// Final (complemented) digest.
+    pub fn finish(&self) -> u32 {
+        !self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +156,17 @@ mod tests {
         for n in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
             let data: Vec<u8> = (0..n).map(|i| (i * 131 + 7) as u8).collect();
             assert_eq!(!update_sw(!0, &data), crc32c(&data), "length {n}");
+        }
+    }
+
+    #[test]
+    fn streaming_digest_matches_one_shot_at_any_split() {
+        let data: Vec<u8> = (0..300).map(|i| (i * 53 + 11) as u8).collect();
+        let whole = crc32c(&data);
+        for split in [0usize, 1, 7, 8, 12, 100, 299, 300] {
+            let mut h = Crc32c::new();
+            h.update(&data[..split]).update(&data[split..]);
+            assert_eq!(h.finish(), whole, "split at {split}");
         }
     }
 

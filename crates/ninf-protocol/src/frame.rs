@@ -1,11 +1,20 @@
-//! Binary framing v2: every message travels as
-//! `magic (4) | version (4) | payload length (4) | crc32c (4) | payload (XDR)`.
+//! Binary framing v3: every message travels as
+//! `magic (4) | version (4) | payload length (4) | call id (8) | crc32c (4) | payload (XDR)`.
 //!
-//! The CRC-32C of the payload is verified *before* any decode runs, so bytes
-//! corrupted in flight surface as a typed [`ProtocolError::Checksum`] — they
-//! can never reassemble into a plausibly-decodable message. v1 frames (no
-//! checksum word) are rejected with [`ProtocolError::UnsupportedVersion`];
-//! the payload encoding itself is unchanged from v1, only the header grew.
+//! v3 adds the `call_id` header field so one TCP stream can carry many
+//! in-flight calls (HTTP/2-style multiplexing): the server echoes the
+//! request's call id on its reply, and the client demuxes replies back to
+//! their callers in any completion order. Sequential (non-multiplexed)
+//! peers use call id 0 throughout — [`write_frame`] / [`read_frame`] are
+//! exactly that.
+//!
+//! The CRC-32C covers the call-id bytes *and* the payload and is verified
+//! before any decode runs, so bytes corrupted in flight — including a flip
+//! inside the call id, which would otherwise route a valid reply to the
+//! wrong caller — surface as a typed [`ProtocolError::Checksum`]. v1/v2
+//! frames (shorter headers) are rejected with
+//! [`ProtocolError::UnsupportedVersion`]; the payload encoding itself is
+//! unchanged since v1, only the header grew.
 //!
 //! On the write side the header and the borrowed payload go out in one
 //! vectored syscall — the multi-megabyte matrix payload is never copied into
@@ -13,7 +22,7 @@
 
 use std::io::{IoSlice, Read, Write};
 
-use crate::crc::crc32c;
+use crate::crc::Crc32c;
 use crate::error::{ProtocolError, ProtocolResult};
 use crate::message::Message;
 
@@ -21,17 +30,36 @@ use crate::message::Message;
 pub const FRAME_MAGIC: u32 = 0x4E49_4E46;
 
 /// Protocol version this implementation speaks. v2 added the payload
-/// CRC-32C word to the header.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// CRC-32C word; v3 added the 8-byte call id for stream multiplexing.
+pub const PROTOCOL_VERSION: u32 = 3;
 
-/// Bytes in a v2 frame header.
-pub const FRAME_HEADER_BYTES: usize = 16;
+/// Bytes in a v3 frame header.
+pub const FRAME_HEADER_BYTES: usize = 24;
 
 /// Upper bound on a sane frame (a 4096×4096 double matrix plus headers).
 pub const MAX_FRAME_BYTES: u32 = 256 * 1024 * 1024;
 
-/// Write one framed message.
-pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> ProtocolResult<()> {
+/// Parsed v3 frame header: what remains to be read and how to check it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Payload length in bytes (already bounds-checked).
+    pub len: u32,
+    /// Multiplexing call id (0 for sequential peers).
+    pub call_id: u64,
+    /// Expected CRC-32C over call-id bytes ++ payload.
+    pub crc: u32,
+}
+
+/// CRC-32C over the call-id bytes and the payload — the integrity domain of
+/// a v3 frame.
+fn frame_crc(call_id: u64, payload: &[u8]) -> u32 {
+    let mut h = Crc32c::new();
+    h.update(&call_id.to_be_bytes()).update(payload);
+    h.finish()
+}
+
+/// Write one framed message tagged with `call_id`.
+pub fn write_frame_mux<W: Write>(w: &mut W, call_id: u64, msg: &Message) -> ProtocolResult<()> {
     let payload = msg.encode();
     let len = payload.len() as u32;
     if len > MAX_FRAME_BYTES {
@@ -39,14 +67,110 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> ProtocolResult<()> {
             "frame too large: {len} bytes"
         )));
     }
+    let header = encode_header(call_id, len, frame_crc(call_id, &payload));
+    write_all_vectored(w, &header, &payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Write one framed message with call id 0 (the sequential-peer form).
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> ProtocolResult<()> {
+    write_frame_mux(w, 0, msg)
+}
+
+/// Encode one framed message into a fresh buffer. The reactor and the mux
+/// driver use this to stage whole frames onto nonblocking write queues.
+pub fn encode_frame(call_id: u64, msg: &Message) -> ProtocolResult<Vec<u8>> {
+    let payload = msg.encode();
+    let len = payload.len() as u32;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Frame(format!(
+            "frame too large: {len} bytes"
+        )));
+    }
+    let header = encode_header(call_id, len, frame_crc(call_id, &payload));
+    let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    buf.extend_from_slice(&header);
+    buf.extend_from_slice(&payload);
+    Ok(buf)
+}
+
+fn encode_header(call_id: u64, len: u32, crc: u32) -> [u8; FRAME_HEADER_BYTES] {
     let mut header = [0u8; FRAME_HEADER_BYTES];
     header[0..4].copy_from_slice(&FRAME_MAGIC.to_be_bytes());
     header[4..8].copy_from_slice(&PROTOCOL_VERSION.to_be_bytes());
     header[8..12].copy_from_slice(&len.to_be_bytes());
-    header[12..16].copy_from_slice(&crc32c(&payload).to_be_bytes());
-    write_all_vectored(w, &header, &payload)?;
-    w.flush()?;
-    Ok(())
+    header[12..20].copy_from_slice(&call_id.to_be_bytes());
+    header[20..24].copy_from_slice(&crc.to_be_bytes());
+    header
+}
+
+/// Validate a raw v3 header. Magic, version, and length bounds are checked
+/// here; the CRC can only be checked once the payload has arrived
+/// ([`check_frame_payload`]).
+pub fn parse_frame_header(header: &[u8; FRAME_HEADER_BYTES]) -> ProtocolResult<FrameHeader> {
+    let magic = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(ProtocolError::Frame(format!("bad magic {magic:#010x}")));
+    }
+    let version = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != PROTOCOL_VERSION {
+        return Err(ProtocolError::UnsupportedVersion {
+            got: version,
+            want: PROTOCOL_VERSION,
+        });
+    }
+    let len = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Frame(format!(
+            "oversized frame: {len} bytes"
+        )));
+    }
+    let call_id = u64::from_be_bytes(header[12..20].try_into().expect("8 bytes"));
+    let crc = u32::from_be_bytes(header[20..24].try_into().expect("4 bytes"));
+    Ok(FrameHeader { len, call_id, crc })
+}
+
+/// Verify the CRC and decode the payload of a frame whose header already
+/// parsed. `payload` must be exactly `header.len` bytes.
+pub fn check_frame_payload(header: &FrameHeader, payload: &[u8]) -> ProtocolResult<Message> {
+    debug_assert_eq!(payload.len(), header.len as usize);
+    let got = frame_crc(header.call_id, payload);
+    if got != header.crc {
+        return Err(ProtocolError::Checksum {
+            expected: header.crc,
+            got,
+        });
+    }
+    Message::decode(payload)
+}
+
+/// Read one framed message and its call id (blocking).
+pub fn read_frame_mux<R: Read>(r: &mut R) -> ProtocolResult<(u64, Message)> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    let header = parse_frame_header(&header)?;
+    // Read the payload in capped chunks rather than allocating the full
+    // header-claimed length up front: a hostile or corrupted header can
+    // claim up to MAX_FRAME_BYTES, and the bytes must actually arrive
+    // before we commit that much memory. Chunks land at their final offset
+    // in the payload buffer — no reassembly copy.
+    let len = header.len as usize;
+    let mut payload = Vec::with_capacity(len.min(PAYLOAD_READ_CHUNK));
+    while payload.len() < len {
+        let take = (len - payload.len()).min(PAYLOAD_READ_CHUNK);
+        let start = payload.len();
+        payload.resize(start + take, 0);
+        r.read_exact(&mut payload[start..])?;
+    }
+    let msg = check_frame_payload(&header, &payload)?;
+    Ok((header.call_id, msg))
+}
+
+/// Read one framed message, discarding the call id (blocking, sequential
+/// peers).
+pub fn read_frame<R: Read>(r: &mut R) -> ProtocolResult<Message> {
+    read_frame_mux(r).map(|(_, msg)| msg)
 }
 
 /// Write `header` then `payload` with vectored I/O, tracking partial writes
@@ -69,54 +193,13 @@ fn write_all_vectored<W: Write>(w: &mut W, header: &[u8], payload: &[u8]) -> std
     Ok(())
 }
 
-/// Read one framed message (blocking).
-pub fn read_frame<R: Read>(r: &mut R) -> ProtocolResult<Message> {
-    let mut header = [0u8; FRAME_HEADER_BYTES];
-    r.read_exact(&mut header)?;
-    let magic = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
-    if magic != FRAME_MAGIC {
-        return Err(ProtocolError::Frame(format!("bad magic {magic:#010x}")));
-    }
-    let version = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
-    if version != PROTOCOL_VERSION {
-        return Err(ProtocolError::UnsupportedVersion {
-            got: version,
-            want: PROTOCOL_VERSION,
-        });
-    }
-    let len = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes"));
-    if len > MAX_FRAME_BYTES {
-        return Err(ProtocolError::Frame(format!(
-            "oversized frame: {len} bytes"
-        )));
-    }
-    let expected = u32::from_be_bytes(header[12..16].try_into().expect("4 bytes"));
-    // Read the payload in capped chunks rather than allocating the full
-    // header-claimed length up front: a hostile or corrupted header can
-    // claim up to MAX_FRAME_BYTES, and the bytes must actually arrive
-    // before we commit that much memory. Chunks land at their final offset
-    // in the payload buffer — no reassembly copy.
-    let len = len as usize;
-    let mut payload = Vec::with_capacity(len.min(PAYLOAD_READ_CHUNK));
-    while payload.len() < len {
-        let take = (len - payload.len()).min(PAYLOAD_READ_CHUNK);
-        let start = payload.len();
-        payload.resize(start + take, 0);
-        r.read_exact(&mut payload[start..])?;
-    }
-    let got = crc32c(&payload);
-    if got != expected {
-        return Err(ProtocolError::Checksum { expected, got });
-    }
-    Message::decode(&payload)
-}
-
 /// Granularity of payload reads: allocation grows only as bytes arrive.
 const PAYLOAD_READ_CHUNK: usize = 64 * 1024;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crc::crc32c;
     use crate::value::Value;
 
     #[test]
@@ -130,6 +213,38 @@ mod tests {
         write_frame(&mut buf, &msg).unwrap();
         let back = read_frame(&mut buf.as_slice()).unwrap();
         assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn mux_roundtrip_preserves_call_id() {
+        let msg = Message::QueryLoad;
+        for id in [0u64, 1, 42, u64::MAX] {
+            let mut buf = Vec::new();
+            write_frame_mux(&mut buf, id, &msg).unwrap();
+            let (got_id, back) = read_frame_mux(&mut buf.as_slice()).unwrap();
+            assert_eq!(got_id, id);
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn sequential_form_is_call_id_zero() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::QueryLoad).unwrap();
+        let (id, _) = read_frame_mux(&mut buf.as_slice()).unwrap();
+        assert_eq!(id, 0);
+    }
+
+    #[test]
+    fn encode_frame_matches_streamed_writer() {
+        let msg = Message::Invoke {
+            routine: "ep".into(),
+            args: vec![Value::Int(14)],
+            trace: None,
+        };
+        let mut streamed = Vec::new();
+        write_frame_mux(&mut streamed, 7, &msg).unwrap();
+        assert_eq!(encode_frame(7, &msg).unwrap(), streamed);
     }
 
     #[test]
@@ -179,15 +294,27 @@ mod tests {
     }
 
     #[test]
+    fn v2_frame_rejected_as_unsupported_version() {
+        // A v2 peer sends `magic | 2 | len | crc | payload` with no call-id
+        // field. The version check fires before anything after it is
+        // interpreted, so the short header is never misparsed.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::QueryLoad).unwrap();
+        buf[4..8].copy_from_slice(&2u32.to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtocolError::UnsupportedVersion { got: 2, want: 3 })
+        ));
+    }
+
+    #[test]
     fn v1_frame_rejected_as_unsupported_version() {
-        // A v1 peer sends `magic | 1 | len | payload` with no checksum word.
-        // The version check fires before anything after it is interpreted.
         let mut buf = Vec::new();
         write_frame(&mut buf, &Message::QueryLoad).unwrap();
         buf[4..8].copy_from_slice(&1u32.to_be_bytes());
         assert!(matches!(
             read_frame(&mut buf.as_slice()),
-            Err(ProtocolError::UnsupportedVersion { got: 1, want: 2 })
+            Err(ProtocolError::UnsupportedVersion { got: 1, want: 3 })
         ));
     }
 
@@ -210,10 +337,29 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_call_id_fails_checksum() {
+        // A bit flip inside the call id would silently route a valid reply
+        // to the wrong caller if the CRC did not cover it.
+        let mut buf = Vec::new();
+        write_frame_mux(&mut buf, 0x0102_0304_0506_0708, &Message::QueryLoad).unwrap();
+        for byte in 12..20 {
+            let mut flipped = buf.clone();
+            flipped[byte] ^= 0x40;
+            assert!(
+                matches!(
+                    read_frame_mux(&mut flipped.as_slice()),
+                    Err(ProtocolError::Checksum { .. })
+                ),
+                "flip in call-id byte {byte} must fail the checksum"
+            );
+        }
+    }
+
+    #[test]
     fn corrupted_checksum_word_fails_checksum() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &Message::QueryLoad).unwrap();
-        buf[13] ^= 0x01;
+        buf[21] ^= 0x01;
         assert!(matches!(
             read_frame(&mut buf.as_slice()),
             Err(ProtocolError::Checksum { .. })
@@ -277,15 +423,44 @@ mod tests {
     }
 
     #[test]
-    fn header_is_sixteen_bytes_big_endian() {
+    fn header_is_twenty_four_bytes_big_endian() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, &Message::QueryLoad).unwrap();
+        write_frame_mux(&mut buf, 0x0A0B_0C0D_0E0F_1011, &Message::QueryLoad).unwrap();
         assert_eq!(&buf[0..4], b"NINF");
-        assert_eq!(&buf[4..8], &[0, 0, 0, 2]);
+        assert_eq!(&buf[4..8], &[0, 0, 0, 3]);
         let len = u32::from_be_bytes(buf[8..12].try_into().unwrap()) as usize;
         assert_eq!(buf.len(), FRAME_HEADER_BYTES + len);
-        let crc = u32::from_be_bytes(buf[12..16].try_into().unwrap());
-        assert_eq!(crc, crate::crc::crc32c(&buf[FRAME_HEADER_BYTES..]));
+        assert_eq!(
+            &buf[12..20],
+            &[0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x0F, 0x10, 0x11]
+        );
+        let crc = u32::from_be_bytes(buf[20..24].try_into().unwrap());
+        let mut h = Crc32c::new();
+        h.update(&buf[12..20]).update(&buf[FRAME_HEADER_BYTES..]);
+        assert_eq!(crc, h.finish());
+        // The call id is outside the payload: the XDR bytes themselves are
+        // identical to what a v1/v2 peer would have produced.
+        assert_eq!(crc32c(&buf[FRAME_HEADER_BYTES..]), {
+            let mut v2 = Vec::new();
+            write_frame_mux(&mut v2, 0, &Message::QueryLoad).unwrap();
+            crc32c(&v2[FRAME_HEADER_BYTES..])
+        });
+    }
+
+    #[test]
+    fn incremental_parse_matches_blocking_reader() {
+        let msg = Message::Invoke {
+            routine: "ep".into(),
+            args: vec![Value::Int(20)],
+            trace: None,
+        };
+        let buf = encode_frame(99, &msg).unwrap();
+        let header: [u8; FRAME_HEADER_BYTES] = buf[..FRAME_HEADER_BYTES].try_into().unwrap();
+        let parsed = parse_frame_header(&header).unwrap();
+        assert_eq!(parsed.call_id, 99);
+        assert_eq!(parsed.len as usize, buf.len() - FRAME_HEADER_BYTES);
+        let decoded = check_frame_payload(&parsed, &buf[FRAME_HEADER_BYTES..]).unwrap();
+        assert_eq!(decoded, msg);
     }
 
     /// A writer that accepts at most one byte per call, including vectored

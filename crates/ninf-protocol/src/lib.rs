@@ -36,12 +36,16 @@ pub mod transport;
 pub mod value;
 
 pub use codec::Wire;
-pub use crc::crc32c;
+pub use crc::{crc32c, Crc32c};
 pub use error::{ProtocolError, ProtocolResult};
 pub use fault::{
     fault_schedule, planned_fault, FaultHistory, FaultKind, FaultPlan, FaultStats, FaultyTransport,
 };
-pub use frame::{read_frame, write_frame, FRAME_HEADER_BYTES, FRAME_MAGIC, PROTOCOL_VERSION};
+pub use frame::{
+    check_frame_payload, encode_frame, parse_frame_header, read_frame, read_frame_mux, write_frame,
+    write_frame_mux, FrameHeader, FRAME_HEADER_BYTES, FRAME_MAGIC, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
 pub use marshal::{
     reply_payload_bytes, request_payload_bytes, validate_call_args, validate_results,
 };

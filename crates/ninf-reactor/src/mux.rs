@@ -1,0 +1,535 @@
+//! Client-side stream multiplexing: one TCP connection, many in-flight
+//! calls.
+//!
+//! A [`MuxStream`] owns the socket, a monotone call-id allocator, and a
+//! demux reader thread; [`MuxHandle`]s are checked out per logical client
+//! and implement [`Transport`], so `NinfClient` works over a shared stream
+//! unchanged. Each handle does strict send→recv pairs (the Ninf RPC shape),
+//! but many handles interleave freely on the wire — the server replies in
+//! completion order and the reader routes each reply to its caller by call
+//! id.
+//!
+//! Teardown is the contract the pool relies on: any stream-level error
+//! (socket death, a reply that fails CRC or decode) poisons the stream,
+//! fails exactly the calls in flight on it with a retryable
+//! [`ProtocolError::Disconnected`], and marks it dead so the pool evicts it
+//! on next checkout. Calls on other streams never notice.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use ninf_protocol::{
+    read_frame_mux, write_frame_mux, Message, ProtocolError, ProtocolResult, Transport,
+};
+
+/// Default bound on concurrently in-flight calls per stream.
+pub const DEFAULT_MAX_INFLIGHT: usize = 64;
+
+type ReplySlot = Sender<ProtocolResult<Message>>;
+
+struct State {
+    /// Call id → reply slot for every call awaiting its reply.
+    pending: HashMap<u64, ReplySlot>,
+    /// Calls admitted (slot held) — bounded by `max_inflight`.
+    inflight: usize,
+    /// Set once on the first stream-level error; the stream never recovers.
+    dead: Option<String>,
+}
+
+struct Shared {
+    stream: TcpStream,
+    writer: Mutex<BufWriter<TcpStream>>,
+    state: Mutex<State>,
+    /// Signals slot releases and stream death.
+    cv: Condvar,
+    next_id: AtomicU64,
+    max_inflight: usize,
+}
+
+impl Shared {
+    /// Fail every pending call and mark the stream dead. Idempotent; the
+    /// first reason wins.
+    fn poison(&self, reason: &str) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.dead.is_none() {
+            st.dead = Some(reason.to_string());
+        }
+        for (_, slot) in st.pending.drain() {
+            let _ = slot.send(Err(ProtocolError::Disconnected));
+        }
+        self.cv.notify_all();
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// A multiplexed client connection. Dropping it shuts the socket down,
+/// which terminates the reader thread.
+pub struct MuxStream {
+    shared: Arc<Shared>,
+    peer: SocketAddr,
+}
+
+impl MuxStream {
+    /// Dial `addr` (with an optional connect/IO deadline) and start the
+    /// demux reader.
+    pub fn connect(
+        addr: &str,
+        deadline: Option<Duration>,
+        max_inflight: usize,
+    ) -> ProtocolResult<MuxStream> {
+        let sockaddr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ProtocolError::Io(std::io::ErrorKind::AddrNotAvailable.into()))?;
+        let stream = match deadline {
+            Some(d) => TcpStream::connect_timeout(&sockaddr, d)?,
+            None => TcpStream::connect(sockaddr)?,
+        };
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        let reader = BufReader::new(stream.try_clone()?);
+        let shared = Arc::new(Shared {
+            stream,
+            writer: Mutex::new(writer),
+            state: Mutex::new(State {
+                pending: HashMap::new(),
+                inflight: 0,
+                dead: None,
+            }),
+            cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            max_inflight: max_inflight.max(1),
+        });
+        let demux = shared.clone();
+        std::thread::Builder::new()
+            .name("ninf-mux-reader".into())
+            .spawn(move || run_reader(demux, reader))
+            .map_err(ProtocolError::Io)?;
+        Ok(MuxStream {
+            shared,
+            peer: sockaddr,
+        })
+    }
+
+    /// Check out a handle: one logical client on this stream.
+    pub fn handle(&self) -> MuxHandle {
+        MuxHandle {
+            shared: self.shared.clone(),
+            deadline: None,
+            outstanding: None,
+        }
+    }
+
+    /// Whether a stream-level error has poisoned this stream.
+    pub fn is_dead(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .dead
+            .is_some()
+    }
+
+    /// Calls currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .inflight
+    }
+
+    /// Admission bound for this stream.
+    pub fn max_inflight(&self) -> usize {
+        self.shared.max_inflight
+    }
+
+    /// The dialed peer address.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+}
+
+impl Drop for MuxStream {
+    fn drop(&mut self) {
+        self.shared.poison("stream dropped");
+    }
+}
+
+fn run_reader(shared: Arc<Shared>, mut reader: BufReader<TcpStream>) {
+    loop {
+        match read_frame_mux(&mut reader) {
+            Ok((call_id, msg)) => {
+                let slot = {
+                    let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                    st.pending.remove(&call_id)
+                };
+                // A missing slot means the caller abandoned the call
+                // (deadline fired); the late reply is dropped.
+                if let Some(slot) = slot {
+                    let _ = slot.send(Ok(msg));
+                }
+            }
+            Err(e) => {
+                shared.poison(&e.to_string());
+                return;
+            }
+        }
+    }
+}
+
+/// One logical client's view of a [`MuxStream`]; implements [`Transport`]
+/// with strict send→recv pairing, per-call deadlines, and bounded
+/// admission.
+pub struct MuxHandle {
+    shared: Arc<Shared>,
+    deadline: Option<Duration>,
+    /// The call sent but not yet received, with its reply channel.
+    outstanding: Option<(u64, Receiver<ProtocolResult<Message>>)>,
+}
+
+impl MuxHandle {
+    /// Admit one call: wait for an in-flight slot (bounded backpressure)
+    /// until the deadline. Fails fast on a dead stream.
+    fn acquire_slot(&self) -> ProtocolResult<()> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let limit = self.deadline.map(|d| Instant::now() + d);
+        loop {
+            if st.dead.is_some() {
+                return Err(ProtocolError::Disconnected);
+            }
+            if st.inflight < self.shared.max_inflight {
+                st.inflight += 1;
+                return Ok(());
+            }
+            st = match limit {
+                Some(limit) => {
+                    let now = Instant::now();
+                    if now >= limit {
+                        return Err(ProtocolError::Timeout {
+                            operation: "write",
+                            after: self.deadline.unwrap_or_default(),
+                        });
+                    }
+                    let (guard, timeout) = self
+                        .shared
+                        .cv
+                        .wait_timeout(st, limit - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    if timeout.timed_out() && guard.inflight >= self.shared.max_inflight {
+                        return Err(ProtocolError::Timeout {
+                            operation: "write",
+                            after: self.deadline.unwrap_or_default(),
+                        });
+                    }
+                    guard
+                }
+                None => self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+            };
+        }
+    }
+
+    /// Release an admission slot (reply received, timed out, or abandoned).
+    fn release_slot(&self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.inflight = st.inflight.saturating_sub(1);
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+
+    /// Drop the current outstanding call, unregistering its reply slot.
+    fn abandon_outstanding(&mut self) {
+        if let Some((id, _rx)) = self.outstanding.take() {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.pending.remove(&id);
+            drop(st);
+            self.release_slot();
+        }
+    }
+
+    /// Block until the stream dies or the deadline passes — the receive
+    /// path when the request never made it onto the wire (a send the fault
+    /// layer swallowed). Mirrors a TCP read timeout on a silent peer.
+    fn wait_for_nothing(&self) -> ProtocolError {
+        let limit = self.deadline.map(|d| Instant::now() + d);
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.dead.is_some() {
+                return ProtocolError::Disconnected;
+            }
+            match limit {
+                Some(limit) => {
+                    let now = Instant::now();
+                    if now >= limit {
+                        return ProtocolError::Timeout {
+                            operation: "read",
+                            after: self.deadline.unwrap_or_default(),
+                        };
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .cv
+                        .wait_timeout(st, limit - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
+                }
+                None => {
+                    st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+}
+
+impl Transport for MuxHandle {
+    fn send(&mut self, msg: &Message) -> ProtocolResult<()> {
+        // A fresh send abandons any reply still owed to this handle — the
+        // same semantics as writing a new request down a plain socket.
+        self.abandon_outstanding();
+        self.acquire_slot()?;
+        let call_id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.dead.is_some() {
+                drop(st);
+                self.release_slot();
+                return Err(ProtocolError::Disconnected);
+            }
+            st.pending.insert(call_id, tx);
+        }
+        let write = {
+            let mut w = self.shared.writer.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = self.shared.stream.set_write_timeout(self.deadline);
+            write_frame_mux(&mut *w, call_id, msg)
+        };
+        if let Err(e) = write {
+            // A partially-written frame poisons the whole stream: the
+            // server's framing is now out of sync for every caller.
+            self.shared.poison(&e.to_string());
+            self.release_slot();
+            return Err(e);
+        }
+        self.outstanding = Some((call_id, rx));
+        Ok(())
+    }
+
+    fn recv(&mut self) -> ProtocolResult<Message> {
+        match self.outstanding.take() {
+            Some((id, rx)) => {
+                let result = match self.deadline {
+                    Some(d) => match rx.recv_timeout(d) {
+                        Ok(r) => r,
+                        Err(RecvTimeoutError::Timeout) => {
+                            let mut st =
+                                self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                            st.pending.remove(&id);
+                            drop(st);
+                            Err(ProtocolError::Timeout {
+                                operation: "read",
+                                after: d,
+                            })
+                        }
+                        Err(RecvTimeoutError::Disconnected) => Err(ProtocolError::Disconnected),
+                    },
+                    None => rx.recv().unwrap_or(Err(ProtocolError::Disconnected)),
+                };
+                self.release_slot();
+                result
+            }
+            // Nothing outstanding (e.g. the fault layer dropped the send):
+            // behave like a blocking read on a silent peer.
+            None => Err(self.wait_for_nothing()),
+        }
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> ProtocolResult<bool> {
+        self.deadline = deadline;
+        Ok(true)
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> ProtocolResult<()> {
+        use std::io::Write;
+        let mut w = self.shared.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = self.shared.stream.set_write_timeout(self.deadline);
+        let res = w.write_all(bytes).and_then(|_| w.flush());
+        drop(w);
+        if let Err(e) = res {
+            self.shared.poison(&e.to_string());
+            return Err(ProtocolError::Io(e));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for MuxHandle {
+    fn drop(&mut self) {
+        self.abandon_outstanding();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninf_protocol::Value;
+    use std::net::TcpListener;
+    use std::sync::Arc as StdArc;
+
+    use crate::reactor::{Handler, Reactor, ReactorConfig, ReactorHandle, ReactorHooks};
+
+    /// Echo server: replies `ResultData` carrying the Int arg back.
+    fn echo_server() -> ReactorHandle {
+        let handler: Handler = StdArc::new(|req: crate::reactor::Request| match req.message {
+            Message::Invoke { args, .. } => Some(Message::ResultData { results: args }),
+            Message::QueryLoad => None, // exercise the no-reply path
+            _ => Some(Message::Error {
+                reason: "unexpected".into(),
+            }),
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        Reactor::start(
+            listener,
+            ReactorConfig::default(),
+            handler,
+            ReactorHooks::default(),
+        )
+        .unwrap()
+    }
+
+    fn invoke(tag: i32) -> Message {
+        Message::Invoke {
+            routine: "echo".into(),
+            args: vec![Value::Int(tag)],
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn concurrent_handles_demux_to_the_right_caller() {
+        let server = echo_server();
+        let stream = MuxStream::connect(
+            &server.local_addr().to_string(),
+            Some(Duration::from_secs(5)),
+            DEFAULT_MAX_INFLIGHT,
+        )
+        .unwrap();
+        let threads: Vec<_> = (0..16)
+            .map(|i| {
+                let mut h = stream.handle();
+                std::thread::spawn(move || {
+                    h.set_deadline(Some(Duration::from_secs(5))).unwrap();
+                    for round in 0..8 {
+                        let tag = i * 1000 + round;
+                        h.send(&invoke(tag)).unwrap();
+                        match h.recv().unwrap() {
+                            Message::ResultData { results } => {
+                                assert_eq!(results, vec![Value::Int(tag)], "cross-talk!")
+                            }
+                            other => panic!("unexpected reply {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn dead_stream_fails_inflight_calls_retryably() {
+        let server = echo_server();
+        let addr = server.local_addr().to_string();
+        let stream = MuxStream::connect(&addr, Some(Duration::from_secs(5)), 8).unwrap();
+        let mut waiting = stream.handle();
+        waiting.set_deadline(Some(Duration::from_secs(10))).unwrap();
+        // QueryLoad gets no reply from this handler, so the call hangs in
+        // flight until the stream dies underneath it.
+        waiting.send(&Message::QueryLoad).unwrap();
+        let waiter = std::thread::spawn(move || waiting.recv());
+
+        std::thread::sleep(Duration::from_millis(50));
+        // Poison the stream: send garbage; the server kills the connection
+        // and the reader thread observes EOF.
+        let mut poisoner = stream.handle();
+        poisoner.send_raw(b"garbage that is not a frame").unwrap();
+
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(
+            err.is_retryable(),
+            "stream failure must be retryable: {err}"
+        );
+        assert!(stream.is_dead());
+
+        // Future sends fail fast.
+        let mut h = stream.handle();
+        assert!(h.send(&invoke(1)).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn inflight_bound_blocks_then_times_out() {
+        let server = echo_server();
+        let stream = MuxStream::connect(
+            &server.local_addr().to_string(),
+            Some(Duration::from_secs(5)),
+            1,
+        )
+        .unwrap();
+        let mut first = stream.handle();
+        first.set_deadline(Some(Duration::from_secs(5))).unwrap();
+        first.send(&Message::QueryLoad).unwrap(); // never replied: slot held
+
+        let mut second = stream.handle();
+        second
+            .set_deadline(Some(Duration::from_millis(100)))
+            .unwrap();
+        let err = second.send(&invoke(2)).unwrap_err();
+        assert!(err.is_timeout(), "admission must time out, got {err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropped_send_times_out_like_a_silent_peer() {
+        let server = echo_server();
+        let stream = MuxStream::connect(
+            &server.local_addr().to_string(),
+            Some(Duration::from_secs(5)),
+            8,
+        )
+        .unwrap();
+        let mut h = stream.handle();
+        h.set_deadline(Some(Duration::from_millis(80))).unwrap();
+        // recv with nothing outstanding — the FaultyTransport drop shape.
+        let err = h.recv().unwrap_err();
+        assert!(err.is_timeout(), "expected timeout, got {err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn call_ids_are_monotone_per_stream() {
+        let server = echo_server();
+        let stream = MuxStream::connect(
+            &server.local_addr().to_string(),
+            Some(Duration::from_secs(5)),
+            DEFAULT_MAX_INFLIGHT,
+        )
+        .unwrap();
+        let mut h = stream.handle();
+        h.set_deadline(Some(Duration::from_secs(5))).unwrap();
+        let before = stream.shared.next_id.load(Ordering::Relaxed);
+        for i in 0..5 {
+            h.send(&invoke(i)).unwrap();
+            h.recv().unwrap();
+        }
+        let after = stream.shared.next_id.load(Ordering::Relaxed);
+        assert_eq!(after, before + 5, "one fresh id per call, strictly rising");
+        server.shutdown();
+    }
+}

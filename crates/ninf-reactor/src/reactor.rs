@@ -1,0 +1,828 @@
+//! The server-side reactor: one thread owns every socket, a bounded worker
+//! pool runs the handlers.
+//!
+//! ```text
+//!            ┌────────────────────────── reactor thread ──────────────────┐
+//!  accept ──▶│ nonblocking sockets, per-conn read buffers + write queues, │
+//!            │ frame extraction (header parse → CRC → decode)             │
+//!            └──────┬──────────────────────────────────▲──────────────────┘
+//!                   │ (conn, call_id, Message)         │ Command::Reply (encoded frame) + wake
+//!            ┌──────▼──────────────────────────────────┴──────────────────┐
+//!            │ worker pool (bounded): handler(msg) → Option<Message>      │
+//!            └────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Backpressure is per connection: once `max_inflight_per_conn` calls from
+//! one connection are being handled, the reactor stops extracting frames
+//! from it (and stops reading its socket when the staging buffer fills), so
+//! one fast-spraying client cannot flood the worker queue. Replies re-enable
+//! the connection. A malformed frame — bad magic, wrong version, CRC
+//! mismatch, undecodable payload — closes exactly that connection; calls
+//! in flight on other connections are untouched.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ninf_obs::metrics::{Counter, Gauge};
+use ninf_protocol::{
+    check_frame_payload, encode_frame, parse_frame_header, Message, FRAME_HEADER_BYTES,
+};
+
+use crate::sys::{Interest, PollEvent, Poller};
+
+/// Tuning knobs for [`Reactor::start`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Worker threads running handlers. Handlers may block (the PE gate);
+    /// size this at least as large as the PE count so queries keep flowing
+    /// while compute is saturated.
+    pub workers: usize,
+    /// Calls in flight per connection before the reactor stops extracting
+    /// frames from it.
+    pub max_inflight_per_conn: usize,
+    /// Staged (unparsed) bytes per connection before the reactor stops
+    /// reading its socket. Must exceed the largest legal frame to make
+    /// progress on matrix payloads.
+    pub read_buffer_cap: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            workers: 8,
+            max_inflight_per_conn: 128,
+            read_buffer_cap: 512 * 1024 * 1024,
+        }
+    }
+}
+
+/// Observability hooks, all optional. Cloned atomic handles — the reactor
+/// updates them inline.
+#[derive(Debug, Clone, Default)]
+pub struct ReactorHooks {
+    /// Set to the number of currently open connections.
+    pub open_connections: Option<Gauge>,
+    /// Set to the number of calls dispatched but not yet replied.
+    pub inflight_calls: Option<Gauge>,
+    /// Incremented once per connection torn down for a malformed frame.
+    pub rejected_frames: Option<Counter>,
+}
+
+/// One decoded request, as handed to the handler.
+pub struct Request {
+    /// Reactor-assigned connection id (stable for the connection's life).
+    pub conn_id: u64,
+    /// The caller's mux id; echoed verbatim on the reply frame.
+    pub call_id: u64,
+    /// The decoded message.
+    pub message: Message,
+    /// Peer address, for logs.
+    pub peer: SocketAddr,
+}
+
+/// Handler run on worker threads: returns the reply (None = no reply).
+pub type Handler = Arc<dyn Fn(Request) -> Option<Message> + Send + Sync>;
+
+enum Command {
+    /// Encoded reply frame for a connection; also decrements its in-flight
+    /// count. `bytes: None` means the handler had no reply (count only).
+    Reply { conn: u64, bytes: Option<Vec<u8>> },
+    /// Stop accepting new connections but keep serving existing ones.
+    StopAccepting,
+    /// Stop accepting and stop reading; serve out every call already
+    /// dispatched, flush its reply, then drop the connections and exit.
+    Stop,
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Sends one byte down a socketpair to interrupt `Poller::wait`.
+#[derive(Clone)]
+struct Waker(Arc<UnixStream>);
+
+impl Waker {
+    fn wake(&self) {
+        // A full pipe already guarantees a pending wakeup; all errors are
+        // ignorable.
+        let _ = (&*self.0).write(&[1u8]);
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    peer: SocketAddr,
+    /// Staged bytes not yet consumed by frame extraction.
+    read_buf: Vec<u8>,
+    /// Reply frames waiting for the socket to accept them.
+    write_queue: VecDeque<Vec<u8>>,
+    /// Bytes of `write_queue[0]` already written.
+    write_off: usize,
+    /// Calls dispatched to workers, not yet replied.
+    inflight: usize,
+    interest: Interest,
+}
+
+/// A running reactor. Dropping the handle stops it.
+pub struct ReactorHandle {
+    local_addr: SocketAddr,
+    cmd_tx: Sender<Command>,
+    waker: Waker,
+    thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ReactorHandle {
+    /// The listener's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting new connections; existing connections keep being
+    /// served (the drain phase of a graceful shutdown).
+    pub fn stop_accepting(&self) {
+        let _ = self.cmd_tx.send(Command::StopAccepting);
+        self.waker.wake();
+    }
+
+    /// Tear everything down and join the reactor and worker threads. Calls
+    /// already dispatched to workers are served out and their replies
+    /// flushed before the sockets close — nothing is cut off mid-reply —
+    /// so this blocks for as long as the slowest in-flight handler runs.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let _ = self.cmd_tx.send(Command::Stop);
+        self.waker.wake();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ReactorHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+/// The event loop plus its worker pool.
+pub struct Reactor;
+
+impl Reactor {
+    /// Take ownership of `listener` and serve it until shutdown.
+    pub fn start(
+        listener: TcpListener,
+        config: ReactorConfig,
+        handler: Handler,
+        hooks: ReactorHooks,
+    ) -> io::Result<ReactorHandle> {
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let waker = Waker(Arc::new(wake_tx));
+
+        let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        let (work_tx, work_rx) = unbounded::<Request>();
+        // The shim's receiver is not cloneable; workers share it behind an
+        // Arc (recv takes &self).
+        let work_rx = Arc::new(work_rx);
+
+        let inflight_total = Arc::new(AtomicI64::new(0));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let work_rx: Arc<Receiver<Request>> = work_rx.clone();
+                let cmd_tx = cmd_tx.clone();
+                let waker = waker.clone();
+                let handler = handler.clone();
+                std::thread::Builder::new()
+                    .name(format!("ninf-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(req) = work_rx.recv() {
+                            let conn = req.conn_id;
+                            let call_id = req.call_id;
+                            let reply = handler(req);
+                            let bytes = reply
+                                .as_ref()
+                                .and_then(|msg| encode_frame(call_id, msg).ok());
+                            if cmd_tx.send(Command::Reply { conn, bytes }).is_err() {
+                                break;
+                            }
+                            waker.wake();
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        drop(work_rx);
+
+        let mut state = Loop {
+            poller: Poller::new()?,
+            listener,
+            wake_rx,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            cmd_rx,
+            work_tx,
+            config,
+            hooks,
+            inflight_total,
+            accepting: true,
+            draining: false,
+        };
+        state
+            .poller
+            .register(state.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        state
+            .poller
+            .register(state.wake_rx.as_raw_fd(), TOKEN_WAKER, Interest::READ)?;
+
+        let thread = std::thread::Builder::new()
+            .name("ninf-reactor".into())
+            .spawn(move || state.run())?;
+
+        Ok(ReactorHandle {
+            local_addr,
+            cmd_tx,
+            waker,
+            thread: Some(thread),
+            workers,
+        })
+    }
+}
+
+struct Loop {
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: UnixStream,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    cmd_rx: Receiver<Command>,
+    work_tx: Sender<Request>,
+    config: ReactorConfig,
+    hooks: ReactorHooks,
+    inflight_total: Arc<AtomicI64>,
+    accepting: bool,
+    /// Stop requested: no new reads, exit once in-flight work is served out
+    /// and every reply flushed.
+    draining: bool,
+}
+
+impl Loop {
+    fn run(&mut self) {
+        let mut events: Vec<PollEvent> = Vec::new();
+        loop {
+            events.clear();
+            if self.poller.wait(&mut events, 500).is_err() {
+                break;
+            }
+            // Commands first: replies free in-flight slots, which can
+            // re-enable paused connections before their events process.
+            self.drain_commands();
+            for ev in events.iter().copied() {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.drain_waker(),
+                    token => self.conn_ready(token, ev),
+                }
+            }
+            if self.draining
+                && self.inflight_total.load(Ordering::Relaxed) == 0
+                && self.conns.values().all(|c| c.write_queue.is_empty())
+            {
+                break;
+            }
+        }
+        // Teardown: deregister and drop every connection.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for t in tokens {
+            self.close_conn(t);
+        }
+    }
+
+    fn drain_commands(&mut self) {
+        while let Ok(Some(cmd)) = self.cmd_rx.try_recv() {
+            match cmd {
+                Command::Reply { conn, bytes } => self.handle_reply(conn, bytes),
+                Command::StopAccepting => self.stop_accepting(),
+                Command::Stop => {
+                    self.stop_accepting();
+                    self.draining = true;
+                    // Drop read interest everywhere: dispatched calls finish,
+                    // but no new frames enter.
+                    let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                    for t in tokens {
+                        self.update_interest(t);
+                    }
+                }
+            }
+        }
+    }
+
+    fn stop_accepting(&mut self) {
+        if self.accepting {
+            self.accepting = false;
+            let _ = self.poller.deregister(self.listener.as_raw_fd());
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.wake_rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    fn accept_ready(&mut self) {
+        while self.accepting {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            peer,
+                            read_buf: Vec::new(),
+                            write_queue: VecDeque::new(),
+                            write_off: 0,
+                            inflight: 0,
+                            interest: Interest::READ,
+                        },
+                    );
+                    self.set_open_gauge();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, ev: PollEvent) {
+        if ev.error && !ev.readable {
+            self.close_conn(token);
+            return;
+        }
+        if ev.writable && !self.flush_writes(token) {
+            return;
+        }
+        if ev.readable {
+            self.read_ready(token);
+        }
+    }
+
+    /// Pull bytes off the socket and extract frames. Returns false if the
+    /// connection was closed.
+    fn read_ready(&mut self, token: u64) -> bool {
+        let mut scratch = [0u8; 64 * 1024];
+        loop {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) => c,
+                None => return false,
+            };
+            if !conn.interest.readable {
+                // Paused by backpressure; leave the bytes in the kernel.
+                return true;
+            }
+            if conn.read_buf.len() >= self.config.read_buffer_cap {
+                self.update_interest(token);
+                return true;
+            }
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    self.close_conn(token);
+                    return false;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&scratch[..n]);
+                    if !self.extract_frames(token) {
+                        return false;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Parse complete frames out of the staging buffer and dispatch them.
+    /// Returns false if the connection was closed (malformed frame).
+    fn extract_frames(&mut self, token: u64) -> bool {
+        let mut consumed = 0usize;
+        let mut dispatched: Vec<Request> = Vec::new();
+        let (close, pause_changed) = {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) => c,
+                None => return false,
+            };
+            let mut close = false;
+            loop {
+                if conn.inflight + dispatched.len() >= self.config.max_inflight_per_conn {
+                    break;
+                }
+                let buf = &conn.read_buf[consumed..];
+                if buf.len() < FRAME_HEADER_BYTES {
+                    break;
+                }
+                let header: [u8; FRAME_HEADER_BYTES] =
+                    buf[..FRAME_HEADER_BYTES].try_into().expect("header slice");
+                let header = match parse_frame_header(&header) {
+                    Ok(h) => h,
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                };
+                let total = FRAME_HEADER_BYTES + header.len as usize;
+                if buf.len() < total {
+                    break;
+                }
+                match check_frame_payload(&header, &buf[FRAME_HEADER_BYTES..total]) {
+                    Ok(message) => {
+                        dispatched.push(Request {
+                            conn_id: token,
+                            call_id: header.call_id,
+                            message,
+                            peer: conn.peer,
+                        });
+                        consumed += total;
+                    }
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+            if consumed > 0 {
+                conn.read_buf.drain(..consumed);
+            }
+            conn.inflight += dispatched.len();
+            (close, true)
+        };
+        let n = dispatched.len() as i64;
+        if n > 0 {
+            self.inflight_total.fetch_add(n, Ordering::Relaxed);
+            self.set_inflight_gauge();
+            for req in dispatched {
+                let _ = self.work_tx.send(req);
+            }
+        }
+        if close {
+            if let Some(c) = &self.hooks.rejected_frames {
+                c.inc();
+            }
+            self.close_conn(token);
+            return false;
+        }
+        if pause_changed {
+            self.update_interest(token);
+        }
+        true
+    }
+
+    fn handle_reply(&mut self, token: u64, bytes: Option<Vec<u8>>) {
+        self.inflight_total.fetch_sub(1, Ordering::Relaxed);
+        self.set_inflight_gauge();
+        let had_conn = if let Some(conn) = self.conns.get_mut(&token) {
+            conn.inflight = conn.inflight.saturating_sub(1);
+            if let Some(b) = bytes {
+                conn.write_queue.push_back(b);
+            }
+            true
+        } else {
+            false
+        };
+        if had_conn && self.flush_writes(token) {
+            // Freed an in-flight slot: frames may already be staged.
+            if self.extract_frames(token) {
+                self.update_interest(token);
+            }
+        }
+    }
+
+    /// Write queued reply bytes until drained or WouldBlock. Returns false
+    /// if the connection was closed.
+    fn flush_writes(&mut self, token: u64) -> bool {
+        loop {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) => c,
+                None => return false,
+            };
+            let front = match conn.write_queue.front() {
+                Some(f) => f,
+                None => {
+                    self.update_interest(token);
+                    return true;
+                }
+            };
+            match conn.stream.write(&front[conn.write_off..]) {
+                Ok(0) => {
+                    self.close_conn(token);
+                    return false;
+                }
+                Ok(n) => {
+                    conn.write_off += n;
+                    if conn.write_off == front.len() {
+                        conn.write_queue.pop_front();
+                        conn.write_off = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.update_interest(token);
+                    return true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Recompute a connection's poller interest from its state: read while
+    /// under the in-flight and buffer caps, write while replies are queued.
+    fn update_interest(&mut self, token: u64) {
+        let (fd, want, have) = match self.conns.get_mut(&token) {
+            Some(conn) => {
+                let readable = !self.draining
+                    && conn.inflight < self.config.max_inflight_per_conn
+                    && conn.read_buf.len() < self.config.read_buffer_cap;
+                let writable = !conn.write_queue.is_empty();
+                let want = Interest { readable, writable };
+                let have = conn.interest;
+                conn.interest = want;
+                (conn.stream.as_raw_fd(), want, have)
+            }
+            None => return,
+        };
+        if want != have {
+            let _ = self.poller.modify(fd, token, want);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            // Calls still in flight on this connection will decrement the
+            // global gauge when their Reply commands arrive (the per-conn
+            // count dies with the conn).
+            self.set_open_gauge();
+        }
+    }
+
+    fn set_open_gauge(&self) {
+        if let Some(g) = &self.hooks.open_connections {
+            g.set(self.conns.len() as f64);
+        }
+    }
+
+    fn set_inflight_gauge(&self) {
+        if let Some(g) = &self.hooks.inflight_calls {
+            g.set(self.inflight_total.load(Ordering::Relaxed).max(0) as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninf_protocol::{read_frame_mux, write_frame_mux, ProtocolResult, TcpTransport, Transport};
+    use std::io::BufReader;
+    use std::time::Duration;
+
+    fn echo_handler() -> Handler {
+        Arc::new(|req: Request| match req.message {
+            Message::QueryInterface { routine } => Some(Message::Error {
+                reason: format!("echo:{routine}"),
+            }),
+            Message::QueryLoad => Some(Message::Error {
+                reason: "load".into(),
+            }),
+            other => Some(Message::Error {
+                reason: format!("unhandled {other:?}"),
+            }),
+        })
+    }
+
+    fn start_echo() -> ReactorHandle {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        Reactor::start(
+            listener,
+            ReactorConfig::default(),
+            echo_handler(),
+            ReactorHooks::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sequential_transport_client_is_served() {
+        let handle = start_echo();
+        let mut t = TcpTransport::connect(&handle.local_addr().to_string()).unwrap();
+        t.send(&Message::QueryInterface {
+            routine: "ep".into(),
+        })
+        .unwrap();
+        let reply = t.recv().unwrap();
+        assert_eq!(
+            reply,
+            Message::Error {
+                reason: "echo:ep".into()
+            }
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn replies_echo_the_request_call_id() {
+        let handle = start_echo();
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // Many in-flight calls on one stream, ids far apart.
+        let ids = [3u64, 9, 1_000_000_007, u64::MAX - 1];
+        for &id in &ids {
+            write_frame_mux(
+                &mut writer,
+                id,
+                &Message::QueryInterface {
+                    routine: format!("r{id}"),
+                },
+            )
+            .unwrap();
+        }
+        let mut got: Vec<u64> = Vec::new();
+        for _ in &ids {
+            let (id, msg) = read_frame_mux(&mut reader).unwrap();
+            assert_eq!(
+                msg,
+                Message::Error {
+                    reason: format!("echo:r{id}")
+                },
+                "reply payload must match its id"
+            );
+            got.push(id);
+        }
+        got.sort_unstable();
+        let mut want = ids.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_closes_only_that_connection() {
+        let hooks = ReactorHooks {
+            rejected_frames: Some(Counter::default()),
+            ..Default::default()
+        };
+        let rejected = hooks.rejected_frames.clone().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle =
+            Reactor::start(listener, ReactorConfig::default(), echo_handler(), hooks).unwrap();
+        let addr = handle.local_addr().to_string();
+
+        // Healthy connection A.
+        let mut a = TcpTransport::connect(&addr).unwrap();
+        a.send(&Message::QueryLoad).unwrap();
+        a.recv().unwrap();
+
+        // Connection B sends garbage and dies.
+        let mut b = TcpTransport::connect(&addr).unwrap();
+        b.send_raw(b"NOT A FRAME AT ALL........").unwrap();
+        b.set_deadline(Some(Duration::from_secs(5))).unwrap();
+        assert!(b.recv().is_err(), "poisoned connection must be closed");
+
+        // A still works.
+        a.send(&Message::QueryLoad).unwrap();
+        a.recv().unwrap();
+        assert_eq!(rejected.get(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn gauges_track_connections_and_inflight() {
+        let hooks = ReactorHooks {
+            open_connections: Some(Gauge::default()),
+            inflight_calls: Some(Gauge::default()),
+            ..Default::default()
+        };
+        let open = hooks.open_connections.clone().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle =
+            Reactor::start(listener, ReactorConfig::default(), echo_handler(), hooks).unwrap();
+        let addr = handle.local_addr().to_string();
+        let mut t = TcpTransport::connect(&addr).unwrap();
+        t.send(&Message::QueryLoad).unwrap();
+        t.recv().unwrap();
+        assert_eq!(open.get(), 1.0);
+        drop(t);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while open.get() > 0.0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(open.get(), 0.0, "close must be observed");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn stop_accepting_refuses_new_but_serves_existing() {
+        let handle = start_echo();
+        let addr = handle.local_addr().to_string();
+        let mut existing = TcpTransport::connect(&addr).unwrap();
+        existing.send(&Message::QueryLoad).unwrap();
+        existing.recv().unwrap();
+
+        handle.stop_accepting();
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Existing connection still works.
+        existing.send(&Message::QueryLoad).unwrap();
+        existing.recv().unwrap();
+
+        // A new connection may complete the TCP handshake (backlog) but
+        // must never be served.
+        let probe: ProtocolResult<Message> = (|| {
+            let mut t =
+                TcpTransport::connect_with_deadline(&addr, Some(Duration::from_millis(300)))?;
+            t.set_deadline(Some(Duration::from_millis(300)))?;
+            t.send(&Message::QueryLoad)?;
+            t.recv()
+        })();
+        assert!(probe.is_err(), "new connections must not be served");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn per_conn_inflight_cap_still_completes_all_calls() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = Reactor::start(
+            listener,
+            ReactorConfig {
+                workers: 2,
+                max_inflight_per_conn: 4,
+                ..Default::default()
+            },
+            echo_handler(),
+            ReactorHooks::default(),
+        )
+        .unwrap();
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // Burst far above the cap: backpressure must pace, not deadlock.
+        let total = 64u64;
+        let w = std::thread::spawn(move || {
+            for id in 1..=total {
+                write_frame_mux(&mut writer, id, &Message::QueryLoad).unwrap();
+            }
+        });
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..total {
+            let (id, _) = read_frame_mux(&mut reader).unwrap();
+            assert!(seen.insert(id), "duplicate reply id {id}");
+        }
+        w.join().unwrap();
+        assert_eq!(seen.len(), total as usize);
+        handle.shutdown();
+    }
+}

@@ -20,7 +20,9 @@
 //! * [`exec`] — the execution-mode gate: task-parallel (one PE per call) vs
 //!   data-parallel (all PEs per call, serialized), the central tradeoff of
 //!   §4.2;
-//! * [`server`] — a live multi-threaded TCP server speaking real Ninf RPC;
+//! * [`server`] — a live TCP server speaking real Ninf RPC, served by an
+//!   event-driven reactor core (default) or the thread-per-connection
+//!   baseline;
 //! * [`stats`] — per-call timestamps `T_submit / T_enqueue / T_dequeue /
 //!   T_complete` and the derived response/wait times of §4.1.
 
@@ -36,7 +38,7 @@ pub mod twophase;
 pub use exec::ExecMode;
 pub use policy::{JobInfo, SchedPolicy};
 pub use registry::{Handler, NinfExecutable, Registry};
-pub use server::{NinfServer, ServerConfig, ServerMetrics};
+pub use server::{NinfServer, ServerConfig, ServerCore, ServerMetrics};
 pub use stats::{CallRecord, ServerStats};
 pub use trace::CostModel;
 pub use twophase::JobTable;

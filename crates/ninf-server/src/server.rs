@@ -1,21 +1,29 @@
 //! The live TCP Ninf computational server.
 //!
-//! One thread accepts connections; each connection gets a handler thread that
-//! speaks the two-stage Ninf RPC (QueryInterface → InterfaceReply → Invoke →
-//! ResultData) and funnels execution through the [`JobGate`], so the
+//! Two connection cores serve the same per-message protocol logic:
+//!
+//! * [`ServerCore::Reactor`] (default) — one event-loop thread owns every
+//!   nonblocking socket and a bounded worker pool runs the handlers, so one
+//!   ninfd sustains thousands of multiplexed client streams (the C10k path);
+//! * [`ServerCore::ThreadPerConnection`] — the original accept-loop /
+//!   thread-per-socket baseline, kept for A/B benchmarking.
+//!
+//! Either way, every call funnels through the [`JobGate`], so the
 //! task-parallel/data-parallel tradeoff and the admission policy behave
 //! exactly as in the paper's server.
 
+use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use ninf_obs::log::Level;
 use ninf_obs::{logkv, recorder, Counter, Gauge, LogHistogram, MetricsRegistry};
 use ninf_protocol::{
-    Message, ProtocolError, ProtocolResult, Span, TcpTransport, TraceContext, Transport,
+    read_frame_mux, write_frame_mux, Message, ProtocolError, ProtocolResult, Span, TraceContext,
 };
+use ninf_reactor::{Handler, Reactor, ReactorConfig, ReactorHandle, ReactorHooks};
 
 use crate::exec::{ExecMode, JobGate};
 use crate::policy::{JobInfo, SchedPolicy};
@@ -23,6 +31,27 @@ use crate::registry::{validate_invoke, Registry};
 use crate::stats::{CallRecord, ServerStats};
 use crate::trace::CostModel;
 use crate::twophase::JobTable;
+
+/// Which connection core owns the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerCore {
+    /// Event-driven core: a reactor thread plus `workers` handler threads.
+    /// Invoke handlers block in the PE gate, so the effective pool is sized
+    /// at least `pes + 4` to keep queries flowing under compute saturation.
+    Reactor {
+        /// Handler threads (floor; see above).
+        workers: usize,
+    },
+    /// One detached thread per accepted connection (the pre-reactor
+    /// baseline, kept for the connections-vs-throughput benchmark).
+    ThreadPerConnection,
+}
+
+impl Default for ServerCore {
+    fn default() -> Self {
+        ServerCore::Reactor { workers: 8 }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -33,6 +62,8 @@ pub struct ServerConfig {
     pub mode: ExecMode,
     /// Admission policy (§5.2–5.3); the paper's server runs FCFS.
     pub policy: SchedPolicy,
+    /// Connection core (reactor by default).
+    pub core: ServerCore,
 }
 
 impl Default for ServerConfig {
@@ -41,6 +72,7 @@ impl Default for ServerConfig {
             pes: 4,
             mode: ExecMode::TaskParallel,
             policy: SchedPolicy::Fcfs,
+            core: ServerCore::default(),
         }
     }
 }
@@ -55,6 +87,8 @@ pub struct ServerMetrics {
     latency: Arc<parking_lot::Mutex<LogHistogram>>,
     running: Gauge,
     queued: Gauge,
+    open_connections: Gauge,
+    inflight_calls: Gauge,
 }
 
 impl ServerMetrics {
@@ -78,6 +112,14 @@ impl ServerMetrics {
         );
         let running = registry.gauge("ninf_server_running", "calls executing now");
         let queued = registry.gauge("ninf_server_queued", "calls waiting for a PE");
+        let open_connections = registry.gauge(
+            "ninf_server_open_connections",
+            "client connections currently open",
+        );
+        let inflight_calls = registry.gauge(
+            "ninf_server_inflight_calls",
+            "calls received but not yet replied to",
+        );
         Self {
             registry,
             calls,
@@ -86,6 +128,8 @@ impl ServerMetrics {
             latency,
             running,
             queued,
+            open_connections,
+            inflight_calls,
         }
     }
 
@@ -95,8 +139,33 @@ impl ServerMetrics {
     }
 }
 
-/// Handle to a running server; dropping it does **not** stop the server —
-/// call [`NinfServer::shutdown`].
+/// The shared per-call context both connection cores hand to the message
+/// handler.
+struct CallContext {
+    registry: Arc<Registry>,
+    stats: Arc<ServerStats>,
+    gate: Arc<JobGate>,
+    jobs: Arc<JobTable>,
+    cost: Arc<CostModel>,
+    metrics: Arc<ServerMetrics>,
+    mode: ExecMode,
+    /// Threaded-core bookkeeping behind the `ninf_server_inflight_calls`
+    /// gauge (the reactor core tracks this in its event loop instead).
+    threaded_inflight: AtomicI64,
+}
+
+/// The running connection core behind a [`NinfServer`].
+enum CoreHandle {
+    Reactor(Option<ReactorHandle>),
+    Threaded {
+        stop: Arc<AtomicBool>,
+        accept_thread: Option<JoinHandle<()>>,
+    },
+}
+
+/// Handle to a running server. Prefer [`NinfServer::shutdown`]; dropping the
+/// handle tears the reactor core down without a drain window (the threaded
+/// core's detached connection threads outlive the handle either way).
 pub struct NinfServer {
     addr: std::net::SocketAddr,
     stats: Arc<ServerStats>,
@@ -104,8 +173,7 @@ pub struct NinfServer {
     jobs: Arc<JobTable>,
     cost: Arc<CostModel>,
     metrics: Arc<ServerMetrics>,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    core: CoreHandle,
 }
 
 impl NinfServer {
@@ -119,40 +187,72 @@ impl NinfServer {
         let jobs = Arc::new(JobTable::new());
         let cost = Arc::new(CostModel::new());
         let metrics = Arc::new(ServerMetrics::new());
-        let stop = Arc::new(AtomicBool::new(false));
-        let registry = Arc::new(registry);
+        let ctx = Arc::new(CallContext {
+            registry: Arc::new(registry),
+            stats: stats.clone(),
+            gate: gate.clone(),
+            jobs: jobs.clone(),
+            cost: cost.clone(),
+            metrics: metrics.clone(),
+            mode: config.mode,
+            threaded_inflight: AtomicI64::new(0),
+        });
 
-        let accept_thread = {
-            let stats = stats.clone();
-            let gate = gate.clone();
-            let jobs = jobs.clone();
-            let cost = cost.clone();
-            let metrics = metrics.clone();
-            let stop = stop.clone();
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let registry = registry.clone();
-                    let stats = stats.clone();
-                    let gate = gate.clone();
-                    let jobs = jobs.clone();
-                    let cost = cost.clone();
-                    let metrics = metrics.clone();
-                    let mode = config.mode;
-                    // Connection threads are detached: a client that keeps
-                    // its connection open (normal for Ninf RPC, §5.1) must
-                    // not block shutdown. The thread exits when its peer
-                    // hangs up.
+        let core = match config.core {
+            ServerCore::Reactor { workers } => {
+                let handler: Handler = {
+                    let ctx = ctx.clone();
+                    Arc::new(move |req: ninf_reactor::Request| {
+                        Some(handle_message(&ctx, req.message))
+                    })
+                };
+                let hooks = ReactorHooks {
+                    open_connections: Some(metrics.open_connections.clone()),
+                    inflight_calls: Some(metrics.inflight_calls.clone()),
+                    rejected_frames: Some(metrics.rejected_frames.clone()),
+                };
+                let reactor_config = ReactorConfig {
+                    // Invoke handlers block in the gate; keep headroom so
+                    // load/stats queries are served while PEs are saturated.
+                    workers: workers.max(config.pes + 4),
+                    ..ReactorConfig::default()
+                };
+                let handle = Reactor::start(listener, reactor_config, handler, hooks)?;
+                CoreHandle::Reactor(Some(handle))
+            }
+            ServerCore::ThreadPerConnection => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let accept_thread = {
+                    let ctx = ctx.clone();
+                    let stop = stop.clone();
+                    let open = Arc::new(AtomicI64::new(0));
                     std::thread::spawn(move || {
-                        let _ = serve_connection(
-                            stream, registry, stats, gate, jobs, cost, metrics, mode,
-                        );
-                    });
+                        for stream in listener.incoming() {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(stream) = stream else { continue };
+                            let ctx = ctx.clone();
+                            let open = open.clone();
+                            // Connection threads are detached: a client that
+                            // keeps its connection open (normal for Ninf RPC,
+                            // §5.1) must not block shutdown. The thread exits
+                            // when its peer hangs up.
+                            std::thread::spawn(move || {
+                                let n = open.fetch_add(1, Ordering::SeqCst) + 1;
+                                ctx.metrics.open_connections.set(n as f64);
+                                let _ = serve_connection(stream, &ctx);
+                                let n = open.fetch_sub(1, Ordering::SeqCst) - 1;
+                                ctx.metrics.open_connections.set(n as f64);
+                            });
+                        }
+                    })
+                };
+                CoreHandle::Threaded {
+                    stop,
+                    accept_thread: Some(accept_thread),
                 }
-            })
+            }
         };
 
         Ok(Self {
@@ -162,8 +262,7 @@ impl NinfServer {
             jobs,
             cost,
             metrics,
-            stop,
-            accept_thread: Some(accept_thread),
+            core,
         })
     }
 
@@ -204,50 +303,69 @@ impl NinfServer {
     }
 
     /// Graceful shutdown: stop accepting new connections, then wait up to
-    /// `drain` for PEs executing calls to go idle before returning. Returns
+    /// `drain` for in-flight calls to finish before returning. Returns
     /// `true` if the server drained fully, `false` if work was still running
-    /// when the window closed (those detached connection threads keep going
-    /// until their clients hang up — nothing is torn down mid-execution
-    /// either way, but the caller knows the fleet wasn't quiesced).
+    /// when the window closed. Nothing is torn down mid-execution either
+    /// way — the reactor core serves out dispatched calls before its sockets
+    /// close, and the threaded core's detached connection threads keep going
+    /// until their clients hang up — but the caller knows whether the fleet
+    /// was quiesced in time.
     pub fn shutdown_with_drain(mut self, drain: std::time::Duration) -> bool {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept() call.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
         let deadline = std::time::Instant::now() + drain;
-        while self.gate.busy_pes() > 0 {
-            if std::time::Instant::now() >= deadline {
-                return false;
+        match &mut self.core {
+            CoreHandle::Reactor(handle) => {
+                let handle = handle.take().expect("reactor core running");
+                handle.stop_accepting();
+                let drained = loop {
+                    if self.gate.busy_pes() == 0 && self.metrics.inflight_calls.get() == 0.0 {
+                        break true;
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        break false;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                };
+                handle.shutdown();
+                drained
             }
-            std::thread::sleep(std::time::Duration::from_millis(5));
+            CoreHandle::Threaded {
+                stop,
+                accept_thread,
+            } => {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept() call.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+                while self.gate.busy_pes() > 0 {
+                    if std::time::Instant::now() >= deadline {
+                        return false;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                true
+            }
         }
-        true
     }
 }
 
-/// Serve one client connection until it closes.
-#[allow(clippy::too_many_arguments)] // one shared handle per subsystem
-fn serve_connection(
-    stream: TcpStream,
-    registry: Arc<Registry>,
-    stats: Arc<ServerStats>,
-    gate: Arc<JobGate>,
-    jobs: Arc<JobTable>,
-    cost: Arc<CostModel>,
-    metrics: Arc<ServerMetrics>,
-    mode: ExecMode,
-) -> ProtocolResult<()> {
+/// Serve one client connection until it closes (thread-per-connection
+/// core). Mux-aware: each request frame's call id is echoed on its reply,
+/// so multiplexed clients work against the baseline too — though replies
+/// are produced in request order, one at a time.
+fn serve_connection(stream: TcpStream, ctx: &Arc<CallContext>) -> ProtocolResult<()> {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "?".into());
     logkv!(Level::Debug, "server", "accept", peer = peer);
-    let mut transport = TcpTransport::new(stream)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
     loop {
-        let msg = match transport.recv() {
-            Ok(m) => m,
+        let (call_id, msg) = match read_frame_mux(&mut reader) {
+            Ok(x) => x,
             // Normal client hang-up between calls.
             Err(ProtocolError::Io(_)) | Err(ProtocolError::Disconnected) => return Ok(()),
             // Anything else means the wire carried a frame this server
@@ -255,7 +373,7 @@ fn serve_connection(
             // mismatch, malformed payload. Count it, say why, and tear
             // the connection down: the stream is desynchronized.
             Err(e) => {
-                metrics.rejected_frames.inc();
+                ctx.metrics.rejected_frames.inc();
                 logkv!(
                     Level::Warn,
                     "server",
@@ -266,138 +384,155 @@ fn serve_connection(
                 return Err(e);
             }
         };
-        match msg {
-            Message::QueryInterface { routine } => match registry.lookup(&routine) {
-                Some(exe) => transport.send(&Message::InterfaceReply {
-                    interface: exe.interface.clone(),
-                })?,
-                None => {
-                    logkv!(Level::Warn, "server", "unknown_routine", routine = routine);
-                    transport.send(&Message::Error {
-                        reason: format!("unknown routine `{routine}`"),
-                    })?
-                }
+        let n = ctx.threaded_inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        ctx.metrics.inflight_calls.set(n as f64);
+        let reply = handle_message(ctx, msg);
+        let n = ctx.threaded_inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        ctx.metrics.inflight_calls.set(n as f64);
+        write_frame_mux(&mut writer, call_id, &reply)?;
+        writer.flush()?;
+    }
+}
+
+/// The protocol state machine, shared by both connection cores: one request
+/// message in, one reply message out. Every message kind replies exactly
+/// once; SubmitJob's compute runs detached after its ticket is returned.
+fn handle_message(ctx: &Arc<CallContext>, msg: Message) -> Message {
+    match msg {
+        Message::QueryInterface { routine } => match ctx.registry.lookup(&routine) {
+            Some(exe) => Message::InterfaceReply {
+                interface: exe.interface.clone(),
             },
-            Message::Invoke {
-                routine,
-                args,
-                trace,
-            } => {
-                let t_submit = stats.now();
-                logkv!(
-                    Level::Info,
-                    "server",
-                    "invoke",
-                    routine = routine,
-                    args = args.len()
-                );
-                let reply = execute_invoke(
-                    &routine, &args, &registry, &stats, &gate, &cost, mode, t_submit, trace,
-                    &metrics,
-                );
-                // The reply leg gets its own span, a sibling of the invoke
-                // span under the caller's rpc position.
-                let tracing = trace.filter(|_| recorder::global().enabled());
-                let send_start = tracing.map(|_| ninf_obs::now_us());
-                transport.send(&reply)?;
-                if let (Some(ctx), Some(start)) = (tracing, send_start) {
-                    recorder::global().record(Span::at(ctx.child(), "reply", "server", start));
+            None => {
+                logkv!(Level::Warn, "server", "unknown_routine", routine = routine);
+                Message::Error {
+                    reason: format!("unknown routine `{routine}`"),
                 }
             }
-            Message::SubmitJob {
-                routine,
-                args,
+        },
+        Message::Invoke {
+            routine,
+            args,
+            trace,
+        } => {
+            let t_submit = ctx.stats.now();
+            logkv!(
+                Level::Info,
+                "server",
+                "invoke",
+                routine = routine,
+                args = args.len()
+            );
+            let reply = execute_invoke(
+                &routine,
+                &args,
+                &ctx.registry,
+                &ctx.stats,
+                &ctx.gate,
+                &ctx.cost,
+                ctx.mode,
+                t_submit,
                 trace,
-            } => {
-                // Two-phase, phase 1 (§5.1): ticket now, compute detached —
-                // the client may disconnect immediately.
-                let ticket = jobs.submit();
-                logkv!(
-                    Level::Info,
-                    "server",
-                    "submit_job",
-                    routine = routine,
-                    job = ticket
+                &ctx.metrics,
+            );
+            // The reply leg gets its own span, a sibling of the invoke span
+            // under the caller's rpc position, stamped as the reply is
+            // handed to the connection core.
+            if let Some(parent) = trace.filter(|_| recorder::global().enabled()) {
+                let start = ninf_obs::now_us();
+                recorder::global().record(Span::at(parent.child(), "reply", "server", start));
+            }
+            reply
+        }
+        Message::SubmitJob {
+            routine,
+            args,
+            trace,
+        } => {
+            // Two-phase, phase 1 (§5.1): ticket now, compute detached —
+            // the client may disconnect immediately.
+            let ticket = ctx.jobs.submit();
+            logkv!(
+                Level::Info,
+                "server",
+                "submit_job",
+                routine = routine,
+                job = ticket
+            );
+            let ctx = ctx.clone();
+            std::thread::spawn(move || {
+                let t_submit = ctx.stats.now();
+                let reply = execute_invoke(
+                    &routine,
+                    &args,
+                    &ctx.registry,
+                    &ctx.stats,
+                    &ctx.gate,
+                    &ctx.cost,
+                    ctx.mode,
+                    t_submit,
+                    trace,
+                    &ctx.metrics,
                 );
-                transport.send(&Message::JobTicket { job: ticket })?;
-                let registry = registry.clone();
-                let stats = stats.clone();
-                let gate = gate.clone();
-                let jobs = jobs.clone();
-                let cost = cost.clone();
-                let metrics = metrics.clone();
-                std::thread::spawn(move || {
-                    let t_submit = stats.now();
-                    let reply = execute_invoke(
-                        &routine, &args, &registry, &stats, &gate, &cost, mode, t_submit, trace,
-                        &metrics,
-                    );
-                    let outcome = match reply {
-                        Message::ResultData { results } => Ok(results),
-                        Message::Error { reason } => Err(reason),
-                        other => Err(format!("internal: unexpected {}", other.kind())),
-                    };
-                    jobs.complete(ticket, outcome);
-                });
-            }
-            Message::PollJob { job } => {
-                transport.send(&Message::JobStatus {
-                    job,
-                    state: jobs.poll(job),
-                })?;
-            }
-            Message::FetchResult { job } => {
-                let reply = match jobs.fetch(job) {
-                    Some(Ok(results)) => Message::ResultData { results },
-                    Some(Err(reason)) => Message::Error { reason },
-                    None => Message::Error {
-                        reason: format!("job {job} is not ready (or unknown)"),
-                    },
+                let outcome = match reply {
+                    Message::ResultData { results } => Ok(results),
+                    Message::Error { reason } => Err(reason),
+                    other => Err(format!("internal: unexpected {}", other.kind())),
                 };
-                transport.send(&reply)?;
-            }
-            Message::QueryLoad => {
-                transport.send(&Message::LoadStatus(stats.load_report()))?;
-            }
-            Message::QueryStats { since } => {
-                let (now, total, records) = stats.snapshot_since(since);
-                transport.send(&Message::StatsReply {
-                    now,
-                    total,
-                    records,
-                })?;
-            }
-            Message::QueryTrace { trace_id } => {
-                // Flight-recorder drain: the spans this process recorded for
-                // `trace_id` (0 = everything retained), joined client-side
-                // into one cross-process call tree.
-                let rec = recorder::global();
-                transport.send(&Message::TraceReply {
-                    process: "server".into(),
-                    dropped: rec.dropped(),
-                    spans: rec.snapshot(trace_id),
-                })?;
-            }
-            Message::ListRoutines => {
-                let routines = registry
-                    .names()
-                    .into_iter()
-                    .map(|n| {
-                        let doc = registry
-                            .lookup(n)
-                            .map(|e| e.interface.doc.clone())
-                            .unwrap_or_default();
-                        (n.to_owned(), doc)
-                    })
-                    .collect();
-                transport.send(&Message::RoutineList { routines })?;
-            }
-            other => {
-                transport.send(&Message::Error {
-                    reason: format!("unexpected message {}", other.kind()),
-                })?;
+                ctx.jobs.complete(ticket, outcome);
+            });
+            Message::JobTicket { job: ticket }
+        }
+        Message::PollJob { job } => Message::JobStatus {
+            job,
+            state: ctx.jobs.poll(job),
+        },
+        Message::FetchResult { job } => match ctx.jobs.fetch(job) {
+            Some(Ok(results)) => Message::ResultData { results },
+            Some(Err(reason)) => Message::Error { reason },
+            None => Message::Error {
+                reason: format!("job {job} is not ready (or unknown)"),
+            },
+        },
+        Message::QueryLoad => Message::LoadStatus(ctx.stats.load_report()),
+        Message::QueryStats { since } => {
+            let (now, total, records) = ctx.stats.snapshot_since(since);
+            Message::StatsReply {
+                now,
+                total,
+                records,
             }
         }
+        Message::QueryTrace { trace_id } => {
+            // Flight-recorder drain: the spans this process recorded for
+            // `trace_id` (0 = everything retained), joined client-side
+            // into one cross-process call tree.
+            let rec = recorder::global();
+            Message::TraceReply {
+                process: "server".into(),
+                dropped: rec.dropped(),
+                spans: rec.snapshot(trace_id),
+            }
+        }
+        Message::ListRoutines => {
+            let routines = ctx
+                .registry
+                .names()
+                .into_iter()
+                .map(|n| {
+                    let doc = ctx
+                        .registry
+                        .lookup(n)
+                        .map(|e| e.interface.doc.clone())
+                        .unwrap_or_default();
+                    (n.to_owned(), doc)
+                })
+                .collect();
+            Message::RoutineList { routines }
+        }
+        other => Message::Error {
+            reason: format!("unexpected message {}", other.kind()),
+        },
     }
 }
 
@@ -558,9 +693,9 @@ fn execute_invoke(
 mod tests {
     use super::*;
     use crate::builtin::register_stdlib;
-    use ninf_protocol::Value;
+    use ninf_protocol::{TcpTransport, Transport, Value};
 
-    fn start_test_server(mode: ExecMode) -> NinfServer {
+    fn start_test_server_on(mode: ExecMode, core: ServerCore) -> NinfServer {
         let mut registry = Registry::new();
         register_stdlib(&mut registry, matches!(mode, ExecMode::DataParallel));
         NinfServer::start(
@@ -570,9 +705,14 @@ mod tests {
                 pes: 2,
                 mode,
                 policy: SchedPolicy::Fcfs,
+                core,
             },
         )
         .unwrap()
+    }
+
+    fn start_test_server(mode: ExecMode) -> NinfServer {
+        start_test_server_on(mode, ServerCore::default())
     }
 
     fn raw_call(addr: &str, routine: &str, args: Vec<Value>) -> Message {
@@ -753,6 +893,37 @@ mod tests {
         server.shutdown();
     }
 
+    #[test]
+    fn thread_per_connection_baseline_still_serves() {
+        let server = start_test_server_on(ExecMode::TaskParallel, ServerCore::ThreadPerConnection);
+        let addr = server.addr().to_string();
+        let reply = raw_call(&addr, "ep", vec![Value::Int(10)]);
+        assert!(matches!(reply, Message::ResultData { .. }));
+        assert_eq!(server.stats().completed(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reactor_core_exposes_connection_gauges() {
+        let server = start_test_server(ExecMode::TaskParallel);
+        let addr = server.addr().to_string();
+        let t = TcpTransport::connect(&addr).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while server.metrics().open_connections.get() < 1.0 {
+            assert!(std::time::Instant::now() < deadline, "gauge never rose");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let text = server.metrics().registry().render_prometheus();
+        assert!(text.contains("ninf_server_open_connections"), "{text}");
+        assert!(text.contains("ninf_server_inflight_calls"), "{text}");
+        drop(t);
+        while server.metrics().open_connections.get() > 0.0 {
+            assert!(std::time::Instant::now() < deadline, "gauge never fell");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        server.shutdown();
+    }
+
     /// A server with one deliberately slow routine, for drain tests.
     fn start_slow_server(sleep_ms: u64) -> NinfServer {
         let mut registry = Registry::new();
@@ -776,6 +947,7 @@ mod tests {
                 pes: 2,
                 mode: ExecMode::TaskParallel,
                 policy: SchedPolicy::Fcfs,
+                core: ServerCore::default(),
             },
         )
         .unwrap()

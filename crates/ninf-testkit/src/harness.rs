@@ -18,8 +18,9 @@ use ninf_loadgen::{Outcome, Routine};
 use ninf_metaserver::{Balancing, Directory, Metaserver, ServerEntry};
 use ninf_obs::recorder;
 use ninf_protocol::{
-    fault_schedule, FaultKind, FaultyTransport, ProtocolError, ProtocolResult, TcpTransport, Value,
+    fault_schedule, FaultKind, FaultyTransport, ProtocolError, ProtocolResult, Value,
 };
+use ninf_reactor::MuxStream;
 use ninf_server::{
     builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig,
 };
@@ -90,6 +91,7 @@ fn spawn_server(pes: usize) -> ProtocolResult<NinfServer> {
             pes,
             mode: ExecMode::TaskParallel,
             policy: SchedPolicy::Fcfs,
+            core: Default::default(),
         },
     )
 }
@@ -121,13 +123,17 @@ fn classify(err: &ProtocolError) -> Outcome {
     }
 }
 
-/// One client leg: wrap a live TCP connection in the seeded fault
+/// One client leg: wrap a multiplexed stream's handle in the seeded fault
 /// injector and issue every planned call, recording typed outcomes, the
 /// trace ids of every successful call, and whether the stream had been
-/// corrupted (truncate/garble) by the time each call returned. With v2
+/// corrupted (truncate/garble) by the time each call returned. With
 /// checksummed framing an `Ok` means the peer decoded genuine bytes, so
 /// trace attribution is claimed unconditionally — and any `Ok` after a
-/// corrupting fault is itself an invariant violation.
+/// corrupting fault is itself an invariant violation. Each client owns its
+/// own [`MuxStream`], so a corrupting fault poisons exactly that client's
+/// stream: a dropped send surfaces as a deadline timeout, and a truncated
+/// or garbled frame makes the server kill the connection, failing the
+/// calls in flight on it as retryable transport errors.
 fn drive_client(
     spec: &ChaosSpec,
     addr: &str,
@@ -138,8 +144,9 @@ fn drive_client(
     let mut records = Vec::with_capacity(planned);
     let mut trace_ids = Vec::new();
     let plan = spec.client_faults(seed, client);
-    let tcp = match TcpTransport::connect_with_deadline(addr, spec.workload.options.deadline) {
-        Ok(t) => t,
+    // The stream must outlive the client: dropping a MuxStream poisons it.
+    let stream = match MuxStream::connect(addr, spec.workload.options.deadline, 64) {
+        Ok(s) => s,
         Err(_) => {
             for seq in 0..planned {
                 records.push(CallRecord {
@@ -152,7 +159,7 @@ fn drive_client(
             return (records, trace_ids);
         }
     };
-    let faulty = FaultyTransport::new(tcp, plan);
+    let faulty = FaultyTransport::new(stream.handle(), plan);
     let fault_log = faulty.history_handle();
     let mut c = NinfClient::from_transport(Box::new(faulty));
     if c.set_options(spec.workload.options).is_err() {

@@ -38,6 +38,7 @@ fn main() {
                     pes: 1,
                     mode: ExecMode::TaskParallel,
                     policy: SchedPolicy::Fcfs,
+                    ..Default::default()
                 },
             )
             .expect("start server");

@@ -29,6 +29,7 @@ fn main() {
             pes: 4,
             mode: ExecMode::DataParallel,
             policy: SchedPolicy::Fcfs,
+            ..Default::default()
         },
     )
     .expect("start server");

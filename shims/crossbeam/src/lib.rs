@@ -1,9 +1,12 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::channel::{bounded, Sender, Receiver}` is used in this
-//! workspace (the in-process [`ChannelTransport`] pair); this shim maps those
-//! onto `std::sync::mpsc::sync_channel`, which has the same blocking-bounded
-//! semantics for the single-producer/single-consumer use here.
+//! Only `crossbeam::channel::{bounded, unbounded, Sender, Receiver}` is used
+//! in this workspace (the in-process [`ChannelTransport`] pair and the
+//! reactor's command/work queues); this shim maps those onto
+//! `std::sync::mpsc`, which has the same blocking semantics. Unlike
+//! crossbeam's, the receiver is not cloneable — multi-consumer users share
+//! it behind an `Arc` (its methods take `&self`; an internal mutex makes it
+//! `Sync`).
 
 pub mod channel {
     use std::sync::mpsc;
@@ -26,10 +29,35 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Sending half of a bounded channel.
-    #[derive(Debug, Clone)]
+    /// Sending half of a channel.
+    #[derive(Debug)]
     pub struct Sender<T> {
-        inner: mpsc::SyncSender<T>,
+        inner: Tx<T>,
+    }
+
+    // Manual impl: cloning a sender must not require `T: Clone` (the derive
+    // would add that bound).
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            }
+        }
     }
 
     /// Receiving half of a bounded channel.
@@ -42,11 +70,13 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Block until the message is enqueued; errors if the peer is gone.
+        /// Enqueue the message (blocking on a full bounded channel); errors
+        /// if the peer is gone.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.inner
-                .send(msg)
-                .map_err(|mpsc::SendError(m)| SendError(m))
+            match &self.inner {
+                Tx::Bounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+                Tx::Unbounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            }
         }
     }
 
@@ -86,7 +116,22 @@ pub mod channel {
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
         (
-            Sender { inner: tx },
+            Sender {
+                inner: Tx::Bounded(tx),
+            },
+            Receiver {
+                inner: Mutex::new(rx),
+            },
+        )
+    }
+
+    /// Create an unbounded channel: sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: Tx::Unbounded(tx),
+            },
             Receiver {
                 inner: Mutex::new(rx),
             },
@@ -127,6 +172,16 @@ pub mod channel {
             let (tx, rx) = bounded::<u32>(1);
             drop(rx);
             assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn unbounded_send_never_blocks() {
+            let (tx, rx) = unbounded::<u32>();
+            for i in 0..10_000 {
+                tx.send(i).unwrap();
+            }
+            assert_eq!(rx.recv(), Ok(0));
+            assert_eq!(rx.try_recv(), Ok(Some(1)));
         }
     }
 }

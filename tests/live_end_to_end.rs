@@ -22,6 +22,7 @@ fn start_server(pes: usize, mode: ExecMode) -> NinfServer {
             pes,
             mode,
             policy: SchedPolicy::Fcfs,
+            ..Default::default()
         },
     )
     .expect("server starts")
@@ -510,6 +511,7 @@ fn client_retries_reach_a_late_starting_server() {
                 pes: 1,
                 mode: ExecMode::TaskParallel,
                 policy: SchedPolicy::Fcfs,
+                ..Default::default()
             },
         )
         .expect("late server starts")

@@ -29,6 +29,7 @@ fn start_server() -> NinfServer {
             pes: 2,
             mode: ExecMode::TaskParallel,
             policy: SchedPolicy::Fcfs,
+            ..Default::default()
         },
     )
     .expect("server starts")
