@@ -82,11 +82,11 @@ fn bench_matrix_arrays(c: &mut Criterion) {
 fn bench_framed_invoke(c: &mut Criterion) {
     let msg = Message::Invoke {
         routine: "linpack".into(),
-        args: vec![
+        args: ninf_protocol::Arg::inline(vec![
             Value::Int(N as i32),
             Value::DoubleArray(matrix()),
             Value::DoubleArray(vec![1.0; N]),
-        ],
+        ]),
         trace: None,
     };
     let mut group = c.benchmark_group("codec_framed_invoke");

@@ -11,11 +11,11 @@ fn bench_message_codec(c: &mut Criterion) {
     for &n in &[100usize, 600] {
         let msg = Message::Invoke {
             routine: "linpack".into(),
-            args: vec![
+            args: ninf_protocol::Arg::inline(vec![
                 Value::Int(n as i32),
                 Value::DoubleArray(vec![0.5; n * n]),
                 Value::DoubleArray(vec![1.0; n]),
-            ],
+            ]),
             trace: None,
         };
         group.throughput(Throughput::Bytes((n * n * 8) as u64));

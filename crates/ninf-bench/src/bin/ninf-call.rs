@@ -20,9 +20,11 @@
 //! (for `ep` and `linpack`) emits the call's timing decomposition —
 //! connect, interface fetch, marshal, server wall time, transfer, total —
 //! plus `stream_reused` (whether the measured call rode an already-open
-//! pooled stream) as one JSON object on stdout instead of prose; the
-//! server-side wall time is joined from the server's own §4.1 stats via
-//! `QueryStats`.
+//! pooled stream) and the argument-cache accounting — `bytes_sent` on the
+//! wire, `args_refd` (argument slots shipped as digests), `args_refilled`
+//! (slots the server asked back inline) — as one JSON object on stdout
+//! instead of prose; the server-side wall time is joined from the server's
+//! own §4.1 stats via `QueryStats`.
 
 use std::time::Duration;
 
@@ -278,6 +280,12 @@ fn print_json(routine: &str, n: i64, flops: Option<u64>, timed: &TimedCall) {
         "reply_bytes".into(),
         serde_json::json!(t.reply_bytes as u64),
     );
+    doc.insert(
+        "bytes_sent".into(),
+        serde_json::json!(timed.bytes_sent as u64),
+    );
+    doc.insert("args_refd".into(), serde_json::json!(t.args_refd));
+    doc.insert("args_refilled".into(), serde_json::json!(t.args_refilled));
     if let (Some(flops), true) = (flops, timed.result.is_ok()) {
         doc.insert(
             "mflops".into(),

@@ -4,7 +4,7 @@
 //! ninf-load --scenario <name> [--clients <list>] [--seed <u64>]
 //!           [--json <path>] [--csv <dir>] [--addr <host:port>]
 //!           [--server-core reactor|threaded]
-//!           [--trace] [--trace-out <path>]
+//!           [--trace] [--trace-out <path>] [--no-arg-cache]
 //!           [--compare-sim] [--assert-zero-errors] [--list]
 //!
 //! ninf-load --list                                  # scenario menu
@@ -45,7 +45,13 @@ fn main() {
             "--server-core",
             "--trace-out",
         ],
-        &["--list", "--compare-sim", "--assert-zero-errors", "--trace"],
+        &[
+            "--list",
+            "--compare-sim",
+            "--assert-zero-errors",
+            "--trace",
+            "--no-arg-cache",
+        ],
     ) {
         Ok(p) => p,
         Err(CliError::Help) => usage(""),
@@ -70,6 +76,9 @@ fn main() {
         scenario(name).unwrap_or_else(|| usage(&format!("unknown scenario `{name}` (try --list)")));
     if let Some(addr) = parsed.value("--addr") {
         sc.target = Target::External(addr.to_string());
+    }
+    if parsed.has("--no-arg-cache") {
+        sc.spec.options.arg_cache = false;
     }
     if let Some(which) = parsed.value("--server-core") {
         let core = match which {
@@ -123,6 +132,13 @@ fn main() {
     if parsed.has("--compare-sim") {
         print!("{}", compare_sim(&reports, seed));
     }
+    // Process-wide argument-cache counters: how many argument slots this
+    // sweep shipped as digests and how many the servers asked back inline.
+    let (argref_sent, argref_refilled) = (
+        ninf_client::argmem::argref_sent().get(),
+        ninf_client::argmem::argref_refilled().get(),
+    );
+    eprintln!("# arg cache: {argref_sent} ref(s) sent, {argref_refilled} refilled inline");
 
     if let Some(dir) = parsed.value("--csv") {
         let dir = std::path::PathBuf::from(dir);
@@ -342,6 +358,14 @@ fn sweep_json(reports: &[RunReport], seed: u64) -> serde_json::Value {
         );
     }
     doc.insert(
+        "argref_sent".into(),
+        serde_json::json!(ninf_client::argmem::argref_sent().get()),
+    );
+    doc.insert(
+        "argref_refilled".into(),
+        serde_json::json!(ninf_client::argmem::argref_refilled().get()),
+    );
+    doc.insert(
         "runs".into(),
         serde_json::Value::Array(reports.iter().map(|r| r.to_json()).collect()),
     );
@@ -356,7 +380,7 @@ fn usage(err: &str) -> ! {
         "usage: ninf-load --scenario <name> [--clients <list>] [--seed <u64>]\n\
         \x20                [--json <path>] [--csv <dir>] [--addr <host:port>]\n\
         \x20                [--server-core reactor|threaded]\n\
-        \x20                [--trace] [--trace-out <path>]\n\
+        \x20                [--trace] [--trace-out <path>] [--no-arg-cache]\n\
         \x20                [--compare-sim] [--assert-zero-errors] [--list]\n\
          scenarios: {}",
         scenario_names().join(", ")

@@ -143,6 +143,7 @@ fn demo(args: &[String]) {
                 mode: ExecMode::TaskParallel,
                 policy: SchedPolicy::Fcfs,
                 core: Default::default(),
+                ..ServerConfig::default()
             },
         )
         .expect("start in-process server");

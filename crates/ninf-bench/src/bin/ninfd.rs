@@ -29,6 +29,7 @@ fn main() {
     let mut workers = 8usize;
     let mut trace = false;
     let mut metrics_addr: Option<String> = None;
+    let mut arg_cache_bytes = ninf_server::DEFAULT_ARG_CACHE_BYTES;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -76,6 +77,12 @@ fn main() {
                     .unwrap_or_else(|| usage("--workers needs a positive integer"))
             }
             "--trace" => trace = true,
+            "--arg-cache-bytes" => {
+                arg_cache_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--arg-cache-bytes needs a byte count (0 disables)"))
+            }
             "--metrics-addr" => {
                 metrics_addr = Some(
                     args.next()
@@ -105,6 +112,7 @@ fn main() {
             mode,
             policy,
             core,
+            arg_cache_bytes,
         },
     )
     .unwrap_or_else(|e| {
@@ -162,7 +170,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: ninfd [--addr host:port] [--pes N] [--mode task|data] \
          [--policy fcfs|sjf|fpfs|fpmpfs] [--core reactor|threaded] [--workers N] \
-         [--db-addr host:port] [--trace] [--metrics-addr host:port]"
+         [--db-addr host:port] [--trace] [--metrics-addr host:port] \
+         [--arg-cache-bytes N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -9,10 +9,12 @@ use std::time::{Duration, Instant};
 use ninf_idl::CompiledInterface;
 use ninf_obs::recorder;
 use ninf_protocol::{
-    validate_call_args, validate_results, Message, ProtocolError, ProtocolResult, Span,
+    validate_call_args, validate_results, Arg, Message, ProtocolError, ProtocolResult, Span,
     TcpTransport, TraceContext, Transport, Value,
 };
 use ninf_reactor::MuxPool;
+
+use crate::argmem;
 
 /// Per-call reliability policy: how long one attempt may take and how
 /// failed attempts are retried.
@@ -36,6 +38,11 @@ pub struct CallOptions {
     /// Base delay before the first retry; doubles per attempt, with jitter
     /// in [0.5, 1.0) of the exponential value.
     pub backoff: Duration,
+    /// Whether to name repeat arguments by content digest instead of
+    /// re-shipping their bytes (on by default). A destination that no longer
+    /// holds a digest replies `NeedArg` and the call refills inline, so
+    /// turning this off is purely a measurement/diagnostic switch.
+    pub arg_cache: bool,
 }
 
 impl Default for CallOptions {
@@ -44,6 +51,7 @@ impl Default for CallOptions {
             deadline: None,
             retries: 0,
             backoff: Duration::from_millis(100),
+            arg_cache: true,
         }
     }
 }
@@ -94,10 +102,17 @@ pub struct CallTiming {
     pub total: f64,
     /// Attempts made (1 = first try succeeded).
     pub attempts: u32,
-    /// Request payload bytes (arrays only) of the last attempt.
+    /// Request payload bytes (arrays only) actually shipped on the last
+    /// attempt — refs subtract their value's bytes, a refill adds the full
+    /// inline payload back.
     pub request_bytes: usize,
     /// Reply payload bytes of the last attempt (0 if it failed).
     pub reply_bytes: usize,
+    /// Argument positions shipped as content refs on the last attempt.
+    pub args_refd: u32,
+    /// Arguments re-shipped inline after a server-side cache miss
+    /// (`NeedArg`) on the last attempt.
+    pub args_refilled: u32,
 }
 
 /// FNV-1a of an address, used to salt backoff jitter per server.
@@ -141,6 +156,9 @@ pub struct NinfClient {
     /// Process label stamped on spans this client records (`client` unless a
     /// routing layer relabels its forwarding legs).
     trace_process: String,
+    /// Key into the process-wide per-destination argument-digest memory;
+    /// `None` (transport-wrapping clients) ships everything inline.
+    cache_key: Option<String>,
     /// Context of the call in progress (`None` when tracing is off).
     call_ctx: Option<TraceContext>,
     /// Trace id of the most recent traced call (0 before any, or untraced).
@@ -160,6 +178,7 @@ impl NinfClient {
         let transport = TcpTransport::connect_with_deadline(addr, options.deadline)?;
         let mut client = Self::from_transport(Box::new(transport));
         client.addr = Some(addr.to_owned());
+        client.cache_key = Some(addr.to_owned());
         client.options = options;
         Ok(client)
     }
@@ -179,6 +198,7 @@ impl NinfClient {
         let mut client = Self::from_transport(Box::new(checkout.handle));
         client.transport.set_deadline(options.deadline)?;
         client.addr = Some(addr.to_owned());
+        client.cache_key = Some(addr.to_owned());
         client.options = options;
         client.pool = Some(pool);
         client.stream_reused = checkout.reused;
@@ -207,6 +227,7 @@ impl NinfClient {
             last_timing: None,
             trace_parent: None,
             trace_process: "client".to_string(),
+            cache_key: None,
             call_ctx: None,
             last_trace_id: 0,
         }
@@ -249,6 +270,90 @@ impl NinfClient {
             Some(parent) => parent.child(),
             None => TraceContext::root(),
         })
+    }
+
+    /// Key the per-destination argument-digest memory under `key`; `None`
+    /// disables content refs for this client. Dialed and pooled clients
+    /// default to their address, transport-wrapping clients to `None` —
+    /// this setter exists for harnesses that wrap transports by hand.
+    pub fn set_cache_key(&mut self, key: Option<String>) {
+        self.cache_key = key;
+    }
+
+    /// Encode call values as wire arguments, replacing values this
+    /// destination is believed to hold with content refs. Values sent inline
+    /// are remembered optimistically — a stale belief surfaces as `NeedArg`
+    /// and is repaired by [`NinfClient::send_with_refill`]. Returns
+    /// `(args, refs shipped, payload bytes saved)`.
+    fn encode_args(&self, values: &[Value]) -> (Vec<Arg>, u32, usize) {
+        let Some(key) = self.cache_key.as_deref().filter(|_| self.options.arg_cache) else {
+            return (Arg::inline(values.to_vec()), 0, 0);
+        };
+        let mut refs = 0u32;
+        let mut saved = 0usize;
+        let args = values
+            .iter()
+            .map(|v| {
+                if !ninf_protocol::cacheable(v) {
+                    return Arg::Data(v.clone());
+                }
+                let d = ninf_protocol::digest_value(v);
+                if argmem::knows(key, &d) {
+                    refs += 1;
+                    saved += v.wire_bytes();
+                    Arg::Ref(d)
+                } else {
+                    argmem::remember(key, d);
+                    Arg::Data(v.clone())
+                }
+            })
+            .collect();
+        if refs > 0 {
+            argmem::argref_sent().add(u64::from(refs));
+        }
+        (args, refs, saved)
+    }
+
+    /// Ship one request whose argument list may contain content refs, and
+    /// absorb at most one `NeedArg` round: the named digests are forgotten
+    /// and the full argument list is re-shipped inline. The server executes
+    /// nothing before all refs resolve, so the refill is the call's first
+    /// (and only) execution — exactly-once is preserved. A second `NeedArg`
+    /// for an all-inline request is a protocol violation and surfaces to the
+    /// caller as an unexpected message.
+    fn send_with_refill(
+        &mut self,
+        values: &[Value],
+        payload_bytes: usize,
+        build: &dyn Fn(Vec<Arg>) -> Message,
+    ) -> ProtocolResult<Message> {
+        let (args, refs, saved) = self.encode_args(values);
+        let shipped = payload_bytes - saved;
+        self.bytes_sent += shipped;
+        self.timing.request_bytes = shipped;
+        self.timing.args_refd = refs;
+        self.timing.args_refilled = 0;
+        self.transport.send(&build(args))?;
+        let reply = self.transport.recv()?;
+        let Message::NeedArg { digests } = reply else {
+            return Ok(reply);
+        };
+        if let Some(key) = self.cache_key.as_deref() {
+            argmem::forget(key, &digests);
+        }
+        argmem::argref_refilled().add(digests.len() as u64);
+        self.timing.args_refilled = digests.len() as u32;
+        self.bytes_sent += payload_bytes;
+        self.timing.request_bytes += payload_bytes;
+        self.transport.send(&build(Arg::inline(values.to_vec())))?;
+        // The refill re-primes the server's store, so remember what it now
+        // holds and the next call refs again.
+        if let Some(key) = self.cache_key.as_deref() {
+            for v in values.iter().filter(|v| ninf_protocol::cacheable(v)) {
+                argmem::remember(key, ninf_protocol::digest_value(v));
+            }
+        }
+        self.transport.recv()
     }
 
     /// Replace the reliability policy, re-arming the transport deadline.
@@ -406,9 +511,7 @@ impl NinfClient {
         if let (Some(ctx), Some(start)) = (ctx, marshal_start_us) {
             recorder::global().record(Span::at(ctx.child(), "marshal", &self.trace_process, start));
         }
-        let request_bytes = ninf_protocol::request_payload_bytes(&layout);
-        self.bytes_sent += request_bytes;
-        self.timing.request_bytes = request_bytes;
+        let payload_bytes = ninf_protocol::request_payload_bytes(&layout);
         self.timing.reply_bytes = 0;
 
         // The rpc span's position travels on the wire, so the server parents
@@ -416,17 +519,19 @@ impl NinfClient {
         let rpc_ctx = ctx.map(|c| c.child());
         let rpc_start_us = rpc_ctx.map(|_| ninf_obs::now_us());
         let t_wire = Instant::now();
-        self.transport.send(&Message::Invoke {
-            routine: routine.to_owned(),
-            args: args.to_vec(),
+        let routine_name = routine.to_owned();
+        let reply = self.send_with_refill(args, payload_bytes, &move |wire_args| Message::Invoke {
+            routine: routine_name.clone(),
+            args: wire_args,
             trace: rpc_ctx,
-        })?;
-        let reply = self.transport.recv();
+        });
         self.timing.roundtrip += t_wire.elapsed().as_secs_f64();
         if let (Some(rpc), Some(start)) = (rpc_ctx, rpc_start_us) {
             recorder::global().record(
-                Span::at(rpc, "rpc", &self.trace_process, start)
-                    .with_detail(format!("request_bytes={request_bytes}")),
+                Span::at(rpc, "rpc", &self.trace_process, start).with_detail(format!(
+                    "request_bytes={} args_refd={} args_refilled={}",
+                    self.timing.request_bytes, self.timing.args_refd, self.timing.args_refilled
+                )),
             );
         }
         match reply? {
@@ -471,13 +576,16 @@ impl NinfClient {
     fn submit_job_once(&mut self, routine: &str, args: &[Value]) -> ProtocolResult<u64> {
         let interface = self.query_interface(routine)?.clone();
         let layout = validate_call_args(&interface, args).map_err(ProtocolError::Remote)?;
-        self.bytes_sent += ninf_protocol::request_payload_bytes(&layout);
-        self.transport.send(&Message::SubmitJob {
-            routine: routine.to_owned(),
-            args: args.to_vec(),
-            trace: self.call_ctx,
-        })?;
-        match self.transport.recv()? {
+        let payload_bytes = ninf_protocol::request_payload_bytes(&layout);
+        let trace = self.call_ctx;
+        let routine_name = routine.to_owned();
+        let reply =
+            self.send_with_refill(args, payload_bytes, &move |wire_args| Message::SubmitJob {
+                routine: routine_name.clone(),
+                args: wire_args,
+                trace,
+            })?;
+        match reply {
             Message::JobTicket { job } => Ok(job),
             Message::Error { reason } => Err(ProtocolError::Remote(reason)),
             other => Err(ProtocolError::UnexpectedMessage {
@@ -501,16 +609,42 @@ impl NinfClient {
     }
 
     /// Two-phase call, phase 2: collect the results of a finished ticket.
+    ///
+    /// The fetch carries a trace position like the submit did: it parents
+    /// under the submit's context when one is live on this client (or under
+    /// the configured trace parent), so a two-phase call renders as one
+    /// connected tree instead of an orphaned server-side fetch span.
     pub fn fetch_result(&mut self, job: u64) -> ProtocolResult<Vec<Value>> {
-        self.transport.send(&Message::FetchResult { job })?;
-        match self.transport.recv()? {
+        let ctx = if recorder::global().enabled() {
+            Some(match self.call_ctx {
+                Some(submit) => submit.child(),
+                None => match self.trace_parent {
+                    Some(p) => p.child(),
+                    None => TraceContext::root(),
+                },
+            })
+        } else {
+            None
+        };
+        let start_us = ctx.map(|_| ninf_obs::now_us());
+        self.transport
+            .send(&Message::FetchResult { job, trace: ctx })?;
+        let out = match self.transport.recv()? {
             Message::ResultData { results } => Ok(results),
             Message::Error { reason } => Err(ProtocolError::Remote(reason)),
             other => Err(ProtocolError::UnexpectedMessage {
                 expected: "ResultData",
                 got: other.kind().to_owned(),
             }),
+        };
+        if let (Some(ctx), Some(start)) = (ctx, start_us) {
+            self.last_trace_id = ctx.trace_id;
+            recorder::global().record(
+                Span::at(ctx, "fetch", &self.trace_process, start)
+                    .with_detail(format!("job={job} ok={}", out.is_ok())),
+            );
         }
+        out
     }
 
     /// List the routines the server exports, with their documentation.
@@ -1159,6 +1293,168 @@ mod tests {
         let err = client.ninf_call("ep", &[]).unwrap_err();
         assert!(matches!(err, ProtocolError::Disconnected));
         assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    /// dmmul arguments big enough to clear the cacheable threshold
+    /// (8·16·16 = 2048 bytes per matrix).
+    fn big_dmmul_args(n: usize) -> Vec<Value> {
+        vec![
+            Value::Int(n as i32),
+            Value::DoubleArray(vec![1.0; n * n]),
+            Value::DoubleArray(vec![2.0; n * n]),
+        ]
+    }
+
+    fn dmmul_reply(n: usize) -> Message {
+        Message::ResultData {
+            results: vec![Value::DoubleArray(vec![5.0; n * n])],
+        }
+    }
+
+    /// A scripted transport that shares its sent-message log.
+    struct SharedScripted {
+        replies: std::vec::IntoIter<Message>,
+        sent: std::sync::Arc<std::sync::Mutex<Vec<Message>>>,
+    }
+
+    impl Transport for SharedScripted {
+        fn send(&mut self, msg: &Message) -> ProtocolResult<()> {
+            self.sent.lock().unwrap().push(msg.clone());
+            Ok(())
+        }
+        fn recv(&mut self) -> ProtocolResult<Message> {
+            self.replies.next().ok_or(ProtocolError::Disconnected)
+        }
+    }
+
+    fn shared_scripted(
+        replies: Vec<Message>,
+    ) -> (
+        SharedScripted,
+        std::sync::Arc<std::sync::Mutex<Vec<Message>>>,
+    ) {
+        let sent = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        (
+            SharedScripted {
+                replies: replies.into_iter(),
+                sent: sent.clone(),
+            },
+            sent,
+        )
+    }
+
+    fn invoke_args(msg: &Message) -> &[Arg] {
+        match msg {
+            Message::Invoke { args, .. } => args,
+            other => panic!("expected Invoke, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_repeat_ships_refs_instead_of_payload() {
+        let key = "argcache-unit-warm";
+        crate::argmem::forget_destination(key);
+        let n = 16usize;
+        let (t, sent) = shared_scripted(vec![
+            Message::InterfaceReply {
+                interface: dmmul_iface(),
+            },
+            dmmul_reply(n),
+            dmmul_reply(n),
+        ]);
+        let mut client = NinfClient::from_transport(Box::new(t));
+        client.set_cache_key(Some(key.to_owned()));
+        let args = big_dmmul_args(n);
+
+        client.ninf_call("dmmul", &args).unwrap();
+        let cold = client.last_timing().unwrap();
+        assert_eq!(cold.args_refd, 0);
+        assert_eq!(cold.request_bytes, 2 * 8 * n * n);
+
+        client.ninf_call("dmmul", &args).unwrap();
+        let warm = client.last_timing().unwrap();
+        assert_eq!(warm.args_refd, 2);
+        assert_eq!(warm.args_refilled, 0);
+        assert_eq!(warm.request_bytes, 0, "both matrices refd: zero payload");
+        assert_eq!(client.bytes_sent(), 2 * 8 * n * n);
+
+        let log = sent.lock().unwrap();
+        let warm_args = invoke_args(&log[2]);
+        assert!(matches!(warm_args[0], Arg::Data(Value::Int(_))));
+        assert!(matches!(warm_args[1], Arg::Ref(_)));
+        assert!(matches!(warm_args[2], Arg::Ref(_)));
+    }
+
+    #[test]
+    fn need_arg_reply_triggers_one_inline_refill() {
+        let key = "argcache-unit-refill";
+        crate::argmem::forget_destination(key);
+        let n = 16usize;
+        let args = big_dmmul_args(n);
+        let d1 = ninf_protocol::digest_value(&args[1]);
+        let d2 = ninf_protocol::digest_value(&args[2]);
+        crate::argmem::remember(key, d1);
+        crate::argmem::remember(key, d2);
+        let (t, sent) = shared_scripted(vec![
+            Message::InterfaceReply {
+                interface: dmmul_iface(),
+            },
+            // Server evicted d2 between the client's ref decision and the
+            // invoke: it asks for a refill without executing.
+            Message::NeedArg { digests: vec![d2] },
+            dmmul_reply(n),
+        ]);
+        let mut client = NinfClient::from_transport(Box::new(t));
+        client.set_cache_key(Some(key.to_owned()));
+        client.ninf_call("dmmul", &args).unwrap();
+
+        let timing = client.last_timing().unwrap();
+        assert_eq!(timing.attempts, 1, "a refill is not a retry");
+        assert_eq!(timing.args_refd, 2);
+        assert_eq!(timing.args_refilled, 1);
+        // Refd request shipped nothing; the refill shipped the full payload.
+        assert_eq!(timing.request_bytes, 2 * 8 * n * n);
+
+        let log = sent.lock().unwrap();
+        let first = invoke_args(&log[1]);
+        assert!(matches!(first[1], Arg::Ref(_)));
+        let refill = invoke_args(&log[2]);
+        assert!(refill.iter().all(|a| matches!(a, Arg::Data(_))));
+        drop(log);
+        // The refill re-primed the destination: both digests are known again.
+        assert!(crate::argmem::knows(key, &d1));
+        assert!(crate::argmem::knows(key, &d2));
+    }
+
+    #[test]
+    fn arg_cache_off_always_ships_inline() {
+        let key = "argcache-unit-off";
+        crate::argmem::forget_destination(key);
+        let n = 16usize;
+        let (t, sent) = shared_scripted(vec![
+            Message::InterfaceReply {
+                interface: dmmul_iface(),
+            },
+            dmmul_reply(n),
+            dmmul_reply(n),
+        ]);
+        let mut client = NinfClient::from_transport(Box::new(t));
+        client.set_cache_key(Some(key.to_owned()));
+        client
+            .set_options(CallOptions {
+                arg_cache: false,
+                ..CallOptions::default()
+            })
+            .unwrap();
+        let args = big_dmmul_args(n);
+        client.ninf_call("dmmul", &args).unwrap();
+        client.ninf_call("dmmul", &args).unwrap();
+        assert_eq!(client.last_timing().unwrap().args_refd, 0);
+        assert_eq!(client.bytes_sent(), 2 * 2 * 8 * n * n);
+        let log = sent.lock().unwrap();
+        for msg in log.iter().skip(1) {
+            assert!(invoke_args(msg).iter().all(|a| matches!(a, Arg::Data(_))));
+        }
     }
 
     #[test]

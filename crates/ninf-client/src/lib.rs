@@ -33,6 +33,7 @@
 //!   derive the data-dependency DAG, and hand it to a scheduler (the
 //!   metaserver executes independent calls task-parallel, §2.4 / §4.3.1).
 
+pub mod argmem;
 pub mod client;
 pub mod transaction;
 

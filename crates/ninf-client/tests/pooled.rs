@@ -107,6 +107,7 @@ fn retry_after_server_restart_lands_on_a_fresh_stream() {
             deadline: Some(Duration::from_secs(10)),
             retries: 3,
             backoff: Duration::from_millis(10),
+            ..CallOptions::default()
         },
         pool.clone(),
     )

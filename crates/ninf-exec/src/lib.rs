@@ -24,6 +24,7 @@ pub mod dos;
 pub mod ep;
 pub mod linpack;
 pub mod matrix;
+pub mod nbody;
 
 pub use blocked::{dgefa_blocked, dgefa_blocked_parallel, dgesl_multi, DEFAULT_BLOCK};
 pub use condition::{dgeco, dgesl_t};
@@ -37,6 +38,9 @@ pub use linpack::{
     solve,
 };
 pub use matrix::Matrix;
+pub use nbody::{
+    nbody_flops, nbody_kernel, nbody_particles, nbody_probes, NbodyDiag, NBODY_PROBES,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,195 @@
+//! Iterative N-body probe-force kernel: softened direct summation of the
+//! gravity of a *fixed* particle set at a small, per-iteration probe grid.
+//!
+//! This is the evaluation phase of a treecode-style pipeline: the source
+//! distribution (masses + positions) is frozen for the whole run while each
+//! iteration evaluates the field at a handful of probe points that move with
+//! the iteration number. The call signature is exactly the shape that makes
+//! a WAN client bandwidth-bound — O(n) input arrays that never change
+//! between calls, O(1) output — so it is the natural workload for the
+//! content-addressed argument cache: only the first call ships the particle
+//! arrays, every later iteration names them by digest.
+
+use rayon::prelude::*;
+
+use crate::ep::NasRng;
+
+/// Probe points evaluated per iteration (fixed, so output is O(1)).
+pub const NBODY_PROBES: usize = 64;
+
+/// Plummer softening length, in units of the system radius.
+pub const NBODY_SOFTENING: f64 = 0.05;
+
+/// Floating-point operations per particle–probe interaction: 3 subs, 3
+/// mults + 2 adds (r²), 1 add (softening), sqrt + divide (~4), 1 mass
+/// divide, 3 mult + 3 add (acceleration), 1 add (potential) ≈ 22.
+pub const NBODY_FLOPS_PER_INTERACTION: f64 = 22.0;
+
+/// Flop count of one `nbody` call over `n` source particles.
+pub fn nbody_flops(n: usize) -> f64 {
+    (n * NBODY_PROBES) as f64 * NBODY_FLOPS_PER_INTERACTION
+}
+
+/// Deterministic source distribution: `n` equal-mass particles in a unit
+/// ball, positions from the NAS LCG so every client (and every seed sweep)
+/// regenerates bitwise-identical arrays. Returns `(masses[n], pos[3n])`
+/// with positions stored `[x0 y0 z0 x1 y1 z1 …]`.
+pub fn nbody_particles(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut g = NasRng::default();
+    let masses = vec![1.0 / n.max(1) as f64; n];
+    let mut pos = Vec::with_capacity(3 * n);
+    while pos.len() < 3 * n {
+        // Rejection-sample the unit ball for a roughly uniform cloud.
+        let x = 2.0 * g.next_f64() - 1.0;
+        let y = 2.0 * g.next_f64() - 1.0;
+        let z = 2.0 * g.next_f64() - 1.0;
+        if x * x + y * y + z * z <= 1.0 {
+            pos.extend_from_slice(&[x, y, z]);
+        }
+    }
+    (masses, pos)
+}
+
+/// Probe grid for iteration `step`: [`NBODY_PROBES`] points on a ring of
+/// radius 1.5 that precesses with the iteration number, so successive calls
+/// measure the field along a slowly sweeping orbit.
+pub fn nbody_probes(step: u32) -> Vec<f64> {
+    let phase = f64::from(step) * 0.1;
+    let tilt = (f64::from(step) * 0.02).sin() * 0.3;
+    (0..NBODY_PROBES)
+        .flat_map(|i| {
+            let theta = phase + i as f64 * (2.0 * std::f64::consts::PI / NBODY_PROBES as f64);
+            let r = 1.5;
+            [
+                r * theta.cos(),
+                r * theta.sin() * (1.0 - tilt * tilt).sqrt(),
+                r * theta.sin() * tilt,
+            ]
+        })
+        .collect()
+}
+
+/// Diagnostics of one evaluation sweep, the call's O(1) reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NbodyDiag {
+    /// Total potential summed over the probe grid.
+    pub potential: f64,
+    /// Largest acceleration magnitude over the probes.
+    pub max_acc: f64,
+    /// Net acceleration vector summed over the probes.
+    pub acc_sum: [f64; 3],
+}
+
+impl NbodyDiag {
+    /// Pack as the wire reply `diag[5]`.
+    pub fn to_vec(self) -> Vec<f64> {
+        vec![
+            self.potential,
+            self.max_acc,
+            self.acc_sum[0],
+            self.acc_sum[1],
+            self.acc_sum[2],
+        ]
+    }
+}
+
+/// Evaluate softened gravity of (`masses`, `pos`) at the step-`step` probe
+/// grid by direct summation, one rayon task per probe.
+///
+/// `masses.len() == n`, `pos.len() == 3n`; probes outnumber cores so the
+/// parallel split is even, and per-probe sums are accumulated serially so
+/// the result is deterministic for a given particle set and step.
+pub fn nbody_kernel(masses: &[f64], pos: &[f64], step: u32) -> NbodyDiag {
+    assert_eq!(pos.len(), 3 * masses.len(), "pos must hold 3n coordinates");
+    let probes = nbody_probes(step);
+    let eps2 = NBODY_SOFTENING * NBODY_SOFTENING;
+    let per_probe: Vec<(f64, [f64; 3])> = (0..NBODY_PROBES)
+        .into_par_iter()
+        .map(|k| {
+            let p = &probes[3 * k..3 * k + 3];
+            let mut phi = 0.0f64;
+            let mut acc = [0.0f64; 3];
+            for (i, &m) in masses.iter().enumerate() {
+                let dx = pos[3 * i] - p[0];
+                let dy = pos[3 * i + 1] - p[1];
+                let dz = pos[3 * i + 2] - p[2];
+                let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                let inv_r = 1.0 / r2.sqrt();
+                let inv_r3 = inv_r / r2;
+                phi -= m * inv_r;
+                acc[0] += m * dx * inv_r3;
+                acc[1] += m * dy * inv_r3;
+                acc[2] += m * dz * inv_r3;
+            }
+            (phi, acc)
+        })
+        .collect();
+    let mut diag = NbodyDiag {
+        potential: 0.0,
+        max_acc: 0.0,
+        acc_sum: [0.0; 3],
+    };
+    for (phi, acc) in per_probe {
+        diag.potential += phi;
+        let mag = (acc[0] * acc[0] + acc[1] * acc[1] + acc[2] * acc[2]).sqrt();
+        diag.max_acc = diag.max_acc.max(mag);
+        for (s, a) in diag.acc_sum.iter_mut().zip(acc) {
+            *s += a;
+        }
+    }
+    diag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn particles_are_deterministic_and_in_the_unit_ball() {
+        let (m1, p1) = nbody_particles(100);
+        let (m2, p2) = nbody_particles(100);
+        assert_eq!(m1, m2);
+        assert_eq!(p1, p2);
+        assert_eq!(m1.len(), 100);
+        assert_eq!(p1.len(), 300);
+        for c in p1.chunks_exact(3) {
+            assert!(c[0] * c[0] + c[1] * c[1] + c[2] * c[2] <= 1.0 + 1e-12);
+        }
+        assert!((m1.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probes_depend_on_the_step() {
+        assert_ne!(nbody_probes(0), nbody_probes(1));
+        assert_eq!(nbody_probes(3), nbody_probes(3));
+        assert_eq!(nbody_probes(0).len(), 3 * NBODY_PROBES);
+    }
+
+    #[test]
+    fn kernel_is_deterministic_per_step() {
+        let (m, p) = nbody_particles(200);
+        let a = nbody_kernel(&m, &p, 5);
+        let b = nbody_kernel(&m, &p, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, nbody_kernel(&m, &p, 6));
+    }
+
+    #[test]
+    fn potential_is_negative_and_attractive_toward_the_cloud() {
+        // Probes orbit outside a unit-mass cloud at the origin: the
+        // potential is negative and roughly -M/r per probe, and the net
+        // acceleration over a symmetric ring nearly cancels.
+        let (m, p) = nbody_particles(500);
+        let d = nbody_kernel(&m, &p, 0);
+        assert!(d.potential < 0.0);
+        let per_probe = d.potential / NBODY_PROBES as f64;
+        assert!((-1.0..-0.4).contains(&per_probe), "phi/probe = {per_probe}");
+        assert!(d.max_acc > 0.0);
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_sources() {
+        assert_eq!(nbody_flops(2000), 2.0 * nbody_flops(1000));
+        assert!(nbody_flops(1000) > 1e6);
+    }
+}

@@ -121,6 +121,16 @@ pub fn stdlib() -> Vec<&'static str> {
            "dgeco factors a matrix and estimates its reciprocal condition number",
            Required "liblinpack.o"
            Calls "C" dgeco(n, A, ipvt, rcond);"#,
+        // Treecode-style evaluation sweep: the field of n *fixed* particles
+        // at an O(1) per-iteration probe grid — O(n) input that repeats
+        // across calls, O(1) output (the argument-cache workload).
+        r#"Define nbody(mode_in int n, mode_in int step,
+                        mode_in double masses[n],
+                        mode_in double pos[3*n],
+                        mode_out double diag[5])
+           "nbody evaluates softened gravity of n fixed sources at 64 probe points",
+           Required "libnbody.o"
+           Calls "C" nbody(n, step, masses, pos, diag);"#,
     ]
 }
 
@@ -142,11 +152,11 @@ mod tests {
     #[test]
     fn stdlib_parses_and_compiles() {
         let ifaces = stdlib_interfaces();
-        assert_eq!(ifaces.len(), 7);
+        assert_eq!(ifaces.len(), 8);
         let names: Vec<&str> = ifaces.iter().map(|i| i.name.as_str()).collect();
         assert_eq!(
             names,
-            ["dmmul", "dgefa", "dgesl", "linpack", "ep", "dos", "dgeco"]
+            ["dmmul", "dgefa", "dgesl", "linpack", "ep", "dos", "dgeco", "nbody"]
         );
     }
 

@@ -25,7 +25,13 @@ pub struct Scenario {
 
 /// Names of every built-in scenario, in menu order.
 pub fn scenario_names() -> Vec<&'static str> {
-    vec!["lan-linpack", "lan-ep", "lan-c10k", "metaserver-ft"]
+    vec![
+        "lan-linpack",
+        "lan-ep",
+        "lan-c10k",
+        "metaserver-ft",
+        "wan-iterative",
+    ]
 }
 
 /// Look up a built-in scenario by name.
@@ -141,9 +147,41 @@ pub fn scenario(name: &str) -> Option<Scenario> {
                     deadline: Some(Duration::from_secs(5)),
                     retries: 2,
                     backoff: Duration::from_millis(50),
+                    ..CallOptions::default()
                 },
             },
             target: Target::SpawnFleet { servers: 2, pes: 2 },
+        }),
+        // The iterative WAN rig: each client runs a closed-loop N-body
+        // sweep whose O(n) particle arrays repeat verbatim call after call
+        // — on the simulated FluidNet WAN link the first (cold) iteration
+        // is bandwidth-bound and every warm iteration ships only digests,
+        // so this is the scenario that measures the argument cache. Run it
+        // with `--no-arg-cache` for the every-call-pays-full-freight
+        // baseline.
+        "wan-iterative" => Some(Scenario {
+            name: "wan-iterative",
+            about: "closed-loop iterative N-body n=16384; warm calls ship arg digests, not arrays",
+            spec: WorkloadSpec {
+                mix: vec![MixEntry {
+                    routine: Routine::Nbody { n: 16384 },
+                    weight: 1,
+                }],
+                arrival: Arrival::Closed {
+                    think: Duration::ZERO,
+                },
+                phases: Phases::none(),
+                calls_per_client: 16,
+                options: CallOptions {
+                    deadline: Some(Duration::from_secs(30)),
+                    ..CallOptions::default()
+                },
+            },
+            target: Target::Spawn {
+                pes: 2,
+                policy: SchedPolicy::Fcfs,
+                core: ServerCore::default(),
+            },
         }),
         _ => None,
     }
@@ -200,6 +238,18 @@ mod tests {
         ));
         assert!(matches!(sc.spec.arrival, Arrival::Open { rate_hz } if rate_hz > 0.0));
         assert!(sc.spec.options.deadline.is_some());
+    }
+
+    #[test]
+    fn wan_iterative_repeats_one_nbody_size_closed_loop() {
+        let sc = scenario("wan-iterative").unwrap();
+        // One size, closed loop, many iterations: every call after the
+        // first carries byte-identical particle arrays — the cache's case.
+        assert_eq!(sc.spec.mix.len(), 1);
+        assert!(matches!(sc.spec.mix[0].routine, Routine::Nbody { .. }));
+        assert!(matches!(sc.spec.arrival, Arrival::Closed { .. }));
+        assert!(sc.spec.calls_per_client >= 8);
+        assert!(sc.spec.options.arg_cache);
     }
 
     #[test]

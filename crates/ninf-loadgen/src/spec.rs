@@ -24,6 +24,13 @@ pub enum Routine {
         /// Trial exponent.
         m: i32,
     },
+    /// `nbody(n, step, …)`: evaluate the field of `n` fixed particles at the
+    /// per-iteration probe grid. The particle arrays repeat verbatim across
+    /// calls, so this is the argument-cache workload: only `step` changes.
+    Nbody {
+        /// Source particle count.
+        n: usize,
+    },
 }
 
 impl Routine {
@@ -32,6 +39,7 @@ impl Routine {
         match self {
             Routine::Linpack { .. } => "linpack",
             Routine::Ep { .. } => "ep",
+            Routine::Nbody { .. } => "nbody",
         }
     }
 
@@ -40,6 +48,7 @@ impl Routine {
         match self {
             Routine::Linpack { n } => *n as i64,
             Routine::Ep { m } => *m as i64,
+            Routine::Nbody { n } => *n as i64,
         }
     }
 
@@ -50,6 +59,7 @@ impl Routine {
         match self {
             Routine::Linpack { n } => Some(ninf_exec::linpack_flops(*n as u64)),
             Routine::Ep { .. } => None,
+            Routine::Nbody { n } => Some(ninf_exec::nbody_flops(*n) as u64),
         }
     }
 }
@@ -403,6 +413,10 @@ mod tests {
         assert_eq!(ep.name(), "ep");
         assert_eq!(ep.scalar(), 20);
         assert_eq!(ep.flops(), None);
+        let nb = Routine::Nbody { n: 4096 };
+        assert_eq!(nb.name(), "nbody");
+        assert_eq!(nb.scalar(), 4096);
+        assert_eq!(nb.flops(), Some(ninf_exec::nbody_flops(4096) as u64));
     }
 
     #[test]

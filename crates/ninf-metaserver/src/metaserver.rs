@@ -405,6 +405,7 @@ mod tests {
                     mode: ExecMode::TaskParallel,
                     policy: SchedPolicy::Fcfs,
                     core: Default::default(),
+                    ..ServerConfig::default()
                 },
             )
             .unwrap();
@@ -606,6 +607,7 @@ mod tests {
             deadline: Some(std::time::Duration::from_millis(300)),
             retries: 0,
             backoff: std::time::Duration::from_millis(10),
+            ..ninf_client::CallOptions::default()
         }
     }
 

@@ -160,6 +160,7 @@ fn successful_probe_reinstates() {
             mode: ExecMode::TaskParallel,
             policy: SchedPolicy::Fcfs,
             core: Default::default(),
+            ..ServerConfig::default()
         },
     )
     .unwrap();

@@ -26,6 +26,6 @@ pub mod recorder;
 pub mod trace;
 
 pub use hist::LogHistogram;
-pub use metrics::{Counter, Gauge, MetricsRegistry};
+pub use metrics::{process_metrics, Counter, Gauge, MetricsRegistry};
 pub use recorder::FlightRecorder;
 pub use trace::{next_id, now_us, Span, TraceContext};

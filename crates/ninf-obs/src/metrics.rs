@@ -155,9 +155,26 @@ impl MetricsRegistry {
     }
 }
 
+/// The process-wide registry: the shared home for metrics owned by a
+/// library rather than a component with its own registry (the client's
+/// argument-cache counters live here). Whoever serves a metrics endpoint
+/// can render it alongside component registries.
+pub fn process_metrics() -> &'static MetricsRegistry {
+    static GLOBAL: std::sync::OnceLock<MetricsRegistry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn process_registry_is_shared() {
+        let a = process_metrics().counter("ninf_test_shared_total", "x");
+        let b = process_metrics().counter("ninf_test_shared_total", "x");
+        a.inc();
+        assert_eq!(b.get(), a.get());
+    }
 
     #[test]
     fn counter_is_shared_by_name() {

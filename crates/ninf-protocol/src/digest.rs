@@ -1,0 +1,135 @@
+//! Content digests for the argument cache.
+//!
+//! A [`Digest`] names one marshalled argument by its bytes: 128 bits built
+//! from two independent passes over the XDR image — a 64-bit SplitMix-style
+//! chunk mix and the frame checksum's own CRC-32C (hardware-accelerated on
+//! SSE4.2, see [`crate::crc`]) folded with the length. The two halves fail
+//! independently, so an accidental collision needs to defeat both at once;
+//! this is a cache key against accidental collision, not an adversarial
+//! MAC — a client that lies about digests only poisons its own results.
+//!
+//! Arguments below [`ARG_CACHE_MIN_BYTES`] are never cached: a digest ref
+//! costs ~20 wire bytes plus a store lookup, which only pays for itself on
+//! the flat arrays that dominate WAN transfer time.
+
+use crate::codec::Wire;
+use crate::crc::crc32c;
+use crate::value::Value;
+
+/// Arguments smaller than this many XDR bytes are always shipped inline —
+/// the ref machinery only pays for itself on large flat arrays.
+pub const ARG_CACHE_MIN_BYTES: usize = 1024;
+
+/// 128-bit content digest of one marshalled argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest {
+    /// SplitMix-style 64-bit chunk mix over the XDR image.
+    pub hi: u64,
+    /// `crc32c(image) << 32 | len mod 2^32` — a second, independent check.
+    pub lo: u64,
+}
+
+impl Digest {
+    /// Digest of a byte image.
+    pub fn of(bytes: &[u8]) -> Digest {
+        Digest {
+            hi: mix64(bytes),
+            lo: (u64::from(crc32c(bytes)) << 32) | (bytes.len() as u64 & 0xFFFF_FFFF),
+        }
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// SplitMix64-finalized chunk mix: fold each 8-byte word (and a
+/// length-tagged tail) through the SplitMix64 finalizer. Not cryptographic;
+/// paired with the CRC half above for independence.
+fn mix64(bytes: &[u8]) -> u64 {
+    #[inline]
+    fn finalize(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = finalize(h ^ u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rest.len()].copy_from_slice(rest);
+        h = finalize(h ^ u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+    }
+    finalize(h)
+}
+
+/// Digest of one argument value, over its full tagged XDR image (the tag
+/// keeps an `IntArray` and a `FloatArray` with identical bytes distinct).
+pub fn digest_value(v: &Value) -> Digest {
+    let mut enc = ninf_xdr::XdrEncoder::new();
+    v.put(&mut enc);
+    Digest::of(&enc.finish())
+}
+
+/// Whether an argument is worth caching at all: a flat array whose XDR
+/// image is at least [`ARG_CACHE_MIN_BYTES`].
+pub fn cacheable(v: &Value) -> bool {
+    !v.is_scalar() && v.wire_bytes() >= ARG_CACHE_MIN_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_and_content_addressed() {
+        let a = Value::DoubleArray(vec![1.5; 400]);
+        let b = Value::DoubleArray(vec![1.5; 400]);
+        assert_eq!(digest_value(&a), digest_value(&b));
+        let c = Value::DoubleArray(vec![1.5000001; 400]);
+        assert_ne!(digest_value(&a), digest_value(&c));
+    }
+
+    #[test]
+    fn digest_distinguishes_value_types_with_identical_bodies() {
+        // Same raw body bytes, different tags: must not collide.
+        let ints = Value::IntArray(vec![0; 300]);
+        let floats = Value::FloatArray(vec![0.0; 300]);
+        assert_ne!(digest_value(&ints), digest_value(&floats));
+    }
+
+    #[test]
+    fn digest_sensitive_to_length_and_tail() {
+        let short = Digest::of(&[7u8; 9]);
+        let long = Digest::of(&[7u8; 10]);
+        assert_ne!(short, long);
+        // Single final-byte flip flips both halves' inputs.
+        let mut tweaked = vec![7u8; 9];
+        tweaked[8] = 8;
+        assert_ne!(Digest::of(&tweaked), short);
+    }
+
+    #[test]
+    fn length_is_folded_into_lo() {
+        let d = Digest::of(&[0u8; 1234]);
+        assert_eq!(d.lo & 0xFFFF_FFFF, 1234);
+    }
+
+    #[test]
+    fn cacheable_requires_large_flat_array() {
+        assert!(!cacheable(&Value::Int(7)));
+        assert!(!cacheable(&Value::DoubleArray(vec![0.0; 8])));
+        assert!(cacheable(&Value::DoubleArray(vec![0.0; 1024])));
+        assert_eq!(
+            Value::DoubleArray(vec![0.0; 128]).wire_bytes(),
+            ARG_CACHE_MIN_BYTES
+        );
+        assert!(cacheable(&Value::DoubleArray(vec![0.0; 128])));
+    }
+}

@@ -341,6 +341,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
 mod tests {
     use super::*;
     use crate::error::ProtocolError;
+    use crate::message::Arg;
     use crate::transport::ChannelTransport;
 
     fn plan() -> FaultPlan {
@@ -414,7 +415,7 @@ mod tests {
             faulty
                 .send(&Message::Invoke {
                     routine: "ep".into(),
-                    args: vec![crate::Value::DoubleArray(vec![1.5; 8])],
+                    args: Arg::inline(vec![crate::Value::DoubleArray(vec![1.5; 8])]),
                     trace: None,
                 })
                 .unwrap();
@@ -448,7 +449,7 @@ mod tests {
         faulty
             .send(&Message::Invoke {
                 routine: "ep".into(),
-                args: vec![crate::Value::Int(4)],
+                args: Arg::inline(vec![crate::Value::Int(4)]),
                 trace: None,
             })
             .unwrap();

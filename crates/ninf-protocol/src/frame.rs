@@ -200,13 +200,14 @@ const PAYLOAD_READ_CHUNK: usize = 64 * 1024;
 mod tests {
     use super::*;
     use crate::crc::crc32c;
+    use crate::message::Arg;
     use crate::value::Value;
 
     #[test]
     fn frame_roundtrip() {
         let msg = Message::Invoke {
             routine: "ep".into(),
-            args: vec![Value::Int(24)],
+            args: Arg::inline(vec![Value::Int(24)]),
             trace: None,
         };
         let mut buf = Vec::new();
@@ -239,7 +240,7 @@ mod tests {
     fn encode_frame_matches_streamed_writer() {
         let msg = Message::Invoke {
             routine: "ep".into(),
-            args: vec![Value::Int(14)],
+            args: Arg::inline(vec![Value::Int(14)]),
             trace: None,
         };
         let mut streamed = Vec::new();
@@ -322,7 +323,7 @@ mod tests {
     fn corrupted_payload_fails_checksum() {
         let msg = Message::Invoke {
             routine: "linpack".into(),
-            args: vec![Value::DoubleArray(vec![1.5; 64])],
+            args: Arg::inline(vec![Value::DoubleArray(vec![1.5; 64])]),
             trace: None,
         };
         let mut buf = Vec::new();
@@ -396,7 +397,10 @@ mod tests {
         // A payload larger than one read chunk must still round-trip.
         let big = Message::Invoke {
             routine: "echo".into(),
-            args: vec![Value::DoubleArray(vec![1.25; 3 * PAYLOAD_READ_CHUNK / 8])],
+            args: Arg::inline(vec![Value::DoubleArray(vec![
+                1.25;
+                3 * PAYLOAD_READ_CHUNK / 8
+            ])]),
             trace: None,
         };
         let mut buf = Vec::new();
@@ -451,7 +455,7 @@ mod tests {
     fn incremental_parse_matches_blocking_reader() {
         let msg = Message::Invoke {
             routine: "ep".into(),
-            args: vec![Value::Int(20)],
+            args: Arg::inline(vec![Value::Int(20)]),
             trace: None,
         };
         let buf = encode_frame(99, &msg).unwrap();
@@ -492,7 +496,7 @@ mod tests {
     fn partial_vectored_writes_still_frame_correctly() {
         let msg = Message::Invoke {
             routine: "trickle".into(),
-            args: vec![Value::DoubleArray(vec![2.5; 17])],
+            args: Arg::inline(vec![Value::DoubleArray(vec![2.5; 17])]),
             trace: None,
         };
         let mut trickle = TrickleWriter(Vec::new());

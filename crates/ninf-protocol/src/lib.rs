@@ -27,6 +27,7 @@
 
 pub mod codec;
 pub mod crc;
+pub mod digest;
 pub mod error;
 pub mod fault;
 pub mod frame;
@@ -37,6 +38,7 @@ pub mod value;
 
 pub use codec::Wire;
 pub use crc::{crc32c, Crc32c};
+pub use digest::{cacheable, digest_value, Digest, ARG_CACHE_MIN_BYTES};
 pub use error::{ProtocolError, ProtocolResult};
 pub use fault::{
     fault_schedule, planned_fault, FaultHistory, FaultKind, FaultPlan, FaultStats, FaultyTransport,
@@ -49,7 +51,7 @@ pub use frame::{
 pub use marshal::{
     reply_payload_bytes, request_payload_bytes, validate_call_args, validate_results,
 };
-pub use message::{CallStat, JobPhase, LoadReport, Message};
+pub use message::{Arg, CallStat, JobPhase, LoadReport, Message};
 pub use ninf_obs::{Span, TraceContext};
 pub use transport::{ChannelTransport, TcpTransport, Transport};
 pub use value::Value;

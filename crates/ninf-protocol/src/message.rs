@@ -12,7 +12,8 @@ use ninf_obs::{Span, TraceContext};
 use ninf_xdr::{XdrDecoder, XdrEncoder};
 
 use crate::codec::{impl_message_codec, impl_wire, Wire};
-use crate::error::ProtocolResult;
+use crate::digest::Digest;
+use crate::error::{ProtocolError, ProtocolResult};
 use crate::value::Value;
 
 /// A server load report (consumed by the metaserver, which "keeps track of
@@ -113,6 +114,78 @@ impl_wire!(struct Span {
     detail,
 });
 
+impl_wire!(struct Digest { hi, lo });
+
+/// One argument position of an [`Message::Invoke`]/[`Message::SubmitJob`]:
+/// either the marshalled value inline, or a content digest naming a value
+/// the server's arg store is expected to hold.
+///
+/// On the wire an inline arg is byte-identical to a bare [`Value`] — the
+/// `Data` case delegates to the `Value` codec, whose tags occupy 0–7 — so
+/// an all-inline call encodes exactly as it did before refs existed
+/// (flag-day compatibility: old captures decode, old golden bytes hold).
+/// `Ref` takes the next tag up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// The marshalled value, shipped inline.
+    Data(Value),
+    /// Content digest of a value the server should already hold; a miss
+    /// comes back as [`Message::NeedArg`] without executing the call.
+    Ref(Digest),
+}
+
+/// `Arg::Ref`'s wire tag: one past the last `Value` tag (`VTAG_DOUBLE_ARR`).
+const VTAG_ARG_REF: u32 = 8;
+
+impl Arg {
+    /// Wrap owned values as all-inline args (the pre-cache wire form).
+    pub fn inline(values: Vec<Value>) -> Vec<Arg> {
+        values.into_iter().map(Arg::Data).collect()
+    }
+
+    /// The inline value, if this arg carries one.
+    pub fn as_value(&self) -> Option<&Value> {
+        match self {
+            Arg::Data(v) => Some(v),
+            Arg::Ref(_) => None,
+        }
+    }
+
+    /// Unwrap an all-inline arg list back to values; `None` if any position
+    /// is a ref.
+    pub fn into_values(args: Vec<Arg>) -> Option<Vec<Value>> {
+        args.into_iter()
+            .map(|a| match a {
+                Arg::Data(v) => Some(v),
+                Arg::Ref(_) => None,
+            })
+            .collect()
+    }
+}
+
+impl Wire for Arg {
+    fn put(&self, enc: &mut XdrEncoder) {
+        match self {
+            // A bare Value image: its own tag word (0–7) then the body.
+            Arg::Data(v) => v.put(enc),
+            Arg::Ref(d) => {
+                enc.put_u32(VTAG_ARG_REF);
+                d.put(enc);
+            }
+        }
+    }
+    fn get(dec: &mut XdrDecoder<'_>) -> ProtocolResult<Self> {
+        let tag = dec.get_u32()?;
+        if tag == VTAG_ARG_REF {
+            return Ok(Arg::Ref(Digest::get(dec)?));
+        }
+        match Value::wire_get_variant(tag, dec)? {
+            Some(v) => Ok(Arg::Data(v)),
+            None => Err(ProtocolError::Frame(format!("unknown Arg tag {tag}"))),
+        }
+    }
+}
+
 impl Wire for CompiledInterface {
     fn put(&self, enc: &mut XdrEncoder) {
         self.encode_xdr(enc);
@@ -141,9 +214,11 @@ pub enum Message {
     Invoke {
         /// Routine to run (repeated for sanity checking).
         routine: String,
-        /// Input values. Scalars first bind dimension variables; array
-        /// extents must match the IDL layout.
-        args: Vec<Value>,
+        /// Input arguments. Scalars first bind dimension variables; array
+        /// extents must match the IDL layout. Each position ships either
+        /// inline ([`Arg::Data`]) or as a content digest ([`Arg::Ref`])
+        /// the server resolves from its arg store.
+        args: Vec<Arg>,
         /// Caller's trace position; the server parents its spans under it.
         trace: Option<TraceContext>,
     },
@@ -166,8 +241,8 @@ pub enum Message {
     SubmitJob {
         /// Routine to run.
         routine: String,
-        /// Input values, as in [`Message::Invoke`].
-        args: Vec<Value>,
+        /// Input arguments, as in [`Message::Invoke`].
+        args: Vec<Arg>,
         /// Caller's trace position; the server parents its spans under it.
         trace: Option<TraceContext>,
     },
@@ -192,6 +267,9 @@ pub enum Message {
     FetchResult {
         /// The ticket.
         job: u64,
+        /// Caller's trace position, so the fetch leg parents into the same
+        /// trace tree as the submit that minted the ticket.
+        trace: Option<TraceContext>,
     },
     /// Ask the server which routines it exports (the paper's "server
     /// registry tools" surface).
@@ -244,6 +322,14 @@ pub enum Message {
         dropped: u64,
         /// Retained spans matching the query.
         spans: Vec<Span>,
+    },
+    /// Typed miss reply to an [`Message::Invoke`]/[`Message::SubmitJob`]
+    /// whose [`Arg::Ref`]s name digests the server's arg store no longer
+    /// holds. The call was **not** executed; the client re-sends with those
+    /// positions inline (exactly-once is preserved because nothing ran).
+    NeedArg {
+        /// Every referenced digest the store is missing.
+        digests: Vec<Digest>,
     },
 }
 
@@ -309,6 +395,7 @@ const TAG_QUERY_STATS: u32 = 17;
 const TAG_STATS_REPLY: u32 = 18;
 const TAG_QUERY_TRACE: u32 = 19;
 const TAG_TRACE_REPLY: u32 = 20;
+const TAG_NEED_ARG: u32 = 21;
 
 impl_message_codec! {
     units {
@@ -328,7 +415,7 @@ impl_message_codec! {
         JobTicket = TAG_JOB_TICKET => { job },
         PollJob = TAG_POLL_JOB => { job },
         JobStatus = TAG_JOB_STATUS => { job, state },
-        FetchResult = TAG_FETCH_RESULT => { job },
+        FetchResult = TAG_FETCH_RESULT => { job, trace },
         RoutineList = TAG_ROUTINE_LIST => { routines },
         DbQuery = TAG_DB_QUERY => { query },
         DbReply = TAG_DB_REPLY => { description, values },
@@ -336,6 +423,7 @@ impl_message_codec! {
         StatsReply = TAG_STATS_REPLY => { now, total, records },
         QueryTrace = TAG_QUERY_TRACE => { trace_id },
         TraceReply = TAG_TRACE_REPLY => { process, dropped, spans },
+        NeedArg = TAG_NEED_ARG => { digests },
     }
 }
 
@@ -368,22 +456,63 @@ mod tests {
     fn roundtrip_invoke_with_mixed_args() {
         roundtrip(Message::Invoke {
             routine: "dmmul".into(),
-            args: vec![
+            args: Arg::inline(vec![
                 Value::Int(3),
                 Value::DoubleArray(vec![1.0; 9]),
                 Value::DoubleArray(vec![2.0; 9]),
-            ],
+            ]),
             trace: None,
         });
         roundtrip(Message::Invoke {
             routine: "dmmul".into(),
-            args: vec![Value::Int(3)],
+            args: vec![Arg::Data(Value::Int(3))],
             trace: Some(TraceContext {
                 trace_id: 0xdead_beef_cafe_f00d,
                 span_id: 17,
                 parent_span_id: 0,
             }),
         });
+    }
+
+    #[test]
+    fn roundtrip_invoke_with_arg_refs() {
+        let d = crate::digest::digest_value(&Value::DoubleArray(vec![0.25; 256]));
+        roundtrip(Message::Invoke {
+            routine: "dmmul".into(),
+            args: vec![
+                Arg::Data(Value::Int(16)),
+                Arg::Ref(d),
+                Arg::Data(Value::DoubleArray(vec![2.0; 256])),
+            ],
+            trace: None,
+        });
+        roundtrip(Message::NeedArg { digests: vec![d] });
+        roundtrip(Message::NeedArg { digests: vec![] });
+    }
+
+    #[test]
+    fn arg_helpers_roundtrip_inline_lists() {
+        let values = vec![Value::Int(1), Value::DoubleArray(vec![2.0; 4])];
+        let args = Arg::inline(values.clone());
+        assert_eq!(args[0].as_value(), Some(&values[0]));
+        assert_eq!(Arg::into_values(args), Some(values));
+        let refd = vec![Arg::Ref(Digest { hi: 1, lo: 2 })];
+        assert_eq!(refd[0].as_value(), None);
+        assert_eq!(Arg::into_values(refd), None);
+    }
+
+    #[test]
+    fn unknown_arg_tag_rejected() {
+        // A raw Invoke whose single arg carries tag 9 (past Ref's 8).
+        let mut enc = ninf_xdr::XdrEncoder::new();
+        enc.put_u32(3); // Invoke
+        enc.put_string("f");
+        enc.put_u32(1); // one arg
+        enc.put_u32(9); // bogus arg tag
+        assert!(matches!(
+            Message::decode(&enc.finish()),
+            Err(ProtocolError::Frame(_))
+        ));
     }
 
     #[test]
@@ -440,7 +569,7 @@ mod tests {
         let msgs = [
             Message::Invoke {
                 routine: "linpack".into(),
-                args: vec![Value::Int(600), Value::DoubleArray(vec![0.5; 16])],
+                args: Arg::inline(vec![Value::Int(600), Value::DoubleArray(vec![0.5; 16])]),
                 trace: Some(TraceContext {
                     trace_id: 9,
                     span_id: 3,
@@ -479,7 +608,7 @@ mod tests {
         // tag 3 (Invoke), "ep", one arg (VTAG_INT 24), absent trace.
         let msg = Message::Invoke {
             routine: "ep".into(),
-            args: vec![Value::Int(24)],
+            args: vec![Arg::Data(Value::Int(24))],
             trace: None,
         };
         let expected: Vec<u8> = [
@@ -499,12 +628,12 @@ mod tests {
     fn roundtrip_two_phase_messages() {
         roundtrip(Message::SubmitJob {
             routine: "ep".into(),
-            args: vec![Value::Int(24)],
+            args: vec![Arg::Data(Value::Int(24))],
             trace: None,
         });
         roundtrip(Message::SubmitJob {
             routine: "ep".into(),
-            args: vec![Value::Int(24)],
+            args: vec![Arg::Data(Value::Int(24))],
             trace: Some(TraceContext {
                 trace_id: 1,
                 span_id: 2,
@@ -521,7 +650,18 @@ mod tests {
         ] {
             roundtrip(Message::JobStatus { job: 7, state });
         }
-        roundtrip(Message::FetchResult { job: 42 });
+        roundtrip(Message::FetchResult {
+            job: 42,
+            trace: None,
+        });
+        roundtrip(Message::FetchResult {
+            job: 42,
+            trace: Some(TraceContext {
+                trace_id: 4,
+                span_id: 5,
+                parent_span_id: 6,
+            }),
+        });
     }
 
     #[test]
@@ -632,7 +772,7 @@ mod tests {
     fn all_value_variants_roundtrip_in_invoke() {
         roundtrip(Message::Invoke {
             routine: "f".into(),
-            args: vec![
+            args: Arg::inline(vec![
                 Value::Int(1),
                 Value::Long(2),
                 Value::Float(3.0),
@@ -641,7 +781,7 @@ mod tests {
                 Value::LongArray(vec![6]),
                 Value::FloatArray(vec![7.0]),
                 Value::DoubleArray(vec![8.0]),
-            ],
+            ]),
             trace: None,
         });
     }

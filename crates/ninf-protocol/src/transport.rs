@@ -199,6 +199,7 @@ impl Transport for ChannelTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::Arg;
     use crate::value::Value;
     use std::net::TcpListener;
 
@@ -207,7 +208,7 @@ mod tests {
         let (mut a, mut b) = ChannelTransport::pair();
         let msg = Message::Invoke {
             routine: "ep".into(),
-            args: vec![Value::Int(20)],
+            args: Arg::inline(vec![Value::Int(20)]),
             trace: None,
         };
         a.send(&msg).unwrap();
@@ -277,7 +278,10 @@ mod tests {
             let mut t = TcpTransport::new(stream).unwrap();
             match t.recv().unwrap() {
                 Message::Invoke { args, .. } => {
-                    t.send(&Message::ResultData { results: args }).unwrap();
+                    t.send(&Message::ResultData {
+                        results: Arg::into_values(args).expect("inline"),
+                    })
+                    .unwrap();
                 }
                 other => panic!("unexpected {other:?}"),
             }
@@ -287,7 +291,7 @@ mod tests {
         client
             .send(&Message::Invoke {
                 routine: "echo".into(),
-                args: vec![matrix.clone()],
+                args: Arg::inline(vec![matrix.clone()]),
                 trace: None,
             })
             .unwrap();

@@ -8,8 +8,8 @@
 //! fails if the proptest generator or the sample list misses a kind.
 
 use ninf_protocol::{
-    read_frame, write_frame, CallStat, JobPhase, LoadReport, Message, ProtocolError, Span,
-    TraceContext, Value,
+    read_frame, write_frame, Arg, CallStat, Digest, JobPhase, LoadReport, Message, ProtocolError,
+    Span, TraceContext, Value,
 };
 use proptest::prelude::*;
 
@@ -44,6 +44,13 @@ fn arb_value() -> impl Strategy<Value = Value> {
             .prop_map(Value::FloatArray),
         proptest::collection::vec(any::<f64>().prop_filter("finite", |x| x.is_finite()), 0..64)
             .prop_map(Value::DoubleArray),
+    ]
+}
+
+fn arb_arg() -> impl Strategy<Value = Arg> {
+    prop_oneof![
+        4 => arb_value().prop_map(Arg::Data),
+        1 => (any::<u64>(), any::<u64>()).prop_map(|(hi, lo)| Arg::Ref(Digest { hi, lo })),
     ]
 }
 
@@ -126,7 +133,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             .prop_map(|interface| Message::InterfaceReply { interface }),
         (
             routine,
-            proptest::collection::vec(arb_value(), 0..6),
+            proptest::collection::vec(arb_arg(), 0..6),
             any::<u64>()
         )
             .prop_map(|(routine, args, t)| Message::Invoke {
@@ -156,7 +163,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }),
         (
             routine,
-            proptest::collection::vec(arb_value(), 0..6),
+            proptest::collection::vec(arb_arg(), 0..6),
             any::<u64>()
         )
             .prop_map(|(routine, args, t)| Message::SubmitJob {
@@ -176,7 +183,10 @@ fn arb_message() -> impl Strategy<Value = Message> {
             ]
         )
             .prop_map(|(job, state)| Message::JobStatus { job, state }),
-        any::<u64>().prop_map(|job| Message::FetchResult { job }),
+        (any::<u64>(), any::<u64>()).prop_map(|(job, t)| Message::FetchResult {
+            job,
+            trace: arb_trace(t),
+        }),
         Just(Message::ListRoutines),
         proptest::collection::vec(("[a-z][a-z0-9_]{0,15}", "\\PC{0,48}"), 0..8)
             .prop_map(|routines| Message::RoutineList { routines }),
@@ -209,6 +219,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 dropped,
                 spans
             }),
+        proptest::collection::vec((any::<u64>(), any::<u64>()), 0..6).prop_map(|ds| {
+            Message::NeedArg {
+                digests: ds.into_iter().map(|(hi, lo)| Digest { hi, lo }).collect(),
+            }
+        }),
     ]
 }
 
@@ -237,10 +252,11 @@ fn variant_index(m: &Message) -> usize {
         Message::StatsReply { .. } => 17,
         Message::QueryTrace { .. } => 18,
         Message::TraceReply { .. } => 19,
+        Message::NeedArg { .. } => 20,
     }
 }
 
-const VARIANT_COUNT: usize = 20;
+const VARIANT_COUNT: usize = 21;
 
 /// One concrete witness per variant, used by the exhaustiveness test and
 /// the deterministic truncation test.
@@ -259,7 +275,14 @@ fn sample_messages() -> Vec<Message> {
         },
         Message::Invoke {
             routine: "linpack".into(),
-            args: vec![Value::Int(64), Value::DoubleArray(vec![1.0, 2.0])],
+            args: vec![
+                Arg::Data(Value::Int(64)),
+                Arg::Ref(Digest {
+                    hi: 0xfeed_beef,
+                    lo: 0x1234,
+                }),
+                Arg::Data(Value::DoubleArray(vec![1.0, 2.0])),
+            ],
             trace: Some(ctx),
         },
         Message::ResultData {
@@ -278,7 +301,7 @@ fn sample_messages() -> Vec<Message> {
         }),
         Message::SubmitJob {
             routine: "ep".into(),
-            args: vec![Value::Int(12)],
+            args: vec![Arg::Data(Value::Int(12))],
             trace: None,
         },
         Message::JobTicket { job: 42 },
@@ -287,7 +310,10 @@ fn sample_messages() -> Vec<Message> {
             job: 42,
             state: JobPhase::Done,
         },
-        Message::FetchResult { job: 42 },
+        Message::FetchResult {
+            job: 42,
+            trace: Some(ctx),
+        },
         Message::ListRoutines,
         Message::RoutineList {
             routines: vec![("linpack".into(), "solve".into())],
@@ -327,6 +353,12 @@ fn sample_messages() -> Vec<Message> {
                 start_us: 100,
                 dur_us: 50,
                 detail: "linpack".into(),
+            }],
+        },
+        Message::NeedArg {
+            digests: vec![Digest {
+                hi: 0xfeed_beef,
+                lo: 0x1234,
             }],
         },
     ]

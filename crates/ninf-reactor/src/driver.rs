@@ -407,7 +407,7 @@ fn pump_conn_read(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ninf_protocol::Value;
+    use ninf_protocol::{Arg, Value};
     use std::net::TcpListener;
     use std::sync::Arc;
 
@@ -416,7 +416,9 @@ mod tests {
     #[test]
     fn open_loop_window_completes_every_call() {
         let handler: Handler = Arc::new(|req: Request| match req.message {
-            Message::Invoke { args, .. } => Some(Message::ResultData { results: args }),
+            Message::Invoke { args, .. } => Some(Message::ResultData {
+                results: Arg::into_values(args).expect("inline"),
+            }),
             _ => Some(Message::Error {
                 reason: "unexpected".into(),
             }),
@@ -438,7 +440,7 @@ mod tests {
             max_inflight_per_conn: 16,
             request: Message::Invoke {
                 routine: "echo".into(),
-                args: vec![Value::Int(7)],
+                args: Arg::inline(vec![Value::Int(7)]),
                 trace: None,
             },
             drain: Duration::from_secs(5),

@@ -376,7 +376,7 @@ impl Drop for MuxHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ninf_protocol::Value;
+    use ninf_protocol::{Arg, Value};
     use std::net::TcpListener;
     use std::sync::Arc as StdArc;
 
@@ -385,7 +385,9 @@ mod tests {
     /// Echo server: replies `ResultData` carrying the Int arg back.
     fn echo_server() -> ReactorHandle {
         let handler: Handler = StdArc::new(|req: crate::reactor::Request| match req.message {
-            Message::Invoke { args, .. } => Some(Message::ResultData { results: args }),
+            Message::Invoke { args, .. } => Some(Message::ResultData {
+                results: Arg::into_values(args).expect("inline"),
+            }),
             Message::QueryLoad => None, // exercise the no-reply path
             _ => Some(Message::Error {
                 reason: "unexpected".into(),
@@ -404,7 +406,7 @@ mod tests {
     fn invoke(tag: i32) -> Message {
         Message::Invoke {
             routine: "echo".into(),
-            args: vec![Value::Int(tag)],
+            args: Arg::inline(vec![Value::Int(tag)]),
             trace: None,
         }
     }

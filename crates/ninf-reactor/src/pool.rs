@@ -158,7 +158,7 @@ pub fn global_pool() -> &'static Arc<MuxPool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ninf_protocol::{Message, Transport};
+    use ninf_protocol::{Arg, Message, Transport};
     use std::net::TcpListener;
     use std::sync::Arc as StdArc;
 
@@ -166,7 +166,9 @@ mod tests {
 
     fn echo_server() -> ReactorHandle {
         let handler: Handler = StdArc::new(|req: crate::reactor::Request| match req.message {
-            Message::Invoke { args, .. } => Some(Message::ResultData { results: args }),
+            Message::Invoke { args, .. } => Some(Message::ResultData {
+                results: Arg::into_values(args).expect("inline"),
+            }),
             _ => Some(Message::Error {
                 reason: "unexpected".into(),
             }),

@@ -8,7 +8,7 @@ use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ninf_protocol::{Message, Transport, Value};
+use ninf_protocol::{Arg, Message, Transport, Value};
 use ninf_reactor::{MuxStream, Reactor, ReactorConfig, ReactorHandle, ReactorHooks, Request};
 use proptest::prelude::*;
 
@@ -19,11 +19,11 @@ use proptest::prelude::*;
 fn scrambling_server() -> ReactorHandle {
     let handler = Arc::new(|req: Request| match req.message {
         Message::Invoke { args, .. } => {
-            if let Some(Value::Int(delay_ms)) = args.get(1) {
+            if let Some(Arg::Data(Value::Int(delay_ms))) = args.get(1) {
                 std::thread::sleep(Duration::from_millis(*delay_ms as u64));
             }
             Some(Message::ResultData {
-                results: vec![args[0].clone()],
+                results: Arg::into_values(vec![args[0].clone()]).expect("inline"),
             })
         }
         _ => Some(Message::Error {
@@ -46,7 +46,7 @@ fn scrambling_server() -> ReactorHandle {
 fn invoke(tag: i32, delay_ms: i32) -> Message {
     Message::Invoke {
         routine: "ep".into(),
-        args: vec![Value::Int(tag), Value::Int(delay_ms)],
+        args: Arg::inline(vec![Value::Int(tag), Value::Int(delay_ms)]),
         trace: None,
     }
 }

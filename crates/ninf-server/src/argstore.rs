@@ -1,0 +1,241 @@
+//! Bounded, byte-budgeted LRU store of marshalled argument values, keyed by
+//! content digest.
+//!
+//! This is the server half of the argument cache: clients that have already
+//! shipped a large argument inline may name it by [`Digest`] on later calls
+//! ([`ninf_protocol::Arg::Ref`]); the store resolves the ref, or reports a
+//! miss so the caller can reply [`ninf_protocol::Message::NeedArg`] without
+//! executing anything. The budget bounds resident bytes, not entry count —
+//! one 32 MB matrix and a thousand 32 KB vectors cost the same — and
+//! eviction is strict LRU over both inserts and lookups.
+//!
+//! A budget of zero disables the store: nothing is retained and every ref
+//! misses, which is the server-side off switch.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ninf_protocol::{Digest, Value};
+use parking_lot::Mutex;
+
+/// Default resident-byte budget (64 MiB): comfortably holds the working set
+/// of an iterative WAN client (a few large arrays) while bounding a fleet
+/// of strangers to a fixed footprint.
+pub const DEFAULT_ARG_CACHE_BYTES: usize = 64 << 20;
+
+struct Entry {
+    value: Value,
+    bytes: usize,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Digest, Entry>,
+    /// LRU index: recency stamp → digest, oldest first.
+    order: BTreeMap<u64, Digest>,
+    clock: u64,
+    bytes: usize,
+}
+
+impl Inner {
+    fn touch(&mut self, d: Digest) {
+        let Some(e) = self.map.get_mut(&d) else {
+            return;
+        };
+        self.order.remove(&e.stamp);
+        self.clock += 1;
+        e.stamp = self.clock;
+        self.order.insert(self.clock, d);
+    }
+}
+
+/// Content-addressed LRU value store with a resident-byte budget.
+pub struct ArgStore {
+    budget: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ArgStore {
+    /// Empty store bounded by `budget` resident bytes (0 disables caching).
+    pub fn new(budget: usize) -> Self {
+        Self {
+            budget,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured resident-byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Insert `value` under `digest` (the caller computes the digest so the
+    /// hashing cost sits outside the lock). Returns how many entries were
+    /// evicted to fit. Values larger than the whole budget are not retained.
+    pub fn insert(&self, digest: Digest, value: Value) -> usize {
+        let bytes = value.wire_bytes();
+        if bytes > self.budget {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&digest) {
+            inner.touch(digest);
+            return 0;
+        }
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.order.insert(stamp, digest);
+        inner.map.insert(
+            digest,
+            Entry {
+                value,
+                bytes,
+                stamp,
+            },
+        );
+        inner.bytes += bytes;
+        let mut evicted = 0;
+        while inner.bytes > self.budget {
+            let (&oldest, &victim) = inner
+                .order
+                .iter()
+                .next()
+                .expect("over budget implies entry");
+            // The entry just inserted is the newest; the loop always ends
+            // before evicting it because removing everything older already
+            // brings `bytes` down to its size, which fits the budget.
+            inner.order.remove(&oldest);
+            let e = inner.map.remove(&victim).expect("indexed entry");
+            inner.bytes -= e.bytes;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Look up (and LRU-touch) a digest.
+    pub fn get(&self, digest: &Digest) -> Option<Value> {
+        let mut inner = self.inner.lock();
+        inner.touch(*digest);
+        inner.map.get(digest).map(|e| e.value.clone())
+    }
+
+    /// Whether the store currently holds `digest` (no LRU touch).
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.inner.lock().map.contains_key(digest)
+    }
+
+    /// Entries resident now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resident payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Drop every entry (tests use this to force a refill round-trip).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+        inner.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninf_protocol::digest_value;
+
+    fn arr(fill: f64, len: usize) -> (Digest, Value) {
+        let v = Value::DoubleArray(vec![fill; len]);
+        (digest_value(&v), v)
+    }
+
+    #[test]
+    fn insert_then_get_roundtrips() {
+        let store = ArgStore::new(1 << 20);
+        let (d, v) = arr(1.5, 100);
+        assert_eq!(store.insert(d, v.clone()), 0);
+        assert_eq!(store.get(&d), Some(v));
+        assert!(store.contains(&d));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.bytes(), 800);
+    }
+
+    #[test]
+    fn miss_is_none() {
+        let store = ArgStore::new(1 << 20);
+        let (d, _) = arr(2.0, 10);
+        assert_eq!(store.get(&d), None);
+        assert!(!store.contains(&d));
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_first() {
+        // Budget fits exactly two 800-byte arrays.
+        let store = ArgStore::new(1600);
+        let (d1, v1) = arr(1.0, 100);
+        let (d2, v2) = arr(2.0, 100);
+        let (d3, v3) = arr(3.0, 100);
+        store.insert(d1, v1);
+        store.insert(d2, v2);
+        // Touch d1 so d2 becomes the LRU victim.
+        assert!(store.get(&d1).is_some());
+        assert_eq!(store.insert(d3, v3), 1);
+        assert!(store.contains(&d1));
+        assert!(!store.contains(&d2));
+        assert!(store.contains(&d3));
+        assert_eq!(store.bytes(), 1600);
+    }
+
+    #[test]
+    fn oversized_value_is_not_retained() {
+        let store = ArgStore::new(100);
+        let (d, v) = arr(1.0, 100); // 800 bytes > budget
+        assert_eq!(store.insert(d, v), 0);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn zero_budget_disables_the_store() {
+        let store = ArgStore::new(0);
+        let (d, v) = arr(1.0, 4);
+        store.insert(d, v);
+        assert!(store.is_empty());
+        assert_eq!(store.get(&d), None);
+    }
+
+    #[test]
+    fn reinsert_touches_instead_of_duplicating() {
+        let store = ArgStore::new(1600);
+        let (d1, v1) = arr(1.0, 100);
+        let (d2, v2) = arr(2.0, 100);
+        store.insert(d1, v1.clone());
+        store.insert(d2, v2);
+        // Re-inserting d1 refreshes it; inserting a third evicts d2.
+        assert_eq!(store.insert(d1, v1), 0);
+        assert_eq!(store.len(), 2);
+        let (d3, v3) = arr(3.0, 100);
+        assert_eq!(store.insert(d3, v3), 1);
+        assert!(store.contains(&d1));
+        assert!(!store.contains(&d2));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let store = ArgStore::new(1 << 20);
+        let (d, v) = arr(1.0, 8);
+        store.insert(d, v);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.bytes(), 0);
+        assert_eq!(store.get(&d), None);
+    }
+}

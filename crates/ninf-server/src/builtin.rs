@@ -35,6 +35,9 @@ pub fn register_stdlib(registry: &mut Registry, data_parallel: bool) {
     registry
         .register(sources[6], dgeco_handler())
         .expect("dgeco IDL");
+    registry
+        .register(sources[7], nbody_handler())
+        .expect("nbody IDL");
 }
 
 fn get_int(v: &Value, what: &str) -> Result<usize, String> {
@@ -168,6 +171,23 @@ pub fn dgeco_handler() -> Handler {
     })
 }
 
+/// `nbody(n, step, masses, pos) -> diag[5]` — softened direct-summation
+/// gravity of `n` fixed sources at the step's probe grid (the iterative
+/// argument-cache workload: big unchanged inputs, O(1) output).
+pub fn nbody_handler() -> Handler {
+    Arc::new(move |args: &[Value]| {
+        let n = get_int(&args[0], "n")?;
+        let step = get_int(&args[1], "step")?;
+        let masses = get_doubles(&args[2], "masses")?;
+        let pos = get_doubles(&args[3], "pos")?;
+        if masses.len() != n || pos.len() != 3 * n {
+            return Err("nbody: masses/pos length mismatch".into());
+        }
+        let diag = ninf_exec::nbody_kernel(masses, pos, step as u32);
+        Ok(vec![Value::DoubleArray(diag.to_vec())])
+    })
+}
+
 /// `dos(m, bins) -> hist[bins]` — density-of-states Monte-Carlo.
 pub fn dos_handler() -> Handler {
     Arc::new(move |args: &[Value]| {
@@ -202,8 +222,26 @@ mod tests {
         let r = full_registry();
         assert_eq!(
             r.names(),
-            vec!["dgeco", "dgefa", "dgesl", "dmmul", "dos", "ep", "linpack"]
+            vec!["dgeco", "dgefa", "dgesl", "dmmul", "dos", "ep", "linpack", "nbody"]
         );
+    }
+
+    #[test]
+    fn nbody_matches_local_kernel() {
+        let r = full_registry();
+        let exe = r.lookup("nbody").unwrap();
+        let n = 64usize;
+        let (masses, pos) = ninf_exec::nbody_particles(n);
+        let args = vec![
+            Value::Int(n as i32),
+            Value::Int(3),
+            Value::DoubleArray(masses.clone()),
+            Value::DoubleArray(pos.clone()),
+        ];
+        validate_invoke(&exe.interface, &args).unwrap();
+        let out = (exe.handler)(&args).unwrap();
+        let expected = ninf_exec::nbody_kernel(&masses, &pos, 3).to_vec();
+        assert_eq!(out, vec![Value::DoubleArray(expected)]);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! * [`stats`] — per-call timestamps `T_submit / T_enqueue / T_dequeue /
 //!   T_complete` and the derived response/wait times of §4.1.
 
+pub mod argstore;
 pub mod builtin;
 pub mod exec;
 pub mod policy;
@@ -35,6 +36,7 @@ pub mod stats;
 pub mod trace;
 pub mod twophase;
 
+pub use argstore::{ArgStore, DEFAULT_ARG_CACHE_BYTES};
 pub use exec::ExecMode;
 pub use policy::{JobInfo, SchedPolicy};
 pub use registry::{Handler, NinfExecutable, Registry};

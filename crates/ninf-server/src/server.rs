@@ -21,10 +21,12 @@ use std::thread::JoinHandle;
 use ninf_obs::log::Level;
 use ninf_obs::{logkv, recorder, Counter, Gauge, LogHistogram, MetricsRegistry};
 use ninf_protocol::{
-    read_frame_mux, write_frame_mux, Message, ProtocolError, ProtocolResult, Span, TraceContext,
+    read_frame_mux, write_frame_mux, Arg, Digest, Message, ProtocolError, ProtocolResult, Span,
+    TraceContext, Value,
 };
 use ninf_reactor::{Handler, Reactor, ReactorConfig, ReactorHandle, ReactorHooks};
 
+use crate::argstore::{ArgStore, DEFAULT_ARG_CACHE_BYTES};
 use crate::exec::{ExecMode, JobGate};
 use crate::policy::{JobInfo, SchedPolicy};
 use crate::registry::{validate_invoke, Registry};
@@ -64,6 +66,10 @@ pub struct ServerConfig {
     pub policy: SchedPolicy,
     /// Connection core (reactor by default).
     pub core: ServerCore,
+    /// Resident-byte budget of the content-addressed argument store
+    /// ([`crate::argstore::ArgStore`]); 0 disables server-side caching, so
+    /// every `Arg::Ref` comes back as `NeedArg`.
+    pub arg_cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +79,7 @@ impl Default for ServerConfig {
             mode: ExecMode::TaskParallel,
             policy: SchedPolicy::Fcfs,
             core: ServerCore::default(),
+            arg_cache_bytes: DEFAULT_ARG_CACHE_BYTES,
         }
     }
 }
@@ -89,6 +96,10 @@ pub struct ServerMetrics {
     queued: Gauge,
     open_connections: Gauge,
     inflight_calls: Gauge,
+    argcache_hits: Counter,
+    argcache_misses: Counter,
+    argcache_evictions: Counter,
+    argcache_bytes_saved: Counter,
 }
 
 impl ServerMetrics {
@@ -120,6 +131,22 @@ impl ServerMetrics {
             "ninf_server_inflight_calls",
             "calls received but not yet replied to",
         );
+        let argcache_hits = registry.counter(
+            "ninf_server_argcache_hits_total",
+            "argument refs resolved from the content-addressed store",
+        );
+        let argcache_misses = registry.counter(
+            "ninf_server_argcache_misses_total",
+            "argument refs the store could not resolve (NeedArg replies)",
+        );
+        let argcache_evictions = registry.counter(
+            "ninf_server_argcache_evictions_total",
+            "argument store entries evicted to stay within the byte budget",
+        );
+        let argcache_bytes_saved = registry.counter(
+            "ninf_server_argcache_bytes_saved_total",
+            "request payload bytes the client did not re-ship (resolved refs)",
+        );
         Self {
             registry,
             calls,
@@ -130,12 +157,27 @@ impl ServerMetrics {
             queued,
             open_connections,
             inflight_calls,
+            argcache_hits,
+            argcache_misses,
+            argcache_evictions,
+            argcache_bytes_saved,
         }
     }
 
     /// The backing registry (serve it with `ninf_obs::http::serve_metrics`).
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// Argument-cache counters `(hits, misses, evictions, bytes_saved)` —
+    /// the same values the Prometheus endpoint exposes, for tests and CLIs.
+    pub fn argcache(&self) -> (u64, u64, u64, u64) {
+        (
+            self.argcache_hits.get(),
+            self.argcache_misses.get(),
+            self.argcache_evictions.get(),
+            self.argcache_bytes_saved.get(),
+        )
     }
 }
 
@@ -148,6 +190,7 @@ struct CallContext {
     jobs: Arc<JobTable>,
     cost: Arc<CostModel>,
     metrics: Arc<ServerMetrics>,
+    args: Arc<ArgStore>,
     mode: ExecMode,
     /// Threaded-core bookkeeping behind the `ninf_server_inflight_calls`
     /// gauge (the reactor core tracks this in its event loop instead).
@@ -173,6 +216,7 @@ pub struct NinfServer {
     jobs: Arc<JobTable>,
     cost: Arc<CostModel>,
     metrics: Arc<ServerMetrics>,
+    args: Arc<ArgStore>,
     core: CoreHandle,
 }
 
@@ -187,6 +231,7 @@ impl NinfServer {
         let jobs = Arc::new(JobTable::new());
         let cost = Arc::new(CostModel::new());
         let metrics = Arc::new(ServerMetrics::new());
+        let args = Arc::new(ArgStore::new(config.arg_cache_bytes));
         let ctx = Arc::new(CallContext {
             registry: Arc::new(registry),
             stats: stats.clone(),
@@ -194,6 +239,7 @@ impl NinfServer {
             jobs: jobs.clone(),
             cost: cost.clone(),
             metrics: metrics.clone(),
+            args: args.clone(),
             mode: config.mode,
             threaded_inflight: AtomicI64::new(0),
         });
@@ -262,6 +308,7 @@ impl NinfServer {
             jobs,
             cost,
             metrics,
+            args,
             core,
         })
     }
@@ -294,6 +341,11 @@ impl NinfServer {
     /// Per-process metric handles (counters, gauges, latency summary).
     pub fn metrics(&self) -> &Arc<ServerMetrics> {
         &self.metrics
+    }
+
+    /// The content-addressed argument store (tests force evictions here).
+    pub fn arg_store(&self) -> &Arc<ArgStore> {
+        &self.args
     }
 
     /// Stop accepting and join the accept thread, draining briefly (2 s) so
@@ -423,6 +475,13 @@ fn handle_message(ctx: &Arc<CallContext>, msg: Message) -> Message {
                 routine = routine,
                 args = args.len()
             );
+            // Refs resolve against the arg store *before* anything runs: a
+            // miss replies NeedArg without touching the gate or the
+            // handler, so the client's re-send cannot double-execute.
+            let args = match resolve_args(ctx, args) {
+                Ok(values) => values,
+                Err(digests) => return Message::NeedArg { digests },
+            };
             let reply = execute_invoke(
                 &routine,
                 &args,
@@ -450,7 +509,13 @@ fn handle_message(ctx: &Arc<CallContext>, msg: Message) -> Message {
             trace,
         } => {
             // Two-phase, phase 1 (§5.1): ticket now, compute detached —
-            // the client may disconnect immediately.
+            // the client may disconnect immediately. Refs resolve before
+            // the ticket exists, so a store miss is a NeedArg, not a job
+            // that can never run.
+            let args = match resolve_args(ctx, args) {
+                Ok(values) => values,
+                Err(digests) => return Message::NeedArg { digests },
+            };
             let ticket = ctx.jobs.submit();
             logkv!(
                 Level::Info,
@@ -487,13 +552,21 @@ fn handle_message(ctx: &Arc<CallContext>, msg: Message) -> Message {
             job,
             state: ctx.jobs.poll(job),
         },
-        Message::FetchResult { job } => match ctx.jobs.fetch(job) {
-            Some(Ok(results)) => Message::ResultData { results },
-            Some(Err(reason)) => Message::Error { reason },
-            None => Message::Error {
-                reason: format!("job {job} is not ready (or unknown)"),
-            },
-        },
+        Message::FetchResult { job, trace } => {
+            // The fetch leg joins the submit's trace tree instead of being
+            // an orphan: one span under the caller's rpc position.
+            if let Some(parent) = trace.filter(|_| recorder::global().enabled()) {
+                let start = ninf_obs::now_us();
+                recorder::global().record(Span::at(parent.child(), "fetch", "server", start));
+            }
+            match ctx.jobs.fetch(job) {
+                Some(Ok(results)) => Message::ResultData { results },
+                Some(Err(reason)) => Message::Error { reason },
+                None => Message::Error {
+                    reason: format!("job {job} is not ready (or unknown)"),
+                },
+            }
+        }
         Message::QueryLoad => Message::LoadStatus(ctx.stats.load_report()),
         Message::QueryStats { since } => {
             let (now, total, records) = ctx.stats.snapshot_since(since);
@@ -534,6 +607,53 @@ fn handle_message(ctx: &Arc<CallContext>, msg: Message) -> Message {
             reason: format!("unexpected message {}", other.kind()),
         },
     }
+}
+
+/// Resolve wire args to concrete values against the arg store.
+///
+/// Inline values come through as-is — and cache-worthy ones (large flat
+/// arrays) are captured into the store, since the client will start
+/// ref'ing them once the call succeeds. Refs are looked up; if *any* is
+/// missing the whole call fails closed with the missing digests and no
+/// hit/bytes-saved accounting, because the client will re-ship everything
+/// inline anyway.
+fn resolve_args(ctx: &CallContext, args: Vec<Arg>) -> Result<Vec<Value>, Vec<Digest>> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut missing = Vec::new();
+    let mut hits = 0u64;
+    let mut bytes_saved = 0u64;
+    for arg in args {
+        match arg {
+            Arg::Data(v) => {
+                if ninf_protocol::cacheable(&v) && ctx.args.budget() > 0 {
+                    let evicted = ctx.args.insert(ninf_protocol::digest_value(&v), v.clone());
+                    ctx.metrics.argcache_evictions.add(evicted as u64);
+                }
+                out.push(v);
+            }
+            Arg::Ref(d) => match ctx.args.get(&d) {
+                Some(v) => {
+                    hits += 1;
+                    bytes_saved += v.wire_bytes() as u64;
+                    out.push(v);
+                }
+                None => missing.push(d),
+            },
+        }
+    }
+    if !missing.is_empty() {
+        ctx.metrics.argcache_misses.add(missing.len() as u64);
+        logkv!(
+            Level::Info,
+            "server",
+            "argcache_miss",
+            missing = missing.len()
+        );
+        return Err(missing);
+    }
+    ctx.metrics.argcache_hits.add(hits);
+    ctx.metrics.argcache_bytes_saved.add(bytes_saved);
+    Ok(out)
 }
 
 #[allow(clippy::too_many_arguments)] // the call context really has this many parts
@@ -706,6 +826,7 @@ mod tests {
                 mode,
                 policy: SchedPolicy::Fcfs,
                 core,
+                ..ServerConfig::default()
             },
         )
         .unwrap()
@@ -727,7 +848,7 @@ mod tests {
         }
         t.send(&Message::Invoke {
             routine: routine.into(),
-            args,
+            args: Arg::inline(args),
             trace: None,
         })
         .unwrap();
@@ -948,6 +1069,7 @@ mod tests {
                 mode: ExecMode::TaskParallel,
                 policy: SchedPolicy::Fcfs,
                 core: ServerCore::default(),
+                ..ServerConfig::default()
             },
         )
         .unwrap()
@@ -988,6 +1110,105 @@ mod tests {
         // detached connection thread still finishes the reply.
         assert!(!server.shutdown_with_drain(std::time::Duration::from_millis(50)));
         assert!(matches!(client.join().unwrap(), Message::ResultData { .. }));
+    }
+
+    #[test]
+    fn arg_refs_resolve_from_the_store_and_misses_reply_need_arg() {
+        let server = start_test_server(ExecMode::TaskParallel);
+        let addr = server.addr().to_string();
+        let n = 16usize; // 8·16·16 = 2048-byte matrix: cacheable
+        let (a, b) = ninf_exec::matgen(n);
+        let matrix = Value::DoubleArray(a.as_slice().to_vec());
+        let rhs = Value::DoubleArray(b.clone());
+        let args = vec![Value::Int(n as i32), matrix.clone(), rhs.clone()];
+
+        // Cold call ships everything inline; the matrix (≥ the cache
+        // threshold) is captured, the 128-byte rhs is not.
+        let reply = raw_call(&addr, "linpack", args);
+        assert!(matches!(reply, Message::ResultData { .. }));
+        assert_eq!(server.arg_store().len(), 1);
+        let d = ninf_protocol::digest_value(&matrix);
+        assert!(server.arg_store().contains(&d));
+
+        // Warm call refs the matrix; the store resolves it.
+        let mut t = TcpTransport::connect(&addr).unwrap();
+        let warm = Message::Invoke {
+            routine: "linpack".into(),
+            args: vec![
+                Arg::Data(Value::Int(n as i32)),
+                Arg::Ref(d),
+                Arg::Data(rhs.clone()),
+            ],
+            trace: None,
+        };
+        t.send(&warm).unwrap();
+        assert!(matches!(t.recv().unwrap(), Message::ResultData { .. }));
+        let (hits, misses, _, bytes_saved) = server.metrics().argcache();
+        assert_eq!((hits, misses), (1, 0));
+        assert_eq!(bytes_saved, (8 * n * n) as u64);
+
+        // Evict everything: the same ref must come back as NeedArg naming
+        // the digest, with nothing executed.
+        let completed_before = server.stats().completed();
+        server.arg_store().clear();
+        t.send(&warm).unwrap();
+        match t.recv().unwrap() {
+            Message::NeedArg { digests } => assert_eq!(digests, vec![d]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(server.stats().completed(), completed_before);
+        let (_, misses, _, _) = server.metrics().argcache();
+        assert_eq!(misses, 1);
+
+        // The client's refill (all inline) then succeeds, exactly once.
+        t.send(&Message::Invoke {
+            routine: "linpack".into(),
+            args: Arg::inline(vec![Value::Int(n as i32), matrix, rhs]),
+            trace: None,
+        })
+        .unwrap();
+        assert!(matches!(t.recv().unwrap(), Message::ResultData { .. }));
+        assert_eq!(server.stats().completed(), completed_before + 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_budget_server_always_replies_need_arg_to_refs() {
+        let mut registry = Registry::new();
+        register_stdlib(&mut registry, false);
+        let server = NinfServer::start(
+            "127.0.0.1:0",
+            registry,
+            ServerConfig {
+                pes: 2,
+                arg_cache_bytes: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let n = 16usize;
+        let (a, b) = ninf_exec::matgen(n);
+        let matrix = Value::DoubleArray(a.as_slice().to_vec());
+        let reply = raw_call(
+            &addr,
+            "linpack",
+            vec![Value::Int(n as i32), matrix.clone(), Value::DoubleArray(b)],
+        );
+        assert!(matches!(reply, Message::ResultData { .. }));
+        assert!(
+            server.arg_store().is_empty(),
+            "nothing retained at budget 0"
+        );
+        let mut t = TcpTransport::connect(&addr).unwrap();
+        t.send(&Message::Invoke {
+            routine: "linpack".into(),
+            args: vec![Arg::Ref(ninf_protocol::digest_value(&matrix))],
+            trace: None,
+        })
+        .unwrap();
+        assert!(matches!(t.recv().unwrap(), Message::NeedArg { .. }));
+        server.shutdown();
     }
 
     #[test]

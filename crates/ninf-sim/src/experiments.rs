@@ -52,6 +52,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "ablation-twophase",
         "ablation-smp-threads",
         "dos-app",
+        "argcache-wan",
     ]
 }
 
@@ -98,6 +99,7 @@ pub fn run(id: &str, seed: u64) -> Option<ExperimentOutput> {
         "ablation-twophase" => ablation_twophase(seed),
         "ablation-smp-threads" => ablation_smp_threads(seed),
         "dos-app" => dos_app(seed),
+        "argcache-wan" => argcache_wan(seed),
         _ => return None,
     })
 }
@@ -999,6 +1001,40 @@ fn dos_app(seed: u64) -> ExperimentOutput {
 
 fn points_json(pts: &[(f64, f64)]) -> Json {
     Json::Array(pts.iter().map(|&(x, y)| json!([x, y])).collect())
+}
+
+/// The argument-cache WAN experiment: iterative N-body over the modeled
+/// Ocha-U↔ETL link (0.17 MB/s nominal), where a cold call's ~512 KiB
+/// particle arrays dominate the three-second round trip. `cold` models
+/// `--no-arg-cache` — every iteration pays full freight — and `warm`
+/// models the cache's steady state, the arrays riding as two 16-byte
+/// digests. Same work units both ways, so the Mflops/calls-per-second gap
+/// is purely the wire bytes the cache removed. Live counterpart:
+/// `ninf-load --scenario wan-iterative [--no-arg-cache]`.
+fn argcache_wan(seed: u64) -> ExperimentOutput {
+    let mut cells = Vec::new();
+    for cached in [false, true] {
+        for &c in &[1usize, 2, 4] {
+            let mut s = Scenario::single_site_wan(
+                j90(),
+                c,
+                Workload::Nbody { n: 16384, cached },
+                ExecMode::TaskParallel,
+                SchedPolicy::Fcfs,
+                seed ^ (u64::from(cached) * 31 + c as u64),
+            );
+            s.duration = 2500.0;
+            s.warmup = 200.0;
+            cells.push(World::new(s).run());
+        }
+    }
+    let title = "Argument cache: iterative N-body n=16384 over the WAN, cold vs warm";
+    ExperimentOutput {
+        id: "argcache-wan",
+        title,
+        text: render_table(title, &cells),
+        json: cells_json(&cells),
+    }
 }
 
 fn cells_json(cells: &[CellResult]) -> Json {

@@ -27,6 +27,18 @@ pub enum Workload {
         /// Uniform levels summed per sample.
         levels: u32,
     },
+    /// Iterative N-body probe sweep (the argument-cache workload): `n`
+    /// fixed source particles — masses `8n` + positions `24n` bytes —
+    /// evaluated at 64 probe points for `n·64·22` flops and an O(1) reply.
+    /// With `cached`, the particle arrays ride as content digests (the
+    /// warm steady state of the live argument cache): only the scalars and
+    /// two 16-byte digests ship.
+    Nbody {
+        /// Source particle count.
+        n: u64,
+        /// Warm steady state: arrays replaced by digests on the wire.
+        cached: bool,
+    },
 }
 
 impl Workload {
@@ -38,6 +50,15 @@ impl Workload {
             Workload::Linpack { n } => (8 * n * n + 8 * n) as f64,
             Workload::Ep { .. } => 64.0,  // the call header + m
             Workload::Dos { .. } => 64.0, // header + m + bins
+            // Cold: header + n + step + masses (8n) + pos (24n).
+            // Warm: header + scalars + two Arg::Ref digests (16 B each).
+            Workload::Nbody { n, cached } => {
+                if cached {
+                    112.0
+                } else {
+                    (32 * n + 72) as f64
+                }
+            }
         }
     }
 
@@ -45,8 +66,9 @@ impl Workload {
     pub fn reply_bytes(&self) -> f64 {
         match *self {
             Workload::Linpack { n } => (12 * n) as f64,
-            Workload::Ep { .. } => 96.0,   // sums[2] + counts[10]
-            Workload::Dos { .. } => 288.0, // a 32-bin histogram + header
+            Workload::Ep { .. } => 96.0,    // sums[2] + counts[10]
+            Workload::Dos { .. } => 288.0,  // a 32-bin histogram + header
+            Workload::Nbody { .. } => 72.0, // diag[5] + header
         }
     }
 
@@ -57,6 +79,8 @@ impl Workload {
             Workload::Ep { m } => 2f64.powi(m as i32 + 1),
             // Each sample draws `levels` uniforms: 2^m · levels "operations".
             Workload::Dos { m, levels } => 2f64.powi(m as i32) * levels as f64,
+            // 64 probes × n sources × ~22 flops per softened interaction.
+            Workload::Nbody { n, .. } => (n * 64) as f64 * 22.0,
         }
     }
 
@@ -71,6 +95,9 @@ impl Workload {
             Workload::Ep { .. } | Workload::Dos { .. } => {
                 self.work_units() / (machine.ep_mops_per_pe * 1e6 * pes as f64)
             }
+            // Direct summation runs at dense-kernel rates; use the
+            // machine's asymptotic Linpack rate as the flop clock.
+            Workload::Nbody { n, .. } => self.work_units() / (machine.linpack_mflops(n, pes) * 1e6),
         }
     }
 
@@ -86,6 +113,9 @@ impl Workload {
             Workload::Linpack { n } => format!("linpack n={n}"),
             Workload::Ep { m } => format!("EP 2^{m}"),
             Workload::Dos { m, levels } => format!("DOS 2^{m}x{levels}"),
+            Workload::Nbody { n, cached } => {
+                format!("nbody n={n} {}", if cached { "warm" } else { "cold" })
+            }
         }
     }
 }
@@ -142,6 +172,25 @@ mod tests {
         );
         let m = j90();
         assert!(d.service_seconds(&m, 2) < d.service_seconds(&m, 1));
+    }
+
+    #[test]
+    fn nbody_cache_collapses_request_bytes_only() {
+        let cold = Workload::Nbody {
+            n: 16384,
+            cached: false,
+        };
+        let warm = Workload::Nbody {
+            n: 16384,
+            cached: true,
+        };
+        // The arrays (32n bytes) vanish from the wire; work is unchanged.
+        assert_eq!(cold.request_bytes(), (32 * 16384 + 72) as f64);
+        assert!(cold.request_bytes() / warm.request_bytes() > 1000.0);
+        assert_eq!(cold.work_units(), warm.work_units());
+        assert_eq!(cold.reply_bytes(), warm.reply_bytes());
+        let m = j90();
+        assert_eq!(cold.service_seconds(&m, 1), warm.service_seconds(&m, 1));
     }
 
     #[test]

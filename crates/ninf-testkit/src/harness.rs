@@ -81,7 +81,7 @@ impl ChaosRun {
 /// trace snapshots (and wall-clock determinism).
 static GATE: Mutex<()> = Mutex::new(());
 
-fn spawn_server(pes: usize) -> ProtocolResult<NinfServer> {
+fn spawn_server(pes: usize, arg_cache_bytes: usize) -> ProtocolResult<NinfServer> {
     let mut registry = Registry::new();
     register_stdlib(&mut registry, false);
     NinfServer::start(
@@ -92,13 +92,17 @@ fn spawn_server(pes: usize) -> ProtocolResult<NinfServer> {
             mode: ExecMode::TaskParallel,
             policy: SchedPolicy::Fcfs,
             core: Default::default(),
+            arg_cache_bytes,
         },
     )
 }
 
-/// Call arguments for a routine. Linpack gets an identity system so the
-/// solve is well-conditioned without hauling a matrix generator in here.
-fn args_for(routine: Routine) -> Vec<Value> {
+/// Call arguments for call `seq` of a routine. Linpack gets an identity
+/// system so the solve is well-conditioned without hauling a matrix
+/// generator in here; N-body regenerates its deterministic particle set, so
+/// every call of a given size carries byte-identical arrays (the argument
+/// cache's repeat-input case) while `seq` drives the probe step.
+fn args_for(routine: Routine, seq: usize) -> Vec<Value> {
     match routine {
         Routine::Ep { m } => vec![Value::Int(m)],
         Routine::Linpack { n } => {
@@ -110,6 +114,15 @@ fn args_for(routine: Routine) -> Vec<Value> {
                 Value::Int(n as i32),
                 Value::DoubleArray(a),
                 Value::DoubleArray(vec![1.0; n]),
+            ]
+        }
+        Routine::Nbody { n } => {
+            let (masses, pos) = ninf_exec::nbody_particles(n);
+            vec![
+                Value::Int(n as i32),
+                Value::Int(seq as i32),
+                Value::DoubleArray(masses),
+                Value::DoubleArray(pos),
             ]
         }
     }
@@ -162,6 +175,12 @@ fn drive_client(
     let faulty = FaultyTransport::new(stream.handle(), plan);
     let fault_log = faulty.history_handle();
     let mut c = NinfClient::from_transport(Box::new(faulty));
+    // Arm the argument cache with a per-(server, client) digest memory,
+    // cleared first so every run starts cold: the refill leg then follows
+    // the seeded fault schedule, not what an earlier run left behind.
+    let cache_key = format!("{addr}#chaos-client{client}");
+    ninf_client::argmem::forget_destination(&cache_key);
+    c.set_cache_key(Some(cache_key));
     if c.set_options(spec.workload.options).is_err() {
         for seq in 0..planned {
             records.push(CallRecord {
@@ -176,7 +195,7 @@ fn drive_client(
     let mut tainted = false;
     for seq in 0..planned {
         let routine = spec.workload.pick_routine(seed, client, seq);
-        let result = c.ninf_call(routine.name(), &args_for(routine));
+        let result = c.ninf_call(routine.name(), &args_for(routine, seq));
         // The fault log now covers every send this call performed, so the
         // taint flag reflects the stream state at the moment the outcome
         // was decided. Taint is sticky: the client never reconnects.
@@ -300,7 +319,7 @@ pub fn run_chaos(spec: &ChaosSpec, seed: u64, inject: Inject) -> ProtocolResult<
 
     let mut servers = Vec::with_capacity(spec.servers);
     for _ in 0..spec.servers {
-        servers.push(spawn_server(spec.pes)?);
+        servers.push(spawn_server(spec.pes, spec.arg_cache_bytes)?);
     }
     let addrs: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
 

@@ -7,6 +7,7 @@ use std::time::Duration;
 use ninf_client::CallOptions;
 use ninf_loadgen::{Arrival, MixEntry, Phases, Routine, WorkloadSpec};
 use ninf_protocol::FaultPlan;
+use ninf_server::DEFAULT_ARG_CACHE_BYTES;
 
 /// Everything one chaos run needs besides the seed.
 #[derive(Debug, Clone)]
@@ -31,6 +32,11 @@ pub struct ChaosSpec {
     pub dead_servers: usize,
     /// Calls in the metaserver transaction leg; 0 skips the leg.
     pub tx_calls: usize,
+    /// Server argument-cache budget in bytes. Undersizing it below one
+    /// call's cacheable payload forces a `NeedArg` → inline-refill round on
+    /// every warm call, pushing the refill leg through the fault injector.
+    /// Excluded from the fingerprint: it shapes the server, not the load.
+    pub arg_cache_bytes: usize,
 }
 
 /// FNV-1a (the same hash reports use for schedules).
@@ -118,7 +124,13 @@ impl ChaosSpec {
 
 /// Names of every built-in chaos scenario, in menu order.
 pub fn chaos_names() -> Vec<&'static str> {
-    vec!["clean", "drop-delay", "corrupt", "meta-ft"]
+    vec![
+        "clean",
+        "drop-delay",
+        "corrupt",
+        "meta-ft",
+        "argcache-refill",
+    ]
 }
 
 fn ep_workload(calls: usize, deadline_ms: u64) -> WorkloadSpec {
@@ -136,6 +148,7 @@ fn ep_workload(calls: usize, deadline_ms: u64) -> WorkloadSpec {
             deadline: Some(Duration::from_millis(deadline_ms)),
             retries: 0,
             backoff: Duration::from_millis(10),
+            ..CallOptions::default()
         },
     }
 }
@@ -155,6 +168,7 @@ pub fn chaos(name: &str) -> Option<ChaosSpec> {
             pes: 2,
             dead_servers: 0,
             tx_calls: 0,
+            arg_cache_bytes: DEFAULT_ARG_CACHE_BYTES,
         }),
         // Lost and stalled messages: drops surface as client deadline
         // expiries, delays complete inside the deadline. Conservation must
@@ -174,6 +188,7 @@ pub fn chaos(name: &str) -> Option<ChaosSpec> {
             pes: 2,
             dead_servers: 0,
             tx_calls: 0,
+            arg_cache_bytes: DEFAULT_ARG_CACHE_BYTES,
         }),
         // On-the-wire corruption: the payload CRC must reject every
         // truncated/garbled frame with a typed error — zero frames decode
@@ -192,6 +207,7 @@ pub fn chaos(name: &str) -> Option<ChaosSpec> {
             pes: 2,
             dead_servers: 0,
             tx_calls: 0,
+            arg_cache_bytes: DEFAULT_ARG_CACHE_BYTES,
         }),
         // The fault-tolerant routing path: a transaction through a
         // metaserver whose directory includes an unreachable server, so
@@ -206,6 +222,7 @@ pub fn chaos(name: &str) -> Option<ChaosSpec> {
                     deadline: Some(Duration::from_secs(2)),
                     retries: 1,
                     backoff: Duration::from_millis(20),
+                    ..CallOptions::default()
                 },
                 ..ep_workload(4, 2000)
             },
@@ -216,6 +233,53 @@ pub fn chaos(name: &str) -> Option<ChaosSpec> {
             // 9 round-robin picks over 3 directory entries hand the dead
             // member 3 first attempts — exactly the quarantine threshold.
             tx_calls: 9,
+            arg_cache_bytes: DEFAULT_ARG_CACHE_BYTES,
+        }),
+        // The argument-cache refill leg under fire: an iterative N-body
+        // workload whose repeat arrays the clients ship as digests, against
+        // a server whose arg store is budgeted *below* one call's cacheable
+        // payload — so (nearly) every warm call draws a `NeedArg` and an
+        // inline refill, and that extra leg runs through the same seeded
+        // fault injector as everything else. Exactly-once and conservation
+        // must hold whether the drop/garble lands on the ref send, the
+        // NeedArg reply, or the refill itself.
+        "argcache-refill" => Some(ChaosSpec {
+            name: "argcache-refill",
+            about:
+                "iterative N-body refs against an undersized arg store: NeedArg refill under faults",
+            clients: 3,
+            workload: WorkloadSpec {
+                mix: vec![MixEntry {
+                    routine: Routine::Nbody { n: 256 },
+                    weight: 1,
+                }],
+                arrival: Arrival::Closed {
+                    think: Duration::ZERO,
+                },
+                phases: Phases::none(),
+                calls_per_client: 8,
+                options: CallOptions {
+                    deadline: Some(Duration::from_millis(800)),
+                    retries: 0,
+                    backoff: Duration::from_millis(10),
+                    ..CallOptions::default()
+                },
+            },
+            faults: FaultPlan {
+                drop_prob: 0.06,
+                delay_prob: 0.06,
+                delay: Duration::from_millis(20),
+                truncate_prob: 0.04,
+                garble_prob: 0.04,
+                ..FaultPlan::default()
+            },
+            servers: 1,
+            pes: 2,
+            dead_servers: 0,
+            tx_calls: 0,
+            // masses (2 KiB) fits, pos (6 KiB) can never be retained:
+            // every warm call misses on pos and must refill inline.
+            arg_cache_bytes: 4096,
         }),
         _ => None,
     }
@@ -251,6 +315,31 @@ mod tests {
         let mut c = a.clone();
         c.faults.seed = 999;
         assert_eq!(c.fingerprint(), a.fingerprint());
+        // Nor does the server's arg-cache budget — it shapes the server,
+        // not the offered load, so pre-cache transcripts stay pinned.
+        let mut d = a.clone();
+        d.arg_cache_bytes = 0;
+        assert_eq!(d.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn argcache_refill_is_shaped_to_force_refills() {
+        let spec = chaos("argcache-refill").unwrap();
+        assert!(spec
+            .workload
+            .mix
+            .iter()
+            .all(|e| matches!(e.routine, Routine::Nbody { .. })));
+        assert!(spec.workload.options.arg_cache);
+        // The budget must sit below one call's cacheable payload (masses
+        // 8n + pos 24n bytes) so warm calls keep drawing NeedArg.
+        let Routine::Nbody { n } = spec.workload.mix[0].routine else {
+            unreachable!()
+        };
+        assert!(spec.arg_cache_bytes < 32 * n);
+        // And the plan must be able to hit every leg of the refill.
+        assert!(spec.faults.drop_prob > 0.0 && spec.faults.garble_prob > 0.0);
+        assert!(spec.workload.options.deadline.is_some());
     }
 
     #[test]

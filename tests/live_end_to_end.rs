@@ -524,6 +524,7 @@ fn client_retries_reach_a_late_starting_server() {
             deadline: Some(Duration::from_secs(2)),
             retries: 40,
             backoff: Duration::from_millis(25),
+            ..CallOptions::default()
         },
     )
     .unwrap();
@@ -629,6 +630,7 @@ fn metaserver_ft_survives_hung_server_live() {
             deadline: Some(Duration::from_millis(300)),
             retries: 0,
             backoff: Duration::from_millis(10),
+            ..CallOptions::default()
         },
         Some(Duration::from_millis(200)),
     );
@@ -661,5 +663,54 @@ fn interface_query_matches_registered_idl() {
     assert_eq!(iface.name, "dmmul");
     assert_eq!(iface.scalar_table, vec!["n"]);
     assert_eq!(iface.params.len(), 4);
+    server.shutdown();
+}
+
+#[test]
+fn evicted_arg_is_refilled_transparently_exactly_once() {
+    // The eviction race: the client decides to send digests, the server
+    // evicts the referenced values before the Invoke lands. The call must
+    // still complete exactly once — the client absorbs the NeedArg, ships
+    // the arrays inline, and stays within the same attempt.
+    let server = start_server(2, ExecMode::TaskParallel);
+    let mut client = NinfClient::connect(&server.addr().to_string()).unwrap();
+    let n = 512usize;
+    let (masses, pos) = ninf::exec::nbody_particles(n);
+    let args = |step: i32| {
+        vec![
+            Value::Int(n as i32),
+            Value::Int(step),
+            Value::DoubleArray(masses.clone()),
+            Value::DoubleArray(pos.clone()),
+        ]
+    };
+
+    // Cold call ships inline and primes the store; warm call ships refs.
+    client.ninf_call("nbody", &args(0)).unwrap();
+    client.ninf_call("nbody", &args(1)).unwrap();
+    let warm = client.last_timing().unwrap();
+    assert_eq!(warm.args_refd, 2, "both arrays sent by digest");
+    assert_eq!(warm.args_refilled, 0);
+
+    // Evict behind the client's back, then call again: the client still
+    // believes the server holds both digests.
+    server.arg_store().clear();
+    let out = client.ninf_call("nbody", &args(2)).unwrap();
+    let refill = client.last_timing().unwrap();
+    assert_eq!(refill.attempts, 1, "the refill is not a retry");
+    assert_eq!(refill.args_refd, 2);
+    assert_eq!(refill.args_refilled, 2, "both evicted arrays re-shipped");
+    let expected = ninf::exec::nbody_kernel(&masses, &pos, 2).to_vec();
+    assert_eq!(out, vec![Value::DoubleArray(expected)]);
+
+    // Exactly once: three calls issued, three executions recorded.
+    let (_, _, records) = client.query_stats(0).unwrap();
+    assert_eq!(records.iter().filter(|r| r.routine == "nbody").count(), 3);
+
+    // The refill re-primed the store, so the next call refs cleanly again.
+    client.ninf_call("nbody", &args(3)).unwrap();
+    let reprimed = client.last_timing().unwrap();
+    assert_eq!(reprimed.args_refd, 2);
+    assert_eq!(reprimed.args_refilled, 0);
     server.shutdown();
 }
