@@ -237,6 +237,19 @@ fn timed_call(addr: &str, options: CallOptions, routine: &str, args: Vec<Value>)
 
 /// Emit the per-call timing decomposition as one JSON object on stdout.
 fn print_json(routine: &str, n: i64, flops: Option<u64>, timed: &TimedCall) {
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&call_json(routine, n, flops, timed)).expect("serialize")
+    );
+    if timed.result.is_err() {
+        std::process::exit(1);
+    }
+}
+
+/// The `--json` document. The key set is documented in
+/// `docs/OBSERVABILITY.md` ("`ninf-call --json` schema") and a test below
+/// holds the two in lockstep.
+fn call_json(routine: &str, n: i64, flops: Option<u64>, timed: &TimedCall) -> serde_json::Value {
     let t = timed.timing;
     let mut timings = serde_json::Map::new();
     timings.insert(
@@ -292,13 +305,7 @@ fn print_json(routine: &str, n: i64, flops: Option<u64>, timed: &TimedCall) {
             serde_json::json!(flops as f64 / t.total / 1e6),
         );
     }
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("serialize")
-    );
-    if timed.result.is_err() {
-        std::process::exit(1);
-    }
+    serde_json::Value::Object(doc)
 }
 
 /// Check a pooled client out of the process-wide stream pool (dialing only
@@ -355,4 +362,80 @@ fn usage(err: &str) -> ! {
          <list | interface <routine> | load | ep <m> | linpack <n> | query \"...\">"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn timed(ok: bool) -> TimedCall {
+        TimedCall {
+            result: if ok {
+                Ok(vec![])
+            } else {
+                Err(ninf_protocol::ProtocolError::Frame("boom".into()))
+            },
+            connect: 0.001,
+            timing: CallTiming::default(),
+            server_wall: Some(0.5),
+            stream_reused: true,
+            bytes_sent: 10,
+            bytes_received: 10,
+        }
+    }
+
+    /// Flatten a document's keys the way the doc table writes them:
+    /// top-level names plus `timings.<name>` for the nested object.
+    fn flat_keys(doc: &serde_json::Value, out: &mut BTreeSet<String>) {
+        for (k, v) in doc.as_object().expect("object").iter() {
+            if k == "timings" {
+                for (tk, _) in v.as_object().expect("timings object").iter() {
+                    out.insert(format!("timings.{tk}"));
+                }
+            } else {
+                out.insert(k.clone());
+            }
+        }
+    }
+
+    /// The `--json` key set and the table in docs/OBSERVABILITY.md must
+    /// not drift apart: every backticked key in the schema table appears
+    /// in an emitted document and vice versa. The union of a successful
+    /// call (with flops, with a stats join) and a failed one covers every
+    /// optional key.
+    #[test]
+    fn json_schema_matches_documented_key_set() {
+        let mut emitted = BTreeSet::new();
+        flat_keys(
+            &call_json("linpack", 600, Some(1_000_000), &timed(true)),
+            &mut emitted,
+        );
+        flat_keys(&call_json("ep", 20, None, &timed(false)), &mut emitted);
+
+        let doc = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../docs/OBSERVABILITY.md"
+        ))
+        .expect("read docs/OBSERVABILITY.md");
+        let section = doc
+            .split("## `ninf-call --json` schema")
+            .nth(1)
+            .expect("doc has the `ninf-call --json` schema section")
+            .split("\n## ")
+            .next()
+            .unwrap();
+        let documented: BTreeSet<String> = section
+            .lines()
+            .filter_map(|l| {
+                let rest = l.strip_prefix("| `")?;
+                Some(rest.split('`').next()?.to_string())
+            })
+            .collect();
+        assert!(!documented.is_empty(), "schema table parsed empty");
+        assert_eq!(
+            documented, emitted,
+            "docs/OBSERVABILITY.md schema table and call_json() disagree"
+        );
+    }
 }

@@ -10,6 +10,7 @@
 //! ninf-load --list                                  # scenario menu
 //! ninf-load --scenario lan-linpack --clients 1,4,8  # Table 3-shaped sweep
 //! ninf-load --scenario lan-ep --addr 127.0.0.1:5656 # against a live ninfd
+//! ninf-load --scenario lan-ep --sweep               # coordinated rate ramp
 //! ```
 //!
 //! Each client-count in `--clients` is one full live run: the scenario's
@@ -25,11 +26,27 @@
 //! `ninf-trace fetch --merge`). `--compare-sim` re-runs
 //! the simulator's Table 3/4 experiment in-process at the same seed and
 //! prints the live and simulated scalability shapes side by side.
+//!
+//! `--sweep` switches to the DiPerF-style coordinated saturation sweep: one
+//! controller ramps the open-loop offered rate over `--sweep-stages` stages
+//! of `--stage-secs` each (stage k offers k+1× the scenario's base rate),
+//! polls every server's `QueryMetrics` window ring while the ramp runs, and
+//! reports the throughput/latency-vs-offered-load curve with an automatic
+//! latency-slope knee estimate plus the clock-skew-corrected merged
+//! timeline. The client count is the single (first) `--clients` value.
+//! External targets (`--addr`) should run `ninfd --windows-ms` to serve
+//! window series; a disarmed server yields an empty series, not an error.
+//! With `--sweep`, `--compare-sim` runs the simulator's `sweep-lan` client
+//! ramp at the same seed and prints the two knee locations side by side,
+//! and `--json`/`--csv` emit the sweep report schema instead of per-run
+//! reports.
 
 use std::io::Write as _;
 
 use ninf_bench::cli::{parse_args, parse_list, CliError};
-use ninf_loadgen::{run_scenario, scenario, scenario_names, RunReport, Target};
+use ninf_loadgen::{
+    run_scenario, run_sweep, scenario, scenario_names, RunReport, SweepConfig, SweepReport, Target,
+};
 use ninf_server::ServerCore;
 
 fn main() {
@@ -44,6 +61,9 @@ fn main() {
             "--addr",
             "--server-core",
             "--trace-out",
+            "--sweep-stages",
+            "--stage-secs",
+            "--window-ms",
         ],
         &[
             "--list",
@@ -51,6 +71,7 @@ fn main() {
             "--assert-zero-errors",
             "--trace",
             "--no-arg-cache",
+            "--sweep",
         ],
     ) {
         Ok(p) => p,
@@ -110,6 +131,78 @@ fn main() {
     if parsed.has("--trace") || trace_out.is_some() {
         ninf_obs::recorder::global().set_enabled(true);
         eprintln!("# flight recorder armed");
+    }
+
+    if parsed.has("--sweep") {
+        let mut cfg = SweepConfig::default();
+        match parsed.parse::<usize>("--sweep-stages") {
+            Ok(Some(n)) if n > 0 => cfg.stages = n,
+            Ok(Some(_)) => usage("--sweep-stages needs a positive count"),
+            Ok(None) => {}
+            Err(CliError::Bad(msg)) => usage(&msg),
+            Err(CliError::Help) => usage(""),
+        }
+        match parsed.parse::<f64>("--stage-secs") {
+            Ok(Some(s)) if s > 0.0 => cfg.stage_secs = s,
+            Ok(Some(_)) => usage("--stage-secs needs a positive duration"),
+            Ok(None) => {}
+            Err(CliError::Bad(msg)) => usage(&msg),
+            Err(CliError::Help) => usage(""),
+        }
+        match parsed.parse::<u64>("--window-ms") {
+            Ok(Some(ms)) if ms > 0 => cfg.window = std::time::Duration::from_millis(ms),
+            Ok(Some(_)) => usage("--window-ms needs a positive millisecond count"),
+            Ok(None) => {}
+            Err(CliError::Bad(msg)) => usage(&msg),
+            Err(CliError::Help) => usage(""),
+        }
+        let c = clients[0];
+        eprintln!(
+            "# sweep: scenario {name}, {c} client(s), seed {seed}, {} stage(s) x {:.1}s",
+            cfg.stages, cfg.stage_secs
+        );
+        let report = match run_sweep(&sc, c, seed, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: sweep failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        print!("{}", render_live_sweep(&report));
+        if parsed.has("--compare-sim") {
+            print!("{}", compare_sim_sweep(&report, seed));
+        }
+        if let Some(dir) = parsed.value("--csv") {
+            let dir = std::path::PathBuf::from(dir);
+            let files = report.write_csv(&dir).expect("write sweep csv");
+            eprintln!("# wrote {} CSV files to {}", files.len(), dir.display());
+        }
+        if let Some(path) = parsed.value("--json") {
+            let mut f = std::fs::File::create(path).expect("create json output");
+            writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(&report.to_json()).expect("serialize")
+            )
+            .expect("write json");
+            eprintln!("# wrote {path}");
+        }
+        if let Some(path) = trace_out {
+            let rec = ninf_obs::recorder::global();
+            let spans = ninf_obs::export::dedup(&rec.snapshot(0));
+            let json = ninf_obs::export::chrome_trace_json(&spans);
+            std::fs::write(path, json).expect("write trace output");
+            eprintln!("# wrote {} span(s) to {path}", spans.len());
+        }
+        if parsed.has("--assert-zero-errors") {
+            let errors: usize = report.points.iter().map(|p| p.errors).sum();
+            if errors > 0 {
+                eprintln!("error: {errors} call(s) failed across the sweep");
+                std::process::exit(1);
+            }
+            eprintln!("# zero errors across {} stage(s)", report.points.len());
+        }
+        return;
     }
 
     eprintln!("# scenario {name}, seed {seed}: {}", sc.about);
@@ -343,6 +436,112 @@ fn compare_sim(reports: &[RunReport], seed: u64) -> String {
     s
 }
 
+/// The coordinated sweep: curve, knee, and merged-timeline summary.
+fn render_live_sweep(r: &SweepReport) -> String {
+    let mut s = format!(
+        "=================================================================\n\
+         coordinated saturation sweep: {} c={} seed={} (base {:.1} Hz/client)\n\
+         =================================================================\n\
+         stage  rate/client  offered-Hz  calls  ok     err  tput-Hz  lat-mean   lat-p95\n",
+        r.scenario, r.clients, r.seed, r.base_rate_hz
+    );
+    for p in &r.points {
+        s += &format!(
+            "{:<6} {:<12.1} {:<11.1} {:<6} {:<6} {:<4} {:<8.2} {:<10.4} {:<10.4}\n",
+            p.stage,
+            p.rate_hz_per_client,
+            p.offered_hz,
+            p.calls,
+            p.ok,
+            p.errors,
+            p.throughput_hz,
+            p.latency.mean,
+            p.latency_p95_s,
+        );
+    }
+    match &r.knee {
+        Some(k) if k.saturated => {
+            s += &format!(
+                "knee: stage {} at {:.1} Hz offered ({:.2} Hz delivered, {:.4}s mean latency) — saturated\n",
+                k.stage, k.offered_hz, k.throughput_hz, k.latency_mean_s
+            );
+        }
+        Some(k) => {
+            s += &format!(
+                "knee: not reached; highest measured {:.1} Hz offered ({:.2} Hz delivered) — ramp further\n",
+                k.offered_hz, k.throughput_hz
+            );
+        }
+        None => s += "knee: no data\n",
+    }
+    s += &format!(
+        "timeline: {:.0} ms windows, {} client bucket(s)",
+        r.timeline.window_secs * 1e3,
+        r.timeline.client.len()
+    );
+    for remote in &r.timeline.remotes {
+        s += &format!(
+            "; {} {} window(s) (skew {:+.4}s, {} poll(s), {} dropped)",
+            remote.source,
+            remote.frames.len(),
+            remote.clock_skew_s,
+            remote.polls,
+            remote.dropped
+        );
+    }
+    s += &format!(
+        "\nschedule fingerprint {:#018x} over {:.2}s wall\n",
+        r.schedule_fnv, r.wall_secs
+    );
+    s
+}
+
+/// Live-vs-sim knee comparison for `--sweep`: run the simulator's
+/// `sweep-lan` client ramp at the same seed and put the two knees side by
+/// side. The axes differ by design — the live ramp scales an open-loop
+/// rate at fixed clients, the sim ramps closed-loop clients — so the live
+/// knee is also restated in client-equivalents at the scenario's base
+/// rate, the unit the sim knee uses.
+fn compare_sim_sweep(r: &SweepReport, seed: u64) -> String {
+    let sim = match ninf_sim::experiments::run("sweep-lan", seed) {
+        Some(out) => out,
+        None => return String::from("# --compare-sim: sim experiment sweep-lan unavailable\n"),
+    };
+    let mut s = String::from(
+        "=================================================================\n\
+         live vs sim saturation knee (sweep-lan cross-check)\n\
+         =================================================================\n",
+    );
+    match &r.knee {
+        Some(k) => {
+            let client_equiv = if r.base_rate_hz > 0.0 {
+                k.offered_hz / r.base_rate_hz
+            } else {
+                0.0
+            };
+            s += &format!(
+                "live: knee at {:.1} Hz offered ≈ {client_equiv:.1} client-equivalents at {:.1} Hz each (saturated={})\n",
+                k.offered_hz, r.base_rate_hz, k.saturated
+            );
+        }
+        None => s += "live: no knee estimate\n",
+    }
+    let knee = &sim.json["knee"];
+    match (knee["clients"].as_u64(), knee["latency_s"].as_f64()) {
+        (Some(c), Some(lat)) => {
+            s += &format!(
+                "sim:  knee at c={c} clients ({:.3} Hz, {lat:.3}s mean latency, saturated={})\n",
+                knee["throughput_hz"].as_f64().unwrap_or(0.0),
+                knee["saturated"].as_bool().unwrap_or(false)
+            );
+        }
+        _ => s += "sim:  no knee in sweep-lan output\n",
+    }
+    s += "# same latency-elasticity rule both sides; axes differ (rate ramp vs client ramp),\n\
+          # so compare knee *existence and order of magnitude*, not absolutes.\n";
+    s
+}
+
 /// The whole sweep as one JSON document (experiments.json schema family).
 fn sweep_json(reports: &[RunReport], seed: u64) -> serde_json::Value {
     let mut doc = serde_json::Map::new();
@@ -381,6 +580,8 @@ fn usage(err: &str) -> ! {
         \x20                [--json <path>] [--csv <dir>] [--addr <host:port>]\n\
         \x20                [--server-core reactor|threaded]\n\
         \x20                [--trace] [--trace-out <path>] [--no-arg-cache]\n\
+        \x20                [--sweep] [--sweep-stages <n>] [--stage-secs <s>]\n\
+        \x20                [--window-ms <ms>]\n\
         \x20                [--compare-sim] [--assert-zero-errors] [--list]\n\
          scenarios: {}",
         scenario_names().join(", ")

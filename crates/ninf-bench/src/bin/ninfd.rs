@@ -5,7 +5,7 @@
 //! ninfd [--addr 0.0.0.0:5656] [--pes 4] [--mode task|data] \
 //!       [--policy fcfs|sjf|fpfs|fpmpfs] [--core reactor|threaded] \
 //!       [--workers N] [--db-addr 0.0.0.0:5657] \
-//!       [--trace] [--metrics-addr 0.0.0.0:9156]
+//!       [--trace] [--metrics-addr 0.0.0.0:9156] [--windows-ms 1000]
 //! ```
 //!
 //! Serves the stdlib routines (dmmul, dgefa, dgesl, linpack, ep, dos) until
@@ -14,6 +14,10 @@
 //! `NINF_TRACE=1`): spans are recorded for traced calls and served over the
 //! `QueryTrace` protocol message. `--metrics-addr` exposes the server's
 //! metrics registry as Prometheus text on a plain-TCP HTTP endpoint.
+//! `--windows-ms` arms time-series telemetry: the registry captures a
+//! metric window snapshot every N ms into a bounded ring, served over the
+//! `QueryMetrics` protocol message (sweep controllers poll it). Without the
+//! flag the window path is disarmed and costs nothing.
 
 use ninf_server::{
     builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig, ServerCore,
@@ -30,6 +34,7 @@ fn main() {
     let mut trace = false;
     let mut metrics_addr: Option<String> = None;
     let mut arg_cache_bytes = ninf_server::DEFAULT_ARG_CACHE_BYTES;
+    let mut windows_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -89,6 +94,16 @@ fn main() {
                         .unwrap_or_else(|| usage("--metrics-addr needs a value")),
                 )
             }
+            "--windows-ms" => {
+                windows_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&ms| ms > 0)
+                        .unwrap_or_else(|| {
+                            usage("--windows-ms needs a positive millisecond count")
+                        }),
+                )
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -140,6 +155,13 @@ fn main() {
     if trace || ninf_obs::recorder::global().enabled() {
         eprintln!("ninfd: flight recorder armed (QueryTrace serves spans)");
     }
+    if let Some(ms) = windows_ms {
+        server
+            .metrics()
+            .registry()
+            .start_window_sampler(std::time::Duration::from_millis(ms));
+        eprintln!("ninfd: metric windows armed at {ms} ms (QueryMetrics serves series)");
+    }
 
     let _db = db_addr.map(|a| {
         let db = ninf_db::DbServer::start(&a, ninf_db::builtin_datasets()).unwrap_or_else(|e| {
@@ -171,7 +193,7 @@ fn usage(err: &str) -> ! {
         "usage: ninfd [--addr host:port] [--pes N] [--mode task|data] \
          [--policy fcfs|sjf|fpfs|fpmpfs] [--core reactor|threaded] [--workers N] \
          [--db-addr host:port] [--trace] [--metrics-addr host:port] \
-         [--arg-cache-bytes N]"
+         [--arg-cache-bytes N] [--windows-ms N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

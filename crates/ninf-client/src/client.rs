@@ -683,6 +683,43 @@ impl NinfClient {
         }
     }
 
+    /// Query the server's metric window series from global window index
+    /// `since`: `(process label, snapshot)`. The snapshot's `interval` is 0
+    /// when the remote registry has windows disarmed; its `now` is the
+    /// remote window clock, which together with this call's local
+    /// send/receive timestamps yields the clock-skew offset a sweep
+    /// timeline needs.
+    pub fn query_metrics(
+        &mut self,
+        since: u64,
+    ) -> ProtocolResult<(String, ninf_protocol::WindowsSnapshot)> {
+        self.transport.send(&Message::QueryMetrics { since })?;
+        match self.transport.recv()? {
+            Message::MetricsReply {
+                process,
+                now,
+                interval,
+                total,
+                dropped,
+                frames,
+            } => Ok((
+                process,
+                ninf_protocol::WindowsSnapshot {
+                    now,
+                    interval,
+                    total,
+                    dropped,
+                    frames,
+                },
+            )),
+            Message::Error { reason } => Err(ProtocolError::Remote(reason)),
+            other => Err(ProtocolError::UnexpectedMessage {
+                expected: "MetricsReply",
+                got: other.kind().to_owned(),
+            }),
+        }
+    }
+
     /// Fetch the remote process's flight recorder: `(process label, spans
     /// dropped by its ring, retained spans)`. `trace_id` 0 fetches every
     /// retained span.
@@ -1238,6 +1275,37 @@ mod tests {
         assert_eq!(now, 1.25);
         assert_eq!(total, 3);
         assert_eq!(records, vec![rec]);
+    }
+
+    #[test]
+    fn query_metrics_parses_reply() {
+        use ninf_protocol::{MetricFrame, MetricKind, MetricSample};
+        let frame = MetricFrame {
+            window: 4,
+            t: 1.0,
+            samples: vec![MetricSample {
+                name: "ninf_server_calls_total".into(),
+                kind: MetricKind::Counter,
+                value: 2.0,
+                count: 2,
+            }],
+        };
+        let t = Scripted::new(vec![Message::MetricsReply {
+            process: "server".into(),
+            now: 1.25,
+            interval: 0.25,
+            total: 5,
+            dropped: 1,
+            frames: vec![frame.clone()],
+        }]);
+        let mut client = NinfClient::from_transport(Box::new(t));
+        let (process, snap) = client.query_metrics(4).unwrap();
+        assert_eq!(process, "server");
+        assert_eq!(snap.now, 1.25);
+        assert_eq!(snap.interval, 0.25);
+        assert_eq!(snap.total, 5);
+        assert_eq!(snap.dropped, 1);
+        assert_eq!(snap.frames, vec![frame]);
     }
 
     #[test]

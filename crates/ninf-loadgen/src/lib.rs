@@ -30,9 +30,14 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod spec;
+pub mod sweep;
 
 pub use hist::LogHistogram;
 pub use report::{CallResult, ClientSummary, Outcome, RunReport, ServerView, Summary};
 pub use runner::{run_scenario, Target};
 pub use scenario::{scenario, scenario_names, Scenario};
 pub use spec::{Arrival, MixEntry, Phases, Routine, SplitMix64, WorkloadSpec};
+pub use sweep::{
+    estimate_knee, run_sweep, KneeEstimate, RemoteSeries, SweepConfig, SweepPoint, SweepReport,
+    SweepTimeline,
+};

@@ -44,7 +44,7 @@ pub enum Target {
 }
 
 /// Backend the client threads actually call through.
-enum Backend {
+pub(crate) enum Backend {
     /// Each client dials one of these addresses directly.
     Direct(Vec<String>),
     /// Calls go through a shared in-process metaserver.
@@ -53,10 +53,10 @@ enum Backend {
 
 /// Spawned servers (shut down when the run ends) plus every queryable
 /// address.
-struct LiveTarget {
-    spawned: Vec<NinfServer>,
-    addrs: Vec<String>,
-    backend: Backend,
+pub(crate) struct LiveTarget {
+    pub(crate) spawned: Vec<NinfServer>,
+    pub(crate) addrs: Vec<String>,
+    pub(crate) backend: Backend,
 }
 
 fn spawn_server(pes: usize, policy: SchedPolicy, core: ServerCore) -> ProtocolResult<NinfServer> {
@@ -75,7 +75,7 @@ fn spawn_server(pes: usize, policy: SchedPolicy, core: ServerCore) -> ProtocolRe
     )
 }
 
-fn materialize(target: &Target, spec: &WorkloadSpec) -> ProtocolResult<LiveTarget> {
+pub(crate) fn materialize(target: &Target, spec: &WorkloadSpec) -> ProtocolResult<LiveTarget> {
     match target {
         Target::External(addr) => Ok(LiveTarget {
             spawned: Vec::new(),
@@ -124,7 +124,7 @@ fn materialize(target: &Target, spec: &WorkloadSpec) -> ProtocolResult<LiveTarge
 
 /// Pre-generated call inputs, shared read-only across the fleet so argument
 /// generation never sits on the measured path.
-struct Inputs {
+pub(crate) struct Inputs {
     /// `n → (A, b)` for every distinct Linpack order in the mix.
     linpack: HashMap<usize, (Vec<f64>, Vec<f64>)>,
     /// `n → (masses, pos)` for every distinct N-body size in the mix. The
@@ -134,7 +134,7 @@ struct Inputs {
 }
 
 impl Inputs {
-    fn prepare(spec: &WorkloadSpec, seed: u64) -> Self {
+    pub(crate) fn prepare(spec: &WorkloadSpec, seed: u64) -> Self {
         let mut linpack = HashMap::new();
         let mut nbody = HashMap::new();
         for entry in &spec.mix {
@@ -190,7 +190,7 @@ fn classify(err: &ProtocolError) -> Outcome {
     }
 }
 
-fn sleep_until(epoch: Instant, offset: f64) {
+pub(crate) fn sleep_until(epoch: Instant, offset: f64) {
     if offset <= 0.0 {
         return;
     }
@@ -203,7 +203,7 @@ fn sleep_until(epoch: Instant, offset: f64) {
 
 /// One client thread's whole life: issue every scheduled call, measure each.
 #[allow(clippy::too_many_arguments)]
-fn drive_client(
+pub(crate) fn drive_client(
     spec: &WorkloadSpec,
     backend: &Backend,
     inputs: &Inputs,
@@ -363,7 +363,10 @@ fn issue(
 }
 
 /// Fetch §4.1 timelines from every queryable server after the run.
-fn collect_server_view(addrs: &[String], options: ninf_client::CallOptions) -> Option<ServerView> {
+pub(crate) fn collect_server_view(
+    addrs: &[String],
+    options: ninf_client::CallOptions,
+) -> Option<ServerView> {
     let mut records: Vec<CallStat> = Vec::new();
     let mut any = false;
     for addr in addrs {

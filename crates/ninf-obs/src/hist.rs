@@ -94,6 +94,45 @@ impl LogHistogram {
         self.count
     }
 
+    /// Sum of all samples (exact — tracked outside the buckets).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The histogram of exactly the samples recorded between `earlier` and
+    /// `self`, where `earlier` is a previous cumulative snapshot of the same
+    /// histogram (same sample stream, fewer samples). This is the window
+    /// operation behind time-series telemetry: consecutive cumulative
+    /// snapshots subtract bucket-wise into per-window histograms, and merging
+    /// every window diff reproduces the pooled histogram exactly — counts,
+    /// buckets, min, and max are bit-identical, sum to floating-point
+    /// rounding.
+    ///
+    /// `min`/`max` of a non-empty diff are the *cumulative* min/max at the
+    /// later snapshot: the tightest bound derivable without per-window sample
+    /// retention, and exactly what makes the merge-of-diffs min/max equal the
+    /// pooled values (cumulative min is non-increasing, max non-decreasing,
+    /// so the last non-empty window's bounds win the merge).
+    pub fn diff(&self, earlier: &LogHistogram) -> LogHistogram {
+        let mut out = LogHistogram::new();
+        for (o, (a, b)) in out
+            .counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(earlier.counts.iter()))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out.under = self.under.saturating_sub(earlier.under);
+        out.over = self.over.saturating_sub(earlier.over);
+        out.count = self.count.saturating_sub(earlier.count);
+        if out.count > 0 {
+            out.sum = (self.sum - earlier.sum).max(0.0);
+            out.min = self.min;
+            out.max = self.max;
+        }
+        out
+    }
+
     /// Arithmetic mean (exact — tracked outside the buckets), or 0 when
     /// empty.
     pub fn mean(&self) -> f64 {

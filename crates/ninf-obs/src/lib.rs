@@ -9,6 +9,9 @@
 //!   recorder; `QueryTrace` serves from it.
 //! - [`metrics`]: counters/gauges/latency summaries with Prometheus text
 //!   exposition, served over TCP by [`http`].
+//! - [`window`]: bounded ring of fixed-interval window snapshots over a
+//!   registry — per-second series instead of lifetime totals; `QueryMetrics`
+//!   serves from it.
 //! - [`hist`]: the log-scale latency histogram (shared with `ninf-loadgen`).
 //! - [`export`]: joins per-process spans into call trees, exports Chrome
 //!   `trace_event` JSON for Perfetto, validates nesting, diffs live vs sim.
@@ -24,8 +27,10 @@ pub mod log;
 pub mod metrics;
 pub mod recorder;
 pub mod trace;
+pub mod window;
 
 pub use hist::LogHistogram;
 pub use metrics::{process_metrics, Counter, Gauge, MetricsRegistry};
 pub use recorder::FlightRecorder;
 pub use trace::{next_id, now_us, Span, TraceContext};
+pub use window::{MetricFrame, MetricKind, MetricSample, WindowsSnapshot};

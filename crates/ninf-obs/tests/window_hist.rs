@@ -1,0 +1,82 @@
+//! Window semantics of [`LogHistogram`]: per-window histograms are diffs of
+//! consecutive cumulative snapshots (exactly what the metrics window ring
+//! captures), and merging every window diff must reproduce the pooled
+//! histogram over the same span — extending the per-client merge==pooled
+//! guarantee to the time axis.
+
+use ninf_obs::LogHistogram;
+use proptest::prelude::*;
+
+/// Map a raw exponent to `10^u` for `u ∈ [-8, 6)` — exercises the under
+/// clamp, every bucket, and the over clamp.
+fn sample_from_unit(x: f64) -> f64 {
+    10f64.powf(x * 14.0 - 8.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging per-window diffs equals the pooled histogram, field for
+    /// field, for any partition of any sample stream into windows —
+    /// including empty windows (idle seconds) and a leading empty prefix.
+    #[test]
+    fn merged_window_diffs_equal_pooled(
+        windows in prop::collection::vec(
+            prop::collection::vec(0.0f64..1.0, 0..40),
+            1..10,
+        ),
+    ) {
+        let mut cumulative = LogHistogram::new();
+        let mut pooled = LogHistogram::new();
+        let mut merged = LogHistogram::new();
+        let mut prev = LogHistogram::new();
+        for window in &windows {
+            for &x in window {
+                let v = sample_from_unit(x);
+                cumulative.record(v);
+                pooled.record(v);
+            }
+            let diff = cumulative.diff(&prev);
+            prop_assert_eq!(diff.count(), window.len() as u64);
+            merged.merge(&diff);
+            prev = cumulative.clone();
+        }
+        prop_assert_eq!(merged.count(), pooled.count());
+        prop_assert_eq!(merged.min(), pooled.min());
+        prop_assert_eq!(merged.max(), pooled.max());
+        let tol = 1e-9 * pooled.sum().abs().max(1e-300);
+        prop_assert!((merged.sum() - pooled.sum()).abs() <= tol,
+            "sum drifted: merged={} pooled={}", merged.sum(), pooled.sum());
+        for q in [1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            prop_assert_eq!(merged.percentile(q), pooled.percentile(q), "q={}", q);
+        }
+    }
+
+    /// A window diff never reports values outside the cumulative range, and
+    /// an empty window is the empty histogram.
+    #[test]
+    fn window_diff_is_well_formed(
+        first in prop::collection::vec(0.0f64..1.0, 0..30),
+        second in prop::collection::vec(0.0f64..1.0, 0..30),
+    ) {
+        let mut cumulative = LogHistogram::new();
+        for &x in &first {
+            cumulative.record(sample_from_unit(x));
+        }
+        let snap = cumulative.clone();
+        for &x in &second {
+            cumulative.record(sample_from_unit(x));
+        }
+        let diff = cumulative.diff(&snap);
+        prop_assert_eq!(diff.count(), second.len() as u64);
+        if second.is_empty() {
+            prop_assert_eq!(diff.mean(), 0.0);
+            prop_assert_eq!(diff.min(), 0.0);
+            prop_assert_eq!(diff.max(), 0.0);
+        } else {
+            prop_assert!(diff.min() >= cumulative.min());
+            prop_assert!(diff.max() <= cumulative.max());
+            prop_assert!(diff.sum() >= 0.0);
+        }
+    }
+}

@@ -52,6 +52,6 @@ pub use marshal::{
     reply_payload_bytes, request_payload_bytes, validate_call_args, validate_results,
 };
 pub use message::{Arg, CallStat, JobPhase, LoadReport, Message};
-pub use ninf_obs::{Span, TraceContext};
+pub use ninf_obs::{MetricFrame, MetricKind, MetricSample, Span, TraceContext, WindowsSnapshot};
 pub use transport::{ChannelTransport, TcpTransport, Transport};
 pub use value::Value;

@@ -8,7 +8,7 @@
 //! a checksum word in v2.
 
 use ninf_idl::CompiledInterface;
-use ninf_obs::{Span, TraceContext};
+use ninf_obs::{MetricFrame, MetricKind, MetricSample, Span, TraceContext};
 use ninf_xdr::{XdrDecoder, XdrEncoder};
 
 use crate::codec::{impl_message_codec, impl_wire, Wire};
@@ -115,6 +115,25 @@ impl_wire!(struct Span {
 });
 
 impl_wire!(struct Digest { hi, lo });
+
+impl_wire!(unit_enum MetricKind {
+    Counter = 0,
+    Gauge = 1,
+    Histogram = 2,
+});
+
+impl_wire!(struct MetricSample {
+    name,
+    kind,
+    value,
+    count,
+});
+
+impl_wire!(struct MetricFrame {
+    window,
+    t,
+    samples,
+});
 
 /// One argument position of an [`Message::Invoke`]/[`Message::SubmitJob`]:
 /// either the marshalled value inline, or a content digest naming a value
@@ -331,6 +350,32 @@ pub enum Message {
         /// Every referenced digest the store is missing.
         digests: Vec<Digest>,
     },
+    /// Ask a process for its metric window series (time-resolved telemetry),
+    /// starting at global window index `since` — the windowed analogue of
+    /// [`Message::QueryStats`], polled incrementally by a sweep controller.
+    QueryMetrics {
+        /// Index of the first window wanted (0 = everything retained).
+        since: u64,
+    },
+    /// Reply to [`Message::QueryMetrics`].
+    MetricsReply {
+        /// Logical process label of the responder (`server`, `metaserver`).
+        process: String,
+        /// Window clock (seconds since windows were armed) when the reply
+        /// was built; paired with the poller's send/receive timestamps this
+        /// yields the clock-skew offset for timeline alignment.
+        now: f64,
+        /// Configured window interval in seconds; 0 means windows are
+        /// disarmed and the reply is necessarily empty.
+        interval: f64,
+        /// Windows ever closed on the responder.
+        total: u64,
+        /// Windows evicted from the ring (frames cover
+        /// `max(since, dropped) .. total`).
+        dropped: u64,
+        /// Retained frames from the cursor onward, oldest first.
+        frames: Vec<MetricFrame>,
+    },
 }
 
 /// Lifecycle state of a two-phase job.
@@ -396,6 +441,8 @@ const TAG_STATS_REPLY: u32 = 18;
 const TAG_QUERY_TRACE: u32 = 19;
 const TAG_TRACE_REPLY: u32 = 20;
 const TAG_NEED_ARG: u32 = 21;
+const TAG_QUERY_METRICS: u32 = 22;
+const TAG_METRICS_REPLY: u32 = 23;
 
 impl_message_codec! {
     units {
@@ -424,6 +471,8 @@ impl_message_codec! {
         QueryTrace = TAG_QUERY_TRACE => { trace_id },
         TraceReply = TAG_TRACE_REPLY => { process, dropped, spans },
         NeedArg = TAG_NEED_ARG => { digests },
+        QueryMetrics = TAG_QUERY_METRICS => { since },
+        MetricsReply = TAG_METRICS_REPLY => { process, now, interval, total, dropped, frames },
     }
 }
 
@@ -820,6 +869,59 @@ mod tests {
             process: "metaserver".into(),
             dropped: 0,
             spans: vec![],
+        });
+    }
+
+    #[test]
+    fn roundtrip_metrics_messages() {
+        roundtrip(Message::QueryMetrics { since: 0 });
+        roundtrip(Message::QueryMetrics { since: u64::MAX });
+        roundtrip(Message::MetricsReply {
+            process: "server".into(),
+            now: 12.75,
+            interval: 0.25,
+            total: 51,
+            dropped: 3,
+            frames: vec![
+                MetricFrame {
+                    window: 49,
+                    t: 12.25,
+                    samples: vec![
+                        MetricSample {
+                            name: "ninf_server_calls_total".into(),
+                            kind: MetricKind::Counter,
+                            value: 17.0,
+                            count: 17,
+                        },
+                        MetricSample {
+                            name: "ninf_server_queued".into(),
+                            kind: MetricKind::Gauge,
+                            value: 3.0,
+                            count: 0,
+                        },
+                        MetricSample {
+                            name: "ninf_server_call_seconds".into(),
+                            kind: MetricKind::Histogram,
+                            value: 0.482,
+                            count: 17,
+                        },
+                    ],
+                },
+                MetricFrame {
+                    window: 50,
+                    t: 12.5,
+                    samples: vec![],
+                },
+            ],
+        });
+        // A disarmed responder's reply: interval 0, nothing else.
+        roundtrip(Message::MetricsReply {
+            process: "metaserver".into(),
+            now: 0.0,
+            interval: 0.0,
+            total: 0,
+            dropped: 0,
+            frames: vec![],
         });
     }
 

@@ -8,8 +8,8 @@
 //! fails if the proptest generator or the sample list misses a kind.
 
 use ninf_protocol::{
-    read_frame, write_frame, Arg, CallStat, Digest, JobPhase, LoadReport, Message, ProtocolError,
-    Span, TraceContext, Value,
+    read_frame, write_frame, Arg, CallStat, Digest, JobPhase, LoadReport, Message, MetricFrame,
+    MetricKind, MetricSample, ProtocolError, Span, TraceContext, Value,
 };
 use proptest::prelude::*;
 
@@ -122,6 +122,34 @@ fn arb_span() -> impl Strategy<Value = Span> {
         )
 }
 
+fn arb_metric_sample() -> impl Strategy<Value = MetricSample> {
+    (
+        "[a-z][a-z0-9_]{0,24}",
+        prop_oneof![
+            Just(MetricKind::Counter),
+            Just(MetricKind::Gauge),
+            Just(MetricKind::Histogram)
+        ],
+        0.0f64..1e9,
+        any::<u64>(),
+    )
+        .prop_map(|(name, kind, value, count)| MetricSample {
+            name,
+            kind,
+            value,
+            count,
+        })
+}
+
+fn arb_metric_frame() -> impl Strategy<Value = MetricFrame> {
+    (
+        any::<u64>(),
+        0.0f64..1e6,
+        proptest::collection::vec(arb_metric_sample(), 0..6),
+    )
+        .prop_map(|(window, t, samples)| MetricFrame { window, t, samples })
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     let routine = "[a-z][a-z0-9_]{0,15}";
     prop_oneof![
@@ -224,6 +252,22 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 digests: ds.into_iter().map(|(hi, lo)| Digest { hi, lo }).collect(),
             }
         }),
+        any::<u64>().prop_map(|since| Message::QueryMetrics { since }),
+        (
+            ("[a-z]{1,10}", 0.0f64..1e6, 0.0f64..60.0),
+            (any::<u64>(), any::<u64>()),
+            proptest::collection::vec(arb_metric_frame(), 0..4)
+        )
+            .prop_map(|((process, now, interval), (total, dropped), frames)| {
+                Message::MetricsReply {
+                    process,
+                    now,
+                    interval,
+                    total,
+                    dropped,
+                    frames,
+                }
+            }),
     ]
 }
 
@@ -253,10 +297,12 @@ fn variant_index(m: &Message) -> usize {
         Message::QueryTrace { .. } => 18,
         Message::TraceReply { .. } => 19,
         Message::NeedArg { .. } => 20,
+        Message::QueryMetrics { .. } => 21,
+        Message::MetricsReply { .. } => 22,
     }
 }
 
-const VARIANT_COUNT: usize = 21;
+const VARIANT_COUNT: usize = 23;
 
 /// One concrete witness per variant, used by the exhaustiveness test and
 /// the deterministic truncation test.
@@ -359,6 +405,24 @@ fn sample_messages() -> Vec<Message> {
             digests: vec![Digest {
                 hi: 0xfeed_beef,
                 lo: 0x1234,
+            }],
+        },
+        Message::QueryMetrics { since: 5 },
+        Message::MetricsReply {
+            process: "server".into(),
+            now: 9.25,
+            interval: 0.25,
+            total: 37,
+            dropped: 2,
+            frames: vec![MetricFrame {
+                window: 36,
+                t: 9.0,
+                samples: vec![MetricSample {
+                    name: "ninf_server_calls_total".into(),
+                    kind: MetricKind::Counter,
+                    value: 11.0,
+                    count: 11,
+                }],
             }],
         },
     ]

@@ -576,6 +576,21 @@ fn handle_message(ctx: &Arc<CallContext>, msg: Message) -> Message {
                 records,
             }
         }
+        Message::QueryMetrics { since } => {
+            // Window-series drain: per-interval metric deltas from the
+            // bounded ring, incremental from the caller's cursor. Disarmed
+            // registries answer interval 0 / no frames — "telemetry off",
+            // distinguishable from "armed but idle".
+            let s = ctx.metrics.registry().snapshot_windows(since);
+            Message::MetricsReply {
+                process: "server".into(),
+                now: s.now,
+                interval: s.interval,
+                total: s.total,
+                dropped: s.dropped,
+                frames: s.frames,
+            }
+        }
         Message::QueryTrace { trace_id } => {
             // Flight-recorder drain: the spans this process recorded for
             // `trace_id` (0 = everything retained), joined client-side
@@ -980,6 +995,71 @@ mod tests {
             Message::StatsReply { total, records, .. } => {
                 assert_eq!(total, 2);
                 assert!(records.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_query_serves_window_series_over_the_wire() {
+        let server = start_test_server(ExecMode::TaskParallel);
+        let addr = server.addr().to_string();
+
+        // Disarmed: the reply is the typed "telemetry off" shape.
+        let mut t = TcpTransport::connect(&addr).unwrap();
+        t.send(&Message::QueryMetrics { since: 0 }).unwrap();
+        match t.recv().unwrap() {
+            Message::MetricsReply {
+                process,
+                interval,
+                total,
+                frames,
+                ..
+            } => {
+                assert_eq!(process, "server");
+                assert_eq!(interval, 0.0);
+                assert_eq!(total, 0);
+                assert!(frames.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Armed: calls land in window deltas drained incrementally.
+        let registry = server.metrics().registry().clone();
+        registry.arm_windows(std::time::Duration::from_millis(100));
+        let reply = raw_call(&addr, "ep", vec![Value::Int(8)]);
+        assert!(matches!(reply, Message::ResultData { .. }));
+        registry.capture_window();
+        t.send(&Message::QueryMetrics { since: 0 }).unwrap();
+        let frames = match t.recv().unwrap() {
+            Message::MetricsReply {
+                interval,
+                total,
+                dropped,
+                frames,
+                ..
+            } => {
+                assert!((interval - 0.1).abs() < 1e-9);
+                assert_eq!(total, 1);
+                assert_eq!(dropped, 0);
+                frames
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(frames.len(), 1);
+        let calls = frames[0]
+            .samples
+            .iter()
+            .find(|s| s.name == "ninf_server_calls_total")
+            .expect("calls counter sampled");
+        assert_eq!(calls.count, 1);
+        // Cursor advanced past the end: well-formed empty reply.
+        t.send(&Message::QueryMetrics { since: 1 }).unwrap();
+        match t.recv().unwrap() {
+            Message::MetricsReply { total, frames, .. } => {
+                assert_eq!(total, 1);
+                assert!(frames.is_empty());
             }
             other => panic!("unexpected {other:?}"),
         }

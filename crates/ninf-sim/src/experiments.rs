@@ -53,6 +53,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "ablation-smp-threads",
         "dos-app",
         "argcache-wan",
+        "sweep-lan",
     ]
 }
 
@@ -100,6 +101,7 @@ pub fn run(id: &str, seed: u64) -> Option<ExperimentOutput> {
         "ablation-smp-threads" => ablation_smp_threads(seed),
         "dos-app" => dos_app(seed),
         "argcache-wan" => argcache_wan(seed),
+        "sweep-lan" => sweep_lan(seed),
         _ => return None,
     })
 }
@@ -1037,6 +1039,106 @@ fn argcache_wan(seed: u64) -> ExperimentOutput {
     }
 }
 
+/// Latency-elasticity threshold for the closed-loop sim ramp. The *rule*
+/// is the live sweep's (saturation when relative latency growth per
+/// relative offered-load growth crosses a threshold) but the constant
+/// differs: an open-loop FIFO queue explodes past the knee (the live
+/// default is 2.0), while the sim's timesharing gate stretches service
+/// roughly linearly with clients — elasticity ≈ 0 below the knee, ≈ 1
+/// above — so 0.5 splits the two regimes.
+const SWEEP_KNEE_THRESHOLD: f64 = 0.5;
+
+/// The sim half of the coordinated-sweep cross-check: ramp the client
+/// count over the EP workload (the closed-loop analogue of ramping the
+/// live open-loop rate) and locate the saturation knee with the same
+/// latency-elasticity rule `ninf-load --sweep` applies to its live curve.
+/// The rule is restated here — the sim cannot depend on the live load
+/// generator — and `ninf-load --sweep --compare-sim` diffs the two knees.
+fn sweep_lan(seed: u64) -> ExperimentOutput {
+    let cs = [1usize, 2, 4, 8, 16, 32];
+    // (c, throughput Hz, latency s, calls measured)
+    let mut points: Vec<(usize, f64, f64, usize)> = Vec::new();
+    for &c in &cs {
+        let mut s = Scenario::lan(
+            j90(),
+            c,
+            Workload::Ep { m: 18 },
+            ExecMode::TaskParallel,
+            SchedPolicy::Fcfs,
+            seed ^ c as u64,
+        );
+        s.duration = 900.0;
+        s.warmup = 90.0;
+        let window = s.duration - s.warmup;
+        let cell = World::new(s).run();
+        // Client-observed call latency: admission (response) + queueing
+        // (wait) + execution. The gate timeshares, so past the knee the
+        // execution term stretches with the client count; per-call elapsed
+        // is recoverable from the per-call Mops rate (2^(m+1) ops/call).
+        let exec = if cell.perf.mean > 0.0 {
+            2f64.powi(19) / 1e6 / cell.perf.mean
+        } else {
+            0.0
+        };
+        let latency = cell.response.mean + cell.wait.mean + exec;
+        points.push((c, cell.times as f64 / window, latency, cell.times));
+    }
+    let mut knee = points.len() - 1;
+    let mut saturated = false;
+    for k in 1..points.len() {
+        let (c0, _, l0, _) = points[k - 1];
+        let (c1, _, l1, _) = points[k];
+        if l0 > 0.0 {
+            let dl = (l1 - l0) / l0;
+            let dr = (c1 - c0) as f64 / c0 as f64;
+            if dl / dr > SWEEP_KNEE_THRESHOLD {
+                knee = k - 1;
+                saturated = true;
+                break;
+            }
+        }
+    }
+    let mut text = render_series(
+        "Simulated saturation sweep: EP 2^18 on the J90, latency vs clients",
+        ("clients", "latency[s]"),
+        &points
+            .iter()
+            .map(|&(c, _, l, _)| (c as f64, l))
+            .collect::<Vec<_>>(),
+    );
+    text += &render_series(
+        "throughput vs clients",
+        ("clients", "throughput[Hz]"),
+        &points
+            .iter()
+            .map(|&(c, t, _, _)| (c as f64, t))
+            .collect::<Vec<_>>(),
+    );
+    let (kc, kt, kl, _) = points[knee];
+    text += &format!("knee: c={kc} ({kt:.3} Hz, {kl:.3} s mean latency), saturated={saturated}\n");
+    ExperimentOutput {
+        id: "sweep-lan",
+        title: "Coordinated sweep cross-check: simulated EP client ramp + knee",
+        text,
+        json: json!({
+            "workload": "ep m=18",
+            "knee_threshold": SWEEP_KNEE_THRESHOLD,
+            "points": points.iter().map(|&(c, t, l, times)| json!({
+                "clients": c as u64,
+                "throughput_hz": t,
+                "latency_s": l,
+                "calls": times as u64,
+            })).collect::<Vec<Json>>(),
+            "knee": {
+                "clients": kc as u64,
+                "throughput_hz": kt,
+                "latency_s": kl,
+                "saturated": saturated,
+            },
+        }),
+    }
+}
+
 fn cells_json(cells: &[CellResult]) -> Json {
     Json::Array(
         cells
@@ -1130,6 +1232,21 @@ mod tests {
         let one = out.json["connected"]["calls"].as_u64().unwrap();
         let two = out.json["two_phase"]["calls"].as_u64().unwrap();
         assert!(two > one, "two-phase {two} !> connected {one}");
+    }
+
+    #[test]
+    fn sweep_lan_finds_a_saturation_knee() {
+        let out = sweep_lan(1997);
+        let points = out.json["points"].as_array().unwrap();
+        assert_eq!(points.len(), 6);
+        // Latency at c=32 must dwarf latency at c=1 (the ramp saturates).
+        let l1 = points[0]["latency_s"].as_f64().unwrap();
+        let l32 = points[5]["latency_s"].as_f64().unwrap();
+        assert!(l32 > 3.0 * l1, "no saturation: {l1} -> {l32}");
+        let knee = &out.json["knee"];
+        assert_eq!(knee["saturated"], true);
+        let kc = knee["clients"].as_u64().unwrap();
+        assert!((1..32).contains(&kc), "knee at boundary: c={kc}");
     }
 
     #[test]

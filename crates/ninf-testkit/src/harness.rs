@@ -27,13 +27,18 @@ use ninf_server::{
 
 use crate::invariants::{
     conservation, corruption_rejected, exactly_once, monotone_cursors, quarantine_legal,
-    traces_connected, tx_exactly_once, CallRecord, Check, StatsPoll,
+    traces_connected, tx_exactly_once, window_cursors, CallRecord, Check, StatsPoll, WindowPoll,
 };
 use crate::spec::{fnv1a, ChaosSpec};
 
 /// Nesting slack for trace validation: in-process clocks agree, but span
 /// ends are stamped a scheduling quantum apart.
 const NESTING_SLACK_US: u64 = 10_000;
+
+/// Metric window interval the harness arms on every spawned server: short
+/// enough that a run closes several windows for the cursor invariant to
+/// chew on, long enough not to perturb the run.
+const WINDOW_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Deliberate defects the harness can plant in its own accounting, used to
 /// prove the invariant checkers actually bite (`ninf-chaos --violate-*`).
@@ -260,6 +265,37 @@ fn monitor_stats(addr: &str, stop: &AtomicBool) -> ProtocolResult<Vec<StatsPoll>
     Ok(polls)
 }
 
+/// Window monitor for one server: poll `QueryMetrics` with a moving cursor
+/// while the run is live, recording exactly which window indices every
+/// poll delivered — the raw material for the [`window_cursors`]
+/// exactly-once invariant. One final poll after stop drains windows the
+/// sampler closed while the last sleep was pending.
+fn monitor_windows(addr: &str, stop: &AtomicBool) -> ProtocolResult<Vec<WindowPoll>> {
+    let mut c = NinfClient::connect_with(
+        addr,
+        ninf_client::CallOptions::with_deadline(Duration::from_secs(2)),
+    )?;
+    let mut polls = Vec::new();
+    let mut cursor = 0u64;
+    let poll = |c: &mut NinfClient, cursor: &mut u64, polls: &mut Vec<WindowPoll>| {
+        let (_process, snap) = c.query_metrics(*cursor)?;
+        polls.push(WindowPoll {
+            now: snap.now,
+            total: snap.total,
+            dropped: snap.dropped,
+            windows: snap.frames.iter().map(|f| f.window).collect(),
+        });
+        *cursor = snap.total;
+        ProtocolResult::Ok(())
+    };
+    while !stop.load(Ordering::Acquire) {
+        poll(&mut c, &mut cursor, &mut polls)?;
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    poll(&mut c, &mut cursor, &mut polls)?;
+    Ok(polls)
+}
+
 /// The metaserver transaction leg: `tx_calls` independent calls routed
 /// fault-tolerantly over the live fleet plus `dead_servers` unreachable
 /// directory entries, so retries and quarantine accounting are exercised.
@@ -319,40 +355,59 @@ pub fn run_chaos(spec: &ChaosSpec, seed: u64, inject: Inject) -> ProtocolResult<
 
     let mut servers = Vec::with_capacity(spec.servers);
     for _ in 0..spec.servers {
-        servers.push(spawn_server(spec.pes, spec.arg_cache_bytes)?);
+        let s = spawn_server(spec.pes, spec.arg_cache_bytes)?;
+        // Armed window rings feed the window-cursor invariant the same way
+        // CallStat records feed monotone-cursors.
+        s.metrics().registry().start_window_sampler(WINDOW_INTERVAL);
+        servers.push(s);
     }
     let addrs: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
 
     let stop = AtomicBool::new(false);
-    let (mut records, trace_ids, tx_outcome, stats_results) = std::thread::scope(|scope| {
-        let stop_ref = &stop;
-        let monitors: Vec<_> = addrs
-            .iter()
-            .map(|addr| scope.spawn(move || monitor_stats(addr, stop_ref)))
-            .collect();
-        let clients: Vec<_> = (0..spec.clients)
-            .map(|client| {
-                let addr = &addrs[client % addrs.len()];
-                scope.spawn(move || drive_client(spec, addr, seed, client))
-            })
-            .collect();
-        let mut records = Vec::new();
-        let mut trace_ids = Vec::new();
-        for handle in clients {
-            let (r, t) = handle.join().expect("client thread");
-            records.extend(r);
-            trace_ids.extend(t);
-        }
-        // The transaction leg runs while monitors still poll, so its calls
-        // land inside the monitored cursor stream too.
-        let tx_outcome = (spec.tx_calls > 0).then(|| drive_transaction(spec, &addrs));
-        stop.store(true, Ordering::Release);
-        let mut stats_results = Vec::new();
-        for m in monitors {
-            stats_results.push(m.join().expect("monitor thread"));
-        }
-        (records, trace_ids, tx_outcome, stats_results)
-    });
+    let (mut records, trace_ids, tx_outcome, stats_results, window_results) =
+        std::thread::scope(|scope| {
+            let stop_ref = &stop;
+            let monitors: Vec<_> = addrs
+                .iter()
+                .map(|addr| scope.spawn(move || monitor_stats(addr, stop_ref)))
+                .collect();
+            let window_monitors: Vec<_> = addrs
+                .iter()
+                .map(|addr| scope.spawn(move || monitor_windows(addr, stop_ref)))
+                .collect();
+            let clients: Vec<_> = (0..spec.clients)
+                .map(|client| {
+                    let addr = &addrs[client % addrs.len()];
+                    scope.spawn(move || drive_client(spec, addr, seed, client))
+                })
+                .collect();
+            let mut records = Vec::new();
+            let mut trace_ids = Vec::new();
+            for handle in clients {
+                let (r, t) = handle.join().expect("client thread");
+                records.extend(r);
+                trace_ids.extend(t);
+            }
+            // The transaction leg runs while monitors still poll, so its
+            // calls land inside the monitored cursor stream too.
+            let tx_outcome = (spec.tx_calls > 0).then(|| drive_transaction(spec, &addrs));
+            stop.store(true, Ordering::Release);
+            let mut stats_results = Vec::new();
+            for m in monitors {
+                stats_results.push(m.join().expect("monitor thread"));
+            }
+            let mut window_results = Vec::new();
+            for m in window_monitors {
+                window_results.push(m.join().expect("window monitor thread"));
+            }
+            (
+                records,
+                trace_ids,
+                tx_outcome,
+                stats_results,
+                window_results,
+            )
+        });
     let snapshot = rec.snapshot(0);
     rec.set_enabled(was_enabled);
     for s in servers {
@@ -362,6 +417,10 @@ pub fn run_chaos(spec: &ChaosSpec, seed: u64, inject: Inject) -> ProtocolResult<
     let mut stats_polls = Vec::with_capacity(stats_results.len());
     for r in stats_results {
         stats_polls.push(r?);
+    }
+    let mut window_polls = Vec::with_capacity(window_results.len());
+    for r in window_results {
+        window_polls.push(r?);
     }
 
     if inject == Inject::DuplicateCompletion {
@@ -379,6 +438,7 @@ pub fn run_chaos(spec: &ChaosSpec, seed: u64, inject: Inject) -> ProtocolResult<
         exactly_once(&records, &planned),
         corruption_rejected(&records),
         monotone_cursors(&stats_polls),
+        window_cursors(&window_polls),
         traces_connected(&snapshot, &trace_ids, NESTING_SLACK_US),
     ];
     if let Some(tx) = tx_outcome {

@@ -174,6 +174,82 @@ pub fn monotone_cursors(per_server: &[Vec<StatsPoll>]) -> Check {
     Check::pass(NAME)
 }
 
+/// One `QueryMetrics` poll observation: the reply header plus the window
+/// indices it delivered.
+#[derive(Debug, Clone)]
+pub struct WindowPoll {
+    /// Server-reported seconds since registry arm.
+    pub now: f64,
+    /// Lifetime windows captured (ring head).
+    pub total: u64,
+    /// Windows evicted from the ring before they were fetched.
+    pub dropped: u64,
+    /// `window` indices of the frames this poll returned.
+    pub windows: Vec<u64>,
+}
+
+/// Window-cursor exactly-once: per server, `QueryMetrics` cursor polling
+/// must deliver the window series exactly once even across ring eviction.
+/// The ring clamps a stale cursor up to its base, so poll *k* (with cursor
+/// = poll *k−1*'s `total`, 0 initially) must return exactly the contiguous
+/// indices `max(cursor, dropped)..total` — no gaps, no duplicates, no
+/// reordering — and `now`/`total`/`dropped` must be monotone.
+pub fn window_cursors(per_server: &[Vec<WindowPoll>]) -> Check {
+    const NAME: &str = "window-cursors";
+    for (server, polls) in per_server.iter().enumerate() {
+        let mut cursor = 0u64;
+        let mut prev_now = f64::NEG_INFINITY;
+        let mut prev_dropped = 0u64;
+        for (i, p) in polls.iter().enumerate() {
+            if p.now < prev_now {
+                return Check::fail(
+                    NAME,
+                    format!("server {server}: window clock went backwards at poll {i}"),
+                );
+            }
+            if p.total < cursor {
+                return Check::fail(
+                    NAME,
+                    format!("server {server}: window total shrank at poll {i}"),
+                );
+            }
+            if p.dropped < prev_dropped {
+                return Check::fail(
+                    NAME,
+                    format!("server {server}: dropped count shrank at poll {i}"),
+                );
+            }
+            if p.dropped > p.total {
+                return Check::fail(
+                    NAME,
+                    format!(
+                        "server {server}: poll {i} dropped {} of only {} windows",
+                        p.dropped, p.total
+                    ),
+                );
+            }
+            let want: Vec<u64> = (cursor.max(p.dropped)..p.total).collect();
+            if p.windows != want {
+                return Check::fail(
+                    NAME,
+                    format!(
+                        "server {server}: poll {i} at cursor {cursor} returned windows \
+                         {:?}, want {}..{} (dropped {})",
+                        p.windows,
+                        cursor.max(p.dropped),
+                        p.total,
+                        p.dropped
+                    ),
+                );
+            }
+            cursor = p.total;
+            prev_now = p.now;
+            prev_dropped = p.dropped;
+        }
+    }
+    Check::pass(NAME)
+}
+
 /// Corruption rejection: once a truncate/garble fault has fired on a
 /// client's stream, no later call over that stream may complete
 /// successfully. Each chaos client drives all its calls over one
@@ -437,6 +513,48 @@ mod tests {
         let c = monotone_cursors(&lost);
         assert!(!c.pass);
         assert!(c.detail.contains("fetched 4"));
+    }
+
+    #[test]
+    fn window_cursor_checks() {
+        let poll = |now: f64, total: u64, dropped: u64, windows: &[u64]| WindowPoll {
+            now,
+            total,
+            dropped,
+            windows: windows.to_vec(),
+        };
+        // Plain incremental drain: 0..3 then 3..5.
+        let ok = vec![vec![
+            poll(0.1, 3, 0, &[0, 1, 2]),
+            poll(0.2, 5, 0, &[3, 4]),
+            poll(0.3, 5, 0, &[]),
+        ]];
+        assert!(window_cursors(&ok).pass);
+        // Ring eviction between polls: base jumped to 6, so the clamp must
+        // surface exactly 6..9 and the dropped counter must own 4..6.
+        let evicted = vec![vec![
+            poll(0.1, 4, 0, &[0, 1, 2, 3]),
+            poll(0.9, 9, 6, &[6, 7, 8]),
+        ]];
+        assert!(window_cursors(&evicted).pass);
+        // A window delivered twice violates exactly-once.
+        let dup = vec![vec![poll(0.1, 2, 0, &[0, 1]), poll(0.2, 3, 0, &[1, 2])]];
+        let c = window_cursors(&dup);
+        assert!(!c.pass);
+        assert!(c.detail.contains("poll 1"), "{}", c.detail);
+        // A gap (window 1 never delivered, no eviction to excuse it).
+        let gap = vec![vec![poll(0.1, 1, 0, &[0]), poll(0.2, 3, 0, &[2])]];
+        assert!(!window_cursors(&gap).pass);
+        // Monotonicity of the header fields.
+        let back = vec![vec![poll(0.2, 2, 0, &[0, 1]), poll(0.1, 2, 0, &[])]];
+        assert!(!window_cursors(&back).pass);
+        let shrank = vec![vec![
+            poll(0.1, 5, 0, &[0, 1, 2, 3, 4]),
+            poll(0.2, 4, 0, &[]),
+        ]];
+        assert!(!window_cursors(&shrank).pass);
+        let overdrop = vec![vec![poll(0.1, 2, 3, &[])]];
+        assert!(!window_cursors(&overdrop).pass);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   over that stream succeeds;
 //! - **monotone-cursors** — `QueryStats` clocks and totals never regress,
 //!   and cursor-driven fetches deliver each record exactly once;
+//! - **window-cursors** — `QueryMetrics` polling delivers the metric
+//!   window series exactly once: each poll returns precisely the
+//!   contiguous `max(cursor, dropped)..total` indices, with monotone
+//!   clock, total, and drop counters even across ring eviction;
 //! - **trace-connected** — every successful call's trace forms one
 //!   well-nested client+server tree in the flight recorder, with no
 //!   corrupted-stream carve-out;
@@ -43,5 +47,5 @@ pub mod spec;
 
 pub use differential::{live_vs_sim, DiffReport, ShapePoint, DEFAULT_TOLERANCE};
 pub use harness::{run_chaos, ChaosRun, Inject};
-pub use invariants::{CallRecord, Check, StatsPoll};
+pub use invariants::{CallRecord, Check, StatsPoll, WindowPoll};
 pub use spec::{chaos, chaos_names, ChaosSpec};

@@ -74,6 +74,14 @@ impl Value {
         }
     }
 
+    /// Boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Object-key lookup; `None` for non-objects and missing keys.
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object().and_then(|m| m.get(key))
@@ -173,6 +181,12 @@ impl_value_eq_num!(i32, i64, u32, u64, usize, f64);
 impl PartialEq<&str> for Value {
     fn eq(&self, other: &&str) -> bool {
         self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
     }
 }
 
