@@ -5,7 +5,8 @@
 //! ninfd [--addr 0.0.0.0:5656] [--pes 4] [--mode task|data] \
 //!       [--policy fcfs|sjf|fpfs|fpmpfs] [--core reactor|threaded] \
 //!       [--workers N] [--db-addr 0.0.0.0:5657] \
-//!       [--trace] [--metrics-addr 0.0.0.0:9156] [--windows-ms 1000]
+//!       [--trace] [--metrics-addr 0.0.0.0:9156] [--windows-ms 1000] \
+//!       [--wan bw=4m,delay=20ms,loss=0.01]
 //! ```
 //!
 //! Serves the stdlib routines (dmmul, dgefa, dgesl, linpack, ep, dos) until
@@ -17,7 +18,11 @@
 //! `--windows-ms` arms time-series telemetry: the registry captures a
 //! metric window snapshot every N ms into a bounded ring, served over the
 //! `QueryMetrics` protocol message (sweep controllers poll it). Without the
-//! flag the window path is disarmed and costs nothing.
+//! flag the window path is disarmed and costs nothing. `--wan <spec>`
+//! shapes the server's reply direction through a shared emulated WAN link
+//! (token-bucket bandwidth, propagation delay; see `LinkShape::parse` for
+//! the grammar). Shaping lives in the per-connection write path, so it
+//! requires `--core threaded` — the reactor's workers must never sleep.
 
 use ninf_server::{
     builtin::register_stdlib, ExecMode, NinfServer, Registry, SchedPolicy, ServerConfig, ServerCore,
@@ -35,6 +40,7 @@ fn main() {
     let mut metrics_addr: Option<String> = None;
     let mut arg_cache_bytes = ninf_server::DEFAULT_ARG_CACHE_BYTES;
     let mut windows_ms: Option<u64> = None;
+    let mut wan: Option<ninf_protocol::LinkShape> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -104,11 +110,20 @@ fn main() {
                         }),
                 )
             }
+            "--wan" => {
+                let spec = args.next().unwrap_or_else(|| usage("--wan needs a spec"));
+                wan = Some(ninf_protocol::LinkShape::parse(&spec).unwrap_or_else(|e| {
+                    usage(&format!("--wan: {e}"));
+                }));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
 
+    if wan.is_some() && !threaded_core {
+        usage("--wan requires --core threaded (reactor workers must not sleep)");
+    }
     if trace {
         ninf_obs::recorder::global().set_enabled(true);
     }
@@ -128,6 +143,7 @@ fn main() {
             policy,
             core,
             arg_cache_bytes,
+            wan,
         },
     )
     .unwrap_or_else(|e| {
@@ -142,6 +158,9 @@ fn main() {
         policy.name(),
         if threaded_core { "threaded" } else { "reactor" }
     );
+    if let Some(shape) = wan {
+        eprintln!("ninfd: reply direction shaped as a WAN link: {shape}");
+    }
 
     if let Some(a) = metrics_addr {
         match ninf_obs::http::serve_metrics(server.metrics().registry().clone(), &a) {
@@ -193,7 +212,7 @@ fn usage(err: &str) -> ! {
         "usage: ninfd [--addr host:port] [--pes N] [--mode task|data] \
          [--policy fcfs|sjf|fpfs|fpmpfs] [--core reactor|threaded] [--workers N] \
          [--db-addr host:port] [--trace] [--metrics-addr host:port] \
-         [--arg-cache-bytes N] [--windows-ms N]"
+         [--arg-cache-bytes N] [--windows-ms N] [--wan spec]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -43,6 +43,32 @@ pub struct CallOptions {
     /// holds a digest replies `NeedArg` and the call refills inline, so
     /// turning this off is purely a measurement/diagnostic switch.
     pub arg_cache: bool,
+    /// Parallel bulk-transfer streams. At `0` (the default) everything
+    /// ships inline on the call connection. At `1` or more, arguments
+    /// whose XDR image is at least [`ninf_protocol::CHUNK_THRESHOLD`]
+    /// bytes are pre-shipped as chunks fanned out over this many
+    /// dedicated multiplexed streams (GridFTP-style parallel TCP), then
+    /// named by content ref in the call itself — `1` measures the chunked
+    /// path single-lane, the baseline a stream-count sweep compares
+    /// against. Requires a dialed client (an address to fan out to) and
+    /// `arg_cache`; otherwise it is ignored.
+    pub streams: u32,
+    /// Chunk payload size for parallel bulk transfer, in bytes.
+    pub chunk_bytes: u32,
+    /// Emulated WAN shaping applied client-side to the call connection and
+    /// every bulk lane: all of one destination's traffic contends for one
+    /// [`ninf_protocol::SharedLink`] keyed by `(addr, shape)`. `None` (the
+    /// default) sends at wire speed. Pair with `ninfd --wan` to shape the
+    /// reply direction.
+    pub wan: Option<ninf_protocol::LinkShape>,
+    /// Per-chunk send+ack deadline for the bulk lanes, driving loss
+    /// recovery: a lane that misses it retransmits the chunk. `None`
+    /// falls back to `deadline`, then to
+    /// [`crate::bulk::DEFAULT_LANE_DEADLINE`]. On a lossy link this
+    /// should be a small multiple of the per-chunk round trip — far
+    /// shorter than the whole-call `deadline` — or every lost chunk
+    /// stalls its lane for the full call budget.
+    pub lane_deadline: Option<Duration>,
 }
 
 impl Default for CallOptions {
@@ -52,6 +78,10 @@ impl Default for CallOptions {
             retries: 0,
             backoff: Duration::from_millis(100),
             arg_cache: true,
+            streams: 0,
+            chunk_bytes: ninf_protocol::DEFAULT_CHUNK_BYTES,
+            wan: None,
+            lane_deadline: None,
         }
     }
 }
@@ -113,6 +143,15 @@ pub struct CallTiming {
     /// Arguments re-shipped inline after a server-side cache miss
     /// (`NeedArg`) on the last attempt.
     pub args_refilled: u32,
+    /// Image bytes pre-shipped as chunks over parallel bulk streams on
+    /// this call. Tracked separately from `request_bytes`, which counts
+    /// only payload shipped inside the Invoke itself — a bulk-shipped
+    /// value arrives by ref there.
+    pub bulk_bytes: usize,
+    /// Chunk retransmits during bulk transfer (lost chunks or acks).
+    pub bulk_retransmits: u32,
+    /// Parallel lanes the call's bulk uploads used (0 = no bulk upload).
+    pub bulk_streams: u32,
 }
 
 /// FNV-1a of an address, used to salt backoff jitter per server.
@@ -171,12 +210,31 @@ impl NinfClient {
         Self::connect_with(addr, CallOptions::default())
     }
 
+    /// Wrap a dialed transport in client-side WAN shaping when the options
+    /// ask for it. Lane id 0 is the call connection; bulk lanes take 1..N
+    /// on the same shared link, so control and bulk traffic contend for
+    /// one emulated bottleneck.
+    fn wrap_wan(
+        addr: &str,
+        options: &CallOptions,
+        transport: Box<dyn Transport>,
+    ) -> Box<dyn Transport> {
+        match options.wan {
+            Some(shape) => Box::new(ninf_protocol::ShapedTransport::new(
+                transport,
+                ninf_protocol::link_for(addr, shape),
+                0,
+            )),
+            None => transport,
+        }
+    }
+
     /// Connect with a reliability policy: the deadline bounds the connect
     /// itself and every subsequent operation, and calls through this client
     /// retry per `options`.
     pub fn connect_with(addr: &str, options: CallOptions) -> ProtocolResult<Self> {
         let transport = TcpTransport::connect_with_deadline(addr, options.deadline)?;
-        let mut client = Self::from_transport(Box::new(transport));
+        let mut client = Self::from_transport(Self::wrap_wan(addr, &options, Box::new(transport)));
         client.addr = Some(addr.to_owned());
         client.cache_key = Some(addr.to_owned());
         client.options = options;
@@ -195,7 +253,8 @@ impl NinfClient {
         pool: Arc<MuxPool>,
     ) -> ProtocolResult<Self> {
         let checkout = pool.checkout(addr, options.deadline)?;
-        let mut client = Self::from_transport(Box::new(checkout.handle));
+        let mut client =
+            Self::from_transport(Self::wrap_wan(addr, &options, Box::new(checkout.handle)));
         client.transport.set_deadline(options.deadline)?;
         client.addr = Some(addr.to_owned());
         client.cache_key = Some(addr.to_owned());
@@ -314,12 +373,109 @@ impl NinfClient {
         (args, refs, saved)
     }
 
+    /// Whether calls on this client use the parallel bulk-transfer path:
+    /// more than one stream requested, a dialed destination to fan out
+    /// to, and content refs on (a bulk upload is useless if the call
+    /// cannot ref it afterwards).
+    fn bulk_enabled(&self) -> bool {
+        self.options.streams >= 1
+            && self.options.arg_cache
+            && self.addr.is_some()
+            && self.cache_key.is_some()
+    }
+
+    /// Pre-ship large arguments this destination does not hold yet as
+    /// chunks over parallel bulk streams, so `encode_args` refs them and
+    /// the Invoke itself stays small. A failed upload is absorbed: the
+    /// value simply ships inline with the call (at-most-one transfer of
+    /// the bytes either way — the digest is only remembered on success).
+    fn bulk_preship(&mut self, values: &[Value]) {
+        if !self.bulk_enabled() {
+            return;
+        }
+        let (addr, key) = (self.addr.clone().unwrap(), self.cache_key.clone().unwrap());
+        for v in values {
+            if !ninf_protocol::cacheable(v) {
+                continue;
+            }
+            let image = ninf_protocol::value_image(v);
+            if image.len() < ninf_protocol::CHUNK_THRESHOLD {
+                continue;
+            }
+            let digest = ninf_protocol::Digest::of(&image);
+            if argmem::knows(&key, &digest) {
+                continue;
+            }
+            match crate::bulk::parallel_put(
+                &addr,
+                digest,
+                &image,
+                self.options.streams,
+                self.options.chunk_bytes,
+                self.options.lane_deadline.or(self.options.deadline),
+                self.options.wan,
+            ) {
+                Ok(report) => {
+                    argmem::remember(&key, digest);
+                    self.bytes_sent += report.bytes as usize;
+                    self.timing.bulk_bytes += report.bytes as usize;
+                    self.timing.bulk_retransmits += report.retransmits;
+                    self.timing.bulk_streams = self.timing.bulk_streams.max(report.streams);
+                }
+                Err(_) => {
+                    // Fall through: encode_args will ship it inline.
+                }
+            }
+        }
+    }
+
+    /// Refill the digests a `NeedArg` named over the parallel bulk lanes.
+    /// Returns `true` only if every named value landed (and was
+    /// remembered), so the ref'd request can simply be replayed.
+    fn bulk_refill(&mut self, values: &[Value], digests: &[ninf_protocol::Digest]) -> bool {
+        if !self.bulk_enabled() {
+            return false;
+        }
+        let (addr, key) = (self.addr.clone().unwrap(), self.cache_key.clone().unwrap());
+        for wanted in digests {
+            let Some(image) = values
+                .iter()
+                .filter(|v| ninf_protocol::cacheable(v))
+                .map(ninf_protocol::value_image)
+                .find(|image| ninf_protocol::Digest::of(image) == *wanted)
+            else {
+                return false;
+            };
+            match crate::bulk::parallel_put(
+                &addr,
+                *wanted,
+                &image,
+                self.options.streams,
+                self.options.chunk_bytes,
+                self.options.lane_deadline.or(self.options.deadline),
+                self.options.wan,
+            ) {
+                Ok(report) => {
+                    argmem::remember(&key, *wanted);
+                    self.bytes_sent += report.bytes as usize;
+                    self.timing.bulk_bytes += report.bytes as usize;
+                    self.timing.bulk_retransmits += report.retransmits;
+                    self.timing.bulk_streams = self.timing.bulk_streams.max(report.streams);
+                }
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
     /// Ship one request whose argument list may contain content refs, and
-    /// absorb at most one `NeedArg` round: the named digests are forgotten
-    /// and the full argument list is re-shipped inline. The server executes
-    /// nothing before all refs resolve, so the refill is the call's first
-    /// (and only) execution — exactly-once is preserved. A second `NeedArg`
-    /// for an all-inline request is a protocol violation and surfaces to the
+    /// absorb `NeedArg` rounds: the named digests are forgotten, then
+    /// either re-shipped as parallel chunk uploads (bulk clients — the
+    /// ref'd request is replayed afterwards) or folded inline into a
+    /// re-sent request. The server executes nothing before all refs
+    /// resolve, so the refill round is the call's first (and only)
+    /// execution — exactly-once is preserved. A `NeedArg` for an
+    /// all-inline request is a protocol violation and surfaces to the
     /// caller as an unexpected message.
     fn send_with_refill(
         &mut self,
@@ -343,6 +499,20 @@ impl NinfClient {
         }
         argmem::argref_refilled().add(digests.len() as u64);
         self.timing.args_refilled = digests.len() as u32;
+        if self.bulk_refill(values, &digests) {
+            // The lanes re-primed the server's store; replay the ref'd
+            // request unchanged. A second NeedArg (the server evicted
+            // again already) falls through to the inline path below.
+            let (args, _, _) = self.encode_args(values);
+            self.transport.send(&build(args))?;
+            let reply = self.transport.recv()?;
+            let Message::NeedArg { digests } = reply else {
+                return Ok(reply);
+            };
+            if let Some(key) = self.cache_key.as_deref() {
+                argmem::forget(key, &digests);
+            }
+        }
         self.bytes_sent += payload_bytes;
         self.timing.request_bytes += payload_bytes;
         self.transport.send(&build(Arg::inline(values.to_vec())))?;
@@ -386,7 +556,7 @@ impl NinfClient {
                     .with_detail(format!("addr={addr}")),
             );
         }
-        self.transport = dialed?;
+        self.transport = Self::wrap_wan(&addr, &self.options, dialed?);
         self.transport.set_deadline(self.options.deadline)?;
         Ok(())
     }
@@ -513,6 +683,7 @@ impl NinfClient {
         }
         let payload_bytes = ninf_protocol::request_payload_bytes(&layout);
         self.timing.reply_bytes = 0;
+        self.bulk_preship(args);
 
         // The rpc span's position travels on the wire, so the server parents
         // its own spans inside the client's send→receive interval.
@@ -577,6 +748,7 @@ impl NinfClient {
         let interface = self.query_interface(routine)?.clone();
         let layout = validate_call_args(&interface, args).map_err(ProtocolError::Remote)?;
         let payload_bytes = ninf_protocol::request_payload_bytes(&layout);
+        self.bulk_preship(args);
         let trace = self.call_ctx;
         let routine_name = routine.to_owned();
         let reply =

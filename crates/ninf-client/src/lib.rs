@@ -34,9 +34,11 @@
 //!   metaserver executes independent calls task-parallel, §2.4 / §4.3.1).
 
 pub mod argmem;
+pub mod bulk;
 pub mod client;
 pub mod transaction;
 
+pub use bulk::{parallel_put, UploadReport, DEFAULT_LANE_DEADLINE, MAX_CHUNK_ATTEMPTS};
 pub use client::{
     call_async, call_async_pooled, call_async_traced, call_async_with, call_pooled_traced,
     call_two_phase, call_with_options, call_with_options_traced, ninf_call_url, parse_ninf_url,

@@ -131,6 +131,9 @@ pub(crate) struct Inputs {
     /// arrays are bitwise-stable across calls and clients — exactly the
     /// repeat payload the argument cache collapses to a digest.
     nbody: HashMap<usize, (Vec<f64>, Vec<f64>)>,
+    /// Salt arrays per `(client, seq)` so no call repeats a payload
+    /// (transfer benchmarks; see [`WorkloadSpec::unique_args`]).
+    unique: bool,
 }
 
 impl Inputs {
@@ -153,19 +156,38 @@ impl Inputs {
                 Routine::Ep { .. } => {}
             }
         }
-        Inputs { linpack, nbody }
+        Inputs {
+            linpack,
+            nbody,
+            unique: spec.unique_args,
+        }
     }
 
-    /// Arguments of call number `seq`; the sequence number only feeds the
-    /// per-iteration scalars (N-body's `step`), never the arrays.
-    fn args(&self, routine: Routine, seq: usize) -> Vec<Value> {
+    /// Under `unique_args`, perturb one trailing element so the array's
+    /// digest differs per `(client, seq)` without changing its size or
+    /// the problem's conditioning (the solver never pivots on the last
+    /// entry alone).
+    fn salted(&self, base: &[f64], client: usize, seq: usize) -> Vec<f64> {
+        let mut out = base.to_vec();
+        if self.unique {
+            if let Some(last) = out.last_mut() {
+                *last += 1.0 + (client as f64) * 1_000_003.0 + seq as f64;
+            }
+        }
+        out
+    }
+
+    /// Arguments of call number `seq` from `client`; the indices feed the
+    /// per-iteration scalars (N-body's `step`) and, under `unique_args`,
+    /// the array salt — never the array shapes.
+    fn args(&self, routine: Routine, client: usize, seq: usize) -> Vec<Value> {
         match routine {
             Routine::Linpack { n } => {
                 let (a, b) = &self.linpack[&n];
                 vec![
                     Value::Int(n as i32),
-                    Value::DoubleArray(a.clone()),
-                    Value::DoubleArray(b.clone()),
+                    Value::DoubleArray(self.salted(a, client, seq)),
+                    Value::DoubleArray(self.salted(b, client, seq)),
                 ]
             }
             Routine::Ep { m } => vec![Value::Int(m)],
@@ -174,8 +196,8 @@ impl Inputs {
                 vec![
                     Value::Int(n as i32),
                     Value::Int(seq as i32),
-                    Value::DoubleArray(masses.clone()),
-                    Value::DoubleArray(pos.clone()),
+                    Value::DoubleArray(self.salted(masses, client, seq)),
+                    Value::DoubleArray(self.salted(pos, client, seq)),
                 ]
             }
         }
@@ -311,7 +333,7 @@ fn issue(
     scheduled: f64,
 ) -> CallResult {
     let routine = spec.pick_routine(seed, client, seq);
-    let args = inputs.args(routine, seq);
+    let args = inputs.args(routine, client, seq);
     let t_submit = epoch.elapsed().as_secs_f64();
     let (timing, outcome, trace_id) = match (backend, direct.as_mut()) {
         (_, Some(c)) => {
@@ -509,7 +531,7 @@ fn run_c10k(scenario: &Scenario, clients: usize, seed: u64) -> ProtocolResult<Ru
         max_inflight_per_conn: 32,
         request: Message::Invoke {
             routine: routine.name().into(),
-            args: ninf_protocol::Arg::inline(inputs.args(routine, 0)),
+            args: ninf_protocol::Arg::inline(inputs.args(routine, 0, 0)),
             trace: None,
         },
         drain,

@@ -31,6 +31,7 @@ pub fn scenario_names() -> Vec<&'static str> {
         "lan-c10k",
         "metaserver-ft",
         "wan-iterative",
+        "wan-streams",
     ]
 }
 
@@ -53,6 +54,7 @@ pub fn scenario(name: &str) -> Option<Scenario> {
                 },
                 phases: Phases::none(),
                 calls_per_client: 12,
+                unique_args: false,
                 options: CallOptions::default(),
             },
             target: Target::Spawn {
@@ -79,6 +81,7 @@ pub fn scenario(name: &str) -> Option<Scenario> {
                     ramp_down: 0.5,
                 },
                 calls_per_client: 0,
+                unique_args: false,
                 options: CallOptions {
                     deadline: Some(Duration::from_secs(5)),
                     ..CallOptions::default()
@@ -110,6 +113,7 @@ pub fn scenario(name: &str) -> Option<Scenario> {
                     ramp_down: 0.0,
                 },
                 calls_per_client: 0,
+                unique_args: false,
                 options: CallOptions {
                     deadline: Some(Duration::from_secs(10)),
                     ..CallOptions::default()
@@ -143,6 +147,7 @@ pub fn scenario(name: &str) -> Option<Scenario> {
                 },
                 phases: Phases::none(),
                 calls_per_client: 10,
+                unique_args: false,
                 options: CallOptions {
                     deadline: Some(Duration::from_secs(5)),
                     retries: 2,
@@ -172,8 +177,49 @@ pub fn scenario(name: &str) -> Option<Scenario> {
                 },
                 phases: Phases::none(),
                 calls_per_client: 16,
+                unique_args: false,
                 options: CallOptions {
                     deadline: Some(Duration::from_secs(30)),
+                    ..CallOptions::default()
+                },
+            },
+            target: Target::Spawn {
+                pes: 2,
+                policy: SchedPolicy::Fcfs,
+                core: ServerCore::default(),
+            },
+        }),
+        // The GridFTP-shaped parallel-stream rig: every call ships a fresh
+        // (salted, so never cached) 512 KiB Linpack matrix, pre-shipped as
+        // chunks over `options.streams` bulk lanes. Sweep the stream count
+        // with `ninf-load --streams 1,2,4,8,16 --wan <spec>` to measure
+        // goodput-vs-N on a shaped link: goodput rises while lanes pipeline
+        // through each other's propagation gaps, knees when the link
+        // saturates, and degrades at high N as the congestion term drives
+        // up the effective loss rate.
+        "wan-streams" => Some(Scenario {
+            name: "wan-streams",
+            about: "parallel-stream bulk upload of unique 512 KiB matrices over a shaped link",
+            spec: WorkloadSpec {
+                mix: vec![MixEntry {
+                    routine: Routine::Linpack { n: 256 },
+                    weight: 1,
+                }],
+                arrival: Arrival::Closed {
+                    think: Duration::ZERO,
+                },
+                phases: Phases::none(),
+                calls_per_client: 6,
+                unique_args: true,
+                options: CallOptions {
+                    deadline: Some(Duration::from_secs(60)),
+                    // Loss recovery budget per chunk, not per call: a few
+                    // shaped round trips (worst case ~86 ms with 16 lanes
+                    // queued on a 4 MB/s link), so a lost 16 KiB chunk
+                    // stalls its lane for ~0.15 s instead of the whole
+                    // call deadline.
+                    lane_deadline: Some(Duration::from_millis(150)),
+                    streams: 4,
                     ..CallOptions::default()
                 },
             },

@@ -145,6 +145,12 @@ pub struct WorkloadSpec {
     /// Closed-loop call budget per client (open loop derives its count from
     /// the schedule instead).
     pub calls_per_client: usize,
+    /// Salt every array argument with the `(client, seq)` pair so no two
+    /// calls ever ship byte-identical payloads. This defeats the argument
+    /// cache *by construction* — exactly what a transfer benchmark wants:
+    /// with repeats collapsed to digests, only the first call would
+    /// measure the network.
+    pub unique_args: bool,
     /// Reliability policy each live client runs under.
     pub options: CallOptions,
 }
@@ -293,6 +299,7 @@ mod tests {
                 ramp_down: 1.0,
             },
             calls_per_client: 0,
+            unique_args: false,
             options: CallOptions::default(),
         }
     }

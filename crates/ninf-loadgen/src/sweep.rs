@@ -921,6 +921,7 @@ mod tests {
                     ramp_down: 0.0,
                 },
                 calls_per_client: 0,
+                unique_args: false,
                 options: CallOptions {
                     deadline: Some(Duration::from_secs(5)),
                     ..CallOptions::default()

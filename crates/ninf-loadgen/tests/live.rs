@@ -26,6 +26,7 @@ fn small_linpack(calls_per_client: usize, n: usize) -> Scenario {
             },
             phases: Phases::none(),
             calls_per_client,
+            unique_args: false,
             options: CallOptions::default(),
         },
         target: Target::Spawn {
@@ -112,6 +113,7 @@ fn open_loop_run_is_schedule_faithful_and_seed_reproducible() {
                 ramp_down: 0.2,
             },
             calls_per_client: 0,
+            unique_args: false,
             options: CallOptions::default(),
         },
         target: Target::Spawn {

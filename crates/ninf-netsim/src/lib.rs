@@ -17,7 +17,11 @@
 //!   helpers to build the paper's LAN, single-site WAN, and 4-site WAN
 //!   configurations;
 //! * [`rng`] — a small deterministic SplitMix64 generator for client arrival
-//!   processes (no OS entropy ever enters a simulation).
+//!   processes (no OS entropy ever enters a simulation);
+//! * [`wan`] — the simulator mirror of `ninf-protocol`'s live WAN shaping:
+//!   the same link spec and loss schedule, with chunked parallel-stream
+//!   uploads simulated as fluid flows to predict the goodput-vs-streams
+//!   curve the live `wan-streams` benchmark measures.
 //!
 //! Time is `f64` seconds; determinism comes from the engine's sequence-number
 //! tie-break, not from quantizing time.
@@ -26,11 +30,13 @@ pub mod engine;
 pub mod fluid;
 pub mod rng;
 pub mod topology;
+pub mod wan;
 
 pub use engine::{Engine, EventEntry};
 pub use fluid::{FlowId, FlowSpec, FluidNet};
 pub use rng::SplitMix64;
 pub use topology::{LinkId, NodeId, Topology};
+pub use wan::{goodput_curve, simulate_upload, WanRun, WanSpec, CHUNK_WIRE_OVERHEAD};
 
 #[cfg(test)]
 mod tests {

@@ -69,12 +69,19 @@ fn mix64(bytes: &[u8]) -> u64 {
     finalize(h)
 }
 
+/// Full tagged XDR image of one value: the exact byte stream chunked bulk
+/// uploads ship and [`digest_value`] hashes, so a reassembled upload can be
+/// verified end-to-end against the digest that named it.
+pub fn value_image(v: &Value) -> ninf_xdr::Bytes {
+    let mut enc = ninf_xdr::XdrEncoder::new();
+    v.put(&mut enc);
+    enc.finish()
+}
+
 /// Digest of one argument value, over its full tagged XDR image (the tag
 /// keeps an `IntArray` and a `FloatArray` with identical bytes distinct).
 pub fn digest_value(v: &Value) -> Digest {
-    let mut enc = ninf_xdr::XdrEncoder::new();
-    v.put(&mut enc);
-    Digest::of(&enc.finish())
+    Digest::of(&value_image(v))
 }
 
 /// Whether an argument is worth caching at all: a flat array whose XDR

@@ -25,6 +25,7 @@
 //! real TCP ([`transport::TcpTransport`]) and an in-process channel pair
 //! ([`transport::ChannelTransport`]) for tests and benchmarks.
 
+pub mod chunk;
 pub mod codec;
 pub mod crc;
 pub mod digest;
@@ -33,12 +34,17 @@ pub mod fault;
 pub mod frame;
 pub mod marshal;
 pub mod message;
+pub mod shape;
 pub mod transport;
 pub mod value;
 
+pub use chunk::{
+    chunk_count, chunk_span, split as split_chunks, ChunkError, Reassembly, CHUNK_THRESHOLD,
+    DEFAULT_CHUNK_BYTES,
+};
 pub use codec::Wire;
 pub use crc::{crc32c, Crc32c};
-pub use digest::{cacheable, digest_value, Digest, ARG_CACHE_MIN_BYTES};
+pub use digest::{cacheable, digest_value, value_image, Digest, ARG_CACHE_MIN_BYTES};
 pub use error::{ProtocolError, ProtocolResult};
 pub use fault::{
     fault_schedule, planned_fault, FaultHistory, FaultKind, FaultPlan, FaultStats, FaultyTransport,
@@ -53,5 +59,9 @@ pub use marshal::{
 };
 pub use message::{Arg, CallStat, JobPhase, LoadReport, Message};
 pub use ninf_obs::{MetricFrame, MetricKind, MetricSample, Span, TraceContext, WindowsSnapshot};
+pub use shape::{
+    eff_loss_ppm, link_for, planned_shape, shape_fingerprint, shape_schedule, LinkShape, ShapeKind,
+    ShapeStats, ShapedTransport, SharedLink,
+};
 pub use transport::{ChannelTransport, TcpTransport, Transport};
 pub use value::Value;

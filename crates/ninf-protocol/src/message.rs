@@ -376,6 +376,36 @@ pub enum Message {
         /// Retained frames from the cursor onward, oldest first.
         frames: Vec<MetricFrame>,
     },
+    /// One chunk of a parallel-stream bulk upload (WAN path): a slice of
+    /// a large value's tagged XDR image, addressed by the *whole value's*
+    /// content digest so reassembly lands directly in the arg store and a
+    /// later [`Message::Invoke`] references it as [`Arg::Ref`]. Chunks
+    /// fan out over N mux streams; each carries its own CRC so a corrupt
+    /// chunk is rejected individually instead of poisoning the upload.
+    PutArgChunk {
+        /// Digest of the complete value image (the arg-store key).
+        digest: Digest,
+        /// Total image length in bytes — every chunk repeats it so any
+        /// one chunk pins the geometry the rest must agree with.
+        total_bytes: u64,
+        /// Total number of chunks in the upload.
+        total: u32,
+        /// This chunk's 0-based sequence number.
+        seq: u32,
+        /// CRC-32C of this chunk's `bytes`.
+        crc: u32,
+        /// The image slice: bytes `[seq·ceil(total_bytes/total), …)`.
+        bytes: Vec<u8>,
+    },
+    /// Per-chunk ack for [`Message::PutArgChunk`]. The final chunk's ack
+    /// is sent only after the full image reassembled, verified against
+    /// `digest`, and landed in the arg store.
+    ChunkOk {
+        /// Upload being acked.
+        digest: Digest,
+        /// Chunk being acked.
+        seq: u32,
+    },
 }
 
 /// Lifecycle state of a two-phase job.
@@ -443,6 +473,8 @@ const TAG_TRACE_REPLY: u32 = 20;
 const TAG_NEED_ARG: u32 = 21;
 const TAG_QUERY_METRICS: u32 = 22;
 const TAG_METRICS_REPLY: u32 = 23;
+const TAG_PUT_ARG_CHUNK: u32 = 24;
+const TAG_CHUNK_OK: u32 = 25;
 
 impl_message_codec! {
     units {
@@ -473,6 +505,8 @@ impl_message_codec! {
         NeedArg = TAG_NEED_ARG => { digests },
         QueryMetrics = TAG_QUERY_METRICS => { since },
         MetricsReply = TAG_METRICS_REPLY => { process, now, interval, total, dropped, frames },
+        PutArgChunk = TAG_PUT_ARG_CHUNK => { digest, total_bytes, total, seq, crc, bytes },
+        ChunkOk = TAG_CHUNK_OK => { digest, seq },
     }
 }
 
@@ -923,6 +957,28 @@ mod tests {
             dropped: 0,
             frames: vec![],
         });
+    }
+
+    #[test]
+    fn roundtrip_chunk_messages() {
+        let d = Digest { hi: 7, lo: 9 };
+        roundtrip(Message::PutArgChunk {
+            digest: d,
+            total_bytes: 1 << 20,
+            total: 64,
+            seq: 63,
+            crc: 0xdead_beef,
+            bytes: vec![0xAB; 1021], // non-multiple of 4: exercises opaque padding
+        });
+        roundtrip(Message::PutArgChunk {
+            digest: d,
+            total_bytes: 1,
+            total: 1,
+            seq: 0,
+            crc: 1,
+            bytes: vec![0x42],
+        });
+        roundtrip(Message::ChunkOk { digest: d, seq: 0 });
     }
 
     #[test]

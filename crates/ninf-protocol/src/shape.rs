@@ -1,0 +1,692 @@
+//! Deterministic WAN link shaping for transports.
+//!
+//! [`ShapedTransport`] wraps any [`Transport`] the same way
+//! [`FaultyTransport`](crate::fault::FaultyTransport) does and imposes a
+//! wide-area link on the send path: a token-bucket bandwidth cap (frames
+//! queue FIFO through a shared bottleneck), a fixed one-way propagation
+//! delay, and seeded random loss whose effective rate grows with the
+//! number of concurrent lanes sharing the link (the congestion term —
+//! the mechanism behind the GridFTP high-N collapse). Receives pass
+//! through untouched: shaping one direction of a request/reply pair
+//! already serializes the conversation through the link.
+//!
+//! **Determinism contract**: whether send operation `k` on lane `l` is
+//! lost is a pure function of `(shape.seed, l, k, lanes)` — see
+//! [`planned_shape`] / [`shape_schedule`] / [`shape_fingerprint`]. Lanes
+//! are caller-assigned (a parallel-stream uploader gives worker `w` lane
+//! `w`), so two runs with the same shape replay the same loss schedule
+//! however threads interleave. Only the *effective* loss rate depends on
+//! the live lane count; with `congestion_ppm = 0` the schedule is
+//! independent of it, which is what the chaos harness pins.
+//!
+//! The same shape drives the simulator's WAN model
+//! (`ninf-netsim::wan`), so live shaped runs and FluidNet predictions
+//! share one link spec; `docs/MODEL.md` §"WAN shaping" records the
+//! event mapping.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::error::ProtocolResult;
+use crate::frame::FRAME_HEADER_BYTES;
+use crate::message::Message;
+use crate::transport::Transport;
+
+/// One wide-area link's shape. All-integer so specs hash and compare
+/// exactly (it rides inside `CallOptions`, which is `Copy + Eq`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkShape {
+    /// Bottleneck capacity in bytes/second; `0` means uncapped.
+    pub bytes_per_sec: u64,
+    /// One-way propagation delay in microseconds.
+    pub delay_us: u64,
+    /// Baseline loss rate in parts per million of send operations.
+    pub loss_ppm: u32,
+    /// Extra loss per *additional* concurrent lane, in ppm — models
+    /// self-congestion: effective loss is
+    /// `loss_ppm + congestion_ppm * (lanes - 1)`.
+    pub congestion_ppm: u32,
+    /// RNG seed; identical seeds replay identical loss schedules.
+    pub seed: u64,
+}
+
+impl Default for LinkShape {
+    fn default() -> Self {
+        Self {
+            bytes_per_sec: 0,
+            delay_us: 0,
+            loss_ppm: 0,
+            congestion_ppm: 0,
+            seed: 1,
+        }
+    }
+}
+
+/// Effective loss never exceeds this, so a congested link stays lossy
+/// rather than becoming a black hole.
+const MAX_EFF_LOSS_PPM: u64 = 950_000;
+
+/// Effective loss rate in ppm when `lanes` lanes share the link.
+pub fn eff_loss_ppm(shape: &LinkShape, lanes: u32) -> u32 {
+    let extra = shape.congestion_ppm as u64 * lanes.saturating_sub(1) as u64;
+    (shape.loss_ppm as u64 + extra).min(MAX_EFF_LOSS_PPM) as u32
+}
+
+impl LinkShape {
+    /// Parse a spec string: comma-separated `key=value` pairs.
+    ///
+    /// ```text
+    /// bw=4m,delay=20ms,loss=0.01,congestion=0.015,seed=1997
+    /// ```
+    ///
+    /// `bw` takes bytes/second with optional `k`/`m`/`g` (decimal)
+    /// suffix, `0` = uncapped. `delay` takes `us`/`ms`/`s` (bare numbers
+    /// are microseconds). `loss` and `congestion` take a fraction
+    /// (`0.01`) or explicit `ppm` (`10000ppm`). Omitted keys keep their
+    /// defaults. [`LinkShape`]'s `Display` emits a canonical spec that
+    /// parses back to the identical shape.
+    pub fn parse(spec: &str) -> Result<LinkShape, String> {
+        let mut shape = LinkShape::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("wan spec: `{part}` is not key=value"))?;
+            match key.trim() {
+                "bw" => shape.bytes_per_sec = parse_bytes(value.trim())?,
+                "delay" => shape.delay_us = parse_duration_us(value.trim())?,
+                "loss" => shape.loss_ppm = parse_ppm(value.trim())?,
+                "congestion" => shape.congestion_ppm = parse_ppm(value.trim())?,
+                "seed" => {
+                    shape.seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("wan spec: bad seed `{value}`"))?
+                }
+                other => return Err(format!("wan spec: unknown key `{other}`")),
+            }
+        }
+        Ok(shape)
+    }
+}
+
+impl std::fmt::Display for LinkShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bw={},delay={}us,loss={}ppm,congestion={}ppm,seed={}",
+            self.bytes_per_sec, self.delay_us, self.loss_ppm, self.congestion_ppm, self.seed
+        )
+    }
+}
+
+fn parse_bytes(v: &str) -> Result<u64, String> {
+    let (digits, mult) = match v.as_bytes().last() {
+        Some(b'k') | Some(b'K') => (&v[..v.len() - 1], 1_000u64),
+        Some(b'm') | Some(b'M') => (&v[..v.len() - 1], 1_000_000),
+        Some(b'g') | Some(b'G') => (&v[..v.len() - 1], 1_000_000_000),
+        _ => (v, 1),
+    };
+    let n: f64 = digits
+        .parse()
+        .map_err(|_| format!("wan spec: bad bandwidth `{v}`"))?;
+    if n < 0.0 || !n.is_finite() {
+        return Err(format!("wan spec: bad bandwidth `{v}`"));
+    }
+    Ok((n * mult as f64).round() as u64)
+}
+
+fn parse_duration_us(v: &str) -> Result<u64, String> {
+    let (digits, mult) = if let Some(d) = v.strip_suffix("ms") {
+        (d, 1_000u64)
+    } else if let Some(d) = v.strip_suffix("us") {
+        (d, 1)
+    } else if let Some(d) = v.strip_suffix('s') {
+        (d, 1_000_000)
+    } else {
+        (v, 1)
+    };
+    let n: f64 = digits
+        .parse()
+        .map_err(|_| format!("wan spec: bad delay `{v}`"))?;
+    if n < 0.0 || !n.is_finite() {
+        return Err(format!("wan spec: bad delay `{v}`"));
+    }
+    Ok((n * mult as f64).round() as u64)
+}
+
+fn parse_ppm(v: &str) -> Result<u32, String> {
+    if let Some(d) = v.strip_suffix("ppm") {
+        return d.parse().map_err(|_| format!("wan spec: bad ppm `{v}`"));
+    }
+    let f: f64 = v
+        .parse()
+        .map_err(|_| format!("wan spec: bad loss fraction `{v}`"))?;
+    if !(0.0..=1.0).contains(&f) {
+        return Err(format!("wan spec: loss fraction `{v}` outside [0, 1]"));
+    }
+    Ok((f * 1_000_000.0).round() as u32)
+}
+
+/// The shared bottleneck all lanes to one destination contend on. Frames
+/// queue FIFO: each send reserves the next free transmission slot
+/// (`len / bytes_per_sec` long), so N lanes collectively never exceed the
+/// cap, while a single stop-and-wait lane leaves the link idle during
+/// its propagation-delay waits — the headroom parallel streams harvest.
+#[derive(Debug)]
+pub struct SharedLink {
+    shape: LinkShape,
+    /// When the link next becomes free, relative to `epoch`.
+    next_free: Mutex<Duration>,
+    epoch: Instant,
+    lanes: AtomicU32,
+}
+
+impl SharedLink {
+    /// A fresh link with no lanes attached.
+    pub fn new(shape: LinkShape) -> Self {
+        Self {
+            shape,
+            next_free: Mutex::new(Duration::ZERO),
+            epoch: Instant::now(),
+            lanes: AtomicU32::new(0),
+        }
+    }
+
+    /// The shape this link was built from.
+    pub fn shape(&self) -> LinkShape {
+        self.shape
+    }
+
+    /// Lanes currently attached.
+    pub fn lanes(&self) -> u32 {
+        self.lanes.load(Ordering::Relaxed)
+    }
+
+    /// Serialize `len` bytes through the bottleneck: reserve the next
+    /// free slot and return when the last byte has left the link. The
+    /// propagation delay is *not* included — callers add it only for
+    /// frames that actually arrive.
+    pub fn transmit(&self, len: usize) {
+        if self.shape.bytes_per_sec == 0 {
+            return;
+        }
+        let tx = Duration::from_nanos(
+            (len as u128 * 1_000_000_000 / self.shape.bytes_per_sec as u128) as u64,
+        );
+        let done = {
+            let mut free = self.next_free.lock().unwrap_or_else(|e| e.into_inner());
+            let now = self.epoch.elapsed();
+            let start = (*free).max(now);
+            *free = start + tx;
+            *free
+        };
+        let now = self.epoch.elapsed();
+        if done > now {
+            std::thread::sleep(done - now);
+        }
+    }
+}
+
+/// Process-global link registry: every lane that names the same
+/// `(key, shape)` shares one [`SharedLink`], so parallel streams from
+/// one process to one destination contend on a single bottleneck the
+/// way they would on a real WAN path.
+pub fn link_for(key: &str, shape: LinkShape) -> Arc<SharedLink> {
+    type LinkMap = HashMap<(String, LinkShape), Arc<SharedLink>>;
+    static LINKS: OnceLock<Mutex<LinkMap>> = OnceLock::new();
+    let links = LINKS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = links.lock().unwrap_or_else(|e| e.into_inner());
+    map.entry((key.to_string(), shape))
+        .or_insert_with(|| Arc::new(SharedLink::new(shape)))
+        .clone()
+}
+
+/// What the link did (or [`planned_shape`] says it will do) to one send
+/// operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeKind {
+    /// Transmitted, delayed by propagation, delivered.
+    Forward,
+    /// Transmitted (link time consumed) but lost downstream.
+    Lose,
+}
+
+impl ShapeKind {
+    /// Short stable label, used in schedules and fingerprints.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShapeKind::Forward => "forward",
+            ShapeKind::Lose => "lose",
+        }
+    }
+}
+
+/// Same SplitMix64 as `fault.rs` and the simulator (`ninf-netsim` sits
+/// above this crate, so the generator is duplicated rather than
+/// inverting the dependency).
+#[derive(Debug, Clone, Copy)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Dedicated sub-stream for operation `op` on lane `lane` under `seed`:
+/// one draw per operation, so no operation's outcome can shift another's.
+fn lane_op_stream(seed: u64, lane: u32, op: u64) -> SplitMix64 {
+    SplitMix64(
+        seed ^ (lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ op.wrapping_mul(0xA076_1D64_78BD_642F),
+    )
+}
+
+/// Whether send operation `op` (0-based) on lane `lane` is lost when
+/// `lanes` lanes share the link — a pure function, usable without any
+/// transport. A [`ShapedTransport`] on the same lane of a link with the
+/// same live lane count takes exactly this outcome on its `op`-th send.
+pub fn planned_shape(shape: &LinkShape, lane: u32, lanes: u32, op: u64) -> ShapeKind {
+    let draw = lane_op_stream(shape.seed, lane, op).next_u64() % 1_000_000;
+    if draw < eff_loss_ppm(shape, lanes) as u64 {
+        ShapeKind::Lose
+    } else {
+        ShapeKind::Forward
+    }
+}
+
+/// The first `ops` loss decisions for `lane` under `shape` with `lanes`
+/// concurrent lanes, precomputed. Two calls with the same arguments
+/// return identical schedules.
+pub fn shape_schedule(shape: &LinkShape, lane: u32, lanes: u32, ops: u64) -> Vec<ShapeKind> {
+    (0..ops)
+        .map(|op| planned_shape(shape, lane, lanes, op))
+        .collect()
+}
+
+/// FNV-1a fingerprint of a lane's planned schedule, prefixed by the
+/// canonical spec string — the "what will the WAN do" artifact a
+/// transcript pins before a single byte moves.
+pub fn shape_fingerprint(shape: &LinkShape, lane: u32, lanes: u32, ops: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(shape.to_string().as_bytes());
+    eat(b"#");
+    for kind in shape_schedule(shape, lane, lanes, ops) {
+        eat(kind.label().as_bytes());
+        eat(b";");
+    }
+    h
+}
+
+/// Counters of what the link did to this lane's sends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShapeStats {
+    /// Sends delivered to the inner transport.
+    pub forwarded: u64,
+    /// Sends lost downstream (link time still consumed).
+    pub lost: u64,
+    /// Payload bytes paced through the link (lost sends included).
+    pub bytes: u64,
+}
+
+/// A transport wrapper that imposes a [`LinkShape`] on the send path:
+/// every outgoing frame queues through the lane's [`SharedLink`]
+/// bottleneck, then either arrives after the propagation delay or is
+/// lost per the lane's seeded schedule. Receives pass through untouched.
+pub struct ShapedTransport<T: Transport> {
+    inner: T,
+    link: Arc<SharedLink>,
+    lane: u32,
+    op: u64,
+    stats: ShapeStats,
+}
+
+impl<T: Transport> ShapedTransport<T> {
+    /// Wrap `inner` as lane `lane` of `link`. Lane numbers are
+    /// caller-assigned so schedules stay deterministic however threads
+    /// race; a parallel uploader gives worker `w` lane `w`.
+    pub fn new(inner: T, link: Arc<SharedLink>, lane: u32) -> Self {
+        link.lanes.fetch_add(1, Ordering::Relaxed);
+        Self {
+            inner,
+            link,
+            lane,
+            op: 0,
+            stats: ShapeStats::default(),
+        }
+    }
+
+    /// Wrap `inner` on a private single-lane link of `shape` — the
+    /// simple case for shaping one client connection.
+    pub fn private(inner: T, shape: LinkShape) -> Self {
+        Self::new(inner, Arc::new(SharedLink::new(shape)), 0)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ShapeStats {
+        self.stats
+    }
+
+    /// The lane number this transport registered as.
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// Pace `len` bytes through the link; returns whether the frame
+    /// survives (and sleeps the propagation delay if it does).
+    fn shape_send(&mut self, len: usize) -> ShapeKind {
+        let shape = self.link.shape();
+        let lanes = self.link.lanes().max(1);
+        let kind = planned_shape(&shape, self.lane, lanes, self.op);
+        self.op += 1;
+        self.link.transmit(len);
+        self.stats.bytes += len as u64;
+        match kind {
+            ShapeKind::Forward => {
+                if shape.delay_us > 0 {
+                    std::thread::sleep(Duration::from_micros(shape.delay_us));
+                }
+                self.stats.forwarded += 1;
+            }
+            ShapeKind::Lose => self.stats.lost += 1,
+        }
+        kind
+    }
+}
+
+impl<T: Transport> Drop for ShapedTransport<T> {
+    fn drop(&mut self) {
+        self.link.lanes.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl<T: Transport> Transport for ShapedTransport<T> {
+    fn send(&mut self, msg: &Message) -> ProtocolResult<()> {
+        let len = FRAME_HEADER_BYTES + msg.encode().len();
+        match self.shape_send(len) {
+            ShapeKind::Forward => self.inner.send(msg),
+            // Lost on the wire: the peer sees nothing. Pretend success so
+            // the caller proceeds to its read — where the deadline decides.
+            ShapeKind::Lose => Ok(()),
+        }
+    }
+
+    fn recv(&mut self) -> ProtocolResult<Message> {
+        self.inner.recv()
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> ProtocolResult<bool> {
+        self.inner.set_deadline(deadline)
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> ProtocolResult<()> {
+        match self.shape_send(bytes.len()) {
+            ShapeKind::Forward => self.inner.send_raw(bytes),
+            ShapeKind::Lose => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ProtocolError;
+    use crate::transport::ChannelTransport;
+    use crate::Value;
+
+    /// Discards everything; for schedule/pacing tests that never read
+    /// the peer side.
+    struct Sink;
+
+    impl Transport for Sink {
+        fn send(&mut self, _msg: &Message) -> ProtocolResult<()> {
+            Ok(())
+        }
+        fn recv(&mut self) -> ProtocolResult<Message> {
+            Err(ProtocolError::Disconnected)
+        }
+        fn send_raw(&mut self, _bytes: &[u8]) -> ProtocolResult<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn spec_grammar_parses_and_round_trips() {
+        let shape = LinkShape::parse("bw=4m,delay=20ms,loss=0.01,congestion=0.015,seed=1997")
+            .expect("spec parses");
+        assert_eq!(
+            shape,
+            LinkShape {
+                bytes_per_sec: 4_000_000,
+                delay_us: 20_000,
+                loss_ppm: 10_000,
+                congestion_ppm: 15_000,
+                seed: 1997,
+            }
+        );
+        // Display emits the canonical form, which parses back identically.
+        let reparsed = LinkShape::parse(&shape.to_string()).expect("canonical form parses");
+        assert_eq!(reparsed, shape);
+        // Suffix variants and defaults.
+        assert_eq!(LinkShape::parse("bw=512k").unwrap().bytes_per_sec, 512_000);
+        assert_eq!(LinkShape::parse("delay=250us").unwrap().delay_us, 250);
+        assert_eq!(LinkShape::parse("delay=1s").unwrap().delay_us, 1_000_000);
+        assert_eq!(LinkShape::parse("loss=2500ppm").unwrap().loss_ppm, 2_500);
+        assert_eq!(LinkShape::parse("").unwrap(), LinkShape::default());
+    }
+
+    #[test]
+    fn spec_grammar_rejects_nonsense() {
+        assert!(LinkShape::parse("bw").is_err());
+        assert!(LinkShape::parse("warp=9").is_err());
+        assert!(LinkShape::parse("bw=fast").is_err());
+        assert!(LinkShape::parse("loss=1.5").is_err());
+        assert!(LinkShape::parse("delay=soon").is_err());
+        assert!(LinkShape::parse("seed=minus-one").is_err());
+    }
+
+    #[test]
+    fn bandwidth_cap_paces_sends() {
+        // 1 MB/s cap, ~32 KiB frames: each send must hold the link
+        // ~32 ms; four sends ≥ ~120 ms.
+        let shape = LinkShape {
+            bytes_per_sec: 1_000_000,
+            ..LinkShape::default()
+        };
+        let msg = Message::ResultData {
+            results: vec![Value::DoubleArray(vec![1.0; 4096])],
+        };
+        let mut shaped = ShapedTransport::private(Sink, shape);
+        let start = Instant::now();
+        for _ in 0..4 {
+            shaped.send(&msg).unwrap();
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(120),
+            "4 × ~32 KiB at 1 MB/s finished in {:?}",
+            start.elapsed()
+        );
+        assert_eq!(shaped.stats().forwarded, 4);
+    }
+
+    #[test]
+    fn propagation_delay_holds_each_send() {
+        let shape = LinkShape {
+            delay_us: 15_000,
+            ..LinkShape::default()
+        };
+        let (a, mut b) = ChannelTransport::pair();
+        let mut shaped = ShapedTransport::private(a, shape);
+        let start = Instant::now();
+        shaped.send(&Message::QueryLoad).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(15));
+        assert_eq!(b.recv().unwrap(), Message::QueryLoad);
+    }
+
+    #[test]
+    fn lost_sends_never_arrive_but_consume_link_time() {
+        let shape = LinkShape {
+            bytes_per_sec: 1_000_000,
+            loss_ppm: 1_000_000,
+            ..LinkShape::default()
+        };
+        let (a, mut b) = ChannelTransport::pair();
+        let mut shaped = ShapedTransport::private(a, shape);
+        let msg = Message::ResultData {
+            results: vec![Value::DoubleArray(vec![1.0; 4096])],
+        };
+        let start = Instant::now();
+        shaped.send(&msg).unwrap();
+        // The link was still held for the transmission time…
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        assert_eq!(shaped.stats().lost, 1);
+        // …but the peer sees silence; its deadline governs recovery.
+        b.set_deadline(Some(Duration::from_millis(20))).unwrap();
+        assert!(b.recv().unwrap_err().is_timeout());
+    }
+
+    #[test]
+    fn lanes_share_one_bottleneck() {
+        let shape = LinkShape {
+            bytes_per_sec: 1_000_000,
+            ..LinkShape::default()
+        };
+        let link = Arc::new(SharedLink::new(shape));
+        let msg = Message::ResultData {
+            results: vec![Value::DoubleArray(vec![1.0; 4096])],
+        };
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for lane in 0..2 {
+                let link = link.clone();
+                let msg = &msg;
+                s.spawn(move || {
+                    let mut shaped = ShapedTransport::new(Sink, link, lane);
+                    for _ in 0..2 {
+                        shaped.send(msg).unwrap();
+                    }
+                });
+            }
+        });
+        // 4 × ~32 KiB total must serialize through the shared cap even
+        // though two lanes sent concurrently.
+        assert!(
+            start.elapsed() >= Duration::from_millis(120),
+            "shared link let lanes overlap: {:?}",
+            start.elapsed()
+        );
+        assert_eq!(link.lanes(), 0, "lanes deregister on drop");
+    }
+
+    #[test]
+    fn registry_shares_links_by_key_and_shape() {
+        let shape = LinkShape {
+            bytes_per_sec: 77,
+            seed: 41,
+            ..LinkShape::default()
+        };
+        let a = link_for("10.0.0.1:7999", shape);
+        let b = link_for("10.0.0.1:7999", shape);
+        let c = link_for("10.0.0.2:7999", shape);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn congestion_raises_effective_loss_with_lane_count() {
+        let shape = LinkShape {
+            loss_ppm: 10_000,
+            congestion_ppm: 15_000,
+            ..LinkShape::default()
+        };
+        assert_eq!(eff_loss_ppm(&shape, 1), 10_000);
+        assert_eq!(eff_loss_ppm(&shape, 4), 55_000);
+        assert_eq!(eff_loss_ppm(&shape, 16), 235_000);
+        // Capped: the link never becomes a pure black hole.
+        let flood = LinkShape {
+            congestion_ppm: 1_000_000,
+            ..shape
+        };
+        assert_eq!(eff_loss_ppm(&flood, 1000), MAX_EFF_LOSS_PPM as u32);
+    }
+
+    #[test]
+    fn transport_history_matches_planned_schedule() {
+        let shape = LinkShape {
+            loss_ppm: 300_000,
+            seed: 31,
+            ..LinkShape::default()
+        };
+        let mut shaped = ShapedTransport::private(Sink, shape);
+        let mut observed = Vec::new();
+        for op in 0..64 {
+            let before = shaped.stats();
+            shaped.send(&Message::QueryLoad).unwrap();
+            observed.push(if shaped.stats().lost > before.lost {
+                ShapeKind::Lose
+            } else {
+                ShapeKind::Forward
+            });
+            let _ = op;
+        }
+        assert_eq!(observed, shape_schedule(&shape, 0, 1, 64));
+        assert!(observed.contains(&ShapeKind::Lose));
+        assert!(observed.contains(&ShapeKind::Forward));
+    }
+
+    #[test]
+    fn lanes_draw_decorrelated_schedules() {
+        let shape = LinkShape {
+            loss_ppm: 400_000,
+            seed: 7,
+            ..LinkShape::default()
+        };
+        let lane0 = shape_schedule(&shape, 0, 4, 256);
+        let lane1 = shape_schedule(&shape, 1, 4, 256);
+        assert_ne!(lane0, lane1, "lanes must not share one loss stream");
+        // Same (shape, lane, lanes) always replays identically.
+        assert_eq!(lane0, shape_schedule(&shape, 0, 4, 256));
+    }
+
+    /// Regression (satellite): the planned delay/loss schedule for a
+    /// given (spec, seed) is pinned by fingerprint — any change to the
+    /// spec grammar, the lane sub-stream derivation, or the loss draw
+    /// shows up here as a changed constant, never silently.
+    #[test]
+    fn shape_fingerprint_is_pinned() {
+        let shape = LinkShape::parse("bw=4m,delay=20ms,loss=0.01,congestion=0.015,seed=1997")
+            .expect("spec parses");
+        let fp = shape_fingerprint(&shape, 0, 1, 256);
+        assert_eq!(fp, shape_fingerprint(&shape, 0, 1, 256));
+        let other_seed = LinkShape {
+            seed: 1998,
+            ..shape
+        };
+        assert_ne!(fp, shape_fingerprint(&other_seed, 0, 1, 256));
+        assert_ne!(fp, shape_fingerprint(&shape, 1, 1, 256));
+        assert_eq!(
+            fp, PINNED_FINGERPRINT,
+            "shaped schedule drifted for the pinned (spec, seed)"
+        );
+    }
+
+    /// Computed once from the implementation above and frozen; see
+    /// `shape_fingerprint_is_pinned`.
+    const PINNED_FINGERPRINT: u64 = 9_753_869_592_768_979_337;
+}

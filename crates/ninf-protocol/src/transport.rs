@@ -38,6 +38,24 @@ pub trait Transport: Send {
     }
 }
 
+/// Boxed transports forward everything, so wrappers generic over
+/// `T: Transport` (fault injection, WAN shaping) also compose over a
+/// type-erased `Box<dyn Transport>`.
+impl Transport for Box<dyn Transport> {
+    fn send(&mut self, msg: &Message) -> ProtocolResult<()> {
+        (**self).send(msg)
+    }
+    fn recv(&mut self) -> ProtocolResult<Message> {
+        (**self).recv()
+    }
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> ProtocolResult<bool> {
+        (**self).set_deadline(deadline)
+    }
+    fn send_raw(&mut self, bytes: &[u8]) -> ProtocolResult<()> {
+        (**self).send_raw(bytes)
+    }
+}
+
 /// Rewrite OS timeout errors into the typed deadline error, leaving
 /// everything else untouched. Both `WouldBlock` and `TimedOut` appear in the
 /// wild for an expired socket timeout (Unix reports `EAGAIN`).

@@ -268,6 +268,30 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     frames,
                 }
             }),
+        (
+            (any::<u64>(), any::<u64>()),
+            proptest::collection::vec(any::<u8>(), 1..512),
+            (1u32..64, any::<u32>()),
+        )
+            .prop_map(|((hi, lo), bytes, (total_scale, seq))| {
+                // Geometry kept self-consistent: the codec round-trips any
+                // field values, but a realistic chunk keeps reviewers honest.
+                let total_bytes = bytes.len() as u64 * total_scale as u64;
+                Message::PutArgChunk {
+                    digest: Digest { hi, lo },
+                    total_bytes,
+                    total: total_scale,
+                    seq: seq % total_scale,
+                    crc: ninf_protocol::crc32c(&bytes),
+                    bytes,
+                }
+            }),
+        ((any::<u64>(), any::<u64>()), any::<u32>()).prop_map(|((hi, lo), seq)| {
+            Message::ChunkOk {
+                digest: Digest { hi, lo },
+                seq,
+            }
+        }),
     ]
 }
 
@@ -299,10 +323,12 @@ fn variant_index(m: &Message) -> usize {
         Message::NeedArg { .. } => 20,
         Message::QueryMetrics { .. } => 21,
         Message::MetricsReply { .. } => 22,
+        Message::PutArgChunk { .. } => 23,
+        Message::ChunkOk { .. } => 24,
     }
 }
 
-const VARIANT_COUNT: usize = 23;
+const VARIANT_COUNT: usize = 25;
 
 /// One concrete witness per variant, used by the exhaustiveness test and
 /// the deterministic truncation test.
@@ -424,6 +450,24 @@ fn sample_messages() -> Vec<Message> {
                     count: 11,
                 }],
             }],
+        },
+        Message::PutArgChunk {
+            digest: Digest {
+                hi: 0xfeed_beef,
+                lo: 0x1234,
+            },
+            total_bytes: 21,
+            total: 3,
+            seq: 2,
+            crc: ninf_protocol::crc32c(&[9, 9, 9, 9, 9, 9, 9]),
+            bytes: vec![9; 7],
+        },
+        Message::ChunkOk {
+            digest: Digest {
+                hi: 0xfeed_beef,
+                lo: 0x1234,
+            },
+            seq: 2,
         },
     ]
 }

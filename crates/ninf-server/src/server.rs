@@ -12,6 +12,7 @@
 //! task-parallel/data-parallel tradeoff and the admission policy behave
 //! exactly as in the paper's server.
 
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -20,9 +21,10 @@ use std::thread::JoinHandle;
 
 use ninf_obs::log::Level;
 use ninf_obs::{logkv, recorder, Counter, Gauge, LogHistogram, MetricsRegistry};
+use ninf_protocol::chunk::{ChunkError, Reassembly};
 use ninf_protocol::{
-    read_frame_mux, write_frame_mux, Arg, Digest, Message, ProtocolError, ProtocolResult, Span,
-    TraceContext, Value,
+    read_frame_mux, write_frame_mux, Arg, Digest, LinkShape, Message, ProtocolError,
+    ProtocolResult, SharedLink, Span, TraceContext, Value, Wire, FRAME_HEADER_BYTES,
 };
 use ninf_reactor::{Handler, Reactor, ReactorConfig, ReactorHandle, ReactorHooks};
 
@@ -70,6 +72,14 @@ pub struct ServerConfig {
     /// ([`crate::argstore::ArgStore`]); 0 disables server-side caching, so
     /// every `Arg::Ref` comes back as `NeedArg`.
     pub arg_cache_bytes: usize,
+    /// Outbound WAN shape: replies pace through one process-wide
+    /// [`SharedLink`] bottleneck plus propagation delay. Loss is
+    /// deliberately *not* applied server-side — a vanished ack would be
+    /// indistinguishable from a vanished chunk, so the lossy direction
+    /// lives in the client's [`ninf_protocol::ShapedTransport`] wrapper.
+    /// Honored by the thread-per-connection core only (the reactor's
+    /// workers must not sleep); `ninfd --wan` enforces `--core threaded`.
+    pub wan: Option<LinkShape>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +90,7 @@ impl Default for ServerConfig {
             policy: SchedPolicy::Fcfs,
             core: ServerCore::default(),
             arg_cache_bytes: DEFAULT_ARG_CACHE_BYTES,
+            wan: None,
         }
     }
 }
@@ -100,6 +111,10 @@ pub struct ServerMetrics {
     argcache_misses: Counter,
     argcache_evictions: Counter,
     argcache_bytes_saved: Counter,
+    chunks: Counter,
+    chunk_rejects: Counter,
+    chunk_uploads: Counter,
+    chunk_bytes: Counter,
 }
 
 impl ServerMetrics {
@@ -147,6 +162,22 @@ impl ServerMetrics {
             "ninf_server_argcache_bytes_saved_total",
             "request payload bytes the client did not re-ship (resolved refs)",
         );
+        let chunks = registry.counter(
+            "ninf_server_chunks_total",
+            "bulk-upload chunks accepted into a reassembly",
+        );
+        let chunk_rejects = registry.counter(
+            "ninf_server_chunk_rejects_total",
+            "bulk-upload chunks refused (bad CRC, geometry lie, conflict)",
+        );
+        let chunk_uploads = registry.counter(
+            "ninf_server_chunk_uploads_total",
+            "bulk uploads completed, digest-verified, and landed in the arg store",
+        );
+        let chunk_bytes = registry.counter(
+            "ninf_server_chunk_bytes_total",
+            "payload bytes accepted over the chunked bulk path",
+        );
         Self {
             registry,
             calls,
@@ -161,6 +192,10 @@ impl ServerMetrics {
             argcache_misses,
             argcache_evictions,
             argcache_bytes_saved,
+            chunks,
+            chunk_rejects,
+            chunk_uploads,
+            chunk_bytes,
         }
     }
 
@@ -179,6 +214,17 @@ impl ServerMetrics {
             self.argcache_bytes_saved.get(),
         )
     }
+
+    /// Chunked bulk-upload counters
+    /// `(chunks, rejects, uploads_completed, bytes)`.
+    pub fn chunked(&self) -> (u64, u64, u64, u64) {
+        (
+            self.chunks.get(),
+            self.chunk_rejects.get(),
+            self.chunk_uploads.get(),
+            self.chunk_bytes.get(),
+        )
+    }
 }
 
 /// The shared per-call context both connection cores hand to the message
@@ -192,6 +238,13 @@ struct CallContext {
     metrics: Arc<ServerMetrics>,
     args: Arc<ArgStore>,
     mode: ExecMode,
+    /// In-flight chunked bulk uploads, keyed by the target value's digest.
+    /// Bounded at [`MAX_INFLIGHT_UPLOADS`]; completed uploads move into
+    /// `args` and leave this table.
+    chunks: parking_lot::Mutex<HashMap<Digest, Reassembly>>,
+    /// Outbound reply shaping (threaded core only); see
+    /// [`ServerConfig::wan`].
+    wan: Option<Arc<SharedLink>>,
     /// Threaded-core bookkeeping behind the `ninf_server_inflight_calls`
     /// gauge (the reactor core tracks this in its event loop instead).
     threaded_inflight: AtomicI64,
@@ -232,6 +285,14 @@ impl NinfServer {
         let cost = Arc::new(CostModel::new());
         let metrics = Arc::new(ServerMetrics::new());
         let args = Arc::new(ArgStore::new(config.arg_cache_bytes));
+        if config.wan.is_some() && !matches!(config.core, ServerCore::ThreadPerConnection) {
+            logkv!(
+                Level::Warn,
+                "server",
+                "wan_shape_ignored",
+                why = "reply shaping needs the thread-per-connection core"
+            );
+        }
         let ctx = Arc::new(CallContext {
             registry: Arc::new(registry),
             stats: stats.clone(),
@@ -241,6 +302,8 @@ impl NinfServer {
             metrics: metrics.clone(),
             args: args.clone(),
             mode: config.mode,
+            chunks: parking_lot::Mutex::new(HashMap::new()),
+            wan: config.wan.map(|shape| Arc::new(SharedLink::new(shape))),
             threaded_inflight: AtomicI64::new(0),
         });
 
@@ -441,6 +504,16 @@ fn serve_connection(stream: TcpStream, ctx: &Arc<CallContext>) -> ProtocolResult
         let reply = handle_message(ctx, msg);
         let n = ctx.threaded_inflight.fetch_sub(1, Ordering::SeqCst) - 1;
         ctx.metrics.inflight_calls.set(n as f64);
+        // Outbound WAN shaping: the reply serializes through the
+        // process-wide bottleneck and crosses the propagation delay
+        // before it goes on the wire (lossless — see ServerConfig::wan).
+        if let Some(link) = &ctx.wan {
+            link.transmit(FRAME_HEADER_BYTES + 4 + reply.encode().len());
+            let delay = link.shape().delay_us;
+            if delay > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(delay));
+            }
+        }
         write_frame_mux(&mut writer, call_id, &reply)?;
         writer.flush()?;
     }
@@ -602,6 +675,14 @@ fn handle_message(ctx: &Arc<CallContext>, msg: Message) -> Message {
                 spans: rec.snapshot(trace_id),
             }
         }
+        Message::PutArgChunk {
+            digest,
+            total_bytes,
+            total,
+            seq,
+            crc,
+            bytes,
+        } => handle_chunk(ctx, digest, total_bytes, total, seq, crc, &bytes),
         Message::ListRoutines => {
             let routines = ctx
                 .registry
@@ -622,6 +703,108 @@ fn handle_message(ctx: &Arc<CallContext>, msg: Message) -> Message {
             reason: format!("unexpected message {}", other.kind()),
         },
     }
+}
+
+/// Cap on concurrently reassembling bulk uploads; a fresh digest beyond
+/// it is refused so hostile clients cannot pin unbounded buffers.
+const MAX_INFLIGHT_UPLOADS: usize = 64;
+
+/// One [`Message::PutArgChunk`] through the reassembly table.
+///
+/// Retransmit-friendly without ever accepting conflicting bytes:
+/// * a chunk for a digest the arg store already holds re-acks — the
+///   whole upload completed earlier but its final ack was lost;
+/// * a duplicate seq whose CRC matches what already landed re-acks —
+///   the *chunk's* ack was lost;
+/// * a duplicate seq with a *different* CRC, a bad CRC, or any geometry
+///   lie is refused with a typed reason and counted.
+fn handle_chunk(
+    ctx: &CallContext,
+    digest: Digest,
+    total_bytes: u64,
+    total: u32,
+    seq: u32,
+    crc: u32,
+    bytes: &[u8],
+) -> Message {
+    if ctx.args.budget() == 0 {
+        ctx.metrics.chunk_rejects.inc();
+        return Message::Error {
+            reason: "argument store disabled: chunked upload refused".into(),
+        };
+    }
+    if ctx.args.contains(&digest) {
+        return Message::ChunkOk { digest, seq };
+    }
+    let mut pending = ctx.chunks.lock();
+    if !pending.contains_key(&digest) {
+        if pending.len() >= MAX_INFLIGHT_UPLOADS {
+            ctx.metrics.chunk_rejects.inc();
+            return Message::Error {
+                reason: format!("too many in-flight uploads ({MAX_INFLIGHT_UPLOADS})"),
+            };
+        }
+        match Reassembly::new(digest, total_bytes, total) {
+            Ok(r) => {
+                pending.insert(digest, r);
+            }
+            Err(e) => {
+                ctx.metrics.chunk_rejects.inc();
+                return Message::Error {
+                    reason: format!("chunk rejected: {e}"),
+                };
+            }
+        }
+    }
+    let r = pending.get_mut(&digest).expect("just ensured present");
+    match r.accept(total_bytes, total, seq, crc, bytes) {
+        Ok(complete) => {
+            ctx.metrics.chunks.inc();
+            ctx.metrics.chunk_bytes.add(bytes.len() as u64);
+            if complete {
+                let r = pending.remove(&digest).expect("present");
+                drop(pending);
+                if let Err(reason) = finish_upload(ctx, digest, r) {
+                    ctx.metrics.chunk_rejects.inc();
+                    return Message::Error { reason };
+                }
+            }
+            Message::ChunkOk { digest, seq }
+        }
+        Err(ChunkError::Duplicate { .. }) if r.seen_crc(seq) == Some(crc) => {
+            Message::ChunkOk { digest, seq }
+        }
+        Err(e) => {
+            ctx.metrics.chunk_rejects.inc();
+            logkv!(Level::Warn, "server", "chunk_rejected", seq = seq, why = e);
+            Message::Error {
+                reason: format!("chunk rejected: {e}"),
+            }
+        }
+    }
+}
+
+/// A completed reassembly: verify the image digest, decode the value,
+/// and land it in the arg store under the digest a later `Arg::Ref`
+/// will name.
+fn finish_upload(ctx: &CallContext, digest: Digest, r: Reassembly) -> Result<(), String> {
+    let image = r.into_image().map_err(|e| format!("upload failed: {e}"))?;
+    let mut dec = ninf_xdr::XdrDecoder::new(&image);
+    let value = Value::get(&mut dec).map_err(|e| format!("upload image does not decode: {e}"))?;
+    if dec.remaining() != 0 {
+        return Err("upload image has trailing bytes".into());
+    }
+    let evicted = ctx.args.insert(digest, value);
+    ctx.metrics.argcache_evictions.add(evicted as u64);
+    ctx.metrics.chunk_uploads.inc();
+    logkv!(
+        Level::Info,
+        "server",
+        "chunk_upload_complete",
+        digest = digest,
+        bytes = image.len()
+    );
+    Ok(())
 }
 
 /// Resolve wire args to concrete values against the arg store.
@@ -1288,6 +1471,133 @@ mod tests {
         })
         .unwrap();
         assert!(matches!(t.recv().unwrap(), Message::NeedArg { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn chunked_upload_lands_in_the_store_and_refs_resolve() {
+        let server = start_test_server(ExecMode::TaskParallel);
+        let addr = server.addr().to_string();
+        let n = 16usize;
+        let (a, b) = ninf_exec::matgen(n);
+        let matrix = Value::DoubleArray(a.as_slice().to_vec());
+        let image = ninf_protocol::value_image(&matrix);
+        let digest = ninf_protocol::Digest::of(&image);
+
+        // Fan the image in as 512-byte chunks; every chunk acks, and the
+        // last one completes the upload into the arg store.
+        let mut t = TcpTransport::connect(&addr).unwrap();
+        let chunks = ninf_protocol::split_chunks(digest, &image, 512);
+        assert!(chunks.len() > 2, "want a multi-chunk upload");
+        for (i, c) in chunks.iter().enumerate() {
+            t.send(c).unwrap();
+            match t.recv().unwrap() {
+                Message::ChunkOk { digest: d, seq } => {
+                    assert_eq!((d, seq), (digest, i as u32));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(server.arg_store().contains(&digest));
+        let (chunks_ok, rejects, uploads, bytes) = server.metrics().chunked();
+        assert_eq!(chunks_ok, chunks.len() as u64);
+        assert_eq!((rejects, uploads), (0, 1));
+        assert_eq!(bytes, image.len() as u64);
+
+        // Re-sending a chunk after completion is an idempotent re-ack
+        // (the retransmit path after a lost ack), not an error.
+        t.send(&chunks[0]).unwrap();
+        assert!(matches!(t.recv().unwrap(), Message::ChunkOk { seq: 0, .. }));
+
+        // A call that refs the uploaded digest executes without NeedArg.
+        t.send(&Message::Invoke {
+            routine: "linpack".into(),
+            args: vec![
+                Arg::Data(Value::Int(n as i32)),
+                Arg::Ref(digest),
+                Arg::Data(Value::DoubleArray(b)),
+            ],
+            trace: None,
+        })
+        .unwrap();
+        assert!(matches!(t.recv().unwrap(), Message::ResultData { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn corrupt_and_malformed_chunks_are_rejected_with_reasons() {
+        let server = start_test_server(ExecMode::TaskParallel);
+        let addr = server.addr().to_string();
+        let image = ninf_protocol::value_image(&Value::DoubleArray(vec![2.5; 256]));
+        let digest = ninf_protocol::Digest::of(&image);
+        let mut t = TcpTransport::connect(&addr).unwrap();
+
+        // A corrupted payload bounces with a typed reason and lands nothing.
+        let mut evil = image.to_vec();
+        evil[7] ^= 0x40;
+        let (good, bad) = (
+            ninf_protocol::split_chunks(digest, &image, 512),
+            ninf_protocol::split_chunks(digest, &evil, 512),
+        );
+        let Message::PutArgChunk { bytes, .. } = &bad[0] else {
+            panic!("split must yield chunks")
+        };
+        let Message::PutArgChunk { crc, .. } = &good[0] else {
+            panic!("split must yield chunks")
+        };
+        let lie = Message::PutArgChunk {
+            digest,
+            total_bytes: image.len() as u64,
+            total: good.len() as u32,
+            seq: 0,
+            crc: *crc,
+            bytes: bytes.clone(),
+        };
+        t.send(&lie).unwrap();
+        match t.recv().unwrap() {
+            Message::Error { reason } => assert!(reason.contains("CRC"), "{reason}"),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Impossible geometry never opens a reassembly.
+        t.send(&Message::PutArgChunk {
+            digest: ninf_protocol::Digest::of(b"other"),
+            total_bytes: 0,
+            total: 0,
+            seq: 0,
+            crc: 0,
+            bytes: vec![],
+        })
+        .unwrap();
+        assert!(matches!(t.recv().unwrap(), Message::Error { .. }));
+        let (_, rejects, uploads, _) = server.metrics().chunked();
+        assert_eq!((rejects, uploads), (2, 0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_budget_server_refuses_chunked_uploads() {
+        let mut registry = Registry::new();
+        register_stdlib(&mut registry, false);
+        let server = NinfServer::start(
+            "127.0.0.1:0",
+            registry,
+            ServerConfig {
+                pes: 2,
+                arg_cache_bytes: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let image = ninf_protocol::value_image(&Value::DoubleArray(vec![1.0; 256]));
+        let digest = ninf_protocol::Digest::of(&image);
+        let mut t = TcpTransport::connect(&server.addr().to_string()).unwrap();
+        t.send(&ninf_protocol::split_chunks(digest, &image, 512)[0])
+            .unwrap();
+        match t.recv().unwrap() {
+            Message::Error { reason } => assert!(reason.contains("disabled"), "{reason}"),
+            other => panic!("unexpected {other:?}"),
+        }
         server.shutdown();
     }
 

@@ -26,8 +26,9 @@ use ninf_server::{
 };
 
 use crate::invariants::{
-    conservation, corruption_rejected, exactly_once, monotone_cursors, quarantine_legal,
-    traces_connected, tx_exactly_once, window_cursors, CallRecord, Check, StatsPoll, WindowPoll,
+    bulk_isolation, conservation, corruption_rejected, exactly_once, monotone_cursors,
+    quarantine_legal, traces_connected, tx_exactly_once, window_cursors, BulkRecord, CallRecord,
+    Check, StatsPoll, WindowPoll,
 };
 use crate::spec::{fnv1a, ChaosSpec};
 
@@ -98,6 +99,7 @@ fn spawn_server(pes: usize, arg_cache_bytes: usize) -> ProtocolResult<NinfServer
             policy: SchedPolicy::Fcfs,
             core: Default::default(),
             arg_cache_bytes,
+            wan: None,
         },
     )
 }
@@ -141,6 +143,112 @@ fn classify(err: &ProtocolError) -> Outcome {
     }
 }
 
+/// Arguments of call `seq` from `client`, salted under `unique_args` the
+/// same way the load generator salts (`+= 1 + client·1_000_003 + seq` on
+/// every array's last element) so no two calls ship the same digest and
+/// every call re-runs the whole chunk fan-out.
+fn salted_args(spec: &ChaosSpec, routine: Routine, client: usize, seq: usize) -> Vec<Value> {
+    let mut args = args_for(routine, seq);
+    if spec.workload.unique_args {
+        let salt = 1.0 + (client as f64) * 1_000_003.0 + seq as f64;
+        for v in &mut args {
+            if let Value::DoubleArray(a) = v {
+                if let Some(last) = a.last_mut() {
+                    *last += salt;
+                }
+            }
+        }
+    }
+    args
+}
+
+/// Whether a Linpack reply matches the solution predicted from the exact
+/// bytes shipped. The harness solves `A x = b` with `A` an identity whose
+/// last diagonal entry carries the same salt as `b`'s last element, so the
+/// exact answer is all-ones *regardless of the salt* — but only when the
+/// server factored precisely the salted matrix this call uploaded. A stale,
+/// foreign, or partially-reassembled image yields `x[n-1] ≠ 1`.
+fn solution_is_exact(out: &[Value]) -> bool {
+    let Some(Value::DoubleArray(x)) = out.first() else {
+        return false;
+    };
+    !x.is_empty() && x.iter().all(|v| (v - 1.0).abs() <= 1e-9)
+}
+
+/// One bulk-path client leg: a dialed, WAN-shaped client whose large
+/// arguments pre-ship as chunks over parallel lanes. The link's seeded
+/// loss schedule supplies the faults (bursts land mid-transfer on
+/// individual lanes), so no [`FaultyTransport`] wraps this leg; alongside
+/// the call ledger it records per-call [`BulkRecord`]s for the
+/// [`bulk_isolation`] invariant.
+fn drive_bulk_client(
+    spec: &ChaosSpec,
+    addr: &str,
+    seed: u64,
+    client: usize,
+) -> (Vec<CallRecord>, Vec<u64>, Vec<BulkRecord>) {
+    let planned = spec.workload.planned_calls(seed, client, spec.clients);
+    let mut records = Vec::with_capacity(planned);
+    let mut bulk = Vec::with_capacity(planned);
+    let mut trace_ids = Vec::new();
+    let mut options = spec.workload.options;
+    options.wan = spec.link_shape(seed);
+    let mut c = match NinfClient::connect_with(addr, options) {
+        Ok(c) => c,
+        Err(_) => {
+            for seq in 0..planned {
+                records.push(CallRecord {
+                    client,
+                    seq,
+                    outcome: Outcome::Transport,
+                    tainted: false,
+                });
+            }
+            return (records, trace_ids, bulk);
+        }
+    };
+    // Per-client digest memory, cleared so every run's fan-out starts cold.
+    let cache_key = format!("{addr}#chaos-client{client}");
+    ninf_client::argmem::forget_destination(&cache_key);
+    c.set_cache_key(Some(cache_key));
+    for seq in 0..planned {
+        let routine = spec.workload.pick_routine(seed, client, seq);
+        let args = salted_args(spec, routine, client, seq);
+        let image_bytes: u64 = args
+            .iter()
+            .filter(|v| ninf_protocol::cacheable(v))
+            .map(|v| ninf_protocol::value_image(v).len())
+            .filter(|len| *len >= ninf_protocol::CHUNK_THRESHOLD)
+            .map(|len| len as u64)
+            .sum();
+        let result = c.ninf_call(routine.name(), &args);
+        let timing = c.last_timing().unwrap_or_default();
+        let (outcome, result_exact) = match result {
+            Ok(out) => {
+                trace_ids.push(c.last_trace_id());
+                (Outcome::Ok, solution_is_exact(&out))
+            }
+            Err(e) => (classify(&e), true),
+        };
+        records.push(CallRecord {
+            client,
+            seq,
+            outcome,
+            tainted: false,
+        });
+        bulk.push(BulkRecord {
+            client,
+            seq,
+            image_bytes,
+            bulk_bytes: timing.bulk_bytes as u64,
+            retransmits: timing.bulk_retransmits,
+            outcome,
+            result_exact,
+        });
+    }
+    (records, trace_ids, bulk)
+}
+
 /// One client leg: wrap a multiplexed stream's handle in the seeded fault
 /// injector and issue every planned call, recording typed outcomes, the
 /// trace ids of every successful call, and whether the stream had been
@@ -157,7 +265,12 @@ fn drive_client(
     addr: &str,
     seed: u64,
     client: usize,
-) -> (Vec<CallRecord>, Vec<u64>) {
+) -> (Vec<CallRecord>, Vec<u64>, Vec<BulkRecord>) {
+    // Bulk scenarios trade the fault injector for link shaping and keep a
+    // per-call upload ledger on the side.
+    if spec.bulk_leg() {
+        return drive_bulk_client(spec, addr, seed, client);
+    }
     let planned = spec.workload.planned_calls(seed, client, spec.clients);
     let mut records = Vec::with_capacity(planned);
     let mut trace_ids = Vec::new();
@@ -174,7 +287,7 @@ fn drive_client(
                     tainted: false,
                 });
             }
-            return (records, trace_ids);
+            return (records, trace_ids, Vec::new());
         }
     };
     let faulty = FaultyTransport::new(stream.handle(), plan);
@@ -195,7 +308,7 @@ fn drive_client(
                 tainted: false,
             });
         }
-        return (records, trace_ids);
+        return (records, trace_ids, Vec::new());
     }
     let mut tainted = false;
     for seq in 0..planned {
@@ -222,7 +335,7 @@ fn drive_client(
             tainted,
         });
     }
-    (records, trace_ids)
+    (records, trace_ids, Vec::new())
 }
 
 /// Stats monitor for one server: poll `QueryStats` with a moving cursor
@@ -364,7 +477,7 @@ pub fn run_chaos(spec: &ChaosSpec, seed: u64, inject: Inject) -> ProtocolResult<
     let addrs: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
 
     let stop = AtomicBool::new(false);
-    let (mut records, trace_ids, tx_outcome, stats_results, window_results) =
+    let (mut records, trace_ids, bulk_records, tx_outcome, stats_results, window_results) =
         std::thread::scope(|scope| {
             let stop_ref = &stop;
             let monitors: Vec<_> = addrs
@@ -383,10 +496,12 @@ pub fn run_chaos(spec: &ChaosSpec, seed: u64, inject: Inject) -> ProtocolResult<
                 .collect();
             let mut records = Vec::new();
             let mut trace_ids = Vec::new();
+            let mut bulk_records = Vec::new();
             for handle in clients {
-                let (r, t) = handle.join().expect("client thread");
+                let (r, t, b) = handle.join().expect("client thread");
                 records.extend(r);
                 trace_ids.extend(t);
+                bulk_records.extend(b);
             }
             // The transaction leg runs while monitors still poll, so its
             // calls land inside the monitored cursor stream too.
@@ -403,6 +518,7 @@ pub fn run_chaos(spec: &ChaosSpec, seed: u64, inject: Inject) -> ProtocolResult<
             (
                 records,
                 trace_ids,
+                bulk_records,
                 tx_outcome,
                 stats_results,
                 window_results,
@@ -441,6 +557,9 @@ pub fn run_chaos(spec: &ChaosSpec, seed: u64, inject: Inject) -> ProtocolResult<
         window_cursors(&window_polls),
         traces_connected(&snapshot, &trace_ids, NESTING_SLACK_US),
     ];
+    if spec.bulk_leg() {
+        checks.push(bulk_isolation(&bulk_records));
+    }
     if let Some(tx) = tx_outcome {
         let (completions, events, dir_len) = tx?;
         checks.push(tx_exactly_once(&completions));
@@ -479,6 +598,19 @@ fn transcript(spec: &ChaosSpec, seed: u64, planned: &[usize], checks: &[Check]) 
         spec.faults.truncate_prob,
         spec.faults.garble_prob
     ));
+    if let Some(shape) = spec.link_shape(seed) {
+        // Pure function of (spec, seed): the canonical shape with the
+        // run-derived link seed, plus the fan-out geometry.
+        out.push_str(&format!(
+            "# wan {shape} streams={} chunk_bytes={} lane_deadline_ms={}\n",
+            spec.workload.options.streams,
+            spec.workload.options.chunk_bytes,
+            spec.workload
+                .options
+                .lane_deadline
+                .map_or(0, |d| d.as_millis()),
+        ));
+    }
     for (client, &n) in planned.iter().enumerate() {
         // Fingerprint the *planned* fault schedule over a generous window
         // (several transport sends per call) — a pure function of the

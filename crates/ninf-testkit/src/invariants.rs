@@ -389,6 +389,90 @@ pub fn quarantine_legal(events: &[HealthEvent], servers: usize) -> Check {
     Check::pass(NAME)
 }
 
+/// One call's parallel-bulk ledger entry, recorded by the harness for
+/// scenarios that drive the chunk fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BulkRecord {
+    /// Issuing client.
+    pub client: usize,
+    /// Sequence number within the client.
+    pub seq: usize,
+    /// XDR image bytes of the call's one chunk-eligible argument.
+    pub image_bytes: u64,
+    /// Image bytes the client's upload accounting claims it landed over
+    /// the bulk lanes (pre-ship plus any refill; excludes retransmits).
+    pub bulk_bytes: u64,
+    /// Chunk retransmits the upload performed.
+    pub retransmits: u32,
+    /// Typed call outcome.
+    pub outcome: Outcome,
+    /// Whether a successful call's reply matched the solution predicted
+    /// from the exact bytes shipped (vacuously `true` for failed calls).
+    pub result_exact: bool,
+}
+
+/// Bulk-lane isolation: a dying lane may fail only its own chunks, never
+/// the call and never another lane's bytes. Three checkable faces:
+///
+/// * **All-or-nothing uploads** — `bulk_bytes` is always a whole number
+///   of images: a lane that dies mid-fan-out fails the entire upload
+///   (the call falls back to shipping the value inline) and the server's
+///   reassembly holds partial state out of the arg store, so no fraction
+///   of an image can ever be claimed as landed.
+/// * **Payload exactness** — every `Ok` call's solution must match the
+///   one predicted from the exact salted bytes shipped; retransmits and
+///   redials on any lane must deliver each chunk's bytes exactly once or
+///   the digest check would have refused the image.
+/// * **Loss stays loss** — a shaped link only delays or drops; the sole
+///   legal failure is a client deadline expiry (`Timeout`). A `Transport`
+///   or `Remote` outcome would mean a lane failure escaped its lane
+///   (a desynced stream, a half-written image that decoded, …).
+pub fn bulk_isolation(records: &[BulkRecord]) -> Check {
+    const NAME: &str = "bulk-isolation";
+    for r in records {
+        if r.image_bytes == 0 {
+            return Check::fail(
+                NAME,
+                format!(
+                    "call (client {}, seq {}) has no chunk-eligible argument",
+                    r.client, r.seq
+                ),
+            );
+        }
+        if r.bulk_bytes % r.image_bytes != 0 {
+            return Check::fail(
+                NAME,
+                format!(
+                    "call (client {}, seq {}) accounted a partial upload: \
+                     {} bulk bytes for a {}-byte image",
+                    r.client, r.seq, r.bulk_bytes, r.image_bytes
+                ),
+            );
+        }
+        if r.outcome == Outcome::Ok && !r.result_exact {
+            return Check::fail(
+                NAME,
+                format!(
+                    "call (client {}, seq {}) succeeded with a wrong solution: \
+                     a foreign or partial chunk reached its image",
+                    r.client, r.seq
+                ),
+            );
+        }
+        if !matches!(r.outcome, Outcome::Ok | Outcome::Timeout) {
+            return Check::fail(
+                NAME,
+                format!(
+                    "call (client {}, seq {}) failed with {:?}: pure loss may \
+                     only delay or time out, never corrupt",
+                    r.client, r.seq, r.outcome
+                ),
+            );
+        }
+    }
+    Check::pass(NAME)
+}
+
 /// Transaction exactly-once: every transaction call completed exactly once
 /// (its slot written once, never twice under retries).
 pub fn tx_exactly_once(completions: &[u32]) -> Check {
@@ -620,6 +704,45 @@ mod tests {
             streak: 2,
         }];
         assert!(!quarantine_legal(&skip, 1).pass);
+    }
+
+    #[test]
+    fn bulk_isolation_catches_partials_wrong_answers_and_corruption() {
+        let rec = |bulk_bytes: u64, outcome: Outcome, result_exact: bool| BulkRecord {
+            client: 0,
+            seq: 0,
+            image_bytes: 1000,
+            bulk_bytes,
+            retransmits: 3,
+            outcome,
+            result_exact,
+        };
+        // Full upload, inline fallback (0), and a double-ship (refill) all
+        // pass; a timeout is legal loss.
+        assert!(bulk_isolation(&[rec(1000, Outcome::Ok, true)]).pass);
+        assert!(bulk_isolation(&[rec(0, Outcome::Ok, true)]).pass);
+        assert!(bulk_isolation(&[rec(2000, Outcome::Ok, true)]).pass);
+        assert!(bulk_isolation(&[rec(1000, Outcome::Timeout, true)]).pass);
+        // A fraction of an image in the ledger = a lane leaked a partial.
+        let c = bulk_isolation(&[rec(500, Outcome::Ok, true)]);
+        assert!(!c.pass);
+        assert!(c.detail.contains("partial upload"));
+        // Ok with a wrong solution = foreign bytes in the image.
+        let c = bulk_isolation(&[rec(1000, Outcome::Ok, false)]);
+        assert!(!c.pass);
+        assert!(c.detail.contains("wrong solution"));
+        // Anything besides Ok/Timeout under pure loss = corruption escaped.
+        let c = bulk_isolation(&[rec(1000, Outcome::Transport, true)]);
+        assert!(!c.pass);
+        assert!(c.detail.contains("Transport"));
+        // A record with no chunk-eligible argument is a harness bug.
+        assert!(
+            !bulk_isolation(&[BulkRecord {
+                image_bytes: 0,
+                ..rec(0, Outcome::Ok, true)
+            }])
+            .pass
+        );
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //! - **quarantine-legal** — the directory's health-event log replays
 //!   legally: quarantine only at the threshold, reinstatement only after
 //!   a success.
+//! - **bulk-isolation** — for scenarios driving the parallel-stream chunk
+//!   fan-out over a shaped link (`wan-partition`): uploads are
+//!   all-or-nothing in the ledger, an `Ok` call's solution proves the
+//!   server computed on exactly the shipped bytes, and pure loss may only
+//!   delay or time a call out — a dying lane fails only its own chunks.
 //!
 //! Transcripts are bit-deterministic for a given `(spec, seed)`: they
 //! carry the spec fingerprint and the *planned* fault/arrival schedule
@@ -36,7 +41,10 @@
 //! [`live_vs_sim`] is the differential oracle: the live `lan-linpack`
 //! scalability shape against a matched simulator scenario (saturated
 //! closed-loop clients on a 1-PE server), normalized and compared within
-//! a declared tolerance.
+//! a declared tolerance. [`wan_live_vs_sim`] is its WAN sibling: the live
+//! `wan-streams` goodput-vs-stream-count shape over a shaped loopback
+//! link against [`ninf_netsim::wan`]'s FluidNet upload model under the
+//! same link spec, both max-normalized.
 
 #![warn(missing_docs)]
 
@@ -45,7 +53,10 @@ pub mod harness;
 pub mod invariants;
 pub mod spec;
 
-pub use differential::{live_vs_sim, DiffReport, ShapePoint, DEFAULT_TOLERANCE};
+pub use differential::{
+    live_vs_sim, wan_live_vs_sim, DiffReport, ShapePoint, WanDiffReport, WanShapePoint,
+    DEFAULT_TOLERANCE,
+};
 pub use harness::{run_chaos, ChaosRun, Inject};
-pub use invariants::{CallRecord, Check, StatsPoll, WindowPoll};
+pub use invariants::{BulkRecord, CallRecord, Check, StatsPoll, WindowPoll};
 pub use spec::{chaos, chaos_names, ChaosSpec};

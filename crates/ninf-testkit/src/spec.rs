@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use ninf_client::CallOptions;
 use ninf_loadgen::{Arrival, MixEntry, Phases, Routine, WorkloadSpec};
-use ninf_protocol::FaultPlan;
+use ninf_protocol::{FaultPlan, LinkShape};
 use ninf_server::DEFAULT_ARG_CACHE_BYTES;
 
 /// Everything one chaos run needs besides the seed.
@@ -101,6 +101,30 @@ impl ChaosSpec {
         push_f64(&mut out, self.faults.delay.as_secs_f64());
         push_f64(&mut out, self.faults.truncate_prob);
         push_f64(&mut out, self.faults.garble_prob);
+        // Bulk-transfer and WAN-shaping knobs shape the offered load just
+        // like the fault probabilities do, so they are pinned too. The
+        // shape's *seed* is excluded for the same reason the fault seed
+        // is: it is derived from the run seed.
+        out.push(u8::from(self.workload.unique_args));
+        push_u64(&mut out, u64::from(self.workload.options.streams));
+        push_u64(&mut out, u64::from(self.workload.options.chunk_bytes));
+        push_f64(
+            &mut out,
+            self.workload
+                .options
+                .lane_deadline
+                .map_or(-1.0, |d| d.as_secs_f64()),
+        );
+        match self.workload.options.wan {
+            None => out.push(0),
+            Some(shape) => {
+                out.push(1);
+                push_u64(&mut out, shape.bytes_per_sec);
+                push_u64(&mut out, shape.delay_us);
+                push_u64(&mut out, u64::from(shape.loss_ppm));
+                push_u64(&mut out, u64::from(shape.congestion_ppm));
+            }
+        }
         out
     }
 
@@ -120,6 +144,23 @@ impl ChaosSpec {
             ..self.faults
         }
     }
+
+    /// Link shape of a run seeded with `seed`, if the scenario shapes the
+    /// WAN: the template with a run-derived RNG seed, shared by *every*
+    /// client so all of one destination's lanes contend for one emulated
+    /// bottleneck with one deterministic loss schedule.
+    pub fn link_shape(&self, seed: u64) -> Option<LinkShape> {
+        self.workload.options.wan.map(|shape| LinkShape {
+            seed: seed ^ 0x0014_ad1e_u64.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..shape
+        })
+    }
+
+    /// Whether this scenario drives the parallel-stream bulk path (and the
+    /// harness therefore records a per-call bulk ledger).
+    pub fn bulk_leg(&self) -> bool {
+        self.workload.options.streams >= 1
+    }
 }
 
 /// Names of every built-in chaos scenario, in menu order.
@@ -130,6 +171,7 @@ pub fn chaos_names() -> Vec<&'static str> {
         "corrupt",
         "meta-ft",
         "argcache-refill",
+        "wan-partition",
     ]
 }
 
@@ -144,6 +186,7 @@ fn ep_workload(calls: usize, deadline_ms: u64) -> WorkloadSpec {
         },
         phases: Phases::none(),
         calls_per_client: calls,
+        unique_args: false,
         options: CallOptions {
             deadline: Some(Duration::from_millis(deadline_ms)),
             retries: 0,
@@ -258,6 +301,7 @@ pub fn chaos(name: &str) -> Option<ChaosSpec> {
                 },
                 phases: Phases::none(),
                 calls_per_client: 8,
+                unique_args: false,
                 options: CallOptions {
                     deadline: Some(Duration::from_millis(800)),
                     retries: 0,
@@ -280,6 +324,67 @@ pub fn chaos(name: &str) -> Option<ChaosSpec> {
             // masses (2 KiB) fits, pos (6 KiB) can never be retained:
             // every warm call misses on pos and must refill inline.
             arg_cache_bytes: 4096,
+        }),
+        // The parallel-stream bulk path over a lossy shaped link: every
+        // call pre-ships a fresh (salted) Linpack matrix as chunks fanned
+        // out over 4 lanes, and the link's seeded loss schedule lands
+        // mid-transfer bursts on individual lanes — retransmits, lane
+        // deaths, and redials all happen *inside* the upload. The bulk
+        // invariants then assert the blast radius: uploads are
+        // all-or-nothing in the ledger, an `Ok` call's solution proves the
+        // server computed on exactly the shipped bytes, and pure loss can
+        // only delay or time a call out, never corrupt it.
+        "wan-partition" => Some(ChaosSpec {
+            name: "wan-partition",
+            about: "chunk fan-out over a lossy shaped link: lane deaths fail only their own chunks",
+            clients: 2,
+            workload: WorkloadSpec {
+                mix: vec![MixEntry {
+                    // 96x96 doubles = 72 KiB: above the chunk threshold,
+                    // while the 768-byte b vector stays inline — exactly
+                    // one bulk image per call.
+                    routine: Routine::Linpack { n: 96 },
+                    weight: 1,
+                }],
+                arrival: Arrival::Closed {
+                    think: Duration::ZERO,
+                },
+                phases: Phases::none(),
+                calls_per_client: 2,
+                // Salted arrays: no two calls ship the same digest, so
+                // every call re-runs the whole fan-out under fresh loss
+                // draws instead of hitting the argument cache.
+                unique_args: true,
+                options: CallOptions {
+                    // The per-op deadline only expires on a genuinely lost
+                    // control frame (queueing tops out near 5 ms), so a
+                    // timeout is evidence of loss, and retries absorb it.
+                    deadline: Some(Duration::from_millis(1500)),
+                    retries: 2,
+                    backoff: Duration::from_millis(20),
+                    streams: 4,
+                    chunk_bytes: 8192,
+                    // A few shaped round trips: a lost chunk stalls its
+                    // lane for 60 ms, and four straight losses on one
+                    // chunk kill the lane (redial, then give up).
+                    lane_deadline: Some(Duration::from_millis(60)),
+                    wan: Some(LinkShape {
+                        bytes_per_sec: 32_000_000,
+                        delay_us: 2_000,
+                        loss_ppm: 30_000,
+                        congestion_ppm: 5_000,
+                        // Replaced per run via `link_shape(seed)`.
+                        seed: 0,
+                    }),
+                    ..CallOptions::default()
+                },
+            },
+            faults: FaultPlan::default(),
+            servers: 1,
+            pes: 2,
+            dead_servers: 0,
+            tx_calls: 0,
+            arg_cache_bytes: DEFAULT_ARG_CACHE_BYTES,
         }),
         _ => None,
     }
@@ -340,6 +445,66 @@ mod tests {
         // And the plan must be able to hit every leg of the refill.
         assert!(spec.faults.drop_prob > 0.0 && spec.faults.garble_prob > 0.0);
         assert!(spec.workload.options.deadline.is_some());
+    }
+
+    #[test]
+    fn wan_partition_is_shaped_to_stress_the_bulk_lanes() {
+        let spec = chaos("wan-partition").unwrap();
+        assert!(spec.bulk_leg());
+        assert!(
+            spec.workload.unique_args,
+            "repeat digests would skip the fan-out"
+        );
+        assert!(spec.workload.options.streams > 1);
+        let shape = spec.workload.options.wan.expect("shaped link");
+        assert!(
+            shape.loss_ppm > 0,
+            "lossless links cannot burst mid-transfer"
+        );
+        // The lane deadline must sit far below the call deadline, or a
+        // lost chunk would eat the whole call budget instead of
+        // retransmitting.
+        let lane = spec.workload.options.lane_deadline.unwrap();
+        assert!(lane < spec.workload.options.deadline.unwrap() / 10);
+        // And the matrix must clear the chunk threshold or nothing bulks.
+        let Routine::Linpack { n } = spec.workload.mix[0].routine else {
+            unreachable!()
+        };
+        assert!(8 * n * n >= ninf_protocol::CHUNK_THRESHOLD);
+    }
+
+    #[test]
+    fn link_shape_is_run_derived_and_shared_by_clients() {
+        let spec = chaos("wan-partition").unwrap();
+        let a = spec.link_shape(7).unwrap();
+        let b = spec.link_shape(7).unwrap();
+        assert_eq!(a, b, "same run seed, same schedule");
+        assert_ne!(a.seed, spec.link_shape(8).unwrap().seed);
+        // Everything but the seed comes verbatim from the template.
+        let template = spec.workload.options.wan.unwrap();
+        assert_eq!(a.bytes_per_sec, template.bytes_per_sec);
+        assert_eq!(a.loss_ppm, template.loss_ppm);
+        // Unshaped scenarios have no link at any seed.
+        assert!(chaos("clean").unwrap().link_shape(7).is_none());
+    }
+
+    #[test]
+    fn fingerprint_pins_the_wan_and_bulk_knobs() {
+        let base = chaos("wan-partition").unwrap();
+        let mut streams = base.clone();
+        streams.workload.options.streams += 1;
+        assert_ne!(streams.fingerprint(), base.fingerprint());
+        let mut chunk = base.clone();
+        chunk.workload.options.chunk_bytes *= 2;
+        assert_ne!(chunk.fingerprint(), base.fingerprint());
+        let mut loss = base.clone();
+        loss.workload.options.wan.as_mut().unwrap().loss_ppm += 1;
+        assert_ne!(loss.fingerprint(), base.fingerprint());
+        // The shape seed is run-derived, so (like the fault seed) it must
+        // NOT enter the fingerprint.
+        let mut seeded = base.clone();
+        seeded.workload.options.wan.as_mut().unwrap().seed = 999;
+        assert_eq!(seeded.fingerprint(), base.fingerprint());
     }
 
     #[test]
